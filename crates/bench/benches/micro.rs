@@ -1,0 +1,124 @@
+//! Criterion microbenchmarks for SAAD's hot paths:
+//!
+//! * per-log-point tracker cost (the paper's "practically zero overhead"
+//!   claim reduced to its inner loop),
+//! * synopsis encode/decode,
+//! * model construction throughput,
+//! * analyzer observe throughput (the paper sustains 1500 synopses/s).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use saad_core::detector::{AnomalyDetector, DetectorConfig};
+use saad_core::feature::FeatureVector;
+use saad_core::model::{ModelBuilder, ModelConfig};
+use saad_core::synopsis::TaskSynopsis;
+use saad_core::tracker::{NullSink, SynopsisSink, TaskExecutionTracker};
+use saad_core::{codec, HostId, StageId, TaskUid};
+use saad_logging::{Logger, LogPointId};
+use saad_sim::{Clock, ManualClock, SimDuration, SimTime};
+use std::sync::Arc;
+
+fn synopsis(stage: u16, points: &[u16], dur_us: u64, uid: u64) -> TaskSynopsis {
+    TaskSynopsis {
+        host: HostId(0),
+        stage: StageId(stage),
+        uid: TaskUid(uid),
+        start: SimTime::from_micros(uid * 500),
+        duration: SimDuration::from_micros(dur_us),
+        log_points: points.iter().map(|&p| (LogPointId(p), 1)).collect(),
+    }
+}
+
+fn bench_tracker(c: &mut Criterion) {
+    let clock = Arc::new(ManualClock::new());
+    let sink = Arc::new(NullSink::new());
+    let tracker = Arc::new(TaskExecutionTracker::new(
+        HostId(0),
+        clock as Arc<dyn Clock>,
+        sink as Arc<dyn SynopsisSink>,
+    ));
+    let logger = Logger::builder("S").interceptor(tracker.clone()).build();
+    let mut g = c.benchmark_group("tracker");
+    g.throughput(Throughput::Elements(1));
+    tracker.set_context(StageId(1));
+    g.bench_function("log_point_visit", |b| {
+        b.iter(|| logger.debug(LogPointId(3), format_args!("Receiving one packet")))
+    });
+    g.bench_function("task_lifecycle_5_points", |b| {
+        b.iter(|| {
+            tracker.set_context(StageId(1));
+            for p in 0..5u16 {
+                logger.debug(LogPointId(p), format_args!("point"));
+            }
+            tracker.end_task();
+        })
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let s = synopsis(4, &[1, 2, 4, 5, 9], 10_000, 7);
+    let wire = codec::encode(&s);
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("encode", |b| b.iter(|| codec::encode(&s)));
+    g.bench_function("decode", |b| {
+        b.iter_batched(
+            || wire.clone(),
+            |mut w| codec::decode(&mut w).expect("decodes"),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn trained_model() -> Arc<saad_core::model::OutlierModel> {
+    let mut b = ModelBuilder::new();
+    for i in 0..50_000u64 {
+        let pts: &[u16] = if i % 1000 == 0 { &[1, 2, 3, 4, 5] } else { &[1, 2, 4, 5] };
+        b.observe(&synopsis(0, pts, 9_000 + (i % 97) * 20, i));
+    }
+    Arc::new(b.build(ModelConfig::default()))
+}
+
+fn bench_model_build(c: &mut Criterion) {
+    let synopses: Vec<TaskSynopsis> = (0..20_000u64)
+        .map(|i| synopsis((i % 8) as u16, &[1, 2, 4, 5], 9_000 + (i % 97) * 20, i))
+        .collect();
+    let mut g = c.benchmark_group("model");
+    g.throughput(Throughput::Elements(synopses.len() as u64));
+    g.bench_function("build_20k", |b| {
+        b.iter(|| {
+            let mut mb = ModelBuilder::new();
+            for s in &synopses {
+                mb.observe(s);
+            }
+            mb.build(ModelConfig::default())
+        })
+    });
+    g.finish();
+}
+
+fn bench_detector(c: &mut Criterion) {
+    let model = trained_model();
+    let features: Vec<FeatureVector> = (0..10_000u64)
+        .map(|i| FeatureVector::from(&synopsis(0, &[1, 2, 4, 5], 9_500, i)))
+        .collect();
+    let mut g = c.benchmark_group("detector");
+    g.throughput(Throughput::Elements(features.len() as u64));
+    g.bench_function("observe_10k", |b| {
+        b.iter_batched(
+            || AnomalyDetector::new(model.clone(), DetectorConfig::default()),
+            |mut d| {
+                for f in &features {
+                    d.observe(f);
+                }
+                d.flush()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tracker, bench_codec, bench_model_build, bench_detector);
+criterion_main!(benches);

@@ -1,0 +1,452 @@
+//! Shared harness code for the experiment benches.
+//!
+//! Every table and figure in the paper's evaluation section has a bench
+//! target under `benches/` that regenerates it; this library holds the
+//! pieces they share: run-scale control, synopsis byte accounting, corpus
+//! capture, timeline rendering, and train/run drivers for the simulated
+//! clusters.
+//!
+//! Run scale: the benches default to *fast* runs (minutes of virtual time
+//! scaled down ~3–6× from the paper, seconds of wall time). Set
+//! `SAAD_SCALE=full` to run the paper's full experiment lengths.
+
+#![warn(missing_docs)]
+
+use parking_lot::Mutex;
+use saad_cassandra::{Cluster, ClusterConfig, RunOutput};
+use saad_core::codec;
+use saad_core::detector::{AnomalyDetector, AnomalyEvent, AnomalyKind, DetectorConfig};
+use saad_core::model::{ModelConfig, OutlierModel};
+use saad_core::pipeline::{DetectorSink, ModelSink};
+use saad_core::synopsis::TaskSynopsis;
+use saad_core::tracker::SynopsisSink;
+use saad_core::{HostId, StageRegistry};
+use saad_fault::FaultSchedule;
+use saad_logging::appender::{Appender, Record};
+use saad_sim::{SimDuration, SimTime};
+use saad_workload::{KeyChooser, OperationMix, WorkloadGenerator};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Whether `SAAD_SCALE=full` requests paper-length runs.
+pub fn full_scale() -> bool {
+    std::env::var("SAAD_SCALE").map(|v| v == "full").unwrap_or(false)
+}
+
+/// Scale a paper-length duration (in minutes) down for fast runs.
+pub fn scaled_mins(paper_mins: u64, fast_mins: u64) -> u64 {
+    if full_scale() {
+        paper_mins
+    } else {
+        fast_mins
+    }
+}
+
+/// A sink that counts synopses and their encoded byte volume, optionally
+/// forwarding to another sink.
+#[derive(Default)]
+pub struct ByteCountingSink {
+    count: AtomicU64,
+    bytes: AtomicU64,
+    forward: Option<Arc<dyn SynopsisSink>>,
+}
+
+impl std::fmt::Debug for ByteCountingSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ByteCountingSink")
+            .field("count", &self.count())
+            .field("bytes", &self.bytes())
+            .finish()
+    }
+}
+
+impl ByteCountingSink {
+    /// Count-only sink.
+    pub fn new() -> ByteCountingSink {
+        ByteCountingSink::default()
+    }
+
+    /// Counting sink that forwards every synopsis to `inner`.
+    pub fn forwarding(inner: Arc<dyn SynopsisSink>) -> ByteCountingSink {
+        ByteCountingSink {
+            count: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            forward: Some(inner),
+        }
+    }
+
+    /// Synopses seen.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Total encoded bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+impl SynopsisSink for ByteCountingSink {
+    fn submit(&self, synopsis: TaskSynopsis) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.bytes
+            .fetch_add(codec::encode(&synopsis).len() as u64, Ordering::Relaxed);
+        if let Some(f) = &self.forward {
+            f.submit(synopsis);
+        }
+    }
+}
+
+/// An appender that captures rendered lines into one big string (the
+/// baseline's input corpus) while counting bytes.
+#[derive(Debug, Default)]
+pub struct StringAppender {
+    buf: Mutex<String>,
+}
+
+impl StringAppender {
+    /// Create an empty capture buffer.
+    pub fn new() -> StringAppender {
+        StringAppender::default()
+    }
+
+    /// Take the captured corpus.
+    pub fn take(&self) -> String {
+        std::mem::take(&mut *self.buf.lock())
+    }
+
+    /// Captured bytes so far.
+    pub fn bytes(&self) -> u64 {
+        self.buf.lock().len() as u64
+    }
+}
+
+impl Appender for StringAppender {
+    fn append(&self, record: &Record) {
+        self.buf.lock().push_str(&record.render_line());
+    }
+}
+
+/// The standard write-heavy workload generator used across experiments.
+pub fn workload(seed: u64, ops_per_sec: f64) -> WorkloadGenerator {
+    WorkloadGenerator::new(
+        OperationMix::write_heavy(),
+        KeyChooser::zipfian(10_000),
+        ops_per_sec,
+        seed,
+    )
+}
+
+/// Train an outlier model from a fault-free Cassandra run.
+pub fn train_cassandra(cfg: ClusterConfig, mins: u64, rate: f64) -> Arc<OutlierModel> {
+    let sink = Arc::new(ModelSink::new());
+    let mut cluster = Cluster::new(cfg, sink.clone());
+    let mut wl = workload(cfg.seed ^ 0xBEEF, rate);
+    cluster.run(&mut wl, SimTime::from_mins(mins));
+    Arc::new(sink.build(ModelConfig::default()))
+}
+
+/// Outcome of a detected Cassandra run.
+#[derive(Debug)]
+pub struct DetectedRun {
+    /// Detected anomaly events.
+    pub events: Vec<AnomalyEvent>,
+    /// Cluster run output (throughput, errors, stats).
+    pub run: RunOutput,
+    /// Stage name registry of the run.
+    pub stages: Arc<StageRegistry>,
+}
+
+/// Run a Cassandra cluster with an optional fault schedule on host 4
+/// (index 3), classifying against `model` in stream.
+pub fn run_cassandra_detected(
+    cfg: ClusterConfig,
+    model: Arc<OutlierModel>,
+    fault: Option<FaultSchedule>,
+    mins: u64,
+    rate: f64,
+) -> DetectedRun {
+    let detector = Arc::new(DetectorSink::new(model, DetectorConfig::default()));
+    let mut cluster = Cluster::new(cfg, detector.clone());
+    if let Some(f) = fault {
+        cluster.attach_fault(3, f);
+    }
+    let stages = cluster.instrumentation().stages_registry.clone();
+    let mut wl = workload(cfg.seed, rate);
+    let run = cluster.run(&mut wl, SimTime::from_mins(mins));
+    drop(cluster); // release the cluster's sink handles
+    let detector = Arc::try_unwrap(detector).expect("sole owner after run");
+    DetectedRun {
+        events: detector.finish(),
+        run,
+        stages,
+    }
+}
+
+/// Feed a synopsis batch through a fresh detector (offline replay).
+pub fn detect_batch(
+    model: Arc<OutlierModel>,
+    config: DetectorConfig,
+    synopses: &[TaskSynopsis],
+) -> Vec<AnomalyEvent> {
+    let mut detector = AnomalyDetector::new(model, config);
+    let mut events = Vec::new();
+    for s in synopses {
+        events.extend(detector.observe(&s.into()));
+    }
+    events.extend(detector.flush());
+    events
+}
+
+/// ASCII timeline in the style of the paper's Figures 9 and 10: one row
+/// per `Stage(host)`, one column per minute; `F` = flow anomaly, `P` =
+/// performance anomaly, `B` = both, `E` = error log record.
+#[derive(Debug)]
+pub struct Timeline {
+    mins: usize,
+    rows: BTreeMap<String, Vec<char>>,
+}
+
+impl Timeline {
+    /// Create an empty timeline covering `mins` minutes.
+    pub fn new(mins: usize) -> Timeline {
+        Timeline {
+            mins,
+            rows: BTreeMap::new(),
+        }
+    }
+
+    fn cell(&mut self, row: String, min: usize, mark: char) {
+        if min >= self.mins {
+            return;
+        }
+        let cells = self.rows.entry(row).or_insert_with(|| vec!['.'; self.mins]);
+        let current = cells[min];
+        cells[min] = match (current, mark) {
+            ('.', m) => m,
+            ('F', 'P') | ('P', 'F') => 'B',
+            ('B', _) | (_, 'B') => 'B',
+            (c, 'E') if c != '.' => c, // anomaly marks win over errors
+            ('E', m) => m,
+            (c, _) => c,
+        };
+    }
+
+    /// Add anomaly events, labeling rows through `stages` and mapping
+    /// host ids with `host_label`.
+    pub fn add_events<F: Fn(HostId) -> Option<String>>(
+        &mut self,
+        events: &[AnomalyEvent],
+        stages: &StageRegistry,
+        host_label: F,
+    ) {
+        for e in events {
+            let Some(host) = host_label(e.host) else {
+                continue;
+            };
+            let name = stages
+                .name(e.stage)
+                .unwrap_or_else(|| e.stage.to_string());
+            let row = format!("{name}({host})");
+            let min = e.window_start.as_mins_f64() as usize;
+            let mark = match e.kind {
+                AnomalyKind::FlowRare | AnomalyKind::FlowNew(_) => 'F',
+                AnomalyKind::Performance(_) => 'P',
+            };
+            self.cell(row, min, mark);
+        }
+    }
+
+    /// Add error log marks.
+    pub fn add_errors<F: Fn(HostId) -> Option<String>>(
+        &mut self,
+        errors: &[(SimTime, HostId)],
+        label: &str,
+        host_label: F,
+    ) {
+        for &(t, h) in errors {
+            let Some(host) = host_label(h) else { continue };
+            let row = format!("{label}({host})");
+            let min = t.as_mins_f64() as usize;
+            self.cell(row, min, 'E');
+        }
+    }
+
+    /// Render the grid with an optional per-minute throughput footer.
+    pub fn render(&self, throughput: Option<&[f64]>) -> String {
+        let width = self
+            .rows
+            .keys()
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(10)
+            .max("op/sec".len());
+        let mut out = String::new();
+        // Minute ruler.
+        out.push_str(&format!("{:>width$} |", "minute"));
+        for m in 0..self.mins {
+            out.push(if m % 10 == 0 { '|' } else { ' ' });
+        }
+        out.push('\n');
+        for (row, cells) in &self.rows {
+            out.push_str(&format!("{row:>width$} |"));
+            for &c in cells {
+                out.push(c);
+            }
+            out.push('\n');
+        }
+        if let Some(tp) = throughput {
+            out.push_str(&format!("{:>width$} |", "op/sec"));
+            for m in 0..self.mins {
+                let v = tp.get(m).copied().unwrap_or(0.0);
+                let c = if v <= 0.0 {
+                    '_'
+                } else {
+                    // Log-ish bucket into 1..9.
+                    let max = tp.iter().cloned().fold(1.0_f64, f64::max);
+                    char::from_digit(((v / max) * 9.0).ceil().clamp(1.0, 9.0) as u32, 10)
+                        .unwrap_or('9')
+                };
+                out.push(c);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Count anomaly cells per row (for summaries).
+    pub fn row_counts(&self) -> Vec<(String, usize)> {
+        self.rows
+            .iter()
+            .map(|(k, cells)| {
+                (
+                    k.clone(),
+                    cells.iter().filter(|&&c| c == 'F' || c == 'P' || c == 'B').count(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Count events by predicate in a time range (minutes).
+pub fn events_between(
+    events: &[AnomalyEvent],
+    from_min: u64,
+    to_min: u64,
+    flow: bool,
+) -> usize {
+    events
+        .iter()
+        .filter(|e| {
+            let m = e.window_start.as_mins_f64();
+            m >= from_min as f64
+                && m < to_min as f64
+                && (if flow { e.kind.is_flow() } else { e.kind.is_performance() })
+        })
+        .count()
+}
+
+/// Standard detector window duration used by all figure benches.
+pub fn minute_windows() -> SimDuration {
+    SimDuration::from_mins(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saad_core::Signature;
+    use saad_core::StageId;
+
+    #[test]
+    fn byte_counting_sink_counts_and_forwards() {
+        let inner = Arc::new(saad_core::tracker::VecSink::new());
+        let sink = ByteCountingSink::forwarding(inner.clone());
+        sink.submit(TaskSynopsis {
+            host: HostId(1),
+            stage: StageId(0),
+            uid: saad_core::TaskUid(1),
+            start: SimTime::ZERO,
+            duration: SimDuration::from_micros(10),
+            log_points: vec![],
+        });
+        assert_eq!(sink.count(), 1);
+        assert!(sink.bytes() > 0);
+        assert_eq!(inner.len(), 1);
+    }
+
+    #[test]
+    fn string_appender_captures_lines() {
+        let a = StringAppender::new();
+        a.append(&Record {
+            point: saad_logging::LogPointId(0),
+            level: saad_logging::Level::Debug,
+            logger: "X".into(),
+            message: "hello".into(),
+        });
+        assert!(a.bytes() > 0);
+        assert!(a.take().contains("hello"));
+        assert_eq!(a.bytes(), 0);
+    }
+
+    #[test]
+    fn timeline_marks_and_merges() {
+        let stages = StageRegistry::new();
+        let table = stages.register("Table");
+        let events = vec![
+            AnomalyEvent {
+                host: HostId(4),
+                stage: table,
+                window_start: SimTime::from_mins(3),
+                kind: AnomalyKind::FlowRare,
+                p_value: Some(1e-9),
+                outliers: 5,
+                window_tasks: 100,
+            },
+            AnomalyEvent {
+                host: HostId(4),
+                stage: table,
+                window_start: SimTime::from_mins(3),
+                kind: AnomalyKind::Performance(Signature::empty()),
+                p_value: Some(1e-5),
+                outliers: 9,
+                window_tasks: 100,
+            },
+        ];
+        let mut tl = Timeline::new(10);
+        tl.add_events(&events, &stages, |h| Some(h.0.to_string()));
+        let s = tl.render(None);
+        assert!(s.contains("Table(4)"));
+        assert!(s.lines().any(|l| l.contains('B')), "{s}");
+        assert_eq!(tl.row_counts(), vec![("Table(4)".to_owned(), 1)]);
+    }
+
+    #[test]
+    fn events_between_filters_kind_and_time() {
+        let stages = StageRegistry::new();
+        let st = stages.register("S");
+        let mk = |min: u64, flow: bool| AnomalyEvent {
+            host: HostId(1),
+            stage: st,
+            window_start: SimTime::from_mins(min),
+            kind: if flow {
+                AnomalyKind::FlowRare
+            } else {
+                AnomalyKind::Performance(Signature::empty())
+            },
+            p_value: None,
+            outliers: 1,
+            window_tasks: 10,
+        };
+        let events = vec![mk(1, true), mk(5, true), mk(5, false), mk(9, false)];
+        assert_eq!(events_between(&events, 0, 4, true), 1);
+        assert_eq!(events_between(&events, 4, 10, true), 1);
+        assert_eq!(events_between(&events, 4, 10, false), 2);
+    }
+
+    #[test]
+    fn scaled_mins_obeys_env_default() {
+        // Default (no env): fast scale.
+        assert_eq!(scaled_mins(50, 10), if full_scale() { 50 } else { 10 });
+    }
+}

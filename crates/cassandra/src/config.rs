@@ -1,0 +1,123 @@
+//! Cluster configuration.
+
+use saad_logging::Level;
+use saad_sim::SimDuration;
+
+/// Configuration of a simulated Cassandra cluster.
+///
+/// Defaults model the paper's 4-node testbed, scaled down in op rate and
+/// MemTable size so multi-hour experiments run in seconds of wall time
+/// while preserving queueing behaviour and event ratios.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of nodes (paper: 4).
+    pub nodes: usize,
+    /// Replication factor (paper: 3-way).
+    pub replication_factor: usize,
+    /// Write acks required before the coordinator responds.
+    pub quorum: usize,
+    /// Master RNG seed; every run with the same seed is identical.
+    pub seed: u64,
+    /// Logging verbosity (production default: `Info`).
+    pub log_level: Level,
+    /// MemTable size that triggers a flush.
+    pub memtable_threshold_bytes: u64,
+    /// SSTable count that triggers a (minor) compaction.
+    pub compaction_threshold: u32,
+    /// Coordinator write timeout before hinting.
+    pub write_timeout: SimDuration,
+    /// How long a failed WAL append holds the MemTable switch lock.
+    pub wal_failure_freeze: SimDuration,
+    /// Heap-pressure gain per write blocked on a frozen MemTable.
+    pub pressure_per_blocked_write: f64,
+    /// Heap-pressure gain per failed MemTable flush.
+    pub pressure_per_failed_flush: f64,
+    /// Pressure at which the node logs an error burst and crashes.
+    pub crash_pressure: f64,
+    /// GC inspection period.
+    pub gc_period: SimDuration,
+    /// Hinted hand-off delivery attempt period.
+    pub hint_period: SimDuration,
+    /// Daemon heartbeat period.
+    pub daemon_period: SimDuration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            nodes: 4,
+            replication_factor: 3,
+            quorum: 2,
+            seed: 42,
+            log_level: Level::Info,
+            memtable_threshold_bytes: 64 * 1024,
+            compaction_threshold: 4,
+            write_timeout: SimDuration::from_secs(1),
+            wal_failure_freeze: SimDuration::from_millis(500),
+            pressure_per_blocked_write: 0.000_12,
+            pressure_per_failed_flush: 0.06,
+            crash_pressure: 1.0,
+            gc_period: SimDuration::from_secs(10),
+            hint_period: SimDuration::from_secs(20),
+            daemon_period: SimDuration::from_secs(15),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Validate the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if node/replication/quorum counts are inconsistent.
+    pub fn validate(&self) {
+        assert!(self.nodes >= 1, "need at least one node");
+        assert!(
+            self.replication_factor >= 1 && self.replication_factor <= self.nodes,
+            "replication factor {} out of range for {} nodes",
+            self.replication_factor,
+            self.nodes
+        );
+        assert!(
+            self.quorum >= 1 && self.quorum <= self.replication_factor,
+            "quorum {} out of range for RF {}",
+            self.quorum,
+            self.replication_factor
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_topology() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.nodes, 4);
+        assert_eq!(c.replication_factor, 3);
+        assert_eq!(c.log_level, Level::Info);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn rf_above_nodes_rejected() {
+        ClusterConfig {
+            nodes: 2,
+            replication_factor: 3,
+            ..ClusterConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn quorum_above_rf_rejected() {
+        ClusterConfig {
+            quorum: 4,
+            ..ClusterConfig::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,226 @@
+//! Instrumentation of the simulated Cassandra source: stages and log
+//! points.
+//!
+//! This module plays the role of the paper's Ruby pre-processing scripts
+//! (§4.1.1): it registers every stage delimiter and assigns a unique id to
+//! every log statement, building the template dictionary that the anomaly
+//! reports resolve ids against.
+
+use saad_core::{StageId, StageRegistry};
+use saad_logging::{Level, LogPointId, LogPointRegistry};
+use std::sync::Arc;
+
+/// Stage ids of the simulated Cassandra node (the subset of the paper's 78
+/// stages that its figures report on).
+#[derive(Debug, Clone, Copy)]
+#[allow(missing_docs)] // field names are the stage names
+pub struct CassandraStages {
+    pub storage_proxy: StageId,
+    pub worker_process: StageId,
+    pub table: StageId,
+    pub log_record_adder: StageId,
+    pub memtable: StageId,
+    pub commit_log: StageId,
+    pub compaction_manager: StageId,
+    pub gc_inspector: StageId,
+    pub local_read: StageId,
+    pub hinted_handoff: StageId,
+    pub out_tcp: StageId,
+    pub in_tcp: StageId,
+    pub daemon: StageId,
+}
+
+/// Log point ids of every log statement in the simulated source.
+#[derive(Debug, Clone, Copy)]
+#[allow(missing_docs)] // names mirror the statements below
+pub struct CassandraPoints {
+    // StorageProxy
+    pub sp_recv: LogPointId,
+    pub sp_local: LogPointId,
+    pub sp_ack: LogPointId,
+    pub sp_timeout: LogPointId,
+    pub sp_hint: LogPointId,
+    // WorkerProcess
+    pub wp_recv: LogPointId,
+    pub wp_done: LogPointId,
+    pub wp_flush_trigger: LogPointId,
+    pub wp_hint_deliver: LogPointId,
+    pub wp_hint_timeout: LogPointId,
+    pub wp_hint_done: LogPointId,
+    // Table
+    pub t_frozen: LogPointId,
+    pub t_start: LogPointId,
+    pub t_row: LogPointId,
+    pub t_applied: LogPointId,
+    // LogRecordAdder
+    pub lra_add: LogPointId,
+    pub lra_sync: LogPointId,
+    pub lra_err: LogPointId,
+    // Memtable
+    pub mt_enqueue: LogPointId,
+    pub mt_write: LogPointId,
+    pub mt_complete: LogPointId,
+    pub mt_retry: LogPointId,
+    // CommitLog
+    pub cl_wait: LogPointId,
+    pub cl_discard: LogPointId,
+    // CompactionManager
+    pub cm_start: LogPointId,
+    pub cm_read: LogPointId,
+    pub cm_write: LogPointId,
+    pub cm_done: LogPointId,
+    pub cm_retry: LogPointId,
+    // GCInspector
+    pub gc_tick: LogPointId,
+    pub gc_pressure: LogPointId,
+    // LocalReadRunnable
+    pub lr_start: LogPointId,
+    pub lr_mem: LogPointId,
+    pub lr_sstable: LogPointId,
+    pub lr_done: LogPointId,
+    // HintedHandOffManager
+    pub hh_start: LogPointId,
+    pub hh_done: LogPointId,
+    // Tcp connections
+    pub ot_send: LogPointId,
+    pub it_recv: LogPointId,
+    // CassandraDaemon
+    pub cd_tick: LogPointId,
+    pub cd_oom: LogPointId,
+}
+
+/// The full instrumentation output: registries plus the id structs.
+#[derive(Debug, Clone)]
+pub struct Instrumentation {
+    /// Stage name registry.
+    pub stages_registry: Arc<StageRegistry>,
+    /// Log template dictionary.
+    pub points_registry: Arc<LogPointRegistry>,
+    /// Stage ids.
+    pub stages: CassandraStages,
+    /// Log point ids.
+    pub points: CassandraPoints,
+}
+
+impl Instrumentation {
+    /// Run the instrumentation pass: register all stages and log points.
+    pub fn install() -> Instrumentation {
+        let sr = Arc::new(StageRegistry::new());
+        let stages = CassandraStages {
+            storage_proxy: sr.register("StorageProxy"),
+            worker_process: sr.register("WorkerProcess"),
+            table: sr.register("Table"),
+            log_record_adder: sr.register("LogRecordAdder"),
+            memtable: sr.register("Memtable"),
+            commit_log: sr.register("CommitLog"),
+            compaction_manager: sr.register("CompactionManager"),
+            gc_inspector: sr.register("GCInspector"),
+            local_read: sr.register("LocalReadRunnable"),
+            hinted_handoff: sr.register("HintedHandOffManager"),
+            out_tcp: sr.register("OutboundTcpConnection"),
+            in_tcp: sr.register("IncomingTcpConnection"),
+            daemon: sr.register("CassandraDaemon"),
+        };
+        let pr = Arc::new(LogPointRegistry::new());
+        let reg =
+            |text: &str, level: Level, file: &str, line: u32| pr.register(text, level, file, line);
+        let points = CassandraPoints {
+            sp_recv: reg("Mutation for key {} forwarded to {} replicas", Level::Debug, "StorageProxy.java", 120),
+            sp_local: reg("insert writing local & replicate {}", Level::Debug, "StorageProxy.java", 134),
+            sp_ack: reg("Write response received from {}", Level::Debug, "StorageProxy.java", 190),
+            sp_timeout: reg("Timed out waiting for write response from {}", Level::Debug, "StorageProxy.java", 205),
+            sp_hint: reg("Adding hint for unresponsive endpoint {}", Level::Debug, "StorageProxy.java", 212),
+            wp_recv: reg("Handling mutation message from {}", Level::Debug, "WorkerProcess.java", 55),
+            wp_done: reg("Mutation handled; sending ack to {}", Level::Debug, "WorkerProcess.java", 78),
+            wp_flush_trigger: reg("Memtable threshold reached; switching memtable", Level::Debug, "WorkerProcess.java", 91),
+            wp_hint_deliver: reg("Delivering hinted mutation to endpoint {}", Level::Debug, "WorkerProcess.java", 130),
+            wp_hint_timeout: reg("Hinted handoff to {} timed out; will retry later", Level::Debug, "WorkerProcess.java", 141),
+            wp_hint_done: reg("Hinted mutation delivered to {}", Level::Debug, "WorkerProcess.java", 149),
+            t_frozen: reg("MemTable is already frozen; another thread must be flushing it", Level::Debug, "Table.java", 410),
+            t_start: reg("Start applying update to MemTable", Level::Debug, "Table.java", 422),
+            t_row: reg("Applying mutation of row {}", Level::Debug, "Table.java", 437),
+            t_applied: reg("Applied mutation. Sending response", Level::Debug, "Table.java", 455),
+            lra_add: reg("Adding mutation of {} bytes to commit log", Level::Debug, "CommitLog.java", 88),
+            lra_sync: reg("Commit log segment synced", Level::Debug, "CommitLog.java", 102),
+            lra_err: reg("Failed appending to commit log", Level::Error, "CommitLog.java", 110),
+            mt_enqueue: reg("Enqueuing flush of Memtable-{}", Level::Info, "Memtable.java", 61),
+            mt_write: reg("Writing Memtable-{} to SSTable", Level::Info, "Memtable.java", 74),
+            mt_complete: reg("Completed flushing {} bytes to SSTable", Level::Info, "Memtable.java", 95),
+            mt_retry: reg("Flush of Memtable-{} failed; will retry", Level::Debug, "Memtable.java", 101),
+            cl_wait: reg("Waiting for memtable flush before discarding segment", Level::Debug, "CommitLogAllocator.java", 33),
+            cl_discard: reg("Discarding obsolete commit log segment {}", Level::Debug, "CommitLogAllocator.java", 47),
+            cm_start: reg("Compacting {} sstables", Level::Info, "CompactionManager.java", 140),
+            cm_read: reg("Reading sstable {} for compaction", Level::Debug, "CompactionManager.java", 158),
+            cm_write: reg("Writing compacted sstable", Level::Debug, "CompactionManager.java", 170),
+            cm_done: reg("Compacted to {} bytes", Level::Info, "CompactionManager.java", 184),
+            cm_retry: reg("Compaction aborted on write failure; will retry", Level::Debug, "CompactionManager.java", 190),
+            gc_tick: reg("GC for ParNew: {} ms for {} collections", Level::Info, "GCInspector.java", 55),
+            gc_pressure: reg("Heap is {} full. You may need to reduce memtable sizes", Level::Warn, "GCInspector.java", 72),
+            lr_start: reg("Executing single-row read for key {}", Level::Debug, "LocalReadRunnable.java", 40),
+            lr_mem: reg("Read satisfied from memtable", Level::Debug, "LocalReadRunnable.java", 52),
+            lr_sstable: reg("Merging sstable {} into read result", Level::Debug, "LocalReadRunnable.java", 60),
+            lr_done: reg("Read complete", Level::Debug, "LocalReadRunnable.java", 71),
+            hh_start: reg("Started hinted handoff for endpoint {}", Level::Info, "HintedHandOffManager.java", 95),
+            hh_done: reg("Finished hinted handoff run; {} hints remain", Level::Info, "HintedHandOffManager.java", 120),
+            ot_send: reg("Sending message {} to {}", Level::Debug, "OutboundTcpConnection.java", 66),
+            it_recv: reg("Received message {} from {}", Level::Debug, "IncomingTcpConnection.java", 48),
+            cd_tick: reg("Heartbeat: node status nominal", Level::Debug, "CassandraDaemon.java", 210),
+            cd_oom: reg("Out of heap space; unable to allocate", Level::Error, "CassandraDaemon.java", 230),
+        };
+        Instrumentation {
+            stages_registry: sr,
+            points_registry: pr,
+            stages,
+            points,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_registers_all_stages() {
+        let inst = Instrumentation::install();
+        assert_eq!(inst.stages_registry.len(), 13);
+        assert_eq!(
+            inst.stages_registry.name(inst.stages.table).as_deref(),
+            Some("Table")
+        );
+        assert_eq!(
+            inst.stages_registry.lookup("GCInspector"),
+            Some(inst.stages.gc_inspector)
+        );
+    }
+
+    #[test]
+    fn install_registers_all_points_with_templates() {
+        let inst = Instrumentation::install();
+        assert_eq!(inst.points_registry.len(), 41);
+        let t = inst.points_registry.template(inst.points.t_frozen).unwrap();
+        assert!(t.text.contains("already frozen"));
+        assert_eq!(t.level, Level::Debug);
+        let e = inst.points_registry.template(inst.points.lra_err).unwrap();
+        assert_eq!(e.level, Level::Error);
+    }
+
+    #[test]
+    fn point_ids_are_distinct() {
+        let inst = Instrumentation::install();
+        let p = &inst.points;
+        let ids = [
+            p.sp_recv, p.sp_local, p.sp_ack, p.sp_timeout, p.sp_hint, p.wp_recv, p.wp_done,
+            p.wp_flush_trigger, p.wp_hint_deliver, p.wp_hint_timeout, p.wp_hint_done, p.t_frozen,
+            p.t_start, p.t_row, p.t_applied, p.lra_add, p.lra_sync, p.lra_err, p.mt_enqueue,
+            p.mt_write, p.mt_complete, p.mt_retry, p.cl_wait, p.cl_discard, p.cm_start, p.cm_read,
+            p.cm_write, p.cm_done, p.cm_retry, p.gc_tick, p.gc_pressure, p.lr_start, p.lr_mem,
+            p.lr_sstable, p.lr_done, p.hh_start, p.hh_done, p.ot_send, p.it_recv, p.cd_tick,
+            p.cd_oom,
+        ];
+        let mut sorted: Vec<u16> = ids.iter().map(|i| i.0).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len());
+    }
+}

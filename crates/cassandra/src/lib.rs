@@ -1,0 +1,44 @@
+//! A simulated Cassandra 0.8 cluster with the SAAD paper's stage
+//! decomposition.
+//!
+//! The paper evaluates SAAD on a 4-node Cassandra cluster (§5.4). This
+//! crate reproduces the parts of Cassandra that the experiments exercise,
+//! as a deterministic virtual-time simulator instrumented exactly the way
+//! the paper instruments the real system — stage delimiters at task
+//! boundaries and identified log points at every log statement:
+//!
+//! * **Write path** — `StorageProxy` (coordination, quorum acks, hinting),
+//!   `OutboundTcpConnection`/`IncomingTcpConnection` (inter-node messages),
+//!   `WorkerProcess` (mutation handling), `Table` (MemTable application
+//!   with the frozen-MemTable wait), `LogRecordAdder` (WAL appends),
+//!   `Memtable` (flushes to SSTables), `CommitLog` (WAL trimming),
+//!   `CompactionManager` (SSTable merges);
+//! * **Read path** — `LocalReadRunnable` (memtable/SSTable reads);
+//! * **Background** — `GCInspector` (heap-pressure-sensitive GC ticks),
+//!   `HintedHandOffManager` (hint delivery), `CassandraDaemon` (heartbeat).
+//!
+//! Fault behaviour follows the paper's diagnosis narratives:
+//!
+//! * an **error on WAL appends** aborts mutations mid-flight (premature
+//!   termination ⇒ new task signature), holds the MemTable switch lock so
+//!   concurrent mutations see *"MemTable is already frozen"* and terminate
+//!   prematurely, drives hinted hand-off on the healthy nodes, and — under
+//!   sustained 100% failure — builds memory pressure until the node logs a
+//!   burst of errors and crashes (§5.4.1);
+//! * an **error on MemTable flushes** produces retry flows in `Memtable`
+//!   and `CompactionManager` and escalating GC pressure (§5.4.1);
+//! * **delay faults** stretch the affected tasks' durations, surfacing as
+//!   performance anomalies in `WorkerProcess`, `StorageProxy`,
+//!   `CommitLog` (§5.4.2).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cluster;
+mod config;
+mod instrument;
+mod node;
+
+pub use cluster::{Cluster, RunOutput};
+pub use config::ClusterConfig;
+pub use instrument::{CassandraPoints, CassandraStages, Instrumentation};

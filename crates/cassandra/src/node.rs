@@ -1,0 +1,549 @@
+//! One simulated Cassandra node: per-stage task executions over shared
+//! LSM state (MemTable, WAL, SSTables) and a queued disk.
+
+use crate::config::ClusterConfig;
+use crate::instrument::{CassandraPoints, CassandraStages, Instrumentation};
+use rand::rngs::StdRng;
+use rand::Rng;
+use saad_core::simtask::SimTask;
+use saad_core::tracker::{SynopsisSink, TaskExecutionTracker};
+use saad_core::HostId;
+use saad_logging::appender::Appender;
+use saad_logging::{Level, Logger};
+use saad_sim::resource::{Disk, IoKind, IoRequest};
+use saad_sim::rng::{lognormal_sample, RngStreams};
+use saad_sim::{Clock, ManualClock, SimDuration, SimTime};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Per-stage loggers of a node, each wired through the node's tracker.
+#[derive(Debug)]
+pub(crate) struct NodeLoggers {
+    pub storage_proxy: Arc<Logger>,
+    pub worker: Arc<Logger>,
+    pub table: Arc<Logger>,
+    pub lra: Arc<Logger>,
+    pub memtable: Arc<Logger>,
+    pub commit_log: Arc<Logger>,
+    pub compaction: Arc<Logger>,
+    pub gc: Arc<Logger>,
+    pub read: Arc<Logger>,
+    pub hh: Arc<Logger>,
+    pub ot: Arc<Logger>,
+    pub it: Arc<Logger>,
+    pub daemon: Arc<Logger>,
+}
+
+impl NodeLoggers {
+    fn new(
+        tracker: &Arc<TaskExecutionTracker>,
+        inst: &Instrumentation,
+        level: Level,
+        appender: Option<Arc<dyn Appender>>,
+    ) -> NodeLoggers {
+        let mk = |name: &str| {
+            let mut b = Logger::builder(name)
+                .level(level)
+                .interceptor(tracker.clone())
+                .registry(inst.points_registry.clone());
+            if let Some(a) = &appender {
+                b = b.appender(a.clone());
+            }
+            Arc::new(b.build())
+        };
+        NodeLoggers {
+            storage_proxy: mk("StorageProxy"),
+            worker: mk("WorkerProcess"),
+            table: mk("Table"),
+            lra: mk("LogRecordAdder"),
+            memtable: mk("Memtable"),
+            commit_log: mk("CommitLog"),
+            compaction: mk("CompactionManager"),
+            gc: mk("GCInspector"),
+            read: mk("LocalReadRunnable"),
+            hh: mk("HintedHandOffManager"),
+            ot: mk("OutboundTcpConnection"),
+            it: mk("IncomingTcpConnection"),
+            daemon: mk("CassandraDaemon"),
+        }
+    }
+}
+
+/// Outcome of a replica mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Apply {
+    /// Mutation applied; ack sent at this time.
+    Acked(SimTime),
+    /// Mutation aborted (frozen MemTable or failed WAL append); no ack.
+    Rejected,
+}
+
+/// Counters a run reports per node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// WAL appends that failed (error fault hits).
+    pub wal_failures: u64,
+    /// MemTable flushes that failed.
+    pub failed_flushes: u64,
+    /// Successful MemTable flushes.
+    pub flushes: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+    /// Mutations rejected on a frozen MemTable.
+    pub blocked_writes: u64,
+    /// Mutations applied.
+    pub applied_writes: u64,
+}
+
+pub(crate) struct Node {
+    pub host: HostId,
+    cfg: ClusterConfig,
+    clock: Arc<ManualClock>,
+    pub tracker: Arc<TaskExecutionTracker>,
+    st: CassandraStages,
+    pt: CassandraPoints,
+    pub log: NodeLoggers,
+    pub disk: Disk,
+    rng: StdRng,
+    // LSM state
+    memtable_bytes: u64,
+    memtable_seq: u64,
+    pub sstables: u32,
+    frozen_until: SimTime,
+    pub pressure: f64,
+    pub crashed: bool,
+    /// Hints stored on this node, keyed by target node index.
+    pub hints: HashMap<usize, u32>,
+    pub errors: Vec<SimTime>,
+    pub stats: NodeStats,
+    consecutive_wal_failures: u32,
+    /// Serialized memtable bytes retained by failed flushes, awaiting retry.
+    pub flush_backlog_bytes: u64,
+}
+
+/// Sentinel for a permanently held MemTable switch lock (the paper's
+/// stuck lock holder that "never release[s] the lock").
+const STUCK: SimTime = SimTime::from_micros(u64::MAX / 4);
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("host", &self.host)
+            .field("sstables", &self.sstables)
+            .field("pressure", &self.pressure)
+            .field("crashed", &self.crashed)
+            .finish()
+    }
+}
+
+impl Node {
+    pub(crate) fn new(
+        index: usize,
+        cfg: ClusterConfig,
+        clock: Arc<ManualClock>,
+        inst: &Instrumentation,
+        sink: Arc<dyn SynopsisSink>,
+        appender: Option<Arc<dyn Appender>>,
+        streams: &RngStreams,
+    ) -> Node {
+        let host = HostId(index as u16 + 1); // paper numbers hosts from 1
+        let tracker = Arc::new(TaskExecutionTracker::new(
+            host,
+            clock.clone() as Arc<dyn Clock>,
+            sink,
+        ));
+        let log = NodeLoggers::new(&tracker, inst, cfg.log_level, appender);
+        Node {
+            host,
+            cfg,
+            clock,
+            tracker,
+            st: inst.stages,
+            pt: inst.points,
+            log,
+            disk: Disk::commodity(format!("disk-{index}")),
+            rng: streams.stream(&format!("node-{index}")),
+            memtable_bytes: 0,
+            memtable_seq: 0,
+            sstables: 0,
+            frozen_until: SimTime::ZERO,
+            pressure: 0.0,
+            crashed: false,
+            hints: HashMap::new(),
+            errors: Vec::new(),
+            stats: NodeStats::default(),
+            consecutive_wal_failures: 0,
+            flush_backlog_bytes: 0,
+        }
+    }
+
+    /// CPU service time: `base_us` with log-normal jitter, inflated by GC
+    /// pressure (long pauses steal cycles from every task).
+    pub(crate) fn cpu(&mut self, base_us: f64) -> SimDuration {
+        let jitter = lognormal_sample(&mut self.rng, 0.0, 0.25);
+        SimDuration::from_secs_f64(base_us * 1e-6 * jitter * (1.0 + self.pressure))
+    }
+
+    pub(crate) fn task(&self, stage: saad_core::StageId, logger: &Arc<Logger>, at: SimTime) -> SimTask {
+        SimTask::begin(&self.tracker, &self.clock, logger, stage, at)
+    }
+
+    /// Whether the MemTable switch lock is held at `t`.
+    pub fn frozen_at(&self, t: SimTime) -> bool {
+        t < self.frozen_until
+    }
+
+    /// WAL append (LogRecordAdder stage). Returns the sync completion time
+    /// or `None` on an error-fault hit.
+    fn wal_append(&mut self, at: SimTime, bytes: u64) -> Option<SimTime> {
+        let logger = self.log.lra.clone();
+        let mut t = self.task(self.st.log_record_adder, &logger, at);
+        t.debug(self.pt.lra_add, format_args!("Adding mutation of {bytes} bytes to commit log"));
+        t.advance(self.cpu(20.0));
+        let c = self.disk.submit(
+            t.now(),
+            IoRequest {
+                kind: IoKind::Write,
+                bytes: bytes + 64,
+                class: "wal",
+            },
+        );
+        if c.failed {
+            self.stats.wal_failures += 1;
+            self.consecutive_wal_failures += 1;
+            // Cassandra swallows most of these; an error line is rare
+            // (the paper saw a single error message in a 10-minute
+            // low-intensity fault window).
+            if self.rng.gen_bool(0.002) {
+                t.error(self.pt.lra_err, format_args!("Failed appending to commit log"));
+                self.errors.push(t.now());
+            }
+            t.advance(self.cpu(30.0));
+            t.finish();
+            None
+        } else {
+            self.consecutive_wal_failures = 0;
+            t.advance_to(c.done);
+            t.debug(self.pt.lra_sync, format_args!("Commit log segment synced"));
+            Some(t.finish())
+        }
+    }
+
+    /// Apply a mutation to the MemTable (Table stage), appending to the
+    /// WAL transactionally. This is the stage whose premature-termination
+    /// signatures diagnose the frozen-MemTable anomaly (paper Table 1).
+    fn table_apply(&mut self, at: SimTime, key: u64, bytes: u64) -> Apply {
+        let logger = self.log.table.clone();
+        let mut t = self.task(self.st.table, &logger, at);
+        if self.frozen_at(t.now()) {
+            t.debug(
+                self.pt.t_frozen,
+                format_args!("MemTable is already frozen; another thread must be flushing it"),
+            );
+            let wait = self.frozen_until.saturating_since(t.now());
+            if wait > SimDuration::from_millis(50) {
+                // Lock holder is stuck (WAL fault): give up — premature
+                // termination, a signature never seen in healthy training.
+                self.stats.blocked_writes += 1;
+                self.pressure += self.cfg.pressure_per_blocked_write;
+                t.advance(self.cpu(200.0));
+                t.finish();
+                return Apply::Rejected;
+            }
+            // Normal switch freeze: brief wait, then proceed.
+            t.advance_to(self.frozen_until);
+        }
+        t.debug(self.pt.t_start, format_args!("Start applying update to MemTable"));
+        t.advance(self.cpu(40.0));
+        t.debug(self.pt.t_row, format_args!("Applying mutation of row {key}"));
+        t.advance(self.cpu(60.0));
+        let susp = t.suspend();
+        let wal = self.wal_append(susp.now(), bytes);
+        let logger = self.log.table.clone();
+        let mut t = SimTask::resume(&self.tracker, &self.clock, &logger, susp);
+        match wal {
+            Some(done) => {
+                t.advance_to(done);
+                self.memtable_bytes += bytes;
+                self.stats.applied_writes += 1;
+                t.advance(self.cpu(40.0));
+                t.debug(self.pt.t_applied, format_args!("Applied mutation. Sending response"));
+                Apply::Acked(t.finish())
+            }
+            None => {
+                // The failed append leaves the mutation stuck holding the
+                // switch lock. A transient failure releases it after a
+                // bounded hold, but back-to-back failures (a 100%-intensity
+                // fault) leave the lock held forever — the paper's stuck
+                // lock holder.
+                let release = if self.consecutive_wal_failures >= 3 {
+                    STUCK
+                } else {
+                    t.now() + self.cfg.wal_failure_freeze
+                };
+                self.frozen_until = self.frozen_until.max(release);
+                t.finish(); // premature: no t_applied
+                Apply::Rejected
+            }
+        }
+    }
+
+    /// Handle one replicated mutation (WorkerProcess stage). Returns the
+    /// ack time, or `None` when the mutation was rejected.
+    pub fn handle_mutation(&mut self, at: SimTime, key: u64, bytes: u64) -> Option<SimTime> {
+        if self.crashed {
+            return None;
+        }
+        let logger = self.log.worker.clone();
+        let mut t = self.task(self.st.worker_process, &logger, at);
+        t.debug(self.pt.wp_recv, format_args!("Handling mutation message from peer"));
+        t.advance(self.cpu(50.0));
+        let susp = t.suspend();
+        let apply = self.table_apply(susp.now(), key, bytes);
+        let logger = self.log.worker.clone();
+        let mut t = SimTask::resume(&self.tracker, &self.clock, &logger, susp);
+        match apply {
+            Apply::Acked(done) => {
+                t.advance_to(done);
+                if self.memtable_bytes >= self.cfg.memtable_threshold_bytes {
+                    // This task adds the last entry and must switch the
+                    // memtable — its duration includes the switch, so a
+                    // delayed flush shows up as WorkerProcess performance
+                    // anomalies (paper §5.4.2).
+                    t.debug(
+                        self.pt.wp_flush_trigger,
+                        format_args!("Memtable threshold reached; switching memtable"),
+                    );
+                    let susp = t.suspend();
+                    let release = self.flush_memtable(susp.now());
+                    let logger = self.log.worker.clone();
+                    t = SimTask::resume(&self.tracker, &self.clock, &logger, susp);
+                    t.advance_to(release);
+                }
+                t.advance(self.cpu(25.0));
+                t.debug(self.pt.wp_done, format_args!("Mutation handled; sending ack to peer"));
+                Some(t.finish())
+            }
+            Apply::Rejected => {
+                t.finish();
+                None
+            }
+        }
+    }
+
+    /// Flush the current MemTable to an SSTable (Memtable stage), trim the
+    /// commit log (CommitLog stage), and compact if due. Returns the time
+    /// at which the memtable switch releases the triggering writer.
+    pub fn flush_memtable(&mut self, at: SimTime) -> SimTime {
+        let seq = self.memtable_seq;
+        self.memtable_seq += 1;
+        let bytes = self.memtable_bytes.max(1);
+        self.memtable_bytes = 0;
+
+        let logger = self.log.memtable.clone();
+        let mut t = self.task(self.st.memtable, &logger, at);
+        t.info(self.pt.mt_enqueue, format_args!("Enqueuing flush of Memtable-{seq}"));
+        t.advance(self.cpu(120.0));
+        // Brief switch freeze that normal concurrent writers may observe
+        // (and wait out — the Table 1 "Normal" flow includes the frozen
+        // message followed by the full apply sequence).
+        self.frozen_until = self.frozen_until.max(t.now() + SimDuration::from_millis(30));
+        t.info(self.pt.mt_write, format_args!("Writing Memtable-{seq} to SSTable"));
+        let c = self.disk.submit(
+            t.now(),
+            IoRequest {
+                kind: IoKind::Write,
+                bytes,
+                class: "memtable-flush",
+            },
+        );
+        if c.failed {
+            self.stats.failed_flushes += 1;
+            // The serialized memtable cannot be released: heap pressure.
+            // Bounded: flush backpressure caps the retained heap, so a
+            // flush fault degrades the node without crashing it (§5.4.1).
+            self.pressure = (self.pressure + self.cfg.pressure_per_failed_flush).min(0.85);
+            t.debug(self.pt.mt_retry, format_args!("Flush of Memtable-{seq} failed; will retry"));
+            self.flush_backlog_bytes += bytes;
+            t.advance(self.cpu(80.0));
+            let release = t.finish();
+            return release;
+        }
+        t.advance_to(c.done);
+        t.info(
+            self.pt.mt_complete,
+            format_args!("Completed flushing {bytes} bytes to SSTable"),
+        );
+        self.sstables += 1;
+        self.stats.flushes += 1;
+        self.pressure = (self.pressure - 0.02).max(0.0);
+        let done = t.finish();
+
+        // CommitLog trim waits on the flush; a delayed flush stretches
+        // this stage's durations (paper §5.4.2, delay-on-flush).
+        let logger = self.log.commit_log.clone();
+        let mut cl = self.task(self.st.commit_log, &logger, at);
+        cl.debug(
+            self.pt.cl_wait,
+            format_args!("Waiting for memtable flush before discarding segment"),
+        );
+        cl.advance_to(done);
+        cl.debug(self.pt.cl_discard, format_args!("Discarding obsolete commit log segment {seq}"));
+        cl.advance(self.cpu(40.0));
+        cl.finish();
+
+        if self.sstables >= self.cfg.compaction_threshold {
+            self.compact(done);
+        }
+        // The triggering writer is released once the switch completes —
+        // i.e. when the flush write finished occupying the memtable.
+        done
+    }
+
+    /// Retry a failed flush: restore the retained bytes and flush again
+    /// (the "will retry" path of the Memtable stage).
+    pub fn retry_flush(&mut self, at: SimTime) {
+        let backlog = std::mem::take(&mut self.flush_backlog_bytes);
+        self.memtable_bytes += backlog;
+        self.flush_memtable(at);
+    }
+
+    /// Minor compaction (CompactionManager stage): read all SSTables,
+    /// merge, write one back.
+    pub fn compact(&mut self, at: SimTime) {
+        let n = self.sstables;
+        let logger = self.log.compaction.clone();
+        let mut t = self.task(self.st.compaction_manager, &logger, at);
+        t.info(self.pt.cm_start, format_args!("Compacting {n} sstables"));
+        let each = self.cfg.memtable_threshold_bytes;
+        for i in 0..n {
+            t.debug(self.pt.cm_read, format_args!("Reading sstable {i} for compaction"));
+            let c = self.disk.submit(
+                t.now(),
+                IoRequest {
+                    kind: IoKind::Read,
+                    bytes: each,
+                    class: "sstable-read",
+                },
+            );
+            t.advance_to(c.done);
+        }
+        t.debug(self.pt.cm_write, format_args!("Writing compacted sstable"));
+        let c = self.disk.submit(
+            t.now(),
+            IoRequest {
+                kind: IoKind::Write,
+                bytes: each * n as u64,
+                class: "memtable-flush", // compaction writes SSTables too
+            },
+        );
+        if c.failed {
+            t.debug(
+                self.pt.cm_retry,
+                format_args!("Compaction aborted on write failure; will retry"),
+            );
+            t.advance(self.cpu(100.0));
+            t.finish();
+            return;
+        }
+        t.advance_to(c.done);
+        t.info(self.pt.cm_done, format_args!("Compacted to {} bytes", each * n as u64));
+        self.stats.compactions += 1;
+        self.sstables = 1;
+        t.finish();
+    }
+
+    /// Serve a read (LocalReadRunnable stage). Returns the completion time.
+    pub fn read(&mut self, at: SimTime, key: u64) -> SimTime {
+        let logger = self.log.read.clone();
+        let mut t = self.task(self.st.local_read, &logger, at);
+        t.debug(self.pt.lr_start, format_args!("Executing single-row read for key {key}"));
+        t.advance(self.cpu(45.0));
+        if self.sstables == 0 || self.rng.gen_bool(0.75) {
+            t.debug(self.pt.lr_mem, format_args!("Read satisfied from memtable"));
+            t.advance(self.cpu(25.0));
+        } else {
+            let merge = self.sstables.min(3);
+            for i in 0..merge {
+                t.debug(self.pt.lr_sstable, format_args!("Merging sstable {i} into read result"));
+                let c = self.disk.submit(
+                    t.now(),
+                    IoRequest {
+                        kind: IoKind::Read,
+                        bytes: 64 * 1024,
+                        class: "sstable-read",
+                    },
+                );
+                t.advance_to(c.done);
+            }
+        }
+        t.debug(self.pt.lr_done, format_args!("Read complete"));
+        t.finish()
+    }
+
+    /// Periodic GC inspection (GCInspector stage). Duration tracks heap
+    /// pressure; sustained pressure adds the warning point (a signature
+    /// never seen during healthy training).
+    pub fn gc_tick(&mut self, at: SimTime) {
+        if self.crashed {
+            return;
+        }
+        // Stuck mutations keep buffers alive while frozen.
+        if self.frozen_at(at) {
+            self.pressure += 0.03;
+        }
+        let logger = self.log.gc.clone();
+        let mut t = self.task(self.st.gc_inspector, &logger, at);
+        let pause_ms = 2.0 + self.pressure * 300.0 * lognormal_sample(&mut self.rng, 0.0, 0.2);
+        t.info(
+            self.pt.gc_tick,
+            format_args!("GC for ParNew: {pause_ms:.0} ms for 1 collections"),
+        );
+        t.advance(SimDuration::from_secs_f64(pause_ms / 1e3));
+        if self.pressure > 0.3 {
+            t.warn(
+                self.pt.gc_pressure,
+                format_args!("Heap is {:.2} full. You may need to reduce memtable sizes", self.pressure),
+            );
+        }
+        t.finish();
+        // Slow background relief (flushes drain the backlog over time).
+        self.pressure = (self.pressure - 0.008).max(0.0);
+        self.maybe_crash(at);
+    }
+
+    /// Daemon heartbeat (CassandraDaemon stage).
+    pub fn daemon_tick(&mut self, at: SimTime) {
+        if self.crashed {
+            return;
+        }
+        let logger = self.log.daemon.clone();
+        let mut t = self.task(self.st.daemon, &logger, at);
+        t.debug(self.pt.cd_tick, format_args!("Heartbeat: node status nominal"));
+        t.advance(self.cpu(20.0));
+        t.finish();
+    }
+
+    /// Crash the node when heap pressure exceeds the limit: a burst of
+    /// error messages, then the process is gone (paper: "a dozen of error
+    /// messages at minute 44, and shortly after ... crashes").
+    fn maybe_crash(&mut self, at: SimTime) {
+        if self.crashed || self.pressure < self.cfg.crash_pressure {
+            return;
+        }
+        let logger = self.log.daemon.clone();
+        let mut t = self.task(self.st.daemon, &logger, at);
+        for _ in 0..12 {
+            t.error(self.pt.cd_oom, format_args!("Out of heap space; unable to allocate"));
+            self.errors.push(t.now());
+            t.advance(SimDuration::from_millis(5));
+        }
+        t.finish();
+        self.crashed = true;
+    }
+
+    /// Whether the node currently looks healthy to a peer probing it.
+    pub fn reachable(&self, at: SimTime) -> bool {
+        !self.crashed && !self.frozen_at(at)
+    }
+}

@@ -1,0 +1,282 @@
+//! Compact binary encoding of task synopses.
+//!
+//! SAAD streams synopses from every node to a centralized analyzer; the
+//! whole point (Figure 8) is that this stream is 15–900× smaller than
+//! DEBUG-level log text. The codec uses LEB128 varints so a typical
+//! synopsis (5 log points) encodes in well under 48 bytes.
+
+use crate::synopsis::TaskSynopsis;
+use crate::{HostId, StageId, TaskUid};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use saad_logging::LogPointId;
+use saad_sim::{SimDuration, SimTime};
+use std::fmt;
+
+/// Error from [`decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended in the middle of a field.
+    UnexpectedEof,
+    /// A varint ran past 10 bytes.
+    VarintOverflow,
+    /// A length prefix exceeded the sanity bound.
+    LengthOutOfRange(u64),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => f.write_str("unexpected end of synopsis bytes"),
+            DecodeError::VarintOverflow => f.write_str("varint longer than 10 bytes"),
+            DecodeError::LengthOutOfRange(n) => {
+                write!(f, "log point count {n} exceeds sanity bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Upper bound on log points per synopsis accepted by the decoder.
+const MAX_POINTS: u64 = 65_536;
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> Result<u64, DecodeError> {
+    let mut v = 0u64;
+    for shift in (0..70).step_by(7) {
+        if !buf.has_remaining() {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let byte = buf.get_u8();
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(DecodeError::VarintOverflow)
+}
+
+/// Encode a synopsis to its compact wire form.
+///
+/// # Example
+///
+/// ```
+/// use saad_core::codec::{decode, encode};
+/// use saad_core::synopsis::TaskSynopsis;
+/// use saad_core::{HostId, StageId, TaskUid};
+/// use saad_logging::LogPointId;
+/// use saad_sim::{SimDuration, SimTime};
+///
+/// let s = TaskSynopsis {
+///     host: HostId(0),
+///     stage: StageId(4),
+///     uid: TaskUid(1),
+///     start: SimTime::from_millis(20),
+///     duration: SimDuration::from_micros(900),
+///     log_points: vec![(LogPointId(1), 1), (LogPointId(2), 3)],
+/// };
+/// let wire = encode(&s);
+/// assert!(wire.len() < 48);
+/// assert_eq!(decode(&mut wire.clone()).unwrap(), s);
+/// ```
+pub fn encode(s: &TaskSynopsis) -> Bytes {
+    let mut buf = BytesMut::with_capacity(24 + 4 * s.log_points.len());
+    put_varint(&mut buf, s.host.0 as u64);
+    put_varint(&mut buf, s.stage.0 as u64);
+    put_varint(&mut buf, s.uid.0);
+    put_varint(&mut buf, s.start.as_micros());
+    put_varint(&mut buf, s.duration.as_micros());
+    put_varint(&mut buf, s.log_points.len() as u64);
+    // Delta-encode point ids (they are sorted ascending in a well-formed
+    // synopsis) to keep most entries at 2 bytes.
+    let mut prev = 0u64;
+    for &(p, c) in &s.log_points {
+        let id = p.0 as u64;
+        let delta = id.wrapping_sub(prev);
+        put_varint(&mut buf, delta);
+        put_varint(&mut buf, c as u64);
+        prev = id;
+    }
+    buf.freeze()
+}
+
+/// Decode one synopsis from the front of `buf`, consuming its bytes.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncated or malformed input.
+pub fn decode(buf: &mut Bytes) -> Result<TaskSynopsis, DecodeError> {
+    let host = HostId(get_varint(buf)? as u16);
+    let stage = StageId(get_varint(buf)? as u16);
+    let uid = TaskUid(get_varint(buf)?);
+    let start = SimTime::from_micros(get_varint(buf)?);
+    let duration = SimDuration::from_micros(get_varint(buf)?);
+    let n = get_varint(buf)?;
+    if n > MAX_POINTS {
+        return Err(DecodeError::LengthOutOfRange(n));
+    }
+    let mut log_points = Vec::with_capacity(n as usize);
+    let mut prev = 0u64;
+    for _ in 0..n {
+        let delta = get_varint(buf)?;
+        let count = get_varint(buf)? as u32;
+        let id = prev.wrapping_add(delta);
+        log_points.push((LogPointId(id as u16), count));
+        prev = id;
+    }
+    Ok(TaskSynopsis {
+        host,
+        stage,
+        uid,
+        start,
+        duration,
+        log_points,
+    })
+}
+
+/// Encode a batch of synopses back-to-back.
+pub fn encode_batch<'a, I: IntoIterator<Item = &'a TaskSynopsis>>(synopses: I) -> Bytes {
+    let mut out = BytesMut::new();
+    for s in synopses {
+        out.extend_from_slice(&encode(s));
+    }
+    out.freeze()
+}
+
+/// Decode all synopses from a batch buffer.
+///
+/// # Errors
+///
+/// Returns the first decode error encountered.
+pub fn decode_batch(buf: &mut Bytes) -> Result<Vec<TaskSynopsis>, DecodeError> {
+    let mut out = Vec::new();
+    while buf.has_remaining() {
+        out.push(decode(buf)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample(points: &[(u16, u32)]) -> TaskSynopsis {
+        TaskSynopsis {
+            host: HostId(3),
+            stage: StageId(17),
+            uid: TaskUid(123_456),
+            start: SimTime::from_millis(987),
+            duration: SimDuration::from_micros(10_250),
+            log_points: points.iter().map(|&(p, c)| (LogPointId(p), c)).collect(),
+        }
+    }
+
+    #[test]
+    fn round_trip_typical() {
+        let s = sample(&[(1, 1), (2, 40), (4, 1), (5, 1)]);
+        let mut wire = encode(&s);
+        assert_eq!(decode(&mut wire).unwrap(), s);
+        assert!(!wire.has_remaining());
+    }
+
+    #[test]
+    fn typical_synopsis_is_tens_of_bytes() {
+        // The paper's DataXceiver example: 5 points, one visited 40 times.
+        let s = sample(&[(1, 1), (2, 40), (3, 40), (4, 40), (5, 1)]);
+        let wire = encode(&s);
+        assert!(wire.len() <= 48, "encoded {} bytes", wire.len());
+    }
+
+    #[test]
+    fn empty_point_list_round_trips() {
+        let s = sample(&[]);
+        let mut wire = encode(&s);
+        assert_eq!(decode(&mut wire).unwrap(), s);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let s = sample(&[(1, 1)]);
+        let wire = encode(&s);
+        for cut in 0..wire.len() {
+            let mut truncated = wire.slice(0..cut);
+            assert!(
+                decode(&mut truncated).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn absurd_length_rejected() {
+        let mut buf = BytesMut::new();
+        for _ in 0..5 {
+            put_varint(&mut buf, 0);
+        }
+        put_varint(&mut buf, MAX_POINTS + 1);
+        let mut wire = buf.freeze();
+        assert!(matches!(
+            decode(&mut wire),
+            Err(DecodeError::LengthOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        let wire = Bytes::from(vec![0xffu8; 11]);
+        let mut b = wire;
+        assert_eq!(get_varint(&mut b), Err(DecodeError::VarintOverflow));
+    }
+
+    #[test]
+    fn batch_round_trips() {
+        let a = sample(&[(1, 1)]);
+        let b = sample(&[(2, 2), (9, 1)]);
+        let mut wire = encode_batch([&a, &b]);
+        assert_eq!(decode_batch(&mut wire).unwrap(), vec![a, b]);
+    }
+
+    #[test]
+    fn decode_error_display() {
+        assert!(DecodeError::UnexpectedEof.to_string().contains("end"));
+        assert!(DecodeError::LengthOutOfRange(9).to_string().contains('9'));
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_any_synopsis(
+            host in 0u16..100,
+            stage in 0u16..200,
+            uid in 0u64..u64::MAX / 2,
+            start_us in 0u64..10_u64.pow(12),
+            dur_us in 0u64..10_u64.pow(9),
+            mut raw_points in proptest::collection::vec((0u16..5000, 1u32..10_000), 0..64),
+        ) {
+            raw_points.sort_by_key(|&(p, _)| p);
+            raw_points.dedup_by_key(|&mut (p, _)| p);
+            let s = TaskSynopsis {
+                host: HostId(host),
+                stage: StageId(stage),
+                uid: TaskUid(uid),
+                start: SimTime::from_micros(start_us),
+                duration: SimDuration::from_micros(dur_us),
+                log_points: raw_points.iter().map(|&(p, c)| (LogPointId(p), c)).collect(),
+            };
+            let mut wire = encode(&s);
+            prop_assert_eq!(decode(&mut wire).unwrap(), s);
+            prop_assert!(!wire.has_remaining());
+        }
+    }
+}

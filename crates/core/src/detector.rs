@@ -1,0 +1,544 @@
+//! Windowed anomaly detection (paper §3.3.3).
+//!
+//! The detector consumes classified tasks and periodically runs one-sided
+//! proportion tests at significance α = 0.001, per `(host, stage)`:
+//!
+//! * **Flow anomaly** — the proportion of flow-outlier tasks (rare or new
+//!   signatures) significantly exceeds the training proportion, *or* any
+//!   signature never seen in training appears (reported immediately at
+//!   window close, no test needed).
+//! * **Performance anomaly** — for some trained signature, the proportion
+//!   of over-threshold durations significantly exceeds that signature's
+//!   training outlier rate.
+
+use crate::feature::FeatureVector;
+use crate::model::{OutlierModel, TaskClass};
+use crate::{HostId, Signature, StageId};
+use saad_stats::hypothesis::{one_sided_proportion_test, Alternative};
+use saad_sim::{SimDuration, SimTime};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Detection configuration. Defaults follow the paper: 1-minute windows,
+/// α = 0.001.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorConfig {
+    /// Width of a detection window in virtual time.
+    pub window: SimDuration,
+    /// Significance level for both tests.
+    pub alpha: f64,
+    /// Minimum tasks in a window for the flow test to run.
+    pub min_window_tasks: u64,
+    /// Minimum tasks of one signature in a window for its performance
+    /// test to run.
+    pub min_group_tasks: u64,
+    /// Cap on distinct new signatures reported per window (the rest are
+    /// counted but not enumerated).
+    pub max_new_signatures: usize,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> DetectorConfig {
+        DetectorConfig {
+            window: SimDuration::from_mins(1),
+            alpha: 0.001,
+            min_window_tasks: 15,
+            min_group_tasks: 6,
+            max_new_signatures: 8,
+        }
+    }
+}
+
+/// What kind of anomaly an event reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnomalyKind {
+    /// Significant excess of rare-signature tasks (the paper's *rare
+    /// pattern* flow anomaly).
+    FlowRare,
+    /// A signature never observed during training (the paper's *new
+    /// pattern* flow anomaly, e.g. premature task termination).
+    FlowNew(Signature),
+    /// Significant excess of over-threshold durations for this signature.
+    Performance(Signature),
+}
+
+impl AnomalyKind {
+    /// Whether this is a flow anomaly (rare or new).
+    pub fn is_flow(&self) -> bool {
+        matches!(self, AnomalyKind::FlowRare | AnomalyKind::FlowNew(_))
+    }
+
+    /// Whether this is a performance anomaly.
+    pub fn is_performance(&self) -> bool {
+        matches!(self, AnomalyKind::Performance(_))
+    }
+}
+
+impl fmt::Display for AnomalyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnomalyKind::FlowRare => f.write_str("flow anomaly (rare pattern)"),
+            AnomalyKind::FlowNew(sig) => write!(f, "flow anomaly (new pattern {sig})"),
+            AnomalyKind::Performance(sig) => write!(f, "performance anomaly ({sig})"),
+        }
+    }
+}
+
+/// One detected anomaly, attributed to a `(host, stage)` and a window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnomalyEvent {
+    /// Host the anomalous stage ran on.
+    pub host: HostId,
+    /// The anomalous stage.
+    pub stage: StageId,
+    /// Start of the detection window.
+    pub window_start: SimTime,
+    /// Anomaly kind and the signature evidence.
+    pub kind: AnomalyKind,
+    /// p-value of the proportion test (`None` for new-signature events,
+    /// which need no test).
+    pub p_value: Option<f64>,
+    /// Outlier tasks counted in the window (for the relevant test).
+    pub outliers: u64,
+    /// Total tasks counted in the window (for the relevant test).
+    pub window_tasks: u64,
+}
+
+#[derive(Debug, Default)]
+struct WindowAccum {
+    n: u64,
+    rare_flow_outliers: u64,
+    new_signature_tasks: u64,
+    new_signatures: Vec<Signature>,
+    // signature -> (perf outliers, group n); only perf-eligible signatures.
+    perf: HashMap<Signature, (u64, u64)>,
+}
+
+/// The windowed statistical anomaly detector.
+///
+/// Feed it feature vectors with [`AnomalyDetector::observe`]; events are
+/// returned as windows close. Call [`AnomalyDetector::flush`] at the end of
+/// a run to close all remaining windows.
+#[derive(Debug)]
+pub struct AnomalyDetector {
+    model: Arc<OutlierModel>,
+    config: DetectorConfig,
+    open: HashMap<(HostId, StageId, u64), WindowAccum>,
+    watermark: SimTime,
+    tasks_seen: u64,
+}
+
+impl AnomalyDetector {
+    /// Create a detector over a trained model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured window is zero.
+    pub fn new(model: Arc<OutlierModel>, config: DetectorConfig) -> AnomalyDetector {
+        assert!(
+            config.window > SimDuration::ZERO,
+            "detection window must be positive"
+        );
+        AnomalyDetector {
+            model,
+            config,
+            open: HashMap::new(),
+            watermark: SimTime::ZERO,
+            tasks_seen: 0,
+        }
+    }
+
+    /// The model in use.
+    pub fn model(&self) -> &OutlierModel {
+        &self.model
+    }
+
+    /// Total tasks observed.
+    pub fn tasks_seen(&self) -> u64 {
+        self.tasks_seen
+    }
+
+    fn window_index(&self, t: SimTime) -> u64 {
+        t.as_micros() / self.config.window.as_micros()
+    }
+
+    /// Observe one task; returns events from any windows that closed.
+    ///
+    /// Windows close when the watermark (max task start time seen) moves a
+    /// full window past their end, tolerating modest reordering in the
+    /// synopsis stream.
+    pub fn observe(&mut self, f: &FeatureVector) -> Vec<AnomalyEvent> {
+        self.tasks_seen += 1;
+        let idx = self.window_index(f.start);
+        let class = self.model.classify(f);
+        let acc = self
+            .open
+            .entry((f.host, f.stage, idx))
+            .or_default();
+        acc.n += 1;
+        match class {
+            TaskClass::Normal | TaskClass::PerformanceOutlier => {
+                // Track the per-signature performance group when eligible.
+                if self
+                    .model
+                    .perf_outlier_rate(f.stage, &f.signature)
+                    .is_some()
+                {
+                    let g = acc.perf.entry(f.signature.clone()).or_insert((0, 0));
+                    g.1 += 1;
+                    if class == TaskClass::PerformanceOutlier {
+                        g.0 += 1;
+                    }
+                }
+            }
+            TaskClass::FlowOutlier => acc.rare_flow_outliers += 1,
+            TaskClass::NewSignature => {
+                acc.new_signature_tasks += 1;
+                if !acc.new_signatures.contains(&f.signature)
+                    && acc.new_signatures.len() < self.config.max_new_signatures
+                {
+                    acc.new_signatures.push(f.signature.clone());
+                }
+            }
+        }
+        // Advance the watermark and close stale windows.
+        self.watermark = self.watermark.max(f.start);
+        let closable_before = self.window_index(self.watermark); // grace = 1 window
+        let mut events = Vec::new();
+        let mut stale: Vec<(HostId, StageId, u64)> = self
+            .open
+            .keys()
+            .filter(|&&(_, _, i)| i + 1 < closable_before)
+            .copied()
+            .collect();
+        // Deterministic emission order regardless of hash-map layout.
+        stale.sort_unstable();
+        for key in stale {
+            let acc = self.open.remove(&key).expect("key just listed");
+            self.close_window(key, acc, &mut events);
+        }
+        events
+    }
+
+    /// Close every open window and return the resulting events.
+    pub fn flush(&mut self) -> Vec<AnomalyEvent> {
+        let mut events = Vec::new();
+        let mut keys: Vec<_> = self.open.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let acc = self.open.remove(&key).expect("key just listed");
+            self.close_window(key, acc, &mut events);
+        }
+        events
+    }
+
+    fn close_window(
+        &self,
+        (host, stage, idx): (HostId, StageId, u64),
+        acc: WindowAccum,
+        events: &mut Vec<AnomalyEvent>,
+    ) {
+        let window_start =
+            SimTime::from_micros(idx * self.config.window.as_micros());
+        // (ii) New signatures: report each, no test required.
+        for sig in &acc.new_signatures {
+            events.push(AnomalyEvent {
+                host,
+                stage,
+                window_start,
+                kind: AnomalyKind::FlowNew(sig.clone()),
+                p_value: None,
+                outliers: acc.new_signature_tasks,
+                window_tasks: acc.n,
+            });
+        }
+        // (i) Rare-pattern proportion test.
+        if acc.n >= self.config.min_window_tasks {
+            let outliers = acc.rare_flow_outliers + acc.new_signature_tasks;
+            let p0 = self.model.flow_outlier_rate(stage);
+            let r = one_sided_proportion_test(outliers, acc.n, p0, Alternative::Greater);
+            if r.rejects(self.config.alpha) && acc.rare_flow_outliers > 0 {
+                events.push(AnomalyEvent {
+                    host,
+                    stage,
+                    window_start,
+                    kind: AnomalyKind::FlowRare,
+                    p_value: Some(r.p_value),
+                    outliers,
+                    window_tasks: acc.n,
+                });
+            }
+        }
+        // Performance tests per signature group (sorted for deterministic
+        // emission order).
+        let mut groups: Vec<(&Signature, &(u64, u64))> = acc.perf.iter().collect();
+        groups.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        for (sig, &(outliers, n)) in groups {
+            if n < self.config.min_group_tasks {
+                continue;
+            }
+            let Some(p0) = self.model.perf_outlier_rate(stage, sig) else {
+                continue;
+            };
+            // Training rate can be 0 when ties keep every training task at
+            // or below the threshold; require a minimal baseline so a
+            // single outlier doesn't fire with p = 0.
+            let p0 = p0.max(1.0 - self.model.config().duration_percentile / 100.0);
+            let r = one_sided_proportion_test(outliers, n, p0, Alternative::Greater);
+            if r.rejects(self.config.alpha) {
+                events.push(AnomalyEvent {
+                    host,
+                    stage,
+                    window_start,
+                    kind: AnomalyKind::Performance(sig.clone()),
+                    p_value: Some(r.p_value),
+                    outliers,
+                    window_tasks: n,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ModelBuilder, ModelConfig};
+    use crate::synopsis::TaskSynopsis;
+    use crate::TaskUid;
+    use saad_logging::LogPointId;
+
+    fn synopsis(stage: u16, points: &[u16], dur_us: u64, start: SimTime, uid: u64) -> TaskSynopsis {
+        TaskSynopsis {
+            host: HostId(0),
+            stage: StageId(stage),
+            uid: TaskUid(uid),
+            start,
+            duration: SimDuration::from_micros(dur_us),
+            log_points: points.iter().map(|&p| (LogPointId(p), 1)).collect(),
+        }
+    }
+
+    /// A model trained on a healthy population: one dominant signature
+    /// [1,2,4,5] at ~10ms, one rare [1,2,3,4,5] at 0.1%.
+    fn trained_model() -> Arc<OutlierModel> {
+        let mut b = ModelBuilder::new();
+        for i in 0..20_000u64 {
+            let s = if i % 1000 == 0 {
+                synopsis(0, &[1, 2, 3, 4, 5], 10_000, SimTime::ZERO, i)
+            } else {
+                synopsis(0, &[1, 2, 4, 5], 9_000 + (i % 97) * 20, SimTime::ZERO, i)
+            };
+            b.observe(&s);
+        }
+        Arc::new(b.build(ModelConfig::default()))
+    }
+
+    fn detector() -> AnomalyDetector {
+        AnomalyDetector::new(trained_model(), DetectorConfig::default())
+    }
+
+    fn feed(
+        d: &mut AnomalyDetector,
+        minute: u64,
+        count: u64,
+        mk: impl Fn(u64) -> TaskSynopsis,
+    ) -> Vec<AnomalyEvent> {
+        let mut events = Vec::new();
+        for i in 0..count {
+            let mut s = mk(i);
+            s.start = SimTime::from_mins(minute) + SimDuration::from_millis(i * 10);
+            events.extend(d.observe(&FeatureVector::from(&s)));
+        }
+        events
+    }
+
+    #[test]
+    fn healthy_traffic_raises_no_anomalies() {
+        let mut d = detector();
+        let mut events = Vec::new();
+        for minute in 0..5 {
+            events.extend(feed(&mut d, minute, 200, |i| {
+                // Include the occasional trained-rare task at its
+                // training rate — that is normal behaviour.
+                if i % 1000 == 0 {
+                    synopsis(0, &[1, 2, 3, 4, 5], 10_000, SimTime::ZERO, i)
+                } else {
+                    synopsis(0, &[1, 2, 4, 5], 9_500, SimTime::ZERO, i)
+                }
+            }));
+        }
+        events.extend(d.flush());
+        assert!(events.is_empty(), "events: {events:?}");
+        assert_eq!(d.tasks_seen(), 1000);
+    }
+
+    #[test]
+    fn surge_of_rare_signature_is_flow_anomaly() {
+        let mut d = detector();
+        // 30% of the window is the trained-rare signature (training: 0.1%).
+        let mut events = feed(&mut d, 0, 200, |i| {
+            if i % 10 < 3 {
+                synopsis(0, &[1, 2, 3, 4, 5], 10_000, SimTime::ZERO, i)
+            } else {
+                synopsis(0, &[1, 2, 4, 5], 9_500, SimTime::ZERO, i)
+            }
+        });
+        events.extend(d.flush());
+        assert!(
+            events.iter().any(|e| e.kind == AnomalyKind::FlowRare),
+            "events: {events:?}"
+        );
+        let e = events.iter().find(|e| e.kind == AnomalyKind::FlowRare).unwrap();
+        assert!(e.p_value.unwrap() < 0.001);
+        assert_eq!(e.window_tasks, 200);
+        assert_eq!(e.host, HostId(0));
+        assert_eq!(e.stage, StageId(0));
+    }
+
+    #[test]
+    fn new_signature_reported_without_test() {
+        // The frozen-MemTable scenario: premature termination produces a
+        // signature never seen in training.
+        let mut d = detector();
+        let mut events = feed(&mut d, 0, 50, |i| {
+            if i == 7 {
+                synopsis(0, &[1], 500, SimTime::ZERO, i) // premature stop
+            } else {
+                synopsis(0, &[1, 2, 4, 5], 9_500, SimTime::ZERO, i)
+            }
+        });
+        events.extend(d.flush());
+        let new_events: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.kind, AnomalyKind::FlowNew(_)))
+            .collect();
+        assert_eq!(new_events.len(), 1);
+        assert_eq!(new_events[0].p_value, None);
+        match &new_events[0].kind {
+            AnomalyKind::FlowNew(sig) => {
+                assert_eq!(sig, &Signature::from_points([LogPointId(1)]));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn slow_tasks_are_performance_anomaly() {
+        let mut d = detector();
+        // 20% of common-signature tasks run 10x slower than the threshold.
+        let mut events = feed(&mut d, 0, 200, |i| {
+            let dur = if i % 5 == 0 { 120_000 } else { 9_500 };
+            synopsis(0, &[1, 2, 4, 5], dur, SimTime::ZERO, i)
+        });
+        events.extend(d.flush());
+        let perf: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind.is_performance())
+            .collect();
+        assert_eq!(perf.len(), 1, "events: {events:?}");
+        assert!(perf[0].p_value.unwrap() < 0.001);
+        match &perf[0].kind {
+            AnomalyKind::Performance(sig) => {
+                assert!(sig.contains(LogPointId(5)));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn windows_close_as_watermark_advances() {
+        let mut d = detector();
+        // Window at minute 0 with an obvious anomaly...
+        let mut events = feed(&mut d, 0, 100, |i| {
+            synopsis(0, &[1, 2, 3, 4, 5], 10_000, SimTime::ZERO, i)
+        });
+        assert!(events.is_empty(), "window should still be open");
+        // ...watermark moving to minute 3 closes it mid-stream.
+        events.extend(feed(&mut d, 3, 30, |i| {
+            synopsis(0, &[1, 2, 4, 5], 9_500, SimTime::ZERO, i)
+        }));
+        assert!(
+            events.iter().any(|e| e.kind == AnomalyKind::FlowRare),
+            "events: {events:?}"
+        );
+        assert_eq!(events[0].window_start, SimTime::ZERO);
+    }
+
+    #[test]
+    fn small_windows_skip_proportion_tests() {
+        let mut d = detector();
+        // 5 tasks, all rare: below min_window_tasks, no FlowRare event;
+        // but they are known signatures, so no FlowNew either.
+        let mut events = feed(&mut d, 0, 5, |i| {
+            synopsis(0, &[1, 2, 3, 4, 5], 10_000, SimTime::ZERO, i)
+        });
+        events.extend(d.flush());
+        assert!(events.is_empty(), "events: {events:?}");
+    }
+
+    #[test]
+    fn hosts_are_tracked_independently() {
+        let mut d = detector();
+        let mut events = Vec::new();
+        for i in 0..200u64 {
+            let mut s = if i % 2 == 0 {
+                // host 1 anomalous
+                let mut s = synopsis(0, &[1, 2, 3, 4, 5], 10_000, SimTime::ZERO, i);
+                s.host = HostId(1);
+                s
+            } else {
+                // host 2 healthy
+                let mut s = synopsis(0, &[1, 2, 4, 5], 9_500, SimTime::ZERO, i);
+                s.host = HostId(2);
+                s
+            };
+            s.start = SimTime::from_millis(i * 20);
+            events.extend(d.observe(&FeatureVector::from(&s)));
+        }
+        events.extend(d.flush());
+        assert!(events.iter().all(|e| e.host == HostId(1)), "events: {events:?}");
+        assert!(!events.is_empty());
+    }
+
+    #[test]
+    fn max_new_signatures_caps_enumeration() {
+        let cfg = DetectorConfig {
+            max_new_signatures: 2,
+            ..DetectorConfig::default()
+        };
+        let mut d = AnomalyDetector::new(trained_model(), cfg);
+        let mut events = feed(&mut d, 0, 30, |i| {
+            synopsis(0, &[100 + i as u16], 500, SimTime::ZERO, i)
+        });
+        events.extend(d.flush());
+        let new_count = events
+            .iter()
+            .filter(|e| matches!(e.kind, AnomalyKind::FlowNew(_)))
+            .count();
+        assert_eq!(new_count, 2);
+    }
+
+    #[test]
+    fn kind_predicates_and_display() {
+        assert!(AnomalyKind::FlowRare.is_flow());
+        assert!(!AnomalyKind::FlowRare.is_performance());
+        let sig = Signature::from_points([LogPointId(1)]);
+        assert!(AnomalyKind::FlowNew(sig.clone()).is_flow());
+        assert!(AnomalyKind::Performance(sig.clone()).is_performance());
+        assert!(format!("{}", AnomalyKind::Performance(sig)).contains("performance"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_window_rejected() {
+        AnomalyDetector::new(
+            trained_model(),
+            DetectorConfig {
+                window: SimDuration::ZERO,
+                ..DetectorConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,444 @@
+//! The learned outlier model (paper §3.3.2).
+//!
+//! Training is deliberately cheap — counting and percentiles:
+//!
+//! 1. **Flow outliers.** Per stage, tasks are grouped by signature and
+//!    counted. Signatures whose share of the stage's tasks falls below the
+//!    rank threshold (99th percentile ⇒ signatures accounting for < 1% of
+//!    tasks) are flow outliers.
+//! 2. **Performance outliers.** Per (stage, signature) group, the
+//!    99th-percentile duration becomes the outlier threshold.
+//! 3. **k-fold validation.** Signatures whose duration distribution does
+//!    not support a stable threshold (held-out outlier rate far above
+//!    nominal) are discarded from performance detection.
+
+use crate::feature::FeatureVector;
+use crate::synopsis::TaskSynopsis;
+use crate::{Signature, StageId};
+use saad_stats::kfold::validate_percentile_threshold;
+use saad_stats::percentile;
+use std::collections::HashMap;
+
+/// Training configuration. The defaults are the paper's parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelConfig {
+    /// Percentile-rank threshold for flow outliers (default 99.0: a
+    /// signature covering < 1% of a stage's tasks is a flow outlier).
+    pub flow_rank_percentile: f64,
+    /// Duration percentile used as the performance-outlier threshold
+    /// (default 99.0).
+    pub duration_percentile: f64,
+    /// Number of cross-validation folds (default 10).
+    pub kfold: usize,
+    /// Held-out-rate multiple above nominal at which a signature is
+    /// discarded from performance detection (default 3.0).
+    pub kfold_tolerance: f64,
+    /// Minimum training tasks for a signature to participate in
+    /// performance detection at all (default 50).
+    pub min_signature_samples: usize,
+}
+
+impl Default for ModelConfig {
+    fn default() -> ModelConfig {
+        ModelConfig {
+            flow_rank_percentile: 99.0,
+            duration_percentile: 99.0,
+            kfold: 10,
+            kfold_tolerance: 3.0,
+            min_signature_samples: 50,
+        }
+    }
+}
+
+/// Classification of a runtime task against the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskClass {
+    /// Known common signature, duration within threshold.
+    Normal,
+    /// Known but rare signature (flow outlier).
+    FlowOutlier,
+    /// Signature never seen in training — the strongest flow signal.
+    NewSignature,
+    /// Common signature but duration above the learned threshold.
+    PerformanceOutlier,
+}
+
+/// Learned statistics for one (stage, signature) group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignatureModel {
+    /// Training task count with this signature.
+    pub count: u64,
+    /// Share of the stage's training tasks.
+    pub share: f64,
+    /// Whether the signature is a flow outlier (share below rank cutoff).
+    pub is_flow_outlier: bool,
+    /// Duration threshold in µs; `None` when the signature was excluded
+    /// from performance detection (too few samples or failed k-fold).
+    pub duration_threshold_us: Option<f64>,
+    /// Fraction of training tasks above the threshold (≈ 1 − percentile).
+    pub training_perf_outlier_rate: f64,
+}
+
+/// Learned statistics for one stage.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StageModel {
+    /// Training task count for the stage.
+    pub task_count: u64,
+    /// Per-signature models.
+    pub signatures: HashMap<Signature, SignatureModel>,
+    /// Fraction of training tasks whose signature is a flow outlier.
+    pub flow_outlier_rate: f64,
+}
+
+impl StageModel {
+    /// Signature counts in descending order (the Figure 6 distribution).
+    pub fn signature_counts_desc(&self) -> Vec<u64> {
+        let mut counts: Vec<u64> = self.signatures.values().map(|s| s.count).collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        counts
+    }
+}
+
+/// Accumulates a training trace and builds an [`OutlierModel`].
+///
+/// # Example
+///
+/// ```
+/// use saad_core::prelude::*;
+///
+/// # fn training_trace() -> Vec<TaskSynopsis> { Vec::new() }
+/// let mut builder = ModelBuilder::new();
+/// for synopsis in training_trace() {
+///     builder.observe(&synopsis);
+/// }
+/// let model = builder.build(ModelConfig::default());
+/// assert_eq!(model.stage_count(), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct ModelBuilder {
+    // durations in µs per (stage, signature)
+    groups: HashMap<StageId, HashMap<Signature, Vec<f64>>>,
+    observed: u64,
+}
+
+impl ModelBuilder {
+    /// Create an empty builder.
+    pub fn new() -> ModelBuilder {
+        ModelBuilder::default()
+    }
+
+    /// Add one training synopsis.
+    pub fn observe(&mut self, synopsis: &TaskSynopsis) {
+        self.observe_feature(&FeatureVector::from(synopsis));
+    }
+
+    /// Add one training feature vector.
+    pub fn observe_feature(&mut self, f: &FeatureVector) {
+        self.observed += 1;
+        self.groups
+            .entry(f.stage)
+            .or_default()
+            .entry(f.signature.clone())
+            .or_default()
+            .push(f.duration_us);
+    }
+
+    /// Number of training tasks observed.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Build the model. Consumes nothing; the builder can keep absorbing
+    /// a later trace and rebuild.
+    pub fn build(&self, config: ModelConfig) -> OutlierModel {
+        let mut stages = HashMap::with_capacity(self.groups.len());
+        for (&stage, sig_groups) in &self.groups {
+            let task_count: u64 = sig_groups.values().map(|d| d.len() as u64).sum();
+            let rare_share_cutoff = 1.0 - config.flow_rank_percentile / 100.0;
+            let mut signatures = HashMap::with_capacity(sig_groups.len());
+            let mut flow_outlier_tasks = 0u64;
+            for (sig, durations) in sig_groups {
+                let count = durations.len() as u64;
+                let share = count as f64 / task_count as f64;
+                let is_flow_outlier = share < rare_share_cutoff;
+                if is_flow_outlier {
+                    flow_outlier_tasks += count;
+                }
+                // Performance thresholding only for signatures with enough
+                // samples and a k-fold-stable distribution.
+                let mut duration_threshold_us = None;
+                let mut training_perf_outlier_rate = 0.0;
+                if !is_flow_outlier && durations.len() >= config.min_signature_samples {
+                    let stable = validate_percentile_threshold(
+                        durations,
+                        config.kfold,
+                        config.duration_percentile,
+                    )
+                    .map(|o| !o.is_unstable(config.kfold_tolerance))
+                    .unwrap_or(false);
+                    if stable {
+                        let threshold = percentile(durations, config.duration_percentile)
+                            .expect("non-empty group");
+                        let above =
+                            durations.iter().filter(|&&d| d > threshold).count() as f64;
+                        duration_threshold_us = Some(threshold);
+                        training_perf_outlier_rate = above / durations.len() as f64;
+                    }
+                }
+                signatures.insert(
+                    sig.clone(),
+                    SignatureModel {
+                        count,
+                        share,
+                        is_flow_outlier,
+                        duration_threshold_us,
+                        training_perf_outlier_rate,
+                    },
+                );
+            }
+            stages.insert(
+                stage,
+                StageModel {
+                    task_count,
+                    signatures,
+                    flow_outlier_rate: flow_outlier_tasks as f64 / task_count as f64,
+                },
+            );
+        }
+        OutlierModel { stages, config }
+    }
+}
+
+impl Extend<TaskSynopsis> for ModelBuilder {
+    fn extend<T: IntoIterator<Item = TaskSynopsis>>(&mut self, iter: T) {
+        for s in iter {
+            self.observe(&s);
+        }
+    }
+}
+
+/// The trained classifier: labels runtime tasks normal or outlier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutlierModel {
+    stages: HashMap<StageId, StageModel>,
+    config: ModelConfig,
+}
+
+impl OutlierModel {
+    /// Classify one runtime task.
+    pub fn classify(&self, f: &FeatureVector) -> TaskClass {
+        let Some(stage) = self.stages.get(&f.stage) else {
+            // A whole stage never seen in training: every signature is new.
+            return TaskClass::NewSignature;
+        };
+        let Some(sig) = stage.signatures.get(&f.signature) else {
+            return TaskClass::NewSignature;
+        };
+        if sig.is_flow_outlier {
+            return TaskClass::FlowOutlier;
+        }
+        if let Some(threshold) = sig.duration_threshold_us {
+            if f.duration_us > threshold {
+                return TaskClass::PerformanceOutlier;
+            }
+        }
+        TaskClass::Normal
+    }
+
+    /// The training configuration the model was built with.
+    pub fn config(&self) -> ModelConfig {
+        self.config
+    }
+
+    /// Per-stage model, if the stage appeared in training.
+    pub fn stage(&self, stage: StageId) -> Option<&StageModel> {
+        self.stages.get(&stage)
+    }
+
+    /// All trained stages.
+    pub fn stages(&self) -> impl Iterator<Item = (StageId, &StageModel)> + '_ {
+        self.stages.iter().map(|(&s, m)| (s, m))
+    }
+
+    /// Number of trained stages.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Training flow-outlier proportion for a stage (0 if untrained).
+    pub fn flow_outlier_rate(&self, stage: StageId) -> f64 {
+        self.stages.get(&stage).map_or(0.0, |s| s.flow_outlier_rate)
+    }
+
+    /// Training performance-outlier proportion for a (stage, signature)
+    /// group; `None` when the group is not performance-eligible.
+    pub fn perf_outlier_rate(&self, stage: StageId, signature: &Signature) -> Option<f64> {
+        let sig = self.stages.get(&stage)?.signatures.get(signature)?;
+        sig.duration_threshold_us
+            .map(|_| sig.training_perf_outlier_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HostId, TaskUid};
+    use saad_logging::LogPointId;
+    use saad_sim::{SimDuration, SimTime};
+
+    fn synopsis(stage: u16, points: &[u16], dur_us: u64, uid: u64) -> TaskSynopsis {
+        TaskSynopsis {
+            host: HostId(0),
+            stage: StageId(stage),
+            uid: TaskUid(uid),
+            start: SimTime::ZERO,
+            duration: SimDuration::from_micros(dur_us),
+            log_points: points.iter().map(|&p| (LogPointId(p), 1)).collect(),
+        }
+    }
+
+    /// Paper Figure 4 population: 99% normal flow at ~10 ms, 0.9% slow
+    /// (same flow, 20 ms), 0.1% rare flow with the extra point L3.
+    fn figure4_trace() -> Vec<TaskSynopsis> {
+        let mut out = Vec::new();
+        let mut uid = 0;
+        for i in 0..10_000u64 {
+            uid += 1;
+            if i % 1000 == 0 {
+                // 0.1%: rare flow [L1,L2,L3,L4,L5]
+                out.push(synopsis(0, &[1, 2, 3, 4, 5], 10_000, uid));
+            } else if i % 100 == 0 {
+                // ~1% slow: normal flow, double duration
+                out.push(synopsis(0, &[1, 2, 4, 5], 20_000, uid));
+            } else {
+                // normal flow, 10ms +- jitter
+                let jitter = (i % 97) as u64 * 10;
+                out.push(synopsis(0, &[1, 2, 4, 5], 9_500 + jitter, uid));
+            }
+        }
+        out
+    }
+
+    fn figure4_model() -> OutlierModel {
+        let mut b = ModelBuilder::new();
+        for s in figure4_trace() {
+            b.observe(&s);
+        }
+        b.build(ModelConfig::default())
+    }
+
+    #[test]
+    fn rare_signature_is_flow_outlier() {
+        let model = figure4_model();
+        let rare = FeatureVector::from(&synopsis(0, &[1, 2, 3, 4, 5], 10_000, 1));
+        assert_eq!(model.classify(&rare), TaskClass::FlowOutlier);
+    }
+
+    #[test]
+    fn common_fast_task_is_normal() {
+        let model = figure4_model();
+        let normal = FeatureVector::from(&synopsis(0, &[1, 2, 4, 5], 10_000, 1));
+        assert_eq!(model.classify(&normal), TaskClass::Normal);
+    }
+
+    #[test]
+    fn slow_common_task_is_performance_outlier() {
+        let model = figure4_model();
+        // Far above the p99 of the mixture.
+        let slow = FeatureVector::from(&synopsis(0, &[1, 2, 4, 5], 80_000, 1));
+        assert_eq!(model.classify(&slow), TaskClass::PerformanceOutlier);
+    }
+
+    #[test]
+    fn unseen_signature_is_new() {
+        let model = figure4_model();
+        let new = FeatureVector::from(&synopsis(0, &[1, 9], 10_000, 1));
+        assert_eq!(model.classify(&new), TaskClass::NewSignature);
+        let unseen_stage = FeatureVector::from(&synopsis(42, &[1], 10, 1));
+        assert_eq!(model.classify(&unseen_stage), TaskClass::NewSignature);
+    }
+
+    #[test]
+    fn flow_outlier_rate_matches_population() {
+        let model = figure4_model();
+        let rate = model.flow_outlier_rate(StageId(0));
+        assert!((rate - 0.001).abs() < 1e-6, "rate={rate}");
+    }
+
+    #[test]
+    fn rare_signatures_excluded_from_perf_detection() {
+        let model = figure4_model();
+        let rare_sig = Signature::from_points([1, 2, 3, 4, 5].map(LogPointId));
+        assert_eq!(model.perf_outlier_rate(StageId(0), &rare_sig), None);
+        // Even an extreme duration with the rare signature is a FLOW
+        // outlier, not a performance outlier.
+        let task = FeatureVector::from(&synopsis(0, &[1, 2, 3, 4, 5], 10_000_000, 1));
+        assert_eq!(model.classify(&task), TaskClass::FlowOutlier);
+    }
+
+    #[test]
+    fn perf_rate_near_nominal_for_common_signature() {
+        let model = figure4_model();
+        let sig = Signature::from_points([1, 2, 4, 5].map(LogPointId));
+        let rate = model.perf_outlier_rate(StageId(0), &sig).unwrap();
+        assert!(rate <= 0.011, "rate={rate}");
+        assert!(rate > 0.0, "rate={rate}");
+    }
+
+    #[test]
+    fn tiny_signature_groups_skip_perf_thresholding() {
+        let mut b = ModelBuilder::new();
+        // 30 tasks of one signature: below min_signature_samples.
+        for uid in 0..30 {
+            b.observe(&synopsis(1, &[7], 100 + uid, uid));
+        }
+        let model = b.build(ModelConfig::default());
+        let sig = Signature::from_points([LogPointId(7)]);
+        // Not a flow outlier (it is 100% of the stage) but perf-ineligible.
+        let f = FeatureVector::from(&synopsis(1, &[7], 1_000_000, 99));
+        assert_eq!(model.classify(&f), TaskClass::Normal);
+        assert_eq!(model.perf_outlier_rate(StageId(1), &sig), None);
+    }
+
+    #[test]
+    fn stage_model_exposes_figure6_counts() {
+        let model = figure4_model();
+        let stage = model.stage(StageId(0)).unwrap();
+        let counts = stage.signature_counts_desc();
+        assert_eq!(counts.len(), 2); // normal + rare signatures
+        assert!(counts[0] > counts[1]);
+        assert_eq!(counts.iter().sum::<u64>(), 10_000);
+        assert_eq!(stage.task_count, 10_000);
+    }
+
+    #[test]
+    fn builder_extend_and_observed() {
+        let mut b = ModelBuilder::new();
+        b.extend(figure4_trace());
+        assert_eq!(b.observed(), 10_000);
+        assert_eq!(b.build(ModelConfig::default()).stage_count(), 1);
+    }
+
+    #[test]
+    fn empty_model_classifies_everything_new() {
+        let model = ModelBuilder::new().build(ModelConfig::default());
+        let f = FeatureVector::from(&synopsis(0, &[1], 5, 1));
+        assert_eq!(model.classify(&f), TaskClass::NewSignature);
+        assert_eq!(model.stage_count(), 0);
+        assert_eq!(model.flow_outlier_rate(StageId(0)), 0.0);
+    }
+
+    #[test]
+    fn multiple_stages_are_independent() {
+        let mut b = ModelBuilder::new();
+        for uid in 0..200 {
+            b.observe(&synopsis(0, &[1], 100, uid));
+            b.observe(&synopsis(1, &[2], 100, uid));
+        }
+        let model = b.build(ModelConfig::default());
+        assert_eq!(model.stage_count(), 2);
+        // Signature [1] is normal in stage 0 but NEW in stage 1.
+        let cross = FeatureVector::from(&synopsis(1, &[1], 100, 9));
+        assert_eq!(model.classify(&cross), TaskClass::NewSignature);
+    }
+}

@@ -1,0 +1,682 @@
+//! The task execution tracker — the thin layer between server code and the
+//! logging library (paper §3.2, §4.1).
+//!
+//! The tracker identifies tasks at runtime from **stage delimiters** and
+//! tracks execution flow by intercepting log calls:
+//!
+//! * **Producer-consumer stages** (thread pools looping over a request
+//!   queue) call [`TaskExecutionTracker::set_context`] at the top of the
+//!   loop. Starting a new task implicitly terminates the previous one —
+//!   exactly the paper's termination inference for this model.
+//! * **Dispatcher-worker stages** (spawned worker threads) hold a
+//!   [`TaskGuard`]; dropping the guard at the end of `run()` emits the
+//!   synopsis. This is the RAII equivalent of the paper's
+//!   `finalize()`-based termination inference through garbage collection.
+//!
+//! Tasks live in thread-local storage (as in the paper) keyed by tracker
+//! instance, so multiple simulated hosts can share one driver thread and
+//! real servers can run many threads per tracker.
+
+use crate::synopsis::TaskSynopsis;
+use crate::{HostId, StageId, TaskUid};
+use parking_lot::Mutex;
+use saad_logging::{Interceptor, Level, LogPointId};
+use saad_sim::{Clock, SimTime};
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Destination for completed task synopses.
+///
+/// In the paper synopses are streamed to a centralized analyzer; the
+/// pipeline module provides a channel-backed sink, while [`VecSink`]
+/// buffers in memory for training-trace collection and tests.
+pub trait SynopsisSink: Send + Sync {
+    /// Accept one completed synopsis.
+    fn submit(&self, synopsis: TaskSynopsis);
+}
+
+/// A sink that buffers synopses in memory (training traces, tests).
+#[derive(Debug, Default)]
+pub struct VecSink {
+    synopses: Mutex<Vec<TaskSynopsis>>,
+}
+
+impl VecSink {
+    /// Create an empty sink.
+    pub fn new() -> VecSink {
+        VecSink::default()
+    }
+
+    /// Number of buffered synopses.
+    pub fn len(&self) -> usize {
+        self.synopses.lock().len()
+    }
+
+    /// Whether the sink is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remove and return all buffered synopses.
+    pub fn drain(&self) -> Vec<TaskSynopsis> {
+        std::mem::take(&mut *self.synopses.lock())
+    }
+
+    /// Clone of the buffered synopses.
+    pub fn snapshot(&self) -> Vec<TaskSynopsis> {
+        self.synopses.lock().clone()
+    }
+}
+
+impl SynopsisSink for VecSink {
+    fn submit(&self, synopsis: TaskSynopsis) {
+        self.synopses.lock().push(synopsis);
+    }
+}
+
+/// A sink that counts and discards (overhead benchmarking).
+#[derive(Debug, Default)]
+pub struct NullSink {
+    count: AtomicU64,
+}
+
+impl NullSink {
+    /// Create a sink with a zeroed counter.
+    pub fn new() -> NullSink {
+        NullSink::default()
+    }
+
+    /// Synopses discarded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+impl SynopsisSink for NullSink {
+    fn submit(&self, _synopsis: TaskSynopsis) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Per-task in-memory record, kept in thread-local storage while the task
+/// runs. Mirrors the paper's map of `log point id -> frequency` plus the
+/// stage id, unique id, and start timestamp.
+#[derive(Debug)]
+struct ActiveTask {
+    stage: StageId,
+    uid: TaskUid,
+    start: SimTime,
+    last_visit: SimTime,
+    // Sorted by point id; tasks visit few distinct points, so a small
+    // sorted vec beats a HashMap here.
+    points: Vec<(LogPointId, u32)>,
+}
+
+impl ActiveTask {
+    fn visit(&mut self, point: LogPointId, at: SimTime) {
+        self.last_visit = at;
+        match self.points.binary_search_by_key(&point, |&(p, _)| p) {
+            Ok(i) => self.points[i].1 += 1,
+            Err(i) => self.points.insert(i, (point, 1)),
+        }
+    }
+
+    fn into_synopsis(self, host: HostId) -> TaskSynopsis {
+        TaskSynopsis {
+            host,
+            stage: self.stage,
+            uid: self.uid,
+            start: self.start,
+            duration: self.last_visit.saturating_since(self.start),
+            log_points: self.points,
+        }
+    }
+}
+
+thread_local! {
+    // Active tasks per tracker instance on this thread, keyed by tracker
+    // id so multiple simulated hosts can share one driver thread. A tiny
+    // linear-scanned vec: a thread rarely serves more than a handful of
+    // trackers, and the scan beats hashing on the per-log-point hot path.
+    static ACTIVE: RefCell<Vec<(u64, ActiveTask)>> = const { RefCell::new(Vec::new()) };
+}
+
+fn active_insert(slots: &mut Vec<(u64, ActiveTask)>, id: u64, task: ActiveTask) -> Option<ActiveTask> {
+    match slots.iter_mut().find(|(k, _)| *k == id) {
+        Some(slot) => Some(std::mem::replace(&mut slot.1, task)),
+        None => {
+            slots.push((id, task));
+            None
+        }
+    }
+}
+
+fn active_remove(slots: &mut Vec<(u64, ActiveTask)>, id: u64) -> Option<ActiveTask> {
+    slots
+        .iter()
+        .position(|(k, _)| *k == id)
+        .map(|i| slots.swap_remove(i).1)
+}
+
+static NEXT_TRACKER_ID: AtomicU64 = AtomicU64::new(0);
+
+/// The task execution tracker: ~50 lines of logic in the paper, sitting
+/// between the server code and the logging library.
+///
+/// Implements [`saad_logging::Interceptor`], so wiring it up is one call to
+/// [`saad_logging::LoggerBuilder::interceptor`].
+pub struct TaskExecutionTracker {
+    id: u64,
+    host: HostId,
+    clock: Arc<dyn Clock>,
+    sink: Arc<dyn SynopsisSink>,
+    next_uid: AtomicU64,
+    completed: AtomicU64,
+    untracked_visits: AtomicU64,
+}
+
+impl fmt::Debug for TaskExecutionTracker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TaskExecutionTracker")
+            .field("host", &self.host)
+            .field("completed", &self.completed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl TaskExecutionTracker {
+    /// Create a tracker for `host`, timestamping with `clock` and emitting
+    /// synopses to `sink`.
+    pub fn new(
+        host: HostId,
+        clock: Arc<dyn Clock>,
+        sink: Arc<dyn SynopsisSink>,
+    ) -> TaskExecutionTracker {
+        TaskExecutionTracker {
+            id: NEXT_TRACKER_ID.fetch_add(1, Ordering::Relaxed),
+            host,
+            clock,
+            sink,
+            next_uid: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            untracked_visits: AtomicU64::new(0),
+        }
+    }
+
+    /// The host this tracker tags synopses with.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Stage delimiter (the paper's `setContext(int stageId)`): the calling
+    /// thread is about to execute a new task of `stage`.
+    ///
+    /// If a task is already active on this thread it is finalized first —
+    /// the producer-consumer termination inference: "if a task synopsis
+    /// data structure is already initialized in thread private storage, it
+    /// indicates that the thread is finished with the previous task".
+    ///
+    /// Returns the new task's uid.
+    pub fn set_context(&self, stage: StageId) -> TaskUid {
+        let now = self.clock.now();
+        let uid = TaskUid(self.next_uid.fetch_add(1, Ordering::Relaxed));
+        let task = ActiveTask {
+            stage,
+            uid,
+            start: now,
+            last_visit: now,
+            points: Vec::with_capacity(8),
+        };
+        let previous = ACTIVE.with(|a| active_insert(&mut a.borrow_mut(), self.id, task));
+        if let Some(prev) = previous {
+            self.emit(prev);
+        }
+        uid
+    }
+
+    /// Explicitly terminate the current task on this thread, emitting its
+    /// synopsis. No-op when no task is active.
+    pub fn end_task(&self) {
+        if let Some(task) = ACTIVE.with(|a| active_remove(&mut a.borrow_mut(), self.id)) {
+            self.emit(task);
+        }
+    }
+
+    /// Discard the current task without emitting a synopsis (used when a
+    /// stage decides an execution should not be observed, e.g. an idle
+    /// poll loop iteration).
+    pub fn abandon_task(&self) {
+        ACTIVE.with(|a| active_remove(&mut a.borrow_mut(), self.id));
+    }
+
+    /// RAII stage delimiter for dispatcher-worker stages: the returned
+    /// guard finalizes the task when dropped (even on panic/unwind —
+    /// the analogue of the paper's `finalize()` hook firing when a worker
+    /// thread dies).
+    pub fn task_guard(&self, stage: StageId) -> TaskGuard<'_> {
+        let uid = self.set_context(stage);
+        TaskGuard { tracker: self, uid }
+    }
+
+    /// Uid of the task currently active on this thread, if any.
+    pub fn current_task(&self) -> Option<TaskUid> {
+        ACTIVE.with(|a| {
+            a.borrow()
+                .iter()
+                .find(|(k, _)| *k == self.id)
+                .map(|(_, t)| t.uid)
+        })
+    }
+
+    /// Detach the current task from this thread without terminating it.
+    ///
+    /// Event-driven stages (and the simulators' single driver thread) use
+    /// this when a task blocks on downstream work executed by other tasks
+    /// of the *same* tracker: suspend, let the other tasks run, then
+    /// [`TaskExecutionTracker::resume_task`] to keep accumulating visits.
+    /// Returns `None` when no task is active.
+    pub fn suspend_task(&self) -> Option<SuspendedTask> {
+        ACTIVE
+            .with(|a| active_remove(&mut a.borrow_mut(), self.id))
+            .map(|task| SuspendedTask {
+                tracker_id: self.id,
+                task,
+            })
+    }
+
+    /// Re-attach a task previously detached with
+    /// [`TaskExecutionTracker::suspend_task`].
+    ///
+    /// If another task is active on this thread it is finalized first
+    /// (same inference as [`TaskExecutionTracker::set_context`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the suspended task came from a different tracker.
+    pub fn resume_task(&self, suspended: SuspendedTask) {
+        assert_eq!(
+            suspended.tracker_id, self.id,
+            "task resumed on a different tracker than it was suspended from"
+        );
+        let previous =
+            ACTIVE.with(|a| active_insert(&mut a.borrow_mut(), self.id, suspended.task));
+        if let Some(prev) = previous {
+            self.emit(prev);
+        }
+    }
+
+    /// Total tasks completed (synopses emitted).
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Log point visits that occurred outside any delimited task. A large
+    /// number here means a stage is missing its delimiter instrumentation.
+    pub fn untracked_visits(&self) -> u64 {
+        self.untracked_visits.load(Ordering::Relaxed)
+    }
+
+    fn emit(&self, task: ActiveTask) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.sink.submit(task.into_synopsis(self.host));
+    }
+}
+
+impl Interceptor for TaskExecutionTracker {
+    fn on_log_point(&self, point: LogPointId, _level: Level) {
+        let now = self.clock.now();
+        let tracked = ACTIVE.with(|a| {
+            let mut slots = a.borrow_mut();
+            if let Some((_, task)) = slots.iter_mut().find(|(k, _)| *k == self.id) {
+                task.visit(point, now);
+                true
+            } else {
+                false
+            }
+        });
+        if !tracked {
+            self.untracked_visits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A task detached from its thread, holding its accumulated state.
+///
+/// Produced by [`TaskExecutionTracker::suspend_task`]; pass it back to
+/// [`TaskExecutionTracker::resume_task`] to continue the task. Dropping a
+/// `SuspendedTask` discards the task without emitting a synopsis.
+#[derive(Debug)]
+pub struct SuspendedTask {
+    tracker_id: u64,
+    task: ActiveTask,
+}
+
+impl SuspendedTask {
+    /// Uid of the suspended task.
+    pub fn uid(&self) -> TaskUid {
+        self.task.uid
+    }
+}
+
+/// RAII handle for a dispatcher-worker task; ends the task on drop.
+///
+/// If the stage (or anything else) started a *different* task on this
+/// thread before the guard drops, the guard does nothing — the newer
+/// delimiter already finalized this task.
+#[derive(Debug)]
+pub struct TaskGuard<'a> {
+    tracker: &'a TaskExecutionTracker,
+    uid: TaskUid,
+}
+
+impl TaskGuard<'_> {
+    /// This task's uid.
+    pub fn uid(&self) -> TaskUid {
+        self.uid
+    }
+}
+
+impl Drop for TaskGuard<'_> {
+    fn drop(&mut self) {
+        if self.tracker.current_task() == Some(self.uid) {
+            self.tracker.end_task();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saad_logging::{Logger, LogPointRegistry};
+    use saad_sim::ManualClock;
+    use saad_sim::SimDuration;
+
+    struct Fixture {
+        clock: Arc<ManualClock>,
+        sink: Arc<VecSink>,
+        tracker: Arc<TaskExecutionTracker>,
+        logger: Logger,
+        points: Vec<LogPointId>,
+    }
+
+    fn fixture() -> Fixture {
+        let registry = Arc::new(LogPointRegistry::new());
+        let points: Vec<LogPointId> = (0..6)
+            .map(|i| registry.register(format!("msg {i}"), Level::Info, "f.rs", i))
+            .collect();
+        let clock = Arc::new(ManualClock::new());
+        let sink = Arc::new(VecSink::new());
+        let tracker = Arc::new(TaskExecutionTracker::new(
+            HostId(7),
+            clock.clone() as Arc<dyn Clock>,
+            sink.clone() as Arc<dyn SynopsisSink>,
+        ));
+        let logger = Logger::builder("Stage")
+            .interceptor(tracker.clone())
+            .registry(registry)
+            .build();
+        Fixture {
+            clock,
+            sink,
+            tracker,
+            logger,
+            points,
+        }
+    }
+
+    #[test]
+    fn set_context_then_end_emits_synopsis() {
+        let f = fixture();
+        let stage = StageId(1);
+        f.tracker.set_context(stage);
+        f.logger.info(f.points[0], format_args!("a"));
+        f.clock.set(SimTime::from_millis(10));
+        f.logger.info(f.points[1], format_args!("b"));
+        f.tracker.end_task();
+
+        let s = f.sink.drain();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].stage, stage);
+        assert_eq!(s[0].host, HostId(7));
+        assert_eq!(s[0].duration, SimDuration::from_millis(10));
+        assert_eq!(s[0].log_points.len(), 2);
+    }
+
+    #[test]
+    fn duration_is_start_to_last_log_point() {
+        // Paper §3.3.1: duration = start → timestamp of last log point,
+        // NOT start → task end.
+        let f = fixture();
+        f.tracker.set_context(StageId(0));
+        f.clock.set(SimTime::from_millis(3));
+        f.logger.info(f.points[0], format_args!("x"));
+        f.clock.set(SimTime::from_millis(99)); // silent tail work
+        f.tracker.end_task();
+        let s = f.sink.drain();
+        assert_eq!(s[0].duration, SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn producer_consumer_termination_inference() {
+        // Starting task B implicitly completes task A.
+        let f = fixture();
+        f.tracker.set_context(StageId(0));
+        f.logger.info(f.points[0], format_args!("a"));
+        f.tracker.set_context(StageId(0));
+        f.logger.info(f.points[1], format_args!("b"));
+        f.tracker.end_task();
+
+        let s = f.sink.drain();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].log_points[0].0, f.points[0]);
+        assert_eq!(s[1].log_points[0].0, f.points[1]);
+        assert_ne!(s[0].uid, s[1].uid);
+    }
+
+    #[test]
+    fn frequencies_accumulate() {
+        // The DataXceiver packet loop: L2 visited once per packet.
+        let f = fixture();
+        f.tracker.set_context(StageId(0));
+        for _ in 0..40 {
+            f.logger.info(f.points[2], format_args!("packet"));
+        }
+        f.tracker.end_task();
+        let s = f.sink.drain();
+        assert_eq!(s[0].log_points, vec![(f.points[2], 40)]);
+        assert_eq!(s[0].total_visits(), 40);
+    }
+
+    #[test]
+    fn guard_emits_on_drop() {
+        let f = fixture();
+        {
+            let _guard = f.tracker.task_guard(StageId(4));
+            f.logger.info(f.points[0], format_args!("w"));
+        }
+        assert_eq!(f.sink.len(), 1);
+        assert_eq!(f.tracker.completed(), 1);
+    }
+
+    #[test]
+    fn guard_emits_even_on_panic() {
+        let f = fixture();
+        let tracker = f.tracker.clone();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = tracker.task_guard(StageId(4));
+            f.logger.info(f.points[0], format_args!("w"));
+            panic!("worker died");
+        }));
+        assert!(result.is_err());
+        assert_eq!(
+            f.sink.len(),
+            1,
+            "synopsis must be emitted when the worker dies (finalize analogue)"
+        );
+    }
+
+    #[test]
+    fn stale_guard_does_not_double_emit() {
+        let f = fixture();
+        let guard = f.tracker.task_guard(StageId(1));
+        f.tracker.set_context(StageId(2)); // supersedes the guarded task
+        drop(guard);
+        f.tracker.end_task();
+        assert_eq!(f.sink.len(), 2, "exactly one synopsis per task");
+    }
+
+    #[test]
+    fn untracked_visits_are_counted_not_credited() {
+        let f = fixture();
+        f.logger.info(f.points[0], format_args!("no task"));
+        assert_eq!(f.tracker.untracked_visits(), 1);
+        assert!(f.sink.is_empty());
+    }
+
+    #[test]
+    fn abandon_discards_without_emitting() {
+        let f = fixture();
+        f.tracker.set_context(StageId(0));
+        f.logger.info(f.points[0], format_args!("x"));
+        f.tracker.abandon_task();
+        assert!(f.sink.is_empty());
+        assert_eq!(f.tracker.current_task(), None);
+    }
+
+    #[test]
+    fn end_task_without_context_is_noop() {
+        let f = fixture();
+        f.tracker.end_task();
+        assert!(f.sink.is_empty());
+    }
+
+    #[test]
+    fn two_trackers_share_a_thread_independently() {
+        // Two simulated hosts driven by one thread must not cross-credit.
+        let f1 = fixture();
+        let f2 = fixture();
+        f1.tracker.set_context(StageId(1));
+        f2.tracker.set_context(StageId(2));
+        f1.logger.info(f1.points[0], format_args!("h1"));
+        f2.logger.info(f2.points[1], format_args!("h2"));
+        f1.tracker.end_task();
+        f2.tracker.end_task();
+        let s1 = f1.sink.drain();
+        let s2 = f2.sink.drain();
+        assert_eq!(s1.len(), 1);
+        assert_eq!(s2.len(), 1);
+        assert_eq!(s1[0].log_points[0].0, f1.points[0]);
+        assert_eq!(s2[0].log_points[0].0, f2.points[1]);
+    }
+
+    #[test]
+    fn tracker_works_across_threads() {
+        let f = fixture();
+        let tracker = f.tracker.clone();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let t = tracker.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        t.set_context(StageId(0));
+                        t.on_log_point(LogPointId(0), Level::Info);
+                        t.end_task();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(f.sink.len(), 400);
+        assert_eq!(tracker.completed(), 400);
+        // All uids distinct.
+        let mut uids: Vec<u64> = f.sink.drain().iter().map(|s| s.uid.0).collect();
+        uids.sort_unstable();
+        uids.dedup();
+        assert_eq!(uids.len(), 400);
+    }
+
+    #[test]
+    fn debug_level_points_tracked_at_info_verbosity() {
+        // End-to-end check of the paper's headline property through the
+        // real logger: DEBUG insight at INFO cost.
+        let f = fixture();
+        f.tracker.set_context(StageId(0));
+        f.logger.debug(f.points[3], format_args!("debug detail"));
+        f.tracker.end_task();
+        let s = f.sink.drain();
+        assert_eq!(s[0].log_points, vec![(f.points[3], 1)]);
+    }
+
+    #[test]
+    fn suspend_resume_keeps_accumulating() {
+        let f = fixture();
+        f.tracker.set_context(StageId(3));
+        f.logger.info(f.points[0], format_args!("before"));
+        let suspended = f.tracker.suspend_task().expect("task active");
+        assert_eq!(f.tracker.current_task(), None);
+
+        // Another task of the same tracker runs in between.
+        f.tracker.set_context(StageId(4));
+        f.logger.info(f.points[1], format_args!("inner"));
+        f.tracker.end_task();
+
+        f.tracker.resume_task(suspended);
+        f.clock.set(SimTime::from_millis(50));
+        f.logger.info(f.points[2], format_args!("after"));
+        f.tracker.end_task();
+
+        let mut s = f.sink.drain();
+        assert_eq!(s.len(), 2);
+        s.sort_by_key(|x| x.uid.0);
+        // The outer task has both its points and the full duration.
+        assert_eq!(s[0].stage, StageId(3));
+        assert_eq!(s[0].log_points.len(), 2);
+        assert_eq!(s[0].duration, SimDuration::from_millis(50));
+        assert_eq!(s[1].stage, StageId(4));
+        assert_eq!(s[1].log_points.len(), 1);
+    }
+
+    #[test]
+    fn suspend_without_task_is_none() {
+        let f = fixture();
+        assert!(f.tracker.suspend_task().is_none());
+    }
+
+    #[test]
+    fn dropped_suspended_task_is_discarded() {
+        let f = fixture();
+        f.tracker.set_context(StageId(0));
+        let suspended = f.tracker.suspend_task().unwrap();
+        assert_eq!(suspended.uid(), TaskUid(suspended.uid().0)); // accessor works
+        drop(suspended);
+        assert!(f.sink.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn resume_on_wrong_tracker_panics() {
+        let f1 = fixture();
+        let f2 = fixture();
+        f1.tracker.set_context(StageId(0));
+        let suspended = f1.tracker.suspend_task().unwrap();
+        f2.tracker.resume_task(suspended);
+    }
+
+    #[test]
+    fn null_sink_counts() {
+        let sink = NullSink::new();
+        sink.submit(TaskSynopsis {
+            host: HostId(0),
+            stage: StageId(0),
+            uid: TaskUid(0),
+            start: SimTime::ZERO,
+            duration: SimDuration::ZERO,
+            log_points: vec![],
+        });
+        assert_eq!(sink.count(), 1);
+    }
+}

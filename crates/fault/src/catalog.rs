@@ -1,0 +1,128 @@
+//! Ready-made fault configurations for every experiment in the paper.
+//!
+//! I/O class names used by the Cassandra simulator:
+//! * [`WAL`] — appends to the commit log / write-ahead log;
+//! * [`MEMTABLE_FLUSH`] — writes of serialized MemTables to SSTables.
+
+use crate::{FaultSchedule, FaultSpec, FaultType, Intensity};
+use saad_sim::SimTime;
+
+/// I/O class: write-ahead-log appends.
+pub const WAL: &str = "wal";
+/// I/O class: MemTable flushes (SSTable writes).
+pub const MEMTABLE_FLUSH: &str = "memtable-flush";
+
+/// The four §5.4 fault specs at a given intensity.
+fn spec(class: &'static str, fault: FaultType, intensity: Intensity) -> FaultSpec {
+    FaultSpec::new(class, fault, intensity)
+}
+
+/// Figure 9 schedule for one experiment: the given fault class/type at low
+/// intensity during minutes 10–20 and high intensity during minutes 30–40.
+pub fn figure9_schedule(class: &'static str, fault: FaultType, seed: u64) -> FaultSchedule {
+    FaultSchedule::new(seed)
+        .with_window(
+            SimTime::from_mins(10),
+            SimTime::from_mins(20),
+            spec(class, fault, Intensity::Low),
+        )
+        .with_window(
+            SimTime::from_mins(30),
+            SimTime::from_mins(40),
+            spec(class, fault, Intensity::High),
+        )
+}
+
+/// Figure 9(a): error on appending to WAL.
+pub fn fig9a_error_wal(seed: u64) -> FaultSchedule {
+    figure9_schedule(WAL, FaultType::Error, seed)
+}
+
+/// Figure 9(b): error on flushing MemTable.
+pub fn fig9b_error_memtable(seed: u64) -> FaultSchedule {
+    figure9_schedule(MEMTABLE_FLUSH, FaultType::Error, seed)
+}
+
+/// Figure 9(c): delay on appending to WAL.
+pub fn fig9c_delay_wal(seed: u64) -> FaultSchedule {
+    figure9_schedule(WAL, FaultType::standard_delay(), seed)
+}
+
+/// Figure 9(d): delay on flushing MemTable.
+pub fn fig9d_delay_memtable(seed: u64) -> FaultSchedule {
+    figure9_schedule(MEMTABLE_FLUSH, FaultType::standard_delay(), seed)
+}
+
+/// Table 3: the seven fault specs of the false-positive study, in the
+/// paper's order.
+pub fn table3_specs() -> Vec<FaultSpec> {
+    vec![
+        spec(WAL, FaultType::Error, Intensity::Low),
+        spec(WAL, FaultType::Error, Intensity::High),
+        spec(MEMTABLE_FLUSH, FaultType::Error, Intensity::Low),
+        spec(MEMTABLE_FLUSH, FaultType::Error, Intensity::High),
+        spec(WAL, FaultType::standard_delay(), Intensity::Low),
+        spec(WAL, FaultType::standard_delay(), Intensity::High),
+        spec(MEMTABLE_FLUSH, FaultType::standard_delay(), Intensity::Low),
+    ]
+}
+
+/// Figure 11 run layout: 30 min warm-up, 30 min fault-free observation,
+/// 30 min with the fault active. Returns the schedule with the fault in
+/// the third half-hour.
+pub fn figure11_schedule(spec: FaultSpec, seed: u64) -> FaultSchedule {
+    FaultSchedule::new(seed).with_window(SimTime::from_mins(60), SimTime::from_mins(90), spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure9_windows_match_paper_timeline() {
+        let s = fig9a_error_wal(1);
+        let w = s.windows();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].start, SimTime::from_mins(10));
+        assert_eq!(w[0].end, SimTime::from_mins(20));
+        assert_eq!(w[0].spec.intensity.probability(), 0.01);
+        assert_eq!(w[1].start, SimTime::from_mins(30));
+        assert_eq!(w[1].end, SimTime::from_mins(40));
+        assert_eq!(w[1].spec.intensity.probability(), 1.0);
+    }
+
+    #[test]
+    fn all_four_fig9_faults_cover_both_classes_and_types() {
+        assert_eq!(fig9a_error_wal(1).windows()[0].spec.class, WAL);
+        assert_eq!(fig9b_error_memtable(1).windows()[0].spec.class, MEMTABLE_FLUSH);
+        assert!(matches!(
+            fig9c_delay_wal(1).windows()[0].spec.fault,
+            FaultType::Delay(_)
+        ));
+        assert!(matches!(
+            fig9d_delay_memtable(1).windows()[0].spec.fault,
+            FaultType::Delay(_)
+        ));
+    }
+
+    #[test]
+    fn table3_has_seven_faults_in_paper_order() {
+        let specs = table3_specs();
+        assert_eq!(specs.len(), 7);
+        assert_eq!(specs[0].name(), "error-wal-low");
+        assert_eq!(specs[1].name(), "error-wal-high");
+        assert_eq!(specs[2].name(), "error-memtable-flush-low");
+        assert_eq!(specs[3].name(), "error-memtable-flush-high");
+        assert_eq!(specs[4].name(), "delay-wal-low");
+        assert_eq!(specs[5].name(), "delay-wal-high");
+        assert_eq!(specs[6].name(), "delay-memtable-flush-low");
+    }
+
+    #[test]
+    fn figure11_fault_occupies_third_half_hour() {
+        let s = figure11_schedule(table3_specs()[0], 9);
+        assert!(!s.active_at(SimTime::from_mins(45)));
+        assert!(s.active_at(SimTime::from_mins(75)));
+        assert!(!s.active_at(SimTime::from_mins(90)));
+    }
+}

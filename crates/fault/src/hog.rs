@@ -1,0 +1,153 @@
+//! The disk-hog model for the HBase/HDFS experiment (paper §5.5, Table 2).
+//!
+//! The paper launches `dd if=/dev/urandom ...` processes that consume disk
+//! bandwidth and steal CPU from kernel activity. In the simulator a hog is
+//! a service-time multiplier on the node's disk plus a smaller multiplier
+//! on CPU-bound stage service times.
+
+use saad_sim::SimTime;
+
+/// One hog window: a number of `dd` processes over a time span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HogWindow {
+    /// When the hog processes start.
+    pub start: SimTime,
+    /// When they are killed (exclusive).
+    pub end: SimTime,
+    /// Number of concurrent hog processes.
+    pub processes: u32,
+}
+
+/// The Table 2 hog timeline: disk and CPU slowdown factors over time.
+#[derive(Debug, Clone, Default)]
+pub struct HogSchedule {
+    windows: Vec<HogWindow>,
+    /// Disk slowdown added per hog process (default 0.9: one hog roughly
+    /// halves effective disk bandwidth, four hogs make it ~4.6× slower).
+    disk_factor_per_process: f64,
+    /// CPU slowdown added per hog process (default 0.15: interrupt and
+    /// syscall pressure, much milder than the disk impact).
+    cpu_factor_per_process: f64,
+}
+
+impl HogSchedule {
+    /// Create an empty schedule with the default per-process factors.
+    pub fn new() -> HogSchedule {
+        HogSchedule {
+            windows: Vec::new(),
+            disk_factor_per_process: 0.9,
+            cpu_factor_per_process: 0.15,
+        }
+    }
+
+    /// Add a hog window (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start` or `processes == 0`.
+    pub fn with_window(mut self, start: SimTime, end: SimTime, processes: u32) -> HogSchedule {
+        assert!(end > start, "hog window must be non-empty");
+        assert!(processes > 0, "a hog window needs at least one process");
+        self.windows.push(HogWindow {
+            start,
+            end,
+            processes,
+        });
+        self
+    }
+
+    /// Override the per-process slowdown factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either factor is negative.
+    pub fn with_factors(mut self, disk: f64, cpu: f64) -> HogSchedule {
+        assert!(disk >= 0.0 && cpu >= 0.0, "factors must be non-negative");
+        self.disk_factor_per_process = disk;
+        self.cpu_factor_per_process = cpu;
+        self
+    }
+
+    /// The paper's Table 2 schedule: low 8–16 min (1 process), medium
+    /// 28–44 (2), high-1 56–64 (4), high-2 116–130 (4).
+    pub fn table2() -> HogSchedule {
+        HogSchedule::new()
+            .with_window(SimTime::from_mins(8), SimTime::from_mins(16), 1)
+            .with_window(SimTime::from_mins(28), SimTime::from_mins(44), 2)
+            .with_window(SimTime::from_mins(56), SimTime::from_mins(64), 4)
+            .with_window(SimTime::from_mins(116), SimTime::from_mins(130), 4)
+    }
+
+    /// The configured windows.
+    pub fn windows(&self) -> &[HogWindow] {
+        &self.windows
+    }
+
+    /// Concurrent hog processes at `now`.
+    pub fn processes_at(&self, now: SimTime) -> u32 {
+        self.windows
+            .iter()
+            .filter(|w| now >= w.start && now < w.end)
+            .map(|w| w.processes)
+            .sum()
+    }
+
+    /// Disk service-time slowdown factor at `now` (>= 1.0).
+    pub fn disk_slowdown_at(&self, now: SimTime) -> f64 {
+        1.0 + self.disk_factor_per_process * self.processes_at(now) as f64
+    }
+
+    /// CPU service-time slowdown factor at `now` (>= 1.0).
+    pub fn cpu_slowdown_at(&self, now: SimTime) -> f64 {
+        1.0 + self.cpu_factor_per_process * self.processes_at(now) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper() {
+        let s = HogSchedule::table2();
+        assert_eq!(s.windows().len(), 4);
+        assert_eq!(s.processes_at(SimTime::from_mins(10)), 1);
+        assert_eq!(s.processes_at(SimTime::from_mins(30)), 2);
+        assert_eq!(s.processes_at(SimTime::from_mins(60)), 4);
+        assert_eq!(s.processes_at(SimTime::from_mins(120)), 4);
+        assert_eq!(s.processes_at(SimTime::from_mins(70)), 0);
+        assert_eq!(s.processes_at(SimTime::from_mins(170)), 0);
+    }
+
+    #[test]
+    fn slowdowns_scale_with_processes() {
+        let s = HogSchedule::new()
+            .with_window(SimTime::ZERO, SimTime::from_mins(1), 4)
+            .with_factors(1.0, 0.1);
+        assert!((s.disk_slowdown_at(SimTime::ZERO) - 5.0).abs() < 1e-12);
+        assert!((s.cpu_slowdown_at(SimTime::ZERO) - 1.4).abs() < 1e-12);
+        // Outside the window everything is nominal.
+        assert_eq!(s.disk_slowdown_at(SimTime::from_mins(2)), 1.0);
+        assert_eq!(s.cpu_slowdown_at(SimTime::from_mins(2)), 1.0);
+    }
+
+    #[test]
+    fn overlapping_windows_sum_processes() {
+        let s = HogSchedule::new()
+            .with_window(SimTime::ZERO, SimTime::from_mins(10), 1)
+            .with_window(SimTime::from_mins(5), SimTime::from_mins(10), 2);
+        assert_eq!(s.processes_at(SimTime::from_mins(6)), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_process_window_rejected() {
+        HogSchedule::new().with_window(SimTime::ZERO, SimTime::from_mins(1), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_factor_rejected() {
+        HogSchedule::new().with_factors(-1.0, 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Fault injection for the SAAD experiments.
+//!
+//! The paper injects faults on the storage systems' write I/O path with
+//! SystemTap (§5.4) and with `dd`-based disk hogs (§5.5). This crate is the
+//! simulator-side equivalent:
+//!
+//! * [`FaultSpec`] — an *error* or *delay* fault on a targeted I/O class
+//!   (`"wal"`, `"memtable-flush"`, …) at *low* (1%) or *high* (100%)
+//!   intensity — the paper's exact failure model (Table 3);
+//! * [`FaultSchedule`] — timed fault windows implementing
+//!   [`saad_sim::resource::IoHook`], attachable directly to a simulated
+//!   [`saad_sim::resource::Disk`];
+//! * [`HogSchedule`] — the Table 2 disk-hog timeline: a number of `dd`
+//!   processes per window, mapped to a disk service-time slowdown factor;
+//! * [`catalog`] — ready-made builders for every fault configuration the
+//!   paper evaluates (Fig 9, Fig 10/Table 2, Fig 11/Table 3).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod catalog;
+mod hog;
+mod schedule;
+mod spec;
+
+pub use hog::{HogSchedule, HogWindow};
+pub use schedule::{FaultSchedule, FaultWindow};
+pub use spec::{FaultSpec, FaultType, Intensity};

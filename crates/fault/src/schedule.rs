@@ -1,0 +1,242 @@
+//! Timed fault schedules attachable to simulated disks.
+
+use crate::{FaultSpec, FaultType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saad_sim::resource::{IoHook, IoRequest, IoVerdict};
+use saad_sim::SimTime;
+
+/// One timed fault window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultWindow {
+    /// When the fault becomes active.
+    pub start: SimTime,
+    /// When the fault is lifted (exclusive).
+    pub end: SimTime,
+    /// What it does while active.
+    pub spec: FaultSpec,
+}
+
+impl FaultWindow {
+    /// Whether the window is active at `now`.
+    pub fn active_at(&self, now: SimTime) -> bool {
+        now >= self.start && now < self.end
+    }
+}
+
+/// A set of timed fault windows; implements [`IoHook`] so it can be
+/// attached directly to a [`saad_sim::resource::Disk`].
+///
+/// Coin flips for sub-100% intensities draw from a dedicated seeded RNG,
+/// so runs are reproducible.
+///
+/// # Example
+///
+/// ```
+/// use saad_fault::{FaultSchedule, FaultSpec, FaultType, Intensity};
+/// use saad_sim::SimTime;
+///
+/// // The paper's Figure 9 schedule: low fault at minutes 10–20, high at
+/// // 30–40.
+/// let schedule = FaultSchedule::new(42)
+///     .with_window(
+///         SimTime::from_mins(10),
+///         SimTime::from_mins(20),
+///         FaultSpec::new("wal", FaultType::Error, Intensity::Low),
+///     )
+///     .with_window(
+///         SimTime::from_mins(30),
+///         SimTime::from_mins(40),
+///         FaultSpec::new("wal", FaultType::Error, Intensity::High),
+///     );
+/// assert_eq!(schedule.windows().len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct FaultSchedule {
+    windows: Vec<FaultWindow>,
+    rng: StdRng,
+    injected: u64,
+}
+
+impl FaultSchedule {
+    /// Create an empty schedule with the given RNG seed.
+    pub fn new(seed: u64) -> FaultSchedule {
+        FaultSchedule {
+            windows: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            injected: 0,
+        }
+    }
+
+    /// Add a fault window (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start`.
+    pub fn with_window(mut self, start: SimTime, end: SimTime, spec: FaultSpec) -> FaultSchedule {
+        assert!(end > start, "fault window must be non-empty");
+        self.windows.push(FaultWindow { start, end, spec });
+        self
+    }
+
+    /// The configured windows.
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+
+    /// Number of requests actually disturbed so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Whether any window is active at `now`.
+    pub fn active_at(&self, now: SimTime) -> bool {
+        self.windows.iter().any(|w| w.active_at(now))
+    }
+}
+
+impl IoHook for FaultSchedule {
+    fn intercept(&mut self, req: &IoRequest, now: SimTime) -> IoVerdict {
+        for w in &self.windows {
+            if !w.active_at(now) || w.spec.class != req.class {
+                continue;
+            }
+            let p = w.spec.intensity.probability();
+            let hit = p >= 1.0 || self.rng.gen_bool(p);
+            if hit {
+                self.injected += 1;
+                return match w.spec.fault {
+                    FaultType::Error => IoVerdict::Fail,
+                    FaultType::Delay(d) => IoVerdict::Delay(d),
+                };
+            }
+        }
+        IoVerdict::Proceed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Intensity;
+    use saad_sim::resource::IoKind;
+    use saad_sim::SimDuration;
+
+    fn wal_write() -> IoRequest {
+        IoRequest {
+            kind: IoKind::Write,
+            bytes: 1024,
+            class: "wal",
+        }
+    }
+
+    fn schedule_high_error() -> FaultSchedule {
+        FaultSchedule::new(1).with_window(
+            SimTime::from_mins(10),
+            SimTime::from_mins(20),
+            FaultSpec::new("wal", FaultType::Error, Intensity::High),
+        )
+    }
+
+    #[test]
+    fn inactive_outside_window() {
+        let mut s = schedule_high_error();
+        assert_eq!(s.intercept(&wal_write(), SimTime::from_mins(5)), IoVerdict::Proceed);
+        assert_eq!(s.intercept(&wal_write(), SimTime::from_mins(20)), IoVerdict::Proceed);
+        assert_eq!(s.injected(), 0);
+        assert!(!s.active_at(SimTime::from_mins(25)));
+    }
+
+    #[test]
+    fn high_intensity_hits_every_request() {
+        let mut s = schedule_high_error();
+        for i in 0..100 {
+            let t = SimTime::from_mins(10) + SimDuration::from_secs(i);
+            assert_eq!(s.intercept(&wal_write(), t), IoVerdict::Fail);
+        }
+        assert_eq!(s.injected(), 100);
+    }
+
+    #[test]
+    fn low_intensity_hits_about_one_percent() {
+        let mut s = FaultSchedule::new(7).with_window(
+            SimTime::ZERO,
+            SimTime::from_mins(60),
+            FaultSpec::new("wal", FaultType::Error, Intensity::Low),
+        );
+        let mut hits = 0;
+        for _ in 0..100_000 {
+            if s.intercept(&wal_write(), SimTime::from_mins(1)) == IoVerdict::Fail {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.01).abs() < 0.003, "rate={rate}");
+    }
+
+    #[test]
+    fn untargeted_class_is_untouched() {
+        let mut s = schedule_high_error();
+        let flush = IoRequest {
+            kind: IoKind::Write,
+            bytes: 1024,
+            class: "memtable-flush",
+        };
+        assert_eq!(s.intercept(&flush, SimTime::from_mins(15)), IoVerdict::Proceed);
+    }
+
+    #[test]
+    fn delay_fault_returns_delay_verdict() {
+        let mut s = FaultSchedule::new(1).with_window(
+            SimTime::ZERO,
+            SimTime::from_mins(1),
+            FaultSpec::new("wal", FaultType::standard_delay(), Intensity::High),
+        );
+        assert_eq!(
+            s.intercept(&wal_write(), SimTime::ZERO),
+            IoVerdict::Delay(SimDuration::from_millis(100))
+        );
+    }
+
+    #[test]
+    fn overlapping_windows_first_match_wins() {
+        let mut s = FaultSchedule::new(1)
+            .with_window(
+                SimTime::ZERO,
+                SimTime::from_mins(10),
+                FaultSpec::new("wal", FaultType::Error, Intensity::High),
+            )
+            .with_window(
+                SimTime::ZERO,
+                SimTime::from_mins(10),
+                FaultSpec::new("wal", FaultType::standard_delay(), Intensity::High),
+            );
+        assert_eq!(s.intercept(&wal_write(), SimTime::from_mins(1)), IoVerdict::Fail);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let run = |seed| {
+            let mut s = FaultSchedule::new(seed).with_window(
+                SimTime::ZERO,
+                SimTime::from_mins(60),
+                FaultSpec::new("wal", FaultType::Error, Intensity::Custom(0.5)),
+            );
+            (0..64)
+                .map(|_| s.intercept(&wal_write(), SimTime::from_mins(1)) == IoVerdict::Fail)
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_window_rejected() {
+        FaultSchedule::new(1).with_window(
+            SimTime::from_mins(5),
+            SimTime::from_mins(5),
+            FaultSpec::new("wal", FaultType::Error, Intensity::High),
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Fault specifications: what to break, how, and how often.
+
+use saad_sim::SimDuration;
+use std::fmt;
+
+/// How a targeted I/O request is disturbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultType {
+    /// Fail the request (the paper's *error fault*).
+    Error,
+    /// Stall the request for the given extra time (the paper pauses
+    /// requests for 100 ms in its *delay faults*).
+    Delay(SimDuration),
+}
+
+impl FaultType {
+    /// The paper's standard 100 ms delay fault.
+    pub fn standard_delay() -> FaultType {
+        FaultType::Delay(SimDuration::from_millis(100))
+    }
+}
+
+impl fmt::Display for FaultType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultType::Error => f.write_str("error"),
+            FaultType::Delay(d) => write!(f, "delay({d})"),
+        }
+    }
+}
+
+/// Fault intensity: the fraction of targeted requests affected.
+///
+/// "A low intensity fault affects 1% of I/O requests and a high intensity
+/// fault affects 100% of the I/O requests." (§5.4)
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Intensity {
+    /// 1% of requests.
+    Low,
+    /// 100% of requests.
+    High,
+    /// A custom probability in `[0, 1]` (for ablation sweeps).
+    Custom(f64),
+}
+
+impl Intensity {
+    /// The probability a targeted request is affected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a custom probability is outside `[0, 1]`.
+    pub fn probability(&self) -> f64 {
+        match *self {
+            Intensity::Low => 0.01,
+            Intensity::High => 1.0,
+            Intensity::Custom(p) => {
+                assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+                p
+            }
+        }
+    }
+}
+
+impl fmt::Display for Intensity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Intensity::Low => f.write_str("low"),
+            Intensity::High => f.write_str("high"),
+            Intensity::Custom(p) => write!(f, "p={p}"),
+        }
+    }
+}
+
+/// A complete fault specification: fault type + intensity + targeted I/O
+/// class (matching [`saad_sim::resource::IoRequest::class`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// I/O class the fault targets, e.g. `"wal"` or `"memtable-flush"`.
+    pub class: &'static str,
+    /// Error or delay.
+    pub fault: FaultType,
+    /// Fraction of targeted requests affected.
+    pub intensity: Intensity,
+}
+
+impl FaultSpec {
+    /// Create a spec.
+    pub fn new(class: &'static str, fault: FaultType, intensity: Intensity) -> FaultSpec {
+        FaultSpec {
+            class,
+            fault,
+            intensity,
+        }
+    }
+
+    /// Short name in the paper's style, e.g. `error-wal-high`.
+    pub fn name(&self) -> String {
+        let fault = match self.fault {
+            FaultType::Error => "error",
+            FaultType::Delay(_) => "delay",
+        };
+        format!("{fault}-{}-{}", self.class, self.intensity)
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} on {} ({} intensity)", self.fault, self.class, self.intensity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intensities_match_paper() {
+        assert_eq!(Intensity::Low.probability(), 0.01);
+        assert_eq!(Intensity::High.probability(), 1.0);
+        assert_eq!(Intensity::Custom(0.3).probability(), 0.3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn custom_out_of_range_panics() {
+        Intensity::Custom(1.5).probability();
+    }
+
+    #[test]
+    fn standard_delay_is_100ms() {
+        assert_eq!(
+            FaultType::standard_delay(),
+            FaultType::Delay(SimDuration::from_millis(100))
+        );
+    }
+
+    #[test]
+    fn names_are_papers_style() {
+        let spec = FaultSpec::new("wal", FaultType::Error, Intensity::High);
+        assert_eq!(spec.name(), "error-wal-high");
+        let spec = FaultSpec::new("memtable-flush", FaultType::standard_delay(), Intensity::Low);
+        assert_eq!(spec.name(), "delay-memtable-flush-low");
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let spec = FaultSpec::new("wal", FaultType::standard_delay(), Intensity::Low);
+        let s = spec.to_string();
+        assert!(s.contains("delay") && s.contains("wal") && s.contains("low"));
+    }
+}

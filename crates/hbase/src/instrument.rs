@@ -1,0 +1,185 @@
+//! Stage and log point registration for the simulated Regionservers,
+//! sharing registries with the embedded HDFS tier.
+
+use saad_core::{StageId, StageRegistry};
+use saad_hdfs::HdfsInstrumentation;
+use saad_logging::{Level, LogPointId, LogPointRegistry};
+use std::sync::Arc;
+
+/// Stage ids of a simulated Regionserver (the Figure 10(a) rows).
+#[derive(Debug, Clone, Copy)]
+#[allow(missing_docs)]
+pub struct HBaseStages {
+    pub call: StageId,
+    pub handler: StageId,
+    pub data_streamer: StageId,
+    pub response_processor: StageId,
+    pub log_roller: StageId,
+    pub compaction_checker: StageId,
+    pub compaction_request: StageId,
+    pub open_region_handler: StageId,
+    pub post_open_deploy: StageId,
+    pub split_log_worker: StageId,
+    pub listener: StageId,
+    pub connection: StageId,
+}
+
+/// Log point ids of the simulated Regionserver source.
+#[derive(Debug, Clone, Copy)]
+#[allow(missing_docs)]
+pub struct HBasePoints {
+    // Call
+    pub ca_put: LogPointId,
+    pub ca_get: LogPointId,
+    pub ca_get_mem: LogPointId,
+    pub ca_get_hfile: LogPointId,
+    pub ca_done: LogPointId,
+    // Handler
+    pub ha_sync: LogPointId,
+    pub ha_synced: LogPointId,
+    pub ha_flush_start: LogPointId,
+    pub ha_flush_done: LogPointId,
+    pub ha_recover: LogPointId,
+    pub ha_recover_fail: LogPointId,
+    pub ha_abort: LogPointId,
+    // DataStreamer / ResponseProcessor
+    pub ds_open: LogPointId,
+    pub ds_queue: LogPointId,
+    pub rp_ack: LogPointId,
+    // LogRoller
+    pub lr_roll: LogPointId,
+    pub lr_rolled: LogPointId,
+    // Compaction
+    pub cc_tick: LogPointId,
+    pub cc_request: LogPointId,
+    pub cc_major: LogPointId,
+    pub cr_start: LogPointId,
+    pub cr_read: LogPointId,
+    pub cr_write: LogPointId,
+    pub cr_done: LogPointId,
+    pub cr_major: LogPointId,
+    // Region lifecycle
+    pub orh_open: LogPointId,
+    pub orh_done: LogPointId,
+    pub po_deploy: LogPointId,
+    pub slw_claim: LogPointId,
+    pub slw_replay: LogPointId,
+    pub slw_done: LogPointId,
+    // IPC
+    pub li_accept: LogPointId,
+    pub cn_read: LogPointId,
+}
+
+/// Registries plus id structs for the whole HBase-on-HDFS deployment.
+#[derive(Debug, Clone)]
+pub struct HBaseInstrumentation {
+    /// Stage name registry shared with the Data Node tier.
+    pub stages_registry: Arc<StageRegistry>,
+    /// Log template dictionary shared with the Data Node tier.
+    pub points_registry: Arc<LogPointRegistry>,
+    /// Regionserver stage ids.
+    pub stages: HBaseStages,
+    /// Regionserver log point ids.
+    pub points: HBasePoints,
+    /// The embedded Data Node tier's instrumentation.
+    pub hdfs: HdfsInstrumentation,
+}
+
+impl HBaseInstrumentation {
+    /// Register everything: Regionserver stages/points and, into the same
+    /// registries, the Data Node tier's.
+    pub fn install() -> HBaseInstrumentation {
+        let sr = Arc::new(StageRegistry::new());
+        let prr = Arc::new(LogPointRegistry::new());
+        let stages = HBaseStages {
+            call: sr.register("Call"),
+            handler: sr.register("Handler"),
+            data_streamer: sr.register("DataStreamer"),
+            response_processor: sr.register("ResponseProcessor"),
+            log_roller: sr.register("LogRoller"),
+            compaction_checker: sr.register("CompactionChecker"),
+            compaction_request: sr.register("CompactionRequest"),
+            open_region_handler: sr.register("OpenRegionHandler"),
+            post_open_deploy: sr.register("PostOpenDeployTasksThread"),
+            split_log_worker: sr.register("SplitLogWorker"),
+            listener: sr.register("Listener"),
+            connection: sr.register("Connection"),
+        };
+        let reg = |text: &str, level: Level, file: &str, line: u32| {
+            prr.register(text, level, file, line)
+        };
+        let points = HBasePoints {
+            ca_put: reg("Call: put for region {}", Level::Debug, "HRegionServer.java", 1710),
+            ca_get: reg("Call: get for region {}", Level::Debug, "HRegionServer.java", 1650),
+            ca_get_mem: reg("get served from memstore", Level::Debug, "HRegion.java", 2204),
+            ca_get_hfile: reg("get reading store file {}", Level::Debug, "HRegion.java", 2219),
+            ca_done: reg("Call processed; sending response", Level::Debug, "HRegionServer.java", 1742),
+            ha_sync: reg("log sync: syncing {} edits to WAL", Level::Debug, "HLog.java", 1101),
+            ha_synced: reg("log sync complete", Level::Debug, "HLog.java", 1130),
+            ha_flush_start: reg("Flushing memstore of region {}", Level::Info, "HRegion.java", 1322),
+            ha_flush_done: reg("Finished memstore flush; added store file {}", Level::Info, "HRegion.java", 1390),
+            ha_recover: reg("Requesting recovery of WAL block blk_{}", Level::Info, "DFSClient.java", 2801),
+            ha_recover_fail: reg("Exception during block recovery; retrying", Level::Error, "DFSClient.java", 2833),
+            ha_abort: reg("Aborting region server after {} failed recovery attempts", Level::Error, "HRegionServer.java", 990),
+            ds_open: reg("DataStreamer: allocating new block blk_{}", Level::Info, "DFSClient.java", 2410),
+            ds_queue: reg("DataStreamer: sending packet seqno {}", Level::Debug, "DFSClient.java", 2466),
+            rp_ack: reg("ResponseProcessor: received ack for seqno {}", Level::Debug, "DFSClient.java", 2570),
+            lr_roll: reg("LogRoller: rolling WAL", Level::Info, "LogRoller.java", 84),
+            lr_rolled: reg("LogRoller: WAL rolled onto new block", Level::Debug, "LogRoller.java", 101),
+            cc_tick: reg("CompactionChecker: checking stores", Level::Debug, "HRegionServer.java", 1220),
+            cc_request: reg("CompactionChecker: requesting compaction of {} files", Level::Debug, "HRegionServer.java", 1234),
+            cc_major: reg("CompactionChecker: major compaction due on region {}", Level::Info, "HRegionServer.java", 1241),
+            cr_start: reg("CompactionRequest: compacting {} store files", Level::Info, "CompactSplitThread.java", 140),
+            cr_read: reg("CompactionRequest: reading store file {}", Level::Debug, "Store.java", 980),
+            cr_write: reg("CompactionRequest: writing compacted file", Level::Debug, "Store.java", 1011),
+            cr_done: reg("CompactionRequest: completed compaction", Level::Info, "CompactSplitThread.java", 171),
+            cr_major: reg("CompactionRequest: MAJOR compaction of region {}", Level::Info, "CompactSplitThread.java", 152),
+            orh_open: reg("OpenRegionHandler: opening region {}", Level::Info, "OpenRegionHandler.java", 88),
+            orh_done: reg("OpenRegionHandler: region {} online", Level::Info, "OpenRegionHandler.java", 141),
+            po_deploy: reg("PostOpenDeployTasks for region {}", Level::Info, "HRegionServer.java", 1544),
+            slw_claim: reg("SplitLogWorker: acquired split task for WAL {}", Level::Info, "SplitLogWorker.java", 210),
+            slw_replay: reg("SplitLogWorker: replaying edits from {}", Level::Debug, "SplitLogWorker.java", 255),
+            slw_done: reg("SplitLogWorker: finished split task", Level::Info, "SplitLogWorker.java", 290),
+            li_accept: reg("RS IPC listener: accepted connection from client {}", Level::Debug, "Server.java", 398),
+            cn_read: reg("Connection: reading call from client {}", Level::Debug, "Server.java", 520),
+        };
+        let hdfs = HdfsInstrumentation::install_into(sr.clone(), prr.clone());
+        HBaseInstrumentation {
+            stages_registry: sr,
+            points_registry: prr,
+            stages,
+            points,
+            hdfs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_covers_rs_and_dn_stages() {
+        let inst = HBaseInstrumentation::install();
+        // 12 RS stages + 5 DN-only stages (Handler and Listener are shared
+        // names; processes are told apart by host id).
+        assert_eq!(inst.stages_registry.len(), 17);
+        assert!(inst.stages_registry.lookup("Call").is_some());
+        assert!(inst.stages_registry.lookup("DataXceiver").is_some());
+        assert_eq!(
+            inst.stages_registry.name(inst.stages.split_log_worker).as_deref(),
+            Some("SplitLogWorker")
+        );
+        // Shared names resolve to the same id.
+        assert_eq!(inst.stages.handler, inst.hdfs.stages.handler);
+        assert_eq!(inst.stages.listener, inst.hdfs.stages.listener);
+    }
+
+    #[test]
+    fn point_ids_are_globally_unique() {
+        let inst = HBaseInstrumentation::install();
+        // 33 RS points + 18 DN points, all distinct.
+        assert_eq!(inst.points_registry.len(), 51);
+        assert_ne!(inst.points.ca_put, inst.hdfs.points.dx_recv_block);
+    }
+}

@@ -1,0 +1,35 @@
+//! A simulated HBase 0.92 Regionserver tier running on the simulated HDFS
+//! Data Nodes, with the SAAD paper's stage decomposition.
+//!
+//! The paper's §5.5 experiment runs HBase over HDFS on four hosts, each
+//! hosting one Regionserver and one Data Node, under a disk-hog fault
+//! schedule (Table 2). This crate reproduces the Regionserver side:
+//!
+//! * **RPC** — `Call` tasks for get/put, `Listener`/`Connection` for the
+//!   IPC server;
+//! * **WAL** — group-committed *log sync* tasks in the `Handler` stage,
+//!   streamed through a long-lived `DataStreamer`/`ResponseProcessor`
+//!   pair into the HDFS pipeline; `LogRoller` rolls the WAL block
+//!   periodically;
+//! * **Store management** — memstore flushes to HFiles,
+//!   `CompactionChecker`/`CompactionRequest` minor compactions, plus the
+//!   end-of-run **major compaction** that the paper reports as a false
+//!   positive (a legitimate but rare activity absent from training);
+//! * **Failure handling** — the *premature recovery termination* bug:
+//!   when a slow Data Node stalls WAL syncs, the Regionserver requests
+//!   block recovery, misinterprets the Data Node's *"already being
+//!   recovered"* response as an exception, retries in a tight cycle, and
+//!   finally aborts; survivors run `SplitLogWorker`,
+//!   `OpenRegionHandler`, and `PostOpenDeployTasksThread` tasks to take
+//!   over its regions.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cluster;
+mod instrument;
+mod regionserver;
+
+pub use cluster::{HBaseCluster, HBaseConfig, HBaseRunOutput};
+pub use instrument::{HBaseInstrumentation, HBasePoints, HBaseStages};
+pub use regionserver::RegionServerStats;

@@ -1,0 +1,637 @@
+//! One simulated Regionserver: RPC calls, WAL group commit through the
+//! HDFS pipeline, memstore flushes, compactions, and the recovery bug.
+
+use crate::instrument::{HBaseInstrumentation, HBasePoints, HBaseStages};
+use rand::rngs::StdRng;
+use rand::Rng;
+use saad_core::simtask::{SimTask, SuspendedSimTask};
+use saad_core::tracker::{SynopsisSink, TaskExecutionTracker};
+use saad_core::{HostId, StageId};
+use saad_hdfs::{BlockHandle, HdfsCluster, RecoveryResponse};
+use saad_logging::appender::Appender;
+use saad_logging::{Level, Logger};
+use saad_sim::rng::{lognormal_sample, RngStreams};
+use saad_sim::{Clock, ManualClock, SimDuration, SimTime};
+use std::sync::Arc;
+
+/// Per-Regionserver counters a run reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RegionServerStats {
+    /// Put calls processed.
+    pub puts: u64,
+    /// Get calls processed.
+    pub gets: u64,
+    /// WAL log-sync batches.
+    pub syncs: u64,
+    /// Memstore flushes.
+    pub flushes: u64,
+    /// Minor compactions.
+    pub compactions: u64,
+    /// Major compactions.
+    pub major_compactions: u64,
+    /// Block recovery attempts issued (the bug's retry cycle).
+    pub recovery_attempts: u64,
+    /// WAL rolls.
+    pub wal_rolls: u64,
+    /// Regions taken over from a crashed peer.
+    pub regions_taken_over: u64,
+    /// When this Regionserver aborted, if it did.
+    pub crashed_at: Option<SimTime>,
+}
+
+#[derive(Debug)]
+pub(crate) struct Loggers {
+    pub call: Arc<Logger>,
+    pub handler: Arc<Logger>,
+    pub ds: Arc<Logger>,
+    pub rp: Arc<Logger>,
+    pub lr: Arc<Logger>,
+    pub cc: Arc<Logger>,
+    pub cr: Arc<Logger>,
+    pub orh: Arc<Logger>,
+    pub po: Arc<Logger>,
+    pub slw: Arc<Logger>,
+    pub listener: Arc<Logger>,
+    pub conn: Arc<Logger>,
+}
+
+struct WalStream {
+    handle: BlockHandle,
+    ds: Option<SuspendedSimTask>,
+    rp: Option<SuspendedSimTask>,
+    seqno: u32,
+}
+
+pub(crate) struct RegionServer {
+    pub host: HostId,
+    pub index: usize,
+    clock: Arc<ManualClock>,
+    pub tracker: Arc<TaskExecutionTracker>,
+    st: HBaseStages,
+    pt: HBasePoints,
+    pub log: Loggers,
+    rng: StdRng,
+    /// CPU slowdown from the disk hog (interrupt/syscall pressure).
+    pub cpu_factor: f64,
+    memstore_bytes: u64,
+    pub store_files: u32,
+    pending_edits: u32,
+    pending_bytes: u64,
+    first_pending: SimTime,
+    wal: Option<WalStream>,
+    pub crashed: bool,
+    pub recovery_mode: bool,
+    pub recovery_retries: u32,
+    slow_syncs: u32,
+    last_slow_sync: SimTime,
+    /// Latency margin multiplier; widened after a takeover (fresh
+    /// pipelines and longer DFS timeouts on the survivors).
+    pub recovery_margin: f64,
+    pub next_recovery_attempt: SimTime,
+    pub errors: Vec<SimTime>,
+    pub stats: RegionServerStats,
+}
+
+impl std::fmt::Debug for RegionServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegionServer")
+            .field("host", &self.host)
+            .field("crashed", &self.crashed)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+/// Tunables shared by all Regionservers (subset of `HBaseConfig`).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RsTunables {
+    pub group_commit_edits: u32,
+    pub sync_max_wait: SimDuration,
+    pub memstore_flush_bytes: u64,
+    pub compact_threshold: u32,
+    pub recovery_latency_threshold: SimDuration,
+    pub recovery_retry_interval: SimDuration,
+    pub max_recovery_retries: u32,
+    pub wal_block_bytes: u64,
+}
+
+impl RegionServer {
+    pub(crate) fn new(
+        index: usize,
+        clock: Arc<ManualClock>,
+        inst: &HBaseInstrumentation,
+        level: Level,
+        sink: Arc<dyn SynopsisSink>,
+        appender: Option<Arc<dyn Appender>>,
+        streams: &RngStreams,
+    ) -> RegionServer {
+        let host = HostId(index as u16 + 1);
+        let tracker = Arc::new(TaskExecutionTracker::new(
+            host,
+            clock.clone() as Arc<dyn Clock>,
+            sink,
+        ));
+        let mk = |name: &str| {
+            let mut b = Logger::builder(name)
+                .level(level)
+                .interceptor(tracker.clone())
+                .registry(inst.points_registry.clone());
+            if let Some(a) = &appender {
+                b = b.appender(a.clone());
+            }
+            Arc::new(b.build())
+        };
+        let log = Loggers {
+            call: mk("HRegionServer"),
+            handler: mk("HLog"),
+            ds: mk("DFSClient"),
+            rp: mk("DFSClient"),
+            lr: mk("LogRoller"),
+            cc: mk("CompactionChecker"),
+            cr: mk("CompactSplitThread"),
+            orh: mk("OpenRegionHandler"),
+            po: mk("HRegionServer"),
+            slw: mk("SplitLogWorker"),
+            listener: mk("Server"),
+            conn: mk("Server"),
+        };
+        RegionServer {
+            host,
+            index,
+            clock,
+            tracker,
+            st: inst.stages,
+            pt: inst.points,
+            log,
+            rng: streams.stream(&format!("regionserver-{index}")),
+            cpu_factor: 1.0,
+            memstore_bytes: 0,
+            store_files: 1,
+            pending_edits: 0,
+            pending_bytes: 0,
+            first_pending: SimTime::ZERO,
+            wal: None,
+            crashed: false,
+            recovery_mode: false,
+            recovery_retries: 0,
+            slow_syncs: 0,
+            last_slow_sync: SimTime::ZERO,
+            recovery_margin: 1.0,
+            next_recovery_attempt: SimTime::ZERO,
+            errors: Vec::new(),
+            stats: RegionServerStats::default(),
+        }
+    }
+
+    fn cpu(&mut self, base_us: f64) -> SimDuration {
+        let jitter = lognormal_sample(&mut self.rng, 0.0, 0.25);
+        SimDuration::from_secs_f64(base_us * 1e-6 * jitter * self.cpu_factor)
+    }
+
+    fn task(&self, stage: StageId, logger: &Arc<Logger>, at: SimTime) -> SimTask {
+        SimTask::begin(&self.tracker, &self.clock, logger, stage, at)
+    }
+
+    fn wal_replicas(&self, nodes: usize) -> Vec<usize> {
+        (0..3.min(nodes)).map(|i| (self.index + i) % nodes).collect()
+    }
+
+    /// Open a fresh WAL block and its DataStreamer/ResponseProcessor pair.
+    pub(crate) fn open_wal(&mut self, hdfs: &mut HdfsCluster, at: SimTime) {
+        let replicas = self.wal_replicas(hdfs.node_count());
+        let handle = hdfs.open_block(at, &replicas);
+        let logger = self.log.ds.clone();
+        let mut ds = self.task(self.st.data_streamer, &logger, at);
+        ds.info(self.pt.ds_open, format_args!("DataStreamer: allocating new block blk_{}", self.stats.wal_rolls));
+        let d = self.cpu(60.0);
+        ds.advance(d);
+        let ds = ds.suspend(); // detach before starting the responder
+        let logger = self.log.rp.clone();
+        let rp = self.task(self.st.response_processor, &logger, at);
+        self.wal = Some(WalStream {
+            handle,
+            ds: Some(ds),
+            rp: Some(rp.suspend()),
+            seqno: 0,
+        });
+    }
+
+    /// Process a put: apply to the memstore and group-commit to the WAL.
+    /// Returns the call completion time, or `None` if this server is down.
+    pub(crate) fn put(
+        &mut self,
+        hdfs: &mut HdfsCluster,
+        at: SimTime,
+        key: u64,
+        bytes: u64,
+        tun: &RsTunables,
+    ) -> Option<SimTime> {
+        if self.crashed {
+            return None;
+        }
+        self.maybe_accept_connection(at);
+        let logger = self.log.call.clone();
+        let mut t = self.task(self.st.call, &logger, at);
+        t.debug(self.pt.ca_put, format_args!("Call: put for region {}", key % 64));
+        let d = self.cpu(90.0);
+        t.advance(d);
+        self.memstore_bytes += bytes;
+        self.stats.puts += 1;
+        if self.pending_edits == 0 {
+            self.first_pending = t.now();
+        }
+        self.pending_edits += 1;
+        self.pending_bytes += bytes;
+
+        let mut done = {
+            t.debug(self.pt.ca_done, format_args!("Call processed; sending response"));
+            t.finish()
+        };
+
+        // Group commit: sync when the batch is full or the oldest pending
+        // edit has waited long enough.
+        if !self.recovery_mode
+            && (self.pending_edits >= tun.group_commit_edits
+                || done.saturating_since(self.first_pending) >= tun.sync_max_wait)
+        {
+            if let Some(ack) = self.sync_wal(hdfs, done, tun) {
+                done = ack;
+            }
+        }
+        if self.memstore_bytes >= tun.memstore_flush_bytes && !self.recovery_mode {
+            self.flush_memstore(hdfs, done, tun);
+        }
+        Some(done)
+    }
+
+    /// Process a get. Returns the completion time, or `None` if down.
+    pub(crate) fn get(&mut self, hdfs: &mut HdfsCluster, at: SimTime, key: u64) -> Option<SimTime> {
+        if self.crashed {
+            return None;
+        }
+        let logger = self.log.call.clone();
+        let mut t = self.task(self.st.call, &logger, at);
+        t.debug(self.pt.ca_get, format_args!("Call: get for region {}", key % 64));
+        let d = self.cpu(130.0);
+        t.advance(d);
+        if self.rng.gen_bool(0.6) {
+            t.debug(self.pt.ca_get_mem, format_args!("get served from memstore"));
+            let d = self.cpu(40.0);
+            t.advance(d);
+        } else {
+            t.debug(self.pt.ca_get_hfile, format_args!("get reading store file {}", self.store_files));
+            let susp = t.suspend();
+            let done = hdfs.read_block(susp.now(), self.index, 64 * 1024);
+            let logger = self.log.call.clone();
+            t = SimTask::resume(&self.tracker, &self.clock, &logger, susp);
+            t.advance_to(done);
+        }
+        t.debug(self.pt.ca_done, format_args!("Call processed; sending response"));
+        self.stats.gets += 1;
+        Some(t.finish())
+    }
+
+    /// Group-commit the pending edits through the WAL pipeline (Handler
+    /// "log sync" task). Returns the ack time, or `None` when the sync
+    /// latency tripped the recovery path.
+    pub(crate) fn sync_wal(
+        &mut self,
+        hdfs: &mut HdfsCluster,
+        at: SimTime,
+        tun: &RsTunables,
+    ) -> Option<SimTime> {
+        let edits = self.pending_edits;
+        let bytes = (self.pending_bytes + 256).max(1024);
+        self.pending_edits = 0;
+        self.pending_bytes = 0;
+        if self.wal.is_none() {
+            self.open_wal(hdfs, at);
+        }
+        self.stats.syncs += 1;
+
+        let logger = self.log.handler.clone();
+        let mut h = self.task(self.st.handler, &logger, at);
+        h.debug(self.pt.ha_sync, format_args!("log sync: syncing {edits} edits to WAL"));
+        let d = self.cpu(50.0);
+        h.advance(d);
+        let send_at = h.now();
+        let susp_h = h.suspend();
+
+        // DataStreamer sends the packet.
+        let mut wal = self.wal.take().expect("wal open");
+        wal.seqno += 1;
+        let logger_ds = self.log.ds.clone();
+        let mut ds = SimTask::resume(
+            &self.tracker,
+            &self.clock,
+            &logger_ds,
+            wal.ds.take().expect("ds suspended"),
+        );
+        ds.advance_to(send_at);
+        ds.debug(self.pt.ds_queue, format_args!("DataStreamer: sending packet seqno {}", wal.seqno));
+        let ack = hdfs.write_packet(wal.handle, ds.now(), bytes);
+        wal.ds = Some(ds.suspend());
+
+        // ResponseProcessor collects the ack.
+        let logger_rp = self.log.rp.clone();
+        let mut rp = SimTask::resume(
+            &self.tracker,
+            &self.clock,
+            &logger_rp,
+            wal.rp.take().expect("rp suspended"),
+        );
+        rp.advance_to(ack.acked_at);
+        rp.debug(self.pt.rp_ack, format_args!("ResponseProcessor: received ack for seqno {}", wal.seqno));
+        wal.rp = Some(rp.suspend());
+        self.wal = Some(wal);
+
+        let logger = self.log.handler.clone();
+        let mut h = SimTask::resume(&self.tracker, &self.clock, &logger, susp_h);
+        h.advance_to(ack.acked_at);
+        h.debug(self.pt.ha_synced, format_args!("log sync complete"));
+        let done = h.finish();
+
+        let threshold = tun.recovery_latency_threshold.mul_f64(self.recovery_margin);
+        if done.saturating_since(send_at) >= threshold {
+            // An isolated slow sync can be a compaction collision; the DFS
+            // client gives up on the block only under a *sustained* run of
+            // slow syncs (three within 150 s), then starts the recovery
+            // cycle (paper §5.5's bug surface).
+            if done.saturating_since(self.last_slow_sync) > SimDuration::from_secs(150) {
+                self.slow_syncs = 0;
+            }
+            self.slow_syncs += 1;
+            self.last_slow_sync = done;
+            if self.slow_syncs >= 3 {
+                self.recovery_mode = true;
+                self.next_recovery_attempt = done;
+                return None;
+            }
+        }
+        Some(done)
+    }
+
+    /// One recovery attempt in the buggy retry cycle. Returns `true` if
+    /// the server aborted.
+    pub(crate) fn recovery_attempt(
+        &mut self,
+        hdfs: &mut HdfsCluster,
+        at: SimTime,
+        tun: &RsTunables,
+    ) -> bool {
+        self.stats.recovery_attempts += 1;
+        self.recovery_retries += 1;
+        let logger = self.log.handler.clone();
+        let mut h = self.task(self.st.handler, &logger, at);
+        h.info(self.pt.ha_recover, format_args!("Requesting recovery of WAL block blk_{}", self.stats.wal_rolls));
+        let d = self.cpu(80.0);
+        h.advance(d);
+        let susp = h.suspend();
+        let resp = hdfs.recover_block(susp.now(), self.index, tun.wal_block_bytes);
+        let logger = self.log.handler.clone();
+        let mut h = SimTask::resume(&self.tracker, &self.clock, &logger, susp);
+        match resp {
+            RecoveryResponse::AlreadyInProgress { responded_at } => {
+                h.advance_to(responded_at);
+                // The bug: "already being recovered" is misread as an
+                // exception and the request is repeated.
+                h.error(self.pt.ha_recover_fail, format_args!("Exception during block recovery; retrying"));
+                self.errors.push(h.now());
+            }
+            RecoveryResponse::Recovered { done } => {
+                h.advance_to(done);
+                // The client never recognises the success either; the
+                // cycle continues until the retry budget is exhausted.
+            }
+        }
+        h.finish();
+        self.next_recovery_attempt = at + tun.recovery_retry_interval;
+        if self.recovery_retries >= tun.max_recovery_retries {
+            self.abort(at + tun.recovery_retry_interval);
+            return true;
+        }
+        false
+    }
+
+    /// Abort the server (exceeded recovery retries).
+    fn abort(&mut self, at: SimTime) {
+        let logger = self.log.handler.clone();
+        let mut h = self.task(self.st.handler, &logger, at);
+        for _ in 0..3 {
+            h.error(
+                self.pt.ha_abort,
+                format_args!("Aborting region server after {} failed recovery attempts", self.recovery_retries),
+            );
+            self.errors.push(h.now());
+            h.advance(SimDuration::from_millis(10));
+        }
+        h.finish();
+        self.crashed = true;
+        self.stats.crashed_at = Some(at);
+        self.wal = None; // pipeline abandoned
+    }
+
+    /// Flush the memstore into a new HFile written through HDFS.
+    pub(crate) fn flush_memstore(&mut self, hdfs: &mut HdfsCluster, at: SimTime, _tun: &RsTunables) {
+        let bytes = self.memstore_bytes;
+        self.memstore_bytes = 0;
+        let logger = self.log.handler.clone();
+        let mut h = self.task(self.st.handler, &logger, at);
+        h.info(self.pt.ha_flush_start, format_args!("Flushing memstore of region {}", self.index));
+        let d = self.cpu(200.0);
+        h.advance(d);
+        let susp = h.suspend();
+        let done = self.write_hfile(hdfs, susp.now(), bytes);
+        let logger = self.log.handler.clone();
+        let mut h = SimTask::resume(&self.tracker, &self.clock, &logger, susp);
+        h.advance_to(done);
+        h.info(self.pt.ha_flush_done, format_args!("Finished memstore flush; added store file {}", self.store_files));
+        h.finish();
+        self.store_files += 1;
+        self.stats.flushes += 1;
+    }
+
+    /// Write a file through the HDFS pipeline in 256 KiB packets.
+    fn write_hfile(&mut self, hdfs: &mut HdfsCluster, at: SimTime, bytes: u64) -> SimTime {
+        let replicas = self.wal_replicas(hdfs.node_count());
+        let h = hdfs.open_block(at, &replicas);
+        let mut t = at;
+        let packets = (bytes / (256 * 1024)).clamp(1, 16);
+        for _ in 0..packets {
+            t = hdfs.write_packet(h, t, 256 * 1024).acked_at;
+        }
+        hdfs.close_block(h, t)
+    }
+
+    /// Periodic compaction check; runs a minor compaction when store files
+    /// pile up, or the (training-unseen) major compaction when due.
+    pub(crate) fn compaction_check(
+        &mut self,
+        hdfs: &mut HdfsCluster,
+        at: SimTime,
+        major_due: bool,
+        tun: &RsTunables,
+    ) {
+        if self.crashed {
+            return;
+        }
+        let logger = self.log.cc.clone();
+        let mut t = self.task(self.st.compaction_checker, &logger, at);
+        t.debug(self.pt.cc_tick, format_args!("CompactionChecker: checking stores"));
+        let d = self.cpu(40.0);
+        t.advance(d);
+        let minor_due = self.store_files >= tun.compact_threshold;
+        if major_due {
+            t.info(self.pt.cc_major, format_args!("CompactionChecker: major compaction due on region {}", self.index));
+        } else if minor_due {
+            t.debug(self.pt.cc_request, format_args!("CompactionChecker: requesting compaction of {} files", self.store_files));
+        }
+        let end = t.finish();
+        if major_due || minor_due {
+            self.run_compaction(hdfs, end, major_due);
+        }
+    }
+
+    fn run_compaction(&mut self, hdfs: &mut HdfsCluster, at: SimTime, major: bool) {
+        let files = if major { self.store_files.max(2) } else { self.store_files };
+        let logger = self.log.cr.clone();
+        let mut t = self.task(self.st.compaction_request, &logger, at);
+        t.info(self.pt.cr_start, format_args!("CompactionRequest: compacting {files} store files"));
+        if major {
+            t.info(self.pt.cr_major, format_args!("CompactionRequest: MAJOR compaction of region {}", self.index));
+        }
+        let file_bytes: u64 = if major { 4 * 1024 * 1024 } else { 1024 * 1024 };
+        let mut cursor = t.now();
+        for i in 0..files {
+            t.debug(self.pt.cr_read, format_args!("CompactionRequest: reading store file {i}"));
+            let susp = t.suspend();
+            cursor = hdfs.read_block(cursor, self.index, file_bytes);
+            let logger2 = self.log.cr.clone();
+            t = SimTask::resume(&self.tracker, &self.clock, &logger2, susp);
+            t.advance_to(cursor);
+        }
+        t.debug(self.pt.cr_write, format_args!("CompactionRequest: writing compacted file"));
+        let susp = t.suspend();
+        let done = self.write_hfile(hdfs, cursor, file_bytes * files as u64);
+        let logger2 = self.log.cr.clone();
+        let mut t = SimTask::resume(&self.tracker, &self.clock, &logger2, susp);
+        t.advance_to(done);
+        t.info(self.pt.cr_done, format_args!("CompactionRequest: completed compaction"));
+        t.finish();
+        self.store_files = 1;
+        if major {
+            self.stats.major_compactions += 1;
+        } else {
+            self.stats.compactions += 1;
+        }
+    }
+
+    /// Roll the WAL onto a fresh block (LogRoller stage).
+    pub(crate) fn roll_wal(&mut self, hdfs: &mut HdfsCluster, at: SimTime) {
+        if self.crashed {
+            return;
+        }
+        let logger = self.log.lr.clone();
+        let mut t = self.task(self.st.log_roller, &logger, at);
+        t.info(self.pt.lr_roll, format_args!("LogRoller: rolling WAL"));
+        let d = self.cpu(150.0);
+        t.advance(d);
+        let susp = t.suspend(); // detach while the old stream winds down
+        if let Some(wal) = self.wal.take() {
+            // Finish the old stream's tasks and close the pipeline.
+            let logger_ds = self.log.ds.clone();
+            let mut ds = SimTask::resume(&self.tracker, &self.clock, &logger_ds, wal.ds.expect("ds"));
+            ds.advance_to(susp.now());
+            ds.finish();
+            let logger_rp = self.log.rp.clone();
+            let mut rp = SimTask::resume(&self.tracker, &self.clock, &logger_rp, wal.rp.expect("rp"));
+            rp.advance_to(susp.now());
+            rp.finish();
+            hdfs.close_block(wal.handle, susp.now());
+        }
+        let logger = self.log.lr.clone();
+        let mut t = SimTask::resume(&self.tracker, &self.clock, &logger, susp);
+        t.debug(self.pt.lr_rolled, format_args!("LogRoller: WAL rolled onto new block"));
+        let end = t.finish();
+        self.open_wal(hdfs, end);
+        self.stats.wal_rolls += 1;
+    }
+
+    /// Take over regions from a crashed peer: OpenRegionHandler,
+    /// PostOpenDeployTasksThread, and SplitLogWorker tasks.
+    pub(crate) fn take_over_regions(
+        &mut self,
+        hdfs: &mut HdfsCluster,
+        at: SimTime,
+        regions: u32,
+        crashed_host: HostId,
+    ) {
+        if self.crashed {
+            return;
+        }
+        let logger = self.log.orh.clone();
+        let mut t = self.task(self.st.open_region_handler, &logger, at);
+        for r in 0..regions {
+            t.info(self.pt.orh_open, format_args!("OpenRegionHandler: opening region r{}-{}", crashed_host, r));
+            let d = self.cpu(300.0);
+            t.advance(d);
+            t.info(self.pt.orh_done, format_args!("OpenRegionHandler: region r{}-{} online", crashed_host, r));
+        }
+        let opened = t.finish();
+
+        let logger = self.log.po.clone();
+        let mut t = self.task(self.st.post_open_deploy, &logger, opened);
+        for r in 0..regions {
+            t.info(self.pt.po_deploy, format_args!("PostOpenDeployTasks for region r{}-{}", crashed_host, r));
+            let d = self.cpu(120.0);
+            t.advance(d);
+        }
+        let deployed = t.finish();
+
+        // Replay the crashed server's WAL.
+        let logger = self.log.slw.clone();
+        let mut t = self.task(self.st.split_log_worker, &logger, deployed);
+        t.info(self.pt.slw_claim, format_args!("SplitLogWorker: acquired split task for WAL of {crashed_host}"));
+        let mut cursor = t.now();
+        for _ in 0..3 {
+            t.debug(self.pt.slw_replay, format_args!("SplitLogWorker: replaying edits from {crashed_host}"));
+            let susp = t.suspend();
+            cursor = hdfs.read_block(cursor, self.index, 2 * 1024 * 1024);
+            let logger2 = self.log.slw.clone();
+            t = SimTask::resume(&self.tracker, &self.clock, &logger2, susp);
+            t.advance_to(cursor);
+        }
+        t.info(self.pt.slw_done, format_args!("SplitLogWorker: finished split task"));
+        t.finish();
+        self.stats.regions_taken_over += regions as u64;
+        // Post-takeover, survivors write through fresh pipelines with
+        // longer DFS timeouts; their recovery trigger is less hair-        // triggered (the paper's run lost exactly one Regionserver).
+        self.recovery_margin = 4.5;
+        self.slow_syncs = 0;
+    }
+
+    /// Whether a partial group-commit batch has waited at least `wait`.
+    pub(crate) fn has_pending_older_than(&self, at: SimTime, wait: SimDuration) -> bool {
+        self.pending_edits > 0 && at.saturating_since(self.first_pending) >= wait
+    }
+
+    /// Occasionally model a new client connection (Listener + Connection
+    /// stages).
+    fn maybe_accept_connection(&mut self, at: SimTime) {
+        if !self.rng.gen_bool(0.01) {
+            return;
+        }
+        let logger = self.log.listener.clone();
+        let mut li = self.task(self.st.listener, &logger, at);
+        li.debug(self.pt.li_accept, format_args!("RS IPC listener: accepted connection from client"));
+        let d = self.cpu(15.0);
+        li.advance(d);
+        let t = li.finish();
+        let logger = self.log.conn.clone();
+        let mut cn = self.task(self.st.connection, &logger, t);
+        cn.debug(self.pt.cn_read, format_args!("Connection: reading call from client"));
+        let d = self.cpu(25.0);
+        cn.advance(d);
+        cn.finish();
+    }
+}

@@ -1,0 +1,160 @@
+//! One simulated Data Node: loggers, tracker, disk, and recovery state.
+
+use crate::instrument::{HdfsInstrumentation, HdfsPoints, HdfsStages};
+use rand::rngs::StdRng;
+use saad_core::simtask::SimTask;
+use saad_core::tracker::{SynopsisSink, TaskExecutionTracker};
+use saad_core::{HostId, StageId};
+use saad_logging::appender::Appender;
+use saad_logging::{Level, Logger};
+use saad_sim::resource::Disk;
+use saad_sim::rng::{lognormal_sample, RngStreams};
+use saad_sim::{Clock, ManualClock, SimDuration, SimTime};
+use std::sync::Arc;
+
+/// Per-node counters a run reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DataNodeStats {
+    /// Blocks fully written through this node.
+    pub blocks_written: u64,
+    /// Packets received.
+    pub packets: u64,
+    /// Read requests served.
+    pub reads: u64,
+    /// Block recoveries performed.
+    pub recoveries: u64,
+    /// Recovery requests answered "already in recovery".
+    pub already_in_recovery: u64,
+    /// Block transfers performed.
+    pub transfers: u64,
+    /// Heartbeats processed.
+    pub heartbeats: u64,
+}
+
+#[derive(Debug)]
+pub(crate) struct Loggers {
+    pub dx: Arc<Logger>,
+    pub pr: Arc<Logger>,
+    pub rb: Arc<Logger>,
+    pub dt: Arc<Logger>,
+    pub handler: Arc<Logger>,
+    pub listener: Arc<Logger>,
+    pub reader: Arc<Logger>,
+}
+
+pub(crate) struct DataNode {
+    pub host: HostId,
+    clock: Arc<ManualClock>,
+    pub tracker: Arc<TaskExecutionTracker>,
+    pub st: HdfsStages,
+    pub pt: HdfsPoints,
+    pub log: Loggers,
+    pub disk: Disk,
+    pub rng: StdRng,
+    /// Until when an in-flight block recovery occupies this node.
+    pub recovering_until: SimTime,
+    pub stats: DataNodeStats,
+}
+
+impl std::fmt::Debug for DataNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DataNode")
+            .field("host", &self.host)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl DataNode {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        index: usize,
+        host: HostId,
+        clock: Arc<ManualClock>,
+        inst: &HdfsInstrumentation,
+        level: Level,
+        sink: Arc<dyn SynopsisSink>,
+        appender: Option<Arc<dyn Appender>>,
+        streams: &RngStreams,
+    ) -> DataNode {
+        let tracker = Arc::new(TaskExecutionTracker::new(
+            host,
+            clock.clone() as Arc<dyn Clock>,
+            sink,
+        ));
+        let mk = |name: &str| {
+            let mut b = Logger::builder(name)
+                .level(level)
+                .interceptor(tracker.clone())
+                .registry(inst.points_registry.clone());
+            if let Some(a) = &appender {
+                b = b.appender(a.clone());
+            }
+            Arc::new(b.build())
+        };
+        let log = Loggers {
+            dx: mk("DataXceiver"),
+            pr: mk("PacketResponder"),
+            rb: mk("DataNode"),
+            dt: mk("DataNode"),
+            handler: mk("Server"),
+            listener: mk("Server"),
+            reader: mk("Server"),
+        };
+        DataNode {
+            host,
+            clock,
+            tracker,
+            st: inst.stages,
+            pt: inst.points,
+            log,
+            disk: Disk::commodity(format!("dn-disk-{index}")),
+            rng: streams.stream(&format!("datanode-{index}")),
+            recovering_until: SimTime::ZERO,
+            stats: DataNodeStats::default(),
+        }
+    }
+
+    /// Shared virtual clock handle (for resuming suspended tasks).
+    pub(crate) fn clock_handle(&self) -> Arc<ManualClock> {
+        self.clock.clone()
+    }
+
+    /// CPU service time with log-normal jitter.
+    pub(crate) fn cpu(&mut self, base_us: f64) -> SimDuration {
+        let jitter = lognormal_sample(&mut self.rng, 0.0, 0.25);
+        SimDuration::from_secs_f64(base_us * 1e-6 * jitter)
+    }
+
+    pub(crate) fn task(&self, stage: StageId, logger: &Arc<Logger>, at: SimTime) -> SimTask {
+        SimTask::begin(&self.tracker, &self.clock, logger, stage, at)
+    }
+
+    /// Run one IPC heartbeat through the Listener → Reader → Handler
+    /// stages (Figure 10(b)'s IPC rows).
+    pub(crate) fn heartbeat(&mut self, at: SimTime) {
+        let st = self.st;
+        let pt = self.pt;
+        let log_listener = self.log.listener.clone();
+        let mut li = self.task(st.listener, &log_listener, at);
+        li.debug(pt.li_accept, format_args!("IPC Server listener: accepted connection from NN"));
+        let d = self.cpu(15.0);
+        li.advance(d);
+        let t = li.finish();
+
+        let log_reader = self.log.reader.clone();
+        let mut rd = self.task(st.reader, &log_reader, t);
+        rd.debug(pt.rd_parse, format_args!("IPC Server reader: read call #{}", self.stats.heartbeats));
+        let d = self.cpu(20.0);
+        rd.advance(d);
+        let t = rd.finish();
+
+        let log_handler = self.log.handler.clone();
+        let mut ha = self.task(st.handler, &log_handler, t);
+        ha.debug(pt.ha_heartbeat, format_args!("IPC Server handler caught heartbeat from {}", self.host));
+        let d = self.cpu(40.0);
+        ha.advance(d);
+        ha.finish();
+        self.stats.heartbeats += 1;
+    }
+}

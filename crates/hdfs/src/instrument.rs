@@ -1,0 +1,155 @@
+//! Stage and log point registration for the simulated Data Nodes.
+
+use saad_core::{StageId, StageRegistry};
+use saad_logging::{Level, LogPointId, LogPointRegistry};
+use std::sync::Arc;
+
+/// Stage ids of a simulated Data Node (the stages Figure 10(b) reports).
+#[derive(Debug, Clone, Copy)]
+#[allow(missing_docs)]
+pub struct HdfsStages {
+    pub data_xceiver: StageId,
+    pub packet_responder: StageId,
+    pub recover_blocks: StageId,
+    pub data_transfer: StageId,
+    pub handler: StageId,
+    pub listener: StageId,
+    pub reader: StageId,
+}
+
+/// Log point ids of the simulated Data Node source.
+#[derive(Debug, Clone, Copy)]
+#[allow(missing_docs)]
+pub struct HdfsPoints {
+    // DataXceiver write path — the paper's L1..L5.
+    pub dx_recv_block: LogPointId,
+    pub dx_recv_packet: LogPointId,
+    pub dx_empty_packet: LogPointId,
+    pub dx_write: LogPointId,
+    pub dx_close: LogPointId,
+    // DataXceiver read path.
+    pub dx_read_block: LogPointId,
+    pub dx_sent: LogPointId,
+    // PacketResponder.
+    pub pr_ack: LogPointId,
+    pub pr_term: LogPointId,
+    // RecoverBlocks.
+    pub rb_start: LogPointId,
+    pub rb_already: LogPointId,
+    pub rb_done: LogPointId,
+    // DataTransfer.
+    pub dt_send: LogPointId,
+    pub dt_done: LogPointId,
+    // IPC.
+    pub li_accept: LogPointId,
+    pub rd_parse: LogPointId,
+    pub ha_heartbeat: LogPointId,
+    pub ha_error: LogPointId,
+}
+
+/// Registries plus id structs for the Data Node tier.
+#[derive(Debug, Clone)]
+pub struct HdfsInstrumentation {
+    /// Stage name registry.
+    pub stages_registry: Arc<StageRegistry>,
+    /// Log template dictionary.
+    pub points_registry: Arc<LogPointRegistry>,
+    /// Stage ids.
+    pub stages: HdfsStages,
+    /// Log point ids.
+    pub points: HdfsPoints,
+}
+
+impl HdfsInstrumentation {
+    /// Register all Data Node stages and log points.
+    ///
+    /// When embedding HDFS under HBase, pass the shared registries so ids
+    /// stay unique across the whole deployment.
+    pub fn install_into(
+        stages_registry: Arc<StageRegistry>,
+        points_registry: Arc<LogPointRegistry>,
+    ) -> HdfsInstrumentation {
+        let sr = &stages_registry;
+        let stages = HdfsStages {
+            data_xceiver: sr.register("DataXceiver"),
+            packet_responder: sr.register("PacketResponder"),
+            recover_blocks: sr.register("RecoverBlocks"),
+            data_transfer: sr.register("DataTransfer"),
+            handler: sr.register("Handler"),
+            listener: sr.register("Listener"),
+            reader: sr.register("Reader"),
+        };
+        let pr = &points_registry;
+        let reg =
+            |text: &str, level: Level, file: &str, line: u32| pr.register(text, level, file, line);
+        let points = HdfsPoints {
+            dx_recv_block: reg("Receiving block blk_{}", Level::Info, "DataXceiver.java", 221),
+            dx_recv_packet: reg("Receiving one packet for blk_{}", Level::Debug, "DataXceiver.java", 260),
+            dx_empty_packet: reg("Receiving empty packet for blk_{}", Level::Debug, "DataXceiver.java", 268),
+            dx_write: reg("WriteTo blockfile of size {}", Level::Debug, "DataXceiver.java", 281),
+            dx_close: reg("Closing down.", Level::Info, "DataXceiver.java", 310),
+            dx_read_block: reg("Sending block blk_{} to client", Level::Debug, "DataXceiver.java", 150),
+            dx_sent: reg("Sent block blk_{}; {} bytes", Level::Debug, "DataXceiver.java", 172),
+            pr_ack: reg("PacketResponder for blk_{}: acking packet seqno {}", Level::Debug, "PacketResponder.java", 90),
+            pr_term: reg("PacketResponder for blk_{} terminating", Level::Info, "PacketResponder.java", 130),
+            rb_start: reg("Client invoking recoverBlock for blk_{}", Level::Info, "DataNode.java", 1601),
+            rb_already: reg("Block blk_{} is already being recovered, ignoring this request", Level::Info, "DataNode.java", 1612),
+            rb_done: reg("Block recovery of blk_{} complete", Level::Info, "DataNode.java", 1660),
+            dt_send: reg("Starting DataTransfer of blk_{} to {}", Level::Info, "DataNode.java", 1320),
+            dt_done: reg("DataTransfer of blk_{} done", Level::Debug, "DataNode.java", 1344),
+            li_accept: reg("IPC Server listener: accepted connection from {}", Level::Debug, "Server.java", 402),
+            rd_parse: reg("IPC Server reader: read call #{}", Level::Debug, "Server.java", 480),
+            ha_heartbeat: reg("IPC Server handler caught heartbeat from {}", Level::Debug, "Server.java", 1042),
+            ha_error: reg("IPC Server handler error while processing call", Level::Error, "Server.java", 1077),
+        };
+        HdfsInstrumentation {
+            stages_registry,
+            points_registry,
+            stages,
+            points,
+        }
+    }
+
+    /// Register into fresh registries (standalone Data Node tier).
+    pub fn install() -> HdfsInstrumentation {
+        HdfsInstrumentation::install_into(
+            Arc::new(StageRegistry::new()),
+            Arc::new(LogPointRegistry::new()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_registers_seven_stages() {
+        let inst = HdfsInstrumentation::install();
+        assert_eq!(inst.stages_registry.len(), 7);
+        assert_eq!(
+            inst.stages_registry.name(inst.stages.data_xceiver).as_deref(),
+            Some("DataXceiver")
+        );
+    }
+
+    #[test]
+    fn figure3_points_match_paper() {
+        let inst = HdfsInstrumentation::install();
+        let t = inst.points_registry.template(inst.points.dx_recv_block).unwrap();
+        assert!(t.text.contains("Receiving block"));
+        let t = inst.points_registry.template(inst.points.dx_close).unwrap();
+        assert_eq!(t.text, "Closing down.");
+    }
+
+    #[test]
+    fn install_into_shared_registries_offsets_ids() {
+        let sr = Arc::new(StageRegistry::new());
+        let pr = Arc::new(LogPointRegistry::new());
+        sr.register("SomethingElse");
+        pr.register("other", Level::Info, "x", 1);
+        let inst = HdfsInstrumentation::install_into(sr.clone(), pr.clone());
+        assert_eq!(sr.len(), 8);
+        assert!(inst.points.dx_recv_block.0 >= 1);
+    }
+}

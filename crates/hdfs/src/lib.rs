@@ -1,0 +1,35 @@
+//! A simulated HDFS Data Node tier with the SAAD paper's stage
+//! decomposition.
+//!
+//! The paper's motivating example (Figures 2–4) is the HDFS write
+//! pipeline: a block is written through a chain of three Data Nodes, where
+//! on each node a **DataXceiver** (D) task receives packets from upstream
+//! and relays them downstream, and a **PacketResponder** (P) task
+//! acknowledges persisted packets back upstream. This crate simulates that
+//! tier:
+//!
+//! * [`HdfsCluster::open_block`] / [`HdfsCluster::write_packet`] /
+//!   [`HdfsCluster::close_block`] — the 3-way replicated pipeline. Each
+//!   replica's DataXceiver and PacketResponder are long-lived tasks that
+//!   suspend between packets, exactly like the threads in Figure 3 (log
+//!   points L1–L5, including the rare empty-packet branch L3);
+//! * [`HdfsCluster::read_block`] — the read-side DataXceiver flow;
+//! * [`HdfsCluster::recover_block`] — block recovery
+//!   (`RecoverBlocks` stage), including the *"already in recovery"*
+//!   response that the HBase client bug (paper §5.5) misinterprets, and
+//!   the `DataTransfer` stage it drives;
+//! * [`HdfsCluster::heartbeats_until`] — the IPC server stages
+//!   (`Listener`, `Reader`, `Handler`) that appear in Figure 10(b);
+//! * [`HdfsCluster::set_disk_slowdown`] — the disk-hog attachment point
+//!   for the Table 2 fault schedule.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cluster;
+mod datanode;
+mod instrument;
+
+pub use cluster::{BlockHandle, HdfsCluster, PacketAck, RecoveryResponse};
+pub use datanode::DataNodeStats;
+pub use instrument::{HdfsInstrumentation, HdfsPoints, HdfsStages};

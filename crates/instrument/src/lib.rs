@@ -1,0 +1,454 @@
+//! The static instrumentation pass (paper §4.1.1).
+//!
+//! The paper instruments HDFS/HBase/Cassandra with two small Ruby scripts:
+//!
+//! * a ~50-line script that "parses the source code and identifies the log
+//!   statements, and rewrites the log statement with a unique log id", and
+//!   "builds a dictionary of log templates";
+//! * a ~40-line script that finds the beginning of stages — `public void
+//!   run()` methods of `Runnable`s (covering dispatcher-worker and
+//!   `Executor`-based producer-consumer stages) — and "identifies and
+//!   presents dequeuing points in the source code for manual inspection"
+//!   for the remaining producer-consumer stages.
+//!
+//! [`instrument_source`] reproduces both passes over Java-like source
+//! text: it assigns dense ids to every `log.<level>(...)` statement,
+//! rewrites each statement to pass its id, converts the message expression
+//! into a `{}` template for the dictionary, inserts `setContext` stage
+//! delimiters at `run()` entry points, and reports dequeue sites
+//! (`.take()` / `.poll(`) for manual inspection.
+//!
+//! # Example
+//!
+//! ```
+//! use saad_instrument::instrument_source;
+//!
+//! let src = r#"
+//! class Worker implements Runnable {
+//!   public void run() {
+//!     log.info("Starting worker " + id);
+//!   }
+//! }
+//! "#;
+//! let out = instrument_source("Worker.java", src);
+//! assert_eq!(out.log_points.len(), 1);
+//! assert_eq!(out.log_points[0].template, "Starting worker {}");
+//! assert!(out.rewritten.contains("setContext"));
+//! assert!(out.rewritten.contains("log.info(LP_0,"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use regex::Regex;
+use saad_logging::Level;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// One discovered log statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoundLogPoint {
+    /// Assigned dense id (index into the dictionary).
+    pub id: u16,
+    /// Severity parsed from the call (`log.debug` → Debug, …).
+    pub level: Level,
+    /// The `{}` template extracted from the message expression.
+    pub template: String,
+    /// Source file.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A stage entry point found by the pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoundStage {
+    /// Assigned stage id.
+    pub id: u16,
+    /// Enclosing class name (best effort), used as the stage name.
+    pub class: String,
+    /// Source file.
+    pub file: String,
+    /// 1-based line of the `run()` method.
+    pub line: u32,
+}
+
+/// A dequeue site presented for manual inspection (non-`Executor`
+/// producer-consumer stages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DequeueSite {
+    /// Source file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The matched snippet.
+    pub snippet: String,
+}
+
+/// Output of the instrumentation pass over one file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstrumentedFile {
+    /// The rewritten source text.
+    pub rewritten: String,
+    /// Discovered log points, in id order.
+    pub log_points: Vec<FoundLogPoint>,
+    /// Discovered stage entry points.
+    pub stages: Vec<FoundStage>,
+    /// Dequeue sites flagged for manual inspection.
+    pub dequeue_sites: Vec<DequeueSite>,
+}
+
+impl InstrumentedFile {
+    /// Render the template dictionary portion for this file.
+    pub fn render_dictionary(&self) -> String {
+        let mut out = String::new();
+        for p in &self.log_points {
+            out.push_str(&format!(
+                "L{} [{}] \"{}\" ({}:{})\n",
+                p.id, p.level, p.template, p.file, p.line
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for InstrumentedFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} log points, {} stages, {} dequeue sites",
+            self.log_points.len(),
+            self.stages.len(),
+            self.dequeue_sites.len()
+        )
+    }
+}
+
+fn log_call_re() -> &'static Regex {
+    static RE: OnceLock<Regex> = OnceLock::new();
+    RE.get_or_init(|| {
+        Regex::new(r"(?i)\b(log|logger)\.(trace|debug|info|warn|error)\(").expect("valid regex")
+    })
+}
+
+fn run_method_re() -> &'static Regex {
+    static RE: OnceLock<Regex> = OnceLock::new();
+    RE.get_or_init(|| Regex::new(r"public\s+void\s+run\s*\(\s*\)\s*\{").expect("valid regex"))
+}
+
+fn class_re() -> &'static Regex {
+    static RE: OnceLock<Regex> = OnceLock::new();
+    RE.get_or_init(|| Regex::new(r"class\s+([A-Za-z_][A-Za-z0-9_]*)").expect("valid regex"))
+}
+
+fn dequeue_re() -> &'static Regex {
+    static RE: OnceLock<Regex> = OnceLock::new();
+    RE.get_or_init(|| Regex::new(r"\.\s*(take|poll)\s*\(").expect("valid regex"))
+}
+
+/// Convert a Java message expression into a `{}` template: string literals
+/// keep their text, concatenated expressions become holes.
+///
+/// `"Receiving block blk_" + blockId` → `Receiving block blk_{}`.
+fn template_of(expr: &str) -> String {
+    let mut out = String::new();
+    let mut rest = expr.trim();
+    let mut pending_hole = false;
+    loop {
+        match rest.find('"') {
+            Some(open) => {
+                let before = rest[..open].trim();
+                if !before.is_empty() && !before.chars().all(|c| c == '+' || c.is_whitespace()) {
+                    out.push_str("{}");
+                } else if pending_hole {
+                    out.push_str("{}");
+                }
+                pending_hole = false;
+                let tail = &rest[open + 1..];
+                let Some(close) = tail.find('"') else {
+                    break;
+                };
+                out.push_str(&tail[..close]);
+                rest = &tail[close + 1..];
+                // Anything non-trivial after the literal is a hole.
+                if rest.trim_start().starts_with('+') {
+                    pending_hole = true;
+                }
+            }
+            None => {
+                if !rest.trim().is_empty() && (pending_hole || out.is_empty()) {
+                    out.push_str("{}");
+                }
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Extract the argument expression of a call starting at `open_paren`
+/// (byte index of `(`), balancing parentheses and respecting string
+/// literals. Returns the expression and the index just past the closing
+/// `)`.
+fn call_argument(src: &str, open_paren: usize) -> Option<(&str, usize)> {
+    let bytes = src.as_bytes();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut i = open_paren;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' if !in_string => in_string = true,
+            b'"' if in_string && (i == 0 || bytes[i - 1] != b'\\') => in_string = false,
+            b'(' if !in_string => depth += 1,
+            b')' if !in_string => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((&src[open_paren + 1..i], i + 1));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+fn line_of(src: &str, byte: usize) -> u32 {
+    src[..byte].bytes().filter(|&b| b == b'\n').count() as u32 + 1
+}
+
+/// Run the full pass over one file. Ids are assigned per call (dense from
+/// zero); callers instrumenting a whole tree offset them.
+pub fn instrument_source(file: &str, src: &str) -> InstrumentedFile {
+    let mut log_points = Vec::new();
+    let mut rewritten = String::with_capacity(src.len() + 256);
+    let mut cursor = 0usize;
+    for m in log_call_re().find_iter(src) {
+        let open = m.end() - 1; // the '('
+        let Some((arg, _)) = call_argument(src, open) else {
+            continue;
+        };
+        let level: Level = m
+            .as_str()
+            .rsplit('.')
+            .next()
+            .and_then(|s| s.trim_end_matches('(').parse().ok())
+            .unwrap_or(Level::Info);
+        let id = log_points.len() as u16;
+        log_points.push(FoundLogPoint {
+            id,
+            level,
+            template: template_of(arg),
+            file: file.to_owned(),
+            line: line_of(src, m.start()),
+        });
+        // Rewrite: log.info(expr) -> log.info(LP_<id>, expr)
+        rewritten.push_str(&src[cursor..m.end()]);
+        rewritten.push_str(&format!("LP_{id}, "));
+        cursor = m.end();
+    }
+    rewritten.push_str(&src[cursor..]);
+
+    // Stage entry points: insert setContext at run() entries.
+    let mut stages = Vec::new();
+    let classes: Vec<(usize, String)> = class_re()
+        .captures_iter(src)
+        .map(|c| (c.get(0).expect("match").start(), c[1].to_owned()))
+        .collect();
+    let mut staged = String::with_capacity(rewritten.len() + 128);
+    let mut cursor = 0usize;
+    for m in run_method_re().find_iter(&rewritten.clone()) {
+        let id = stages.len() as u16;
+        // Enclosing class: the last class declared before this point (an
+        // approximation adequate for the flat sources we instrument).
+        let class = classes
+            .iter()
+            .rev()
+            .find(|(pos, _)| {
+                // Map a position in `rewritten` back to `src` approximately
+                // by ignoring the inserted prefixes (safe for ordering).
+                *pos < m.start()
+            })
+            .map(|(_, name)| name.clone())
+            .unwrap_or_else(|| "Anonymous".to_owned());
+        stages.push(FoundStage {
+            id,
+            class: class.clone(),
+            file: file.to_owned(),
+            line: line_of(&rewritten, m.start()),
+        });
+        staged.push_str(&rewritten[cursor..m.end()]);
+        staged.push_str(&format!(" tracker.setContext(STAGE_{class}); "));
+        cursor = m.end();
+    }
+    staged.push_str(&rewritten[cursor..]);
+
+    // Dequeue sites for manual inspection.
+    let dequeue_sites = dequeue_re()
+        .find_iter(src)
+        .map(|m| DequeueSite {
+            file: file.to_owned(),
+            line: line_of(src, m.start()),
+            snippet: src[m.start()..src.len().min(m.start() + 40)]
+                .lines()
+                .next()
+                .unwrap_or("")
+                .to_owned(),
+        })
+        .collect();
+
+    InstrumentedFile {
+        rewritten: staged,
+        log_points,
+        stages,
+        dequeue_sites,
+    }
+}
+
+/// The paper's Figure 3 DataXceiver source, bundled as a fixture for tests
+/// and the quickstart example.
+pub const FIGURE3_SOURCE: &str = r#"
+class DataXceiver implements Runnable {
+  public void run() {
+    log.info("Receiving block blk_" + blockId);
+    while ((pkt = getNextPacket()) != null) {
+      log.debug("Receiving one packet for blk_" + blockId);
+      if (pkt.size() == 0) {
+        log.debug("Receiving empty packet for blk_" + blockId);
+        continue;
+      }
+      log.debug("WriteTo blockfile of size " + pkt.size());
+    }
+    log.info("Closing down.");
+  }
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_yields_five_points_and_one_stage() {
+        let out = instrument_source("DataXceiver.java", FIGURE3_SOURCE);
+        assert_eq!(out.log_points.len(), 5);
+        assert_eq!(out.stages.len(), 1);
+        assert_eq!(out.stages[0].class, "DataXceiver");
+        let templates: Vec<&str> = out.log_points.iter().map(|p| p.template.as_str()).collect();
+        assert_eq!(
+            templates,
+            vec![
+                "Receiving block blk_{}",
+                "Receiving one packet for blk_{}",
+                "Receiving empty packet for blk_{}",
+                "WriteTo blockfile of size {}",
+                "Closing down.",
+            ]
+        );
+    }
+
+    #[test]
+    fn levels_are_parsed_from_calls() {
+        let out = instrument_source("DataXceiver.java", FIGURE3_SOURCE);
+        assert_eq!(out.log_points[0].level, Level::Info);
+        assert_eq!(out.log_points[1].level, Level::Debug);
+        assert_eq!(out.log_points[4].level, Level::Info);
+    }
+
+    #[test]
+    fn statements_are_rewritten_with_ids() {
+        let out = instrument_source("DataXceiver.java", FIGURE3_SOURCE);
+        assert!(out.rewritten.contains(r#"log.info(LP_0, "Receiving block blk_""#));
+        assert!(out.rewritten.contains(r#"log.debug(LP_3, "WriteTo blockfile"#));
+        assert!(out.rewritten.contains("tracker.setContext(STAGE_DataXceiver)"));
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_ordered() {
+        let out = instrument_source("f.java", FIGURE3_SOURCE);
+        let lines: Vec<u32> = out.log_points.iter().map(|p| p.line).collect();
+        for w in lines.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(lines[0] >= 3);
+    }
+
+    #[test]
+    fn dequeue_sites_are_flagged_for_manual_inspection() {
+        let src = r#"
+class Consumer {
+  void loop() {
+    while (true) {
+      Request r = queue.take();
+      process(r);
+      Request s = backlog.poll(10, MS);
+    }
+  }
+}
+"#;
+        let out = instrument_source("Consumer.java", src);
+        assert_eq!(out.dequeue_sites.len(), 2);
+        assert!(out.dequeue_sites[0].snippet.contains("take"));
+        assert!(out.dequeue_sites[1].snippet.contains("poll"));
+        assert!(out.stages.is_empty(), "no run() here");
+    }
+
+    #[test]
+    fn template_extraction_handles_shapes() {
+        assert_eq!(template_of(r#""plain literal""#), "plain literal");
+        assert_eq!(template_of(r#""a " + x"#), "a {}");
+        assert_eq!(template_of(r#""a " + x + " b""#), "a {} b");
+        assert_eq!(template_of(r#"someVariable"#), "{}");
+        assert_eq!(template_of(r#""x" + f(y) + "z""#), "x{}z");
+    }
+
+    #[test]
+    fn logger_variable_names_are_recognized(){
+        let src = r#"
+class C {
+  void f() {
+    LOGGER.warn("watch out: " + problem);
+    Logger.error("bad");
+  }
+}
+"#;
+        let out = instrument_source("C.java", src);
+        assert_eq!(out.log_points.len(), 2);
+        assert_eq!(out.log_points[0].level, Level::Warn);
+        assert_eq!(out.log_points[0].template, "watch out: {}");
+        assert_eq!(out.log_points[1].level, Level::Error);
+    }
+
+    #[test]
+    fn parenthesized_arguments_are_balanced() {
+        let src = r#"
+class C {
+  void f() {
+    log.info("size " + pkt.size() + " of " + total(a, b));
+  }
+}
+"#;
+        let out = instrument_source("C.java", src);
+        assert_eq!(out.log_points.len(), 1);
+        assert_eq!(out.log_points[0].template, "size {} of {}");
+    }
+
+    #[test]
+    fn empty_source_is_fine() {
+        let out = instrument_source("e.java", "");
+        assert!(out.log_points.is_empty());
+        assert!(out.stages.is_empty());
+        assert!(out.dequeue_sites.is_empty());
+        assert_eq!(out.rewritten, "");
+    }
+
+    #[test]
+    fn dictionary_rendering_lists_all_points() {
+        let out = instrument_source("DataXceiver.java", FIGURE3_SOURCE);
+        let dict = out.render_dictionary();
+        assert_eq!(dict.lines().count(), 5);
+        assert!(dict.contains("Closing down."));
+        assert!(dict.contains("DataXceiver.java"));
+        assert!(format!("{out}").contains("5 log points"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Severity levels, mirroring log4j's.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Log severity level. Ordered from most to least verbose:
+/// `Trace < Debug < Info < Warn < Error`.
+///
+/// A logger configured at level `L` renders records with level `>= L`.
+///
+/// # Example
+///
+/// ```
+/// use saad_logging::Level;
+/// assert!(Level::Debug < Level::Info);
+/// assert!(Level::Error > Level::Warn);
+/// assert_eq!("INFO".parse::<Level>().unwrap(), Level::Info);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Finest-grained tracing.
+    Trace,
+    /// Diagnostic detail; the paper's "DEBUG-level logging".
+    Debug,
+    /// Production default verbosity; the paper's "INFO-level logging".
+    Info,
+    /// Something unexpected but recoverable.
+    Warn,
+    /// A failure; the records conventional alert systems watch for.
+    Error,
+}
+
+impl Level {
+    /// All levels, most verbose first.
+    pub const ALL: [Level; 5] = [
+        Level::Trace,
+        Level::Debug,
+        Level::Info,
+        Level::Warn,
+        Level::Error,
+    ];
+
+    /// Short uppercase name, as rendered in log output.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Level::Trace => "TRACE",
+            Level::Debug => "DEBUG",
+            Level::Info => "INFO",
+            Level::Warn => "WARN",
+            Level::Error => "ERROR",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error returned when parsing an unrecognized level name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLevelError(String);
+
+impl fmt::Display for ParseLevelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unrecognized log level `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseLevelError {}
+
+impl FromStr for Level {
+    type Err = ParseLevelError;
+
+    fn from_str(s: &str) -> Result<Level, ParseLevelError> {
+        match s.to_ascii_uppercase().as_str() {
+            "TRACE" => Ok(Level::Trace),
+            "DEBUG" => Ok(Level::Debug),
+            "INFO" => Ok(Level::Info),
+            "WARN" | "WARNING" => Ok(Level::Warn),
+            "ERROR" => Ok(Level::Error),
+            other => Err(ParseLevelError(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_verbosity() {
+        assert!(Level::Trace < Level::Debug);
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        assert!(Level::Warn < Level::Error);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for lvl in Level::ALL {
+            assert_eq!(lvl.as_str().parse::<Level>().unwrap(), lvl);
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        assert_eq!("debug".parse::<Level>().unwrap(), Level::Debug);
+        assert_eq!("Warning".parse::<Level>().unwrap(), Level::Warn);
+    }
+
+    #[test]
+    fn parse_error_is_descriptive() {
+        let err = "verbose".parse::<Level>().unwrap_err();
+        assert!(err.to_string().contains("VERBOSE"));
+    }
+
+    #[test]
+    fn display_matches_as_str() {
+        assert_eq!(format!("{}", Level::Error), "ERROR");
+    }
+}

@@ -1,0 +1,52 @@
+//! A log4j-style logging facade with *identified log points*.
+//!
+//! The SAAD paper instruments every log statement in the server source with
+//! a unique **log point id** and records, per task, which points were
+//! visited. This crate is the Rust equivalent of their modified `log4j`:
+//!
+//! * [`Level`] — standard severity levels with a verbosity threshold;
+//! * [`LogPointId`] / [`LogPointRegistry`] — unique ids and the **log
+//!   template dictionary** (static message text + source location) that the
+//!   paper's Ruby pre-processing pass produces;
+//! * [`Logger`] — the facade servers call. Every call *first* notifies the
+//!   registered [`Interceptor`]s (this is where SAAD's task execution
+//!   tracker sits), and only then — if the verbosity threshold allows —
+//!   renders the message to the configured [`Appender`]s. A `DEBUG` point is
+//!   therefore visible to the tracker even when the system runs at
+//!   `INFO`-level verbosity, which is the paper's key trick;
+//! * [`appender`] — null / counting / in-memory / file appenders. The
+//!   counting appender measures rendered-log volume for the paper's
+//!   Figure 8.
+//!
+//! # Example
+//!
+//! ```
+//! use saad_logging::{Level, Logger, LogPointRegistry};
+//! use saad_logging::appender::MemoryAppender;
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(LogPointRegistry::new());
+//! let p1 = registry.register("Receiving block blk_{}", Level::Info, "DataXceiver.rs", 10);
+//! let mem = Arc::new(MemoryAppender::new());
+//! let logger = Logger::builder("DataXceiver")
+//!     .level(Level::Info)
+//!     .appender(mem.clone())
+//!     .registry(registry)
+//!     .build();
+//!
+//! logger.log(p1, Level::Info, format_args!("Receiving block blk_42"));
+//! assert_eq!(mem.messages().len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod appender;
+mod level;
+mod logger;
+mod point;
+
+pub use appender::Appender;
+pub use level::Level;
+pub use logger::{Interceptor, Logger, LoggerBuilder};
+pub use point::{LogPointId, LogPointRegistry, LogTemplate};

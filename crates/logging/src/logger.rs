@@ -1,0 +1,336 @@
+//! The [`Logger`] facade and the [`Interceptor`] hook.
+//!
+//! A `Logger` mirrors one log4j logger (typically one per stage/class). The
+//! SAAD-critical behaviour is the call order inside [`Logger::log`]:
+//! interceptors are notified of the *log point visit* before — and
+//! regardless of — the verbosity check. Rendering to appenders only happens
+//! when the record's level clears the logger's threshold, so running at
+//! `INFO` keeps the I/O cost of `INFO` while the tracker still observes
+//! every `DEBUG` point.
+
+use crate::appender::{Appender, Record};
+use crate::{Level, LogPointId, LogPointRegistry};
+use std::fmt;
+use std::sync::Arc;
+
+/// Observer of log point visits. SAAD's task execution tracker implements
+/// this; the logger calls it on *every* log call, before any verbosity
+/// filtering.
+pub trait Interceptor: Send + Sync {
+    /// Called once per log call with the visited point and its level.
+    fn on_log_point(&self, point: LogPointId, level: Level);
+}
+
+/// A named logger with a verbosity threshold, appender chain, and
+/// interceptor chain.
+pub struct Logger {
+    name: String,
+    level: Level,
+    appenders: Vec<Arc<dyn Appender>>,
+    interceptors: Vec<Arc<dyn Interceptor>>,
+    registry: Option<Arc<LogPointRegistry>>,
+}
+
+impl fmt::Debug for Logger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Logger")
+            .field("name", &self.name)
+            .field("level", &self.level)
+            .field("appenders", &self.appenders.len())
+            .field("interceptors", &self.interceptors.len())
+            .finish()
+    }
+}
+
+impl Logger {
+    /// Start building a logger with the given name (conventionally the
+    /// stage/class name, e.g. `"DataXceiver"`).
+    pub fn builder(name: impl Into<String>) -> LoggerBuilder {
+        LoggerBuilder {
+            name: name.into(),
+            level: Level::Info,
+            appenders: Vec::new(),
+            interceptors: Vec::new(),
+            registry: None,
+        }
+    }
+
+    /// The logger's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The verbosity threshold.
+    pub fn level(&self) -> Level {
+        self.level
+    }
+
+    /// Whether a record at `level` would be rendered.
+    pub fn enabled(&self, level: Level) -> bool {
+        level >= self.level
+    }
+
+    /// The paper's instrumented `isDebugEnabled(uid)`: notifies the tracker
+    /// that the task reached this log point, then reports whether `DEBUG`
+    /// rendering is on. Call this in place of a bare verbosity check so
+    /// guarded debug statements remain visible to SAAD at INFO level.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use saad_logging::{Level, Logger, LogPointId};
+    /// let logger = Logger::builder("Memtable").level(Level::Info).build();
+    /// let point = LogPointId(7);
+    /// if logger.debug_enabled(point) {
+    ///     logger.log(point, Level::Debug, format_args!("expensive detail"));
+    /// }
+    /// // At INFO the branch is skipped, but the tracker saw the visit.
+    /// ```
+    pub fn debug_enabled(&self, point: LogPointId) -> bool {
+        self.notify(point, Level::Debug);
+        self.enabled(Level::Debug)
+    }
+
+    /// Log a message from log point `point` at `level`.
+    ///
+    /// Interceptors always see the visit; appenders only see it when
+    /// `level` clears the threshold.
+    pub fn log(&self, point: LogPointId, level: Level, args: fmt::Arguments<'_>) {
+        self.notify(point, level);
+        if self.enabled(level) {
+            self.render(point, level, args.to_string());
+        }
+    }
+
+    /// Log a point whose visit was already reported through
+    /// [`Logger::debug_enabled`]; renders without re-notifying interceptors
+    /// so the visit is not double-counted.
+    pub fn log_pre_notified(&self, point: LogPointId, level: Level, args: fmt::Arguments<'_>) {
+        if self.enabled(level) {
+            self.render(point, level, args.to_string());
+        }
+    }
+
+    /// Convenience: log at `Info`.
+    pub fn info(&self, point: LogPointId, args: fmt::Arguments<'_>) {
+        self.log(point, Level::Info, args);
+    }
+
+    /// Convenience: log at `Debug`.
+    pub fn debug(&self, point: LogPointId, args: fmt::Arguments<'_>) {
+        self.log(point, Level::Debug, args);
+    }
+
+    /// Convenience: log at `Warn`.
+    pub fn warn(&self, point: LogPointId, args: fmt::Arguments<'_>) {
+        self.log(point, Level::Warn, args);
+    }
+
+    /// Convenience: log at `Error`.
+    pub fn error(&self, point: LogPointId, args: fmt::Arguments<'_>) {
+        self.log(point, Level::Error, args);
+    }
+
+    /// Template dictionary attached to this logger, if any.
+    pub fn registry(&self) -> Option<&Arc<LogPointRegistry>> {
+        self.registry.as_ref()
+    }
+
+    /// Flush every appender.
+    pub fn flush(&self) {
+        for a in &self.appenders {
+            a.flush();
+        }
+    }
+
+    fn notify(&self, point: LogPointId, level: Level) {
+        for i in &self.interceptors {
+            i.on_log_point(point, level);
+        }
+    }
+
+    fn render(&self, point: LogPointId, level: Level, message: String) {
+        let record = Record {
+            point,
+            level,
+            logger: self.name.clone(),
+            message,
+        };
+        for a in &self.appenders {
+            a.append(&record);
+        }
+    }
+}
+
+/// Builder for [`Logger`] (C-BUILDER).
+pub struct LoggerBuilder {
+    name: String,
+    level: Level,
+    appenders: Vec<Arc<dyn Appender>>,
+    interceptors: Vec<Arc<dyn Interceptor>>,
+    registry: Option<Arc<LogPointRegistry>>,
+}
+
+impl fmt::Debug for LoggerBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LoggerBuilder")
+            .field("name", &self.name)
+            .field("level", &self.level)
+            .field("appenders", &self.appenders.len())
+            .field("interceptors", &self.interceptors.len())
+            .finish()
+    }
+}
+
+impl LoggerBuilder {
+    /// Set the verbosity threshold (default `Info`, the production
+    /// default the paper assumes).
+    pub fn level(mut self, level: Level) -> LoggerBuilder {
+        self.level = level;
+        self
+    }
+
+    /// Add an appender.
+    pub fn appender(mut self, appender: Arc<dyn Appender>) -> LoggerBuilder {
+        self.appenders.push(appender);
+        self
+    }
+
+    /// Add an interceptor (e.g. the SAAD tracker).
+    pub fn interceptor(mut self, interceptor: Arc<dyn Interceptor>) -> LoggerBuilder {
+        self.interceptors.push(interceptor);
+        self
+    }
+
+    /// Attach the template dictionary.
+    pub fn registry(mut self, registry: Arc<LogPointRegistry>) -> LoggerBuilder {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Finish building the logger.
+    pub fn build(self) -> Logger {
+        Logger {
+            name: self.name,
+            level: self.level,
+            appenders: self.appenders,
+            interceptors: self.interceptors,
+            registry: self.registry,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::appender::MemoryAppender;
+    use parking_lot::Mutex;
+
+    #[derive(Debug, Default)]
+    struct RecordingInterceptor {
+        visits: Mutex<Vec<(LogPointId, Level)>>,
+    }
+
+    impl Interceptor for RecordingInterceptor {
+        fn on_log_point(&self, point: LogPointId, level: Level) {
+            self.visits.lock().push((point, level));
+        }
+    }
+
+    fn setup(level: Level) -> (Logger, Arc<MemoryAppender>, Arc<RecordingInterceptor>) {
+        let mem = Arc::new(MemoryAppender::new());
+        let tracker = Arc::new(RecordingInterceptor::default());
+        let logger = Logger::builder("Stage")
+            .level(level)
+            .appender(mem.clone())
+            .interceptor(tracker.clone())
+            .build();
+        (logger, mem, tracker)
+    }
+
+    #[test]
+    fn debug_points_visible_to_tracker_at_info_level() {
+        // The paper's central trick: INFO verbosity, DEBUG visibility.
+        let (logger, mem, tracker) = setup(Level::Info);
+        logger.debug(LogPointId(3), format_args!("invisible"));
+        assert!(mem.is_empty(), "DEBUG text must not render at INFO");
+        assert_eq!(tracker.visits.lock().as_slice(), &[(LogPointId(3), Level::Debug)]);
+    }
+
+    #[test]
+    fn info_renders_and_notifies() {
+        let (logger, mem, tracker) = setup(Level::Info);
+        logger.info(LogPointId(1), format_args!("block {}", 42));
+        assert_eq!(mem.messages(), vec!["block 42"]);
+        assert_eq!(tracker.visits.lock().len(), 1);
+    }
+
+    #[test]
+    fn debug_level_renders_debug() {
+        let (logger, mem, _) = setup(Level::Debug);
+        logger.debug(LogPointId(1), format_args!("detail"));
+        assert_eq!(mem.messages(), vec!["detail"]);
+    }
+
+    #[test]
+    fn debug_enabled_notifies_once() {
+        let (logger, mem, tracker) = setup(Level::Info);
+        let point = LogPointId(9);
+        if logger.debug_enabled(point) {
+            logger.log_pre_notified(point, Level::Debug, format_args!("x"));
+        }
+        assert!(mem.is_empty());
+        assert_eq!(tracker.visits.lock().len(), 1, "visit must not be double counted");
+
+        let (logger, mem, tracker) = setup(Level::Debug);
+        if logger.debug_enabled(point) {
+            logger.log_pre_notified(point, Level::Debug, format_args!("x"));
+        }
+        assert_eq!(mem.len(), 1);
+        assert_eq!(tracker.visits.lock().len(), 1);
+    }
+
+    #[test]
+    fn error_always_renders() {
+        let (logger, mem, _) = setup(Level::Error);
+        logger.warn(LogPointId(0), format_args!("dropped"));
+        logger.error(LogPointId(0), format_args!("kept"));
+        assert_eq!(mem.messages(), vec!["kept"]);
+    }
+
+    #[test]
+    fn enabled_matches_threshold() {
+        let (logger, _, _) = setup(Level::Warn);
+        assert!(!logger.enabled(Level::Debug));
+        assert!(!logger.enabled(Level::Info));
+        assert!(logger.enabled(Level::Warn));
+        assert!(logger.enabled(Level::Error));
+    }
+
+    #[test]
+    fn multiple_appenders_each_receive() {
+        let m1 = Arc::new(MemoryAppender::new());
+        let m2 = Arc::new(MemoryAppender::new());
+        let logger = Logger::builder("S")
+            .appender(m1.clone())
+            .appender(m2.clone())
+            .build();
+        logger.info(LogPointId(0), format_args!("both"));
+        assert_eq!(m1.len(), 1);
+        assert_eq!(m2.len(), 1);
+    }
+
+    #[test]
+    fn logger_without_interceptors_works() {
+        let logger = Logger::builder("Bare").build();
+        logger.info(LogPointId(0), format_args!("no sinks"));
+        assert_eq!(logger.name(), "Bare");
+        assert_eq!(logger.level(), Level::Info);
+    }
+
+    #[test]
+    fn debug_repr_nonempty() {
+        let (logger, _, _) = setup(Level::Info);
+        assert!(!format!("{logger:?}").is_empty());
+    }
+}

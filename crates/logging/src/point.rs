@@ -1,0 +1,212 @@
+//! Log point ids, templates, and the template dictionary.
+//!
+//! In the paper, a static pre-processing pass assigns a unique identifier to
+//! every log statement and records "log templates, i.e. log statements and
+//! the information of their respective place in the source code" in a
+//! dictionary used for anomaly visualization. [`LogPointRegistry`] is that
+//! dictionary.
+
+use crate::Level;
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::Arc;
+
+/// Unique identifier of a log statement in the (simulated) server source.
+///
+/// Matches the paper's `short int lpid` synopsis field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LogPointId(pub u16);
+
+impl fmt::Display for LogPointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// The static portion of a log statement plus its source location — one
+/// entry of the template dictionary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogTemplate {
+    /// The point's unique id.
+    pub id: LogPointId,
+    /// Static message text, with `{}` where dynamic values are interpolated.
+    pub text: String,
+    /// Severity the statement logs at.
+    pub level: Level,
+    /// Source file of the statement.
+    pub file: String,
+    /// Source line of the statement.
+    pub line: u32,
+}
+
+impl fmt::Display for LogTemplate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] \"{}\" ({}:{})",
+            self.id, self.level, self.text, self.file, self.line
+        )
+    }
+}
+
+/// The log template dictionary: assigns ids and maps them back to templates.
+///
+/// Shared (`Arc`) between the instrumentation pass, the loggers, and the
+/// anomaly reporter. Thread-safe.
+///
+/// # Example
+///
+/// ```
+/// use saad_logging::{Level, LogPointRegistry};
+/// let reg = LogPointRegistry::new();
+/// let id = reg.register("Closing down.", Level::Info, "DataXceiver.rs", 99);
+/// assert_eq!(reg.template(id).unwrap().text, "Closing down.");
+/// assert_eq!(reg.len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct LogPointRegistry {
+    templates: RwLock<Vec<Arc<LogTemplate>>>,
+}
+
+impl LogPointRegistry {
+    /// Create an empty registry.
+    pub fn new() -> LogPointRegistry {
+        LogPointRegistry::default()
+    }
+
+    /// Register a log statement, returning its assigned id.
+    ///
+    /// Ids are assigned densely in registration order, which mirrors the
+    /// paper's "unique position in a log point vector given by its
+    /// pre-assigned log point identifier".
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u16::MAX` points are registered (the synopsis
+    /// format stores ids as 16-bit integers, as in the paper).
+    pub fn register(
+        &self,
+        text: impl Into<String>,
+        level: Level,
+        file: impl Into<String>,
+        line: u32,
+    ) -> LogPointId {
+        let mut templates = self.templates.write();
+        let raw = templates.len();
+        assert!(raw <= u16::MAX as usize, "log point id space exhausted");
+        let id = LogPointId(raw as u16);
+        templates.push(Arc::new(LogTemplate {
+            id,
+            text: text.into(),
+            level,
+            file: file.into(),
+            line,
+        }));
+        id
+    }
+
+    /// Look up the template for an id.
+    pub fn template(&self, id: LogPointId) -> Option<Arc<LogTemplate>> {
+        self.templates.read().get(id.0 as usize).cloned()
+    }
+
+    /// Number of registered points.
+    pub fn len(&self) -> usize {
+        self.templates.read().len()
+    }
+
+    /// Whether no points are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of every template, in id order.
+    pub fn all(&self) -> Vec<Arc<LogTemplate>> {
+        self.templates.read().clone()
+    }
+
+    /// Render the dictionary as the user-facing text listing the paper's
+    /// visualization tool consumes.
+    pub fn render_dictionary(&self) -> String {
+        let mut out = String::new();
+        for t in self.all() {
+            out.push_str(&t.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let reg = LogPointRegistry::new();
+        let a = reg.register("a", Level::Info, "f", 1);
+        let b = reg.register("b", Level::Debug, "f", 2);
+        assert_eq!(a, LogPointId(0));
+        assert_eq!(b, LogPointId(1));
+        assert!(a < b);
+    }
+
+    #[test]
+    fn lookup_unknown_is_none() {
+        let reg = LogPointRegistry::new();
+        assert!(reg.template(LogPointId(5)).is_none());
+    }
+
+    #[test]
+    fn template_retains_location() {
+        let reg = LogPointRegistry::new();
+        let id = reg.register("WriteTo blockfile of size {}", Level::Debug, "dx.rs", 14);
+        let t = reg.template(id).unwrap();
+        assert_eq!(t.file, "dx.rs");
+        assert_eq!(t.line, 14);
+        assert_eq!(t.level, Level::Debug);
+    }
+
+    #[test]
+    fn dictionary_lists_everything() {
+        let reg = LogPointRegistry::new();
+        reg.register("first", Level::Info, "a.rs", 1);
+        reg.register("second", Level::Warn, "b.rs", 2);
+        let dict = reg.render_dictionary();
+        assert!(dict.contains("first"));
+        assert!(dict.contains("second"));
+        assert_eq!(dict.lines().count(), 2);
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let reg = std::sync::Arc::new(LogPointRegistry::new());
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    for j in 0..100 {
+                        reg.register(format!("t{i}-{j}"), Level::Info, "f", j);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.len(), 800);
+        // Every id maps to a template.
+        for i in 0..800u16 {
+            assert!(reg.template(LogPointId(i)).is_some());
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", LogPointId(3)), "L3");
+        let reg = LogPointRegistry::new();
+        let id = reg.register("msg", Level::Error, "x.rs", 7);
+        let s = format!("{}", reg.template(id).unwrap());
+        assert!(s.contains("ERROR") && s.contains("x.rs:7"));
+    }
+}

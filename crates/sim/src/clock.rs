@@ -1,0 +1,190 @@
+//! Time sources.
+//!
+//! The SAAD task tracker timestamps the start of each task and every log
+//! point visit. In production that is the wall clock; in the simulated
+//! experiments it is a shared, manually advanced virtual clock. [`Clock`]
+//! abstracts over both so the tracker code is identical in either world.
+
+use crate::SimTime;
+use std::fmt::Debug;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic time source readable from any thread.
+pub trait Clock: Send + Sync + Debug {
+    /// Current time.
+    fn now(&self) -> SimTime;
+}
+
+/// The real wall clock, measured as elapsed time since the clock's
+/// creation. Used by the live threaded runtime and the overhead benches.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// Create a wall clock whose epoch is "now".
+    pub fn new() -> WallClock {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> WallClock {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.origin.elapsed().as_micros() as u64)
+    }
+}
+
+/// A shareable virtual clock advanced explicitly by the simulation driver.
+///
+/// Cheap to clone (`Arc` internally); all clones observe the same time.
+///
+/// # Example
+///
+/// ```
+/// use saad_sim::{Clock, SharedClock, SimTime};
+/// let clock = SharedClock::new();
+/// let reader = clock.clone();
+/// clock.set(SimTime::from_millis(250));
+/// assert_eq!(reader.now(), SimTime::from_millis(250));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SharedClock {
+    micros: Arc<AtomicU64>,
+}
+
+impl SharedClock {
+    /// Create a clock at time zero.
+    pub fn new() -> SharedClock {
+        SharedClock::default()
+    }
+
+    /// Set the clock. Time must not move backwards; calls that would
+    /// rewind the clock leave it unchanged (the driver processes events
+    /// in order, but tasks may report completions slightly out of order).
+    pub fn set(&self, t: SimTime) {
+        self.micros.fetch_max(t.as_micros(), Ordering::Relaxed);
+    }
+
+    /// Advance the clock by `micros` microseconds, returning the new time.
+    pub fn advance_micros(&self, micros: u64) -> SimTime {
+        let v = self.micros.fetch_add(micros, Ordering::Relaxed) + micros;
+        SimTime::from_micros(v)
+    }
+}
+
+impl Clock for SharedClock {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.micros.load(Ordering::Relaxed))
+    }
+}
+
+/// A single-owner manual clock for unit tests: `set` can move in any
+/// direction.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    micros: AtomicU64,
+}
+
+impl ManualClock {
+    /// Create a clock at time zero.
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Set the clock to an arbitrary time (may rewind; tests only).
+    pub fn set(&self, t: SimTime) {
+        self.micros.store(t.as_micros(), Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.micros.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = WallClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn shared_clock_clones_share_time() {
+        let c = SharedClock::new();
+        let d = c.clone();
+        c.set(SimTime::from_secs(5));
+        assert_eq!(d.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn shared_clock_never_rewinds() {
+        let c = SharedClock::new();
+        c.set(SimTime::from_secs(10));
+        c.set(SimTime::from_secs(3));
+        assert_eq!(c.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn shared_clock_advance_returns_new_time() {
+        let c = SharedClock::new();
+        assert_eq!(c.advance_micros(100), SimTime::from_micros(100));
+        assert_eq!(c.advance_micros(50), SimTime::from_micros(150));
+    }
+
+    #[test]
+    fn manual_clock_can_rewind() {
+        let c = ManualClock::new();
+        c.set(SimTime::from_secs(9));
+        c.set(SimTime::from_secs(1));
+        assert_eq!(c.now(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn clocks_are_object_safe() {
+        let clocks: Vec<Box<dyn Clock>> = vec![
+            Box::new(WallClock::new()),
+            Box::new(SharedClock::new()),
+            Box::new(ManualClock::new()),
+        ];
+        for c in &clocks {
+            let _ = c.now();
+        }
+    }
+
+    #[test]
+    fn shared_clock_is_thread_safe() {
+        let c = SharedClock::new();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.advance_micros(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.now(), SimTime::from_micros(4000));
+    }
+}

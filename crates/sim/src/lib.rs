@@ -1,0 +1,35 @@
+//! Virtual-time simulation substrate for the SAAD reproduction.
+//!
+//! The paper evaluates SAAD on real HBase/HDFS/Cassandra clusters over
+//! multi-hour runs. We reproduce those experiments on deterministic
+//! simulators of the same staged write/read paths; this crate provides the
+//! shared machinery those simulators are built on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — microsecond-resolution virtual time;
+//! * [`Clock`] — the time source abstraction the task tracker reads;
+//!   [`SharedClock`] is the advanceable virtual implementation,
+//!   [`WallClock`] the real one used by the live (threaded) runtime;
+//! * [`resource`] — timestamp-advancing FIFO resources: a generic
+//!   [`resource::QueuedResource`] and a [`resource::Disk`] with
+//!   latency + bandwidth service model and a pluggable [`resource::IoHook`]
+//!   where the fault injector attaches (the SystemTap substitute);
+//! * [`rng`] — named, deterministic RNG streams derived from one master
+//!   seed, plus the sampling helpers (exponential, log-normal, Zipf-like)
+//!   the workload and service models use.
+//!
+//! The simulators are *timestamp-advancing*: a task runs to completion as a
+//! plain function call, moving its private `now` cursor forward as it waits
+//! on resources whose availability is tracked as next-free timestamps. This
+//! keeps million-task experiments deterministic and fast while preserving
+//! queueing behaviour — which is what SAAD's duration statistics measure.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod clock;
+pub mod resource;
+pub mod rng;
+mod time;
+
+pub use clock::{Clock, ManualClock, SharedClock, WallClock};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,246 @@
+//! Deterministic named RNG streams and sampling helpers.
+//!
+//! Every stochastic component of the simulators (service times, workload
+//! keys, fault coin-flips) draws from its own named stream derived from one
+//! master seed, so experiments are reproducible and components don't perturb
+//! each other's sequences when code changes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Factory for named, deterministic RNG streams.
+///
+/// # Example
+///
+/// ```
+/// use saad_sim::rng::RngStreams;
+/// let streams = RngStreams::new(42);
+/// let mut a1 = streams.stream("disk");
+/// let mut a2 = streams.stream("disk");
+/// let mut b = streams.stream("workload");
+/// use rand::Rng;
+/// assert_eq!(a1.gen::<u64>(), a2.gen::<u64>()); // same name, same stream
+/// let _ = b.gen::<u64>(); // independent stream
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct RngStreams {
+    master_seed: u64,
+}
+
+impl RngStreams {
+    /// Create a factory from a master seed.
+    pub fn new(master_seed: u64) -> RngStreams {
+        RngStreams { master_seed }
+    }
+
+    /// The master seed.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Derive the deterministic stream for `name`.
+    pub fn stream(&self, name: &str) -> StdRng {
+        // FNV-1a over the name, mixed with the master seed.
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.master_seed;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        // Final avalanche (splitmix64 finalizer).
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// Sample an exponential with the given mean (inverse-CDF method).
+///
+/// # Panics
+///
+/// Panics if `mean` is not strictly positive.
+pub fn exp_sample<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean > 0.0, "exponential mean must be positive, got {mean}");
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -mean * u.ln()
+}
+
+/// Sample a log-normal given the *underlying normal's* mu and sigma
+/// (Box–Muller).
+///
+/// # Panics
+///
+/// Panics if `sigma` is negative.
+pub fn lognormal_sample<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    assert!(sigma >= 0.0, "lognormal sigma must be >= 0, got {sigma}");
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (mu + sigma * z).exp()
+}
+
+/// A Zipf-distributed sampler over `0..n` with exponent `theta`
+/// (rejection-inversion, Jain & Gross style via precomputed harmonics for
+/// small n; the workload generator uses this for hot-key skew).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a Zipf sampler over `n` items with skew `theta` (0 = uniform,
+    /// ~0.99 = YCSB default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta < 0`.
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(theta >= 0.0, "Zipf exponent must be >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler is over zero items (never true; `new` rejects 0).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw one item index in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("CDF is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_stream() {
+        let s = RngStreams::new(7);
+        let mut a: StdRng = s.stream("x");
+        let mut b: StdRng = s.stream("x");
+        for _ in 0..10 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_names_differ() {
+        let s = RngStreams::new(7);
+        let mut a = s.stream("x");
+        let mut b = s.stream("y");
+        let va: Vec<u64> = (0..4).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..4).map(|_| b.gen()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = RngStreams::new(1).stream("x");
+        let mut b = RngStreams::new(2).stream("x");
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn exp_sample_has_right_mean() {
+        let mut rng = RngStreams::new(11).stream("exp");
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| exp_sample(&mut rng, 5.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 5.0).abs() < 0.15, "mean={mean}");
+    }
+
+    #[test]
+    fn exp_sample_is_positive() {
+        let mut rng = RngStreams::new(3).stream("exp");
+        for _ in 0..1000 {
+            assert!(exp_sample(&mut rng, 0.001) > 0.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_sample_is_positive() {
+        let mut rng = RngStreams::new(5).stream("ln");
+        for _ in 0..1000 {
+            assert!(lognormal_sample(&mut rng, 0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_median_matches_mu() {
+        let mut rng = RngStreams::new(9).stream("ln");
+        let mut xs: Vec<f64> = (0..20_000).map(|_| lognormal_sample(&mut rng, 2.0, 0.5)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        // Median of lognormal = e^mu ≈ 7.389.
+        assert!((median - 2.0f64.exp()).abs() < 0.3, "median={median}");
+    }
+
+    #[test]
+    fn zipf_zero_theta_is_uniformish() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = RngStreams::new(13).stream("z");
+        let mut counts = [0u32; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 2000.0).abs() < 300.0, "count={c}");
+        }
+    }
+
+    #[test]
+    fn zipf_high_theta_skews_to_head() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = RngStreams::new(17).stream("z");
+        let mut head = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With theta=0.99 the top-10 of 1000 keys get a large share.
+        assert!(head as f64 / n as f64 > 0.25, "head share={}", head as f64 / n as f64);
+    }
+
+    #[test]
+    fn zipf_samples_in_range() {
+        let z = Zipf::new(5, 1.2);
+        let mut rng = RngStreams::new(19).stream("z");
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 5);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zipf_rejects_empty() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,461 @@
+//! A real-threaded staged (SEDA-style) server runtime.
+//!
+//! The paper targets "the stage-oriented architecture commonly found in
+//! high-performance servers" and identifies two standard staging models
+//! (§3.2.1):
+//!
+//! * **Producer-consumer** — worker threads loop over a request queue;
+//!   each dequeued request is one task. [`StagedServer`] implements this:
+//!   every stage is a bounded queue plus a worker pool, and when a SAAD
+//!   tracker is attached each worker calls `set_context` before running a
+//!   task — starting the next task implicitly terminates the previous one,
+//!   the paper's termination inference for this model.
+//! * **Dispatcher-worker** — a thread spawns a worker and delegates a task
+//!   to it. [`StagedServer::spawn_worker`] implements this; the worker
+//!   holds a [`saad_core::tracker::TaskGuard`] so its task finalizes when
+//!   the thread finishes (the paper infers this via GC `finalize()`).
+//!
+//! This runtime is *real threads and real time* — it exists so the
+//! overhead experiment (paper Figure 7) can measure the tracker against a
+//! genuinely concurrent server, and so the examples can demonstrate live,
+//! streaming anomaly detection.
+//!
+//! # Example
+//!
+//! ```
+//! use saad_stage::StagedServer;
+//!
+//! let server = StagedServer::builder()
+//!     .stage("ingest", 2, 64)
+//!     .stage("apply", 2, 64)
+//!     .build();
+//! let n = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+//! for _ in 0..100 {
+//!     let n = n.clone();
+//!     server.submit("ingest", move |_ctx| {
+//!         n.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+//!     }).unwrap();
+//! }
+//! server.shutdown();
+//! assert_eq!(n.load(std::sync::atomic::Ordering::Relaxed), 100);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use crossbeam_channel::{bounded, Sender};
+use saad_core::tracker::TaskExecutionTracker;
+use saad_core::{StageId, StageRegistry};
+use saad_logging::Logger;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Context passed to every task closure.
+pub struct StageContext {
+    /// The stage this task is an instance of.
+    pub stage: StageId,
+    /// The stage's logger (tracker-intercepted when SAAD is attached).
+    pub logger: Arc<Logger>,
+}
+
+impl fmt::Debug for StageContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StageContext").field("stage", &self.stage).finish()
+    }
+}
+
+/// A task: any closure run by a stage worker.
+pub type Task = Box<dyn FnOnce(&StageContext) + Send>;
+
+/// Error returned by [`StagedServer::submit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// No stage with that name exists.
+    UnknownStage(String),
+    /// The server is shutting down.
+    Disconnected,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::UnknownStage(name) => write!(f, "unknown stage `{name}`"),
+            SubmitError::Disconnected => f.write_str("server is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct StageHandle {
+    id: StageId,
+    sender: Option<Sender<Task>>,
+    workers: Vec<JoinHandle<()>>,
+    processed: Arc<AtomicU64>,
+}
+
+/// A running staged server.
+pub struct StagedServer {
+    stages: HashMap<String, StageHandle>,
+    registry: Arc<StageRegistry>,
+    tracker: Option<Arc<TaskExecutionTracker>>,
+    dispatched: parking_lot::Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl fmt::Debug for StagedServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StagedServer")
+            .field("stages", &self.stages.len())
+            .finish()
+    }
+}
+
+/// Builder for [`StagedServer`].
+pub struct StagedServerBuilder {
+    specs: Vec<(String, usize, usize)>,
+    registry: Arc<StageRegistry>,
+    tracker: Option<Arc<TaskExecutionTracker>>,
+    logger_factory: Option<Box<dyn Fn(&str) -> Arc<Logger> + Send>>,
+}
+
+impl fmt::Debug for StagedServerBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StagedServerBuilder")
+            .field("stages", &self.specs.len())
+            .finish()
+    }
+}
+
+impl StagedServerBuilder {
+    /// Add a producer-consumer stage with `workers` threads and a bounded
+    /// queue of `capacity`.
+    pub fn stage(mut self, name: impl Into<String>, workers: usize, capacity: usize) -> Self {
+        self.specs.push((name.into(), workers, capacity));
+        self
+    }
+
+    /// Attach a SAAD tracker: every worker delimits tasks with
+    /// `set_context`, and stage loggers are built through the factory
+    /// below (or a tracker-intercepted default).
+    pub fn tracker(mut self, tracker: Arc<TaskExecutionTracker>) -> Self {
+        self.tracker = Some(tracker);
+        self
+    }
+
+    /// Use an existing stage registry (shared with the analyzer).
+    pub fn registry(mut self, registry: Arc<StageRegistry>) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Customize how per-stage loggers are built (to add appenders or a
+    /// template dictionary). Default: a logger named after the stage with
+    /// the tracker (if any) as interceptor.
+    pub fn logger_factory(
+        mut self,
+        factory: impl Fn(&str) -> Arc<Logger> + Send + 'static,
+    ) -> Self {
+        self.logger_factory = Some(Box::new(factory));
+        self
+    }
+
+    /// Start the server: spawns every stage's workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two stages share a name or a stage has zero workers.
+    pub fn build(self) -> StagedServer {
+        let mut stages = HashMap::new();
+        for (name, workers, capacity) in self.specs {
+            assert!(workers > 0, "stage `{name}` needs at least one worker");
+            assert!(
+                !stages.contains_key(&name),
+                "duplicate stage name `{name}`"
+            );
+            let id = self.registry.register(&name);
+            let logger = match &self.logger_factory {
+                Some(f) => f(&name),
+                None => {
+                    let mut b = Logger::builder(&name);
+                    if let Some(t) = &self.tracker {
+                        b = b.interceptor(t.clone());
+                    }
+                    Arc::new(b.build())
+                }
+            };
+            let (tx, rx) = bounded::<Task>(capacity);
+            let processed = Arc::new(AtomicU64::new(0));
+            let handles: Vec<JoinHandle<()>> = (0..workers)
+                .map(|w| {
+                    let rx = rx.clone();
+                    let tracker = self.tracker.clone();
+                    let ctx = StageContext {
+                        stage: id,
+                        logger: logger.clone(),
+                    };
+                    let processed = processed.clone();
+                    std::thread::Builder::new()
+                        .name(format!("{name}-{w}"))
+                        .spawn(move || {
+                            for task in rx.iter() {
+                                // Producer-consumer delimiter: dequeuing a
+                                // request starts a new task and terminates
+                                // the previous one.
+                                if let Some(t) = &tracker {
+                                    t.set_context(ctx.stage);
+                                }
+                                task(&ctx);
+                                processed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            // Queue closed: the last task ends with the
+                            // worker.
+                            if let Some(t) = &tracker {
+                                t.end_task();
+                            }
+                        })
+                        .expect("spawn stage worker")
+                })
+                .collect();
+            stages.insert(
+                name,
+                StageHandle {
+                    id,
+                    sender: Some(tx),
+                    workers: handles,
+                    processed,
+                },
+            );
+        }
+        StagedServer {
+            stages,
+            registry: self.registry,
+            tracker: self.tracker,
+            dispatched: parking_lot::Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl StagedServer {
+    /// Start building a server.
+    pub fn builder() -> StagedServerBuilder {
+        StagedServerBuilder {
+            specs: Vec::new(),
+            registry: Arc::new(StageRegistry::new()),
+            tracker: None,
+            logger_factory: None,
+        }
+    }
+
+    /// The stage registry (stage name ↔ id).
+    pub fn registry(&self) -> &Arc<StageRegistry> {
+        &self.registry
+    }
+
+    /// Id of a stage, if it exists.
+    pub fn stage_id(&self, name: &str) -> Option<StageId> {
+        self.stages.get(name).map(|s| s.id)
+    }
+
+    /// Tasks processed by a stage so far.
+    pub fn processed(&self, name: &str) -> u64 {
+        self.stages
+            .get(name)
+            .map_or(0, |s| s.processed.load(Ordering::Relaxed))
+    }
+
+    /// Submit a task to a stage's queue (blocking when the queue is full —
+    /// natural backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::UnknownStage`] for an unregistered stage and
+    /// [`SubmitError::Disconnected`] after shutdown.
+    pub fn submit(
+        &self,
+        stage: &str,
+        task: impl FnOnce(&StageContext) + Send + 'static,
+    ) -> Result<(), SubmitError> {
+        let handle = self
+            .stages
+            .get(stage)
+            .ok_or_else(|| SubmitError::UnknownStage(stage.to_owned()))?;
+        let sender = handle.sender.as_ref().ok_or(SubmitError::Disconnected)?;
+        sender
+            .send(Box::new(task))
+            .map_err(|_| SubmitError::Disconnected)
+    }
+
+    /// Dispatcher-worker model: spawn a dedicated worker thread for one
+    /// task of `stage`. The task is delimited by a guard, so its synopsis
+    /// is emitted when the worker finishes (or dies).
+    ///
+    /// The stage is registered on first use.
+    pub fn spawn_worker(
+        &self,
+        stage: &str,
+        task: impl FnOnce(&StageContext) + Send + 'static,
+    ) {
+        let id = self.registry.register(stage);
+        let tracker = self.tracker.clone();
+        let logger = {
+            let mut b = Logger::builder(stage);
+            if let Some(t) = &tracker {
+                b = b.interceptor(t.clone());
+            }
+            Arc::new(b.build())
+        };
+        let handle = std::thread::Builder::new()
+            .name(format!("{stage}-worker"))
+            .spawn(move || {
+                let ctx = StageContext { stage: id, logger };
+                let _guard = tracker.as_ref().map(|t| t.task_guard(id));
+                task(&ctx);
+            })
+            .expect("spawn dispatcher worker");
+        self.dispatched.lock().push(handle);
+    }
+
+    /// Shut down: close every queue, join every worker (letting in-flight
+    /// tasks finish).
+    pub fn shutdown(mut self) {
+        for handle in self.stages.values_mut() {
+            handle.sender = None; // close the queue
+        }
+        for (_, handle) in self.stages.drain() {
+            for w in handle.workers {
+                let _ = w.join();
+            }
+        }
+        for w in self.dispatched.lock().drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saad_core::tracker::{SynopsisSink, VecSink};
+    use saad_core::HostId;
+    use saad_logging::{Level, LogPointId, LogPointRegistry};
+    use saad_sim::{Clock, WallClock};
+
+    #[test]
+    fn tasks_flow_through_stages() {
+        let server = StagedServer::builder().stage("a", 3, 16).build();
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..200 {
+            let c = counter.clone();
+            server
+                .submit("a", move |_| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                })
+                .unwrap();
+        }
+        server.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn unknown_stage_is_an_error() {
+        let server = StagedServer::builder().stage("a", 1, 4).build();
+        let err = server.submit("nope", |_| {}).unwrap_err();
+        assert!(matches!(err, SubmitError::UnknownStage(_)));
+        assert!(err.to_string().contains("nope"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn processed_counts_per_stage() {
+        let server = StagedServer::builder().stage("x", 2, 8).stage("y", 1, 8).build();
+        for _ in 0..10 {
+            server.submit("x", |_| {}).unwrap();
+        }
+        for _ in 0..3 {
+            server.submit("y", |_| {}).unwrap();
+        }
+        // Spin until the workers drain the queues.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while (server.processed("x") < 10 || server.processed("y") < 3)
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::yield_now();
+        }
+        assert_eq!(server.processed("x"), 10);
+        assert_eq!(server.processed("y"), 3);
+        assert_eq!(server.processed("unknown"), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn tracker_emits_one_synopsis_per_task() {
+        let sink = Arc::new(VecSink::new());
+        let clock = Arc::new(WallClock::new());
+        let tracker = Arc::new(TaskExecutionTracker::new(
+            HostId(1),
+            clock as Arc<dyn Clock>,
+            sink.clone() as Arc<dyn SynopsisSink>,
+        ));
+        let registry = Arc::new(LogPointRegistry::new());
+        let p = registry.register("did work {}", Level::Info, "f", 1);
+        let server = StagedServer::builder()
+            .tracker(tracker.clone())
+            .stage("work", 4, 32)
+            .build();
+        for i in 0..500u64 {
+            server
+                .submit("work", move |ctx| {
+                    ctx.logger.info(p, format_args!("did work {i}"));
+                })
+                .unwrap();
+        }
+        server.shutdown();
+        let synopses = sink.drain();
+        assert_eq!(synopses.len(), 500);
+        assert!(synopses.iter().all(|s| s.log_points == vec![(p, 1)]));
+        assert_eq!(tracker.completed(), 500);
+    }
+
+    #[test]
+    fn dispatcher_worker_emits_via_guard() {
+        let sink = Arc::new(VecSink::new());
+        let clock = Arc::new(WallClock::new());
+        let tracker = Arc::new(TaskExecutionTracker::new(
+            HostId(1),
+            clock as Arc<dyn Clock>,
+            sink.clone() as Arc<dyn SynopsisSink>,
+        ));
+        let server = StagedServer::builder().tracker(tracker).build();
+        for _ in 0..8 {
+            server.spawn_worker("DataXceiver", |ctx| {
+                ctx.logger.info(LogPointId(0), format_args!("block"));
+            });
+        }
+        server.shutdown();
+        assert_eq!(sink.len(), 8);
+    }
+
+    #[test]
+    fn stage_ids_are_stable_names() {
+        let server = StagedServer::builder().stage("alpha", 1, 4).stage("beta", 1, 4).build();
+        assert_eq!(server.stage_id("alpha"), server.registry().lookup("alpha"));
+        assert!(server.stage_id("gamma").is_none());
+        server.shutdown();
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_stage_names_rejected() {
+        StagedServer::builder().stage("s", 1, 4).stage("s", 1, 4).build();
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_workers_rejected() {
+        StagedServer::builder().stage("s", 0, 4).build();
+    }
+
+}

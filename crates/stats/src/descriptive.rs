@@ -1,0 +1,330 @@
+//! Descriptive statistics: batch summaries and streaming (Welford) moments.
+
+use std::fmt;
+
+/// Arithmetic mean of a slice. Returns `None` for an empty slice.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(saad_stats::descriptive::mean(&[1.0, 2.0, 3.0]), Some(2.0));
+/// assert_eq!(saad_stats::descriptive::mean(&[]), None);
+/// ```
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Unbiased sample variance (denominator `n - 1`).
+///
+/// Returns `None` when fewer than two samples are given.
+pub fn sample_variance(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    Some(ss / (xs.len() - 1) as f64)
+}
+
+/// Sample standard deviation (square root of [`sample_variance`]).
+pub fn sample_std(xs: &[f64]) -> Option<f64> {
+    sample_variance(xs).map(f64::sqrt)
+}
+
+/// A one-pass batch summary of a data set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample variance (0 when `n < 2`).
+    pub variance: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a slice. Returns `None` for an empty slice.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let s = saad_stats::Summary::of(&[1.0, 5.0, 3.0]).unwrap();
+    /// assert_eq!(s.n, 3);
+    /// assert_eq!(s.min, 1.0);
+    /// assert_eq!(s.max, 5.0);
+    /// assert_eq!(s.mean, 3.0);
+    /// ```
+    pub fn of(xs: &[f64]) -> Option<Summary> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &x in xs {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Some(Summary {
+            n: xs.len(),
+            mean: mean(xs).expect("non-empty"),
+            variance: sample_variance(xs).unwrap_or(0.0),
+            min,
+            max,
+        })
+    }
+
+    /// Sample standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance.sqrt()
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} std={:.4} min={:.4} max={:.4}",
+            self.n,
+            self.mean,
+            self.std(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+/// Streaming mean/variance accumulator using Welford's algorithm.
+///
+/// Numerically stable for long streams; used by the analyzer to keep
+/// per-signature duration moments without buffering synopses.
+///
+/// # Example
+///
+/// ```
+/// let mut s = saad_stats::OnlineStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Create an empty accumulator.
+    pub fn new() -> OnlineStats {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 when `n < 2`).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population variance (0 when empty).
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge another accumulator into this one (parallel Welford merge).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use saad_stats::OnlineStats;
+    /// let mut a = OnlineStats::new();
+    /// let mut b = OnlineStats::new();
+    /// for x in [1.0, 2.0, 3.0] { a.push(x); }
+    /// for x in [4.0, 5.0] { b.push(x); }
+    /// a.merge(&b);
+    /// assert_eq!(a.count(), 5);
+    /// assert!((a.mean() - 3.0).abs() < 1e-12);
+    /// ```
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let m2 =
+            self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.mean += delta * other.n as f64 / n as f64;
+        self.m2 = m2;
+        self.n = n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> OnlineStats {
+        let mut s = OnlineStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_empty_is_none() {
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn variance_needs_two_samples() {
+        assert_eq!(sample_variance(&[1.0]), None);
+        assert_eq!(sample_variance(&[1.0, 3.0]), Some(2.0));
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+    }
+
+    #[test]
+    fn summary_display_is_nonempty() {
+        let s = Summary::of(&[1.0, 2.0]).unwrap();
+        assert!(!format!("{s}").is_empty());
+    }
+
+    #[test]
+    fn online_matches_batch() {
+        let xs = [3.1, 4.1, 5.9, 2.6, 5.3, 5.8, 9.7, 9.3];
+        let s: OnlineStats = xs.iter().copied().collect();
+        assert!((s.mean() - mean(&xs).unwrap()).abs() < 1e-12);
+        assert!((s.sample_variance() - sample_variance(&xs).unwrap()).abs() < 1e-12);
+        assert_eq!(s.min(), 2.6);
+        assert_eq!(s.max(), 9.7);
+    }
+
+    #[test]
+    fn merge_empty_is_identity() {
+        let mut a: OnlineStats = [1.0, 2.0].into_iter().collect();
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    proptest! {
+        #[test]
+        fn welford_agrees_with_two_pass(xs in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+            let s: OnlineStats = xs.iter().copied().collect();
+            let m = mean(&xs).unwrap();
+            let v = sample_variance(&xs).unwrap();
+            prop_assert!((s.mean() - m).abs() <= 1e-6 * (1.0 + m.abs()));
+            prop_assert!((s.sample_variance() - v).abs() <= 1e-6 * (1.0 + v.abs()));
+        }
+
+        #[test]
+        fn merge_agrees_with_concat(
+            a in proptest::collection::vec(-1e5f64..1e5, 1..100),
+            b in proptest::collection::vec(-1e5f64..1e5, 1..100),
+        ) {
+            let mut sa: OnlineStats = a.iter().copied().collect();
+            let sb: OnlineStats = b.iter().copied().collect();
+            sa.merge(&sb);
+            let all: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+            let sc: OnlineStats = all.iter().copied().collect();
+            prop_assert!((sa.mean() - sc.mean()).abs() <= 1e-6 * (1.0 + sc.mean().abs()));
+            prop_assert!(
+                (sa.sample_variance() - sc.sample_variance()).abs()
+                    <= 1e-6 * (1.0 + sc.sample_variance().abs())
+            );
+            prop_assert_eq!(sa.count(), sc.count());
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Probability distributions: standard normal and Student-t.
+//!
+//! Only what the SAAD analyzer needs: CDFs and survival functions for
+//! p-values, plus the normal quantile function for building confidence
+//! bands in the experiment harness.
+
+use crate::special::{betai, erf, erfc};
+
+/// A normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std: f64,
+}
+
+impl Normal {
+    /// Create a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std` is not strictly positive or either argument is not
+    /// finite.
+    pub fn new(mean: f64, std: f64) -> Normal {
+        assert!(mean.is_finite() && std.is_finite(), "parameters must be finite");
+        assert!(std > 0.0, "std must be > 0, got {std}");
+        Normal { mean, std }
+    }
+
+    /// The standard normal distribution (mean 0, std 1).
+    pub fn standard() -> Normal {
+        Normal::new(0.0, 1.0)
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Standard deviation of the distribution.
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+
+    /// Cumulative distribution function `P(X <= x)`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let n = saad_stats::Normal::standard();
+    /// assert!((n.cdf(0.0) - 0.5).abs() < 1e-12);
+    /// assert!((n.cdf(1.96) - 0.975).abs() < 1e-3);
+    /// ```
+    pub fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std;
+        0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+    }
+
+    /// Survival function `P(X > x)`, accurate in the upper tail.
+    pub fn sf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std;
+        0.5 * erfc(z / std::f64::consts::SQRT_2)
+    }
+
+    /// Probability density function.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std;
+        (-0.5 * z * z).exp() / (self.std * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Quantile function (inverse CDF) via Acklam's rational approximation
+    /// refined with one Halley step; absolute error below `1e-9`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1`.
+    pub fn ppf(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "ppf requires 0 < p < 1, got {p}");
+        self.mean + self.std * standard_normal_ppf(p)
+    }
+}
+
+/// Inverse CDF of the standard normal (Acklam's algorithm + refinement).
+fn standard_normal_ppf(p: f64) -> f64 {
+    // Coefficients for Acklam's rational approximation.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One Halley refinement step.
+    let std = Normal::standard();
+    let e = std.cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// A Student-t distribution with `df` degrees of freedom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudentT {
+    df: f64,
+}
+
+impl StudentT {
+    /// Create a t-distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `df > 0`.
+    pub fn new(df: f64) -> StudentT {
+        assert!(df > 0.0 && df.is_finite(), "df must be positive, got {df}");
+        StudentT { df }
+    }
+
+    /// Degrees of freedom.
+    pub fn df(&self) -> f64 {
+        self.df
+    }
+
+    /// Cumulative distribution function `P(T <= t)` via the regularized
+    /// incomplete beta function.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let t = saad_stats::StudentT::new(10.0);
+    /// assert!((t.cdf(0.0) - 0.5).abs() < 1e-12);
+    /// // scipy.stats.t.cdf(2.228, 10) ≈ 0.975
+    /// assert!((t.cdf(2.228) - 0.975).abs() < 1e-4);
+    /// ```
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t == 0.0 {
+            return 0.5;
+        }
+        let x = self.df / (self.df + t * t);
+        let tail = 0.5 * betai(0.5 * self.df, 0.5, x);
+        if t > 0.0 {
+            1.0 - tail
+        } else {
+            tail
+        }
+    }
+
+    /// Survival function `P(T > t)`, accurate in the upper tail.
+    pub fn sf(&self, t: f64) -> f64 {
+        if t == 0.0 {
+            return 0.5;
+        }
+        let x = self.df / (self.df + t * t);
+        let tail = 0.5 * betai(0.5 * self.df, 0.5, x);
+        if t > 0.0 {
+            tail
+        } else {
+            1.0 - tail
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn normal_reference_cdf() {
+        let n = Normal::standard();
+        close(n.cdf(-1.0), 0.15865525393145707, 1e-9);
+        close(n.cdf(1.0), 0.8413447460685429, 1e-9);
+        close(n.cdf(3.0903), 0.999, 1e-4); // z for alpha=0.001
+    }
+
+    #[test]
+    fn normal_sf_tail() {
+        let n = Normal::standard();
+        // scipy.stats.norm.sf(5) ≈ 2.866515719235352e-07
+        let v = n.sf(5.0);
+        assert!((v / 2.866515719235352e-07 - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normal_pdf_peak() {
+        let n = Normal::standard();
+        close(n.pdf(0.0), 0.3989422804014327, 1e-12);
+    }
+
+    #[test]
+    fn normal_ppf_round_trips() {
+        let n = Normal::new(5.0, 2.0);
+        for &p in &[0.001, 0.01, 0.1, 0.5, 0.9, 0.99, 0.999] {
+            close(n.cdf(n.ppf(p)), p, 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn normal_rejects_zero_std() {
+        Normal::new(0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ppf_rejects_zero() {
+        Normal::standard().ppf(0.0);
+    }
+
+    #[test]
+    fn t_reference_values() {
+        // scipy.stats.t.cdf(1.812, 10) ≈ 0.95
+        close(StudentT::new(10.0).cdf(1.812), 0.95, 1e-3);
+        // t.cdf(4.144, 10) ≈ 0.999 (alpha = 0.001 one-sided critical value)
+        close(StudentT::new(10.0).cdf(4.144), 0.999, 1e-4);
+        // Symmetric.
+        close(StudentT::new(7.0).cdf(-2.0) + StudentT::new(7.0).cdf(2.0), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn t_approaches_normal_for_large_df() {
+        let t = StudentT::new(1e6);
+        let n = Normal::standard();
+        for &x in &[-2.0, -0.5, 0.0, 0.5, 2.0] {
+            close(t.cdf(x), n.cdf(x), 1e-5);
+        }
+    }
+
+    #[test]
+    fn t_sf_complements_cdf() {
+        let t = StudentT::new(5.0);
+        for &x in &[-3.0, -1.0, 0.0, 1.0, 3.0] {
+            close(t.cdf(x) + t.sf(x), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn t_rejects_zero_df() {
+        StudentT::new(0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn normal_cdf_is_monotone(a in -10.0f64..10.0, b in -10.0f64..10.0) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let n = Normal::standard();
+            prop_assert!(n.cdf(lo) <= n.cdf(hi) + 1e-12);
+        }
+
+        #[test]
+        fn t_cdf_in_unit_interval(df in 0.5f64..200.0, x in -50.0f64..50.0) {
+            let v = StudentT::new(df).cdf(x);
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+
+        #[test]
+        fn normal_ppf_inverts_cdf(p in 0.0001f64..0.9999) {
+            let n = Normal::standard();
+            let x = n.ppf(p);
+            prop_assert!((n.cdf(x) - p).abs() < 1e-8);
+        }
+    }
+}

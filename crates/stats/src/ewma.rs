@@ -1,0 +1,92 @@
+//! Exponentially-weighted moving average, used by the harness to smooth
+//! throughput series for the figure timelines.
+
+/// An exponentially-weighted moving average.
+///
+/// # Example
+///
+/// ```
+/// use saad_stats::ewma::Ewma;
+/// let mut e = Ewma::new(0.5);
+/// assert_eq!(e.update(10.0), 10.0); // first sample seeds the average
+/// assert_eq!(e.update(20.0), 15.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Create an EWMA with smoothing factor `alpha` in `(0, 1]`. Larger
+    /// `alpha` weights recent samples more.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha <= 1`.
+    pub fn new(alpha: f64) -> Ewma {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1], got {alpha}");
+        Ewma { alpha, value: None }
+    }
+
+    /// Feed one sample and return the updated average.
+    pub fn update(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(prev) => self.alpha * x + (1.0 - self.alpha) * prev,
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current average, if any sample has been seen.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Reset to the empty state.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_value() {
+        assert_eq!(Ewma::new(0.3).value(), None);
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ewma::new(0.2);
+        for _ in 0..200 {
+            e.update(7.0);
+        }
+        assert!((e.value().unwrap() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alpha_one_tracks_exactly() {
+        let mut e = Ewma::new(1.0);
+        e.update(1.0);
+        assert_eq!(e.update(42.0), 42.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut e = Ewma::new(0.5);
+        e.update(3.0);
+        e.reset();
+        assert_eq!(e.value(), None);
+        assert_eq!(e.update(9.0), 9.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_alpha_rejected() {
+        Ewma::new(0.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Fixed-bin and logarithmic histograms used by the experiment harness.
+
+use std::fmt;
+
+/// A histogram over a fixed linear range with equal-width bins plus
+/// underflow/overflow counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Create a histogram covering `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use saad_stats::histogram::Histogram;
+    /// let mut h = Histogram::new(0.0, 10.0, 10);
+    /// h.record(3.5);
+    /// assert_eq!(h.bin_count(3), 1);
+    /// ```
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty: {lo}..{hi}");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total observations recorded (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Lower edge of bin `i`.
+    pub fn bin_lo(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + w * i as f64
+    }
+
+    /// Iterator over `(bin_lower_edge, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        (0..self.bins.len()).map(|i| (self.bin_lo(i), self.bins[i]))
+    }
+
+    /// Approximate quantile (in percent) from bin midpoints. Returns `None`
+    /// when no in-range samples exist.
+    pub fn approx_percentile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p));
+        let in_range: u64 = self.bins.iter().sum();
+        if in_range == 0 {
+            return None;
+        }
+        let target = (p / 100.0 * in_range as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return Some(self.bin_lo(i) + 0.5 * w);
+            }
+        }
+        Some(self.hi - 0.5 * w)
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "histogram [{}, {}) n={}", self.lo, self.hi, self.count)?;
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        for (edge, c) in self.iter() {
+            let bar = "#".repeat((c * 40 / max) as usize);
+            writeln!(f, "{edge:>12.3} | {c:>8} {bar}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_right_bins() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        h.record(0.0);
+        h.record(9.999);
+        h.record(10.0);
+        h.record(99.9);
+        assert_eq!(h.bin_count(0), 2);
+        assert_eq!(h.bin_count(1), 1);
+        assert_eq!(h.bin_count(9), 1);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn under_and_overflow_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-1.0);
+        h.record(1.0); // upper bound is exclusive
+        h.record(2.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn approx_percentile_median() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..100 {
+            h.record(i as f64 / 10.0);
+        }
+        let med = h.approx_percentile(50.0).unwrap();
+        assert!((med - 4.5).abs() <= 1.0, "median approx {med}");
+    }
+
+    #[test]
+    fn approx_percentile_empty_is_none() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.approx_percentile(50.0), None);
+    }
+
+    #[test]
+    fn display_renders_all_bins() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.record(0.5);
+        let s = format!("{h}");
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bins_rejected() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_range_rejected() {
+        Histogram::new(1.0, 1.0, 4);
+    }
+}

@@ -1,0 +1,326 @@
+//! Hypothesis tests used by the SAAD anomaly detector.
+//!
+//! The paper (§3.3.3) tests, per detection window, the null hypothesis
+//! *"the proportion of outlier tasks is less than or equal to the training
+//! proportion"* at significance level `0.001`. We provide:
+//!
+//! * [`one_sided_proportion_test`] — exact-parameter one-sample test of a
+//!   window proportion against a known training proportion `p0`, using the
+//!   normal approximation with a t-distributed statistic for small windows
+//!   (this is the "t-test" the paper describes applied to 0/1 outcomes);
+//! * [`two_proportion_test`] — pooled two-sample z-test when the training
+//!   proportion is itself an estimate;
+//! * [`welch_t_test`] — unequal-variance t-test over raw durations, used by
+//!   the ablation benches.
+
+use crate::dist::{Normal, StudentT};
+
+/// The paper's significance level for both flow and performance anomaly
+/// tests.
+pub const SAAD_ALPHA: f64 = 0.001;
+
+/// Direction of the alternative hypothesis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Alternative {
+    /// H1: parameter is greater than the reference.
+    Greater,
+    /// H1: parameter is less than the reference.
+    Less,
+    /// H1: parameter differs from the reference (two-sided).
+    TwoSided,
+}
+
+/// Outcome of a hypothesis test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestResult {
+    /// The test statistic (z or t depending on the test).
+    pub statistic: f64,
+    /// The p-value under the null hypothesis.
+    pub p_value: f64,
+    /// Degrees of freedom used (`f64::INFINITY` for pure z-tests).
+    pub df: f64,
+}
+
+impl TestResult {
+    /// Whether the null hypothesis is rejected at level `alpha`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use saad_stats::hypothesis::{one_sided_proportion_test, Alternative, SAAD_ALPHA};
+    /// let r = one_sided_proportion_test(50, 100, 0.01, Alternative::Greater);
+    /// assert!(r.rejects(SAAD_ALPHA));
+    /// ```
+    pub fn rejects(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+fn p_from_statistic(stat: f64, df: f64, alternative: Alternative) -> f64 {
+    let upper = if df.is_finite() {
+        StudentT::new(df).sf(stat)
+    } else {
+        Normal::standard().sf(stat)
+    };
+    match alternative {
+        Alternative::Greater => upper,
+        Alternative::Less => 1.0 - upper,
+        Alternative::TwoSided => {
+            let lower = 1.0 - upper;
+            2.0 * upper.min(lower)
+        }
+    }
+}
+
+/// One-sample proportion test of `successes / n` against a reference
+/// proportion `p0`.
+///
+/// This is the windowed anomaly test from the paper: `successes` is the
+/// number of outlier tasks in the window, `n` the window task count, and
+/// `p0` the outlier proportion observed during training. The statistic
+/// `(p̂ − p0) / sqrt(p0 (1 − p0) / n)` is referred to a t-distribution with
+/// `n − 1` degrees of freedom (matching the paper's description of a t-test;
+/// for the window sizes SAAD uses this is nearly identical to the z-test).
+///
+/// Degenerate guards: with `p0 == 0` any observed outlier is "infinitely"
+/// significant — we report p-value 0 when `successes > 0` and 1 otherwise;
+/// symmetrically for `p0 == 1`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `successes > n`, or `p0` is outside `[0, 1]`.
+pub fn one_sided_proportion_test(
+    successes: u64,
+    n: u64,
+    p0: f64,
+    alternative: Alternative,
+) -> TestResult {
+    assert!(n > 0, "proportion test requires n > 0");
+    assert!(successes <= n, "successes ({successes}) exceeds n ({n})");
+    assert!((0.0..=1.0).contains(&p0), "p0 must be in [0,1], got {p0}");
+    let p_hat = successes as f64 / n as f64;
+    if p0 == 0.0 || p0 == 1.0 {
+        let exceeds = match alternative {
+            Alternative::Greater => p_hat > p0,
+            Alternative::Less => p_hat < p0,
+            Alternative::TwoSided => p_hat != p0,
+        };
+        return TestResult {
+            statistic: if exceeds { f64::INFINITY } else { 0.0 },
+            p_value: if exceeds { 0.0 } else { 1.0 },
+            df: (n - 1).max(1) as f64,
+        };
+    }
+    let se = (p0 * (1.0 - p0) / n as f64).sqrt();
+    let stat = (p_hat - p0) / se;
+    let df = (n - 1).max(1) as f64;
+    TestResult {
+        statistic: stat,
+        p_value: p_from_statistic(stat, df, alternative),
+        df,
+    }
+}
+
+/// Pooled two-sample proportion z-test.
+///
+/// Compares `x1 / n1` against `x2 / n2`; used when the training proportion
+/// is treated as an estimate rather than a constant.
+///
+/// # Panics
+///
+/// Panics if either sample is empty or a success count exceeds its `n`.
+pub fn two_proportion_test(
+    x1: u64,
+    n1: u64,
+    x2: u64,
+    n2: u64,
+    alternative: Alternative,
+) -> TestResult {
+    assert!(n1 > 0 && n2 > 0, "two_proportion_test requires non-empty samples");
+    assert!(x1 <= n1 && x2 <= n2, "successes exceed sample size");
+    let p1 = x1 as f64 / n1 as f64;
+    let p2 = x2 as f64 / n2 as f64;
+    let pooled = (x1 + x2) as f64 / (n1 + n2) as f64;
+    let se = (pooled * (1.0 - pooled) * (1.0 / n1 as f64 + 1.0 / n2 as f64)).sqrt();
+    if se == 0.0 {
+        // Both samples all-success or all-failure: no evidence of difference.
+        return TestResult {
+            statistic: 0.0,
+            p_value: 1.0,
+            df: f64::INFINITY,
+        };
+    }
+    let stat = (p1 - p2) / se;
+    TestResult {
+        statistic: stat,
+        p_value: p_from_statistic(stat, f64::INFINITY, alternative),
+        df: f64::INFINITY,
+    }
+}
+
+/// Welch's unequal-variance t-test comparing the means of two samples.
+///
+/// Returns `None` when either sample has fewer than two observations or
+/// both sample variances are zero (the statistic is undefined).
+pub fn welch_t_test(a: &[f64], b: &[f64], alternative: Alternative) -> Option<TestResult> {
+    if a.len() < 2 || b.len() < 2 {
+        return None;
+    }
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let ma = a.iter().sum::<f64>() / na;
+    let mb = b.iter().sum::<f64>() / nb;
+    let va = a.iter().map(|x| (x - ma) * (x - ma)).sum::<f64>() / (na - 1.0);
+    let vb = b.iter().map(|x| (x - mb) * (x - mb)).sum::<f64>() / (nb - 1.0);
+    let se2 = va / na + vb / nb;
+    if se2 == 0.0 {
+        return None;
+    }
+    let stat = (ma - mb) / se2.sqrt();
+    // Welch–Satterthwaite degrees of freedom.
+    let df = se2 * se2
+        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+    Some(TestResult {
+        statistic: stat,
+        p_value: p_from_statistic(stat, df, alternative),
+        df,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn proportion_at_null_is_insignificant() {
+        // Exactly the training rate: p-value ~0.5.
+        let r = one_sided_proportion_test(10, 1000, 0.01, Alternative::Greater);
+        assert!(r.p_value > 0.4);
+        assert!(!r.rejects(SAAD_ALPHA));
+    }
+
+    #[test]
+    fn proportion_far_above_null_rejects() {
+        let r = one_sided_proportion_test(100, 1000, 0.01, Alternative::Greater);
+        assert!(r.rejects(SAAD_ALPHA), "p={}", r.p_value);
+    }
+
+    #[test]
+    fn proportion_below_null_never_rejects_greater() {
+        let r = one_sided_proportion_test(0, 1000, 0.01, Alternative::Greater);
+        assert!(r.p_value > 0.5);
+    }
+
+    #[test]
+    fn proportion_less_alternative() {
+        let r = one_sided_proportion_test(0, 5000, 0.05, Alternative::Less);
+        assert!(r.rejects(SAAD_ALPHA));
+    }
+
+    #[test]
+    fn proportion_zero_null_any_outlier_rejects() {
+        let r = one_sided_proportion_test(1, 10, 0.0, Alternative::Greater);
+        assert_eq!(r.p_value, 0.0);
+        let r = one_sided_proportion_test(0, 10, 0.0, Alternative::Greater);
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn proportion_two_sided_doubles_tail() {
+        let g = one_sided_proportion_test(30, 100, 0.2, Alternative::Greater);
+        let t = one_sided_proportion_test(30, 100, 0.2, Alternative::TwoSided);
+        assert!((t.p_value - 2.0 * g.p_value).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn proportion_rejects_empty_window() {
+        one_sided_proportion_test(0, 0, 0.5, Alternative::Greater);
+    }
+
+    #[test]
+    #[should_panic]
+    fn proportion_rejects_successes_over_n() {
+        one_sided_proportion_test(5, 4, 0.5, Alternative::Greater);
+    }
+
+    #[test]
+    fn two_proportion_detects_difference() {
+        let r = two_proportion_test(200, 1000, 50, 1000, Alternative::Greater);
+        assert!(r.rejects(SAAD_ALPHA));
+    }
+
+    #[test]
+    fn two_proportion_identical_rates_insignificant() {
+        let r = two_proportion_test(10, 100, 100, 1000, Alternative::TwoSided);
+        assert!(r.p_value > 0.9);
+    }
+
+    #[test]
+    fn two_proportion_degenerate_pooled() {
+        let r = two_proportion_test(0, 10, 0, 10, Alternative::Greater);
+        assert_eq!(r.p_value, 1.0);
+        let r = two_proportion_test(10, 10, 10, 10, Alternative::Greater);
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn welch_detects_shift() {
+        let a: Vec<f64> = (0..50).map(|i| 10.0 + (i % 5) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..50).map(|i| 20.0 + (i % 5) as f64 * 0.1).collect();
+        let r = welch_t_test(&b, &a, Alternative::Greater).unwrap();
+        assert!(r.rejects(SAAD_ALPHA));
+    }
+
+    #[test]
+    fn welch_identical_samples_undefined() {
+        let a = [5.0, 5.0, 5.0];
+        assert!(welch_t_test(&a, &a, Alternative::TwoSided).is_none());
+    }
+
+    #[test]
+    fn welch_needs_two_samples_each() {
+        assert!(welch_t_test(&[1.0], &[1.0, 2.0], Alternative::TwoSided).is_none());
+    }
+
+    #[test]
+    fn welch_matches_scipy_reference() {
+        // scipy.stats.ttest_ind([1,2,3,4,5],[2,4,6,8,10], equal_var=False)
+        // -> statistic = -1.8973665961010275, pvalue = 0.10524
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [2.0, 4.0, 6.0, 8.0, 10.0];
+        let r = welch_t_test(&a, &b, Alternative::TwoSided).unwrap();
+        assert!((r.statistic + 1.8973665961010275).abs() < 1e-9);
+        // Welch–Satterthwaite df = 5.882...
+        assert!((r.df - 5.8823529411764705).abs() < 1e-9);
+        assert!((r.p_value - 0.1073).abs() < 2e-3);
+    }
+
+    proptest! {
+        #[test]
+        fn p_values_are_probabilities(
+            x in 0u64..500,
+            extra in 1u64..500,
+            p0 in 0.001f64..0.999,
+        ) {
+            let n = x + extra;
+            for alt in [Alternative::Greater, Alternative::Less, Alternative::TwoSided] {
+                let r = one_sided_proportion_test(x, n, p0, alt);
+                prop_assert!((0.0..=1.0).contains(&r.p_value));
+            }
+        }
+
+        #[test]
+        fn more_successes_is_more_significant(
+            n in 100u64..1000,
+            p0 in 0.01f64..0.5,
+        ) {
+            let low = (n as f64 * p0) as u64;
+            let high = (low + n / 4).min(n);
+            prop_assume!(high > low);
+            let r_low = one_sided_proportion_test(low, n, p0, Alternative::Greater);
+            let r_high = one_sided_proportion_test(high, n, p0, Alternative::Greater);
+            prop_assert!(r_high.p_value <= r_low.p_value + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! k-fold cross-validation utilities.
+//!
+//! The paper (§3.3.2) discards a signature from performance-outlier
+//! detection when its duration distribution cannot support a stable
+//! percentile threshold: split the training durations into `k` folds, build
+//! the threshold from `k − 1` folds, measure the outlier rate on the held
+//! out fold, and discard the signature when the average held-out outlier
+//! rate is significantly higher than the nominal rate.
+
+use crate::quantile::percentile_of_sorted;
+
+/// Deterministically split `n` items into `k` contiguous folds of
+/// near-equal size. Returns `(start, end)` index pairs.
+///
+/// Folds differ in size by at most one element. Fewer than `k` items yields
+/// one fold per item.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+///
+/// # Example
+///
+/// ```
+/// let folds = saad_stats::kfold::fold_bounds(10, 3);
+/// assert_eq!(folds, vec![(0, 4), (4, 7), (7, 10)]);
+/// ```
+pub fn fold_bounds(n: usize, k: usize) -> Vec<(usize, usize)> {
+    assert!(k > 0, "k must be positive");
+    let k = k.min(n.max(1));
+    let base = n / k;
+    let rem = n % k;
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < rem);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// Result of k-fold validation of a percentile threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KFoldOutcome {
+    /// Mean held-out outlier rate across folds.
+    pub mean_heldout_rate: f64,
+    /// Nominal outlier rate implied by the percentile (e.g. 0.01 for p99).
+    pub nominal_rate: f64,
+    /// Number of folds actually evaluated.
+    pub folds: usize,
+}
+
+impl KFoldOutcome {
+    /// Whether the observed held-out outlier rate exceeds the nominal rate
+    /// by more than `tolerance_factor` (the paper's "significantly higher"
+    /// criterion; a factor of 3 works well in practice).
+    pub fn is_unstable(&self, tolerance_factor: f64) -> bool {
+        self.mean_heldout_rate > self.nominal_rate * tolerance_factor
+    }
+}
+
+/// Run k-fold validation of a `p`-th percentile threshold over `durations`.
+///
+/// For each fold: the threshold is the `p`-th percentile of the remaining
+/// folds; the held-out outlier rate is the fraction of the fold strictly
+/// above that threshold. Returns `None` when there are not enough samples
+/// to form at least two non-empty folds.
+///
+/// Durations are shuffled deterministically by a simple multiplicative hash
+/// of their index so that time-correlated streams don't bias the folds; the
+/// caller may pre-shuffle instead if it has a seeded RNG.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `p` is outside `[0, 100]`.
+pub fn validate_percentile_threshold(durations: &[f64], k: usize, p: f64) -> Option<KFoldOutcome> {
+    assert!(k > 0);
+    assert!((0.0..=100.0).contains(&p));
+    if durations.len() < k.max(2) {
+        return None;
+    }
+    // Deterministic interleave to decorrelate folds from arrival order.
+    let mut idx: Vec<usize> = (0..durations.len()).collect();
+    idx.sort_by_key(|&i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) ^ (i >> 3));
+    let shuffled: Vec<f64> = idx.iter().map(|&i| durations[i]).collect();
+
+    let bounds = fold_bounds(shuffled.len(), k);
+    let mut rates = Vec::with_capacity(bounds.len());
+    for &(s, e) in &bounds {
+        if e == s {
+            continue;
+        }
+        let mut train: Vec<f64> = Vec::with_capacity(shuffled.len() - (e - s));
+        train.extend_from_slice(&shuffled[..s]);
+        train.extend_from_slice(&shuffled[e..]);
+        if train.is_empty() {
+            continue;
+        }
+        train.sort_by(|a, b| a.partial_cmp(b).expect("NaN duration"));
+        let threshold = percentile_of_sorted(&train, p);
+        let outliers = shuffled[s..e].iter().filter(|&&d| d > threshold).count();
+        rates.push(outliers as f64 / (e - s) as f64);
+    }
+    if rates.len() < 2 {
+        return None;
+    }
+    Some(KFoldOutcome {
+        mean_heldout_rate: rates.iter().sum::<f64>() / rates.len() as f64,
+        nominal_rate: 1.0 - p / 100.0,
+        folds: rates.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bounds_cover_everything_disjointly() {
+        for n in [0usize, 1, 5, 10, 13, 100] {
+            for k in [1usize, 2, 3, 5, 10] {
+                let b = fold_bounds(n, k);
+                let mut covered = 0;
+                for w in b.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "folds must be contiguous");
+                }
+                for &(s, e) in &b {
+                    assert!(s <= e);
+                    covered += e - s;
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_sizes_differ_by_at_most_one() {
+        let b = fold_bounds(11, 4);
+        let sizes: Vec<usize> = b.iter().map(|&(s, e)| e - s).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 11);
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bounds_reject_zero_k() {
+        fold_bounds(5, 0);
+    }
+
+    #[test]
+    fn tight_distribution_is_stable() {
+        // Concentrated durations: p99 threshold generalizes, held-out rate
+        // stays near the nominal 1%.
+        let durations: Vec<f64> = (0..5000).map(|i| 10.0 + (i % 100) as f64 * 0.01).collect();
+        let out = validate_percentile_threshold(&durations, 10, 99.0).unwrap();
+        assert!(!out.is_unstable(3.0), "rate={}", out.mean_heldout_rate);
+    }
+
+    #[test]
+    fn consistent_heavy_tail_is_stable() {
+        // A fat but *consistent* tail generalizes: each fold's p99 threshold
+        // lands inside the tail and the held-out rate stays near nominal.
+        let mut durations = Vec::new();
+        for i in 0..1000u64 {
+            let x = ((i * 2654435761) % 1000) as f64 / 1000.0;
+            durations.push(if x > 0.9 { 1e4 * (1.0 + x * 1e3) } else { 10.0 + x });
+        }
+        let out = validate_percentile_threshold(&durations, 5, 99.0).unwrap();
+        assert!(!out.is_unstable(3.0), "rate={}", out.mean_heldout_rate);
+    }
+
+    #[test]
+    fn sparse_continuous_sample_is_flagged_unstable() {
+        // With few, widely spread samples, a p99 threshold is essentially
+        // the training max and held-out extremes routinely exceed it: the
+        // signature cannot support percentile thresholding (paper §3.3.2).
+        let durations: Vec<f64> = (0..25u64)
+            .map(|i| ((i * 7919) % 10007) as f64 + ((i * 104729) % 97) as f64 / 100.0)
+            .collect();
+        let out = validate_percentile_threshold(&durations, 5, 99.0).unwrap();
+        assert!(out.is_unstable(3.0), "rate={}", out.mean_heldout_rate);
+    }
+
+    #[test]
+    fn too_few_samples_is_none() {
+        assert!(validate_percentile_threshold(&[1.0], 5, 99.0).is_none());
+        assert!(validate_percentile_threshold(&[], 5, 99.0).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn heldout_rate_is_a_probability(
+            xs in proptest::collection::vec(0.0f64..1e6, 10..500),
+            k in 2usize..10,
+        ) {
+            if let Some(out) = validate_percentile_threshold(&xs, k, 99.0) {
+                prop_assert!((0.0..=1.0).contains(&out.mean_heldout_rate));
+                prop_assert!(out.folds >= 2);
+            }
+        }
+    }
+}

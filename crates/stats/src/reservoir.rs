@@ -1,0 +1,122 @@
+//! Reservoir sampling (Algorithm R) for bounded-memory duration samples.
+//!
+//! The analyzer keeps at most a few thousand durations per
+//! (stage, signature) group during model construction; reservoir sampling
+//! keeps that bound while remaining a uniform sample of the stream.
+
+use rand::Rng;
+
+/// A fixed-capacity uniform sample over a stream (Vitter's Algorithm R).
+#[derive(Debug, Clone)]
+pub struct Reservoir<T> {
+    capacity: usize,
+    seen: u64,
+    items: Vec<T>,
+}
+
+impl<T> Reservoir<T> {
+    /// Create a reservoir holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Reservoir<T> {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Reservoir {
+            capacity,
+            seen: 0,
+            items: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Offer one item from the stream.
+    pub fn offer<R: Rng>(&mut self, item: T, rng: &mut R) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else {
+            let j = rng.gen_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.items[j as usize] = item;
+            }
+        }
+    }
+
+    /// Items currently in the reservoir.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Total items offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Whether the reservoir has reached capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Consume the reservoir, returning its items.
+    pub fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fills_before_replacing() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut r = Reservoir::new(3);
+        for i in 0..3 {
+            r.offer(i, &mut rng);
+        }
+        assert_eq!(r.items(), &[0, 1, 2]);
+        assert!(r.is_full());
+    }
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut r = Reservoir::new(10);
+        for i in 0..10_000 {
+            r.offer(i, &mut rng);
+        }
+        assert_eq!(r.items().len(), 10);
+        assert_eq!(r.seen(), 10_000);
+    }
+
+    #[test]
+    fn sampling_is_roughly_uniform() {
+        // Each of 100 stream positions should land in a size-10 reservoir
+        // about 10% of the time across many trials.
+        let trials = 2000;
+        let mut hits = vec![0u32; 100];
+        for t in 0..trials {
+            let mut rng = StdRng::seed_from_u64(t);
+            let mut r = Reservoir::new(10);
+            for i in 0..100usize {
+                r.offer(i, &mut rng);
+            }
+            for &x in r.items() {
+                hits[x] += 1;
+            }
+        }
+        let expected = trials as f64 * 10.0 / 100.0;
+        for (i, &h) in hits.iter().enumerate() {
+            let dev = (h as f64 - expected).abs() / expected;
+            assert!(dev < 0.35, "position {i} hit {h} times, expected ~{expected}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        Reservoir::<u8>::new(0);
+    }
+}

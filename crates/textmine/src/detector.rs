@@ -1,0 +1,169 @@
+//! Frequency-vector anomaly detection over parsed logs.
+//!
+//! Xu et al. build message-type count vectors and flag windows whose
+//! vectors deviate from the dominant patterns (via PCA). This module
+//! implements the count-vector core: per-window template frequencies are
+//! compared against training means with a standardized-distance test.
+
+use saad_logging::LogPointId;
+use saad_stats::OnlineStats;
+use std::collections::HashMap;
+
+/// Verdict for one analyzed window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowVerdict {
+    /// Standardized distance of the window's count vector from the
+    /// training mean.
+    pub score: f64,
+    /// Whether the window is flagged anomalous.
+    pub anomalous: bool,
+}
+
+/// Message-type frequency anomaly detector.
+#[derive(Debug, Default)]
+pub struct FrequencyDetector {
+    training: HashMap<LogPointId, OnlineStats>,
+    threshold: f64,
+    trained_windows: u64,
+}
+
+impl FrequencyDetector {
+    /// Create a detector flagging windows whose score exceeds
+    /// `threshold` standard deviations (3.0 is a typical choice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not strictly positive.
+    pub fn new(threshold: f64) -> FrequencyDetector {
+        assert!(threshold > 0.0, "threshold must be positive");
+        FrequencyDetector {
+            training: HashMap::new(),
+            threshold,
+            trained_windows: 0,
+        }
+    }
+
+    /// Add one training window's per-template counts.
+    pub fn train_window(&mut self, counts: &HashMap<LogPointId, u64>) {
+        self.trained_windows += 1;
+        for (&id, &c) in counts {
+            self.training.entry(id).or_default().push(c as f64);
+        }
+        // Templates absent from this window count as zero.
+        for (id, stats) in &mut self.training {
+            if !counts.contains_key(id) {
+                stats.push(0.0);
+            }
+        }
+    }
+
+    /// Number of training windows absorbed.
+    pub fn trained_windows(&self) -> u64 {
+        self.trained_windows
+    }
+
+    /// Score one runtime window.
+    ///
+    /// The score is the root-mean-square of per-template z-scores
+    /// (templates with zero training variance contribute only when their
+    /// count changes at all, which scores as the threshold itself).
+    pub fn score_window(&self, counts: &HashMap<LogPointId, u64>) -> WindowVerdict {
+        if self.training.is_empty() {
+            return WindowVerdict {
+                score: 0.0,
+                anomalous: false,
+            };
+        }
+        let mut sum_sq = 0.0;
+        let mut n = 0usize;
+        let mut ids: Vec<&LogPointId> = self.training.keys().collect();
+        // Also consider templates never seen in training: strong signal.
+        let mut novel = 0.0;
+        for id in counts.keys() {
+            if !self.training.contains_key(id) {
+                novel += 1.0;
+            }
+        }
+        ids.sort_unstable();
+        for id in ids {
+            let stats = &self.training[id];
+            let observed = counts.get(id).copied().unwrap_or(0) as f64;
+            let std = stats.sample_std();
+            let z = if std > 0.0 {
+                (observed - stats.mean()) / std
+            } else if (observed - stats.mean()).abs() > 0.0 {
+                self.threshold
+            } else {
+                0.0
+            };
+            sum_sq += z * z;
+            n += 1;
+        }
+        let rms = if n == 0 { 0.0 } else { (sum_sq / n as f64).sqrt() };
+        let score = rms + novel * self.threshold;
+        WindowVerdict {
+            score,
+            anomalous: score > self.threshold,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(pairs: &[(u16, u64)]) -> HashMap<LogPointId, u64> {
+        pairs.iter().map(|&(p, c)| (LogPointId(p), c)).collect()
+    }
+
+    fn trained() -> FrequencyDetector {
+        let mut d = FrequencyDetector::new(3.0);
+        for i in 0..50u64 {
+            d.train_window(&window(&[(1, 100 + i % 7), (2, 10 + i % 3)]));
+        }
+        d
+    }
+
+    #[test]
+    fn normal_window_scores_low() {
+        let d = trained();
+        let v = d.score_window(&window(&[(1, 102), (2, 11)]));
+        assert!(!v.anomalous, "score={}", v.score);
+    }
+
+    #[test]
+    fn count_spike_is_flagged() {
+        let d = trained();
+        let v = d.score_window(&window(&[(1, 500), (2, 11)]));
+        assert!(v.anomalous, "score={}", v.score);
+    }
+
+    #[test]
+    fn missing_template_is_flagged() {
+        let d = trained();
+        let v = d.score_window(&window(&[(2, 11)]));
+        assert!(v.anomalous, "score={}", v.score);
+    }
+
+    #[test]
+    fn novel_template_is_flagged() {
+        let d = trained();
+        let v = d.score_window(&window(&[(1, 102), (2, 11), (99, 1)]));
+        assert!(v.anomalous, "score={}", v.score);
+    }
+
+    #[test]
+    fn untrained_detector_flags_nothing() {
+        let d = FrequencyDetector::new(3.0);
+        let v = d.score_window(&window(&[(1, 100)]));
+        assert!(!v.anomalous);
+        assert_eq!(v.score, 0.0);
+        assert_eq!(d.trained_windows(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_threshold_rejected() {
+        FrequencyDetector::new(0.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! The conventional log-mining baseline SAAD is compared against.
+//!
+//! The paper's §5.3.3 measures the cost of the state-of-the-art
+//! alternative: Xu et al.'s console-log mining, which *reverse-matches*
+//! every rendered log line against the set of log statement templates with
+//! regular expressions, typically inside a MapReduce job (their setup:
+//! 11.9 M messages, 12 minutes on a dedicated 8-core cluster). This crate
+//! implements that baseline faithfully enough to reproduce the comparison:
+//!
+//! * [`TemplateMatcher`] — compiles every log template (`"Receiving block
+//!   blk_{}"` …) into an anchored regex and reverse-matches lines against
+//!   the template set;
+//! * [`parse_corpus`] / [`parse_corpus_parallel`] — the map-reduce-style
+//!   parsing pipeline (map: match lines into template counts; reduce:
+//!   merge) with per-run cost accounting;
+//! * [`FrequencyDetector`] — message-type frequency-vector anomaly
+//!   detection over time windows (the PCA-style analysis reduced to its
+//!   count-vector core).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod detector;
+mod matcher;
+mod pipeline;
+
+pub use detector::{FrequencyDetector, WindowVerdict};
+pub use matcher::TemplateMatcher;
+pub use pipeline::{parse_corpus, parse_corpus_parallel, ParseOutcome};

@@ -1,0 +1,169 @@
+//! Regex reverse-matching of log lines to their source templates.
+
+use regex::Regex;
+use saad_logging::{LogPointId, LogTemplate};
+use std::sync::Arc;
+
+/// Matches rendered log lines back to the log statements that produced
+/// them — the compute-intensive core of conventional log mining.
+///
+/// Templates are compiled in order; matching tries each template's regex
+/// until one fits (as the reverse-matching MapReduce jobs do), so cost
+/// grows with the template count — exactly the overhead SAAD avoids by
+/// shipping log point *ids*.
+#[derive(Debug)]
+pub struct TemplateMatcher {
+    patterns: Vec<(LogPointId, Regex)>,
+}
+
+impl TemplateMatcher {
+    /// Compile a matcher from the template dictionary.
+    ///
+    /// Each `{}` hole becomes a non-greedy wildcard; the message part of a
+    /// rendered line (`LEVEL logger - message`) is matched anchored.
+    pub fn new<'a, I: IntoIterator<Item = &'a Arc<LogTemplate>>>(templates: I) -> TemplateMatcher {
+        let patterns = templates
+            .into_iter()
+            .map(|t| {
+                let mut pat = String::with_capacity(t.text.len() + 16);
+                pat.push('^');
+                for part in split_holes(&t.text) {
+                    match part {
+                        Part::Literal(lit) => pat.push_str(&regex::escape(lit)),
+                        Part::Hole => pat.push_str("(.+?)"),
+                    }
+                }
+                pat.push('$');
+                (t.id, Regex::new(&pat).expect("template regex is valid"))
+            })
+            .collect();
+        TemplateMatcher { patterns }
+    }
+
+    /// Number of compiled templates.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether no templates are compiled.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Reverse-match one *message* (the part after `LEVEL logger - `).
+    /// Returns the first matching template's id.
+    pub fn match_message(&self, message: &str) -> Option<LogPointId> {
+        self.patterns
+            .iter()
+            .find(|(_, re)| re.is_match(message))
+            .map(|&(id, _)| id)
+    }
+
+    /// Reverse-match a full rendered line (`LEVEL logger - message`).
+    pub fn match_line(&self, line: &str) -> Option<LogPointId> {
+        let message = line.splitn(2, " - ").nth(1)?;
+        self.match_message(message)
+    }
+}
+
+enum Part<'a> {
+    Literal(&'a str),
+    Hole,
+}
+
+/// Split a template on `{}` holes.
+fn split_holes(text: &str) -> Vec<Part<'_>> {
+    let mut parts = Vec::new();
+    let mut rest = text;
+    while let Some(idx) = rest.find("{}") {
+        if idx > 0 {
+            parts.push(Part::Literal(&rest[..idx]));
+        }
+        parts.push(Part::Hole);
+        rest = &rest[idx + 2..];
+    }
+    if !rest.is_empty() {
+        parts.push(Part::Literal(rest));
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saad_logging::{Level, LogPointRegistry};
+
+    fn matcher() -> (TemplateMatcher, Vec<LogPointId>) {
+        let reg = LogPointRegistry::new();
+        let ids = vec![
+            reg.register("Receiving block blk_{}", Level::Info, "dx", 1),
+            reg.register("WriteTo blockfile of size {}", Level::Debug, "dx", 2),
+            reg.register("Closing down.", Level::Info, "dx", 3),
+            reg.register("GC for ParNew: {} ms for {} collections", Level::Info, "gc", 4),
+        ];
+        (TemplateMatcher::new(reg.all().iter()), ids)
+    }
+
+    #[test]
+    fn matches_simple_interpolations() {
+        let (m, ids) = matcher();
+        assert_eq!(m.match_message("Receiving block blk_42133"), Some(ids[0]));
+        assert_eq!(m.match_message("WriteTo blockfile of size 65536"), Some(ids[1]));
+    }
+
+    #[test]
+    fn matches_literal_only_template() {
+        let (m, ids) = matcher();
+        assert_eq!(m.match_message("Closing down."), Some(ids[2]));
+        assert_eq!(m.match_message("Closing down"), None);
+    }
+
+    #[test]
+    fn matches_multi_hole_template() {
+        let (m, ids) = matcher();
+        assert_eq!(
+            m.match_message("GC for ParNew: 230 ms for 3 collections"),
+            Some(ids[3])
+        );
+    }
+
+    #[test]
+    fn unknown_lines_do_not_match() {
+        let (m, _) = matcher();
+        assert_eq!(m.match_message("totally unrelated text"), None);
+        assert_eq!(m.match_message(""), None);
+    }
+
+    #[test]
+    fn full_lines_are_split_on_separator() {
+        let (m, ids) = matcher();
+        assert_eq!(
+            m.match_line("INFO DataXceiver - Receiving block blk_7"),
+            Some(ids[0])
+        );
+        assert_eq!(m.match_line("no separator here"), None);
+    }
+
+    #[test]
+    fn regex_metacharacters_in_templates_are_escaped() {
+        let reg = LogPointRegistry::new();
+        let id = reg.register("Heap is {} full. You may need (urgently) to act", Level::Warn, "g", 9);
+        let m = TemplateMatcher::new(reg.all().iter());
+        assert_eq!(
+            m.match_message("Heap is 0.95 full. You may need (urgently) to act"),
+            Some(id)
+        );
+        // The '.' must not match arbitrary characters.
+        assert_eq!(
+            m.match_message("Heap is 0X95 fullX You may need (urgently) to act"),
+            None
+        );
+    }
+
+    #[test]
+    fn empty_matcher_matches_nothing() {
+        let m = TemplateMatcher::new(std::iter::empty());
+        assert!(m.is_empty());
+        assert_eq!(m.match_message("anything"), None);
+    }
+}

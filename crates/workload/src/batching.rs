@@ -1,0 +1,200 @@
+//! The YCSB 0.1.4 put-batching misconfiguration (paper §5.5).
+//!
+//! "YCSB configures its HBase client to batch 'put' operations on the
+//! client side and to periodically send them in one single RPC call. This
+//! artificially boosts performance of write operations, at the expense of
+//! delaying writes on the client side. The writes were persisted on
+//! Regionservers only after a significant lag of about 9 minutes on
+//! average. It must be noted that batching put operations violates the
+//! benchmark specifications."
+//!
+//! [`Batching`] transforms an operation stream the way that buggy client
+//! did: writes are held in a client-side buffer and released together when
+//! the buffer reaches its size bound or its flush interval elapses.
+
+use crate::{OpKind, Operation};
+use saad_sim::{SimDuration, SimTime};
+
+/// Client-side write batching transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Batching {
+    /// Writes buffered before a size-triggered flush.
+    pub batch_size: usize,
+    /// Maximum time a write may sit in the buffer.
+    pub flush_interval: SimDuration,
+}
+
+impl Batching {
+    /// Create a batching transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0` or the interval is zero.
+    pub fn new(batch_size: usize, flush_interval: SimDuration) -> Batching {
+        assert!(batch_size > 0, "batch size must be positive");
+        assert!(flush_interval > SimDuration::ZERO, "flush interval must be positive");
+        Batching {
+            batch_size,
+            flush_interval,
+        }
+    }
+
+    /// The misconfiguration the paper observed: a buffer so large that the
+    /// periodic flush is effectively the only trigger, lagging writes by
+    /// many minutes.
+    pub fn ycsb_0_1_4_misconfig() -> Batching {
+        Batching::new(100_000, SimDuration::from_mins(9))
+    }
+
+    /// Apply the transform: reads pass through at their original times;
+    /// writes are re-timed to their batch's flush instant. The result is
+    /// re-sorted by arrival time.
+    ///
+    /// Returns the transformed stream and the mean write lag introduced.
+    pub fn apply(&self, ops: &[Operation]) -> (Vec<Operation>, SimDuration) {
+        let mut out = Vec::with_capacity(ops.len());
+        let mut buffer: Vec<Operation> = Vec::new();
+        let mut buffer_opened: Option<SimTime> = None;
+        let mut total_lag_us = 0u128;
+        let mut lagged_writes = 0u64;
+
+        let mut flush =
+            |buffer: &mut Vec<Operation>, at: SimTime, out: &mut Vec<Operation>| {
+                for mut op in buffer.drain(..) {
+                    total_lag_us += at.saturating_since(op.at).as_micros() as u128;
+                    lagged_writes += 1;
+                    op.at = at;
+                    out.push(op);
+                }
+            };
+
+        for &op in ops {
+            // Time-triggered flush happens as virtual time passes, before
+            // the current op is considered.
+            if let Some(opened) = buffer_opened {
+                if op.at.saturating_since(opened) >= self.flush_interval {
+                    let at = opened + self.flush_interval;
+                    flush(&mut buffer, at, &mut out);
+                    buffer_opened = None;
+                }
+            }
+            match op.kind {
+                OpKind::Read => out.push(op),
+                OpKind::Insert | OpKind::Update => {
+                    if buffer.is_empty() {
+                        buffer_opened = Some(op.at);
+                    }
+                    buffer.push(op);
+                    if buffer.len() >= self.batch_size {
+                        flush(&mut buffer, op.at, &mut out);
+                        buffer_opened = None;
+                    }
+                }
+            }
+        }
+        if let Some(opened) = buffer_opened {
+            let at = opened + self.flush_interval;
+            flush(&mut buffer, at, &mut out);
+        }
+        out.sort_by_key(|op| op.at);
+        let mean_lag = if lagged_writes == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_micros((total_lag_us / lagged_writes as u128) as u64)
+        };
+        (out, mean_lag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(at_ms: u64) -> Operation {
+        Operation {
+            at: SimTime::from_millis(at_ms),
+            kind: OpKind::Update,
+            key: 1,
+            value_size: 100,
+        }
+    }
+
+    fn read(at_ms: u64) -> Operation {
+        Operation {
+            at: SimTime::from_millis(at_ms),
+            kind: OpKind::Read,
+            key: 1,
+            value_size: 0,
+        }
+    }
+
+    #[test]
+    fn reads_pass_through_untouched() {
+        let b = Batching::new(10, SimDuration::from_secs(1));
+        let ops = vec![read(5), read(10)];
+        let (out, lag) = b.apply(&ops);
+        assert_eq!(out, ops);
+        assert_eq!(lag, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn size_triggered_flush_groups_writes() {
+        let b = Batching::new(3, SimDuration::from_mins(60));
+        let ops = vec![write(0), write(100), write(200), write(300)];
+        let (out, _) = b.apply(&ops);
+        // First three flush together at t=200; the fourth waits for its
+        // interval flush.
+        assert_eq!(out[0].at, SimTime::from_millis(200));
+        assert_eq!(out[1].at, SimTime::from_millis(200));
+        assert_eq!(out[2].at, SimTime::from_millis(200));
+        assert!(out[3].at > SimTime::from_millis(300));
+    }
+
+    #[test]
+    fn time_triggered_flush_caps_lag() {
+        let b = Batching::new(1000, SimDuration::from_secs(1));
+        let ops = vec![write(0), write(100), read(2_000), write(2_100)];
+        let (out, _) = b.apply(&ops);
+        // The two early writes flush at t=1s, before the read at 2s.
+        let writes: Vec<&Operation> = out.iter().filter(|o| o.kind.is_write()).collect();
+        assert_eq!(writes[0].at, SimTime::from_secs(1));
+        assert_eq!(writes[1].at, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn mean_lag_reflects_buffering() {
+        let b = Batching::new(2, SimDuration::from_secs(100));
+        // Two writes 1 s apart flush together at the second write.
+        let ops = vec![write(0), write(1000)];
+        let (_, lag) = b.apply(&ops);
+        assert_eq!(lag, SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn misconfig_lags_writes_by_minutes() {
+        let b = Batching::ycsb_0_1_4_misconfig();
+        let ops: Vec<Operation> = (0..600).map(|i| write(i * 1000)).collect(); // 10 min of writes
+        let (out, lag) = b.apply(&ops);
+        assert_eq!(out.len(), 600);
+        // Mean lag ~ half the 9-minute interval.
+        assert!(lag >= SimDuration::from_mins(3), "lag={lag}");
+        assert!(lag <= SimDuration::from_mins(9), "lag={lag}");
+    }
+
+    #[test]
+    fn output_is_time_sorted() {
+        let b = Batching::new(2, SimDuration::from_secs(1));
+        let ops = vec![write(0), read(500), write(700), read(800), write(900)];
+        let (out, _) = b.apply(&ops);
+        for w in out.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        assert_eq!(out.len(), ops.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_batch_rejected() {
+        Batching::new(0, SimDuration::from_secs(1));
+    }
+}

@@ -1,0 +1,29 @@
+//! YCSB-like workload generation for the SAAD experiments.
+//!
+//! The paper drives HBase and Cassandra with YCSB 0.1.4 (100 emulated
+//! clients, write-intensive mix). This crate reproduces what the storage
+//! simulators need from it:
+//!
+//! * [`OperationMix`] — read/insert/update proportions, with the paper's
+//!   write-heavy preset;
+//! * [`KeyChooser`] — uniform or Zipf-skewed key selection over a key
+//!   space;
+//! * [`WorkloadGenerator`] — a deterministic, time-ordered stream of
+//!   [`Operation`]s with exponential inter-arrivals at a configured
+//!   aggregate rate;
+//! * [`Batching`] — the YCSB 0.1.4 *put-batching misconfiguration* the
+//!   paper uncovered during high-intensity fault 2 (client-side batching
+//!   of puts delivered in one periodic RPC, delaying persistence);
+//! * [`ThroughputRecorder`] — per-window op/sec series for the figure
+//!   timelines.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod batching;
+mod generator;
+mod recorder;
+
+pub use batching::Batching;
+pub use generator::{KeyChooser, Operation, OperationMix, OpKind, WorkloadGenerator};
+pub use recorder::ThroughputRecorder;

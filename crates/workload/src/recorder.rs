@@ -1,0 +1,119 @@
+//! Throughput recording for the figure timelines.
+//!
+//! Every Figure 9 panel overlays the cluster's write throughput (op/sec)
+//! on the anomaly timeline; [`ThroughputRecorder`] produces that series.
+
+use saad_sim::{SimDuration, SimTime};
+
+/// Counts completed operations into fixed-width time windows.
+#[derive(Debug, Clone)]
+pub struct ThroughputRecorder {
+    window: SimDuration,
+    counts: Vec<u64>,
+}
+
+impl ThroughputRecorder {
+    /// Create a recorder with the given window width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is zero.
+    pub fn new(window: SimDuration) -> ThroughputRecorder {
+        assert!(window > SimDuration::ZERO, "window must be positive");
+        ThroughputRecorder {
+            window,
+            counts: Vec::new(),
+        }
+    }
+
+    /// Record one completed operation at `at`.
+    pub fn record(&mut self, at: SimTime) {
+        let idx = (at.as_micros() / self.window.as_micros()) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+    }
+
+    /// The window width.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Raw counts per window.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Op/sec per window.
+    pub fn ops_per_sec(&self) -> Vec<f64> {
+        let secs = self.window.as_secs_f64();
+        self.counts.iter().map(|&c| c as f64 / secs).collect()
+    }
+
+    /// Total recorded operations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean op/sec over windows `[from, to)` (window indices). Empty or
+    /// out-of-range spans yield 0.
+    pub fn mean_ops_per_sec(&self, from: usize, to: usize) -> f64 {
+        let to = to.min(self.counts.len());
+        if from >= to {
+            return 0.0;
+        }
+        let total: u64 = self.counts[from..to].iter().sum();
+        total as f64 / ((to - from) as f64 * self.window.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_right_windows() {
+        let mut r = ThroughputRecorder::new(SimDuration::from_secs(60));
+        r.record(SimTime::from_secs(5));
+        r.record(SimTime::from_secs(59));
+        r.record(SimTime::from_secs(60));
+        assert_eq!(r.counts(), &[2, 1]);
+        assert_eq!(r.total(), 3);
+    }
+
+    #[test]
+    fn ops_per_sec_normalizes_by_window() {
+        let mut r = ThroughputRecorder::new(SimDuration::from_secs(10));
+        for i in 0..100 {
+            r.record(SimTime::from_millis(i * 100)); // all in window 0
+        }
+        assert!((r.ops_per_sec()[0] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_over_span() {
+        let mut r = ThroughputRecorder::new(SimDuration::from_secs(1));
+        for s in 0..10u64 {
+            for _ in 0..s {
+                r.record(SimTime::from_secs(s));
+            }
+        }
+        assert!((r.mean_ops_per_sec(0, 10) - 4.5).abs() < 1e-12);
+        assert_eq!(r.mean_ops_per_sec(5, 5), 0.0);
+        assert_eq!(r.mean_ops_per_sec(50, 60), 0.0);
+    }
+
+    #[test]
+    fn sparse_windows_are_zero_filled() {
+        let mut r = ThroughputRecorder::new(SimDuration::from_secs(1));
+        r.record(SimTime::from_secs(5));
+        assert_eq!(r.counts(), &[0, 0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_window_rejected() {
+        ThroughputRecorder::new(SimDuration::ZERO);
+    }
+}

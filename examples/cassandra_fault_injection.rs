@@ -1,0 +1,90 @@
+//! The paper's §5.4 experiment in miniature: inject an error fault on a
+//! Cassandra node's WAL writes and watch SAAD pinpoint the anomalous
+//! stages — including the frozen-MemTable premature terminations that no
+//! error-log monitor would catch.
+//!
+//! ```sh
+//! cargo run --release --example cassandra_fault_injection
+//! ```
+
+use saad::cassandra::{Cluster, ClusterConfig};
+use saad::core::model::ModelConfig;
+use saad::core::pipeline::{DetectorSink, ModelSink};
+use saad::core::prelude::*;
+use saad::core::report::AnomalyReport;
+use saad::fault::{catalog, FaultSchedule, FaultSpec, FaultType, Intensity};
+use saad::sim::SimTime;
+use saad::workload::{KeyChooser, OperationMix, WorkloadGenerator};
+use std::error::Error;
+use std::sync::Arc;
+
+fn workload(seed: u64) -> WorkloadGenerator {
+    WorkloadGenerator::new(
+        OperationMix::write_heavy(),
+        KeyChooser::zipfian(10_000),
+        25.0,
+        seed,
+    )
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // ── Train on a fault-free run ────────────────────────────────────────
+    println!("training on a fault-free 6-minute run...");
+    let trainer = Arc::new(ModelSink::new());
+    let mut cluster = Cluster::new(ClusterConfig::default(), trainer.clone());
+    cluster.run(&mut workload(1), SimTime::from_mins(6));
+    let model = Arc::new(trainer.build(ModelConfig::default()));
+    println!(
+        "  {} synopses, {} stages modeled",
+        trainer.observed(),
+        model.stage_count()
+    );
+
+    // ── Fault run: error on 100% of WAL appends on host 4, minutes 3–9 ──
+    println!("\ninjecting error-WAL-high on host 4, minutes 3-9 of a 12-minute run...");
+    let detector = Arc::new(DetectorSink::new(model, DetectorConfig::default()));
+    let mut cluster = Cluster::new(
+        ClusterConfig {
+            seed: 99,
+            ..ClusterConfig::default()
+        },
+        detector.clone(),
+    );
+    cluster.attach_fault(
+        3,
+        FaultSchedule::new(9).with_window(
+            SimTime::from_mins(3),
+            SimTime::from_mins(9),
+            FaultSpec::new(catalog::WAL, FaultType::Error, Intensity::High),
+        ),
+    );
+    let stages = cluster.instrumentation().stages_registry.clone();
+    let points = cluster.instrumentation().points_registry.clone();
+    let out = cluster.run(&mut workload(2), SimTime::from_mins(12));
+    drop(cluster); // release the cluster's sink handles
+    let events = Arc::try_unwrap(detector).expect("sole owner").finish();
+
+    // ── Report ──────────────────────────────────────────────────────────
+    println!(
+        "\ncluster: {} ops completed, {} dropped; error log lines: {}; host 4 crashed: {}",
+        out.ops_completed,
+        out.ops_dropped,
+        out.errors.len(),
+        out.crashed[3]
+    );
+    println!("detected {} anomaly events; first 12:", events.len());
+    let report = AnomalyReport::new(&stages, &points);
+    for e in events.iter().take(12) {
+        print!("{}", report.render(e));
+    }
+    let table = stages.lookup("Table").expect("Table stage");
+    assert!(
+        events
+            .iter()
+            .any(|e| e.stage == table && e.host == HostId(4) && e.kind.is_flow()),
+        "SAAD must pinpoint flow anomalies in Table(4) — the paper's headline diagnosis"
+    );
+    println!("\n=> SAAD pinpointed Table(4): the frozen-MemTable flows the paper describes,");
+    println!("   despite the system logging almost no ERROR lines before the crash.");
+    Ok(())
+}

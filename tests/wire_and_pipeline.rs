@@ -1,0 +1,117 @@
+//! Cross-crate integration: the synopsis wire format and the real-time
+//! analyzer pipeline.
+//!
+//! The paper streams synopses from every node to a centralized analyzer;
+//! these tests check that (a) the compact codec is a faithful transport —
+//! detection over decoded synopses is identical to detection over the
+//! originals — and (b) the threaded pipeline detects the same anomalies
+//! the offline path does.
+
+use saad::cassandra::{Cluster, ClusterConfig};
+use saad::core::codec;
+use saad::core::detector::AnomalyDetector;
+use saad::core::model::ModelConfig;
+use saad::core::pipeline::{spawn_analyzer, ChannelSink};
+use saad::core::prelude::*;
+use saad::core::synopsis::TaskSynopsis;
+use saad::fault::{catalog, FaultSchedule, FaultSpec, FaultType, Intensity};
+use saad::sim::SimTime;
+use saad::workload::{KeyChooser, OperationMix, WorkloadGenerator};
+use std::sync::Arc;
+
+fn workload(seed: u64) -> WorkloadGenerator {
+    WorkloadGenerator::new(
+        OperationMix::write_heavy(),
+        KeyChooser::zipfian(10_000),
+        25.0,
+        seed,
+    )
+}
+
+fn faulted_run(mins: u64) -> (Vec<TaskSynopsis>, Arc<saad::core::model::OutlierModel>) {
+    // Train.
+    let sink = Arc::new(VecSink::new());
+    let mut cluster = Cluster::new(ClusterConfig::default(), sink.clone());
+    cluster.run(&mut workload(1), SimTime::from_mins(4));
+    let mut builder = ModelBuilder::new();
+    for s in sink.drain() {
+        builder.observe(&s);
+    }
+    let model = Arc::new(builder.build(ModelConfig::default()));
+    // Faulted run, raw synopses.
+    let sink = Arc::new(VecSink::new());
+    let mut cluster = Cluster::new(
+        ClusterConfig {
+            seed: 9,
+            ..ClusterConfig::default()
+        },
+        sink.clone(),
+    );
+    cluster.attach_fault(
+        3,
+        FaultSchedule::new(5).with_window(
+            SimTime::from_mins(2),
+            SimTime::from_mins(mins),
+            FaultSpec::new(catalog::WAL, FaultType::Error, Intensity::High),
+        ),
+    );
+    cluster.run(&mut workload(2), SimTime::from_mins(mins));
+    (sink.drain(), model)
+}
+
+fn detect(model: Arc<saad::core::model::OutlierModel>, synopses: &[TaskSynopsis]) -> Vec<AnomalyEvent> {
+    let mut d = AnomalyDetector::new(model, DetectorConfig::default());
+    let mut events = Vec::new();
+    for s in synopses {
+        events.extend(d.observe(&FeatureVector::from(s)));
+    }
+    events.extend(d.flush());
+    events
+}
+
+#[test]
+fn codec_round_trip_preserves_detection_exactly() {
+    let (synopses, model) = faulted_run(6);
+    assert!(synopses.len() > 10_000);
+
+    // Encode the whole stream, decode it, and compare detection outcomes.
+    let wire = codec::encode_batch(synopses.iter());
+    // The stream really is tens of bytes per synopsis (paper: ~48 B avg).
+    let avg = wire.len() as f64 / synopses.len() as f64;
+    assert!(avg < 48.0, "avg encoded size {avg:.1} B");
+    let mut buf = wire.clone();
+    let decoded = codec::decode_batch(&mut buf).expect("stream decodes");
+    assert_eq!(decoded.len(), synopses.len());
+
+    let direct = detect(model.clone(), &synopses);
+    let via_wire = detect(model, &decoded);
+    assert!(!direct.is_empty(), "fault must be detected");
+    assert_eq!(direct, via_wire, "wire transport must not change detection");
+}
+
+#[test]
+fn threaded_pipeline_matches_offline_detection() {
+    let (synopses, model) = faulted_run(6);
+    let offline = detect(model.clone(), &synopses);
+
+    let (sink, rx) = ChannelSink::new();
+    let handle = spawn_analyzer(model, DetectorConfig::default(), rx);
+    for s in &synopses {
+        sink.submit(s.clone());
+    }
+    drop(sink);
+    let mut online = Vec::new();
+    while let Ok(e) = handle.events().recv() {
+        online.push(e);
+    }
+    let detector = handle.join();
+    assert_eq!(detector.tasks_seen(), synopses.len() as u64);
+    // Events may interleave differently across window-close boundaries;
+    // compare as multisets keyed by the full event value.
+    let key = |e: &AnomalyEvent| format!("{:?}", e);
+    let mut a: Vec<String> = offline.iter().map(key).collect();
+    let mut b: Vec<String> = online.iter().map(key).collect();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b, "threaded analyzer must match offline replay");
+}
