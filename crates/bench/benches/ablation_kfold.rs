@@ -44,7 +44,9 @@ fn unstable_stage(n: u64, seed: u64, start_offset_ms: u64, horizon_mins: u64) ->
                 stage: StageId(200),
                 uid: TaskUid(1_000_000 + i),
                 start: SimTime::from_millis(start_offset_ms)
-                    + SimDuration::from_micros(i * SimDuration::from_mins(horizon_mins).as_micros() / n.max(1)),
+                    + SimDuration::from_micros(
+                        i * SimDuration::from_mins(horizon_mins).as_micros() / n.max(1),
+                    ),
                 duration: SimDuration::from_micros(dur_us),
                 log_points: vec![(LogPointId(900), 1)],
             }

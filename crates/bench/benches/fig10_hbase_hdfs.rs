@@ -49,12 +49,29 @@ fn hog(div: u64) -> HogSchedule {
     HogSchedule::new()
         .with_factors(1.2, 0.25)
         .with_window(SimTime::from_mins(8 / div), SimTime::from_mins(16 / div), 1)
-        .with_window(SimTime::from_mins(28 / div), SimTime::from_mins(44 / div), 2)
-        .with_window(SimTime::from_mins(56 / div), SimTime::from_mins(64 / div), 4)
-        .with_window(SimTime::from_mins(116 / div), SimTime::from_mins(130 / div), 4)
+        .with_window(
+            SimTime::from_mins(28 / div),
+            SimTime::from_mins(44 / div),
+            2,
+        )
+        .with_window(
+            SimTime::from_mins(56 / div),
+            SimTime::from_mins(64 / div),
+            4,
+        )
+        .with_window(
+            SimTime::from_mins(116 / div),
+            SimTime::from_mins(130 / div),
+            4,
+        )
 }
 
-fn ops(seed: u64, mins: u64, rate: f64, batching: Option<Batching>) -> Vec<saad_workload::Operation> {
+fn ops(
+    seed: u64,
+    mins: u64,
+    rate: f64,
+    batching: Option<Batching>,
+) -> Vec<saad_workload::Operation> {
     let mut wl = WorkloadGenerator::new(
         OperationMix::write_heavy(),
         KeyChooser::zipfian(10_000),
@@ -82,8 +99,17 @@ fn main() {
         "Figure 10 — HBase/HDFS disk-hog run ({} virtual minutes; Table 2 schedule /{})\n",
         s.total, s.div
     );
-    println!("Table 2 (scaled): low {}-{} x1, medium {}-{} x2, high-1 {}-{} x4, high-2 {}-{} x4",
-        8 / s.div, 16 / s.div, 28 / s.div, 44 / s.div, 56 / s.div, 64 / s.div, 116 / s.div, 130 / s.div);
+    println!(
+        "Table 2 (scaled): low {}-{} x1, medium {}-{} x2, high-1 {}-{} x4, high-2 {}-{} x4",
+        8 / s.div,
+        16 / s.div,
+        28 / s.div,
+        44 / s.div,
+        56 / s.div,
+        64 / s.div,
+        116 / s.div,
+        130 / s.div
+    );
 
     // Train on a fault-free, batching-free run.
     let train_mins = if saad_bench::full_scale() { 60 } else { 8 };
@@ -98,7 +124,11 @@ fn main() {
     let train_ops = ops(71, train_mins, rate, None);
     train_cluster.run(&train_ops, SimTime::from_mins(train_mins));
     let model = Arc::new(trainer.build(ModelConfig::default()));
-    println!("trained on {} synopses, {} stages\n", trainer.observed(), model.stage_count());
+    println!(
+        "trained on {} synopses, {} stages\n",
+        trainer.observed(),
+        model.stage_count()
+    );
 
     // The experiment run.
     let cfg = HBaseConfig {
@@ -118,7 +148,12 @@ fn main() {
         },
     ));
     let mut cluster = HBaseCluster::new(cfg, detector.clone());
-    let stream = ops(42, s.total, rate, Some(Batching::new(100_000, s.batch_interval)));
+    let stream = ops(
+        42,
+        s.total,
+        rate,
+        Some(Batching::new(100_000, s.batch_interval)),
+    );
     let out = cluster.run(&stream, SimTime::from_mins(s.total));
     let stages = cluster.instrumentation().stages_registry.clone();
     drop(cluster); // release the cluster's sink handles
@@ -133,16 +168,23 @@ fn main() {
 
     // Data Node panel: hosts 101..=104 (DN processes).
     let mut dn_tl = Timeline::new(s.total as usize);
-    dn_tl.add_events(&events, &stages, |h| (h.0 > 100).then(|| (h.0 - 100).to_string()));
+    dn_tl.add_events(&events, &stages, |h| {
+        (h.0 > 100).then(|| (h.0 - 100).to_string())
+    });
     println!("--- Figure 10(b): HDFS Data Nodes ---");
     println!("{}", dn_tl.render(None));
 
     let crashed: Vec<usize> = (0..out.crashed.len()).filter(|&i| out.crashed[i]).collect();
-    println!("regionservers crashed: {crashed:?} (paper: Regionserver 3 during high-intensity fault 1)");
+    println!(
+        "regionservers crashed: {crashed:?} (paper: Regionserver 3 during high-intensity fault 1)"
+    );
     let recov: u64 = out.rs_stats.iter().map(|r| r.recovery_attempts).sum();
     let already: u64 = out.dn_stats.iter().map(|d| d.already_in_recovery).sum();
     println!("recovery-bug cycle: {recov} requests, {already} answered 'already in recovery'");
     let majors: u64 = out.rs_stats.iter().map(|r| r.major_compactions).sum();
     println!("major compactions near minute {}: {majors} (training never saw one => false-positive flows)", 150 / s.div);
-    println!("ops completed {}, dropped {}", out.ops_completed, out.ops_dropped);
+    println!(
+        "ops completed {}, dropped {}",
+        out.ops_completed, out.ops_dropped
+    );
 }

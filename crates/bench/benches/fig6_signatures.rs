@@ -38,7 +38,10 @@ fn report(system: &str, counts: &[u64]) {
         "{covering} out of {} signatures account for 95% of all tasks",
         counts.len()
     );
-    println!("{:>4}  {:>12}  {:>10}  {:>10}", "rank", "tasks", "share", "cum");
+    println!(
+        "{:>4}  {:>12}  {:>10}  {:>10}",
+        "rank", "tasks", "share", "cum"
+    );
     let shares = cumulative_share(counts);
     for (i, (&c, &cum)) in counts.iter().zip(shares.iter()).enumerate().take(30) {
         println!(
@@ -74,15 +77,21 @@ fn hdfs_model(mins: u64) -> OutlierModel {
             let packets = 2 + (op.key % 14) as u32;
             let mut t = op.at;
             for _ in 0..packets {
-                t = hdfs.write_packet(h, t, 16 * 1024 + op.value_size as u64).acked_at;
+                t = hdfs
+                    .write_packet(h, t, 16 * 1024 + op.value_size as u64)
+                    .acked_at;
             }
             hdfs.close_block(h, t);
         } else {
             hdfs.read_block(op.at, (op.key as usize) % 4, 64 * 1024);
         }
         i += 1;
-        if i % 701 == 0 {
-            hdfs.recover_block(op.at + SimDuration::from_millis(3), (i as usize) % 4, 8 << 20);
+        if i.is_multiple_of(701) {
+            hdfs.recover_block(
+                op.at + SimDuration::from_millis(3),
+                (i as usize) % 4,
+                8 << 20,
+            );
         }
     }
     let mut b = ModelBuilder::new();
@@ -113,7 +122,10 @@ fn main() {
     let mins = scaled_mins(120, 8);
     println!("Figure 6 — signature distributions ({mins} virtual minutes per system)");
     report("HDFS Data Node (6a)", &pooled_counts(&hdfs_model(mins)));
-    report("HBase Regionserver (6b)", &pooled_counts(&hbase_model(mins)));
+    report(
+        "HBase Regionserver (6b)",
+        &pooled_counts(&hbase_model(mins)),
+    );
     report("Cassandra (6c)", &pooled_counts(&cassandra_model(mins)));
     println!("\npaper reference: HDFS 6/29, HBase 12/72, Cassandra 10/68 cover 95%");
 }

@@ -53,10 +53,19 @@ fn forward(
     let server2 = server.clone();
     let _ = server.submit(next, move |ctx: &StageContext| {
         for p in points.iter().take(n_points) {
-            ctx.logger.debug(*p, format_args!("processing step of {op}"));
+            ctx.logger
+                .debug(*p, format_args!("processing step of {op}"));
         }
         sink.fetch_add(busy_work(40_000), Ordering::Relaxed);
-        forward(&server2, &rest, op, done, sink.clone(), points.clone(), n_points);
+        forward(
+            &server2,
+            &rest,
+            op,
+            done,
+            sink.clone(),
+            points.clone(),
+            n_points,
+        );
     });
 }
 
@@ -65,7 +74,12 @@ fn run_pipeline(spec: &PipelineSpec, ops: u64, with_saad: bool) -> f64 {
     let points: Arc<Vec<_>> = Arc::new(
         (0..8)
             .map(|i| {
-                registry.register(format!("processing step {i} of {{}}"), Level::Debug, "srv.rs", i)
+                registry.register(
+                    format!("processing step {i} of {{}}"),
+                    Level::Debug,
+                    "srv.rs",
+                    i,
+                )
             })
             .collect(),
     );
@@ -98,10 +112,19 @@ fn run_pipeline(spec: &PipelineSpec, ops: u64, with_saad: bool) -> f64 {
         server
             .submit(spec.stages[0], move |ctx: &StageContext| {
                 for p in points2.iter().take(n_points) {
-                    ctx.logger.debug(*p, format_args!("processing step of {op}"));
+                    ctx.logger
+                        .debug(*p, format_args!("processing step of {op}"));
                 }
                 sink2.fetch_add(busy_work(40_000), Ordering::Relaxed);
-                forward(&server2, &chain, op, done2, sink2.clone(), points2.clone(), n_points);
+                forward(
+                    &server2,
+                    &chain,
+                    op,
+                    done2,
+                    sink2.clone(),
+                    points2.clone(),
+                    n_points,
+                );
             })
             .expect("submit");
     }
@@ -116,7 +139,11 @@ fn run_pipeline(spec: &PipelineSpec, ops: u64, with_saad: bool) -> f64 {
 }
 
 fn main() {
-    let ops: u64 = if saad_bench::full_scale() { 120_000 } else { 30_000 };
+    let ops: u64 = if saad_bench::full_scale() {
+        120_000
+    } else {
+        30_000
+    };
     let specs = [
         PipelineSpec {
             name: "HBase",
@@ -138,9 +165,19 @@ fn main() {
         // Warm-up pass, then take the best of three runs per configuration
         // to damp scheduler noise.
         run_pipeline(spec, ops / 10, false);
-        let orig = (0..3).map(|_| run_pipeline(spec, ops, false)).fold(0.0f64, f64::max);
-        let saad = (0..3).map(|_| run_pipeline(spec, ops, true)).fold(0.0f64, f64::max);
-        println!("{:<10} {:>14.0} {:>14.0} {:>11.3}", spec.name, orig, saad, saad / orig);
+        let orig = (0..3)
+            .map(|_| run_pipeline(spec, ops, false))
+            .fold(0.0f64, f64::max);
+        let saad = (0..3)
+            .map(|_| run_pipeline(spec, ops, true))
+            .fold(0.0f64, f64::max);
+        println!(
+            "{:<10} {:>14.0} {:>14.0} {:>11.3}",
+            spec.name,
+            orig,
+            saad,
+            saad / orig
+        );
     }
     println!("\npaper reference: normalized throughput with SAAD ~1.0 (insignificant overhead)");
 }

@@ -104,7 +104,11 @@ fn main() {
         );
         println!("{}", tl.render(Some(&out.run.throughput.ops_per_sec())));
         let flow = out.events.iter().filter(|e| e.kind.is_flow()).count();
-        let perf = out.events.iter().filter(|e| e.kind.is_performance()).count();
+        let perf = out
+            .events
+            .iter()
+            .filter(|e| e.kind.is_performance())
+            .count();
         println!("totals: {flow} flow anomaly windows, {perf} performance anomaly windows\n");
     }
 }

@@ -13,7 +13,7 @@ use saad_core::model::{ModelBuilder, ModelConfig};
 use saad_core::synopsis::TaskSynopsis;
 use saad_core::tracker::{NullSink, SynopsisSink, TaskExecutionTracker};
 use saad_core::{codec, HostId, StageId, TaskUid};
-use saad_logging::{Logger, LogPointId};
+use saad_logging::{LogPointId, Logger};
 use saad_sim::{Clock, ManualClock, SimDuration, SimTime};
 use std::sync::Arc;
 
@@ -74,7 +74,11 @@ fn bench_codec(c: &mut Criterion) {
 fn trained_model() -> Arc<saad_core::model::OutlierModel> {
     let mut b = ModelBuilder::new();
     for i in 0..50_000u64 {
-        let pts: &[u16] = if i % 1000 == 0 { &[1, 2, 3, 4, 5] } else { &[1, 2, 4, 5] };
+        let pts: &[u16] = if i.is_multiple_of(1000) {
+            &[1, 2, 3, 4, 5]
+        } else {
+            &[1, 2, 4, 5]
+        };
         b.observe(&synopsis(0, pts, 9_000 + (i % 97) * 20, i));
     }
     Arc::new(b.build(ModelConfig::default()))
@@ -120,5 +124,11 @@ fn bench_detector(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_tracker, bench_codec, bench_model_build, bench_detector);
+criterion_group!(
+    benches,
+    bench_tracker,
+    bench_codec,
+    bench_model_build,
+    bench_detector
+);
 criterion_main!(benches);

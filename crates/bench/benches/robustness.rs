@@ -1,0 +1,88 @@
+//! Criterion benchmarks for the fault-tolerant transport layer:
+//!
+//! * frame encode/decode (CRC-32 framing on top of the synopsis codec),
+//! * receiver accept cost with the reorder-horizon duplicate filter,
+//! * bounded-sink submit under each overload policy, queue saturated —
+//!   the backpressure fast path a producer pays when the analyzer lags.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use saad_core::pipeline::{ChannelSink, OverloadPolicy};
+use saad_core::synopsis::TaskSynopsis;
+use saad_core::tracker::SynopsisSink;
+use saad_core::transport::{FrameReceiver, FrameSender, FRAME_HEADER_LEN};
+use saad_core::{HostId, StageId, TaskUid};
+use saad_logging::LogPointId;
+use saad_sim::{SimDuration, SimTime};
+use std::time::Duration;
+
+fn synopsis(uid: u64) -> TaskSynopsis {
+    TaskSynopsis {
+        host: HostId(0),
+        stage: StageId(4),
+        uid: TaskUid(uid),
+        start: SimTime::from_micros(uid * 500),
+        duration: SimDuration::from_micros(10_000),
+        log_points: [1u16, 2, 4, 5, 9]
+            .iter()
+            .map(|&p| (LogPointId(p), 1))
+            .collect(),
+    }
+}
+
+fn batch(n: u64) -> Vec<TaskSynopsis> {
+    (0..n).map(synopsis).collect()
+}
+
+fn bench_framing(c: &mut Criterion) {
+    let synopses = batch(5);
+    let frame = FrameSender::new(HostId(0)).encode_frame(&synopses);
+    let mut g = c.benchmark_group("transport");
+    g.throughput(Throughput::Bytes(frame.len() as u64));
+    g.bench_function("encode_frame_5", |b| {
+        let mut sender = FrameSender::new(HostId(0));
+        b.iter(|| sender.encode_frame(&synopses))
+    });
+    g.bench_function("accept_frame_5", |b| {
+        // A fresh receiver per batch keeps every frame a fresh sequence.
+        b.iter_batched(
+            || (FrameReceiver::new(), FrameSender::new(HostId(0))),
+            |(mut rx, mut tx)| rx.accept(&tx.encode_frame(&synopses)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("accept_duplicate_frame", |b| {
+        let mut rx = FrameReceiver::new();
+        rx.accept(&frame).unwrap();
+        b.iter(|| rx.accept(&frame))
+    });
+    g.finish();
+    // Sanity: the header should stay a small fixed fraction of the frame.
+    assert!(FRAME_HEADER_LEN < frame.len());
+}
+
+fn bench_sink_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sink_saturated");
+    g.throughput(Throughput::Elements(1));
+    for (name, policy) in [
+        ("drop_newest", OverloadPolicy::DropNewest),
+        ("drop_oldest", OverloadPolicy::DropOldest),
+        (
+            "block_1us",
+            OverloadPolicy::Block {
+                timeout: Duration::from_micros(1),
+            },
+        ),
+    ] {
+        g.bench_function(name, |b| {
+            let (sink, _rx) = ChannelSink::bounded(64, policy);
+            for s in batch(64) {
+                sink.submit(s);
+            }
+            b.iter(|| sink.submit(synopsis(0)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_framing, bench_sink_policies);
+criterion_main!(benches);

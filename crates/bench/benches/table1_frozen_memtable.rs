@@ -57,7 +57,9 @@ fn main() {
     let frozen = inst.points.t_frozen;
     let normal = by_signature
         .iter()
-        .filter(|(sig, (_, c))| *c != TaskClass::NewSignature && sig.contains(frozen) && sig.len() >= 4)
+        .filter(|(sig, (_, c))| {
+            *c != TaskClass::NewSignature && sig.contains(frozen) && sig.len() >= 4
+        })
         .max_by_key(|(_, (n, _))| *n)
         .map(|(sig, _)| sig.clone())
         .expect("trained Table signature with the frozen point");
@@ -70,7 +72,10 @@ fn main() {
 
     println!("Table 1 — normal vs anomalous execution flow in stage Table\n");
     let report = AnomalyReport::new(&inst.stages_registry, &inst.points_registry);
-    println!("{}", report.render_signature_comparison(&normal, &anomalous));
+    println!(
+        "{}",
+        report.render_signature_comparison(&normal, &anomalous)
+    );
     println!(
         "normal flow tasks: {}, anomalous flow tasks: {}",
         by_signature[&normal].0, by_signature[&anomalous].0

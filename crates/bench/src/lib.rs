@@ -31,7 +31,9 @@ use std::sync::Arc;
 
 /// Whether `SAAD_SCALE=full` requests paper-length runs.
 pub fn full_scale() -> bool {
-    std::env::var("SAAD_SCALE").map(|v| v == "full").unwrap_or(false)
+    std::env::var("SAAD_SCALE")
+        .map(|v| v == "full")
+        .unwrap_or(false)
 }
 
 /// Scale a paper-length duration (in minutes) down for fast runs.
@@ -245,14 +247,13 @@ impl Timeline {
             let Some(host) = host_label(e.host) else {
                 continue;
             };
-            let name = stages
-                .name(e.stage)
-                .unwrap_or_else(|| e.stage.to_string());
+            let name = stages.name(e.stage).unwrap_or_else(|| e.stage.to_string());
             let row = format!("{name}({host})");
             let min = e.window_start.as_mins_f64() as usize;
             let mark = match e.kind {
                 AnomalyKind::FlowRare | AnomalyKind::FlowNew(_) => 'F',
                 AnomalyKind::Performance(_) => 'P',
+                AnomalyKind::HostSilent { .. } => 'S',
             };
             self.cell(row, min, mark);
         }
@@ -286,7 +287,7 @@ impl Timeline {
         // Minute ruler.
         out.push_str(&format!("{:>width$} |", "minute"));
         for m in 0..self.mins {
-            out.push(if m % 10 == 0 { '|' } else { ' ' });
+            out.push(if m.is_multiple_of(10) { '|' } else { ' ' });
         }
         out.push('\n');
         for (row, cells) in &self.rows {
@@ -322,7 +323,10 @@ impl Timeline {
             .map(|(k, cells)| {
                 (
                     k.clone(),
-                    cells.iter().filter(|&&c| c == 'F' || c == 'P' || c == 'B').count(),
+                    cells
+                        .iter()
+                        .filter(|&&c| c == 'F' || c == 'P' || c == 'B')
+                        .count(),
                 )
             })
             .collect()
@@ -330,19 +334,18 @@ impl Timeline {
 }
 
 /// Count events by predicate in a time range (minutes).
-pub fn events_between(
-    events: &[AnomalyEvent],
-    from_min: u64,
-    to_min: u64,
-    flow: bool,
-) -> usize {
+pub fn events_between(events: &[AnomalyEvent], from_min: u64, to_min: u64, flow: bool) -> usize {
     events
         .iter()
         .filter(|e| {
             let m = e.window_start.as_mins_f64();
             m >= from_min as f64
                 && m < to_min as f64
-                && (if flow { e.kind.is_flow() } else { e.kind.is_performance() })
+                && (if flow {
+                    e.kind.is_flow()
+                } else {
+                    e.kind.is_performance()
+                })
         })
         .count()
 }
@@ -402,6 +405,7 @@ mod tests {
                 p_value: Some(1e-9),
                 outliers: 5,
                 window_tasks: 100,
+                completeness: 1.0,
             },
             AnomalyEvent {
                 host: HostId(4),
@@ -411,6 +415,7 @@ mod tests {
                 p_value: Some(1e-5),
                 outliers: 9,
                 window_tasks: 100,
+                completeness: 1.0,
             },
         ];
         let mut tl = Timeline::new(10);
@@ -437,6 +442,7 @@ mod tests {
             p_value: None,
             outliers: 1,
             window_tasks: 10,
+            completeness: 1.0,
         };
         let events = vec![mk(1, true), mk(5, true), mk(5, false), mk(9, false)];
         assert_eq!(events_between(&events, 0, 4, true), 1);

@@ -6,10 +6,10 @@ use crate::instrument::Instrumentation;
 use crate::node::{Node, NodeStats};
 use rand::rngs::StdRng;
 use rand::Rng;
+use saad_core::simtask::SimTask;
 use saad_core::tracker::SynopsisSink;
 use saad_core::HostId;
 use saad_fault::FaultSchedule;
-use saad_core::simtask::SimTask;
 use saad_logging::appender::Appender;
 use saad_sim::rng::{lognormal_sample, RngStreams};
 use saad_sim::{ManualClock, SimDuration, SimTime};
@@ -104,10 +104,18 @@ impl Cluster {
             missed_acks: vec![0; n],
             rng: streams.stream("cluster"),
             op_counter: 0,
-            next_gc: (0..n).map(|i| SimTime::from_millis(500 * i as u64)).collect(),
-            next_daemon: (0..n).map(|i| SimTime::from_millis(700 * i as u64 + 300)).collect(),
-            next_hint: (0..n).map(|i| SimTime::from_millis(900 * i as u64 + 600)).collect(),
-            next_compact_retry: (0..n).map(|i| SimTime::from_millis(1_100 * i as u64 + 15_000)).collect(),
+            next_gc: (0..n)
+                .map(|i| SimTime::from_millis(500 * i as u64))
+                .collect(),
+            next_daemon: (0..n)
+                .map(|i| SimTime::from_millis(700 * i as u64 + 300))
+                .collect(),
+            next_hint: (0..n)
+                .map(|i| SimTime::from_millis(900 * i as u64 + 600))
+                .collect(),
+            next_compact_retry: (0..n)
+                .map(|i| SimTime::from_millis(1_100 * i as u64 + 15_000))
+                .collect(),
             throughput: ThroughputRecorder::new(SimDuration::from_mins(1)),
             ops_completed: 0,
             ops_dropped: 0,
@@ -207,12 +215,19 @@ impl Cluster {
         let mut sp = self.nodes[coord].task(st.storage_proxy, &logger, op.at);
         sp.debug(
             pt.sp_recv,
-            format_args!("Mutation for key {} forwarded to {} replicas", op.key, replicas.len()),
+            format_args!(
+                "Mutation for key {} forwarded to {} replicas",
+                op.key,
+                replicas.len()
+            ),
         );
         let d = self.nodes[coord].cpu(40.0);
         sp.advance(d);
         if local_is_replica {
-            sp.debug(pt.sp_local, format_args!("insert writing local & replicate {}", op.key));
+            sp.debug(
+                pt.sp_local,
+                format_args!("insert writing local & replicate {}", op.key),
+            );
         }
         let send_t = sp.now();
         let susp = sp.suspend();
@@ -230,7 +245,10 @@ impl Cluster {
             } else {
                 let lo = self.nodes[coord].log.ot.clone();
                 let mut ot = self.nodes[coord].task(st.out_tcp, &lo, send_t);
-                ot.debug(pt.ot_send, format_args!("Sending message MUTATION to node {}", r + 1));
+                ot.debug(
+                    pt.ot_send,
+                    format_args!("Sending message MUTATION to node {}", r + 1),
+                );
                 let d = self.nodes[coord].cpu(25.0);
                 ot.advance(d);
                 let net = self.net_latency();
@@ -239,7 +257,10 @@ impl Cluster {
 
                 let li = self.nodes[r].log.it.clone();
                 let mut it = self.nodes[r].task(st.in_tcp, &li, arrive);
-                it.debug(pt.it_recv, format_args!("Received message MUTATION from node {}", coord + 1));
+                it.debug(
+                    pt.it_recv,
+                    format_args!("Received message MUTATION from node {}", coord + 1),
+                );
                 let d = self.nodes[r].cpu(25.0);
                 it.advance(d);
                 let handled_at = it.finish();
@@ -290,18 +311,19 @@ impl Cluster {
         // a sporadic missed ack is repaired by read repair, not hints.
         let unheard: Vec<usize> = acks
             .iter()
-            .filter(|&&(_, a)| a.map_or(true, |x| x > deadline))
+            .filter(|&&(_, a)| a.is_none_or(|x| x > deadline))
             .map(|&(r, _)| r)
             .collect();
 
-        if quorum_t.is_some() && !local_missing {
-            let completion = quorum_t
-                .expect("checked")
-                .max(local_ack.unwrap_or(SimTime::ZERO));
+        if let (Some(q), false) = (quorum_t, local_missing) {
+            let completion = q.max(local_ack.unwrap_or(SimTime::ZERO));
             sp.advance_to(completion);
             for t in &times {
                 if *t <= completion {
-                    sp.debug(pt.sp_ack, format_args!("Write response received from replica"));
+                    sp.debug(
+                        pt.sp_ack,
+                        format_args!("Write response received from replica"),
+                    );
                 }
             }
         } else {
@@ -310,11 +332,20 @@ impl Cluster {
             // the anomalous flow the paper sees on the faulty host.
             sp.advance_to(deadline);
             for _ in &times {
-                sp.debug(pt.sp_ack, format_args!("Write response received from replica"));
+                sp.debug(
+                    pt.sp_ack,
+                    format_args!("Write response received from replica"),
+                );
             }
-            sp.debug(pt.sp_timeout, format_args!("Timed out waiting for write response"));
+            sp.debug(
+                pt.sp_timeout,
+                format_args!("Timed out waiting for write response"),
+            );
             for &r in &unheard {
-                sp.debug(pt.sp_hint, format_args!("Adding hint for unresponsive endpoint {}", r + 1));
+                sp.debug(
+                    pt.sp_hint,
+                    format_args!("Adding hint for unresponsive endpoint {}", r + 1),
+                );
             }
         }
         sp.finish();
@@ -386,7 +417,10 @@ impl Cluster {
         let pt = self.inst.points;
         let logger = self.nodes[i].log.hh.clone();
         let mut hh = self.nodes[i].task(st.hinted_handoff, &logger, at);
-        hh.info(pt.hh_start, format_args!("Started hinted handoff for stored endpoints"));
+        hh.info(
+            pt.hh_start,
+            format_args!("Started hinted handoff for stored endpoints"),
+        );
         let d = self.nodes[i].cpu(120.0);
         hh.advance(d);
         let cursor = hh.now();
@@ -408,7 +442,10 @@ impl Cluster {
                 let arrive = wp.now() + net;
                 let ack = self.nodes[target].handle_mutation(arrive, 0, 512);
                 if ack.is_some() {
-                    wp.debug(pt.wp_hint_done, format_args!("Hinted mutation delivered to {}", target + 1));
+                    wp.debug(
+                        pt.wp_hint_done,
+                        format_args!("Hinted mutation delivered to {}", target + 1),
+                    );
                     self.nodes[i].hints.remove(&target);
                     self.down[target] = false;
                     self.missed_acks[target] = 0;
@@ -416,14 +453,20 @@ impl Cluster {
                     wp.advance(SimDuration::from_millis(500));
                     wp.debug(
                         pt.wp_hint_timeout,
-                        format_args!("Hinted handoff to {} timed out; will retry later", target + 1),
+                        format_args!(
+                            "Hinted handoff to {} timed out; will retry later",
+                            target + 1
+                        ),
                     );
                 }
             } else {
                 wp.advance(SimDuration::from_millis(500));
                 wp.debug(
                     pt.wp_hint_timeout,
-                    format_args!("Hinted handoff to {} timed out; will retry later", target + 1),
+                    format_args!(
+                        "Hinted handoff to {} timed out; will retry later",
+                        target + 1
+                    ),
                 );
             }
             cursor = wp.finish();
@@ -434,7 +477,10 @@ impl Cluster {
         let mut hh = SimTask::resume(&tracker, &clock, &logger, susp);
         hh.advance_to(cursor);
         let remaining: u32 = self.nodes[i].hints.values().sum();
-        hh.info(pt.hh_done, format_args!("Finished hinted handoff run; {remaining} hints remain"));
+        hh.info(
+            pt.hh_done,
+            format_args!("Finished hinted handoff run; {remaining} hints remain"),
+        );
         hh.finish();
     }
 }
@@ -540,7 +586,11 @@ mod tests {
         let out = cluster.run(&mut wl, SimTime::from_mins(20));
         // Node 3 (host 4) accumulated blocked writes and eventually
         // crashed with an error burst; others stayed up.
-        assert!(out.node_stats[3].blocked_writes > 50, "{:?}", out.node_stats[3]);
+        assert!(
+            out.node_stats[3].blocked_writes > 50,
+            "{:?}",
+            out.node_stats[3]
+        );
         assert!(out.node_stats[3].wal_failures > 0);
         assert!(out.crashed[3], "node should crash under sustained freeze");
         assert!(!out.crashed[0] && !out.crashed[1] && !out.crashed[2]);
@@ -587,7 +637,10 @@ mod tests {
                         .any(|&(p, _)| p == inst.points.wp_hint_timeout)
             })
             .count();
-        assert!(hint_timeouts > 0, "peers must observe hint delivery timeouts");
+        assert!(
+            hint_timeouts > 0,
+            "peers must observe hint delivery timeouts"
+        );
     }
 
     #[test]
@@ -608,7 +661,11 @@ mod tests {
         );
         let mut wl = workload(17);
         let out = cluster.run(&mut wl, SimTime::from_mins(12));
-        assert!(out.node_stats[3].failed_flushes > 3, "{:?}", out.node_stats[3]);
+        assert!(
+            out.node_stats[3].failed_flushes > 3,
+            "{:?}",
+            out.node_stats[3]
+        );
         assert!(!out.crashed[3], "flush faults degrade but do not crash");
         // GC pressure signature (warn point) appears on host 4 only.
         let inst = cluster.instrumentation();

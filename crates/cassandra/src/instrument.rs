@@ -125,47 +125,247 @@ impl Instrumentation {
         let reg =
             |text: &str, level: Level, file: &str, line: u32| pr.register(text, level, file, line);
         let points = CassandraPoints {
-            sp_recv: reg("Mutation for key {} forwarded to {} replicas", Level::Debug, "StorageProxy.java", 120),
-            sp_local: reg("insert writing local & replicate {}", Level::Debug, "StorageProxy.java", 134),
-            sp_ack: reg("Write response received from {}", Level::Debug, "StorageProxy.java", 190),
-            sp_timeout: reg("Timed out waiting for write response from {}", Level::Debug, "StorageProxy.java", 205),
-            sp_hint: reg("Adding hint for unresponsive endpoint {}", Level::Debug, "StorageProxy.java", 212),
-            wp_recv: reg("Handling mutation message from {}", Level::Debug, "WorkerProcess.java", 55),
-            wp_done: reg("Mutation handled; sending ack to {}", Level::Debug, "WorkerProcess.java", 78),
-            wp_flush_trigger: reg("Memtable threshold reached; switching memtable", Level::Debug, "WorkerProcess.java", 91),
-            wp_hint_deliver: reg("Delivering hinted mutation to endpoint {}", Level::Debug, "WorkerProcess.java", 130),
-            wp_hint_timeout: reg("Hinted handoff to {} timed out; will retry later", Level::Debug, "WorkerProcess.java", 141),
-            wp_hint_done: reg("Hinted mutation delivered to {}", Level::Debug, "WorkerProcess.java", 149),
-            t_frozen: reg("MemTable is already frozen; another thread must be flushing it", Level::Debug, "Table.java", 410),
-            t_start: reg("Start applying update to MemTable", Level::Debug, "Table.java", 422),
-            t_row: reg("Applying mutation of row {}", Level::Debug, "Table.java", 437),
-            t_applied: reg("Applied mutation. Sending response", Level::Debug, "Table.java", 455),
-            lra_add: reg("Adding mutation of {} bytes to commit log", Level::Debug, "CommitLog.java", 88),
-            lra_sync: reg("Commit log segment synced", Level::Debug, "CommitLog.java", 102),
-            lra_err: reg("Failed appending to commit log", Level::Error, "CommitLog.java", 110),
-            mt_enqueue: reg("Enqueuing flush of Memtable-{}", Level::Info, "Memtable.java", 61),
-            mt_write: reg("Writing Memtable-{} to SSTable", Level::Info, "Memtable.java", 74),
-            mt_complete: reg("Completed flushing {} bytes to SSTable", Level::Info, "Memtable.java", 95),
-            mt_retry: reg("Flush of Memtable-{} failed; will retry", Level::Debug, "Memtable.java", 101),
-            cl_wait: reg("Waiting for memtable flush before discarding segment", Level::Debug, "CommitLogAllocator.java", 33),
-            cl_discard: reg("Discarding obsolete commit log segment {}", Level::Debug, "CommitLogAllocator.java", 47),
-            cm_start: reg("Compacting {} sstables", Level::Info, "CompactionManager.java", 140),
-            cm_read: reg("Reading sstable {} for compaction", Level::Debug, "CompactionManager.java", 158),
-            cm_write: reg("Writing compacted sstable", Level::Debug, "CompactionManager.java", 170),
-            cm_done: reg("Compacted to {} bytes", Level::Info, "CompactionManager.java", 184),
-            cm_retry: reg("Compaction aborted on write failure; will retry", Level::Debug, "CompactionManager.java", 190),
-            gc_tick: reg("GC for ParNew: {} ms for {} collections", Level::Info, "GCInspector.java", 55),
-            gc_pressure: reg("Heap is {} full. You may need to reduce memtable sizes", Level::Warn, "GCInspector.java", 72),
-            lr_start: reg("Executing single-row read for key {}", Level::Debug, "LocalReadRunnable.java", 40),
-            lr_mem: reg("Read satisfied from memtable", Level::Debug, "LocalReadRunnable.java", 52),
-            lr_sstable: reg("Merging sstable {} into read result", Level::Debug, "LocalReadRunnable.java", 60),
+            sp_recv: reg(
+                "Mutation for key {} forwarded to {} replicas",
+                Level::Debug,
+                "StorageProxy.java",
+                120,
+            ),
+            sp_local: reg(
+                "insert writing local & replicate {}",
+                Level::Debug,
+                "StorageProxy.java",
+                134,
+            ),
+            sp_ack: reg(
+                "Write response received from {}",
+                Level::Debug,
+                "StorageProxy.java",
+                190,
+            ),
+            sp_timeout: reg(
+                "Timed out waiting for write response from {}",
+                Level::Debug,
+                "StorageProxy.java",
+                205,
+            ),
+            sp_hint: reg(
+                "Adding hint for unresponsive endpoint {}",
+                Level::Debug,
+                "StorageProxy.java",
+                212,
+            ),
+            wp_recv: reg(
+                "Handling mutation message from {}",
+                Level::Debug,
+                "WorkerProcess.java",
+                55,
+            ),
+            wp_done: reg(
+                "Mutation handled; sending ack to {}",
+                Level::Debug,
+                "WorkerProcess.java",
+                78,
+            ),
+            wp_flush_trigger: reg(
+                "Memtable threshold reached; switching memtable",
+                Level::Debug,
+                "WorkerProcess.java",
+                91,
+            ),
+            wp_hint_deliver: reg(
+                "Delivering hinted mutation to endpoint {}",
+                Level::Debug,
+                "WorkerProcess.java",
+                130,
+            ),
+            wp_hint_timeout: reg(
+                "Hinted handoff to {} timed out; will retry later",
+                Level::Debug,
+                "WorkerProcess.java",
+                141,
+            ),
+            wp_hint_done: reg(
+                "Hinted mutation delivered to {}",
+                Level::Debug,
+                "WorkerProcess.java",
+                149,
+            ),
+            t_frozen: reg(
+                "MemTable is already frozen; another thread must be flushing it",
+                Level::Debug,
+                "Table.java",
+                410,
+            ),
+            t_start: reg(
+                "Start applying update to MemTable",
+                Level::Debug,
+                "Table.java",
+                422,
+            ),
+            t_row: reg(
+                "Applying mutation of row {}",
+                Level::Debug,
+                "Table.java",
+                437,
+            ),
+            t_applied: reg(
+                "Applied mutation. Sending response",
+                Level::Debug,
+                "Table.java",
+                455,
+            ),
+            lra_add: reg(
+                "Adding mutation of {} bytes to commit log",
+                Level::Debug,
+                "CommitLog.java",
+                88,
+            ),
+            lra_sync: reg(
+                "Commit log segment synced",
+                Level::Debug,
+                "CommitLog.java",
+                102,
+            ),
+            lra_err: reg(
+                "Failed appending to commit log",
+                Level::Error,
+                "CommitLog.java",
+                110,
+            ),
+            mt_enqueue: reg(
+                "Enqueuing flush of Memtable-{}",
+                Level::Info,
+                "Memtable.java",
+                61,
+            ),
+            mt_write: reg(
+                "Writing Memtable-{} to SSTable",
+                Level::Info,
+                "Memtable.java",
+                74,
+            ),
+            mt_complete: reg(
+                "Completed flushing {} bytes to SSTable",
+                Level::Info,
+                "Memtable.java",
+                95,
+            ),
+            mt_retry: reg(
+                "Flush of Memtable-{} failed; will retry",
+                Level::Debug,
+                "Memtable.java",
+                101,
+            ),
+            cl_wait: reg(
+                "Waiting for memtable flush before discarding segment",
+                Level::Debug,
+                "CommitLogAllocator.java",
+                33,
+            ),
+            cl_discard: reg(
+                "Discarding obsolete commit log segment {}",
+                Level::Debug,
+                "CommitLogAllocator.java",
+                47,
+            ),
+            cm_start: reg(
+                "Compacting {} sstables",
+                Level::Info,
+                "CompactionManager.java",
+                140,
+            ),
+            cm_read: reg(
+                "Reading sstable {} for compaction",
+                Level::Debug,
+                "CompactionManager.java",
+                158,
+            ),
+            cm_write: reg(
+                "Writing compacted sstable",
+                Level::Debug,
+                "CompactionManager.java",
+                170,
+            ),
+            cm_done: reg(
+                "Compacted to {} bytes",
+                Level::Info,
+                "CompactionManager.java",
+                184,
+            ),
+            cm_retry: reg(
+                "Compaction aborted on write failure; will retry",
+                Level::Debug,
+                "CompactionManager.java",
+                190,
+            ),
+            gc_tick: reg(
+                "GC for ParNew: {} ms for {} collections",
+                Level::Info,
+                "GCInspector.java",
+                55,
+            ),
+            gc_pressure: reg(
+                "Heap is {} full. You may need to reduce memtable sizes",
+                Level::Warn,
+                "GCInspector.java",
+                72,
+            ),
+            lr_start: reg(
+                "Executing single-row read for key {}",
+                Level::Debug,
+                "LocalReadRunnable.java",
+                40,
+            ),
+            lr_mem: reg(
+                "Read satisfied from memtable",
+                Level::Debug,
+                "LocalReadRunnable.java",
+                52,
+            ),
+            lr_sstable: reg(
+                "Merging sstable {} into read result",
+                Level::Debug,
+                "LocalReadRunnable.java",
+                60,
+            ),
             lr_done: reg("Read complete", Level::Debug, "LocalReadRunnable.java", 71),
-            hh_start: reg("Started hinted handoff for endpoint {}", Level::Info, "HintedHandOffManager.java", 95),
-            hh_done: reg("Finished hinted handoff run; {} hints remain", Level::Info, "HintedHandOffManager.java", 120),
-            ot_send: reg("Sending message {} to {}", Level::Debug, "OutboundTcpConnection.java", 66),
-            it_recv: reg("Received message {} from {}", Level::Debug, "IncomingTcpConnection.java", 48),
-            cd_tick: reg("Heartbeat: node status nominal", Level::Debug, "CassandraDaemon.java", 210),
-            cd_oom: reg("Out of heap space; unable to allocate", Level::Error, "CassandraDaemon.java", 230),
+            hh_start: reg(
+                "Started hinted handoff for endpoint {}",
+                Level::Info,
+                "HintedHandOffManager.java",
+                95,
+            ),
+            hh_done: reg(
+                "Finished hinted handoff run; {} hints remain",
+                Level::Info,
+                "HintedHandOffManager.java",
+                120,
+            ),
+            ot_send: reg(
+                "Sending message {} to {}",
+                Level::Debug,
+                "OutboundTcpConnection.java",
+                66,
+            ),
+            it_recv: reg(
+                "Received message {} from {}",
+                Level::Debug,
+                "IncomingTcpConnection.java",
+                48,
+            ),
+            cd_tick: reg(
+                "Heartbeat: node status nominal",
+                Level::Debug,
+                "CassandraDaemon.java",
+                210,
+            ),
+            cd_oom: reg(
+                "Out of heap space; unable to allocate",
+                Level::Error,
+                "CassandraDaemon.java",
+                230,
+            ),
         };
         Instrumentation {
             stages_registry: sr,
@@ -210,12 +410,46 @@ mod tests {
         let inst = Instrumentation::install();
         let p = &inst.points;
         let ids = [
-            p.sp_recv, p.sp_local, p.sp_ack, p.sp_timeout, p.sp_hint, p.wp_recv, p.wp_done,
-            p.wp_flush_trigger, p.wp_hint_deliver, p.wp_hint_timeout, p.wp_hint_done, p.t_frozen,
-            p.t_start, p.t_row, p.t_applied, p.lra_add, p.lra_sync, p.lra_err, p.mt_enqueue,
-            p.mt_write, p.mt_complete, p.mt_retry, p.cl_wait, p.cl_discard, p.cm_start, p.cm_read,
-            p.cm_write, p.cm_done, p.cm_retry, p.gc_tick, p.gc_pressure, p.lr_start, p.lr_mem,
-            p.lr_sstable, p.lr_done, p.hh_start, p.hh_done, p.ot_send, p.it_recv, p.cd_tick,
+            p.sp_recv,
+            p.sp_local,
+            p.sp_ack,
+            p.sp_timeout,
+            p.sp_hint,
+            p.wp_recv,
+            p.wp_done,
+            p.wp_flush_trigger,
+            p.wp_hint_deliver,
+            p.wp_hint_timeout,
+            p.wp_hint_done,
+            p.t_frozen,
+            p.t_start,
+            p.t_row,
+            p.t_applied,
+            p.lra_add,
+            p.lra_sync,
+            p.lra_err,
+            p.mt_enqueue,
+            p.mt_write,
+            p.mt_complete,
+            p.mt_retry,
+            p.cl_wait,
+            p.cl_discard,
+            p.cm_start,
+            p.cm_read,
+            p.cm_write,
+            p.cm_done,
+            p.cm_retry,
+            p.gc_tick,
+            p.gc_pressure,
+            p.lr_start,
+            p.lr_mem,
+            p.lr_sstable,
+            p.lr_done,
+            p.hh_start,
+            p.hh_done,
+            p.ot_send,
+            p.it_recv,
+            p.cd_tick,
             p.cd_oom,
         ];
         let mut sorted: Vec<u16> = ids.iter().map(|i| i.0).collect();

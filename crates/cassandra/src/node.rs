@@ -184,7 +184,12 @@ impl Node {
         SimDuration::from_secs_f64(base_us * 1e-6 * jitter * (1.0 + self.pressure))
     }
 
-    pub(crate) fn task(&self, stage: saad_core::StageId, logger: &Arc<Logger>, at: SimTime) -> SimTask {
+    pub(crate) fn task(
+        &self,
+        stage: saad_core::StageId,
+        logger: &Arc<Logger>,
+        at: SimTime,
+    ) -> SimTask {
         SimTask::begin(&self.tracker, &self.clock, logger, stage, at)
     }
 
@@ -198,7 +203,10 @@ impl Node {
     fn wal_append(&mut self, at: SimTime, bytes: u64) -> Option<SimTime> {
         let logger = self.log.lra.clone();
         let mut t = self.task(self.st.log_record_adder, &logger, at);
-        t.debug(self.pt.lra_add, format_args!("Adding mutation of {bytes} bytes to commit log"));
+        t.debug(
+            self.pt.lra_add,
+            format_args!("Adding mutation of {bytes} bytes to commit log"),
+        );
         t.advance(self.cpu(20.0));
         let c = self.disk.submit(
             t.now(),
@@ -215,7 +223,10 @@ impl Node {
             // (the paper saw a single error message in a 10-minute
             // low-intensity fault window).
             if self.rng.gen_bool(0.002) {
-                t.error(self.pt.lra_err, format_args!("Failed appending to commit log"));
+                t.error(
+                    self.pt.lra_err,
+                    format_args!("Failed appending to commit log"),
+                );
                 self.errors.push(t.now());
             }
             t.advance(self.cpu(30.0));
@@ -253,9 +264,15 @@ impl Node {
             // Normal switch freeze: brief wait, then proceed.
             t.advance_to(self.frozen_until);
         }
-        t.debug(self.pt.t_start, format_args!("Start applying update to MemTable"));
+        t.debug(
+            self.pt.t_start,
+            format_args!("Start applying update to MemTable"),
+        );
         t.advance(self.cpu(40.0));
-        t.debug(self.pt.t_row, format_args!("Applying mutation of row {key}"));
+        t.debug(
+            self.pt.t_row,
+            format_args!("Applying mutation of row {key}"),
+        );
         t.advance(self.cpu(60.0));
         let susp = t.suspend();
         let wal = self.wal_append(susp.now(), bytes);
@@ -267,7 +284,10 @@ impl Node {
                 self.memtable_bytes += bytes;
                 self.stats.applied_writes += 1;
                 t.advance(self.cpu(40.0));
-                t.debug(self.pt.t_applied, format_args!("Applied mutation. Sending response"));
+                t.debug(
+                    self.pt.t_applied,
+                    format_args!("Applied mutation. Sending response"),
+                );
                 Apply::Acked(t.finish())
             }
             None => {
@@ -296,7 +316,10 @@ impl Node {
         }
         let logger = self.log.worker.clone();
         let mut t = self.task(self.st.worker_process, &logger, at);
-        t.debug(self.pt.wp_recv, format_args!("Handling mutation message from peer"));
+        t.debug(
+            self.pt.wp_recv,
+            format_args!("Handling mutation message from peer"),
+        );
         t.advance(self.cpu(50.0));
         let susp = t.suspend();
         let apply = self.table_apply(susp.now(), key, bytes);
@@ -321,7 +344,10 @@ impl Node {
                     t.advance_to(release);
                 }
                 t.advance(self.cpu(25.0));
-                t.debug(self.pt.wp_done, format_args!("Mutation handled; sending ack to peer"));
+                t.debug(
+                    self.pt.wp_done,
+                    format_args!("Mutation handled; sending ack to peer"),
+                );
                 Some(t.finish())
             }
             Apply::Rejected => {
@@ -342,13 +368,21 @@ impl Node {
 
         let logger = self.log.memtable.clone();
         let mut t = self.task(self.st.memtable, &logger, at);
-        t.info(self.pt.mt_enqueue, format_args!("Enqueuing flush of Memtable-{seq}"));
+        t.info(
+            self.pt.mt_enqueue,
+            format_args!("Enqueuing flush of Memtable-{seq}"),
+        );
         t.advance(self.cpu(120.0));
         // Brief switch freeze that normal concurrent writers may observe
         // (and wait out — the Table 1 "Normal" flow includes the frozen
         // message followed by the full apply sequence).
-        self.frozen_until = self.frozen_until.max(t.now() + SimDuration::from_millis(30));
-        t.info(self.pt.mt_write, format_args!("Writing Memtable-{seq} to SSTable"));
+        self.frozen_until = self
+            .frozen_until
+            .max(t.now() + SimDuration::from_millis(30));
+        t.info(
+            self.pt.mt_write,
+            format_args!("Writing Memtable-{seq} to SSTable"),
+        );
         let c = self.disk.submit(
             t.now(),
             IoRequest {
@@ -363,7 +397,10 @@ impl Node {
             // Bounded: flush backpressure caps the retained heap, so a
             // flush fault degrades the node without crashing it (§5.4.1).
             self.pressure = (self.pressure + self.cfg.pressure_per_failed_flush).min(0.85);
-            t.debug(self.pt.mt_retry, format_args!("Flush of Memtable-{seq} failed; will retry"));
+            t.debug(
+                self.pt.mt_retry,
+                format_args!("Flush of Memtable-{seq} failed; will retry"),
+            );
             self.flush_backlog_bytes += bytes;
             t.advance(self.cpu(80.0));
             let release = t.finish();
@@ -388,7 +425,10 @@ impl Node {
             format_args!("Waiting for memtable flush before discarding segment"),
         );
         cl.advance_to(done);
-        cl.debug(self.pt.cl_discard, format_args!("Discarding obsolete commit log segment {seq}"));
+        cl.debug(
+            self.pt.cl_discard,
+            format_args!("Discarding obsolete commit log segment {seq}"),
+        );
         cl.advance(self.cpu(40.0));
         cl.finish();
 
@@ -417,7 +457,10 @@ impl Node {
         t.info(self.pt.cm_start, format_args!("Compacting {n} sstables"));
         let each = self.cfg.memtable_threshold_bytes;
         for i in 0..n {
-            t.debug(self.pt.cm_read, format_args!("Reading sstable {i} for compaction"));
+            t.debug(
+                self.pt.cm_read,
+                format_args!("Reading sstable {i} for compaction"),
+            );
             let c = self.disk.submit(
                 t.now(),
                 IoRequest {
@@ -447,7 +490,10 @@ impl Node {
             return;
         }
         t.advance_to(c.done);
-        t.info(self.pt.cm_done, format_args!("Compacted to {} bytes", each * n as u64));
+        t.info(
+            self.pt.cm_done,
+            format_args!("Compacted to {} bytes", each * n as u64),
+        );
         self.stats.compactions += 1;
         self.sstables = 1;
         t.finish();
@@ -457,7 +503,10 @@ impl Node {
     pub fn read(&mut self, at: SimTime, key: u64) -> SimTime {
         let logger = self.log.read.clone();
         let mut t = self.task(self.st.local_read, &logger, at);
-        t.debug(self.pt.lr_start, format_args!("Executing single-row read for key {key}"));
+        t.debug(
+            self.pt.lr_start,
+            format_args!("Executing single-row read for key {key}"),
+        );
         t.advance(self.cpu(45.0));
         if self.sstables == 0 || self.rng.gen_bool(0.75) {
             t.debug(self.pt.lr_mem, format_args!("Read satisfied from memtable"));
@@ -465,7 +514,10 @@ impl Node {
         } else {
             let merge = self.sstables.min(3);
             for i in 0..merge {
-                t.debug(self.pt.lr_sstable, format_args!("Merging sstable {i} into read result"));
+                t.debug(
+                    self.pt.lr_sstable,
+                    format_args!("Merging sstable {i} into read result"),
+                );
                 let c = self.disk.submit(
                     t.now(),
                     IoRequest {
@@ -503,7 +555,10 @@ impl Node {
         if self.pressure > 0.3 {
             t.warn(
                 self.pt.gc_pressure,
-                format_args!("Heap is {:.2} full. You may need to reduce memtable sizes", self.pressure),
+                format_args!(
+                    "Heap is {:.2} full. You may need to reduce memtable sizes",
+                    self.pressure
+                ),
             );
         }
         t.finish();
@@ -519,7 +574,10 @@ impl Node {
         }
         let logger = self.log.daemon.clone();
         let mut t = self.task(self.st.daemon, &logger, at);
-        t.debug(self.pt.cd_tick, format_args!("Heartbeat: node status nominal"));
+        t.debug(
+            self.pt.cd_tick,
+            format_args!("Heartbeat: node status nominal"),
+        );
         t.advance(self.cpu(20.0));
         t.finish();
     }
@@ -534,7 +592,10 @@ impl Node {
         let logger = self.log.daemon.clone();
         let mut t = self.task(self.st.daemon, &logger, at);
         for _ in 0..12 {
-            t.error(self.pt.cd_oom, format_args!("Out of heap space; unable to allocate"));
+            t.error(
+                self.pt.cd_oom,
+                format_args!("Out of heap space; unable to allocate"),
+            );
             self.errors.push(t.now());
             t.advance(SimDuration::from_millis(5));
         }

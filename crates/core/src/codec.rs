@@ -212,10 +212,7 @@ mod tests {
         let wire = encode(&s);
         for cut in 0..wire.len() {
             let mut truncated = wire.slice(0..cut);
-            assert!(
-                decode(&mut truncated).is_err(),
-                "cut at {cut} should fail"
-            );
+            assert!(decode(&mut truncated).is_err(), "cut at {cut} should fail");
         }
     }
 
@@ -238,6 +235,25 @@ mod tests {
         let wire = Bytes::from(vec![0xffu8; 11]);
         let mut b = wire;
         assert_eq!(get_varint(&mut b), Err(DecodeError::VarintOverflow));
+    }
+
+    #[test]
+    fn varint_overflow_surfaces_through_decode() {
+        // A run of continuation bytes long enough to overflow the very
+        // first field.
+        let mut wire = Bytes::from(vec![0xffu8; 16]);
+        assert_eq!(decode(&mut wire), Err(DecodeError::VarintOverflow));
+    }
+
+    #[test]
+    fn truncated_batch_errors_mid_synopsis() {
+        let a = sample(&[(1, 1), (3, 2)]);
+        let b = sample(&[(2, 2), (9, 1)]);
+        let wire = encode_batch([&a, &b]);
+        // Cut inside the second synopsis: the first still decodes, then
+        // the batch fails rather than inventing data.
+        let mut cut = wire.slice(0..wire.len() - 2);
+        assert_eq!(decode_batch(&mut cut), Err(DecodeError::UnexpectedEof));
     }
 
     #[test]
@@ -277,6 +293,41 @@ mod tests {
             let mut wire = encode(&s);
             prop_assert_eq!(decode(&mut wire).unwrap(), s);
             prop_assert!(!wire.has_remaining());
+        }
+
+        #[test]
+        fn truncation_anywhere_never_panics(
+            uid in 0u64..u64::MAX / 2,
+            raw_points in proptest::collection::vec((0u16..5000, 1u32..10_000), 0..32),
+            cut_frac in 0.0f64..1.0,
+        ) {
+            let s = sample(&raw_points.iter().map(|&(p, c)| (p, c)).collect::<Vec<_>>());
+            let s = TaskSynopsis { uid: TaskUid(uid), ..s };
+            let wire = encode(&s);
+            let cut = ((wire.len() as f64) * cut_frac) as usize;
+            let mut truncated = wire.slice(0..cut);
+            // Must either fail cleanly or (cut == len) round-trip; never panic.
+            match decode(&mut truncated) {
+                Ok(decoded) => prop_assert_eq!(decoded, s),
+                Err(e) => prop_assert_eq!(e, DecodeError::UnexpectedEof),
+            }
+        }
+
+        #[test]
+        fn corruption_anywhere_never_panics(
+            raw_points in proptest::collection::vec((0u16..5000, 1u32..10_000), 1..32),
+            pos_frac in 0.0f64..1.0,
+            flip in 1u16..256,
+        ) {
+            let s = sample(&raw_points.iter().map(|&(p, c)| (p, c)).collect::<Vec<_>>());
+            let wire = encode(&s);
+            let mut bytes = wire.to_vec();
+            let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len();
+            bytes[pos] ^= flip as u8;
+            // A flipped byte may still decode (to a different synopsis) or
+            // fail with any DecodeError — the only forbidden outcome is a
+            // panic or an infinite loop.
+            let _ = decode_batch(&mut Bytes::from(bytes));
         }
     }
 }

@@ -14,8 +14,8 @@
 use crate::feature::FeatureVector;
 use crate::model::{OutlierModel, TaskClass};
 use crate::{HostId, Signature, StageId};
-use saad_stats::hypothesis::{one_sided_proportion_test, Alternative};
 use saad_sim::{SimDuration, SimTime};
+use saad_stats::hypothesis::{one_sided_proportion_test, Alternative};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -61,6 +61,14 @@ pub enum AnomalyKind {
     FlowNew(Signature),
     /// Significant excess of over-threshold durations for this signature.
     Performance(Signature),
+    /// A host that previously sent synopses has gone quiet for the given
+    /// number of detection windows. Emitted by the supervised analyzer's
+    /// liveness tracker, not by the statistical tests; the event's stage is
+    /// [`crate::StageId::NONE`].
+    HostSilent {
+        /// Consecutive windows with no data from the host.
+        windows: u64,
+    },
 }
 
 impl AnomalyKind {
@@ -73,6 +81,12 @@ impl AnomalyKind {
     pub fn is_performance(&self) -> bool {
         matches!(self, AnomalyKind::Performance(_))
     }
+
+    /// Whether this is a liveness event (host silence), as opposed to a
+    /// statistical anomaly.
+    pub fn is_liveness(&self) -> bool {
+        matches!(self, AnomalyKind::HostSilent { .. })
+    }
 }
 
 impl fmt::Display for AnomalyKind {
@@ -81,6 +95,9 @@ impl fmt::Display for AnomalyKind {
             AnomalyKind::FlowRare => f.write_str("flow anomaly (rare pattern)"),
             AnomalyKind::FlowNew(sig) => write!(f, "flow anomaly (new pattern {sig})"),
             AnomalyKind::Performance(sig) => write!(f, "performance anomaly ({sig})"),
+            AnomalyKind::HostSilent { windows } => {
+                write!(f, "host silent ({windows} windows with no data)")
+            }
         }
     }
 }
@@ -103,9 +120,14 @@ pub struct AnomalyEvent {
     pub outliers: u64,
     /// Total tasks counted in the window (for the relevant test).
     pub window_tasks: u64,
+    /// Fraction of the window's data that actually arrived:
+    /// `observed / (observed + known-lost)`. `1.0` on an intact link;
+    /// lower when the transport reported gaps (see
+    /// [`AnomalyDetector::record_loss`]). `0.0` for [`AnomalyKind::HostSilent`].
+    pub completeness: f64,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct WindowAccum {
     n: u64,
     rare_flow_outliers: u64,
@@ -125,8 +147,32 @@ pub struct AnomalyDetector {
     model: Arc<OutlierModel>,
     config: DetectorConfig,
     open: HashMap<(HostId, StageId, u64), WindowAccum>,
+    // (host, window idx) -> synopses the transport reported lost.
+    lost: HashMap<(HostId, u64), u64>,
     watermark: SimTime,
     tasks_seen: u64,
+    tasks_lost: u64,
+}
+
+/// A restartable copy of a detector's mutable state, taken with
+/// [`AnomalyDetector::snapshot`]. The supervised analyzer restores from
+/// the latest snapshot after a panic and replays the tail of the stream.
+#[derive(Debug, Clone)]
+pub struct DetectorSnapshot {
+    model: Arc<OutlierModel>,
+    config: DetectorConfig,
+    open: HashMap<(HostId, StageId, u64), WindowAccum>,
+    lost: HashMap<(HostId, u64), u64>,
+    watermark: SimTime,
+    tasks_seen: u64,
+    tasks_lost: u64,
+}
+
+impl DetectorSnapshot {
+    /// Tasks the snapshotted detector had observed.
+    pub fn tasks_seen(&self) -> u64 {
+        self.tasks_seen
+    }
 }
 
 impl AnomalyDetector {
@@ -144,8 +190,40 @@ impl AnomalyDetector {
             model,
             config,
             open: HashMap::new(),
+            lost: HashMap::new(),
             watermark: SimTime::ZERO,
             tasks_seen: 0,
+            tasks_lost: 0,
+        }
+    }
+
+    /// Copy the detector's mutable state for later [restore]. The model is
+    /// shared, not cloned.
+    ///
+    /// [restore]: AnomalyDetector::from_snapshot
+    pub fn snapshot(&self) -> DetectorSnapshot {
+        DetectorSnapshot {
+            model: self.model.clone(),
+            config: self.config,
+            open: self.open.clone(),
+            lost: self.lost.clone(),
+            watermark: self.watermark,
+            tasks_seen: self.tasks_seen,
+            tasks_lost: self.tasks_lost,
+        }
+    }
+
+    /// Rebuild a detector from a snapshot, exactly as it was when
+    /// [`AnomalyDetector::snapshot`] ran.
+    pub fn from_snapshot(snapshot: DetectorSnapshot) -> AnomalyDetector {
+        AnomalyDetector {
+            model: snapshot.model,
+            config: snapshot.config,
+            open: snapshot.open,
+            lost: snapshot.lost,
+            watermark: snapshot.watermark,
+            tasks_seen: snapshot.tasks_seen,
+            tasks_lost: snapshot.tasks_lost,
         }
     }
 
@@ -159,8 +237,35 @@ impl AnomalyDetector {
         self.tasks_seen
     }
 
+    /// Total synopses the transport reported as lost (see
+    /// [`AnomalyDetector::record_loss`]).
+    pub fn tasks_lost(&self) -> u64 {
+        self.tasks_lost
+    }
+
+    /// Tell the detector that `count` synopses from `host` around virtual
+    /// time `at` never arrived (detected via transport sequence gaps).
+    ///
+    /// Known loss feeds the degradation-aware tests: the rare-pattern
+    /// proportion test inflates its denominator by the lost count
+    /// (conservatively assuming missing tasks were normal, so degraded
+    /// data cannot manufacture anomalies), and every event from an
+    /// affected window carries `completeness < 1.0`.
+    pub fn record_loss(&mut self, host: HostId, at: SimTime, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let idx = self.window_index(at);
+        *self.lost.entry((host, idx)).or_insert(0) += count;
+        self.tasks_lost += count;
+    }
+
     fn window_index(&self, t: SimTime) -> u64 {
         t.as_micros() / self.config.window.as_micros()
+    }
+
+    fn lost_in(&self, host: HostId, idx: u64) -> u64 {
+        self.lost.get(&(host, idx)).copied().unwrap_or(0)
     }
 
     /// Observe one task; returns events from any windows that closed.
@@ -172,10 +277,7 @@ impl AnomalyDetector {
         self.tasks_seen += 1;
         let idx = self.window_index(f.start);
         let class = self.model.classify(f);
-        let acc = self
-            .open
-            .entry((f.host, f.stage, idx))
-            .or_default();
+        let acc = self.open.entry((f.host, f.stage, idx)).or_default();
         acc.n += 1;
         match class {
             TaskClass::Normal | TaskClass::PerformanceOutlier => {
@@ -218,6 +320,9 @@ impl AnomalyDetector {
             let acc = self.open.remove(&key).expect("key just listed");
             self.close_window(key, acc, &mut events);
         }
+        // Loss entries for windows that just closed can no longer affect
+        // any test; drop them so the map stays bounded on long runs.
+        self.lost.retain(|&(_, i), _| i + 1 >= closable_before);
         events
     }
 
@@ -230,6 +335,7 @@ impl AnomalyDetector {
             let acc = self.open.remove(&key).expect("key just listed");
             self.close_window(key, acc, &mut events);
         }
+        self.lost.clear();
         events
     }
 
@@ -239,8 +345,17 @@ impl AnomalyDetector {
         acc: WindowAccum,
         events: &mut Vec<AnomalyEvent>,
     ) {
-        let window_start =
-            SimTime::from_micros(idx * self.config.window.as_micros());
+        let window_start = SimTime::from_micros(idx * self.config.window.as_micros());
+        // Degradation accounting: synopses the transport reported lost for
+        // this host-window. Tests below treat them as if they had arrived
+        // and been normal — the conservative direction, so a lossy link
+        // can only suppress detections, never invent them.
+        let lost = self.lost_in(host, idx);
+        let completeness = if acc.n + lost == 0 {
+            1.0
+        } else {
+            acc.n as f64 / (acc.n + lost) as f64
+        };
         // (ii) New signatures: report each, no test required.
         for sig in &acc.new_signatures {
             events.push(AnomalyEvent {
@@ -251,13 +366,15 @@ impl AnomalyDetector {
                 p_value: None,
                 outliers: acc.new_signature_tasks,
                 window_tasks: acc.n,
+                completeness,
             });
         }
-        // (i) Rare-pattern proportion test.
+        // (i) Rare-pattern proportion test, with the denominator inflated
+        // by the known-lost count.
         if acc.n >= self.config.min_window_tasks {
             let outliers = acc.rare_flow_outliers + acc.new_signature_tasks;
             let p0 = self.model.flow_outlier_rate(stage);
-            let r = one_sided_proportion_test(outliers, acc.n, p0, Alternative::Greater);
+            let r = one_sided_proportion_test(outliers, acc.n + lost, p0, Alternative::Greater);
             if r.rejects(self.config.alpha) && acc.rare_flow_outliers > 0 {
                 events.push(AnomalyEvent {
                     host,
@@ -267,6 +384,7 @@ impl AnomalyDetector {
                     p_value: Some(r.p_value),
                     outliers,
                     window_tasks: acc.n,
+                    completeness,
                 });
             }
         }
@@ -295,6 +413,7 @@ impl AnomalyDetector {
                     p_value: Some(r.p_value),
                     outliers,
                     window_tasks: n,
+                    completeness,
                 });
             }
         }
@@ -325,7 +444,7 @@ mod tests {
     fn trained_model() -> Arc<OutlierModel> {
         let mut b = ModelBuilder::new();
         for i in 0..20_000u64 {
-            let s = if i % 1000 == 0 {
+            let s = if i.is_multiple_of(1000) {
                 synopsis(0, &[1, 2, 3, 4, 5], 10_000, SimTime::ZERO, i)
             } else {
                 synopsis(0, &[1, 2, 4, 5], 9_000 + (i % 97) * 20, SimTime::ZERO, i)
@@ -362,7 +481,7 @@ mod tests {
             events.extend(feed(&mut d, minute, 200, |i| {
                 // Include the occasional trained-rare task at its
                 // training rate — that is normal behaviour.
-                if i % 1000 == 0 {
+                if i.is_multiple_of(1000) {
                     synopsis(0, &[1, 2, 3, 4, 5], 10_000, SimTime::ZERO, i)
                 } else {
                     synopsis(0, &[1, 2, 4, 5], 9_500, SimTime::ZERO, i)
@@ -390,7 +509,10 @@ mod tests {
             events.iter().any(|e| e.kind == AnomalyKind::FlowRare),
             "events: {events:?}"
         );
-        let e = events.iter().find(|e| e.kind == AnomalyKind::FlowRare).unwrap();
+        let e = events
+            .iter()
+            .find(|e| e.kind == AnomalyKind::FlowRare)
+            .unwrap();
         assert!(e.p_value.unwrap() < 0.001);
         assert_eq!(e.window_tasks, 200);
         assert_eq!(e.host, HostId(0));
@@ -429,14 +551,11 @@ mod tests {
         let mut d = detector();
         // 20% of common-signature tasks run 10x slower than the threshold.
         let mut events = feed(&mut d, 0, 200, |i| {
-            let dur = if i % 5 == 0 { 120_000 } else { 9_500 };
+            let dur = if i.is_multiple_of(5) { 120_000 } else { 9_500 };
             synopsis(0, &[1, 2, 4, 5], dur, SimTime::ZERO, i)
         });
         events.extend(d.flush());
-        let perf: Vec<_> = events
-            .iter()
-            .filter(|e| e.kind.is_performance())
-            .collect();
+        let perf: Vec<_> = events.iter().filter(|e| e.kind.is_performance()).collect();
         assert_eq!(perf.len(), 1, "events: {events:?}");
         assert!(perf[0].p_value.unwrap() < 0.001);
         match &perf[0].kind {
@@ -483,7 +602,7 @@ mod tests {
         let mut d = detector();
         let mut events = Vec::new();
         for i in 0..200u64 {
-            let mut s = if i % 2 == 0 {
+            let mut s = if i.is_multiple_of(2) {
                 // host 1 anomalous
                 let mut s = synopsis(0, &[1, 2, 3, 4, 5], 10_000, SimTime::ZERO, i);
                 s.host = HostId(1);
@@ -498,7 +617,10 @@ mod tests {
             events.extend(d.observe(&FeatureVector::from(&s)));
         }
         events.extend(d.flush());
-        assert!(events.iter().all(|e| e.host == HostId(1)), "events: {events:?}");
+        assert!(
+            events.iter().all(|e| e.host == HostId(1)),
+            "events: {events:?}"
+        );
         assert!(!events.is_empty());
     }
 
@@ -540,5 +662,121 @@ mod tests {
                 ..DetectorConfig::default()
             },
         );
+    }
+
+    #[test]
+    fn intact_link_events_report_full_completeness() {
+        let mut d = detector();
+        let mut events = feed(&mut d, 0, 200, |i| {
+            if i % 10 < 3 {
+                synopsis(0, &[1, 2, 3, 4, 5], 10_000, SimTime::ZERO, i)
+            } else {
+                synopsis(0, &[1, 2, 4, 5], 9_500, SimTime::ZERO, i)
+            }
+        });
+        events.extend(d.flush());
+        assert!(!events.is_empty());
+        assert!(events.iter().all(|e| e.completeness == 1.0), "{events:?}");
+        assert_eq!(d.tasks_lost(), 0);
+    }
+
+    #[test]
+    fn known_loss_suppresses_marginal_rare_anomaly() {
+        // 4 trained-rare tasks in 200 observed rejects at α = 0.001 on an
+        // intact link, but with 2000 known-lost synopses the inflated
+        // denominator keeps the null.
+        let run = |lost: u64| {
+            let mut d = detector();
+            if lost > 0 {
+                d.record_loss(HostId(0), SimTime::from_secs(10), lost);
+            }
+            let mut events = feed(&mut d, 0, 200, |i| {
+                if i.is_multiple_of(50) {
+                    synopsis(0, &[1, 2, 3, 4, 5], 10_000, SimTime::ZERO, i)
+                } else {
+                    synopsis(0, &[1, 2, 4, 5], 9_500, SimTime::ZERO, i)
+                }
+            });
+            events.extend(d.flush());
+            events
+        };
+        let intact = run(0);
+        assert!(
+            intact.iter().any(|e| e.kind == AnomalyKind::FlowRare),
+            "{intact:?}"
+        );
+        let degraded = run(2000);
+        assert!(
+            !degraded.iter().any(|e| e.kind == AnomalyKind::FlowRare),
+            "{degraded:?}"
+        );
+    }
+
+    #[test]
+    fn events_from_lossy_windows_carry_completeness() {
+        let mut d = detector();
+        // 100 observed + 300 lost in minute 0 → completeness 0.25. The
+        // new-signature report fires regardless of loss.
+        d.record_loss(HostId(0), SimTime::from_secs(30), 300);
+        let mut events = feed(&mut d, 0, 100, |i| {
+            if i == 7 {
+                synopsis(0, &[1], 500, SimTime::ZERO, i)
+            } else {
+                synopsis(0, &[1, 2, 4, 5], 9_500, SimTime::ZERO, i)
+            }
+        });
+        events.extend(d.flush());
+        let new_event = events
+            .iter()
+            .find(|e| matches!(e.kind, AnomalyKind::FlowNew(_)))
+            .expect("new-signature event");
+        assert!((new_event.completeness - 0.25).abs() < 1e-9);
+        assert_eq!(d.tasks_lost(), 300);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        let mk = |i: u64| {
+            if i % 10 < 3 {
+                synopsis(0, &[1, 2, 3, 4, 5], 10_000, SimTime::ZERO, i)
+            } else {
+                synopsis(0, &[1, 2, 4, 5], 9_500, SimTime::ZERO, i)
+            }
+        };
+        // Reference run: straight through.
+        let mut reference = detector();
+        let mut expected = feed(&mut reference, 0, 100, mk);
+        expected.extend(feed(&mut reference, 1, 100, mk));
+        expected.extend(reference.flush());
+        // Snapshotted run: snapshot after minute 0, "crash", restore, and
+        // feed minute 1 into the restored detector.
+        let mut first = detector();
+        let early = feed(&mut first, 0, 100, mk);
+        assert!(early.is_empty(), "window 0 still open");
+        let snap = first.snapshot();
+        assert_eq!(snap.tasks_seen(), 100);
+        drop(first); // the "crash"
+        let mut restored = AnomalyDetector::from_snapshot(snap);
+        let mut resumed = feed(&mut restored, 1, 100, mk);
+        resumed.extend(restored.flush());
+        assert_eq!(resumed, expected);
+        assert_eq!(restored.tasks_seen(), reference.tasks_seen());
+    }
+
+    #[test]
+    fn snapshot_preserves_loss_accounting() {
+        let mut d = detector();
+        d.record_loss(HostId(0), SimTime::from_secs(5), 40);
+        let restored = AnomalyDetector::from_snapshot(d.snapshot());
+        assert_eq!(restored.tasks_lost(), 40);
+    }
+
+    #[test]
+    fn host_silent_kind_predicates() {
+        let k = AnomalyKind::HostSilent { windows: 3 };
+        assert!(k.is_liveness());
+        assert!(!k.is_flow());
+        assert!(!k.is_performance());
+        assert!(k.to_string().contains("3 windows"));
     }
 }

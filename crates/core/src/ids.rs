@@ -11,6 +11,12 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StageId(pub u16);
 
+impl StageId {
+    /// Sentinel for events not attributable to any stage (e.g. host
+    /// liveness events emitted by the supervisor).
+    pub const NONE: StageId = StageId(u16::MAX);
+}
+
 impl fmt::Display for StageId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "S{}", self.0)

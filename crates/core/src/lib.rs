@@ -97,6 +97,7 @@ pub mod simtask;
 mod stage_registry;
 pub mod synopsis;
 pub mod tracker;
+pub mod transport;
 
 pub use ids::{HostId, StageId, TaskUid};
 pub use signature::Signature;

@@ -179,8 +179,7 @@ impl ModelBuilder {
                     if stable {
                         let threshold = percentile(durations, config.duration_percentile)
                             .expect("non-empty group");
-                        let above =
-                            durations.iter().filter(|&&d| d > threshold).count() as f64;
+                        let above = durations.iter().filter(|&&d| d > threshold).count() as f64;
                         duration_threshold_us = Some(threshold);
                         training_perf_outlier_rate = above / durations.len() as f64;
                     }
@@ -304,15 +303,15 @@ mod tests {
         let mut uid = 0;
         for i in 0..10_000u64 {
             uid += 1;
-            if i % 1000 == 0 {
+            if i.is_multiple_of(1000) {
                 // 0.1%: rare flow [L1,L2,L3,L4,L5]
                 out.push(synopsis(0, &[1, 2, 3, 4, 5], 10_000, uid));
-            } else if i % 100 == 0 {
+            } else if i.is_multiple_of(100) {
                 // ~1% slow: normal flow, double duration
                 out.push(synopsis(0, &[1, 2, 4, 5], 20_000, uid));
             } else {
                 // normal flow, 10ms +- jitter
-                let jitter = (i % 97) as u64 * 10;
+                let jitter = (i % 97) * 10;
                 out.push(synopsis(0, &[1, 2, 4, 5], 9_500 + jitter, uid));
             }
         }

@@ -6,36 +6,241 @@
 //! core. This module provides that wiring for the live (threaded) runtime:
 //! a [`ChannelSink`] for trackers and an analyzer thread that classifies,
 //! windows, and emits [`AnomalyEvent`]s in real time.
+//!
+//! # Robustness
+//!
+//! Monitoring must never take the server down, and it must never lie about
+//! what it saw. Three mechanisms enforce that:
+//!
+//! * **Bounded backpressure** — [`ChannelSink::bounded`] caps the queue
+//!   between trackers and the analyzer; an [`OverloadPolicy`] decides what
+//!   happens when it fills. Every dropped synopsis is counted per host in
+//!   [`SinkStats`]; nothing is discarded silently.
+//! * **Supervision** — [`spawn_supervised_analyzer`] wraps the detector in
+//!   a panic boundary: a crash restores the detector from its latest
+//!   snapshot, replays the synopses seen since, skips the poison synopsis,
+//!   and keeps going (up to [`SupervisorConfig::max_restarts`]).
+//! * **Liveness** — the supervisor tracks when each host last produced a
+//!   synopsis; a host silent for more than
+//!   [`SupervisorConfig::silent_after`] detection windows raises an
+//!   [`AnomalyKind::HostSilent`] event, so a dead link is an explicit
+//!   anomaly instead of a quiet gap in the data.
 
-use crate::detector::{AnomalyDetector, AnomalyEvent, DetectorConfig};
+use crate::detector::{AnomalyDetector, AnomalyEvent, AnomalyKind, DetectorConfig};
 use crate::feature::FeatureVector;
 use crate::model::OutlierModel;
 use crate::synopsis::TaskSynopsis;
 use crate::tracker::SynopsisSink;
-use crossbeam_channel::{unbounded, Receiver, Sender, TryRecvError};
+use crate::transport::LossReport;
+use crate::{HostId, StageId};
+use crossbeam_channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use saad_sim::SimTime;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What a bounded [`ChannelSink`] does when the queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Discard the synopsis being submitted (the newest). The producer
+    /// never waits.
+    DropNewest,
+    /// Evict the oldest queued synopsis to make room. The producer never
+    /// waits; the analyzer sees the freshest data.
+    DropOldest,
+    /// Wait up to `timeout` for space, then discard the synopsis. Bounds
+    /// how long monitoring may ever stall a server thread.
+    Block {
+        /// Longest a single submit may wait for queue space.
+        timeout: Duration,
+    },
+}
+
+/// Exact counts of synopses a sink dropped, by reason.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropCounts {
+    /// Dropped by [`OverloadPolicy::DropNewest`] (or bounded-retry
+    /// exhaustion under [`OverloadPolicy::DropOldest`]).
+    pub newest: u64,
+    /// Evicted by [`OverloadPolicy::DropOldest`].
+    pub oldest: u64,
+    /// Timed out under [`OverloadPolicy::Block`].
+    pub timed_out: u64,
+    /// Discarded because the analyzer is gone.
+    pub disconnected: u64,
+}
+
+impl DropCounts {
+    /// Sum over all reasons.
+    pub fn total(&self) -> u64 {
+        self.newest + self.oldest + self.timed_out + self.disconnected
+    }
+}
+
+/// Shared, exact drop accounting for one sink (and its clones).
+#[derive(Debug, Default)]
+pub struct SinkStats {
+    total: AtomicU64,
+    by_host: parking_lot::Mutex<HashMap<HostId, DropCounts>>,
+}
+
+impl SinkStats {
+    fn record(&self, host: HostId, bump: impl FnOnce(&mut DropCounts)) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        bump(self.by_host.lock().entry(host).or_default());
+    }
+
+    /// Total synopses dropped, all hosts and reasons.
+    pub fn dropped(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Per-host drop counts.
+    pub fn drops_by_host(&self) -> HashMap<HostId, DropCounts> {
+        self.by_host.lock().clone()
+    }
+
+    /// Drop counts for one host (zeroes if nothing was dropped).
+    pub fn drops_for(&self, host: HostId) -> DropCounts {
+        self.by_host.lock().get(&host).copied().unwrap_or_default()
+    }
+}
 
 /// A [`SynopsisSink`] that streams synopses over a channel to the analyzer.
+///
+/// [`ChannelSink::new`] gives the paper's unbounded queue;
+/// [`ChannelSink::bounded`] adds backpressure with a chosen
+/// [`OverloadPolicy`]. In both cases every synopsis that does not reach
+/// the queue is counted in [`SinkStats`] — dropping is a measured,
+/// observable act, never a silent one.
 #[derive(Debug, Clone)]
 pub struct ChannelSink {
     tx: Sender<TaskSynopsis>,
+    /// Receiver clone used to evict under [`OverloadPolicy::DropOldest`].
+    evict: Option<Receiver<TaskSynopsis>>,
+    policy: Option<OverloadPolicy>,
+    stats: Arc<SinkStats>,
 }
 
+/// Bound on eviction retries under [`OverloadPolicy::DropOldest`] before a
+/// submit gives up and counts the synopsis as a newest-drop.
+const DROP_OLDEST_RETRIES: usize = 64;
+
 impl ChannelSink {
-    /// Create a sink/receiver pair.
+    /// Create an unbounded sink/receiver pair. Submits never block and
+    /// never drop while the analyzer lives; if the analyzer is gone the
+    /// synopsis is counted as a disconnected drop.
     pub fn new() -> (ChannelSink, Receiver<TaskSynopsis>) {
         let (tx, rx) = unbounded();
-        (ChannelSink { tx }, rx)
+        (
+            ChannelSink {
+                tx,
+                evict: None,
+                policy: None,
+                stats: Arc::new(SinkStats::default()),
+            },
+            rx,
+        )
+    }
+
+    /// Create a bounded sink/receiver pair holding at most `capacity`
+    /// queued synopses, resolving overload with `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn bounded(
+        capacity: usize,
+        policy: OverloadPolicy,
+    ) -> (ChannelSink, Receiver<TaskSynopsis>) {
+        assert!(capacity > 0, "sink capacity must be positive");
+        let (tx, rx) = bounded(capacity);
+        let evict = matches!(policy, OverloadPolicy::DropOldest).then(|| rx.clone());
+        (
+            ChannelSink {
+                tx,
+                evict,
+                policy: Some(policy),
+                stats: Arc::new(SinkStats::default()),
+            },
+            rx,
+        )
+    }
+
+    /// Shared drop statistics (live — counts keep updating).
+    pub fn stats(&self) -> Arc<SinkStats> {
+        self.stats.clone()
+    }
+
+    /// Total synopses this sink (and its clones) dropped.
+    pub fn dropped(&self) -> u64 {
+        self.stats.dropped()
+    }
+
+    /// Per-host drop counts.
+    pub fn drops_by_host(&self) -> HashMap<HostId, DropCounts> {
+        self.stats.drops_by_host()
+    }
+
+    fn submit_bounded(&self, policy: OverloadPolicy, synopsis: TaskSynopsis) {
+        match policy {
+            OverloadPolicy::DropNewest => match self.tx.try_send(synopsis) {
+                Ok(()) => {}
+                Err(TrySendError::Full(s)) => self.stats.record(s.host, |c| c.newest += 1),
+                Err(TrySendError::Disconnected(s)) => {
+                    self.stats.record(s.host, |c| c.disconnected += 1)
+                }
+            },
+            OverloadPolicy::DropOldest => {
+                let evict = self.evict.as_ref().expect("DropOldest sink has receiver");
+                let mut synopsis = synopsis;
+                for _ in 0..DROP_OLDEST_RETRIES {
+                    match self.tx.try_send(synopsis) {
+                        Ok(()) => return,
+                        Err(TrySendError::Full(s)) => {
+                            synopsis = s;
+                            if let Ok(old) = evict.try_recv() {
+                                self.stats.record(old.host, |c| c.oldest += 1);
+                            }
+                        }
+                        Err(TrySendError::Disconnected(s)) => {
+                            self.stats.record(s.host, |c| c.disconnected += 1);
+                            return;
+                        }
+                    }
+                }
+                // Pathological contention: other producers refilled the
+                // slot we evicted, every time. Give up on this synopsis.
+                self.stats.record(synopsis.host, |c| c.newest += 1);
+            }
+            OverloadPolicy::Block { timeout } => match self.tx.send_timeout(synopsis, timeout) {
+                Ok(()) => {}
+                Err(crossbeam_channel::SendTimeoutError::Timeout(s)) => {
+                    self.stats.record(s.host, |c| c.timed_out += 1)
+                }
+                Err(crossbeam_channel::SendTimeoutError::Disconnected(s)) => {
+                    self.stats.record(s.host, |c| c.disconnected += 1)
+                }
+            },
+        }
     }
 }
 
 impl SynopsisSink for ChannelSink {
     fn submit(&self, synopsis: TaskSynopsis) {
-        // If the analyzer is gone the stream is simply dropped; monitoring
-        // must never take the server down.
-        let _ = self.tx.send(synopsis);
+        match self.policy {
+            None => {
+                // Unbounded: only a dead analyzer can refuse the synopsis.
+                if let Err(e) = self.tx.send(synopsis) {
+                    self.stats.record(e.0.host, |c| c.disconnected += 1);
+                }
+            }
+            Some(policy) => self.submit_bounded(policy, synopsis),
+        }
     }
 }
 
@@ -114,33 +319,107 @@ impl SynopsisSink for DetectorSink {
     }
 }
 
+/// Why an analyzer thread failed to return a detector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalyzerError {
+    /// The analyzer thread panicked (unsupervised, or outside the panic
+    /// boundary).
+    Panicked(String),
+    /// A supervised analyzer exhausted its restart budget.
+    RestartsExhausted {
+        /// Restarts consumed before giving up.
+        restarts: u32,
+        /// Message of the final panic.
+        panic: String,
+    },
+}
+
+impl fmt::Display for AnalyzerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzerError::Panicked(msg) => write!(f, "analyzer thread panicked: {msg}"),
+            AnalyzerError::RestartsExhausted { restarts, panic } => write!(
+                f,
+                "analyzer gave up after {restarts} restart(s); last panic: {panic}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzerError {}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
 /// Handle to a running analyzer thread.
 #[derive(Debug)]
 pub struct AnalyzerHandle {
     events: Receiver<AnomalyEvent>,
     processed: Arc<AtomicU64>,
-    join: Option<JoinHandle<AnomalyDetector>>,
+    restarts: Arc<AtomicU64>,
+    skipped: Arc<AtomicU64>,
+    sink_stats: Option<Arc<SinkStats>>,
+    join: Option<JoinHandle<Result<AnomalyDetector, AnalyzerError>>>,
 }
 
 impl AnalyzerHandle {
+    /// Attach the sink's drop statistics so producers' losses are visible
+    /// from the consumer side.
+    pub fn with_sink_stats(mut self, stats: Arc<SinkStats>) -> AnalyzerHandle {
+        self.sink_stats = Some(stats);
+        self
+    }
+
     /// Receiver of detected anomaly events.
     pub fn events(&self) -> &Receiver<AnomalyEvent> {
         &self.events
     }
 
-    /// Synopses processed so far.
+    /// Synopses received by the analyzer so far (including any skipped
+    /// after a supervised restart).
     pub fn processed(&self) -> u64 {
         self.processed.load(Ordering::Relaxed)
+    }
+
+    /// Times a supervised analyzer restarted after a panic (0 for
+    /// [`spawn_analyzer`]).
+    pub fn restarts(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
+    }
+
+    /// Poison synopses a supervised analyzer skipped (0 for
+    /// [`spawn_analyzer`]).
+    pub fn skipped(&self) -> u64 {
+        self.skipped.load(Ordering::Relaxed)
+    }
+
+    /// Synopses dropped by the attached sink (0 unless
+    /// [`AnalyzerHandle::with_sink_stats`] was used).
+    pub fn dropped(&self) -> u64 {
+        self.sink_stats.as_ref().map_or(0, |s| s.dropped())
+    }
+
+    /// Per-host drop counts from the attached sink (empty unless
+    /// [`AnalyzerHandle::with_sink_stats`] was used).
+    pub fn drops_by_host(&self) -> HashMap<HostId, DropCounts> {
+        self.sink_stats
+            .as_ref()
+            .map(|s| s.drops_by_host())
+            .unwrap_or_default()
     }
 
     /// Drain any events currently queued without blocking.
     pub fn drain_events(&self) -> Vec<AnomalyEvent> {
         let mut out = Vec::new();
-        loop {
-            match self.events.try_recv() {
-                Ok(e) => out.push(e),
-                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
-            }
+        while let Ok(e) = self.events.try_recv() {
+            out.push(e);
         }
         out
     }
@@ -148,15 +427,16 @@ impl AnalyzerHandle {
     /// Wait for the analyzer to finish (all sinks dropped), returning the
     /// detector for inspection. Remaining windows are flushed first.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the analyzer thread panicked.
-    pub fn join(mut self) -> AnomalyDetector {
-        self.join
-            .take()
-            .expect("join called once")
-            .join()
-            .expect("analyzer thread panicked")
+    /// Returns [`AnalyzerError::Panicked`] if the analyzer thread died, or
+    /// [`AnalyzerError::RestartsExhausted`] if a supervised analyzer ran
+    /// out of restarts.
+    pub fn join(mut self) -> Result<AnomalyDetector, AnalyzerError> {
+        match self.join.take().expect("join called once").join() {
+            Ok(result) => result,
+            Err(payload) => Err(AnalyzerError::Panicked(panic_message(payload.as_ref()))),
+        }
     }
 }
 
@@ -176,7 +456,7 @@ impl AnalyzerHandle {
 /// let (sink, rx) = ChannelSink::new();
 /// let handle = spawn_analyzer(model, DetectorConfig::default(), rx);
 /// drop(sink); // close the stream
-/// let detector = handle.join();
+/// let detector = handle.join().expect("analyzer ran to completion");
 /// assert_eq!(detector.tasks_seen(), 0);
 /// ```
 pub fn spawn_analyzer(
@@ -201,12 +481,209 @@ pub fn spawn_analyzer(
             for event in detector.flush() {
                 let _ = event_tx.send(event);
             }
-            detector
+            Ok(detector)
         })
         .expect("spawn analyzer thread");
     AnalyzerHandle {
         events: event_rx,
         processed,
+        restarts: Arc::new(AtomicU64::new(0)),
+        skipped: Arc::new(AtomicU64::new(0)),
+        sink_stats: None,
+        join: Some(join),
+    }
+}
+
+/// Tuning for [`spawn_supervised_analyzer`].
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Snapshot the detector every this many successfully observed
+    /// synopses; bounds how much work a restart replays.
+    pub snapshot_every: u64,
+    /// Restarts allowed before the supervisor gives up with
+    /// [`AnalyzerError::RestartsExhausted`].
+    pub max_restarts: u32,
+    /// A host with no synopses for more than this many detection windows
+    /// (while other hosts advance the stream clock) raises
+    /// [`AnomalyKind::HostSilent`].
+    pub silent_after: u64,
+    /// Deterministic fault-injection hook: panic inside the supervised
+    /// region while processing the Nth synopsis (1-based). `None` in
+    /// production.
+    pub panic_after: Option<u64>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            snapshot_every: 256,
+            max_restarts: 3,
+            silent_after: 3,
+            panic_after: None,
+        }
+    }
+}
+
+fn host_silent_event(host: HostId, last_seen: SimTime, windows: u64) -> AnomalyEvent {
+    AnomalyEvent {
+        host,
+        stage: StageId::NONE,
+        window_start: last_seen,
+        kind: AnomalyKind::HostSilent { windows },
+        p_value: None,
+        outliers: 0,
+        window_tasks: 0,
+        completeness: 0.0,
+    }
+}
+
+/// Per-host liveness bookkeeping for the supervisor. Kept outside the
+/// panic boundary so a detector crash cannot corrupt it.
+#[derive(Debug, Default)]
+struct LivenessTracker {
+    last_seen: HashMap<HostId, SimTime>,
+    flagged: HashSet<HostId>,
+    watermark: SimTime,
+}
+
+impl LivenessTracker {
+    /// Note a synopsis from `host` at stream time `at`; returns events for
+    /// hosts that crossed the silence threshold.
+    fn observe(
+        &mut self,
+        host: HostId,
+        at: SimTime,
+        window: saad_sim::SimDuration,
+        silent_after: u64,
+    ) -> Vec<AnomalyEvent> {
+        self.last_seen.insert(host, at);
+        self.flagged.remove(&host); // re-arm: the host is back
+        if at > self.watermark {
+            self.watermark = at;
+        }
+        let threshold = window.as_micros().saturating_mul(silent_after);
+        let mut events = Vec::new();
+        for (&h, &seen) in &self.last_seen {
+            if self.flagged.contains(&h) {
+                continue;
+            }
+            let silent_for = self.watermark.as_micros().saturating_sub(seen.as_micros());
+            if silent_for > threshold {
+                self.flagged.insert(h);
+                events.push(host_silent_event(h, seen, silent_for / window.as_micros()));
+            }
+        }
+        events
+    }
+}
+
+/// Spawn a supervised analyzer: like [`spawn_analyzer`], plus a panic
+/// boundary with snapshot/replay recovery, per-host liveness tracking, and
+/// optional link-loss reports feeding the degradation-aware detector.
+///
+/// `loss_rx`, when provided, delivers [`LossReport`]s from the transport
+/// layer (see [`crate::transport::FrameReceiver`]); each is applied via
+/// [`AnomalyDetector::record_loss`] so windowed tests account for missing
+/// data and events carry honest completeness ratios.
+pub fn spawn_supervised_analyzer(
+    model: Arc<OutlierModel>,
+    config: DetectorConfig,
+    supervisor: SupervisorConfig,
+    rx: Receiver<TaskSynopsis>,
+    loss_rx: Option<Receiver<LossReport>>,
+) -> AnalyzerHandle {
+    let (event_tx, event_rx) = unbounded();
+    let processed = Arc::new(AtomicU64::new(0));
+    let restarts = Arc::new(AtomicU64::new(0));
+    let skipped = Arc::new(AtomicU64::new(0));
+    let (processed_inner, restarts_inner, skipped_inner) =
+        (processed.clone(), restarts.clone(), skipped.clone());
+    let window = config.window;
+    let join = std::thread::Builder::new()
+        .name("saad-supervised-analyzer".into())
+        .spawn(move || {
+            let mut detector = AnomalyDetector::new(model, config);
+            let mut snapshot = detector.snapshot();
+            // Everything successfully applied since `snapshot`, for replay
+            // after a restart. Events from replay are suppressed (they
+            // were already emitted before the crash).
+            let mut replay_features: Vec<FeatureVector> = Vec::new();
+            let mut replay_losses: Vec<LossReport> = Vec::new();
+            let mut liveness = LivenessTracker::default();
+            let mut restarts_used = 0u32;
+            let mut received = 0u64;
+            for synopsis in rx.iter() {
+                processed_inner.fetch_add(1, Ordering::Relaxed);
+                received += 1;
+                for event in liveness.observe(
+                    synopsis.host,
+                    synopsis.start,
+                    window,
+                    supervisor.silent_after,
+                ) {
+                    let _ = event_tx.send(event);
+                }
+                if let Some(loss_rx) = &loss_rx {
+                    for report in loss_rx.try_iter() {
+                        detector.record_loss(report.host, report.at, report.count);
+                        replay_losses.push(report);
+                    }
+                }
+                let feature = FeatureVector::from(&synopsis);
+                let inject = supervisor.panic_after == Some(received);
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    if inject {
+                        panic!("injected analyzer fault at synopsis {received}");
+                    }
+                    detector.observe(&feature)
+                }));
+                match outcome {
+                    Ok(events) => {
+                        replay_features.push(feature);
+                        for event in events {
+                            let _ = event_tx.send(event);
+                        }
+                        if replay_features.len() as u64 >= supervisor.snapshot_every {
+                            snapshot = detector.snapshot();
+                            replay_features.clear();
+                            replay_losses.clear();
+                        }
+                    }
+                    Err(payload) => {
+                        restarts_used += 1;
+                        if restarts_used > supervisor.max_restarts {
+                            return Err(AnalyzerError::RestartsExhausted {
+                                restarts: restarts_used - 1,
+                                panic: panic_message(payload.as_ref()),
+                            });
+                        }
+                        restarts_inner.fetch_add(1, Ordering::Relaxed);
+                        // The synopsis that triggered the panic is skipped,
+                        // not retried: a deterministic poison pill would
+                        // otherwise crash-loop the analyzer.
+                        skipped_inner.fetch_add(1, Ordering::Relaxed);
+                        detector = AnomalyDetector::from_snapshot(snapshot.clone());
+                        for report in &replay_losses {
+                            detector.record_loss(report.host, report.at, report.count);
+                        }
+                        for feature in &replay_features {
+                            let _ = detector.observe(feature); // events already emitted
+                        }
+                    }
+                }
+            }
+            for event in detector.flush() {
+                let _ = event_tx.send(event);
+            }
+            Ok(detector)
+        })
+        .expect("spawn supervised analyzer thread");
+    AnalyzerHandle {
+        events: event_rx,
+        processed,
+        restarts,
+        skipped,
+        sink_stats: None,
         join: Some(join),
     }
 }
@@ -214,15 +691,24 @@ pub fn spawn_analyzer(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::detector::AnomalyKind;
     use crate::model::{ModelBuilder, ModelConfig};
-    use crate::{HostId, StageId, TaskUid};
+    use crate::TaskUid;
     use saad_logging::LogPointId;
     use saad_sim::{SimDuration, SimTime};
 
     fn synopsis(points: &[u16], dur_us: u64, start: SimTime, uid: u64) -> TaskSynopsis {
+        synopsis_on(0, points, dur_us, start, uid)
+    }
+
+    fn synopsis_on(
+        host: u16,
+        points: &[u16],
+        dur_us: u64,
+        start: SimTime,
+        uid: u64,
+    ) -> TaskSynopsis {
         TaskSynopsis {
-            host: HostId(0),
+            host: HostId(host),
             stage: StageId(0),
             uid: TaskUid(uid),
             start,
@@ -245,7 +731,7 @@ mod tests {
         let handle = spawn_analyzer(model(), DetectorConfig::default(), rx);
         // A minute of traffic with a burst of a brand-new signature.
         for i in 0..100u64 {
-            let s = if i % 4 == 0 {
+            let s = if i.is_multiple_of(4) {
                 synopsis(&[1, 9], 1_000, SimTime::from_millis(i * 100), i)
             } else {
                 synopsis(&[1, 2], 1_000, SimTime::from_millis(i * 100), i)
@@ -253,7 +739,7 @@ mod tests {
             sink.submit(s);
         }
         drop(sink);
-        let detector = handle.join();
+        let detector = handle.join().unwrap();
         assert_eq!(detector.tasks_seen(), 100);
     }
 
@@ -277,7 +763,7 @@ mod tests {
             "events: {events:?}"
         );
         assert_eq!(handle.processed(), 50);
-        handle.join();
+        handle.join().unwrap();
     }
 
     #[test]
@@ -297,7 +783,7 @@ mod tests {
         });
         t1.join().unwrap();
         t2.join().unwrap();
-        let detector = handle.join();
+        let detector = handle.join().unwrap();
         assert_eq!(detector.tasks_seen(), 1000);
     }
 
@@ -335,6 +821,199 @@ mod tests {
         let handle = spawn_analyzer(model(), DetectorConfig::default(), rx);
         assert!(handle.drain_events().is_empty());
         drop(sink);
-        handle.join();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn unbounded_sink_counts_disconnected_drops() {
+        let (sink, rx) = ChannelSink::new();
+        drop(rx);
+        for i in 0..3u64 {
+            sink.submit(synopsis_on(9, &[1, 2], 1_000, SimTime::ZERO, i));
+        }
+        assert_eq!(sink.dropped(), 3);
+        assert_eq!(sink.stats().drops_for(HostId(9)).disconnected, 3);
+    }
+
+    #[test]
+    fn drop_newest_counts_exact_per_host_drops() {
+        let (sink, rx) = ChannelSink::bounded(4, OverloadPolicy::DropNewest);
+        for i in 0..10u64 {
+            let host = (i % 2) as u16;
+            sink.submit(synopsis_on(host, &[1, 2], 1_000, SimTime::ZERO, i));
+        }
+        // 4 queued (uids 0..4), 6 dropped (uids 4..10 → hosts 0,1,0,1,0,1).
+        assert_eq!(sink.dropped(), 6);
+        assert_eq!(sink.stats().drops_for(HostId(0)).newest, 3);
+        assert_eq!(sink.stats().drops_for(HostId(1)).newest, 3);
+        let queued: Vec<u64> = rx.try_iter().map(|s| s.uid.0).collect();
+        assert_eq!(queued, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn drop_oldest_keeps_the_freshest_synopses() {
+        let (sink, rx) = ChannelSink::bounded(4, OverloadPolicy::DropOldest);
+        for i in 0..10u64 {
+            sink.submit(synopsis_on(5, &[1, 2], 1_000, SimTime::ZERO, i));
+        }
+        assert_eq!(sink.dropped(), 6);
+        assert_eq!(sink.stats().drops_for(HostId(5)).oldest, 6);
+        let queued: Vec<u64> = rx.try_iter().map(|s| s.uid.0).collect();
+        assert_eq!(queued, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn block_policy_bounds_the_stall_and_counts_timeouts() {
+        let timeout = Duration::from_millis(40);
+        let (sink, rx) = ChannelSink::bounded(1, OverloadPolicy::Block { timeout });
+        sink.submit(synopsis(&[1, 2], 1_000, SimTime::ZERO, 0));
+        let start = std::time::Instant::now();
+        sink.submit(synopsis(&[1, 2], 1_000, SimTime::ZERO, 1));
+        let stalled = start.elapsed();
+        assert!(stalled >= timeout, "returned before the timeout");
+        assert!(
+            stalled < timeout * 20,
+            "stalled far beyond the policy bound: {stalled:?}"
+        );
+        assert_eq!(sink.stats().drops_for(HostId(0)).timed_out, 1);
+        drop(rx);
+    }
+
+    #[test]
+    fn handle_exposes_sink_stats() {
+        let (sink, rx) = ChannelSink::bounded(2, OverloadPolicy::DropNewest);
+        let stats = sink.stats();
+        for i in 0..5u64 {
+            sink.submit(synopsis(&[1, 2], 1_000, SimTime::ZERO, i));
+        }
+        drop(sink);
+        let handle = spawn_analyzer(model(), DetectorConfig::default(), rx).with_sink_stats(stats);
+        assert_eq!(handle.dropped(), 3);
+        assert_eq!(handle.drops_by_host()[&HostId(0)].newest, 3);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn join_reports_analyzer_panic_as_error() {
+        let (sink, rx) = ChannelSink::new();
+        let supervisor = SupervisorConfig {
+            max_restarts: 0,
+            panic_after: Some(1),
+            ..SupervisorConfig::default()
+        };
+        let handle =
+            spawn_supervised_analyzer(model(), DetectorConfig::default(), supervisor, rx, None);
+        sink.submit(synopsis(&[1, 2], 1_000, SimTime::ZERO, 0));
+        drop(sink);
+        match handle.join() {
+            Err(AnalyzerError::RestartsExhausted { restarts: 0, panic }) => {
+                assert!(panic.contains("injected"), "{panic}");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn supervisor_restarts_from_snapshot_and_skips_poison() {
+        let (sink, rx) = ChannelSink::new();
+        let supervisor = SupervisorConfig {
+            snapshot_every: 10,
+            panic_after: Some(30),
+            ..SupervisorConfig::default()
+        };
+        let handle =
+            spawn_supervised_analyzer(model(), DetectorConfig::default(), supervisor, rx, None);
+        for i in 0..60u64 {
+            sink.submit(synopsis(&[7], 1_000, SimTime::from_millis(i * 10), i));
+        }
+        drop(sink);
+        let mut events = Vec::new();
+        while let Ok(e) = handle.events().recv() {
+            events.push(e);
+        }
+        assert_eq!(handle.restarts(), 1);
+        assert_eq!(handle.skipped(), 1);
+        assert_eq!(handle.processed(), 60);
+        let detector = handle.join().unwrap();
+        // Everything except the poison synopsis was analyzed…
+        assert_eq!(detector.tasks_seen(), 59);
+        // …and detection survived the crash.
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.kind, AnomalyKind::FlowNew(_))),
+            "events: {events:?}"
+        );
+    }
+
+    #[test]
+    fn silent_host_raises_liveness_event_and_rearms() {
+        let (sink, rx) = ChannelSink::new();
+        let supervisor = SupervisorConfig {
+            silent_after: 2,
+            ..SupervisorConfig::default()
+        };
+        let handle =
+            spawn_supervised_analyzer(model(), DetectorConfig::default(), supervisor, rx, None);
+        let mut uid = 0u64;
+        let at = |min: u64, sec: u64| SimTime::from_secs(min * 60 + sec);
+        // Both hosts active in minute 0.
+        for s in 0..10u64 {
+            for host in [0u16, 1] {
+                sink.submit(synopsis_on(host, &[1, 2], 1_000, at(0, s * 6), uid));
+                uid += 1;
+            }
+        }
+        // Host 1 goes silent; host 0 keeps the clock moving for 4 minutes.
+        for min in 1..=4u64 {
+            for s in 0..10u64 {
+                sink.submit(synopsis_on(0, &[1, 2], 1_000, at(min, s * 6), uid));
+                uid += 1;
+            }
+        }
+        // Host 1 comes back.
+        sink.submit(synopsis_on(1, &[1, 2], 1_000, at(5, 0), uid));
+        drop(sink);
+        let mut events = Vec::new();
+        while let Ok(e) = handle.events().recv() {
+            events.push(e);
+        }
+        handle.join().unwrap();
+        let silent: Vec<_> = events.iter().filter(|e| e.kind.is_liveness()).collect();
+        assert_eq!(silent.len(), 1, "{events:?}");
+        assert_eq!(silent[0].host, HostId(1));
+        assert_eq!(silent[0].stage, StageId::NONE);
+        assert_eq!(silent[0].completeness, 0.0);
+        assert!(matches!(
+            silent[0].kind,
+            AnomalyKind::HostSilent { windows } if windows >= 2
+        ));
+    }
+
+    #[test]
+    fn loss_reports_reach_the_detector() {
+        let (sink, rx) = ChannelSink::new();
+        let (loss_tx, loss_rx) = unbounded();
+        let handle = spawn_supervised_analyzer(
+            model(),
+            DetectorConfig::default(),
+            SupervisorConfig::default(),
+            rx,
+            Some(loss_rx),
+        );
+        loss_tx
+            .send(LossReport {
+                host: HostId(0),
+                at: SimTime::from_secs(5),
+                count: 40,
+            })
+            .unwrap();
+        for i in 0..20u64 {
+            sink.submit(synopsis(&[1, 2], 1_000, SimTime::from_secs(i), i));
+        }
+        drop(sink);
+        let detector = handle.join().unwrap();
+        assert_eq!(detector.tasks_lost(), 40);
+        assert_eq!(detector.tasks_seen(), 20);
     }
 }

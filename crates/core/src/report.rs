@@ -6,7 +6,7 @@
 //! of a normal and an anomalous signature.
 
 use crate::detector::{AnomalyEvent, AnomalyKind};
-use crate::{Signature, StageRegistry};
+use crate::{Signature, StageId, StageRegistry};
 use saad_logging::LogPointRegistry;
 use std::fmt::Write as _;
 
@@ -23,8 +23,12 @@ impl<'a> AnomalyReport<'a> {
         AnomalyReport { stages, points }
     }
 
-    /// The paper's `Stage (host id)` label, e.g. `DataXceiver(3)`.
+    /// The paper's `Stage (host id)` label, e.g. `DataXceiver(3)`. Liveness
+    /// events carry no stage ([`StageId::NONE`]) and are labeled by host.
     pub fn stage_label(&self, event: &AnomalyEvent) -> String {
+        if event.stage == StageId::NONE {
+            return event.host.to_string();
+        }
         let name = self
             .stages
             .name(event.stage)
@@ -45,14 +49,18 @@ impl<'a> AnomalyReport<'a> {
         if let Some(p) = event.p_value {
             let _ = write!(out, " (p = {p:.2e})");
         }
-        let _ = writeln!(
-            out,
-            " — {} of {} tasks",
-            event.outliers, event.window_tasks
-        );
+        if event.kind.is_liveness() {
+            let _ = writeln!(out);
+        } else {
+            let _ = write!(out, " — {} of {} tasks", event.outliers, event.window_tasks);
+            if event.completeness < 1.0 {
+                let _ = write!(out, " ({:.0}% data)", event.completeness * 100.0);
+            }
+            let _ = writeln!(out);
+        }
         let sig = match &event.kind {
             AnomalyKind::FlowNew(sig) | AnomalyKind::Performance(sig) => Some(sig),
-            AnomalyKind::FlowRare => None,
+            AnomalyKind::FlowRare | AnomalyKind::HostSilent { .. } => None,
         };
         if let Some(sig) = sig {
             out.push_str(&self.render_signature(sig, "    "));
@@ -86,11 +94,7 @@ impl<'a> AnomalyReport<'a> {
     /// MemTable is already frozen; another thread must be... |   x    |    x
     /// Start applying update to MemTable                     |   x    |
     /// ```
-    pub fn render_signature_comparison(
-        &self,
-        normal: &Signature,
-        anomalous: &Signature,
-    ) -> String {
+    pub fn render_signature_comparison(&self, normal: &Signature, anomalous: &Signature) -> String {
         let mut all: Vec<_> = normal.points().to_vec();
         for &p in anomalous.points() {
             if !normal.contains(p) {
@@ -149,9 +153,19 @@ mod tests {
             "Table.rs",
             10,
         );
-        points.register("Start applying update to MemTable", Level::Debug, "Table.rs", 20);
+        points.register(
+            "Start applying update to MemTable",
+            Level::Debug,
+            "Table.rs",
+            20,
+        );
         points.register("Applying mutation of row", Level::Debug, "Table.rs", 30);
-        points.register("Applied mutation. Sending response", Level::Debug, "Table.rs", 40);
+        points.register(
+            "Applied mutation. Sending response",
+            Level::Debug,
+            "Table.rs",
+            40,
+        );
         (stages, points)
     }
 
@@ -164,6 +178,7 @@ mod tests {
             p_value: Some(1.5e-7),
             outliers: 37,
             window_tasks: 412,
+            completeness: 1.0,
         }
     }
 
@@ -183,6 +198,33 @@ mod tests {
         assert!(s.contains("rare pattern"));
         assert!(s.contains("1.50e-7"));
         assert!(s.contains("37 of 412"));
+    }
+
+    #[test]
+    fn render_shows_completeness_when_degraded() {
+        let (stages, points) = registries();
+        let r = AnomalyReport::new(&stages, &points);
+        let mut e = event(AnomalyKind::FlowRare);
+        e.completeness = 0.72;
+        let s = r.render(&e);
+        assert!(s.contains("72% data"), "{s}");
+        // Intact windows stay quiet about completeness.
+        let s = r.render(&event(AnomalyKind::FlowRare));
+        assert!(!s.contains("% data"), "{s}");
+    }
+
+    #[test]
+    fn render_host_silent_is_labeled_by_host() {
+        let (stages, points) = registries();
+        let r = AnomalyReport::new(&stages, &points);
+        let mut e = event(AnomalyKind::HostSilent { windows: 2 });
+        e.stage = StageId::NONE;
+        e.p_value = None;
+        e.completeness = 0.0;
+        let s = r.render(&e);
+        assert!(s.contains("host4"), "{s}");
+        assert!(s.contains("host silent"), "{s}");
+        assert!(!s.contains("of 412 tasks"), "{s}");
     }
 
     #[test]

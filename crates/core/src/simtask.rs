@@ -11,7 +11,7 @@
 
 use crate::tracker::{SuspendedTask, TaskExecutionTracker};
 use crate::StageId;
-use saad_logging::{Level, Logger, LogPointId};
+use saad_logging::{Level, LogPointId, Logger};
 use saad_sim::{ManualClock, SimDuration, SimTime};
 use std::fmt;
 use std::sync::Arc;
@@ -225,7 +225,13 @@ mod tests {
     #[test]
     fn cursor_drives_timestamps() {
         let f = fx();
-        let mut t = SimTask::begin(&f.tracker, &f.clock, &f.logger, StageId(1), SimTime::from_millis(100));
+        let mut t = SimTask::begin(
+            &f.tracker,
+            &f.clock,
+            &f.logger,
+            StageId(1),
+            SimTime::from_millis(100),
+        );
         t.debug(f.p[0], format_args!("a"));
         t.advance(SimDuration::from_millis(7));
         t.debug(f.p[1], format_args!("b"));
@@ -239,8 +245,7 @@ mod tests {
     fn drop_finalizes() {
         let f = fx();
         {
-            let mut t =
-                SimTask::begin(&f.tracker, &f.clock, &f.logger, StageId(1), SimTime::ZERO);
+            let mut t = SimTask::begin(&f.tracker, &f.clock, &f.logger, StageId(1), SimTime::ZERO);
             t.debug(f.p[0], format_args!("x"));
         }
         assert_eq!(f.sink.len(), 1);
@@ -249,7 +254,13 @@ mod tests {
     #[test]
     fn advance_to_only_moves_forward() {
         let f = fx();
-        let mut t = SimTask::begin(&f.tracker, &f.clock, &f.logger, StageId(0), SimTime::from_secs(2));
+        let mut t = SimTask::begin(
+            &f.tracker,
+            &f.clock,
+            &f.logger,
+            StageId(0),
+            SimTime::from_secs(2),
+        );
         t.advance_to(SimTime::from_secs(1));
         assert_eq!(t.now(), SimTime::from_secs(2));
         t.advance_to(SimTime::from_secs(3));
@@ -259,14 +270,18 @@ mod tests {
     #[test]
     fn suspend_resume_spans_inner_tasks() {
         let f = fx();
-        let mut outer =
-            SimTask::begin(&f.tracker, &f.clock, &f.logger, StageId(1), SimTime::ZERO);
+        let mut outer = SimTask::begin(&f.tracker, &f.clock, &f.logger, StageId(1), SimTime::ZERO);
         outer.debug(f.p[0], format_args!("send"));
         let mut susp = outer.suspend();
 
         // Inner task of the same tracker while the outer waits.
-        let mut inner =
-            SimTask::begin(&f.tracker, &f.clock, &f.logger, StageId(2), SimTime::from_millis(1));
+        let mut inner = SimTask::begin(
+            &f.tracker,
+            &f.clock,
+            &f.logger,
+            StageId(2),
+            SimTime::from_millis(1),
+        );
         inner.debug(f.p[1], format_args!("replica work"));
         inner.advance(SimDuration::from_millis(5));
         let ack = inner.finish();

@@ -143,7 +143,11 @@ thread_local! {
     static ACTIVE: RefCell<Vec<(u64, ActiveTask)>> = const { RefCell::new(Vec::new()) };
 }
 
-fn active_insert(slots: &mut Vec<(u64, ActiveTask)>, id: u64, task: ActiveTask) -> Option<ActiveTask> {
+fn active_insert(
+    slots: &mut Vec<(u64, ActiveTask)>,
+    id: u64,
+    task: ActiveTask,
+) -> Option<ActiveTask> {
     match slots.iter_mut().find(|(k, _)| *k == id) {
         Some(slot) => Some(std::mem::replace(&mut slot.1, task)),
         None => {
@@ -300,8 +304,7 @@ impl TaskExecutionTracker {
             suspended.tracker_id, self.id,
             "task resumed on a different tracker than it was suspended from"
         );
-        let previous =
-            ACTIVE.with(|a| active_insert(&mut a.borrow_mut(), self.id, suspended.task));
+        let previous = ACTIVE.with(|a| active_insert(&mut a.borrow_mut(), self.id, suspended.task));
         if let Some(prev) = previous {
             self.emit(prev);
         }
@@ -389,7 +392,7 @@ impl Drop for TaskGuard<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use saad_logging::{Logger, LogPointRegistry};
+    use saad_logging::{LogPointRegistry, Logger};
     use saad_sim::ManualClock;
     use saad_sim::SimDuration;
 

@@ -4,8 +4,8 @@
 //! * [`WAL`] — appends to the commit log / write-ahead log;
 //! * [`MEMTABLE_FLUSH`] — writes of serialized MemTables to SSTables.
 
-use crate::{FaultSchedule, FaultSpec, FaultType, Intensity};
-use saad_sim::SimTime;
+use crate::{FaultSchedule, FaultSpec, FaultType, Intensity, LinkFault, LinkFaultSpec, LossyLink};
+use saad_sim::{SimDuration, SimTime};
 
 /// I/O class: write-ahead-log appends.
 pub const WAL: &str = "wal";
@@ -74,6 +74,37 @@ pub fn figure11_schedule(spec: FaultSpec, seed: u64) -> FaultSchedule {
     FaultSchedule::new(seed).with_window(SimTime::from_mins(60), SimTime::from_mins(90), spec)
 }
 
+/// The combined lossy-link robustness scenario (for a run of ~12 minutes):
+/// 15% frame loss during minutes 1–4, a duplication burst during minute 5,
+/// delay-induced reordering during minute 6, and a full disconnect during
+/// minutes 7–9 (the link reconnects at minute 9).
+pub fn combined_lossy_link(seed: u64) -> LossyLink {
+    LossyLink::new(seed)
+        .with_window(
+            SimTime::from_mins(1),
+            SimTime::from_mins(4),
+            LinkFaultSpec::new(LinkFault::Loss, Intensity::Custom(0.15)),
+        )
+        .with_window(
+            SimTime::from_mins(5),
+            SimTime::from_mins(6),
+            LinkFaultSpec::new(LinkFault::Duplicate, Intensity::High),
+        )
+        .with_window(
+            SimTime::from_mins(6),
+            SimTime::from_mins(7),
+            LinkFaultSpec::new(
+                LinkFault::Delay(SimDuration::from_secs(5)),
+                Intensity::Custom(0.5),
+            ),
+        )
+        .with_window(
+            SimTime::from_mins(7),
+            SimTime::from_mins(9),
+            LinkFaultSpec::new(LinkFault::Disconnect, Intensity::High),
+        )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,7 +125,10 @@ mod tests {
     #[test]
     fn all_four_fig9_faults_cover_both_classes_and_types() {
         assert_eq!(fig9a_error_wal(1).windows()[0].spec.class, WAL);
-        assert_eq!(fig9b_error_memtable(1).windows()[0].spec.class, MEMTABLE_FLUSH);
+        assert_eq!(
+            fig9b_error_memtable(1).windows()[0].spec.class,
+            MEMTABLE_FLUSH
+        );
         assert!(matches!(
             fig9c_delay_wal(1).windows()[0].spec.fault,
             FaultType::Delay(_)
@@ -116,6 +150,20 @@ mod tests {
         assert_eq!(specs[4].name(), "delay-wal-low");
         assert_eq!(specs[5].name(), "delay-wal-high");
         assert_eq!(specs[6].name(), "delay-memtable-flush-low");
+    }
+
+    #[test]
+    fn combined_lossy_link_covers_all_fault_classes() {
+        let link = combined_lossy_link(1);
+        let faults: Vec<_> = link.windows().iter().map(|w| w.spec.fault).collect();
+        assert!(faults.contains(&LinkFault::Loss));
+        assert!(faults.contains(&LinkFault::Duplicate));
+        assert!(faults.iter().any(|f| matches!(f, LinkFault::Delay(_))));
+        assert!(faults.contains(&LinkFault::Disconnect));
+        // Quiet lead-in and recovered tail around the fault windows.
+        assert!(!link.active_at(SimTime::from_secs(30)));
+        assert!(link.active_at(SimTime::from_mins(8)));
+        assert!(!link.active_at(SimTime::from_mins(10)));
     }
 
     #[test]

@@ -12,17 +12,23 @@
 //!   [`saad_sim::resource::Disk`];
 //! * [`HogSchedule`] — the Table 2 disk-hog timeline: a number of `dd`
 //!   processes per window, mapped to a disk service-time slowdown factor;
+//! * [`LossyLink`] — fault injection on the node → analyzer *monitoring*
+//!   link: frame loss, duplication, delay/reorder, corruption, and
+//!   disconnect windows, with exact injection counters;
 //! * [`catalog`] — ready-made builders for every fault configuration the
-//!   paper evaluates (Fig 9, Fig 10/Table 2, Fig 11/Table 3).
+//!   paper evaluates (Fig 9, Fig 10/Table 2, Fig 11/Table 3) plus the
+//!   combined lossy-link robustness scenario.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod catalog;
 mod hog;
+mod link;
 mod schedule;
 mod spec;
 
 pub use hog::{HogSchedule, HogWindow};
+pub use link::{LinkFault, LinkFaultCounts, LinkFaultSpec, LossyLink};
 pub use schedule::{FaultSchedule, FaultWindow};
 pub use spec::{FaultSpec, FaultType, Intensity};

@@ -1,0 +1,395 @@
+//! Lossy-link fault injection for the framed synopsis transport.
+//!
+//! The paper's experiments break the storage path; this module breaks the
+//! *monitoring* path — the node → analyzer link carrying encoded synopsis
+//! frames (see `saad_core::transport`). A [`LossyLink`] sits between a
+//! frame sender and receiver and, inside timed [`FaultWindow`]s, drops,
+//! duplicates, delays (reorders), corrupts, or disconnects frames — with
+//! exact injection counters so receiver-side accounting can be checked
+//! against ground truth.
+
+use crate::{FaultWindow, Intensity};
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saad_sim::{SimDuration, SimTime};
+use std::fmt;
+
+/// How a frame in flight is disturbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFault {
+    /// Silently discard the frame (packet loss).
+    Loss,
+    /// Deliver the frame twice.
+    Duplicate,
+    /// Hold the frame for the given time before delivery — later frames
+    /// overtake it, so sustained delay also reorders.
+    Delay(SimDuration),
+    /// Flip one bit of the frame; the receiver's checksum must reject it.
+    Corrupt,
+    /// Link down: every frame in the window is dropped (models a
+    /// disconnect/reconnect cycle; intensity is ignored — a dead link
+    /// loses everything).
+    Disconnect,
+}
+
+impl fmt::Display for LinkFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkFault::Loss => f.write_str("loss"),
+            LinkFault::Duplicate => f.write_str("duplicate"),
+            LinkFault::Delay(d) => write!(f, "delay({d})"),
+            LinkFault::Corrupt => f.write_str("corrupt"),
+            LinkFault::Disconnect => f.write_str("disconnect"),
+        }
+    }
+}
+
+/// A complete link-fault specification: what to do and to which fraction
+/// of frames.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFaultSpec {
+    /// The disturbance applied.
+    pub fault: LinkFault,
+    /// Fraction of frames affected ([`LinkFault::Disconnect`] ignores it).
+    pub intensity: Intensity,
+}
+
+impl LinkFaultSpec {
+    /// Create a spec.
+    pub fn new(fault: LinkFault, intensity: Intensity) -> LinkFaultSpec {
+        LinkFaultSpec { fault, intensity }
+    }
+}
+
+impl fmt::Display for LinkFaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} intensity)", self.fault, self.intensity)
+    }
+}
+
+/// Exact counts of what the link actually did to the stream — ground
+/// truth that receiver-side statistics must reproduce.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkFaultCounts {
+    /// Frames dropped by [`LinkFault::Loss`].
+    pub lost: u64,
+    /// Extra copies delivered by [`LinkFault::Duplicate`].
+    pub duplicated: u64,
+    /// Frames held back by [`LinkFault::Delay`].
+    pub delayed: u64,
+    /// Frames bit-flipped by [`LinkFault::Corrupt`].
+    pub corrupted: u64,
+    /// Frames dropped by [`LinkFault::Disconnect`].
+    pub disconnected: u64,
+}
+
+impl LinkFaultCounts {
+    /// Frames that will never reach the receiver (lost + disconnected).
+    pub fn never_delivered(&self) -> u64 {
+        self.lost + self.disconnected
+    }
+}
+
+/// A fault-injecting link between a frame sender and receiver.
+///
+/// Frames pass through [`LossyLink::transmit`]; the first active window
+/// whose intensity coin-flip hits decides the frame's fate (first match
+/// wins, like [`crate::FaultSchedule`]). Delayed frames are released once
+/// `now` passes their release time, after any newer frames transmitted in
+/// between — which is exactly a reordering link.
+///
+/// # Example
+///
+/// ```
+/// use saad_fault::{Intensity, LinkFault, LinkFaultSpec, LossyLink};
+/// use saad_sim::SimTime;
+///
+/// let mut link = LossyLink::new(7).with_window(
+///     SimTime::from_mins(1),
+///     SimTime::from_mins(2),
+///     LinkFaultSpec::new(LinkFault::Loss, Intensity::High),
+/// );
+/// let delivered = link.transmit(SimTime::from_secs(90), b"frame".as_slice().into());
+/// assert!(delivered.is_empty()); // inside the loss window
+/// assert_eq!(link.counts().lost, 1);
+/// ```
+#[derive(Debug)]
+pub struct LossyLink {
+    windows: Vec<FaultWindow<LinkFaultSpec>>,
+    rng: StdRng,
+    counts: LinkFaultCounts,
+    /// Frames held by delay faults, with their release times.
+    in_flight: Vec<(SimTime, Bytes)>,
+}
+
+impl LossyLink {
+    /// Create a fault-free link with the given RNG seed.
+    pub fn new(seed: u64) -> LossyLink {
+        LossyLink {
+            windows: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            counts: LinkFaultCounts::default(),
+            in_flight: Vec::new(),
+        }
+    }
+
+    /// Add a fault window (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start`.
+    pub fn with_window(mut self, start: SimTime, end: SimTime, spec: LinkFaultSpec) -> LossyLink {
+        assert!(end > start, "fault window must be non-empty");
+        self.windows.push(FaultWindow { start, end, spec });
+        self
+    }
+
+    /// The configured windows.
+    pub fn windows(&self) -> &[FaultWindow<LinkFaultSpec>] {
+        &self.windows
+    }
+
+    /// Ground-truth injection counters.
+    pub fn counts(&self) -> LinkFaultCounts {
+        self.counts
+    }
+
+    /// Whether any window is active at `now`.
+    pub fn active_at(&self, now: SimTime) -> bool {
+        self.windows.iter().any(|w| w.active_at(now))
+    }
+
+    /// Release delayed frames whose time has come, oldest first.
+    fn release_due(&mut self, now: SimTime, out: &mut Vec<Bytes>) {
+        if self.in_flight.is_empty() {
+            return;
+        }
+        self.in_flight.sort_by_key(|&(release, _)| release);
+        let due = self
+            .in_flight
+            .iter()
+            .take_while(|&&(r, _)| r <= now)
+            .count();
+        out.extend(self.in_flight.drain(..due).map(|(_, frame)| frame));
+    }
+
+    /// Send one frame through the link at time `now`; returns the frames
+    /// the receiver gets (any delayed frames now due, then this frame's
+    /// copies — zero, one, or two, possibly corrupted).
+    pub fn transmit(&mut self, now: SimTime, frame: Bytes) -> Vec<Bytes> {
+        let mut out = Vec::with_capacity(2);
+        self.release_due(now, &mut out);
+        match self.fate(now) {
+            None => out.push(frame),
+            Some(LinkFault::Loss) => self.counts.lost += 1,
+            Some(LinkFault::Disconnect) => self.counts.disconnected += 1,
+            Some(LinkFault::Duplicate) => {
+                self.counts.duplicated += 1;
+                out.push(frame.clone());
+                out.push(frame);
+            }
+            Some(LinkFault::Delay(d)) => {
+                self.counts.delayed += 1;
+                self.in_flight.push((now + d, frame));
+            }
+            Some(LinkFault::Corrupt) => {
+                self.counts.corrupted += 1;
+                let mut bytes = frame.to_vec();
+                if !bytes.is_empty() {
+                    let i = self.rng.gen_range(0..bytes.len());
+                    let bit = 1u8 << self.rng.gen_range(0..8u8);
+                    bytes[i] ^= bit;
+                }
+                out.push(Bytes::from(bytes));
+            }
+        }
+        out
+    }
+
+    /// Drain every still-delayed frame (end of stream), oldest first.
+    pub fn flush(&mut self) -> Vec<Bytes> {
+        self.in_flight.sort_by_key(|&(release, _)| release);
+        self.in_flight.drain(..).map(|(_, frame)| frame).collect()
+    }
+
+    fn fate(&mut self, now: SimTime) -> Option<LinkFault> {
+        for i in 0..self.windows.len() {
+            let w = &self.windows[i];
+            if !w.active_at(now) {
+                continue;
+            }
+            if matches!(w.spec.fault, LinkFault::Disconnect) {
+                // A dead link needs no coin flip.
+                return Some(LinkFault::Disconnect);
+            }
+            let p = w.spec.intensity.probability();
+            if p >= 1.0 || self.rng.gen_bool(p) {
+                return Some(self.windows[i].spec.fault);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(tag: u8) -> Bytes {
+        Bytes::from(vec![tag; 8])
+    }
+
+    fn link_with(fault: LinkFault, intensity: Intensity) -> LossyLink {
+        LossyLink::new(3).with_window(
+            SimTime::from_mins(1),
+            SimTime::from_mins(2),
+            LinkFaultSpec::new(fault, intensity),
+        )
+    }
+
+    #[test]
+    fn clean_link_passes_everything_through() {
+        let mut link = LossyLink::new(1);
+        for i in 0..10u8 {
+            let out = link.transmit(SimTime::from_secs(i as u64), frame(i));
+            assert_eq!(out, vec![frame(i)]);
+        }
+        assert_eq!(link.counts(), LinkFaultCounts::default());
+        assert!(link.flush().is_empty());
+    }
+
+    #[test]
+    fn frames_outside_the_window_are_untouched() {
+        let mut link = link_with(LinkFault::Loss, Intensity::High);
+        assert_eq!(link.transmit(SimTime::from_secs(30), frame(1)).len(), 1);
+        assert_eq!(link.transmit(SimTime::from_mins(3), frame(2)).len(), 1);
+        assert_eq!(link.counts().lost, 0);
+    }
+
+    #[test]
+    fn high_loss_drops_every_frame_and_counts_them() {
+        let mut link = link_with(LinkFault::Loss, Intensity::High);
+        for i in 0..20u8 {
+            let at = SimTime::from_secs(60 + i as u64);
+            assert!(link.transmit(at, frame(i)).is_empty());
+        }
+        assert_eq!(link.counts().lost, 20);
+        assert_eq!(link.counts().never_delivered(), 20);
+    }
+
+    #[test]
+    fn partial_loss_rate_tracks_intensity() {
+        let mut link = link_with(LinkFault::Loss, Intensity::Custom(0.2));
+        let mut delivered = 0u64;
+        for i in 0..5_000u64 {
+            delivered += link.transmit(SimTime::from_secs(60), frame(i as u8)).len() as u64;
+        }
+        let loss_rate = link.counts().lost as f64 / 5_000.0;
+        assert!((loss_rate - 0.2).abs() < 0.03, "loss rate {loss_rate}");
+        assert_eq!(delivered + link.counts().lost, 5_000);
+    }
+
+    #[test]
+    fn duplicate_delivers_two_identical_copies() {
+        let mut link = link_with(LinkFault::Duplicate, Intensity::High);
+        let out = link.transmit(SimTime::from_secs(90), frame(7));
+        assert_eq!(out, vec![frame(7), frame(7)]);
+        assert_eq!(link.counts().duplicated, 1);
+    }
+
+    #[test]
+    fn delay_reorders_later_frames_ahead() {
+        let mut link = LossyLink::new(3).with_window(
+            SimTime::from_secs(60),
+            SimTime::from_secs(61),
+            LinkFaultSpec::new(
+                LinkFault::Delay(SimDuration::from_secs(10)),
+                Intensity::High,
+            ),
+        );
+        // Frame A hits the delay window and is held until t=70.
+        assert!(link.transmit(SimTime::from_secs(60), frame(0xA)).is_empty());
+        // Frame B (t=65) overtakes it.
+        assert_eq!(
+            link.transmit(SimTime::from_secs(65), frame(0xB)),
+            vec![frame(0xB)]
+        );
+        // Frame C (t=75) flushes A out first, then delivers itself.
+        assert_eq!(
+            link.transmit(SimTime::from_secs(75), frame(0xC)),
+            vec![frame(0xA), frame(0xC)]
+        );
+        assert_eq!(link.counts().delayed, 1);
+    }
+
+    #[test]
+    fn flush_releases_everything_still_in_flight() {
+        let mut link = LossyLink::new(3).with_window(
+            SimTime::from_secs(0),
+            SimTime::from_secs(100),
+            LinkFaultSpec::new(
+                LinkFault::Delay(SimDuration::from_secs(1_000)),
+                Intensity::High,
+            ),
+        );
+        for i in 0..5u8 {
+            assert!(link
+                .transmit(SimTime::from_secs(i as u64), frame(i))
+                .is_empty());
+        }
+        let flushed = link.flush();
+        assert_eq!(flushed, (0..5u8).map(frame).collect::<Vec<_>>());
+        assert!(link.flush().is_empty());
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let mut link = link_with(LinkFault::Corrupt, Intensity::High);
+        let out = link.transmit(SimTime::from_secs(70), frame(0));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].len(), 8);
+        let differing_bits: u32 = out[0]
+            .iter()
+            .zip(frame(0).iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(differing_bits, 1);
+        assert_eq!(link.counts().corrupted, 1);
+    }
+
+    #[test]
+    fn disconnect_drops_all_frames_regardless_of_intensity() {
+        let mut link = link_with(LinkFault::Disconnect, Intensity::Low);
+        for i in 0..50u8 {
+            assert!(link.transmit(SimTime::from_secs(61), frame(i)).is_empty());
+        }
+        assert_eq!(link.counts().disconnected, 50);
+    }
+
+    #[test]
+    fn injections_are_reproducible_per_seed() {
+        let run = |seed| {
+            let mut link = LossyLink::new(seed).with_window(
+                SimTime::ZERO,
+                SimTime::from_mins(10),
+                LinkFaultSpec::new(LinkFault::Loss, Intensity::Custom(0.5)),
+            );
+            (0..64)
+                .map(|i| link.transmit(SimTime::from_secs(i), frame(i as u8)).len())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_window_rejected() {
+        LossyLink::new(1).with_window(
+            SimTime::from_mins(5),
+            SimTime::from_mins(5),
+            LinkFaultSpec::new(LinkFault::Loss, Intensity::High),
+        );
+    }
+}

@@ -6,18 +6,20 @@ use rand::{Rng, SeedableRng};
 use saad_sim::resource::{IoHook, IoRequest, IoVerdict};
 use saad_sim::SimTime;
 
-/// One timed fault window.
+/// One timed fault window. Generic over the spec carried so the same
+/// window machinery drives disk faults ([`FaultSpec`], the default) and
+/// link faults ([`crate::LinkFaultSpec`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct FaultWindow {
+pub struct FaultWindow<S = FaultSpec> {
     /// When the fault becomes active.
     pub start: SimTime,
     /// When the fault is lifted (exclusive).
     pub end: SimTime,
     /// What it does while active.
-    pub spec: FaultSpec,
+    pub spec: S,
 }
 
-impl FaultWindow {
+impl<S> FaultWindow<S> {
     /// Whether the window is active at `now`.
     pub fn active_at(&self, now: SimTime) -> bool {
         now >= self.start && now < self.end
@@ -141,8 +143,14 @@ mod tests {
     #[test]
     fn inactive_outside_window() {
         let mut s = schedule_high_error();
-        assert_eq!(s.intercept(&wal_write(), SimTime::from_mins(5)), IoVerdict::Proceed);
-        assert_eq!(s.intercept(&wal_write(), SimTime::from_mins(20)), IoVerdict::Proceed);
+        assert_eq!(
+            s.intercept(&wal_write(), SimTime::from_mins(5)),
+            IoVerdict::Proceed
+        );
+        assert_eq!(
+            s.intercept(&wal_write(), SimTime::from_mins(20)),
+            IoVerdict::Proceed
+        );
         assert_eq!(s.injected(), 0);
         assert!(!s.active_at(SimTime::from_mins(25)));
     }
@@ -182,7 +190,10 @@ mod tests {
             bytes: 1024,
             class: "memtable-flush",
         };
-        assert_eq!(s.intercept(&flush, SimTime::from_mins(15)), IoVerdict::Proceed);
+        assert_eq!(
+            s.intercept(&flush, SimTime::from_mins(15)),
+            IoVerdict::Proceed
+        );
     }
 
     #[test]
@@ -211,7 +222,10 @@ mod tests {
                 SimTime::from_mins(10),
                 FaultSpec::new("wal", FaultType::standard_delay(), Intensity::High),
             );
-        assert_eq!(s.intercept(&wal_write(), SimTime::from_mins(1)), IoVerdict::Fail);
+        assert_eq!(
+            s.intercept(&wal_write(), SimTime::from_mins(1)),
+            IoVerdict::Fail
+        );
     }
 
     #[test]

@@ -105,7 +105,11 @@ impl FaultSpec {
 
 impl fmt::Display for FaultSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} on {} ({} intensity)", self.fault, self.class, self.intensity)
+        write!(
+            f,
+            "{} on {} ({} intensity)",
+            self.fault, self.class, self.intensity
+        )
     }
 }
 
@@ -138,7 +142,11 @@ mod tests {
     fn names_are_papers_style() {
         let spec = FaultSpec::new("wal", FaultType::Error, Intensity::High);
         assert_eq!(spec.name(), "error-wal-high");
-        let spec = FaultSpec::new("memtable-flush", FaultType::standard_delay(), Intensity::Low);
+        let spec = FaultSpec::new(
+            "memtable-flush",
+            FaultType::standard_delay(),
+            Intensity::Low,
+        );
         assert_eq!(spec.name(), "delay-memtable-flush-low");
     }
 

@@ -180,9 +180,15 @@ impl HBaseCluster {
             inst,
             hdfs,
             rs,
-            next_compaction: (0..n).map(|i| SimTime::from_millis(3_000 + 700 * i as u64)).collect(),
-            next_roll: (0..n).map(|i| SimTime::from_millis(5_000 + 900 * i as u64)).collect(),
-            next_sync_check: (0..n).map(|i| SimTime::from_millis(1_000 + 130 * i as u64)).collect(),
+            next_compaction: (0..n)
+                .map(|i| SimTime::from_millis(3_000 + 700 * i as u64))
+                .collect(),
+            next_roll: (0..n)
+                .map(|i| SimTime::from_millis(5_000 + 900 * i as u64))
+                .collect(),
+            next_sync_check: (0..n)
+                .map(|i| SimTime::from_millis(1_000 + 130 * i as u64))
+                .collect(),
             next_hog_update: SimTime::ZERO,
             major_done: vec![false; n],
             throughput: ThroughputRecorder::new(SimDuration::from_mins(1)),
@@ -214,13 +220,9 @@ impl HBaseCluster {
             };
             let done = match op.kind {
                 OpKind::Read => self.rs[owner].get(&mut self.hdfs, op.at, op.key),
-                OpKind::Insert | OpKind::Update => self.rs[owner].put(
-                    &mut self.hdfs,
-                    op.at,
-                    op.key,
-                    op.value_size as u64,
-                    &tun,
-                ),
+                OpKind::Insert | OpKind::Update => {
+                    self.rs[owner].put(&mut self.hdfs, op.at, op.key, op.value_size as u64, &tun)
+                }
             };
             match done {
                 Some(t) => {
@@ -491,8 +493,7 @@ mod tests {
                 .drain()
                 .iter()
                 .filter(|s| {
-                    s.stage == inst.stages.call
-                        && s.signature().contains(inst.points.ca_get_mem)
+                    s.stage == inst.stages.call && s.signature().contains(inst.points.ca_get_mem)
                 })
                 .map(|s| s.duration.as_micros() as f64)
                 .collect();
@@ -502,11 +503,9 @@ mod tests {
             )
         };
         let (crashed_a, base) = run(HogSchedule::new());
-        let (crashed_b, hogged) = run(
-            HogSchedule::new()
-                .with_window(SimTime::ZERO, SimTime::from_mins(30), 2)
-                .with_factors(0.9, 0.5),
-        );
+        let (crashed_b, hogged) = run(HogSchedule::new()
+            .with_window(SimTime::ZERO, SimTime::from_mins(30), 2)
+            .with_factors(0.9, 0.5));
         assert!(!crashed_a && !crashed_b, "medium hog must not crash");
         assert!(
             hogged > base * 1.5,

@@ -105,43 +105,197 @@ impl HBaseInstrumentation {
             listener: sr.register("Listener"),
             connection: sr.register("Connection"),
         };
-        let reg = |text: &str, level: Level, file: &str, line: u32| {
-            prr.register(text, level, file, line)
-        };
+        let reg =
+            |text: &str, level: Level, file: &str, line: u32| prr.register(text, level, file, line);
         let points = HBasePoints {
-            ca_put: reg("Call: put for region {}", Level::Debug, "HRegionServer.java", 1710),
-            ca_get: reg("Call: get for region {}", Level::Debug, "HRegionServer.java", 1650),
-            ca_get_mem: reg("get served from memstore", Level::Debug, "HRegion.java", 2204),
-            ca_get_hfile: reg("get reading store file {}", Level::Debug, "HRegion.java", 2219),
-            ca_done: reg("Call processed; sending response", Level::Debug, "HRegionServer.java", 1742),
-            ha_sync: reg("log sync: syncing {} edits to WAL", Level::Debug, "HLog.java", 1101),
+            ca_put: reg(
+                "Call: put for region {}",
+                Level::Debug,
+                "HRegionServer.java",
+                1710,
+            ),
+            ca_get: reg(
+                "Call: get for region {}",
+                Level::Debug,
+                "HRegionServer.java",
+                1650,
+            ),
+            ca_get_mem: reg(
+                "get served from memstore",
+                Level::Debug,
+                "HRegion.java",
+                2204,
+            ),
+            ca_get_hfile: reg(
+                "get reading store file {}",
+                Level::Debug,
+                "HRegion.java",
+                2219,
+            ),
+            ca_done: reg(
+                "Call processed; sending response",
+                Level::Debug,
+                "HRegionServer.java",
+                1742,
+            ),
+            ha_sync: reg(
+                "log sync: syncing {} edits to WAL",
+                Level::Debug,
+                "HLog.java",
+                1101,
+            ),
             ha_synced: reg("log sync complete", Level::Debug, "HLog.java", 1130),
-            ha_flush_start: reg("Flushing memstore of region {}", Level::Info, "HRegion.java", 1322),
-            ha_flush_done: reg("Finished memstore flush; added store file {}", Level::Info, "HRegion.java", 1390),
-            ha_recover: reg("Requesting recovery of WAL block blk_{}", Level::Info, "DFSClient.java", 2801),
-            ha_recover_fail: reg("Exception during block recovery; retrying", Level::Error, "DFSClient.java", 2833),
-            ha_abort: reg("Aborting region server after {} failed recovery attempts", Level::Error, "HRegionServer.java", 990),
-            ds_open: reg("DataStreamer: allocating new block blk_{}", Level::Info, "DFSClient.java", 2410),
-            ds_queue: reg("DataStreamer: sending packet seqno {}", Level::Debug, "DFSClient.java", 2466),
-            rp_ack: reg("ResponseProcessor: received ack for seqno {}", Level::Debug, "DFSClient.java", 2570),
+            ha_flush_start: reg(
+                "Flushing memstore of region {}",
+                Level::Info,
+                "HRegion.java",
+                1322,
+            ),
+            ha_flush_done: reg(
+                "Finished memstore flush; added store file {}",
+                Level::Info,
+                "HRegion.java",
+                1390,
+            ),
+            ha_recover: reg(
+                "Requesting recovery of WAL block blk_{}",
+                Level::Info,
+                "DFSClient.java",
+                2801,
+            ),
+            ha_recover_fail: reg(
+                "Exception during block recovery; retrying",
+                Level::Error,
+                "DFSClient.java",
+                2833,
+            ),
+            ha_abort: reg(
+                "Aborting region server after {} failed recovery attempts",
+                Level::Error,
+                "HRegionServer.java",
+                990,
+            ),
+            ds_open: reg(
+                "DataStreamer: allocating new block blk_{}",
+                Level::Info,
+                "DFSClient.java",
+                2410,
+            ),
+            ds_queue: reg(
+                "DataStreamer: sending packet seqno {}",
+                Level::Debug,
+                "DFSClient.java",
+                2466,
+            ),
+            rp_ack: reg(
+                "ResponseProcessor: received ack for seqno {}",
+                Level::Debug,
+                "DFSClient.java",
+                2570,
+            ),
             lr_roll: reg("LogRoller: rolling WAL", Level::Info, "LogRoller.java", 84),
-            lr_rolled: reg("LogRoller: WAL rolled onto new block", Level::Debug, "LogRoller.java", 101),
-            cc_tick: reg("CompactionChecker: checking stores", Level::Debug, "HRegionServer.java", 1220),
-            cc_request: reg("CompactionChecker: requesting compaction of {} files", Level::Debug, "HRegionServer.java", 1234),
-            cc_major: reg("CompactionChecker: major compaction due on region {}", Level::Info, "HRegionServer.java", 1241),
-            cr_start: reg("CompactionRequest: compacting {} store files", Level::Info, "CompactSplitThread.java", 140),
-            cr_read: reg("CompactionRequest: reading store file {}", Level::Debug, "Store.java", 980),
-            cr_write: reg("CompactionRequest: writing compacted file", Level::Debug, "Store.java", 1011),
-            cr_done: reg("CompactionRequest: completed compaction", Level::Info, "CompactSplitThread.java", 171),
-            cr_major: reg("CompactionRequest: MAJOR compaction of region {}", Level::Info, "CompactSplitThread.java", 152),
-            orh_open: reg("OpenRegionHandler: opening region {}", Level::Info, "OpenRegionHandler.java", 88),
-            orh_done: reg("OpenRegionHandler: region {} online", Level::Info, "OpenRegionHandler.java", 141),
-            po_deploy: reg("PostOpenDeployTasks for region {}", Level::Info, "HRegionServer.java", 1544),
-            slw_claim: reg("SplitLogWorker: acquired split task for WAL {}", Level::Info, "SplitLogWorker.java", 210),
-            slw_replay: reg("SplitLogWorker: replaying edits from {}", Level::Debug, "SplitLogWorker.java", 255),
-            slw_done: reg("SplitLogWorker: finished split task", Level::Info, "SplitLogWorker.java", 290),
-            li_accept: reg("RS IPC listener: accepted connection from client {}", Level::Debug, "Server.java", 398),
-            cn_read: reg("Connection: reading call from client {}", Level::Debug, "Server.java", 520),
+            lr_rolled: reg(
+                "LogRoller: WAL rolled onto new block",
+                Level::Debug,
+                "LogRoller.java",
+                101,
+            ),
+            cc_tick: reg(
+                "CompactionChecker: checking stores",
+                Level::Debug,
+                "HRegionServer.java",
+                1220,
+            ),
+            cc_request: reg(
+                "CompactionChecker: requesting compaction of {} files",
+                Level::Debug,
+                "HRegionServer.java",
+                1234,
+            ),
+            cc_major: reg(
+                "CompactionChecker: major compaction due on region {}",
+                Level::Info,
+                "HRegionServer.java",
+                1241,
+            ),
+            cr_start: reg(
+                "CompactionRequest: compacting {} store files",
+                Level::Info,
+                "CompactSplitThread.java",
+                140,
+            ),
+            cr_read: reg(
+                "CompactionRequest: reading store file {}",
+                Level::Debug,
+                "Store.java",
+                980,
+            ),
+            cr_write: reg(
+                "CompactionRequest: writing compacted file",
+                Level::Debug,
+                "Store.java",
+                1011,
+            ),
+            cr_done: reg(
+                "CompactionRequest: completed compaction",
+                Level::Info,
+                "CompactSplitThread.java",
+                171,
+            ),
+            cr_major: reg(
+                "CompactionRequest: MAJOR compaction of region {}",
+                Level::Info,
+                "CompactSplitThread.java",
+                152,
+            ),
+            orh_open: reg(
+                "OpenRegionHandler: opening region {}",
+                Level::Info,
+                "OpenRegionHandler.java",
+                88,
+            ),
+            orh_done: reg(
+                "OpenRegionHandler: region {} online",
+                Level::Info,
+                "OpenRegionHandler.java",
+                141,
+            ),
+            po_deploy: reg(
+                "PostOpenDeployTasks for region {}",
+                Level::Info,
+                "HRegionServer.java",
+                1544,
+            ),
+            slw_claim: reg(
+                "SplitLogWorker: acquired split task for WAL {}",
+                Level::Info,
+                "SplitLogWorker.java",
+                210,
+            ),
+            slw_replay: reg(
+                "SplitLogWorker: replaying edits from {}",
+                Level::Debug,
+                "SplitLogWorker.java",
+                255,
+            ),
+            slw_done: reg(
+                "SplitLogWorker: finished split task",
+                Level::Info,
+                "SplitLogWorker.java",
+                290,
+            ),
+            li_accept: reg(
+                "RS IPC listener: accepted connection from client {}",
+                Level::Debug,
+                "Server.java",
+                398,
+            ),
+            cn_read: reg(
+                "Connection: reading call from client {}",
+                Level::Debug,
+                "Server.java",
+                520,
+            ),
         };
         let hdfs = HdfsInstrumentation::install_into(sr.clone(), prr.clone());
         HBaseInstrumentation {
@@ -167,7 +321,9 @@ mod tests {
         assert!(inst.stages_registry.lookup("Call").is_some());
         assert!(inst.stages_registry.lookup("DataXceiver").is_some());
         assert_eq!(
-            inst.stages_registry.name(inst.stages.split_log_worker).as_deref(),
+            inst.stages_registry
+                .name(inst.stages.split_log_worker)
+                .as_deref(),
             Some("SplitLogWorker")
         );
         // Shared names resolve to the same id.

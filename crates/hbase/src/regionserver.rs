@@ -193,7 +193,9 @@ impl RegionServer {
     }
 
     fn wal_replicas(&self, nodes: usize) -> Vec<usize> {
-        (0..3.min(nodes)).map(|i| (self.index + i) % nodes).collect()
+        (0..3.min(nodes))
+            .map(|i| (self.index + i) % nodes)
+            .collect()
     }
 
     /// Open a fresh WAL block and its DataStreamer/ResponseProcessor pair.
@@ -202,7 +204,13 @@ impl RegionServer {
         let handle = hdfs.open_block(at, &replicas);
         let logger = self.log.ds.clone();
         let mut ds = self.task(self.st.data_streamer, &logger, at);
-        ds.info(self.pt.ds_open, format_args!("DataStreamer: allocating new block blk_{}", self.stats.wal_rolls));
+        ds.info(
+            self.pt.ds_open,
+            format_args!(
+                "DataStreamer: allocating new block blk_{}",
+                self.stats.wal_rolls
+            ),
+        );
         let d = self.cpu(60.0);
         ds.advance(d);
         let ds = ds.suspend(); // detach before starting the responder
@@ -232,7 +240,10 @@ impl RegionServer {
         self.maybe_accept_connection(at);
         let logger = self.log.call.clone();
         let mut t = self.task(self.st.call, &logger, at);
-        t.debug(self.pt.ca_put, format_args!("Call: put for region {}", key % 64));
+        t.debug(
+            self.pt.ca_put,
+            format_args!("Call: put for region {}", key % 64),
+        );
         let d = self.cpu(90.0);
         t.advance(d);
         self.memstore_bytes += bytes;
@@ -244,7 +255,10 @@ impl RegionServer {
         self.pending_bytes += bytes;
 
         let mut done = {
-            t.debug(self.pt.ca_done, format_args!("Call processed; sending response"));
+            t.debug(
+                self.pt.ca_done,
+                format_args!("Call processed; sending response"),
+            );
             t.finish()
         };
 
@@ -271,7 +285,10 @@ impl RegionServer {
         }
         let logger = self.log.call.clone();
         let mut t = self.task(self.st.call, &logger, at);
-        t.debug(self.pt.ca_get, format_args!("Call: get for region {}", key % 64));
+        t.debug(
+            self.pt.ca_get,
+            format_args!("Call: get for region {}", key % 64),
+        );
         let d = self.cpu(130.0);
         t.advance(d);
         if self.rng.gen_bool(0.6) {
@@ -279,14 +296,20 @@ impl RegionServer {
             let d = self.cpu(40.0);
             t.advance(d);
         } else {
-            t.debug(self.pt.ca_get_hfile, format_args!("get reading store file {}", self.store_files));
+            t.debug(
+                self.pt.ca_get_hfile,
+                format_args!("get reading store file {}", self.store_files),
+            );
             let susp = t.suspend();
             let done = hdfs.read_block(susp.now(), self.index, 64 * 1024);
             let logger = self.log.call.clone();
             t = SimTask::resume(&self.tracker, &self.clock, &logger, susp);
             t.advance_to(done);
         }
-        t.debug(self.pt.ca_done, format_args!("Call processed; sending response"));
+        t.debug(
+            self.pt.ca_done,
+            format_args!("Call processed; sending response"),
+        );
         self.stats.gets += 1;
         Some(t.finish())
     }
@@ -311,7 +334,10 @@ impl RegionServer {
 
         let logger = self.log.handler.clone();
         let mut h = self.task(self.st.handler, &logger, at);
-        h.debug(self.pt.ha_sync, format_args!("log sync: syncing {edits} edits to WAL"));
+        h.debug(
+            self.pt.ha_sync,
+            format_args!("log sync: syncing {edits} edits to WAL"),
+        );
         let d = self.cpu(50.0);
         h.advance(d);
         let send_at = h.now();
@@ -328,7 +354,10 @@ impl RegionServer {
             wal.ds.take().expect("ds suspended"),
         );
         ds.advance_to(send_at);
-        ds.debug(self.pt.ds_queue, format_args!("DataStreamer: sending packet seqno {}", wal.seqno));
+        ds.debug(
+            self.pt.ds_queue,
+            format_args!("DataStreamer: sending packet seqno {}", wal.seqno),
+        );
         let ack = hdfs.write_packet(wal.handle, ds.now(), bytes);
         wal.ds = Some(ds.suspend());
 
@@ -341,7 +370,10 @@ impl RegionServer {
             wal.rp.take().expect("rp suspended"),
         );
         rp.advance_to(ack.acked_at);
-        rp.debug(self.pt.rp_ack, format_args!("ResponseProcessor: received ack for seqno {}", wal.seqno));
+        rp.debug(
+            self.pt.rp_ack,
+            format_args!("ResponseProcessor: received ack for seqno {}", wal.seqno),
+        );
         wal.rp = Some(rp.suspend());
         self.wal = Some(wal);
 
@@ -383,7 +415,13 @@ impl RegionServer {
         self.recovery_retries += 1;
         let logger = self.log.handler.clone();
         let mut h = self.task(self.st.handler, &logger, at);
-        h.info(self.pt.ha_recover, format_args!("Requesting recovery of WAL block blk_{}", self.stats.wal_rolls));
+        h.info(
+            self.pt.ha_recover,
+            format_args!(
+                "Requesting recovery of WAL block blk_{}",
+                self.stats.wal_rolls
+            ),
+        );
         let d = self.cpu(80.0);
         h.advance(d);
         let susp = h.suspend();
@@ -395,7 +433,10 @@ impl RegionServer {
                 h.advance_to(responded_at);
                 // The bug: "already being recovered" is misread as an
                 // exception and the request is repeated.
-                h.error(self.pt.ha_recover_fail, format_args!("Exception during block recovery; retrying"));
+                h.error(
+                    self.pt.ha_recover_fail,
+                    format_args!("Exception during block recovery; retrying"),
+                );
                 self.errors.push(h.now());
             }
             RecoveryResponse::Recovered { done } => {
@@ -420,7 +461,10 @@ impl RegionServer {
         for _ in 0..3 {
             h.error(
                 self.pt.ha_abort,
-                format_args!("Aborting region server after {} failed recovery attempts", self.recovery_retries),
+                format_args!(
+                    "Aborting region server after {} failed recovery attempts",
+                    self.recovery_retries
+                ),
             );
             self.errors.push(h.now());
             h.advance(SimDuration::from_millis(10));
@@ -432,12 +476,20 @@ impl RegionServer {
     }
 
     /// Flush the memstore into a new HFile written through HDFS.
-    pub(crate) fn flush_memstore(&mut self, hdfs: &mut HdfsCluster, at: SimTime, _tun: &RsTunables) {
+    pub(crate) fn flush_memstore(
+        &mut self,
+        hdfs: &mut HdfsCluster,
+        at: SimTime,
+        _tun: &RsTunables,
+    ) {
         let bytes = self.memstore_bytes;
         self.memstore_bytes = 0;
         let logger = self.log.handler.clone();
         let mut h = self.task(self.st.handler, &logger, at);
-        h.info(self.pt.ha_flush_start, format_args!("Flushing memstore of region {}", self.index));
+        h.info(
+            self.pt.ha_flush_start,
+            format_args!("Flushing memstore of region {}", self.index),
+        );
         let d = self.cpu(200.0);
         h.advance(d);
         let susp = h.suspend();
@@ -445,7 +497,13 @@ impl RegionServer {
         let logger = self.log.handler.clone();
         let mut h = SimTask::resume(&self.tracker, &self.clock, &logger, susp);
         h.advance_to(done);
-        h.info(self.pt.ha_flush_done, format_args!("Finished memstore flush; added store file {}", self.store_files));
+        h.info(
+            self.pt.ha_flush_done,
+            format_args!(
+                "Finished memstore flush; added store file {}",
+                self.store_files
+            ),
+        );
         h.finish();
         self.store_files += 1;
         self.stats.flushes += 1;
@@ -477,14 +535,29 @@ impl RegionServer {
         }
         let logger = self.log.cc.clone();
         let mut t = self.task(self.st.compaction_checker, &logger, at);
-        t.debug(self.pt.cc_tick, format_args!("CompactionChecker: checking stores"));
+        t.debug(
+            self.pt.cc_tick,
+            format_args!("CompactionChecker: checking stores"),
+        );
         let d = self.cpu(40.0);
         t.advance(d);
         let minor_due = self.store_files >= tun.compact_threshold;
         if major_due {
-            t.info(self.pt.cc_major, format_args!("CompactionChecker: major compaction due on region {}", self.index));
+            t.info(
+                self.pt.cc_major,
+                format_args!(
+                    "CompactionChecker: major compaction due on region {}",
+                    self.index
+                ),
+            );
         } else if minor_due {
-            t.debug(self.pt.cc_request, format_args!("CompactionChecker: requesting compaction of {} files", self.store_files));
+            t.debug(
+                self.pt.cc_request,
+                format_args!(
+                    "CompactionChecker: requesting compaction of {} files",
+                    self.store_files
+                ),
+            );
         }
         let end = t.finish();
         if major_due || minor_due {
@@ -493,30 +566,52 @@ impl RegionServer {
     }
 
     fn run_compaction(&mut self, hdfs: &mut HdfsCluster, at: SimTime, major: bool) {
-        let files = if major { self.store_files.max(2) } else { self.store_files };
+        let files = if major {
+            self.store_files.max(2)
+        } else {
+            self.store_files
+        };
         let logger = self.log.cr.clone();
         let mut t = self.task(self.st.compaction_request, &logger, at);
-        t.info(self.pt.cr_start, format_args!("CompactionRequest: compacting {files} store files"));
+        t.info(
+            self.pt.cr_start,
+            format_args!("CompactionRequest: compacting {files} store files"),
+        );
         if major {
-            t.info(self.pt.cr_major, format_args!("CompactionRequest: MAJOR compaction of region {}", self.index));
+            t.info(
+                self.pt.cr_major,
+                format_args!(
+                    "CompactionRequest: MAJOR compaction of region {}",
+                    self.index
+                ),
+            );
         }
         let file_bytes: u64 = if major { 4 * 1024 * 1024 } else { 1024 * 1024 };
         let mut cursor = t.now();
         for i in 0..files {
-            t.debug(self.pt.cr_read, format_args!("CompactionRequest: reading store file {i}"));
+            t.debug(
+                self.pt.cr_read,
+                format_args!("CompactionRequest: reading store file {i}"),
+            );
             let susp = t.suspend();
             cursor = hdfs.read_block(cursor, self.index, file_bytes);
             let logger2 = self.log.cr.clone();
             t = SimTask::resume(&self.tracker, &self.clock, &logger2, susp);
             t.advance_to(cursor);
         }
-        t.debug(self.pt.cr_write, format_args!("CompactionRequest: writing compacted file"));
+        t.debug(
+            self.pt.cr_write,
+            format_args!("CompactionRequest: writing compacted file"),
+        );
         let susp = t.suspend();
         let done = self.write_hfile(hdfs, cursor, file_bytes * files as u64);
         let logger2 = self.log.cr.clone();
         let mut t = SimTask::resume(&self.tracker, &self.clock, &logger2, susp);
         t.advance_to(done);
-        t.info(self.pt.cr_done, format_args!("CompactionRequest: completed compaction"));
+        t.info(
+            self.pt.cr_done,
+            format_args!("CompactionRequest: completed compaction"),
+        );
         t.finish();
         self.store_files = 1;
         if major {
@@ -540,18 +635,23 @@ impl RegionServer {
         if let Some(wal) = self.wal.take() {
             // Finish the old stream's tasks and close the pipeline.
             let logger_ds = self.log.ds.clone();
-            let mut ds = SimTask::resume(&self.tracker, &self.clock, &logger_ds, wal.ds.expect("ds"));
+            let mut ds =
+                SimTask::resume(&self.tracker, &self.clock, &logger_ds, wal.ds.expect("ds"));
             ds.advance_to(susp.now());
             ds.finish();
             let logger_rp = self.log.rp.clone();
-            let mut rp = SimTask::resume(&self.tracker, &self.clock, &logger_rp, wal.rp.expect("rp"));
+            let mut rp =
+                SimTask::resume(&self.tracker, &self.clock, &logger_rp, wal.rp.expect("rp"));
             rp.advance_to(susp.now());
             rp.finish();
             hdfs.close_block(wal.handle, susp.now());
         }
         let logger = self.log.lr.clone();
         let mut t = SimTask::resume(&self.tracker, &self.clock, &logger, susp);
-        t.debug(self.pt.lr_rolled, format_args!("LogRoller: WAL rolled onto new block"));
+        t.debug(
+            self.pt.lr_rolled,
+            format_args!("LogRoller: WAL rolled onto new block"),
+        );
         let end = t.finish();
         self.open_wal(hdfs, end);
         self.stats.wal_rolls += 1;
@@ -572,17 +672,26 @@ impl RegionServer {
         let logger = self.log.orh.clone();
         let mut t = self.task(self.st.open_region_handler, &logger, at);
         for r in 0..regions {
-            t.info(self.pt.orh_open, format_args!("OpenRegionHandler: opening region r{}-{}", crashed_host, r));
+            t.info(
+                self.pt.orh_open,
+                format_args!("OpenRegionHandler: opening region r{}-{}", crashed_host, r),
+            );
             let d = self.cpu(300.0);
             t.advance(d);
-            t.info(self.pt.orh_done, format_args!("OpenRegionHandler: region r{}-{} online", crashed_host, r));
+            t.info(
+                self.pt.orh_done,
+                format_args!("OpenRegionHandler: region r{}-{} online", crashed_host, r),
+            );
         }
         let opened = t.finish();
 
         let logger = self.log.po.clone();
         let mut t = self.task(self.st.post_open_deploy, &logger, opened);
         for r in 0..regions {
-            t.info(self.pt.po_deploy, format_args!("PostOpenDeployTasks for region r{}-{}", crashed_host, r));
+            t.info(
+                self.pt.po_deploy,
+                format_args!("PostOpenDeployTasks for region r{}-{}", crashed_host, r),
+            );
             let d = self.cpu(120.0);
             t.advance(d);
         }
@@ -591,17 +700,26 @@ impl RegionServer {
         // Replay the crashed server's WAL.
         let logger = self.log.slw.clone();
         let mut t = self.task(self.st.split_log_worker, &logger, deployed);
-        t.info(self.pt.slw_claim, format_args!("SplitLogWorker: acquired split task for WAL of {crashed_host}"));
+        t.info(
+            self.pt.slw_claim,
+            format_args!("SplitLogWorker: acquired split task for WAL of {crashed_host}"),
+        );
         let mut cursor = t.now();
         for _ in 0..3 {
-            t.debug(self.pt.slw_replay, format_args!("SplitLogWorker: replaying edits from {crashed_host}"));
+            t.debug(
+                self.pt.slw_replay,
+                format_args!("SplitLogWorker: replaying edits from {crashed_host}"),
+            );
             let susp = t.suspend();
             cursor = hdfs.read_block(cursor, self.index, 2 * 1024 * 1024);
             let logger2 = self.log.slw.clone();
             t = SimTask::resume(&self.tracker, &self.clock, &logger2, susp);
             t.advance_to(cursor);
         }
-        t.info(self.pt.slw_done, format_args!("SplitLogWorker: finished split task"));
+        t.info(
+            self.pt.slw_done,
+            format_args!("SplitLogWorker: finished split task"),
+        );
         t.finish();
         self.stats.regions_taken_over += regions as u64;
         // Post-takeover, survivors write through fresh pipelines with
@@ -623,13 +741,19 @@ impl RegionServer {
         }
         let logger = self.log.listener.clone();
         let mut li = self.task(self.st.listener, &logger, at);
-        li.debug(self.pt.li_accept, format_args!("RS IPC listener: accepted connection from client"));
+        li.debug(
+            self.pt.li_accept,
+            format_args!("RS IPC listener: accepted connection from client"),
+        );
         let d = self.cpu(15.0);
         li.advance(d);
         let t = li.finish();
         let logger = self.log.conn.clone();
         let mut cn = self.task(self.st.connection, &logger, t);
-        cn.debug(self.pt.cn_read, format_args!("Connection: reading call from client"));
+        cn.debug(
+            self.pt.cn_read,
+            format_args!("Connection: reading call from client"),
+        );
         let d = self.cpu(25.0);
         cn.advance(d);
         cn.finish();

@@ -176,7 +176,10 @@ impl HdfsCluster {
             let pt = node.pt;
             let logger = node.log.dx.clone();
             let mut t = node.task(st.data_xceiver, &logger, arrive);
-            t.info(pt.dx_recv_block, format_args!("Receiving block blk_{block_id}"));
+            t.info(
+                pt.dx_recv_block,
+                format_args!("Receiving block blk_{block_id}"),
+            );
             let d = node.cpu(80.0);
             t.advance(d);
             dx.push(Some(t.suspend()));
@@ -229,13 +232,22 @@ impl HdfsCluster {
             let susp = ob.dx[i].take().expect("dx task suspended");
             let mut t = SimTask::resume(&tracker, &clock, &logger, susp);
             t.advance_to(arrival);
-            t.debug(pt.dx_recv_packet, format_args!("Receiving one packet for blk_{}", ob.block_id));
+            t.debug(
+                pt.dx_recv_packet,
+                format_args!("Receiving one packet for blk_{}", ob.block_id),
+            );
             node.stats.packets += 1;
             if empty {
-                t.debug(pt.dx_empty_packet, format_args!("Receiving empty packet for blk_{}", ob.block_id));
+                t.debug(
+                    pt.dx_empty_packet,
+                    format_args!("Receiving empty packet for blk_{}", ob.block_id),
+                );
                 write_done.push(t.now());
             } else {
-                t.debug(pt.dx_write, format_args!("WriteTo blockfile of size {bytes}"));
+                t.debug(
+                    pt.dx_write,
+                    format_args!("WriteTo blockfile of size {bytes}"),
+                );
                 let c = node.disk.submit(
                     t.now(),
                     IoRequest {
@@ -268,7 +280,10 @@ impl HdfsCluster {
             p.advance_to(ack);
             p.debug(
                 pt.pr_ack,
-                format_args!("PacketResponder for blk_{}: acking packet seqno {}", ob.block_id, ob.packets),
+                format_args!(
+                    "PacketResponder for blk_{}: acking packet seqno {}",
+                    ob.block_id, ob.packets
+                ),
             );
             ack = p.now() + hop;
             ob.pr[i] = Some(p.suspend());
@@ -305,7 +320,10 @@ impl HdfsCluster {
             let susp = ob.pr[i].take().expect("pr task suspended");
             let mut p = SimTask::resume(&tracker, &clock, &logger, susp);
             p.advance_to(at);
-            p.info(pt.pr_term, format_args!("PacketResponder for blk_{} terminating", ob.block_id));
+            p.info(
+                pt.pr_term,
+                format_args!("PacketResponder for blk_{} terminating", ob.block_id),
+            );
             last = last.max(p.finish());
         }
         self.free.push(handle.0);
@@ -320,7 +338,10 @@ impl HdfsCluster {
         let pt = dn.pt;
         let logger = dn.log.dx.clone();
         let mut t = dn.task(st.data_xceiver, &logger, at);
-        t.debug(pt.dx_read_block, format_args!("Sending block blk_{block_id} to client"));
+        t.debug(
+            pt.dx_read_block,
+            format_args!("Sending block blk_{block_id} to client"),
+        );
         let c = dn.disk.submit(
             t.now(),
             IoRequest {
@@ -330,7 +351,10 @@ impl HdfsCluster {
             },
         );
         t.advance_to(c.done);
-        t.debug(pt.dx_sent, format_args!("Sent block blk_{block_id}; {bytes} bytes"));
+        t.debug(
+            pt.dx_sent,
+            format_args!("Sent block blk_{block_id}; {bytes} bytes"),
+        );
         dn.stats.reads += 1;
         t.finish()
     }
@@ -339,21 +363,31 @@ impl HdfsCluster {
     /// is already in flight the node answers *already in recovery* —
     /// otherwise it reads the block, transfers it (DataTransfer stage),
     /// and confirms.
-    pub fn recover_block(&mut self, at: SimTime, node: usize, block_bytes: u64) -> RecoveryResponse {
+    pub fn recover_block(
+        &mut self,
+        at: SimTime,
+        node: usize,
+        block_bytes: u64,
+    ) -> RecoveryResponse {
         let block_id = self.next_block_id;
         let dn = &mut self.nodes[node];
         let st = dn.st;
         let pt = dn.pt;
         let logger = dn.log.rb.clone();
         let mut t = dn.task(st.recover_blocks, &logger, at);
-        t.info(pt.rb_start, format_args!("Client invoking recoverBlock for blk_{block_id}"));
+        t.info(
+            pt.rb_start,
+            format_args!("Client invoking recoverBlock for blk_{block_id}"),
+        );
         let d = dn.cpu(120.0);
         t.advance(d);
         if t.now() < dn.recovering_until {
             dn.stats.already_in_recovery += 1;
             t.info(
                 pt.rb_already,
-                format_args!("Block blk_{block_id} is already being recovered, ignoring this request"),
+                format_args!(
+                    "Block blk_{block_id} is already being recovered, ignoring this request"
+                ),
             );
             let responded_at = t.finish();
             return RecoveryResponse::AlreadyInProgress { responded_at };
@@ -376,7 +410,10 @@ impl HdfsCluster {
         let dn = &mut self.nodes[node];
         let logger_dt = dn.log.dt.clone();
         let mut dt = dn.task(st.data_transfer, &logger_dt, susp.now());
-        dt.info(pt.dt_send, format_args!("Starting DataTransfer of blk_{block_id} to peer"));
+        dt.info(
+            pt.dt_send,
+            format_args!("Starting DataTransfer of blk_{block_id} to peer"),
+        );
         let c = dn.disk.submit(
             dt.now(),
             IoRequest {
@@ -386,7 +423,10 @@ impl HdfsCluster {
             },
         );
         dt.advance_to(c.done);
-        dt.debug(pt.dt_done, format_args!("DataTransfer of blk_{block_id} done"));
+        dt.debug(
+            pt.dt_done,
+            format_args!("DataTransfer of blk_{block_id} done"),
+        );
         dn.stats.transfers += 1;
         let transferred = dt.finish();
 
@@ -396,7 +436,10 @@ impl HdfsCluster {
         let logger = dn.log.rb.clone();
         let mut t = SimTask::resume(&tracker, &clock, &logger, susp);
         t.advance_to(transferred);
-        t.info(pt.rb_done, format_args!("Block recovery of blk_{block_id} complete"));
+        t.info(
+            pt.rb_done,
+            format_args!("Block recovery of blk_{block_id} complete"),
+        );
         dn.stats.recoveries += 1;
         let done = t.finish();
         dn.recovering_until = done;

@@ -137,21 +137,30 @@ impl DataNode {
         let pt = self.pt;
         let log_listener = self.log.listener.clone();
         let mut li = self.task(st.listener, &log_listener, at);
-        li.debug(pt.li_accept, format_args!("IPC Server listener: accepted connection from NN"));
+        li.debug(
+            pt.li_accept,
+            format_args!("IPC Server listener: accepted connection from NN"),
+        );
         let d = self.cpu(15.0);
         li.advance(d);
         let t = li.finish();
 
         let log_reader = self.log.reader.clone();
         let mut rd = self.task(st.reader, &log_reader, t);
-        rd.debug(pt.rd_parse, format_args!("IPC Server reader: read call #{}", self.stats.heartbeats));
+        rd.debug(
+            pt.rd_parse,
+            format_args!("IPC Server reader: read call #{}", self.stats.heartbeats),
+        );
         let d = self.cpu(20.0);
         rd.advance(d);
         let t = rd.finish();
 
         let log_handler = self.log.handler.clone();
         let mut ha = self.task(st.handler, &log_handler, t);
-        ha.debug(pt.ha_heartbeat, format_args!("IPC Server handler caught heartbeat from {}", self.host));
+        ha.debug(
+            pt.ha_heartbeat,
+            format_args!("IPC Server handler caught heartbeat from {}", self.host),
+        );
         let d = self.cpu(40.0);
         ha.advance(d);
         ha.finish();

@@ -83,24 +83,109 @@ impl HdfsInstrumentation {
         let reg =
             |text: &str, level: Level, file: &str, line: u32| pr.register(text, level, file, line);
         let points = HdfsPoints {
-            dx_recv_block: reg("Receiving block blk_{}", Level::Info, "DataXceiver.java", 221),
-            dx_recv_packet: reg("Receiving one packet for blk_{}", Level::Debug, "DataXceiver.java", 260),
-            dx_empty_packet: reg("Receiving empty packet for blk_{}", Level::Debug, "DataXceiver.java", 268),
-            dx_write: reg("WriteTo blockfile of size {}", Level::Debug, "DataXceiver.java", 281),
+            dx_recv_block: reg(
+                "Receiving block blk_{}",
+                Level::Info,
+                "DataXceiver.java",
+                221,
+            ),
+            dx_recv_packet: reg(
+                "Receiving one packet for blk_{}",
+                Level::Debug,
+                "DataXceiver.java",
+                260,
+            ),
+            dx_empty_packet: reg(
+                "Receiving empty packet for blk_{}",
+                Level::Debug,
+                "DataXceiver.java",
+                268,
+            ),
+            dx_write: reg(
+                "WriteTo blockfile of size {}",
+                Level::Debug,
+                "DataXceiver.java",
+                281,
+            ),
             dx_close: reg("Closing down.", Level::Info, "DataXceiver.java", 310),
-            dx_read_block: reg("Sending block blk_{} to client", Level::Debug, "DataXceiver.java", 150),
-            dx_sent: reg("Sent block blk_{}; {} bytes", Level::Debug, "DataXceiver.java", 172),
-            pr_ack: reg("PacketResponder for blk_{}: acking packet seqno {}", Level::Debug, "PacketResponder.java", 90),
-            pr_term: reg("PacketResponder for blk_{} terminating", Level::Info, "PacketResponder.java", 130),
-            rb_start: reg("Client invoking recoverBlock for blk_{}", Level::Info, "DataNode.java", 1601),
-            rb_already: reg("Block blk_{} is already being recovered, ignoring this request", Level::Info, "DataNode.java", 1612),
-            rb_done: reg("Block recovery of blk_{} complete", Level::Info, "DataNode.java", 1660),
-            dt_send: reg("Starting DataTransfer of blk_{} to {}", Level::Info, "DataNode.java", 1320),
-            dt_done: reg("DataTransfer of blk_{} done", Level::Debug, "DataNode.java", 1344),
-            li_accept: reg("IPC Server listener: accepted connection from {}", Level::Debug, "Server.java", 402),
-            rd_parse: reg("IPC Server reader: read call #{}", Level::Debug, "Server.java", 480),
-            ha_heartbeat: reg("IPC Server handler caught heartbeat from {}", Level::Debug, "Server.java", 1042),
-            ha_error: reg("IPC Server handler error while processing call", Level::Error, "Server.java", 1077),
+            dx_read_block: reg(
+                "Sending block blk_{} to client",
+                Level::Debug,
+                "DataXceiver.java",
+                150,
+            ),
+            dx_sent: reg(
+                "Sent block blk_{}; {} bytes",
+                Level::Debug,
+                "DataXceiver.java",
+                172,
+            ),
+            pr_ack: reg(
+                "PacketResponder for blk_{}: acking packet seqno {}",
+                Level::Debug,
+                "PacketResponder.java",
+                90,
+            ),
+            pr_term: reg(
+                "PacketResponder for blk_{} terminating",
+                Level::Info,
+                "PacketResponder.java",
+                130,
+            ),
+            rb_start: reg(
+                "Client invoking recoverBlock for blk_{}",
+                Level::Info,
+                "DataNode.java",
+                1601,
+            ),
+            rb_already: reg(
+                "Block blk_{} is already being recovered, ignoring this request",
+                Level::Info,
+                "DataNode.java",
+                1612,
+            ),
+            rb_done: reg(
+                "Block recovery of blk_{} complete",
+                Level::Info,
+                "DataNode.java",
+                1660,
+            ),
+            dt_send: reg(
+                "Starting DataTransfer of blk_{} to {}",
+                Level::Info,
+                "DataNode.java",
+                1320,
+            ),
+            dt_done: reg(
+                "DataTransfer of blk_{} done",
+                Level::Debug,
+                "DataNode.java",
+                1344,
+            ),
+            li_accept: reg(
+                "IPC Server listener: accepted connection from {}",
+                Level::Debug,
+                "Server.java",
+                402,
+            ),
+            rd_parse: reg(
+                "IPC Server reader: read call #{}",
+                Level::Debug,
+                "Server.java",
+                480,
+            ),
+            ha_heartbeat: reg(
+                "IPC Server handler caught heartbeat from {}",
+                Level::Debug,
+                "Server.java",
+                1042,
+            ),
+            ha_error: reg(
+                "IPC Server handler error while processing call",
+                Level::Error,
+                "Server.java",
+                1077,
+            ),
         };
         HdfsInstrumentation {
             stages_registry,
@@ -128,7 +213,9 @@ mod tests {
         let inst = HdfsInstrumentation::install();
         assert_eq!(inst.stages_registry.len(), 7);
         assert_eq!(
-            inst.stages_registry.name(inst.stages.data_xceiver).as_deref(),
+            inst.stages_registry
+                .name(inst.stages.data_xceiver)
+                .as_deref(),
             Some("DataXceiver")
         );
     }
@@ -136,7 +223,10 @@ mod tests {
     #[test]
     fn figure3_points_match_paper() {
         let inst = HdfsInstrumentation::install();
-        let t = inst.points_registry.template(inst.points.dx_recv_block).unwrap();
+        let t = inst
+            .points_registry
+            .template(inst.points.dx_recv_block)
+            .unwrap();
         assert!(t.text.contains("Receiving block"));
         let t = inst.points_registry.template(inst.points.dx_close).unwrap();
         assert_eq!(t.text, "Closing down.");

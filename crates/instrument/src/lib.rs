@@ -158,9 +158,9 @@ fn template_of(expr: &str) -> String {
         match rest.find('"') {
             Some(open) => {
                 let before = rest[..open].trim();
-                if !before.is_empty() && !before.chars().all(|c| c == '+' || c.is_whitespace()) {
-                    out.push_str("{}");
-                } else if pending_hole {
+                let non_trivial =
+                    !before.is_empty() && !before.chars().all(|c| c == '+' || c.is_whitespace());
+                if non_trivial || pending_hole {
                     out.push_str("{}");
                 }
                 pending_hole = false;
@@ -358,9 +358,15 @@ mod tests {
     #[test]
     fn statements_are_rewritten_with_ids() {
         let out = instrument_source("DataXceiver.java", FIGURE3_SOURCE);
-        assert!(out.rewritten.contains(r#"log.info(LP_0, "Receiving block blk_""#));
-        assert!(out.rewritten.contains(r#"log.debug(LP_3, "WriteTo blockfile"#));
-        assert!(out.rewritten.contains("tracker.setContext(STAGE_DataXceiver)"));
+        assert!(out
+            .rewritten
+            .contains(r#"log.info(LP_0, "Receiving block blk_""#));
+        assert!(out
+            .rewritten
+            .contains(r#"log.debug(LP_3, "WriteTo blockfile"#));
+        assert!(out
+            .rewritten
+            .contains("tracker.setContext(STAGE_DataXceiver)"));
     }
 
     #[test]
@@ -403,7 +409,7 @@ class Consumer {
     }
 
     #[test]
-    fn logger_variable_names_are_recognized(){
+    fn logger_variable_names_are_recognized() {
         let src = r#"
 class C {
   void f() {

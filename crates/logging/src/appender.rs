@@ -130,7 +130,11 @@ impl MemoryAppender {
 
     /// Copy of all rendered message strings, in append order.
     pub fn messages(&self) -> Vec<String> {
-        self.records.lock().iter().map(|r| r.message.clone()).collect()
+        self.records
+            .lock()
+            .iter()
+            .map(|r| r.message.clone())
+            .collect()
     }
 
     /// Copy of all records, in append order.
@@ -184,7 +188,10 @@ impl Appender for FileAppender {
     fn append(&self, record: &Record) {
         // Destructors never fail (C-DTOR-FAIL): swallow I/O errors here;
         // the volume experiment re-checks file length independently.
-        let _ = self.writer.lock().write_all(record.render_line().as_bytes());
+        let _ = self
+            .writer
+            .lock()
+            .write_all(record.render_line().as_bytes());
     }
 
     fn flush(&self) {

@@ -254,7 +254,10 @@ mod tests {
         let (logger, mem, tracker) = setup(Level::Info);
         logger.debug(LogPointId(3), format_args!("invisible"));
         assert!(mem.is_empty(), "DEBUG text must not render at INFO");
-        assert_eq!(tracker.visits.lock().as_slice(), &[(LogPointId(3), Level::Debug)]);
+        assert_eq!(
+            tracker.visits.lock().as_slice(),
+            &[(LogPointId(3), Level::Debug)]
+        );
     }
 
     #[test]
@@ -280,7 +283,11 @@ mod tests {
             logger.log_pre_notified(point, Level::Debug, format_args!("x"));
         }
         assert!(mem.is_empty());
-        assert_eq!(tracker.visits.lock().len(), 1, "visit must not be double counted");
+        assert_eq!(
+            tracker.visits.lock().len(),
+            1,
+            "visit must not be double counted"
+        );
 
         let (logger, mem, tracker) = setup(Level::Debug);
         if logger.debug_enabled(point) {

@@ -217,7 +217,10 @@ impl Disk {
     ///
     /// Panics if `factor < 1.0`.
     pub fn set_slowdown(&mut self, factor: f64) {
-        assert!(factor >= 1.0, "slowdown factor must be >= 1.0, got {factor}");
+        assert!(
+            factor >= 1.0,
+            "slowdown factor must be >= 1.0, got {factor}"
+        );
         self.slowdown = factor;
     }
 
@@ -312,7 +315,10 @@ mod tests {
         let b = r.acquire(SimTime::from_millis(1), SimDuration::from_millis(5));
         assert_eq!(a.done, SimTime::from_millis(5));
         assert_eq!(b.start, SimTime::from_millis(5));
-        assert_eq!(b.queue_wait(SimTime::from_millis(1)), SimDuration::from_millis(4));
+        assert_eq!(
+            b.queue_wait(SimTime::from_millis(1)),
+            SimDuration::from_millis(4)
+        );
     }
 
     #[test]

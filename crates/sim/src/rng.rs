@@ -194,7 +194,9 @@ mod tests {
     #[test]
     fn lognormal_median_matches_mu() {
         let mut rng = RngStreams::new(9).stream("ln");
-        let mut xs: Vec<f64> = (0..20_000).map(|_| lognormal_sample(&mut rng, 2.0, 0.5)).collect();
+        let mut xs: Vec<f64> = (0..20_000)
+            .map(|_| lognormal_sample(&mut rng, 2.0, 0.5))
+            .collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = xs[xs.len() / 2];
         // Median of lognormal = e^mu ≈ 7.389.
@@ -226,7 +228,11 @@ mod tests {
             }
         }
         // With theta=0.99 the top-10 of 1000 keys get a large share.
-        assert!(head as f64 / n as f64 > 0.25, "head share={}", head as f64 / n as f64);
+        assert!(
+            head as f64 / n as f64 > 0.25,
+            "head share={}",
+            head as f64 / n as f64
+        );
     }
 
     #[test]

@@ -100,7 +100,10 @@ impl AddAssign<SimDuration> for SimTime {
 impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
     fn sub(self, rhs: SimTime) -> SimDuration {
-        assert!(self.0 >= rhs.0, "SimTime subtraction underflow: {self} - {rhs}");
+        assert!(
+            self.0 >= rhs.0,
+            "SimTime subtraction underflow: {self} - {rhs}"
+        );
         SimDuration(self.0 - rhs.0)
     }
 }
@@ -239,8 +242,14 @@ mod tests {
 
     #[test]
     fn duration_scaling() {
-        assert_eq!(SimDuration::from_millis(10).mul_f64(2.5), SimDuration::from_micros(25_000));
-        assert_eq!(SimDuration::from_secs_f64(0.001), SimDuration::from_millis(1));
+        assert_eq!(
+            SimDuration::from_millis(10).mul_f64(2.5),
+            SimDuration::from_micros(25_000)
+        );
+        assert_eq!(
+            SimDuration::from_secs_f64(0.001),
+            SimDuration::from_millis(1)
+        );
         assert_eq!(SimDuration::from_secs_f64(-5.0), SimDuration::ZERO);
     }
 

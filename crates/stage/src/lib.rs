@@ -63,7 +63,9 @@ pub struct StageContext {
 
 impl fmt::Debug for StageContext {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("StageContext").field("stage", &self.stage).finish()
+        f.debug_struct("StageContext")
+            .field("stage", &self.stage)
+            .finish()
     }
 }
 
@@ -113,12 +115,15 @@ impl fmt::Debug for StagedServer {
     }
 }
 
+/// Constructor of per-stage loggers, named by stage.
+type LoggerFactory = Box<dyn Fn(&str) -> Arc<Logger> + Send>;
+
 /// Builder for [`StagedServer`].
 pub struct StagedServerBuilder {
     specs: Vec<(String, usize, usize)>,
     registry: Arc<StageRegistry>,
     tracker: Option<Arc<TaskExecutionTracker>>,
-    logger_factory: Option<Box<dyn Fn(&str) -> Arc<Logger> + Send>>,
+    logger_factory: Option<LoggerFactory>,
 }
 
 impl fmt::Debug for StagedServerBuilder {
@@ -171,10 +176,7 @@ impl StagedServerBuilder {
         let mut stages = HashMap::new();
         for (name, workers, capacity) in self.specs {
             assert!(workers > 0, "stage `{name}` needs at least one worker");
-            assert!(
-                !stages.contains_key(&name),
-                "duplicate stage name `{name}`"
-            );
+            assert!(!stages.contains_key(&name), "duplicate stage name `{name}`");
             let id = self.registry.register(&name);
             let logger = match &self.logger_factory {
                 Some(f) => f(&name),
@@ -293,11 +295,7 @@ impl StagedServer {
     /// is emitted when the worker finishes (or dies).
     ///
     /// The stage is registered on first use.
-    pub fn spawn_worker(
-        &self,
-        stage: &str,
-        task: impl FnOnce(&StageContext) + Send + 'static,
-    ) {
+    pub fn spawn_worker(&self, stage: &str, task: impl FnOnce(&StageContext) + Send + 'static) {
         let id = self.registry.register(stage);
         let tracker = self.tracker.clone();
         let logger = {
@@ -370,7 +368,10 @@ mod tests {
 
     #[test]
     fn processed_counts_per_stage() {
-        let server = StagedServer::builder().stage("x", 2, 8).stage("y", 1, 8).build();
+        let server = StagedServer::builder()
+            .stage("x", 2, 8)
+            .stage("y", 1, 8)
+            .build();
         for _ in 0..10 {
             server.submit("x", |_| {}).unwrap();
         }
@@ -440,7 +441,10 @@ mod tests {
 
     #[test]
     fn stage_ids_are_stable_names() {
-        let server = StagedServer::builder().stage("alpha", 1, 4).stage("beta", 1, 4).build();
+        let server = StagedServer::builder()
+            .stage("alpha", 1, 4)
+            .stage("beta", 1, 4)
+            .build();
         assert_eq!(server.stage_id("alpha"), server.registry().lookup("alpha"));
         assert!(server.stage_id("gamma").is_none());
         server.shutdown();
@@ -449,7 +453,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn duplicate_stage_names_rejected() {
-        StagedServer::builder().stage("s", 1, 4).stage("s", 1, 4).build();
+        StagedServer::builder()
+            .stage("s", 1, 4)
+            .stage("s", 1, 4)
+            .build();
     }
 
     #[test]
@@ -457,5 +464,4 @@ mod tests {
     fn zero_workers_rejected() {
         StagedServer::builder().stage("s", 0, 4).build();
     }
-
 }

@@ -22,7 +22,10 @@ impl Normal {
     /// Panics if `std` is not strictly positive or either argument is not
     /// finite.
     pub fn new(mean: f64, std: f64) -> Normal {
-        assert!(mean.is_finite() && std.is_finite(), "parameters must be finite");
+        assert!(
+            mean.is_finite() && std.is_finite(),
+            "parameters must be finite"
+        );
         assert!(std > 0.0, "std must be > 0, got {std}");
         Normal { mean, std }
     }
@@ -83,6 +86,7 @@ impl Normal {
 /// Inverse CDF of the standard normal (Acklam's algorithm + refinement).
 fn standard_normal_ppf(p: f64) -> f64 {
     // Coefficients for Acklam's rational approximation.
+    #[allow(clippy::excessive_precision)] // published coefficients, kept verbatim
     const A: [f64; 6] = [
         -3.969683028665376e+01,
         2.209460984245205e+02,
@@ -254,7 +258,11 @@ mod tests {
         // t.cdf(4.144, 10) ≈ 0.999 (alpha = 0.001 one-sided critical value)
         close(StudentT::new(10.0).cdf(4.144), 0.999, 1e-4);
         // Symmetric.
-        close(StudentT::new(7.0).cdf(-2.0) + StudentT::new(7.0).cdf(2.0), 1.0, 1e-12);
+        close(
+            StudentT::new(7.0).cdf(-2.0) + StudentT::new(7.0).cdf(2.0),
+            1.0,
+            1e-12,
+        );
     }
 
     #[test]

@@ -25,7 +25,10 @@ impl Ewma {
     ///
     /// Panics unless `0 < alpha <= 1`.
     pub fn new(alpha: f64) -> Ewma {
-        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1], got {alpha}");
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0,1], got {alpha}"
+        );
         Ewma { alpha, value: None }
     }
 

@@ -136,7 +136,10 @@ pub fn two_proportion_test(
     n2: u64,
     alternative: Alternative,
 ) -> TestResult {
-    assert!(n1 > 0 && n2 > 0, "two_proportion_test requires non-empty samples");
+    assert!(
+        n1 > 0 && n2 > 0,
+        "two_proportion_test requires non-empty samples"
+    );
     assert!(x1 <= n1 && x2 <= n2, "successes exceed sample size");
     let p1 = x1 as f64 / n1 as f64;
     let p2 = x2 as f64 / n2 as f64;
@@ -177,8 +180,7 @@ pub fn welch_t_test(a: &[f64], b: &[f64], alternative: Alternative) -> Option<Te
     }
     let stat = (ma - mb) / se2.sqrt();
     // Welch–Satterthwaite degrees of freedom.
-    let df = se2 * se2
-        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+    let df = se2 * se2 / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
     Some(TestResult {
         statistic: stat,
         p_value: p_from_statistic(stat, df, alternative),
@@ -292,7 +294,7 @@ mod tests {
         let r = welch_t_test(&a, &b, Alternative::TwoSided).unwrap();
         assert!((r.statistic + 1.8973665961010275).abs() < 1e-9);
         // Welch–Satterthwaite df = 5.882...
-        assert!((r.df - 5.8823529411764705).abs() < 1e-9);
+        assert!((r.df - 5.882_352_941_176_47).abs() < 1e-9);
         assert!((r.p_value - 0.1073).abs() < 2e-3);
     }
 

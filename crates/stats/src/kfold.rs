@@ -167,7 +167,11 @@ mod tests {
         let mut durations = Vec::new();
         for i in 0..1000u64 {
             let x = ((i * 2654435761) % 1000) as f64 / 1000.0;
-            durations.push(if x > 0.9 { 1e4 * (1.0 + x * 1e3) } else { 10.0 + x });
+            durations.push(if x > 0.9 {
+                1e4 * (1.0 + x * 1e3)
+            } else {
+                10.0 + x
+            });
         }
         let out = validate_percentile_threshold(&durations, 5, 99.0).unwrap();
         assert!(!out.is_unstable(3.0), "rate={}", out.mean_heldout_rate);

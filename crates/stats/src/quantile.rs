@@ -24,7 +24,10 @@
 /// assert_eq!(saad_stats::percentile(&xs, 100.0), Some(50.0));
 /// ```
 pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
-    assert!((0.0..=100.0).contains(&p), "percentile requires p in [0,100], got {p}");
+    assert!(
+        (0.0..=100.0).contains(&p),
+        "percentile requires p in [0,100], got {p}"
+    );
     if xs.is_empty() {
         return None;
     }

@@ -110,7 +110,10 @@ mod tests {
         let expected = trials as f64 * 10.0 / 100.0;
         for (i, &h) in hits.iter().enumerate() {
             let dev = (h as f64 - expected).abs() / expected;
-            assert!(dev < 0.35, "position {i} hit {h} times, expected ~{expected}");
+            assert!(
+                dev < 0.35,
+                "position {i} hit {h} times, expected ~{expected}"
+            );
         }
     }
 

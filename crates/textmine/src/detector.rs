@@ -99,7 +99,11 @@ impl FrequencyDetector {
             sum_sq += z * z;
             n += 1;
         }
-        let rms = if n == 0 { 0.0 } else { (sum_sq / n as f64).sqrt() };
+        let rms = if n == 0 {
+            0.0
+        } else {
+            (sum_sq / n as f64).sqrt()
+        };
         let score = rms + novel * self.threshold;
         WindowVerdict {
             score,

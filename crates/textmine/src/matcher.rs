@@ -61,7 +61,7 @@ impl TemplateMatcher {
 
     /// Reverse-match a full rendered line (`LEVEL logger - message`).
     pub fn match_line(&self, line: &str) -> Option<LogPointId> {
-        let message = line.splitn(2, " - ").nth(1)?;
+        let message = line.split_once(" - ")?.1;
         self.match_message(message)
     }
 }
@@ -99,7 +99,12 @@ mod tests {
             reg.register("Receiving block blk_{}", Level::Info, "dx", 1),
             reg.register("WriteTo blockfile of size {}", Level::Debug, "dx", 2),
             reg.register("Closing down.", Level::Info, "dx", 3),
-            reg.register("GC for ParNew: {} ms for {} collections", Level::Info, "gc", 4),
+            reg.register(
+                "GC for ParNew: {} ms for {} collections",
+                Level::Info,
+                "gc",
+                4,
+            ),
         ];
         (TemplateMatcher::new(reg.all().iter()), ids)
     }
@@ -108,7 +113,10 @@ mod tests {
     fn matches_simple_interpolations() {
         let (m, ids) = matcher();
         assert_eq!(m.match_message("Receiving block blk_42133"), Some(ids[0]));
-        assert_eq!(m.match_message("WriteTo blockfile of size 65536"), Some(ids[1]));
+        assert_eq!(
+            m.match_message("WriteTo blockfile of size 65536"),
+            Some(ids[1])
+        );
     }
 
     #[test]
@@ -147,7 +155,12 @@ mod tests {
     #[test]
     fn regex_metacharacters_in_templates_are_escaped() {
         let reg = LogPointRegistry::new();
-        let id = reg.register("Heap is {} full. You may need (urgently) to act", Level::Warn, "g", 9);
+        let id = reg.register(
+            "Heap is {} full. You may need (urgently) to act",
+            Level::Warn,
+            "g",
+            9,
+        );
         let m = TemplateMatcher::new(reg.all().iter());
         assert_eq!(
             m.match_message("Heap is 0.95 full. You may need (urgently) to act"),

@@ -95,10 +95,10 @@ pub fn parse_corpus_parallel(
     let start = Instant::now();
     let lines: Vec<&str> = corpus.lines().collect();
     let chunk = lines.len().div_ceil(workers).max(1);
-    let mut merged = crossbeam::thread::scope(|scope| {
+    let mut merged = std::thread::scope(|scope| {
         let handles: Vec<_> = lines
             .chunks(chunk)
-            .map(|c| scope.spawn(move |_| parse_chunk(matcher, c)))
+            .map(|c| scope.spawn(move || parse_chunk(matcher, c)))
             .collect();
         let mut merged = ParseOutcome {
             counts: HashMap::new(),
@@ -112,8 +112,7 @@ pub fn parse_corpus_parallel(
             merged.merge(h.join().expect("parser worker panicked"));
         }
         merged
-    })
-    .expect("scope");
+    });
     merged.elapsed_secs = start.elapsed().as_secs_f64();
     merged.workers = workers;
     merged
@@ -132,12 +131,12 @@ mod tests {
         ];
         let m = TemplateMatcher::new(reg.all().iter());
         let mut corpus = String::new();
-        for i in 0..500 {
+        for i in 0u32..500 {
             corpus.push_str(&format!("INFO DataXceiver - Receiving block blk_{i}\n"));
-            if i % 10 == 0 {
+            if i.is_multiple_of(10) {
                 corpus.push_str("INFO DataXceiver - Closing down.\n");
             }
-            if i % 100 == 0 {
+            if i.is_multiple_of(100) {
                 corpus.push_str("INFO Unknown - something unparseable\n");
             }
         }

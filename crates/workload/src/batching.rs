@@ -32,7 +32,10 @@ impl Batching {
     /// Panics if `batch_size == 0` or the interval is zero.
     pub fn new(batch_size: usize, flush_interval: SimDuration) -> Batching {
         assert!(batch_size > 0, "batch size must be positive");
-        assert!(flush_interval > SimDuration::ZERO, "flush interval must be positive");
+        assert!(
+            flush_interval > SimDuration::ZERO,
+            "flush interval must be positive"
+        );
         Batching {
             batch_size,
             flush_interval,
@@ -58,15 +61,14 @@ impl Batching {
         let mut total_lag_us = 0u128;
         let mut lagged_writes = 0u64;
 
-        let mut flush =
-            |buffer: &mut Vec<Operation>, at: SimTime, out: &mut Vec<Operation>| {
-                for mut op in buffer.drain(..) {
-                    total_lag_us += at.saturating_since(op.at).as_micros() as u128;
-                    lagged_writes += 1;
-                    op.at = at;
-                    out.push(op);
-                }
-            };
+        let mut flush = |buffer: &mut Vec<Operation>, at: SimTime, out: &mut Vec<Operation>| {
+            for mut op in buffer.drain(..) {
+                total_lag_us += at.saturating_since(op.at).as_micros() as u128;
+                lagged_writes += 1;
+                op.at = at;
+                out.push(op);
+            }
+        };
 
         for &op in ops {
             // Time-triggered flush happens as virtual time passes, before

@@ -177,8 +177,16 @@ impl WorkloadGenerator {
     /// # Panics
     ///
     /// Panics if `ops_per_sec` is not strictly positive.
-    pub fn new(mix: OperationMix, keys: KeyChooser, ops_per_sec: f64, seed: u64) -> WorkloadGenerator {
-        assert!(ops_per_sec > 0.0, "rate must be positive, got {ops_per_sec}");
+    pub fn new(
+        mix: OperationMix,
+        keys: KeyChooser,
+        ops_per_sec: f64,
+        seed: u64,
+    ) -> WorkloadGenerator {
+        assert!(
+            ops_per_sec > 0.0,
+            "rate must be positive, got {ops_per_sec}"
+        );
         WorkloadGenerator {
             mix,
             keys,
@@ -250,7 +258,9 @@ mod tests {
     fn write_heavy_is_mostly_writes() {
         let m = OperationMix::write_heavy();
         let mut rng = StdRng::seed_from_u64(1);
-        let writes = (0..10_000).filter(|_| m.sample(&mut rng).is_write()).count();
+        let writes = (0..10_000)
+            .filter(|_| m.sample(&mut rng).is_write())
+            .count();
         assert!(writes > 8500, "writes={writes}");
     }
 
@@ -321,7 +331,7 @@ mod tests {
         let sizes: Vec<u32> = (0..1000).map(|_| g.next_op().value_size).collect();
         let mean = sizes.iter().map(|&s| s as f64).sum::<f64>() / sizes.len() as f64;
         assert!((mean - 1024.0).abs() < 100.0, "mean={mean}");
-        assert!(sizes.iter().all(|&s| s >= 512 && s < 1536 + 1));
+        assert!(sizes.iter().all(|&s| (512..=1536).contains(&s)));
     }
 
     #[test]

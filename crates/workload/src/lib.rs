@@ -25,5 +25,5 @@ mod generator;
 mod recorder;
 
 pub use batching::Batching;
-pub use generator::{KeyChooser, Operation, OperationMix, OpKind, WorkloadGenerator};
+pub use generator::{KeyChooser, OpKind, Operation, OperationMix, WorkloadGenerator};
 pub use recorder::ThroughputRecorder;

@@ -31,11 +31,21 @@ fn main() -> Result<(), Box<dyn Error>> {
     // ── Train fault-free ────────────────────────────────────────────────
     println!("training on a fault-free 6-minute run...");
     let trainer = Arc::new(ModelSink::new());
-    let mut cluster = HBaseCluster::new(HBaseConfig { seed: 3, ..HBaseConfig::default() }, trainer.clone());
+    let mut cluster = HBaseCluster::new(
+        HBaseConfig {
+            seed: 3,
+            ..HBaseConfig::default()
+        },
+        trainer.clone(),
+    );
     let stream = ops(31, 6);
     cluster.run(&stream, SimTime::from_mins(6));
     let model = Arc::new(trainer.build(ModelConfig::default()));
-    println!("  {} synopses, {} stages modeled", trainer.observed(), model.stage_count());
+    println!(
+        "  {} synopses, {} stages modeled",
+        trainer.observed(),
+        model.stage_count()
+    );
 
     // ── Hog run: 1 process at min 2, 4 processes from min 5 ────────────
     println!("\nlaunching disk hogs: 1 process minutes 2-4, 4 processes minutes 5-9...");
@@ -86,7 +96,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     println!("crashed regionservers: {crashed:?}");
     println!("errors logged: {}", out.errors.len());
-    assert!(!crashed.is_empty(), "the severe hog must trip the recovery bug");
+    assert!(
+        !crashed.is_empty(),
+        "the severe hog must trip the recovery bug"
+    );
     assert!(
         per_row.keys().any(|k| k.starts_with("RecoverBlocks")),
         "the bug must surface as RecoverBlocks anomalies on the Data Node side"

@@ -11,7 +11,9 @@
 //! ```
 
 use saad::core::model::{ModelBuilder, ModelConfig};
-use saad::core::pipeline::{spawn_analyzer, ChannelSink};
+use saad::core::pipeline::{
+    spawn_supervised_analyzer, ChannelSink, OverloadPolicy, SupervisorConfig,
+};
 use saad::core::prelude::*;
 use saad::core::tracker::VecSink;
 use saad::logging::{Level, LogPointRegistry};
@@ -21,7 +23,9 @@ use std::error::Error;
 use std::sync::Arc;
 use std::time::Duration;
 
-fn build_server(tracker: Arc<TaskExecutionTracker>) -> (StagedServer, Vec<saad::logging::LogPointId>) {
+fn build_server(
+    tracker: Arc<TaskExecutionTracker>,
+) -> (StagedServer, Vec<saad::logging::LogPointId>) {
     let registry = Arc::new(LogPointRegistry::new());
     let points = vec![
         registry.register("request received", Level::Debug, "srv.rs", 10),
@@ -41,14 +45,18 @@ fn drive(server: &StagedServer, points: &[saad::logging::LogPointId], n: u64, re
         let points = points.to_vec();
         server
             .submit("handler", move |ctx| {
-                ctx.logger.debug(points[0], format_args!("request received"));
-                ctx.logger.debug(points[1], format_args!("validated payload of 512 bytes"));
-                if reject_every != 0 && i % reject_every == 0 {
+                ctx.logger
+                    .debug(points[0], format_args!("request received"));
+                ctx.logger
+                    .debug(points[1], format_args!("validated payload of 512 bytes"));
+                if reject_every != 0 && i.is_multiple_of(reject_every) {
                     // The anomalous branch: rejected requests.
-                    ctx.logger.debug(points[3], format_args!("request rejected: quota"));
+                    ctx.logger
+                        .debug(points[3], format_args!("request rejected: quota"));
                 } else {
                     std::thread::sleep(Duration::from_micros(30));
-                    ctx.logger.debug(points[2], format_args!("persisted record {i}"));
+                    ctx.logger
+                        .debug(points[2], format_args!("persisted record {i}"));
                 }
             })
             .expect("submit");
@@ -77,16 +85,21 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // ── Live phase: stream synopses to the analyzer thread ─────────────
     println!("\nphase 2: live monitoring; injecting a rejection burst...");
-    let (sink, rx) = ChannelSink::new();
-    let handle = spawn_analyzer(
+    // A bounded queue so a slow analyzer can never stall the server, and a
+    // supervised analyzer so a detector crash can never kill monitoring.
+    let (sink, rx) = ChannelSink::bounded(65_536, OverloadPolicy::DropOldest);
+    let handle = spawn_supervised_analyzer(
         model,
         DetectorConfig {
             window: saad::sim::SimDuration::from_millis(500),
             min_window_tasks: 50,
             ..DetectorConfig::default()
         },
+        SupervisorConfig::default(),
         rx,
-    );
+        None,
+    )
+    .with_sink_stats(sink.stats());
     let clock = Arc::new(WallClock::new());
     let tracker = Arc::new(TaskExecutionTracker::new(
         HostId(1),
@@ -102,15 +115,17 @@ fn main() -> Result<(), Box<dyn Error>> {
     drop(sink);
 
     let processed = handle.processed();
+    let dropped = handle.dropped();
     let mut events = Vec::new();
     while let Ok(e) = handle.events().recv() {
         events.push(e);
     }
-    let detector = handle.join();
+    let detector = handle.join().expect("supervised analyzer survived");
     println!(
-        "  analyzer processed {} synopses in real time ({} total observed)",
+        "  analyzer processed {} synopses in real time ({} observed, {} dropped under backpressure)",
         processed,
-        detector.tasks_seen()
+        detector.tasks_seen(),
+        dropped
     );
     println!("  detected {} anomaly events:", events.len());
     for e in events.iter().take(8) {

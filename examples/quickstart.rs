@@ -11,7 +11,7 @@
 
 use saad::core::prelude::*;
 use saad::core::report::AnomalyReport;
-use saad::logging::{Level, Logger, LogPointRegistry};
+use saad::logging::{Level, LogPointRegistry, Logger};
 use saad::sim::{Clock, ManualClock, SimDuration, SimTime};
 use std::error::Error;
 use std::sync::Arc;
@@ -22,10 +22,30 @@ fn main() -> Result<(), Box<dyn Error>> {
     // saad-instrument crate for the automated version) and register the
     // stage delimiter.
     let points = Arc::new(LogPointRegistry::new());
-    let l1 = points.register("Receiving block blk_{}", Level::Info, "DataXceiver.java", 221);
-    let l2 = points.register("Receiving one packet for blk_{}", Level::Debug, "DataXceiver.java", 260);
-    let l3 = points.register("Receiving empty packet for blk_{}", Level::Debug, "DataXceiver.java", 268);
-    let l4 = points.register("WriteTo blockfile of size {}", Level::Debug, "DataXceiver.java", 281);
+    let l1 = points.register(
+        "Receiving block blk_{}",
+        Level::Info,
+        "DataXceiver.java",
+        221,
+    );
+    let l2 = points.register(
+        "Receiving one packet for blk_{}",
+        Level::Debug,
+        "DataXceiver.java",
+        260,
+    );
+    let l3 = points.register(
+        "Receiving empty packet for blk_{}",
+        Level::Debug,
+        "DataXceiver.java",
+        268,
+    );
+    let l4 = points.register(
+        "WriteTo blockfile of size {}",
+        Level::Debug,
+        "DataXceiver.java",
+        281,
+    );
     let l5 = points.register("Closing down.", Level::Info, "DataXceiver.java", 310);
     let stages = Arc::new(StageRegistry::new());
     let dx = stages.register("DataXceiver");
@@ -57,7 +77,10 @@ fn main() -> Result<(), Box<dyn Error>> {
             clock.set(now);
             logger.debug(l2, format_args!("Receiving one packet for blk_{start_ms}"));
             if empty && p == 0 {
-                logger.debug(l3, format_args!("Receiving empty packet for blk_{start_ms}"));
+                logger.debug(
+                    l3,
+                    format_args!("Receiving empty packet for blk_{start_ms}"),
+                );
                 continue;
             }
             if cut_short {
@@ -77,8 +100,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     // ── 3. Healthy population (Figure 4): 99% normal 10 ms tasks, ~0.9%
     //       slow 20 ms tasks, 0.1% empty-packet flows ──────────────────
     for i in 0..5_000u64 {
-        let empty = i % 1000 == 0;
-        let slow = i % 111 == 0;
+        let empty = i.is_multiple_of(1000);
+        let slow = i.is_multiple_of(111);
         run_task(i * 20, 9, empty, slow, false);
     }
     let training = sink.drain();
@@ -103,8 +126,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut events = Vec::new();
     for i in 0..600u64 {
         // 10% of tasks terminate prematurely; 15% run 3x slow.
-        let cut = i % 10 == 0;
-        let slow = i % 7 == 0;
+        let cut = i.is_multiple_of(10);
+        let slow = i.is_multiple_of(7);
         run_task(200_000 + i * 90, 9, false, slow, cut);
     }
     for s in sink.drain() {

@@ -31,7 +31,11 @@ fn detect_with_fault(
     fault: FaultSpec,
     mins: u64,
     seed: u64,
-) -> (Vec<AnomalyEvent>, Arc<StageRegistry>, saad::cassandra::RunOutput) {
+) -> (
+    Vec<AnomalyEvent>,
+    Arc<StageRegistry>,
+    saad::cassandra::RunOutput,
+) {
     let detector = Arc::new(DetectorSink::new(model, DetectorConfig::default()));
     let mut cluster = Cluster::new(
         ClusterConfig {
@@ -143,7 +147,9 @@ fn flush_error_fault_reaches_memtable_and_gc_stages() {
     let memtable = stages.lookup("Memtable").expect("registered");
     let gc = stages.lookup("GCInspector").expect("registered");
     assert!(
-        events.iter().any(|e| e.stage == memtable && e.host == HostId(4)),
+        events
+            .iter()
+            .any(|e| e.stage == memtable && e.host == HostId(4)),
         "must flag Memtable(4): {events:?}"
     );
     assert!(

@@ -59,7 +59,10 @@ fn severe_hog_crashes_a_regionserver_and_saad_sees_the_cascade() {
     assert!(
         events.iter().any(|e| e.stage == rb && e.kind.is_flow()),
         "RecoverBlocks must light up: {:?}",
-        events.iter().map(|e| (e.stage, e.host.0)).collect::<Vec<_>>()
+        events
+            .iter()
+            .map(|e| (e.stage, e.host.0))
+            .collect::<Vec<_>>()
     );
     // Survivor takeover flows (never seen in training).
     for name in ["OpenRegionHandler", "SplitLogWorker"] {

@@ -9,7 +9,7 @@
 
 use saad::instrument::{instrument_source, FIGURE3_SOURCE};
 use saad::logging::appender::MemoryAppender;
-use saad::logging::{Level, Logger, LogPointId, LogPointRegistry};
+use saad::logging::{Level, LogPointId, LogPointRegistry, Logger};
 use saad::textmine::TemplateMatcher;
 use std::sync::Arc;
 
@@ -36,7 +36,10 @@ fn instrumented_templates_reverse_match_rendered_output() {
         .build();
     logger.info(ids[0], format_args!("Receiving block blk_900142"));
     logger.debug(ids[1], format_args!("Receiving one packet for blk_900142"));
-    logger.debug(ids[2], format_args!("Receiving empty packet for blk_900142"));
+    logger.debug(
+        ids[2],
+        format_args!("Receiving empty packet for blk_900142"),
+    );
     logger.debug(ids[3], format_args!("WriteTo blockfile of size 65536"));
     logger.info(ids[4], format_args!("Closing down."));
 
@@ -45,7 +48,7 @@ fn instrumented_templates_reverse_match_rendered_output() {
     let records = mem.records();
     assert_eq!(records.len(), 5);
     for (record, expected) in records.iter().zip(&ids) {
-        let matched = matcher.match_line(&record.render_line().trim_end());
+        let matched = matcher.match_line(record.render_line().trim_end());
         assert_eq!(
             matched,
             Some(*expected),
@@ -62,7 +65,9 @@ fn stage_delimiters_found_where_the_paper_says() {
     let pass = instrument_source("DataXceiver.java", FIGURE3_SOURCE);
     assert_eq!(pass.stages.len(), 1);
     assert_eq!(pass.stages[0].class, "DataXceiver");
-    assert!(pass.rewritten.contains("tracker.setContext(STAGE_DataXceiver)"));
+    assert!(pass
+        .rewritten
+        .contains("tracker.setContext(STAGE_DataXceiver)"));
 
     // Non-Executor producer-consumer stages are presented for manual
     // inspection via their dequeue sites.

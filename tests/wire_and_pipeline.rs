@@ -59,7 +59,10 @@ fn faulted_run(mins: u64) -> (Vec<TaskSynopsis>, Arc<saad::core::model::OutlierM
     (sink.drain(), model)
 }
 
-fn detect(model: Arc<saad::core::model::OutlierModel>, synopses: &[TaskSynopsis]) -> Vec<AnomalyEvent> {
+fn detect(
+    model: Arc<saad::core::model::OutlierModel>,
+    synopses: &[TaskSynopsis],
+) -> Vec<AnomalyEvent> {
     let mut d = AnomalyDetector::new(model, DetectorConfig::default());
     let mut events = Vec::new();
     for s in synopses {
@@ -104,7 +107,7 @@ fn threaded_pipeline_matches_offline_detection() {
     while let Ok(e) = handle.events().recv() {
         online.push(e);
     }
-    let detector = handle.join();
+    let detector = handle.join().expect("analyzer ran to completion");
     assert_eq!(detector.tasks_seen(), synopses.len() as u64);
     // Events may interleave differently across window-close boundaries;
     // compare as multisets keyed by the full event value.

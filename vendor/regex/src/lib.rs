@@ -1,0 +1,868 @@
+//! Vendored, API-compatible subset of the `regex` crate.
+//!
+//! A recursive-descent parser compiles patterns to a small instruction
+//! program executed by a backtracking VM (leftmost-first semantics, like
+//! upstream). Supported syntax — the subset the workspace compiles:
+//! literals, `.`, character classes (`[A-Za-z0-9_]`, negation, ranges,
+//! `\d \w \s` inside and outside classes), capturing groups, alternation,
+//! `* + ?` (greedy and lazy), `^ $` anchors, `\b` word boundaries, and a
+//! leading `(?i)` case-insensitivity flag. No `{m,n}` counted repeats,
+//! non-capturing groups, look-around, or Unicode classes.
+//!
+//! Backtracking is exponential in the worst case; the workspace only
+//! compiles short anchored template patterns over log lines, where it is
+//! effectively linear.
+
+use std::fmt;
+use std::ops::Index;
+
+/// Pattern compilation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum ClassItem {
+    Char(char),
+    Range(char, char),
+    Digit,
+    Word,
+    Space,
+}
+
+#[derive(Debug, Clone)]
+enum Inst {
+    Char(char),
+    AnyChar,
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
+    Start,
+    End,
+    WordBoundary,
+    /// Try `a` first; on failure backtrack and try `b`.
+    Split(usize, usize),
+    Jmp(usize),
+    /// Record the current position into capture slot `n`.
+    Save(usize),
+    Match,
+}
+
+/// A compiled regular expression.
+#[derive(Clone)]
+pub struct Regex {
+    pattern: String,
+    prog: Vec<Inst>,
+    groups: usize,
+    case_insensitive: bool,
+}
+
+impl fmt::Debug for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Regex({:?})", self.pattern)
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.pattern)
+    }
+}
+
+// ---------------------------------------------------------------- parser
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    prog: Vec<Inst>,
+    groups: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(msg: impl Into<String>) -> Result<T, Error> {
+        Err(Error(msg.into()))
+    }
+
+    /// alternation := concat ('|' concat)*
+    fn parse_alt(&mut self) -> Result<(), Error> {
+        // Each alternative is compiled into its own block; Split/Jmp chains
+        // give leftmost-first preference among them.
+        let mut branch_starts = Vec::new();
+        let mut jmp_fixups = Vec::new();
+        loop {
+            let split_at = self.prog.len();
+            // Placeholder Split patched once the next branch's start is known.
+            self.prog.push(Inst::Split(0, 0));
+            branch_starts.push(split_at);
+            self.parse_concat()?;
+            if self.chars.peek() == Some(&'|') {
+                self.chars.next();
+                jmp_fixups.push(self.prog.len());
+                self.prog.push(Inst::Jmp(0));
+            } else {
+                break;
+            }
+        }
+        // Patch: each branch's Split points at its body (pc+1) and the next
+        // branch's Split. A sole branch needs no choice point at all.
+        for (i, &at) in branch_starts.iter().enumerate() {
+            let body = at + 1;
+            self.prog[at] = match branch_starts.get(i + 1) {
+                Some(&next) => Inst::Split(body, next),
+                None => Inst::Jmp(body),
+            };
+        }
+        let end = self.prog.len();
+        for at in jmp_fixups {
+            self.prog[at] = Inst::Jmp(end);
+        }
+        Ok(())
+    }
+
+    /// concat := repeat*
+    fn parse_concat(&mut self) -> Result<(), Error> {
+        while let Some(&c) = self.chars.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            self.parse_repeat()?;
+        }
+        Ok(())
+    }
+
+    /// repeat := atom ('*' | '+' | '?') '?'?
+    fn parse_repeat(&mut self) -> Result<(), Error> {
+        let atom_start = self.prog.len();
+        self.parse_atom()?;
+        let op = match self.chars.peek() {
+            Some(&c @ ('*' | '+' | '?')) => {
+                self.chars.next();
+                c
+            }
+            _ => return Ok(()),
+        };
+        let greedy = if self.chars.peek() == Some(&'?') {
+            self.chars.next();
+            false
+        } else {
+            true
+        };
+        match op {
+            '*' => {
+                // L0: Split(L1, L2); L1: atom; Jmp(L0); L2:
+                let atom_len = self.prog.len() - atom_start;
+                self.prog.insert(atom_start, Inst::Split(0, 0));
+                shift_targets(&mut self.prog[atom_start + 1..], atom_start, 1);
+                let l0 = atom_start;
+                self.prog.push(Inst::Jmp(l0));
+                let l2 = self.prog.len();
+                let l1 = l0 + 1;
+                self.prog[l0] = if greedy {
+                    Inst::Split(l1, l2)
+                } else {
+                    Inst::Split(l2, l1)
+                };
+                debug_assert!(atom_len > 0);
+            }
+            '+' => {
+                // L0: atom; Split(L0, L1); L1:
+                let l0 = atom_start;
+                let split_at = self.prog.len();
+                self.prog.push(Inst::Split(0, 0));
+                let l1 = self.prog.len();
+                self.prog[split_at] = if greedy {
+                    Inst::Split(l0, l1)
+                } else {
+                    Inst::Split(l1, l0)
+                };
+            }
+            '?' => {
+                // Split(L1, L2); L1: atom; L2:
+                self.prog.insert(atom_start, Inst::Split(0, 0));
+                shift_targets(&mut self.prog[atom_start + 1..], atom_start, 1);
+                let l0 = atom_start;
+                let l1 = l0 + 1;
+                let l2 = self.prog.len();
+                self.prog[l0] = if greedy {
+                    Inst::Split(l1, l2)
+                } else {
+                    Inst::Split(l2, l1)
+                };
+            }
+            _ => unreachable!(),
+        }
+        Ok(())
+    }
+
+    /// atom := '(' alternation ')' | class | escape | anchor | '.' | literal
+    fn parse_atom(&mut self) -> Result<(), Error> {
+        let Some(c) = self.chars.next() else {
+            return Self::err("unexpected end of pattern");
+        };
+        match c {
+            '(' => {
+                self.groups += 1;
+                let group = self.groups;
+                self.prog.push(Inst::Save(2 * group));
+                self.parse_alt()?;
+                if self.chars.next() != Some(')') {
+                    return Self::err("unclosed group");
+                }
+                self.prog.push(Inst::Save(2 * group + 1));
+            }
+            '[' => {
+                let inst = self.parse_class()?;
+                self.prog.push(inst);
+            }
+            '\\' => {
+                let Some(e) = self.chars.next() else {
+                    return Self::err("trailing backslash");
+                };
+                let inst = match e {
+                    'd' => Inst::Class {
+                        negated: false,
+                        items: vec![ClassItem::Digit],
+                    },
+                    'D' => Inst::Class {
+                        negated: true,
+                        items: vec![ClassItem::Digit],
+                    },
+                    'w' => Inst::Class {
+                        negated: false,
+                        items: vec![ClassItem::Word],
+                    },
+                    'W' => Inst::Class {
+                        negated: true,
+                        items: vec![ClassItem::Word],
+                    },
+                    's' => Inst::Class {
+                        negated: false,
+                        items: vec![ClassItem::Space],
+                    },
+                    'S' => Inst::Class {
+                        negated: true,
+                        items: vec![ClassItem::Space],
+                    },
+                    'b' => Inst::WordBoundary,
+                    'n' => Inst::Char('\n'),
+                    't' => Inst::Char('\t'),
+                    'r' => Inst::Char('\r'),
+                    other if !other.is_alphanumeric() => Inst::Char(other),
+                    other => return Self::err(format!("unsupported escape \\{other}")),
+                };
+                self.prog.push(inst);
+            }
+            '^' => self.prog.push(Inst::Start),
+            '$' => self.prog.push(Inst::End),
+            '.' => self.prog.push(Inst::AnyChar),
+            '*' | '+' | '?' => return Self::err(format!("dangling repeat operator {c}")),
+            ')' => return Self::err("unopened group"),
+            other => self.prog.push(Inst::Char(other)),
+        }
+        Ok(())
+    }
+
+    fn parse_class(&mut self) -> Result<Inst, Error> {
+        let negated = if self.chars.peek() == Some(&'^') {
+            self.chars.next();
+            true
+        } else {
+            false
+        };
+        let mut items = Vec::new();
+        loop {
+            let Some(c) = self.chars.next() else {
+                return Self::err("unclosed character class");
+            };
+            let lo = match c {
+                ']' => {
+                    if items.is_empty() && !negated {
+                        return Self::err("empty character class");
+                    }
+                    return Ok(Inst::Class { negated, items });
+                }
+                '\\' => {
+                    let Some(e) = self.chars.next() else {
+                        return Self::err("trailing backslash in class");
+                    };
+                    match e {
+                        'd' => {
+                            items.push(ClassItem::Digit);
+                            continue;
+                        }
+                        'w' => {
+                            items.push(ClassItem::Word);
+                            continue;
+                        }
+                        's' => {
+                            items.push(ClassItem::Space);
+                            continue;
+                        }
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    }
+                }
+                other => other,
+            };
+            // `a-z` range, unless the '-' is the closing literal (`[a-]`).
+            if self.chars.peek() == Some(&'-') {
+                let mut lookahead = self.chars.clone();
+                lookahead.next(); // the '-'
+                match lookahead.peek() {
+                    Some(&']') | None => items.push(ClassItem::Char(lo)),
+                    Some(&hi) => {
+                        self.chars.next();
+                        self.chars.next();
+                        if lo > hi {
+                            return Self::err(format!("invalid class range {lo}-{hi}"));
+                        }
+                        items.push(ClassItem::Range(lo, hi));
+                    }
+                }
+            } else {
+                items.push(ClassItem::Char(lo));
+            }
+        }
+    }
+}
+
+/// After inserting an instruction at `at`, bump every jump target that
+/// pointed at or past `at` by `by`.
+fn shift_targets(prog: &mut [Inst], at: usize, by: usize) {
+    for inst in prog {
+        match inst {
+            Inst::Split(a, b) => {
+                if *a >= at {
+                    *a += by;
+                }
+                if *b >= at {
+                    *b += by;
+                }
+            }
+            Inst::Jmp(t) if *t >= at => *t += by,
+            _ => {}
+        }
+    }
+}
+
+// -------------------------------------------------------------- matching
+
+fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn class_item_matches(item: &ClassItem, c: char) -> bool {
+    match *item {
+        ClassItem::Char(x) => c == x,
+        ClassItem::Range(lo, hi) => lo <= c && c <= hi,
+        ClassItem::Digit => c.is_ascii_digit(),
+        ClassItem::Word => is_word_char(c),
+        ClassItem::Space => c.is_whitespace(),
+    }
+}
+
+struct Vm<'t> {
+    prog: &'t [Inst],
+    /// Input characters with their byte offsets; a final sentinel entry
+    /// carries `text.len()` so slot positions are always byte offsets.
+    input: &'t [(usize, char)],
+    case_insensitive: bool,
+}
+
+impl Vm<'_> {
+    /// Backtracking execution from instruction `pc` at input index `sp`.
+    /// `slots` holds capture positions as *input indices*.
+    fn exec(&self, mut pc: usize, mut sp: usize, slots: &mut [Option<usize>]) -> Option<usize> {
+        loop {
+            match &self.prog[pc] {
+                Inst::Match => return Some(sp),
+                Inst::Char(want) => {
+                    let got = self.char_at(sp)?;
+                    let eq = if self.case_insensitive {
+                        got.to_lowercase().eq(want.to_lowercase())
+                    } else {
+                        got == *want
+                    };
+                    if !eq {
+                        return None;
+                    }
+                    sp += 1;
+                    pc += 1;
+                }
+                Inst::AnyChar => {
+                    let got = self.char_at(sp)?;
+                    if got == '\n' {
+                        return None;
+                    }
+                    sp += 1;
+                    pc += 1;
+                }
+                Inst::Class { negated, items } => {
+                    let got = self.char_at(sp)?;
+                    let cand = if self.case_insensitive {
+                        // Check both cases so `[a-z]` works under `(?i)`.
+                        items.iter().any(|i| {
+                            class_item_matches(i, got)
+                                || class_item_matches(i, got.to_ascii_lowercase())
+                                || class_item_matches(i, got.to_ascii_uppercase())
+                        })
+                    } else {
+                        items.iter().any(|i| class_item_matches(i, got))
+                    };
+                    if cand == *negated {
+                        return None;
+                    }
+                    sp += 1;
+                    pc += 1;
+                }
+                Inst::Start => {
+                    if sp != 0 {
+                        return None;
+                    }
+                    pc += 1;
+                }
+                Inst::End => {
+                    if self.char_at(sp).is_some() {
+                        return None;
+                    }
+                    pc += 1;
+                }
+                Inst::WordBoundary => {
+                    let before = sp.checked_sub(1).and_then(|i| self.char_at(i));
+                    let here = self.char_at(sp);
+                    let w = |c: Option<char>| c.is_some_and(is_word_char);
+                    if w(before) == w(here) {
+                        return None;
+                    }
+                    pc += 1;
+                }
+                Inst::Jmp(t) => pc = *t,
+                Inst::Split(a, b) => {
+                    let snapshot: Vec<Option<usize>> = slots.to_vec();
+                    if let Some(end) = self.exec(*a, sp, slots) {
+                        return Some(end);
+                    }
+                    slots.copy_from_slice(&snapshot);
+                    pc = *b;
+                }
+                Inst::Save(n) => {
+                    let old = slots[*n];
+                    slots[*n] = Some(sp);
+                    let snapshot_needed = pc + 1;
+                    return match self.exec(snapshot_needed, sp, slots) {
+                        Some(end) => Some(end),
+                        None => {
+                            slots[*n] = old;
+                            None
+                        }
+                    };
+                }
+            }
+        }
+    }
+
+    fn char_at(&self, sp: usize) -> Option<char> {
+        // The last entry is the end-of-text sentinel, not a real char.
+        if sp + 1 < self.input.len() {
+            Some(self.input[sp].1)
+        } else {
+            None
+        }
+    }
+}
+
+/// Input indexed by char with byte offsets, ending in a sentinel at
+/// `text.len()`.
+fn index_chars(text: &str) -> Vec<(usize, char)> {
+    let mut v: Vec<(usize, char)> = text.char_indices().collect();
+    v.push((text.len(), '\0'));
+    v
+}
+
+impl Regex {
+    /// Compile `pattern`.
+    pub fn new(pattern: &str) -> Result<Regex, Error> {
+        let mut body = pattern;
+        let mut case_insensitive = false;
+        if let Some(rest) = body.strip_prefix("(?i)") {
+            case_insensitive = true;
+            body = rest;
+        }
+        if body.contains("(?") {
+            return Parser::err("inline flag groups other than leading (?i) are unsupported");
+        }
+        let mut p = Parser {
+            chars: body.chars().peekable(),
+            prog: vec![Inst::Save(0)],
+            groups: 0,
+        };
+        p.parse_alt()?;
+        if p.chars.peek().is_some() {
+            return Parser::err("unbalanced ')'");
+        }
+        p.prog.push(Inst::Save(1));
+        p.prog.push(Inst::Match);
+        Ok(Regex {
+            pattern: pattern.to_owned(),
+            prog: p.prog,
+            groups: p.groups,
+            case_insensitive,
+        })
+    }
+
+    /// The source pattern.
+    pub fn as_str(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Whether `text` contains a match.
+    pub fn is_match(&self, text: &str) -> bool {
+        let input = index_chars(text);
+        self.search(&input, 0).is_some()
+    }
+
+    /// The first match in `text`, if any.
+    pub fn find<'t>(&self, text: &'t str) -> Option<Match<'t>> {
+        self.find_iter(text).next()
+    }
+
+    /// Iterator over non-overlapping matches, leftmost-first.
+    pub fn find_iter<'r, 't>(&'r self, text: &'t str) -> Matches<'r, 't> {
+        Matches {
+            re: self,
+            text,
+            input: index_chars(text),
+            at: 0,
+        }
+    }
+
+    /// Capture groups of the first match, if any.
+    pub fn captures<'t>(&self, text: &'t str) -> Option<Captures<'t>> {
+        self.captures_iter(text).next()
+    }
+
+    /// Iterator over capture groups of each non-overlapping match.
+    pub fn captures_iter<'r, 't>(&'r self, text: &'t str) -> CaptureMatches<'r, 't> {
+        CaptureMatches {
+            re: self,
+            text,
+            input: index_chars(text),
+            at: 0,
+        }
+    }
+
+    /// Run the VM from the first viable start at or after input index
+    /// `from`. Returns filled capture slots (byte offsets).
+    fn search(&self, input: &[(usize, char)], from: usize) -> Option<Vec<Option<usize>>> {
+        let vm = Vm {
+            prog: &self.prog,
+            input,
+            case_insensitive: self.case_insensitive,
+        };
+        let slot_count = 2 * (self.groups + 1);
+        for start in from..input.len() {
+            let mut slots = vec![None; slot_count];
+            if vm.exec(0, start, &mut slots).is_some() {
+                // Map input indices to byte offsets.
+                return Some(slots.into_iter().map(|s| s.map(|i| input[i].0)).collect());
+            }
+        }
+        None
+    }
+}
+
+/// Escape a literal so it matches itself. Mirrors upstream: every ASCII
+/// punctuation character that can carry meta meaning gets a backslash.
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        if matches!(
+            c,
+            '\\' | '.'
+                | '+'
+                | '*'
+                | '?'
+                | '('
+                | ')'
+                | '|'
+                | '['
+                | ']'
+                | '{'
+                | '}'
+                | '^'
+                | '$'
+                | '#'
+                | '&'
+                | '-'
+                | '~'
+        ) {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// A single match: byte range plus the matched text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Match<'t> {
+    text: &'t str,
+    start: usize,
+    end: usize,
+}
+
+impl<'t> Match<'t> {
+    /// Byte offset of the match start.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Byte offset one past the match end.
+    pub fn end(&self) -> usize {
+        self.end
+    }
+
+    /// The matched text.
+    pub fn as_str(&self) -> &'t str {
+        &self.text[self.start..self.end]
+    }
+
+    /// The matched byte range.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+}
+
+/// Iterator returned by [`Regex::find_iter`].
+#[derive(Debug)]
+pub struct Matches<'r, 't> {
+    re: &'r Regex,
+    text: &'t str,
+    input: Vec<(usize, char)>,
+    /// Next input index to search from.
+    at: usize,
+}
+
+impl<'t> Iterator for Matches<'_, 't> {
+    type Item = Match<'t>;
+
+    fn next(&mut self) -> Option<Match<'t>> {
+        let (start, end, next_at) = next_match(self.re, &self.input, &mut self.at)?;
+        self.at = next_at;
+        Some(Match {
+            text: self.text,
+            start,
+            end,
+        })
+    }
+}
+
+/// Capture groups for one match.
+#[derive(Debug)]
+pub struct Captures<'t> {
+    text: &'t str,
+    /// Byte-offset pairs per group; index 0 is the whole match.
+    slots: Vec<Option<usize>>,
+}
+
+impl<'t> Captures<'t> {
+    /// Group `i` of this match (0 = whole match).
+    pub fn get(&self, i: usize) -> Option<Match<'t>> {
+        let start = *self.slots.get(2 * i)?;
+        let end = *self.slots.get(2 * i + 1)?;
+        Some(Match {
+            text: self.text,
+            start: start?,
+            end: end?,
+        })
+    }
+
+    /// Number of groups, including the implicit whole-match group.
+    pub fn len(&self) -> usize {
+        self.slots.len() / 2
+    }
+
+    /// Always false: a `Captures` only exists for an actual match.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl Index<usize> for Captures<'_> {
+    type Output = str;
+
+    fn index(&self, i: usize) -> &str {
+        self.get(i)
+            .unwrap_or_else(|| panic!("no capture group {i}"))
+            .as_str()
+    }
+}
+
+/// Iterator returned by [`Regex::captures_iter`].
+#[derive(Debug)]
+pub struct CaptureMatches<'r, 't> {
+    re: &'r Regex,
+    text: &'t str,
+    input: Vec<(usize, char)>,
+    at: usize,
+}
+
+impl<'t> Iterator for CaptureMatches<'_, 't> {
+    type Item = Captures<'t>;
+
+    fn next(&mut self) -> Option<Captures<'t>> {
+        let at = self.at;
+        let mut probe = at;
+        let (_, _, next_at) = next_match(self.re, &self.input, &mut probe)?;
+        // Re-run to recover all slots (next_match discards them).
+        let slots = self.re.search(&self.input, at)?;
+        self.at = next_at;
+        Some(Captures {
+            text: self.text,
+            slots,
+        })
+    }
+}
+
+/// Shared advance logic: find the next match at or after `*at` (an input
+/// index), returning (start_byte, end_byte, next_input_index).
+fn next_match(
+    re: &Regex,
+    input: &[(usize, char)],
+    at: &mut usize,
+) -> Option<(usize, usize, usize)> {
+    if *at >= input.len() {
+        return None;
+    }
+    let slots = re.search(input, *at)?;
+    let (start_b, end_b) = (slots[0]?, slots[1]?);
+    // Convert byte offsets back to input indices to advance.
+    let start_i = input.iter().position(|&(b, _)| b == start_b)?;
+    let mut end_i = input.iter().position(|&(b, _)| b == end_b)?;
+    if end_i == start_i {
+        end_i += 1; // empty match: step one char to guarantee progress
+    }
+    Some((start_b, end_b, end_i))
+}
+
+#[cfg(test)]
+#[allow(clippy::invalid_regex)] // error-path tests use deliberately malformed patterns
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_and_anchors() {
+        let re = Regex::new("^abc$").unwrap();
+        assert!(re.is_match("abc"));
+        assert!(!re.is_match("xabc"));
+        assert!(!re.is_match("abcx"));
+    }
+
+    #[test]
+    fn escaped_metachars_are_literal() {
+        let re = Regex::new(&escape("a.b(c)+")).unwrap();
+        assert!(re.is_match("a.b(c)+"));
+        assert!(!re.is_match("aXb(c)+"));
+    }
+
+    #[test]
+    fn dot_does_not_cross_newline() {
+        let re = Regex::new("^a.c$").unwrap();
+        assert!(re.is_match("abc"));
+        assert!(!re.is_match("a\nc"));
+    }
+
+    #[test]
+    fn lazy_plus_captures_minimally() {
+        // The template-matcher shape: ^lit(.+?)lit$
+        let re = Regex::new("^x(.+?) end$").unwrap();
+        let caps = re.captures("xvalue end").unwrap();
+        assert_eq!(&caps[1], "value");
+        assert!(!re.is_match("x end"));
+    }
+
+    #[test]
+    fn classes_and_ranges() {
+        let re = Regex::new("class\\s+([A-Za-z_][A-Za-z0-9_]*)").unwrap();
+        let caps = re.captures("public class Foo_9 extends Bar {").unwrap();
+        assert_eq!(&caps[1], "Foo_9");
+        assert_eq!(caps.get(0).unwrap().as_str(), "class Foo_9");
+    }
+
+    #[test]
+    fn alternation_and_word_boundary_case_insensitive() {
+        let re = Regex::new(r"(?i)\b(log|logger)\.(trace|debug|info|warn|error)\(").unwrap();
+        assert!(re.is_match("    LOG.info(\"x\");"));
+        assert!(re.is_match("logger.Error(msg);"));
+        assert!(!re.is_match("catalog.info(x)"), "\\b must reject mid-word");
+        let m = re.find("  log.warn(stuff)").unwrap();
+        assert_eq!(m.as_str(), "log.warn(");
+    }
+
+    #[test]
+    fn find_iter_is_non_overlapping_and_ordered() {
+        let re = Regex::new(r"\.\s*(take|poll)\s*\(").unwrap();
+        let src = "q.take( x ); r . poll (y); z.take(w)";
+        let hits: Vec<&str> = re.find_iter(src).map(|m| m.as_str()).collect();
+        assert_eq!(hits, vec![".take(", ". poll (", ".take("]);
+        let starts: Vec<usize> = re.find_iter(src).map(|m| m.start()).collect();
+        assert!(starts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn captures_iter_yields_groups() {
+        let re = Regex::new("class\\s+([A-Za-z_][A-Za-z0-9_]*)").unwrap();
+        let src = "class A {} class B {}";
+        let names: Vec<String> = re.captures_iter(src).map(|c| c[1].to_owned()).collect();
+        assert_eq!(names, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn run_method_pattern() {
+        let re = Regex::new(r"public\s+void\s+run\s*\(\s*\)\s*\{").unwrap();
+        assert!(re.is_match("public void run() {"));
+        assert!(re.is_match("public  void  run ( ) {"));
+        assert!(!re.is_match("public void running() {"));
+    }
+
+    #[test]
+    fn greedy_star_and_optional() {
+        let re = Regex::new("^a*b?c$").unwrap();
+        assert!(re.is_match("c"));
+        assert!(re.is_match("aaabc"));
+        assert!(re.is_match("aac"));
+        assert!(!re.is_match("bb c"));
+    }
+
+    #[test]
+    fn negated_class() {
+        let re = Regex::new("^[^0-9]+$").unwrap();
+        assert!(re.is_match("abc"));
+        assert!(!re.is_match("ab3"));
+    }
+
+    #[test]
+    fn invalid_patterns_error() {
+        assert!(Regex::new("(unclosed").is_err());
+        assert!(Regex::new("[unclosed").is_err());
+        assert!(Regex::new("*dangling").is_err());
+        assert!(Regex::new("back\\").is_err());
+    }
+
+    #[test]
+    fn multibyte_input_offsets_are_bytes() {
+        let re = Regex::new("b+").unwrap();
+        let s = "héllo bbb";
+        let m = re.find(s).unwrap();
+        assert_eq!(&s[m.start()..m.end()], "bbb");
+    }
+}
