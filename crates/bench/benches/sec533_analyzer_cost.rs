@@ -17,11 +17,15 @@ use saad_bench::{scaled_mins, workload, StringAppender};
 use saad_cassandra::{Cluster, ClusterConfig};
 use saad_core::detector::{AnomalyDetector, DetectorConfig};
 use saad_core::feature::FeatureVector;
-use saad_core::model::{ModelBuilder, ModelConfig};
+use saad_core::model::{ModelBuilder, ModelConfig, OutlierModel, TaskClass};
+use saad_core::pipeline::{spawn_analyzer_pool, SupervisorConfig};
+use saad_core::synopsis::TaskSynopsis;
 use saad_core::tracker::VecSink;
+use saad_core::{HostId, Signature, StageId, TaskUid};
 use saad_logging::Level;
-use saad_sim::SimTime;
+use saad_sim::{SimDuration, SimTime};
 use saad_textmine::{parse_corpus_parallel, FrequencyDetector, TemplateMatcher};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -101,4 +105,264 @@ fn main() {
         throughput > 1500.0,
         "SAAD must sustain the paper's peak synopsis rate"
     );
+
+    throughput_comparison(&synopses, mins);
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer scale-out: old-style single-threaded pipeline vs the sharded pool.
+// ---------------------------------------------------------------------------
+
+/// Per-window accumulator of the pre-interning analyzer: signatures are
+/// boxed and every perf-group key is a cloned `Signature`.
+#[derive(Default, Clone)]
+struct LegacyAccum {
+    n: u64,
+    rare: u64,
+    new_signatures: Vec<Signature>,
+    perf: HashMap<Signature, (u64, u64)>,
+}
+
+/// A faithful reimplementation of the analyzer hot path as it stood before
+/// signature interning, compiled models, and batched transport:
+///
+/// * one channel send/recv per synopsis;
+/// * an allocating [`FeatureVector`] per task (boxed signature);
+/// * map-based [`OutlierModel::classify`] (hashes the full signature) plus
+///   a second signature-keyed probe for perf eligibility;
+/// * window accumulators keyed by cloned `Signature`s;
+/// * supervision bookkeeping: every feature cloned into a replay buffer
+///   and a deep state snapshot every `snapshot_every` tasks.
+///
+/// Window-closing statistics are elided (cold path, ~one event per window)
+/// which only flatters the baseline.
+struct LegacyAnalyzer {
+    model: Arc<OutlierModel>,
+    window_us: u64,
+    open: HashMap<(HostId, StageId, u64), LegacyAccum>,
+    watermark: SimTime,
+    // Supervision costs of the pre-pool pipeline.
+    snapshot_every: u64,
+    snapshot: HashMap<(HostId, StageId, u64), LegacyAccum>,
+    replay: Vec<FeatureVector>,
+    seen: u64,
+    closed_tasks: u64,
+}
+
+impl LegacyAnalyzer {
+    fn new(model: Arc<OutlierModel>, config: DetectorConfig) -> LegacyAnalyzer {
+        LegacyAnalyzer {
+            model,
+            window_us: config.window.as_micros(),
+            open: HashMap::new(),
+            watermark: SimTime::from_micros(0),
+            snapshot_every: SupervisorConfig::default().snapshot_every,
+            snapshot: HashMap::new(),
+            replay: Vec::new(),
+            seen: 0,
+            closed_tasks: 0,
+        }
+    }
+
+    fn observe(&mut self, synopsis: &TaskSynopsis) {
+        let feature = FeatureVector::from(synopsis);
+        self.replay.push(feature.clone());
+        self.seen += 1;
+        if self.seen.is_multiple_of(self.snapshot_every) {
+            self.snapshot = self.open.clone();
+            self.replay.clear();
+        }
+        let class = self.model.classify(&feature);
+        let idx = feature.start.as_micros() / self.window_us;
+        let acc = self
+            .open
+            .entry((feature.host, feature.stage, idx))
+            .or_default();
+        acc.n += 1;
+        match class {
+            TaskClass::FlowOutlier => acc.rare += 1,
+            TaskClass::NewSignature => acc.new_signatures.push(feature.signature.clone()),
+            TaskClass::PerformanceOutlier => {
+                let g = acc.perf.entry(feature.signature.clone()).or_insert((0, 0));
+                g.0 += 1;
+                g.1 += 1;
+            }
+            TaskClass::Normal => {
+                if self
+                    .model
+                    .perf_outlier_rate(feature.stage, &feature.signature)
+                    .is_some()
+                {
+                    let g = acc.perf.entry(feature.signature.clone()).or_insert((0, 0));
+                    g.0 += 1;
+                }
+            }
+        }
+        self.watermark = self.watermark.max(feature.start);
+        let closable_before = self.watermark.as_micros() / self.window_us;
+        if self.open.keys().any(|&(_, _, i)| i + 1 < closable_before) {
+            let mut closed = 0;
+            self.open.retain(|&(_, _, i), acc| {
+                let keep = i + 1 >= closable_before;
+                if !keep {
+                    closed += acc.n;
+                }
+                keep
+            });
+            self.closed_tasks += closed;
+        }
+    }
+}
+
+fn replicated_stream(
+    synopses: &[TaskSynopsis],
+    span: SimDuration,
+    repeats: u64,
+) -> Vec<TaskSynopsis> {
+    let mut stream = Vec::with_capacity(synopses.len() * repeats as usize);
+    for rep in 0..repeats {
+        let shift = SimDuration::from_micros(span.as_micros() * rep);
+        for s in synopses {
+            let mut s = s.clone();
+            s.start += shift;
+            s.uid = TaskUid(s.uid.0 + rep * synopses.len() as u64);
+            stream.push(s);
+        }
+    }
+    stream
+}
+
+fn run_legacy(model: &Arc<OutlierModel>, stream: Vec<TaskSynopsis>) -> f64 {
+    let (tx, rx) = crossbeam_channel::unbounded::<TaskSynopsis>();
+    let model = model.clone();
+    let t0 = Instant::now();
+    let join = std::thread::spawn(move || {
+        let mut analyzer = LegacyAnalyzer::new(model, DetectorConfig::default());
+        for synopsis in rx.iter() {
+            analyzer.observe(&synopsis);
+        }
+        std::hint::black_box(analyzer.closed_tasks)
+    });
+    for s in stream {
+        tx.send(s).expect("legacy analyzer alive");
+    }
+    drop(tx);
+    join.join().expect("legacy analyzer thread");
+    t0.elapsed().as_secs_f64()
+}
+
+fn run_pool(model: &Arc<OutlierModel>, stream: Vec<TaskSynopsis>, workers: usize) -> f64 {
+    const BATCH: usize = 256;
+    let (tx, rx) = crossbeam_channel::unbounded::<Vec<TaskSynopsis>>();
+    let mut batches: Vec<Vec<TaskSynopsis>> = Vec::with_capacity(stream.len() / BATCH + 1);
+    let mut it = stream.into_iter().peekable();
+    while it.peek().is_some() {
+        batches.push(it.by_ref().take(BATCH).collect());
+    }
+    let t0 = Instant::now();
+    let pool = spawn_analyzer_pool(
+        model.clone(),
+        DetectorConfig::default(),
+        SupervisorConfig::default(),
+        workers,
+        rx,
+        None,
+    );
+    for batch in batches {
+        tx.send(batch).expect("pool alive");
+    }
+    drop(tx);
+    let mut events = 0u64;
+    while pool.events().recv().is_ok() {
+        events += 1;
+    }
+    pool.join().expect("pool ran to completion");
+    std::hint::black_box(events);
+    t0.elapsed().as_secs_f64()
+}
+
+fn throughput_comparison(synopses: &[TaskSynopsis], mins: u64) {
+    println!("\n-- analyzer scale-out: legacy single thread vs sharded pool --");
+
+    // Train on the captured run so the stream exercises the trained paths,
+    // then replicate it until timings are stable.
+    let mut builder = ModelBuilder::new();
+    for s in synopses {
+        builder.observe(s);
+    }
+    let model = Arc::new(builder.build(ModelConfig::default()));
+    let span = SimDuration::from_mins(mins);
+    let repeats = (600_000 / synopses.len().max(1) as u64).max(2);
+    let stream = replicated_stream(synopses, span, repeats);
+    let total = stream.len() as u64;
+    println!("stream: {total} synopses ({repeats} replays of the captured run)");
+
+    // Warm up allocator and caches on a copy of the workload.
+    run_legacy(&model, stream.clone());
+
+    let legacy_secs = run_legacy(&model, stream.clone());
+    let legacy_tps = total as f64 / legacy_secs;
+    println!("legacy pipeline (1 thread): {legacy_secs:.2}s = {legacy_tps:.0} synopses/s");
+
+    let mut pool_rows = Vec::new();
+    for &workers in &[1usize, 2, 4, 8] {
+        let secs = run_pool(&model, stream.clone(), workers);
+        let tps = total as f64 / secs;
+        println!(
+            "sharded pool  ({workers} workers): {secs:.2}s = {tps:.0} synopses/s ({:.2}x legacy)",
+            tps / legacy_tps
+        );
+        pool_rows.push((workers, secs, tps));
+    }
+
+    let json = render_throughput_json(total, mins, legacy_secs, legacy_tps, &pool_rows);
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_analyzer_throughput.json"
+    );
+    std::fs::write(path, json).expect("write BENCH_analyzer_throughput.json");
+    println!("wrote {path}");
+
+    let (_, _, tps8) = pool_rows[pool_rows.len() - 1];
+    assert!(
+        tps8 >= 3.0 * legacy_tps,
+        "sharded pool at 8 workers must be >= 3x the legacy analyzer \
+         (got {:.2}x)",
+        tps8 / legacy_tps
+    );
+}
+
+fn render_throughput_json(
+    total: u64,
+    mins: u64,
+    legacy_secs: f64,
+    legacy_tps: f64,
+    pool_rows: &[(usize, f64, f64)],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"analyzer_throughput\",\n");
+    out.push_str(&format!("  \"synopses\": {total},\n"));
+    out.push_str(&format!("  \"virtual_minutes_per_replay\": {mins},\n"));
+    out.push_str(&format!(
+        "  \"cores\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    out.push_str(
+        "  \"baseline\": {\n    \"pipeline\": \"per-synopsis sends, boxed signatures, \
+         map-based classify, deep snapshots\",\n",
+    );
+    out.push_str(&format!(
+        "    \"secs\": {legacy_secs:.3},\n    \"synopses_per_sec\": {legacy_tps:.0}\n  }},\n"
+    ));
+    out.push_str("  \"pool\": [\n");
+    for (i, &(workers, secs, tps)) in pool_rows.iter().enumerate() {
+        let sep = if i + 1 == pool_rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{ \"workers\": {workers}, \"secs\": {secs:.3}, \
+             \"synopses_per_sec\": {tps:.0}, \"speedup_vs_baseline\": {:.2} }}{sep}\n",
+            tps / legacy_tps
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }

@@ -11,8 +11,10 @@
 //!   of over-threshold durations significantly exceeds that signature's
 //!   training outlier rate.
 
-use crate::feature::FeatureVector;
-use crate::model::{OutlierModel, TaskClass};
+use crate::feature::{FeatureVector, InternedFeature};
+use crate::intern::{SigId, SignatureInterner};
+use crate::model::{CompiledModel, OutlierModel, TaskClass};
+use crate::synopsis::TaskSynopsis;
 use crate::{HostId, Signature, StageId};
 use saad_sim::{SimDuration, SimTime};
 use saad_stats::hypothesis::{one_sided_proportion_test, Alternative};
@@ -132,19 +134,29 @@ struct WindowAccum {
     n: u64,
     rare_flow_outliers: u64,
     new_signature_tasks: u64,
-    new_signatures: Vec<Signature>,
-    // signature -> (perf outliers, group n); only perf-eligible signatures.
-    perf: HashMap<Signature, (u64, u64)>,
+    new_signatures: Vec<SigId>,
+    // interned signature -> (perf outliers, group n); only perf-eligible
+    // signatures. Keyed on the dense id — no boxed-slice re-hashing.
+    perf: HashMap<SigId, (u64, u64)>,
 }
 
 /// The windowed statistical anomaly detector.
 ///
-/// Feed it feature vectors with [`AnomalyDetector::observe`]; events are
-/// returned as windows close. Call [`AnomalyDetector::flush`] at the end of
-/// a run to close all remaining windows.
+/// Feed it feature vectors with [`AnomalyDetector::observe`] (or, on the
+/// hot path, pre-interned features with
+/// [`AnomalyDetector::observe_interned`]); events are returned as windows
+/// close. Call [`AnomalyDetector::flush`] at the end of a run to close
+/// all remaining windows.
+///
+/// Internally the detector runs entirely on interned [`SigId`]s against a
+/// [`CompiledModel`]: classification is two array indexes and a float
+/// compare, and window accumulators key on `u32` ids. Signatures are
+/// only materialized when an event is emitted at window close.
 #[derive(Debug)]
 pub struct AnomalyDetector {
     model: Arc<OutlierModel>,
+    compiled: Arc<CompiledModel>,
+    interner: Arc<SignatureInterner>,
     config: DetectorConfig,
     open: HashMap<(HostId, StageId, u64), WindowAccum>,
     // (host, window idx) -> synopses the transport reported lost.
@@ -160,6 +172,8 @@ pub struct AnomalyDetector {
 #[derive(Debug, Clone)]
 pub struct DetectorSnapshot {
     model: Arc<OutlierModel>,
+    compiled: Arc<CompiledModel>,
+    interner: Arc<SignatureInterner>,
     config: DetectorConfig,
     open: HashMap<(HostId, StageId, u64), WindowAccum>,
     lost: HashMap<(HostId, u64), u64>,
@@ -182,12 +196,36 @@ impl AnomalyDetector {
     ///
     /// Panics if the configured window is zero.
     pub fn new(model: Arc<OutlierModel>, config: DetectorConfig) -> AnomalyDetector {
+        let interner = Arc::new(SignatureInterner::new());
+        let compiled = Arc::new(model.compile(&interner));
+        AnomalyDetector::with_shared(model, compiled, interner, config)
+    }
+
+    /// Create a detector over pre-built shared parts. This is how the
+    /// analyzer pool gives every shard the same interner and compiled
+    /// model: interning and compilation happen once, each shard keeps
+    /// only its own window state.
+    ///
+    /// `compiled` must have been produced by `model.compile(&interner)`
+    /// with this same interner, or classification results are undefined.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured window is zero.
+    pub fn with_shared(
+        model: Arc<OutlierModel>,
+        compiled: Arc<CompiledModel>,
+        interner: Arc<SignatureInterner>,
+        config: DetectorConfig,
+    ) -> AnomalyDetector {
         assert!(
             config.window > SimDuration::ZERO,
             "detection window must be positive"
         );
         AnomalyDetector {
             model,
+            compiled,
+            interner,
             config,
             open: HashMap::new(),
             lost: HashMap::new(),
@@ -204,6 +242,8 @@ impl AnomalyDetector {
     pub fn snapshot(&self) -> DetectorSnapshot {
         DetectorSnapshot {
             model: self.model.clone(),
+            compiled: self.compiled.clone(),
+            interner: self.interner.clone(),
             config: self.config,
             open: self.open.clone(),
             lost: self.lost.clone(),
@@ -218,6 +258,8 @@ impl AnomalyDetector {
     pub fn from_snapshot(snapshot: DetectorSnapshot) -> AnomalyDetector {
         AnomalyDetector {
             model: snapshot.model,
+            compiled: snapshot.compiled,
+            interner: snapshot.interner,
             config: snapshot.config,
             open: snapshot.open,
             lost: snapshot.lost,
@@ -230,6 +272,17 @@ impl AnomalyDetector {
     /// The model in use.
     pub fn model(&self) -> &OutlierModel {
         &self.model
+    }
+
+    /// The signature interner backing this detector's interned features.
+    pub fn interner(&self) -> &Arc<SignatureInterner> {
+        &self.interner
+    }
+
+    /// The compiled (dense, read-only) form of the model the hot path
+    /// classifies against.
+    pub fn compiled(&self) -> &Arc<CompiledModel> {
+        &self.compiled
     }
 
     /// Total tasks observed.
@@ -274,20 +327,37 @@ impl AnomalyDetector {
     /// full window past their end, tolerating modest reordering in the
     /// synopsis stream.
     pub fn observe(&mut self, f: &FeatureVector) -> Vec<AnomalyEvent> {
+        let interned = f.intern(&self.interner);
+        self.observe_interned(&interned)
+    }
+
+    /// Observe one task straight from its synopsis — interns the points
+    /// without materializing a boxed [`Signature`]. Equivalent to
+    /// `observe(&FeatureVector::from(s))` but allocation-free on the
+    /// already-interned path.
+    pub fn observe_synopsis(&mut self, s: &TaskSynopsis) -> Vec<AnomalyEvent> {
+        let interned = InternedFeature::from_synopsis(s, &self.interner);
+        self.observe_interned(&interned)
+    }
+
+    /// Observe one pre-interned task; returns events from any windows
+    /// that closed. This is the hot path: classification is two array
+    /// indexes and a float compare against the compiled model, and the
+    /// window accumulators key on the dense [`SigId`].
+    ///
+    /// The feature must have been interned through this detector's own
+    /// interner (see [`AnomalyDetector::interner`]).
+    pub fn observe_interned(&mut self, f: &InternedFeature) -> Vec<AnomalyEvent> {
         self.tasks_seen += 1;
         let idx = self.window_index(f.start);
-        let class = self.model.classify(f);
+        let class = self.compiled.classify(f.stage, f.sig, f.duration_us);
         let acc = self.open.entry((f.host, f.stage, idx)).or_default();
         acc.n += 1;
         match class {
             TaskClass::Normal | TaskClass::PerformanceOutlier => {
                 // Track the per-signature performance group when eligible.
-                if self
-                    .model
-                    .perf_outlier_rate(f.stage, &f.signature)
-                    .is_some()
-                {
-                    let g = acc.perf.entry(f.signature.clone()).or_insert((0, 0));
+                if self.compiled.perf_p0(f.stage, f.sig).is_some() {
+                    let g = acc.perf.entry(f.sig).or_insert((0, 0));
                     g.1 += 1;
                     if class == TaskClass::PerformanceOutlier {
                         g.0 += 1;
@@ -297,17 +367,40 @@ impl AnomalyDetector {
             TaskClass::FlowOutlier => acc.rare_flow_outliers += 1,
             TaskClass::NewSignature => {
                 acc.new_signature_tasks += 1;
-                if !acc.new_signatures.contains(&f.signature)
+                if !acc.new_signatures.contains(&f.sig)
                     && acc.new_signatures.len() < self.config.max_new_signatures
                 {
-                    acc.new_signatures.push(f.signature.clone());
+                    acc.new_signatures.push(f.sig);
                 }
             }
         }
         // Advance the watermark and close stale windows.
         self.watermark = self.watermark.max(f.start);
-        let closable_before = self.window_index(self.watermark); // grace = 1 window
         let mut events = Vec::new();
+        self.close_stale(&mut events);
+        events
+    }
+
+    /// Advance the watermark to (at least) `to` and close any windows
+    /// that became stale, returning their events.
+    ///
+    /// A sharded analyzer needs this because each shard only sees a slice
+    /// of the stream: its own watermark lags the global one, which would
+    /// keep windows open that a single-threaded detector (whose watermark
+    /// the full stream advances) has already closed — and a late task
+    /// would then be merged into a window the single-threaded run had
+    /// split off. The pool's router stamps every synopsis with the global
+    /// stream watermark and the shard advances to it first, reproducing
+    /// single-threaded window-closure timing exactly.
+    pub fn advance_watermark(&mut self, to: SimTime) -> Vec<AnomalyEvent> {
+        self.watermark = self.watermark.max(to);
+        let mut events = Vec::new();
+        self.close_stale(&mut events);
+        events
+    }
+
+    fn close_stale(&mut self, events: &mut Vec<AnomalyEvent>) {
+        let closable_before = self.window_index(self.watermark); // grace = 1 window
         let mut stale: Vec<(HostId, StageId, u64)> = self
             .open
             .keys()
@@ -318,12 +411,11 @@ impl AnomalyDetector {
         stale.sort_unstable();
         for key in stale {
             let acc = self.open.remove(&key).expect("key just listed");
-            self.close_window(key, acc, &mut events);
+            self.close_window(key, acc, events);
         }
         // Loss entries for windows that just closed can no longer affect
         // any test; drop them so the map stays bounded on long runs.
         self.lost.retain(|&(_, i), _| i + 1 >= closable_before);
-        events
     }
 
     /// Close every open window and return the resulting events.
@@ -356,13 +448,15 @@ impl AnomalyDetector {
         } else {
             acc.n as f64 / (acc.n + lost) as f64
         };
-        // (ii) New signatures: report each, no test required.
-        for sig in &acc.new_signatures {
+        // (ii) New signatures: report each, no test required. Ids resolve
+        // back to full signatures only here, on the (cold) emission path.
+        for &sig in &acc.new_signatures {
+            let signature = self.interner.resolve(sig).expect("sig interned by observe");
             events.push(AnomalyEvent {
                 host,
                 stage,
                 window_start,
-                kind: AnomalyKind::FlowNew(sig.clone()),
+                kind: AnomalyKind::FlowNew(signature),
                 p_value: None,
                 outliers: acc.new_signature_tasks,
                 window_tasks: acc.n,
@@ -373,7 +467,7 @@ impl AnomalyDetector {
         // by the known-lost count.
         if acc.n >= self.config.min_window_tasks {
             let outliers = acc.rare_flow_outliers + acc.new_signature_tasks;
-            let p0 = self.model.flow_outlier_rate(stage);
+            let p0 = self.compiled.flow_outlier_rate(stage);
             let r = one_sided_proportion_test(outliers, acc.n + lost, p0, Alternative::Greater);
             if r.rejects(self.config.alpha) && acc.rare_flow_outliers > 0 {
                 events.push(AnomalyEvent {
@@ -388,28 +482,37 @@ impl AnomalyDetector {
                 });
             }
         }
-        // Performance tests per signature group (sorted for deterministic
-        // emission order).
-        let mut groups: Vec<(&Signature, &(u64, u64))> = acc.perf.iter().collect();
-        groups.sort_unstable_by(|a, b| a.0.cmp(b.0));
-        for (sig, &(outliers, n)) in groups {
+        // Performance tests per signature group. Emission order must stay
+        // deterministic and independent of interning order, so groups are
+        // resolved to their signatures and sorted by signature — not by
+        // the (arrival-order-dependent) SigId.
+        let mut groups: Vec<(Signature, SigId, u64, u64)> = acc
+            .perf
+            .iter()
+            .map(|(&sig, &(outliers, n))| {
+                let signature = self.interner.resolve(sig).expect("sig interned by observe");
+                (signature, sig, outliers, n)
+            })
+            .collect();
+        groups.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        for (signature, sig, outliers, n) in groups {
             if n < self.config.min_group_tasks {
                 continue;
             }
-            let Some(p0) = self.model.perf_outlier_rate(stage, sig) else {
+            // Eligible groups always carry a compiled p0, already floored
+            // at `1 - duration_percentile/100` so a training rate of 0
+            // (every training task at or below the threshold due to ties)
+            // cannot make a single outlier fire with p = 0.
+            let Some(p0) = self.compiled.perf_p0(stage, sig) else {
                 continue;
             };
-            // Training rate can be 0 when ties keep every training task at
-            // or below the threshold; require a minimal baseline so a
-            // single outlier doesn't fire with p = 0.
-            let p0 = p0.max(1.0 - self.model.config().duration_percentile / 100.0);
             let r = one_sided_proportion_test(outliers, n, p0, Alternative::Greater);
             if r.rejects(self.config.alpha) {
                 events.push(AnomalyEvent {
                     host,
                     stage,
                     window_start,
-                    kind: AnomalyKind::Performance(sig.clone()),
+                    kind: AnomalyKind::Performance(signature),
                     p_value: Some(r.p_value),
                     outliers,
                     window_tasks: n,

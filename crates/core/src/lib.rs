@@ -89,6 +89,7 @@ pub mod codec;
 pub mod detector;
 pub mod feature;
 mod ids;
+pub mod intern;
 pub mod model;
 pub mod pipeline;
 pub mod report;
@@ -106,8 +107,9 @@ pub use stage_registry::StageRegistry;
 /// Convenient glob import of the commonly used types.
 pub mod prelude {
     pub use crate::detector::{AnomalyDetector, AnomalyEvent, AnomalyKind, DetectorConfig};
-    pub use crate::feature::FeatureVector;
-    pub use crate::model::{ModelBuilder, ModelConfig, OutlierModel, TaskClass};
+    pub use crate::feature::{FeatureVector, InternedFeature};
+    pub use crate::intern::{SigId, SignatureInterner};
+    pub use crate::model::{CompiledModel, ModelBuilder, ModelConfig, OutlierModel, TaskClass};
     pub use crate::synopsis::TaskSynopsis;
     pub use crate::tracker::{SynopsisSink, TaskExecutionTracker, VecSink};
     pub use crate::{HostId, Signature, StageId, StageRegistry, TaskUid};

@@ -12,7 +12,8 @@
 //!    not support a stable threshold (held-out outlier rate far above
 //!    nominal) are discarded from performance detection.
 
-use crate::feature::FeatureVector;
+use crate::feature::{FeatureVector, InternedFeature};
+use crate::intern::{SigId, SignatureInterner};
 use crate::synopsis::TaskSynopsis;
 use crate::{Signature, StageId};
 use saad_stats::kfold::validate_percentile_threshold;
@@ -135,12 +136,15 @@ impl ModelBuilder {
     /// Add one training feature vector.
     pub fn observe_feature(&mut self, f: &FeatureVector) {
         self.observed += 1;
-        self.groups
-            .entry(f.stage)
-            .or_default()
-            .entry(f.signature.clone())
-            .or_default()
-            .push(f.duration_us);
+        let sigs = self.groups.entry(f.stage).or_default();
+        // `entry(sig.clone())` would clone the boxed signature on every
+        // observation; clone only when the group is first created.
+        match sigs.get_mut(&f.signature) {
+            Some(durations) => durations.push(f.duration_us),
+            None => {
+                sigs.insert(f.signature.clone(), vec![f.duration_us]);
+            }
+        }
     }
 
     /// Number of training tasks observed.
@@ -275,6 +279,176 @@ impl OutlierModel {
         let sig = self.stages.get(&stage)?.signatures.get(signature)?;
         sig.duration_threshold_us
             .map(|_| sig.training_perf_outlier_rate)
+    }
+
+    /// Compile the model into dense [`SigId`]-indexed tables.
+    ///
+    /// Every training signature is interned into `interner`; the
+    /// resulting [`CompiledModel`] classifies with two array indexes and
+    /// a float compare — no hashing, no locks — and is immutable, so it
+    /// can be shared across analyzer shards behind an `Arc`. Signatures
+    /// interned *after* compilation get ids beyond the compiled tables
+    /// and classify as [`TaskClass::NewSignature`], exactly like the
+    /// map-based [`OutlierModel::classify`].
+    pub fn compile(&self, interner: &SignatureInterner) -> CompiledModel {
+        let p0_floor = 1.0 - self.config.duration_percentile / 100.0;
+        // Intern everything first: table sizes depend on the final id
+        // range.
+        let mut entries: Vec<(StageId, Vec<(SigId, CompiledSig)>)> = self
+            .stages
+            .iter()
+            .map(|(&stage, sm)| {
+                let sigs = sm
+                    .signatures
+                    .iter()
+                    .map(|(sig, s)| {
+                        let id = interner.intern(sig);
+                        let compiled = if s.is_flow_outlier {
+                            CompiledSig::Flow
+                        } else if let Some(threshold_us) = s.duration_threshold_us {
+                            CompiledSig::Perf {
+                                threshold_us,
+                                p0: s.training_perf_outlier_rate.max(p0_floor),
+                            }
+                        } else {
+                            CompiledSig::Normal
+                        };
+                        (id, compiled)
+                    })
+                    .collect();
+                (stage, sigs)
+            })
+            .collect();
+        let sig_table_len = interner.capacity();
+        let stage_table_len = entries
+            .iter()
+            .map(|&(stage, _)| stage.0 as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut stages: Vec<Option<CompiledStage>> = Vec::new();
+        stages.resize_with(stage_table_len, || None);
+        for (stage, sigs) in entries.drain(..) {
+            let mut table = vec![CompiledSig::New; sig_table_len];
+            for (id, compiled) in sigs {
+                table[id.0 as usize] = compiled;
+            }
+            stages[stage.0 as usize] = Some(CompiledStage {
+                sigs: table.into_boxed_slice(),
+                flow_outlier_rate: self.flow_outlier_rate(stage),
+            });
+        }
+        CompiledModel {
+            stages: stages.into_boxed_slice(),
+        }
+    }
+}
+
+/// Compiled per-(stage, signature) classification entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CompiledSig {
+    /// Signature not seen in this stage's training data.
+    New,
+    /// Trained flow outlier (rare signature).
+    Flow,
+    /// Trained common signature, excluded from performance detection.
+    Normal,
+    /// Trained common signature with a stable duration threshold.
+    Perf {
+        /// Duration threshold in µs.
+        threshold_us: f64,
+        /// Training outlier proportion, pre-floored at
+        /// `1 − duration_percentile/100` (the detector's null rate).
+        p0: f64,
+    },
+}
+
+/// One stage's dense signature table.
+#[derive(Debug, Clone, PartialEq)]
+struct CompiledStage {
+    /// Indexed by `SigId`; ids beyond the table are new signatures.
+    sigs: Box<[CompiledSig]>,
+    flow_outlier_rate: f64,
+}
+
+/// A dense, read-only compilation of an [`OutlierModel`].
+///
+/// Produced by [`OutlierModel::compile`]; classification is two array
+/// indexes and a float compare. Immutable and `Sync` — share it across
+/// analyzer shards with `Arc`.
+///
+/// # Example
+///
+/// ```
+/// use saad_core::intern::SignatureInterner;
+/// use saad_core::prelude::*;
+///
+/// let model = ModelBuilder::new().build(ModelConfig::default());
+/// let interner = SignatureInterner::new();
+/// let compiled = model.compile(&interner);
+/// let sig = interner.intern(&Signature::empty());
+/// assert_eq!(
+///     compiled.classify(StageId(0), sig, 10.0),
+///     TaskClass::NewSignature,
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledModel {
+    stages: Box<[Option<CompiledStage>]>,
+}
+
+impl CompiledModel {
+    fn entry(&self, stage: StageId, sig: SigId) -> CompiledSig {
+        match self.stages.get(stage.0 as usize) {
+            Some(Some(s)) => s
+                .sigs
+                .get(sig.0 as usize)
+                .copied()
+                .unwrap_or(CompiledSig::New),
+            // Whole stage never seen in training.
+            _ => CompiledSig::New,
+        }
+    }
+
+    /// Classify one runtime task. Agrees exactly with
+    /// [`OutlierModel::classify`] on the model this was compiled from
+    /// (ids resolved through the same interner).
+    pub fn classify(&self, stage: StageId, sig: SigId, duration_us: f64) -> TaskClass {
+        match self.entry(stage, sig) {
+            CompiledSig::New => TaskClass::NewSignature,
+            CompiledSig::Flow => TaskClass::FlowOutlier,
+            CompiledSig::Normal => TaskClass::Normal,
+            CompiledSig::Perf { threshold_us, .. } => {
+                if duration_us > threshold_us {
+                    TaskClass::PerformanceOutlier
+                } else {
+                    TaskClass::Normal
+                }
+            }
+        }
+    }
+
+    /// Classify an interned feature.
+    pub fn classify_feature(&self, f: &InternedFeature) -> TaskClass {
+        self.classify(f.stage, f.sig, f.duration_us)
+    }
+
+    /// Training flow-outlier proportion for a stage (0 if untrained).
+    pub fn flow_outlier_rate(&self, stage: StageId) -> f64 {
+        match self.stages.get(stage.0 as usize) {
+            Some(Some(s)) => s.flow_outlier_rate,
+            _ => 0.0,
+        }
+    }
+
+    /// Null proportion for the performance test of a (stage, signature)
+    /// group — the training outlier rate floored at
+    /// `1 − duration_percentile/100` — or `None` when the group is not
+    /// performance-eligible.
+    pub fn perf_p0(&self, stage: StageId, sig: SigId) -> Option<f64> {
+        match self.entry(stage, sig) {
+            CompiledSig::Perf { p0, .. } => Some(p0),
+            _ => None,
+        }
     }
 }
 
@@ -425,6 +599,67 @@ mod tests {
         assert_eq!(model.classify(&f), TaskClass::NewSignature);
         assert_eq!(model.stage_count(), 0);
         assert_eq!(model.flow_outlier_rate(StageId(0)), 0.0);
+    }
+
+    #[test]
+    fn compiled_model_agrees_with_map_classify() {
+        let model = figure4_model();
+        let interner = SignatureInterner::new();
+        let compiled = model.compile(&interner);
+        let cases = [
+            synopsis(0, &[1, 2, 4, 5], 10_000, 1),    // normal
+            synopsis(0, &[1, 2, 4, 5], 80_000, 2),    // perf outlier
+            synopsis(0, &[1, 2, 3, 4, 5], 10_000, 3), // flow outlier
+            synopsis(0, &[1, 9], 10_000, 4),          // new signature
+            synopsis(42, &[1], 10, 5),                // unseen stage
+        ];
+        for s in &cases {
+            let f = FeatureVector::from(s);
+            let interned = f.intern(&interner);
+            assert_eq!(
+                compiled.classify_feature(&interned),
+                model.classify(&f),
+                "case {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_rates_match_model() {
+        let model = figure4_model();
+        let interner = SignatureInterner::new();
+        let compiled = model.compile(&interner);
+        assert_eq!(
+            compiled.flow_outlier_rate(StageId(0)),
+            model.flow_outlier_rate(StageId(0))
+        );
+        assert_eq!(compiled.flow_outlier_rate(StageId(42)), 0.0);
+        let common = Signature::from_points([1, 2, 4, 5].map(LogPointId));
+        let rare = Signature::from_points([1, 2, 3, 4, 5].map(LogPointId));
+        let floor = 1.0 - model.config().duration_percentile / 100.0;
+        let expected = model
+            .perf_outlier_rate(StageId(0), &common)
+            .unwrap()
+            .max(floor);
+        assert_eq!(
+            compiled.perf_p0(StageId(0), interner.intern(&common)),
+            Some(expected)
+        );
+        assert_eq!(compiled.perf_p0(StageId(0), interner.intern(&rare)), None);
+    }
+
+    #[test]
+    fn signatures_interned_after_compile_classify_as_new() {
+        let model = figure4_model();
+        let interner = SignatureInterner::new();
+        let compiled = model.compile(&interner);
+        // Interned only at runtime — id beyond every compiled table.
+        let late = interner.intern(&Signature::from_points([LogPointId(77)]));
+        assert_eq!(
+            compiled.classify(StageId(0), late, 1.0),
+            TaskClass::NewSignature
+        );
+        assert_eq!(compiled.perf_p0(StageId(0), late), None);
     }
 
     #[test]

@@ -25,13 +25,26 @@
 //!   [`SupervisorConfig::silent_after`] detection windows raises an
 //!   [`AnomalyKind::HostSilent`] event, so a dead link is an explicit
 //!   anomaly instead of a quiet gap in the data.
+//!
+//! # Scale-out
+//!
+//! [`spawn_analyzer_pool`] shards the analyzer across worker threads by
+//! `hash(host, stage)`: since all windowed detector state is keyed per
+//! `(host, stage)`, sharding preserves the single-threaded event stream
+//! exactly (as a multiset). Shards share one [`SignatureInterner`] and one
+//! compiled model, keep the same supervision semantics per shard, and
+//! receive whole batches in a single channel send (see [`feed_frame`] for
+//! the transport glue).
 
-use crate::detector::{AnomalyDetector, AnomalyEvent, AnomalyKind, DetectorConfig};
-use crate::feature::FeatureVector;
+use crate::detector::{
+    AnomalyDetector, AnomalyEvent, AnomalyKind, DetectorConfig, DetectorSnapshot,
+};
+use crate::feature::{FeatureVector, InternedFeature};
+use crate::intern::SignatureInterner;
 use crate::model::OutlierModel;
 use crate::synopsis::TaskSynopsis;
 use crate::tracker::SynopsisSink;
-use crate::transport::LossReport;
+use crate::transport::{FrameOutcome, LossReport};
 use crate::{HostId, StageId};
 use crossbeam_channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use saad_sim::SimTime;
@@ -81,17 +94,50 @@ impl DropCounts {
     }
 }
 
+/// Per-host drop counters, updated lock-free once allocated. Producers on
+/// different hosts never contend on a shared mutex; each reason is a plain
+/// relaxed atomic increment.
+#[derive(Debug, Default)]
+struct HostDropCounters {
+    newest: AtomicU64,
+    oldest: AtomicU64,
+    timed_out: AtomicU64,
+    disconnected: AtomicU64,
+}
+
+impl HostDropCounters {
+    fn snapshot(&self) -> DropCounts {
+        DropCounts {
+            newest: self.newest.load(Ordering::Relaxed),
+            oldest: self.oldest.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            disconnected: self.disconnected.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Shared, exact drop accounting for one sink (and its clones).
+///
+/// The per-host table takes a write lock only the first time a host drops
+/// anything; every subsequent drop is a read-lock plus one relaxed atomic
+/// add, so overloaded producers do not serialize on a global mutex.
 #[derive(Debug, Default)]
 pub struct SinkStats {
     total: AtomicU64,
-    by_host: parking_lot::Mutex<HashMap<HostId, DropCounts>>,
+    by_host: parking_lot::RwLock<HashMap<HostId, Arc<HostDropCounters>>>,
 }
 
 impl SinkStats {
-    fn record(&self, host: HostId, bump: impl FnOnce(&mut DropCounts)) {
+    fn counters(&self, host: HostId) -> Arc<HostDropCounters> {
+        if let Some(c) = self.by_host.read().get(&host) {
+            return c.clone();
+        }
+        self.by_host.write().entry(host).or_default().clone()
+    }
+
+    fn record(&self, host: HostId, bump: impl FnOnce(&HostDropCounters)) {
         self.total.fetch_add(1, Ordering::Relaxed);
-        bump(self.by_host.lock().entry(host).or_default());
+        bump(&self.counters(host));
     }
 
     /// Total synopses dropped, all hosts and reasons.
@@ -101,12 +147,20 @@ impl SinkStats {
 
     /// Per-host drop counts.
     pub fn drops_by_host(&self) -> HashMap<HostId, DropCounts> {
-        self.by_host.lock().clone()
+        self.by_host
+            .read()
+            .iter()
+            .map(|(&host, c)| (host, c.snapshot()))
+            .collect()
     }
 
     /// Drop counts for one host (zeroes if nothing was dropped).
     pub fn drops_for(&self, host: HostId) -> DropCounts {
-        self.by_host.lock().get(&host).copied().unwrap_or_default()
+        self.by_host
+            .read()
+            .get(&host)
+            .map(|c| c.snapshot())
+            .unwrap_or_default()
     }
 }
 
@@ -190,10 +244,12 @@ impl ChannelSink {
         match policy {
             OverloadPolicy::DropNewest => match self.tx.try_send(synopsis) {
                 Ok(()) => {}
-                Err(TrySendError::Full(s)) => self.stats.record(s.host, |c| c.newest += 1),
-                Err(TrySendError::Disconnected(s)) => {
-                    self.stats.record(s.host, |c| c.disconnected += 1)
-                }
+                Err(TrySendError::Full(s)) => self.stats.record(s.host, |c| {
+                    c.newest.fetch_add(1, Ordering::Relaxed);
+                }),
+                Err(TrySendError::Disconnected(s)) => self.stats.record(s.host, |c| {
+                    c.disconnected.fetch_add(1, Ordering::Relaxed);
+                }),
             },
             OverloadPolicy::DropOldest => {
                 let evict = self.evict.as_ref().expect("DropOldest sink has receiver");
@@ -204,26 +260,36 @@ impl ChannelSink {
                         Err(TrySendError::Full(s)) => {
                             synopsis = s;
                             if let Ok(old) = evict.try_recv() {
-                                self.stats.record(old.host, |c| c.oldest += 1);
+                                self.stats.record(old.host, |c| {
+                                    c.oldest.fetch_add(1, Ordering::Relaxed);
+                                });
                             }
                         }
                         Err(TrySendError::Disconnected(s)) => {
-                            self.stats.record(s.host, |c| c.disconnected += 1);
+                            self.stats.record(s.host, |c| {
+                                c.disconnected.fetch_add(1, Ordering::Relaxed);
+                            });
                             return;
                         }
                     }
                 }
                 // Pathological contention: other producers refilled the
                 // slot we evicted, every time. Give up on this synopsis.
-                self.stats.record(synopsis.host, |c| c.newest += 1);
+                self.stats.record(synopsis.host, |c| {
+                    c.newest.fetch_add(1, Ordering::Relaxed);
+                });
             }
             OverloadPolicy::Block { timeout } => match self.tx.send_timeout(synopsis, timeout) {
                 Ok(()) => {}
                 Err(crossbeam_channel::SendTimeoutError::Timeout(s)) => {
-                    self.stats.record(s.host, |c| c.timed_out += 1)
+                    self.stats.record(s.host, |c| {
+                        c.timed_out.fetch_add(1, Ordering::Relaxed);
+                    })
                 }
                 Err(crossbeam_channel::SendTimeoutError::Disconnected(s)) => {
-                    self.stats.record(s.host, |c| c.disconnected += 1)
+                    self.stats.record(s.host, |c| {
+                        c.disconnected.fetch_add(1, Ordering::Relaxed);
+                    })
                 }
             },
         }
@@ -236,7 +302,9 @@ impl SynopsisSink for ChannelSink {
             None => {
                 // Unbounded: only a dead analyzer can refuse the synopsis.
                 if let Err(e) = self.tx.send(synopsis) {
-                    self.stats.record(e.0.host, |c| c.disconnected += 1);
+                    self.stats.record(e.0.host, |c| {
+                        c.disconnected.fetch_add(1, Ordering::Relaxed);
+                    });
                 }
             }
             Some(policy) => self.submit_bounded(policy, synopsis),
@@ -577,6 +645,128 @@ impl LivenessTracker {
     }
 }
 
+/// The supervised detector core shared by [`spawn_supervised_analyzer`]
+/// and the shard workers of [`spawn_analyzer_pool`]: a detector behind a
+/// panic boundary with snapshot/replay recovery and poison-pill skipping.
+///
+/// Liveness tracking stays with the caller — it must see the full stream
+/// (the pool's router does; a shard only sees its slice).
+struct SupervisedDetector {
+    detector: AnomalyDetector,
+    snapshot: DetectorSnapshot,
+    // Everything successfully applied since `snapshot` — each feature
+    // with the global-stream watermark in force when it was observed —
+    // for replay after a restart. Events from replay are suppressed
+    // (they were already emitted before the crash).
+    replay: Vec<(InternedFeature, SimTime)>,
+    replay_losses: Vec<LossReport>,
+    supervisor: SupervisorConfig,
+    restarts_used: u32,
+    received: u64,
+    restarts: Arc<AtomicU64>,
+    skipped: Arc<AtomicU64>,
+}
+
+impl SupervisedDetector {
+    fn new(
+        detector: AnomalyDetector,
+        supervisor: SupervisorConfig,
+        restarts: Arc<AtomicU64>,
+        skipped: Arc<AtomicU64>,
+    ) -> SupervisedDetector {
+        let snapshot = detector.snapshot();
+        SupervisedDetector {
+            detector,
+            snapshot,
+            replay: Vec::new(),
+            replay_losses: Vec::new(),
+            supervisor,
+            restarts_used: 0,
+            received: 0,
+            restarts,
+            skipped,
+        }
+    }
+
+    fn interner(&self) -> &Arc<SignatureInterner> {
+        self.detector.interner()
+    }
+
+    fn record_loss(&mut self, report: LossReport) {
+        self.detector
+            .record_loss(report.host, report.at, report.count);
+        self.replay_losses.push(report);
+    }
+
+    /// Observe one interned feature inside the panic boundary, first
+    /// advancing the detector to `watermark` — the global-stream
+    /// watermark, which for a pool shard runs ahead of what the shard's
+    /// own slice implies (see [`AnomalyDetector::advance_watermark`]).
+    /// A panic restores the detector from its latest snapshot, replays
+    /// the since-snapshot tail, and skips the poison feature; only an
+    /// exhausted restart budget is a terminal error.
+    fn observe(
+        &mut self,
+        feature: InternedFeature,
+        watermark: SimTime,
+    ) -> Result<Vec<AnomalyEvent>, AnalyzerError> {
+        self.received += 1;
+        let received = self.received;
+        let inject = self.supervisor.panic_after == Some(received);
+        let detector = &mut self.detector;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if inject {
+                panic!("injected analyzer fault at synopsis {received}");
+            }
+            let mut events = detector.advance_watermark(watermark);
+            events.extend(detector.observe_interned(&feature));
+            events
+        }));
+        match outcome {
+            Ok(events) => {
+                self.replay.push((feature, watermark));
+                if self.replay.len() as u64 >= self.supervisor.snapshot_every {
+                    self.snapshot = self.detector.snapshot();
+                    self.replay.clear();
+                    self.replay_losses.clear();
+                }
+                Ok(events)
+            }
+            Err(payload) => {
+                self.restarts_used += 1;
+                if self.restarts_used > self.supervisor.max_restarts {
+                    return Err(AnalyzerError::RestartsExhausted {
+                        restarts: self.restarts_used - 1,
+                        panic: panic_message(payload.as_ref()),
+                    });
+                }
+                self.restarts.fetch_add(1, Ordering::Relaxed);
+                // The synopsis that triggered the panic is skipped, not
+                // retried: a deterministic poison pill would otherwise
+                // crash-loop the analyzer.
+                self.skipped.fetch_add(1, Ordering::Relaxed);
+                self.detector = AnomalyDetector::from_snapshot(self.snapshot.clone());
+                for report in &self.replay_losses {
+                    self.detector
+                        .record_loss(report.host, report.at, report.count);
+                }
+                for (feature, watermark) in &self.replay {
+                    // Events already emitted before the crash.
+                    let _ = self.detector.advance_watermark(*watermark);
+                    let _ = self.detector.observe_interned(feature);
+                }
+                Ok(Vec::new())
+            }
+        }
+    }
+
+    /// Close all open windows and hand the detector back.
+    fn finish(mut self) -> (Vec<AnomalyEvent>, AnomalyDetector) {
+        let events = self.detector.flush();
+        (events, self.detector)
+    }
+}
+
 /// Spawn a supervised analyzer: like [`spawn_analyzer`], plus a panic
 /// boundary with snapshot/replay recovery, per-host liveness tracking, and
 /// optional link-loss reports feeding the degradation-aware detector.
@@ -599,80 +789,35 @@ pub fn spawn_supervised_analyzer(
     let (processed_inner, restarts_inner, skipped_inner) =
         (processed.clone(), restarts.clone(), skipped.clone());
     let window = config.window;
+    let silent_after = supervisor.silent_after;
     let join = std::thread::Builder::new()
         .name("saad-supervised-analyzer".into())
         .spawn(move || {
-            let mut detector = AnomalyDetector::new(model, config);
-            let mut snapshot = detector.snapshot();
-            // Everything successfully applied since `snapshot`, for replay
-            // after a restart. Events from replay are suppressed (they
-            // were already emitted before the crash).
-            let mut replay_features: Vec<FeatureVector> = Vec::new();
-            let mut replay_losses: Vec<LossReport> = Vec::new();
+            let detector = AnomalyDetector::new(model, config);
+            let mut supervised =
+                SupervisedDetector::new(detector, supervisor, restarts_inner, skipped_inner);
             let mut liveness = LivenessTracker::default();
-            let mut restarts_used = 0u32;
-            let mut received = 0u64;
             for synopsis in rx.iter() {
                 processed_inner.fetch_add(1, Ordering::Relaxed);
-                received += 1;
-                for event in liveness.observe(
-                    synopsis.host,
-                    synopsis.start,
-                    window,
-                    supervisor.silent_after,
-                ) {
+                for event in liveness.observe(synopsis.host, synopsis.start, window, silent_after) {
                     let _ = event_tx.send(event);
                 }
                 if let Some(loss_rx) = &loss_rx {
                     for report in loss_rx.try_iter() {
-                        detector.record_loss(report.host, report.at, report.count);
-                        replay_losses.push(report);
+                        supervised.record_loss(report);
                     }
                 }
-                let feature = FeatureVector::from(&synopsis);
-                let inject = supervisor.panic_after == Some(received);
-                let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    if inject {
-                        panic!("injected analyzer fault at synopsis {received}");
-                    }
-                    detector.observe(&feature)
-                }));
-                match outcome {
-                    Ok(events) => {
-                        replay_features.push(feature);
-                        for event in events {
-                            let _ = event_tx.send(event);
-                        }
-                        if replay_features.len() as u64 >= supervisor.snapshot_every {
-                            snapshot = detector.snapshot();
-                            replay_features.clear();
-                            replay_losses.clear();
-                        }
-                    }
-                    Err(payload) => {
-                        restarts_used += 1;
-                        if restarts_used > supervisor.max_restarts {
-                            return Err(AnalyzerError::RestartsExhausted {
-                                restarts: restarts_used - 1,
-                                panic: panic_message(payload.as_ref()),
-                            });
-                        }
-                        restarts_inner.fetch_add(1, Ordering::Relaxed);
-                        // The synopsis that triggered the panic is skipped,
-                        // not retried: a deterministic poison pill would
-                        // otherwise crash-loop the analyzer.
-                        skipped_inner.fetch_add(1, Ordering::Relaxed);
-                        detector = AnomalyDetector::from_snapshot(snapshot.clone());
-                        for report in &replay_losses {
-                            detector.record_loss(report.host, report.at, report.count);
-                        }
-                        for feature in &replay_features {
-                            let _ = detector.observe(feature); // events already emitted
-                        }
-                    }
+                // Interning happens outside the panic boundary: the
+                // interner is shared state a restart must not lose. A
+                // single analyzer sees the whole stream, so its own
+                // start times are the global watermark.
+                let feature = InternedFeature::from_synopsis(&synopsis, supervised.interner());
+                for event in supervised.observe(feature, synopsis.start)? {
+                    let _ = event_tx.send(event);
                 }
             }
-            for event in detector.flush() {
+            let (events, detector) = supervised.finish();
+            for event in events {
                 let _ = event_tx.send(event);
             }
             Ok(detector)
@@ -685,6 +830,320 @@ pub fn spawn_supervised_analyzer(
         skipped,
         sink_stats: None,
         join: Some(join),
+    }
+}
+
+/// Message routed from the pool's router thread to one shard worker.
+enum ShardMsg {
+    /// A run of synopses that all hash to this shard — one channel send
+    /// per shard per input batch, however many synopses it carries. Each
+    /// synopsis is stamped with the global-stream watermark in force when
+    /// the router saw it, so the shard closes windows at exactly the
+    /// moments a single-threaded analyzer would.
+    Batch(Vec<(TaskSynopsis, SimTime)>),
+    /// A transport gap report, broadcast to every shard: loss is keyed by
+    /// host and window, and any shard may own windows for that host. The
+    /// router counts each report once for the pool-level total.
+    Loss(LossReport),
+}
+
+/// Pin a `(host, stage)` pair to one shard. The detector's windowed state
+/// is keyed per `(host, stage)`, so pinning the pair keeps each window's
+/// accumulation — and therefore its test results — on a single thread,
+/// bit-identical to a single-threaded analyzer.
+fn shard_for(host: HostId, stage: StageId, workers: usize) -> usize {
+    let key = ((host.0 as u64) << 16) | stage.0 as u64;
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % workers
+}
+
+/// Handle to a running analyzer pool: a router thread plus `workers`
+/// supervised shard workers (see [`spawn_analyzer_pool`]).
+#[derive(Debug)]
+pub struct PoolHandle {
+    events: Receiver<AnomalyEvent>,
+    processed: Arc<AtomicU64>,
+    restarts: Arc<AtomicU64>,
+    skipped: Arc<AtomicU64>,
+    tasks_lost: Arc<AtomicU64>,
+    sink_stats: Option<Arc<SinkStats>>,
+    router: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<Result<AnomalyDetector, AnalyzerError>>>,
+}
+
+impl PoolHandle {
+    /// Attach the sink's drop statistics so producers' losses are visible
+    /// from the consumer side.
+    pub fn with_sink_stats(mut self, stats: Arc<SinkStats>) -> PoolHandle {
+        self.sink_stats = Some(stats);
+        self
+    }
+
+    /// Receiver of detected anomaly events, merged across all shards.
+    pub fn events(&self) -> &Receiver<AnomalyEvent> {
+        &self.events
+    }
+
+    /// Synopses delivered to shard workers so far (including any skipped
+    /// after a supervised restart).
+    pub fn processed(&self) -> u64 {
+        self.processed.load(Ordering::Relaxed)
+    }
+
+    /// Total shard-worker restarts after panics.
+    pub fn restarts(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
+    }
+
+    /// Poison synopses skipped across all shards.
+    pub fn skipped(&self) -> u64 {
+        self.skipped.load(Ordering::Relaxed)
+    }
+
+    /// Synopses the transport reported lost, counted once per report.
+    /// (Loss reports are broadcast to every shard for window accounting,
+    /// so summing the shard detectors' own counters would overcount.)
+    pub fn tasks_lost(&self) -> u64 {
+        self.tasks_lost.load(Ordering::Relaxed)
+    }
+
+    /// Number of shard workers.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Synopses dropped by the attached sink (0 unless
+    /// [`PoolHandle::with_sink_stats`] was used).
+    pub fn dropped(&self) -> u64 {
+        self.sink_stats.as_ref().map_or(0, |s| s.dropped())
+    }
+
+    /// Per-host drop counts from the attached sink (empty unless
+    /// [`PoolHandle::with_sink_stats`] was used).
+    pub fn drops_by_host(&self) -> HashMap<HostId, DropCounts> {
+        self.sink_stats
+            .as_ref()
+            .map(|s| s.drops_by_host())
+            .unwrap_or_default()
+    }
+
+    /// Drain any events currently queued without blocking.
+    pub fn drain_events(&self) -> Vec<AnomalyEvent> {
+        let mut out = Vec::new();
+        while let Ok(e) = self.events.try_recv() {
+            out.push(e);
+        }
+        out
+    }
+
+    /// Wait for the pool to finish (input channel closed), returning each
+    /// shard's detector for inspection. Remaining windows are flushed
+    /// before workers exit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`AnalyzerError`] if the router panicked or any
+    /// shard exhausted its restart budget; the remaining shards are still
+    /// joined first so no thread is leaked.
+    pub fn join(mut self) -> Result<Vec<AnomalyDetector>, AnalyzerError> {
+        let mut first_err = None;
+        if let Some(router) = self.router.take() {
+            if let Err(payload) = router.join() {
+                first_err = Some(AnalyzerError::Panicked(panic_message(payload.as_ref())));
+            }
+        }
+        let mut detectors = Vec::with_capacity(self.workers.len());
+        for worker in self.workers.drain(..) {
+            match worker.join() {
+                Ok(Ok(detector)) => detectors.push(detector),
+                Ok(Err(e)) => {
+                    first_err.get_or_insert(e);
+                }
+                Err(payload) => {
+                    first_err
+                        .get_or_insert(AnalyzerError::Panicked(panic_message(payload.as_ref())));
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(detectors),
+        }
+    }
+}
+
+/// Spawn a sharded analyzer pool over a stream of synopsis batches.
+///
+/// A router thread receives whole batches (e.g. one decoded transport
+/// frame per send, see [`feed_frame`]), runs per-host liveness tracking
+/// over the full ordered stream, and splits each batch by
+/// `hash(host, stage)` into per-shard sub-batches — one channel send per
+/// shard per batch. Each of the `workers` shard threads runs its own
+/// supervised [`AnomalyDetector`] (same snapshot/replay/poison-skip
+/// semantics as [`spawn_supervised_analyzer`]) against a **shared**
+/// signature interner and compiled model, built once here.
+///
+/// Because the detector's windowed state is keyed per `(host, stage)` and
+/// each pair is pinned to one shard, the pool's event stream is — as a
+/// multiset — identical to a single supervised analyzer's over the same
+/// input; only channel interleaving differs.
+///
+/// `supervisor.panic_after` counts per shard (each worker panics on its
+/// own Nth synopsis), which keeps fault injection deterministic per
+/// route.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn spawn_analyzer_pool(
+    model: Arc<OutlierModel>,
+    config: DetectorConfig,
+    supervisor: SupervisorConfig,
+    workers: usize,
+    rx: Receiver<Vec<TaskSynopsis>>,
+    loss_rx: Option<Receiver<LossReport>>,
+) -> PoolHandle {
+    assert!(workers > 0, "analyzer pool needs at least one worker");
+    let (event_tx, event_rx) = unbounded();
+    let processed = Arc::new(AtomicU64::new(0));
+    let restarts = Arc::new(AtomicU64::new(0));
+    let skipped = Arc::new(AtomicU64::new(0));
+    let tasks_lost = Arc::new(AtomicU64::new(0));
+    // One interner and one compiled model, shared read-only by every
+    // shard: interning and compilation costs are paid once, regardless of
+    // the worker count.
+    let interner = Arc::new(SignatureInterner::new());
+    let compiled = Arc::new(model.compile(&interner));
+
+    let mut shard_txs = Vec::with_capacity(workers);
+    let mut worker_joins = Vec::with_capacity(workers);
+    for shard in 0..workers {
+        let (shard_tx, shard_rx) = unbounded::<ShardMsg>();
+        shard_txs.push(shard_tx);
+        let detector =
+            AnomalyDetector::with_shared(model.clone(), compiled.clone(), interner.clone(), config);
+        let supervisor = supervisor.clone();
+        let event_tx = event_tx.clone();
+        let (processed, restarts, skipped) = (processed.clone(), restarts.clone(), skipped.clone());
+        let join = std::thread::Builder::new()
+            .name(format!("saad-analyzer-shard-{shard}"))
+            .spawn(move || {
+                let mut supervised =
+                    SupervisedDetector::new(detector, supervisor, restarts, skipped);
+                for msg in shard_rx.iter() {
+                    match msg {
+                        ShardMsg::Loss(report) => supervised.record_loss(report),
+                        ShardMsg::Batch(batch) => {
+                            processed.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                            for (synopsis, watermark) in &batch {
+                                let feature =
+                                    InternedFeature::from_synopsis(synopsis, supervised.interner());
+                                for event in supervised.observe(feature, *watermark)? {
+                                    let _ = event_tx.send(event);
+                                }
+                            }
+                        }
+                    }
+                }
+                let (events, detector) = supervised.finish();
+                for event in events {
+                    let _ = event_tx.send(event);
+                }
+                Ok(detector)
+            })
+            .expect("spawn analyzer pool worker");
+        worker_joins.push(join);
+    }
+
+    let window = config.window;
+    let silent_after = supervisor.silent_after;
+    let tasks_lost_inner = tasks_lost.clone();
+    let router = std::thread::Builder::new()
+        .name("saad-analyzer-router".into())
+        .spawn(move || {
+            let mut liveness = LivenessTracker::default();
+            let mut watermark = SimTime::ZERO;
+            let mut buckets: Vec<Vec<(TaskSynopsis, SimTime)>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            let broadcast_losses = |losses: &Receiver<LossReport>| {
+                for report in losses.try_iter() {
+                    tasks_lost_inner.fetch_add(report.count, Ordering::Relaxed);
+                    for tx in &shard_txs {
+                        let _ = tx.send(ShardMsg::Loss(report));
+                    }
+                }
+            };
+            for batch in rx.iter() {
+                if let Some(loss_rx) = &loss_rx {
+                    broadcast_losses(loss_rx);
+                }
+                for synopsis in batch {
+                    for event in
+                        liveness.observe(synopsis.host, synopsis.start, window, silent_after)
+                    {
+                        let _ = event_tx.send(event);
+                    }
+                    watermark = watermark.max(synopsis.start);
+                    let shard = shard_for(synopsis.host, synopsis.stage, workers);
+                    buckets[shard].push((synopsis, watermark));
+                }
+                for (shard, bucket) in buckets.iter_mut().enumerate() {
+                    if !bucket.is_empty() {
+                        let _ = shard_txs[shard].send(ShardMsg::Batch(std::mem::take(bucket)));
+                    }
+                }
+            }
+            // Stream closed: deliver any last gap reports, then drop the
+            // shard senders so every worker flushes and exits.
+            if let Some(loss_rx) = &loss_rx {
+                broadcast_losses(loss_rx);
+            }
+        })
+        .expect("spawn analyzer pool router");
+
+    PoolHandle {
+        events: event_rx,
+        processed,
+        restarts,
+        skipped,
+        tasks_lost,
+        sink_stats: None,
+        router: Some(router),
+        workers: worker_joins,
+    }
+}
+
+/// Feed one decoded transport frame into an analyzer pool's input: the
+/// frame's synopses go to `batch_tx` as a **single** batch send, and a
+/// newly discovered gap becomes a [`LossReport`] on `loss_tx` (stamped,
+/// by convention, with the first synopsis's start time). Duplicate frames
+/// are ignored — the transport already counted them. Returns the number
+/// of synopses forwarded.
+pub fn feed_frame(
+    outcome: FrameOutcome,
+    batch_tx: &Sender<Vec<TaskSynopsis>>,
+    loss_tx: &Sender<LossReport>,
+) -> usize {
+    match outcome {
+        FrameOutcome::Fresh {
+            host,
+            synopses,
+            newly_lost,
+        } => {
+            if newly_lost > 0 {
+                let at = synopses.first().map(|s| s.start).unwrap_or(SimTime::ZERO);
+                let _ = loss_tx.send(LossReport {
+                    host,
+                    at,
+                    count: newly_lost,
+                });
+            }
+            let n = synopses.len();
+            if n > 0 {
+                let _ = batch_tx.send(synopses);
+            }
+            n
+        }
+        FrameOutcome::Duplicate { .. } => 0,
     }
 }
 
@@ -1015,5 +1474,278 @@ mod tests {
         let detector = handle.join().unwrap();
         assert_eq!(detector.tasks_lost(), 40);
         assert_eq!(detector.tasks_seen(), 20);
+    }
+
+    /// Sorted Debug strings — order-insensitive event comparison.
+    fn event_keys(events: &[AnomalyEvent]) -> Vec<String> {
+        let mut keys: Vec<String> = events.iter().map(|e| format!("{e:?}")).collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// A mixed stream over several hosts and stages: mostly healthy, plus
+    /// a rare-signature surge on (host 1, stage 0) in minute 1 and a
+    /// brand-new signature on (host 2, stage 1) in minute 2.
+    fn mixed_stream() -> Vec<TaskSynopsis> {
+        let mut out = Vec::new();
+        let mut uid = 0u64;
+        for minute in 0..4u64 {
+            for i in 0..120u64 {
+                let host = (i % 3) as u16;
+                let stage = (i % 2) as u16;
+                let points: &[u16] = if minute == 1 && host == 1 && stage == 0 && i % 4 == 0 {
+                    &[1, 2, 3] // trained-rare surge
+                } else if minute == 2 && host == 2 && stage == 1 && i == 7 {
+                    &[9] // never trained
+                } else {
+                    &[1, 2]
+                };
+                let mut s = synopsis_on(host, points, 1_000, SimTime::ZERO, uid);
+                s.stage = StageId(stage);
+                s.start = SimTime::from_mins(minute) + SimDuration::from_millis(i * 450);
+                out.push(s);
+                uid += 1;
+            }
+        }
+        out
+    }
+
+    /// A model covering stages 0 and 1 with [1,2] common and [1,2,3]
+    /// rare, so the mixed stream's anomalies are detectable.
+    fn multi_stage_model() -> Arc<OutlierModel> {
+        let mut b = ModelBuilder::new();
+        for i in 0..20_000u64 {
+            let mut s = if i.is_multiple_of(1000) {
+                synopsis(&[1, 2, 3], 1_000, SimTime::ZERO, i)
+            } else {
+                synopsis(&[1, 2], 1_000 + (i % 53) * 5, SimTime::ZERO, i)
+            };
+            s.stage = StageId((i % 2) as u16);
+            b.observe(&s);
+        }
+        Arc::new(b.build(ModelConfig::default()))
+    }
+
+    #[test]
+    fn pool_matches_single_supervised_analyzer() {
+        let model = multi_stage_model();
+        let stream = mixed_stream();
+        // Reference: single supervised analyzer over the same stream.
+        let (sink, rx) = ChannelSink::new();
+        let single = spawn_supervised_analyzer(
+            model.clone(),
+            DetectorConfig::default(),
+            SupervisorConfig::default(),
+            rx,
+            None,
+        );
+        for s in &stream {
+            sink.submit(s.clone());
+        }
+        drop(sink);
+        let mut single_events = Vec::new();
+        while let Ok(e) = single.events().recv() {
+            single_events.push(e);
+        }
+        let single_detector = single.join().unwrap();
+        assert!(!single_events.is_empty(), "stream should produce events");
+
+        for workers in [1usize, 3] {
+            let (batch_tx, batch_rx) = unbounded();
+            let pool = spawn_analyzer_pool(
+                model.clone(),
+                DetectorConfig::default(),
+                SupervisorConfig::default(),
+                workers,
+                batch_rx,
+                None,
+            );
+            // Batches of 16, as a frame-batched transport would send them.
+            for chunk in stream.chunks(16) {
+                batch_tx.send(chunk.to_vec()).unwrap();
+            }
+            drop(batch_tx);
+            let mut pool_events = Vec::new();
+            while let Ok(e) = pool.events().recv() {
+                pool_events.push(e);
+            }
+            assert_eq!(pool.processed(), stream.len() as u64);
+            let detectors = pool.join().unwrap();
+            assert_eq!(detectors.len(), workers);
+            let seen: u64 = detectors.iter().map(|d| d.tasks_seen()).sum();
+            assert_eq!(seen, single_detector.tasks_seen());
+            assert_eq!(
+                event_keys(&pool_events),
+                event_keys(&single_events),
+                "pool with {workers} workers diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_counts_losses_once_despite_broadcast() {
+        let (batch_tx, batch_rx) = unbounded();
+        let (loss_tx, loss_rx) = unbounded();
+        let pool = spawn_analyzer_pool(
+            model(),
+            DetectorConfig::default(),
+            SupervisorConfig::default(),
+            4,
+            batch_rx,
+            Some(loss_rx),
+        );
+        loss_tx
+            .send(LossReport {
+                host: HostId(0),
+                at: SimTime::from_secs(5),
+                count: 40,
+            })
+            .unwrap();
+        let batch: Vec<TaskSynopsis> = (0..20u64)
+            .map(|i| synopsis(&[1, 2], 1_000, SimTime::from_secs(i), i))
+            .collect();
+        batch_tx.send(batch).unwrap();
+        drop(batch_tx);
+        drop(loss_tx);
+        while pool.events().recv().is_ok() {}
+        // Counted once at the pool level…
+        assert_eq!(pool.tasks_lost(), 40);
+        let detectors = pool.join().unwrap();
+        // …while every shard detector knows the loss for its own windows.
+        assert!(detectors.iter().all(|d| d.tasks_lost() == 40));
+    }
+
+    #[test]
+    fn pool_shard_restarts_from_snapshot_and_skips_poison() {
+        // One worker so panic_after hits a deterministic synopsis.
+        let (batch_tx, batch_rx) = unbounded();
+        let pool = spawn_analyzer_pool(
+            model(),
+            DetectorConfig::default(),
+            SupervisorConfig {
+                snapshot_every: 10,
+                panic_after: Some(30),
+                ..SupervisorConfig::default()
+            },
+            1,
+            batch_rx,
+            None,
+        );
+        let batch: Vec<TaskSynopsis> = (0..60u64)
+            .map(|i| synopsis(&[7], 1_000, SimTime::from_millis(i * 10), i))
+            .collect();
+        batch_tx.send(batch).unwrap();
+        drop(batch_tx);
+        let mut events = Vec::new();
+        while let Ok(e) = pool.events().recv() {
+            events.push(e);
+        }
+        assert_eq!(pool.restarts(), 1);
+        assert_eq!(pool.skipped(), 1);
+        let detectors = pool.join().unwrap();
+        assert_eq!(detectors[0].tasks_seen(), 59);
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.kind, AnomalyKind::FlowNew(_))),
+            "events: {events:?}"
+        );
+    }
+
+    #[test]
+    fn pool_surfaces_exhausted_restarts() {
+        let (batch_tx, batch_rx) = unbounded();
+        let pool = spawn_analyzer_pool(
+            model(),
+            DetectorConfig::default(),
+            SupervisorConfig {
+                max_restarts: 0,
+                panic_after: Some(1),
+                ..SupervisorConfig::default()
+            },
+            2,
+            batch_rx,
+            None,
+        );
+        batch_tx
+            .send(vec![synopsis(&[1, 2], 1_000, SimTime::ZERO, 0)])
+            .unwrap();
+        drop(batch_tx);
+        match pool.join() {
+            Err(AnalyzerError::RestartsExhausted { restarts: 0, panic }) => {
+                assert!(panic.contains("injected"), "{panic}");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pool_router_tracks_liveness_across_shards() {
+        let (batch_tx, batch_rx) = unbounded();
+        let pool = spawn_analyzer_pool(
+            model(),
+            DetectorConfig::default(),
+            SupervisorConfig {
+                silent_after: 2,
+                ..SupervisorConfig::default()
+            },
+            4,
+            batch_rx,
+            None,
+        );
+        let mut uid = 0u64;
+        let at = |min: u64, sec: u64| SimTime::from_secs(min * 60 + sec);
+        let mut batch = Vec::new();
+        for s in 0..10u64 {
+            for host in [0u16, 1] {
+                batch.push(synopsis_on(host, &[1, 2], 1_000, at(0, s * 6), uid));
+                uid += 1;
+            }
+        }
+        // Host 1 goes silent; host 0 keeps the clock moving.
+        for min in 1..=4u64 {
+            for s in 0..10u64 {
+                batch.push(synopsis_on(0, &[1, 2], 1_000, at(min, s * 6), uid));
+                uid += 1;
+            }
+        }
+        batch_tx.send(batch).unwrap();
+        drop(batch_tx);
+        let mut events = Vec::new();
+        while let Ok(e) = pool.events().recv() {
+            events.push(e);
+        }
+        pool.join().unwrap();
+        let silent: Vec<_> = events.iter().filter(|e| e.kind.is_liveness()).collect();
+        assert_eq!(silent.len(), 1, "{events:?}");
+        assert_eq!(silent[0].host, HostId(1));
+    }
+
+    #[test]
+    fn feed_frame_forwards_fresh_and_ignores_duplicates() {
+        let (batch_tx, batch_rx) = unbounded();
+        let (loss_tx, loss_rx) = unbounded();
+        let fresh = FrameOutcome::Fresh {
+            host: HostId(3),
+            synopses: vec![
+                synopsis_on(3, &[1, 2], 1_000, SimTime::from_secs(9), 0),
+                synopsis_on(3, &[1, 2], 1_000, SimTime::from_secs(10), 1),
+            ],
+            newly_lost: 5,
+        };
+        assert_eq!(feed_frame(fresh, &batch_tx, &loss_tx), 2);
+        let batch = batch_rx.try_recv().unwrap();
+        assert_eq!(batch.len(), 2);
+        let report = loss_rx.try_recv().unwrap();
+        assert_eq!(report.host, HostId(3));
+        assert_eq!(report.count, 5);
+        assert_eq!(report.at, SimTime::from_secs(9));
+        let dup = FrameOutcome::Duplicate {
+            host: HostId(3),
+            seq: 7,
+        };
+        assert_eq!(feed_frame(dup, &batch_tx, &loss_tx), 0);
+        assert!(batch_rx.try_recv().is_err());
+        assert!(loss_rx.try_recv().is_err());
     }
 }

@@ -1,6 +1,7 @@
 //! Task signatures: the set of distinct log points a task visited.
 
 use saad_logging::LogPointId;
+use std::borrow::Borrow;
 use std::fmt;
 
 /// A task's execution-flow signature — the *set* of distinct log points it
@@ -35,9 +36,29 @@ impl Signature {
     /// and ordering are normalized away.
     pub fn from_points<I: IntoIterator<Item = LogPointId>>(points: I) -> Signature {
         let mut v: Vec<LogPointId> = points.into_iter().collect();
+        if v.windows(2).all(|w| w[0] < w[1]) {
+            // Already canonical (the tracker emits points sorted and
+            // distinct) — skip the sort and the dedup shuffle.
+            return Signature(v.into_boxed_slice());
+        }
         v.sort_unstable();
         v.dedup();
         Signature(v.into_boxed_slice())
+    }
+
+    /// Build a signature from points already in canonical form (strictly
+    /// ascending, no duplicates), skipping normalization. Used by the
+    /// interner's hot path, where the invariant is checked upstream.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert the invariant; release builds trust it.
+    pub fn from_sorted_points(points: Vec<LogPointId>) -> Signature {
+        debug_assert!(
+            points.windows(2).all(|w| w[0] < w[1]),
+            "from_sorted_points requires strictly ascending points"
+        );
+        Signature(points.into_boxed_slice())
     }
 
     /// The distinct points, ascending.
@@ -82,6 +103,16 @@ impl fmt::Display for Signature {
             write!(f, "{p}")?;
         }
         write!(f, "]")
+    }
+}
+
+/// Allows `HashMap<Signature, _>` lookups by borrowed point slice with
+/// zero allocation (the interner's hit path). Sound because the derived
+/// `Hash`/`Eq` of a single-field struct delegate to the field, and
+/// `Box<[T]>` hashes identically to `[T]`.
+impl Borrow<[LogPointId]> for Signature {
+    fn borrow(&self) -> &[LogPointId] {
+        &self.0
     }
 }
 
@@ -137,6 +168,23 @@ mod tests {
     #[test]
     fn display_is_bracketed_list() {
         assert_eq!(sig(&[2, 1]).to_string(), "[L1, L2]");
+    }
+
+    #[test]
+    fn from_sorted_points_skips_normalization() {
+        let s = Signature::from_sorted_points(vec![LogPointId(1), LogPointId(3)]);
+        assert_eq!(s, sig(&[3, 1]));
+    }
+
+    #[test]
+    fn borrowed_slice_lookup_finds_signature() {
+        use std::collections::HashMap;
+        let mut m: HashMap<Signature, u32> = HashMap::new();
+        m.insert(sig(&[2, 7]), 5);
+        let key: &[LogPointId] = &[LogPointId(2), LogPointId(7)];
+        assert_eq!(m.get(key), Some(&5));
+        let miss: &[LogPointId] = &[LogPointId(2)];
+        assert_eq!(m.get(miss), None);
     }
 
     #[test]

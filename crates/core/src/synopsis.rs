@@ -42,6 +42,16 @@ impl TaskSynopsis {
         Signature::from_points(self.log_points.iter().map(|&(p, _)| p))
     }
 
+    /// Whether the task visited a given log point — the allocation-free
+    /// form of `self.signature().contains(point)`, for callers that only
+    /// probe membership and don't need the whole signature built.
+    pub fn has_point(&self, point: LogPointId) -> bool {
+        // Tracker-emitted synopses keep `log_points` sorted, but
+        // hand-built ones need not; a linear scan over a handful of
+        // points is cheap either way.
+        self.log_points.iter().any(|&(p, _)| p == point)
+    }
+
     /// Total log point visits (sum of frequencies).
     pub fn total_visits(&self) -> u64 {
         self.log_points.iter().map(|&(_, c)| c as u64).sum()
@@ -77,6 +87,15 @@ mod tests {
             s.signature(),
             Signature::from_points([LogPointId(1), LogPointId(4)])
         );
+    }
+
+    #[test]
+    fn has_point_probes_without_allocating() {
+        let s = synopsis(&[(1, 5), (4, 1)]);
+        assert!(s.has_point(LogPointId(1)));
+        assert!(s.has_point(LogPointId(4)));
+        assert!(!s.has_point(LogPointId(2)));
+        assert!(!synopsis(&[]).has_point(LogPointId(1)));
     }
 
     #[test]

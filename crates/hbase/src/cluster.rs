@@ -472,7 +472,7 @@ mod tests {
         let major_flows = sink
             .drain()
             .iter()
-            .filter(|s| s.signature().contains(inst.points.cr_major))
+            .filter(|s| s.has_point(inst.points.cr_major))
             .count();
         assert_eq!(major_flows as u64, majors);
     }
@@ -492,9 +492,7 @@ mod tests {
             let get_durs: Vec<f64> = sink
                 .drain()
                 .iter()
-                .filter(|s| {
-                    s.stage == inst.stages.call && s.signature().contains(inst.points.ca_get_mem)
-                })
+                .filter(|s| s.stage == inst.stages.call && s.has_point(inst.points.ca_get_mem))
                 .map(|s| s.duration.as_micros() as f64)
                 .collect();
             (

@@ -513,8 +513,8 @@ mod tests {
             .collect();
         assert_eq!(pr.len(), 3);
         for s in &pr {
-            assert!(s.signature().contains(inst.points.pr_ack));
-            assert!(s.signature().contains(inst.points.pr_term));
+            assert!(s.has_point(inst.points.pr_ack));
+            assert!(s.has_point(inst.points.pr_term));
         }
     }
 
@@ -552,8 +552,8 @@ mod tests {
         let s = sink.drain();
         assert_eq!(s.len(), 1);
         let inst = c.instrumentation();
-        assert!(s[0].signature().contains(inst.points.dx_read_block));
-        assert!(!s[0].signature().contains(inst.points.dx_recv_block));
+        assert!(s[0].has_point(inst.points.dx_read_block));
+        assert!(!s[0].has_point(inst.points.dx_recv_block));
         assert_eq!(c.stats(1).reads, 1);
     }
 
@@ -579,12 +579,8 @@ mod tests {
         assert!(matches!(r3, RecoveryResponse::Recovered { .. }));
         let inst = c.instrumentation();
         let synopses = sink.drain();
-        assert!(synopses
-            .iter()
-            .any(|s| s.signature().contains(inst.points.rb_already)));
-        assert!(synopses
-            .iter()
-            .any(|s| s.signature().contains(inst.points.rb_done)));
+        assert!(synopses.iter().any(|s| s.has_point(inst.points.rb_already)));
+        assert!(synopses.iter().any(|s| s.has_point(inst.points.rb_done)));
         assert!(synopses
             .iter()
             .any(|s| s.stage == inst.stages.data_transfer));

@@ -1,0 +1,178 @@
+//! Equivalence properties for the interned/compiled/sharded analyzer.
+//!
+//! The PR that introduced signature interning, compiled dense models, and
+//! the sharded analyzer pool keeps `OutlierModel::classify` (map-based)
+//! as the reference oracle. These properties check, over arbitrary
+//! feature streams, that every fast path agrees with it exactly:
+//!
+//! * compiled + interned classification ≡ `OutlierModel::classify`;
+//! * `observe_synopsis` (interned hot path) ≡ `observe(&FeatureVector)`;
+//! * pool-sharded detection ≡ a single-threaded detector, as an event
+//!   multiset, for any worker count.
+
+use proptest::prelude::*;
+use saad::core::detector::{AnomalyDetector, AnomalyEvent, DetectorConfig};
+use saad::core::model::{ModelBuilder, ModelConfig, OutlierModel};
+use saad::core::pipeline::{spawn_analyzer_pool, SupervisorConfig};
+use saad::core::prelude::*;
+use saad::core::synopsis::TaskSynopsis;
+use saad::logging::LogPointId;
+use saad::sim::{SimDuration, SimTime};
+use std::sync::{Arc, OnceLock};
+
+/// One generated task, pre-signature: everything a synopsis needs.
+type RawTask = (u16, u16, Vec<u16>, u64, u64); // host, stage, points, dur_us, start_ms
+
+fn synopsis_of(&(host, stage, ref points, dur_us, start_ms): &RawTask, uid: u64) -> TaskSynopsis {
+    TaskSynopsis {
+        host: HostId(host),
+        stage: StageId(stage),
+        uid: TaskUid(uid),
+        start: SimTime::from_millis(start_ms),
+        duration: SimDuration::from_micros(dur_us),
+        log_points: points.iter().map(|&p| (LogPointId(p), 1)).collect(),
+    }
+}
+
+/// A deterministic trained model covering stages 0..3 with a few common
+/// signatures, one rare one, and varied duration spreads — so generated
+/// streams exercise every `TaskClass` arm, including the perf-eligible
+/// and perf-ineligible (unstable-threshold) paths.
+fn trained_model() -> Arc<OutlierModel> {
+    static MODEL: OnceLock<Arc<OutlierModel>> = OnceLock::new();
+    MODEL
+        .get_or_init(|| {
+            let mut b = ModelBuilder::new();
+            for i in 0..30_000u64 {
+                let stage = (i % 3) as u16;
+                let (points, dur): (&[u16], u64) = if i.is_multiple_of(997) {
+                    (&[1, 2, 3], 5_000) // rare, constant duration
+                } else if i.is_multiple_of(2) {
+                    (&[1, 2], 1_000 + (i % 53) * 5)
+                } else {
+                    (&[4, 5, 6], 2_000 + (i % 31) * 11)
+                };
+                b.observe(&synopsis_of(&(0, stage, points.to_vec(), dur, 0), i));
+            }
+            Arc::new(b.build(ModelConfig::default()))
+        })
+        .clone()
+}
+
+fn raw_task_strategy() -> impl Strategy<Value = RawTask> {
+    (
+        0u16..4,                        // host
+        0u16..4,                        // stage (3 is untrained)
+        collection::vec(1u16..9, 0..5), // log points (may repeat/unsorted)
+        1u64..30_000,                   // duration µs
+        0u64..240_000,                  // start within 4 minutes
+    )
+}
+
+/// Order-insensitive event comparison key (events are `Debug`-stable).
+fn event_keys(events: &[AnomalyEvent]) -> Vec<String> {
+    let mut keys: Vec<String> = events.iter().map(|e| format!("{e:?}")).collect();
+    keys.sort_unstable();
+    keys
+}
+
+proptest! {
+    #[test]
+    fn compiled_classify_matches_model_oracle(
+        tasks in collection::vec(raw_task_strategy(), 1..60)
+    ) {
+        let model = trained_model();
+        let interner = SignatureInterner::new();
+        let compiled = model.compile(&interner);
+        for (uid, task) in tasks.iter().enumerate() {
+            let s = synopsis_of(task, uid as u64);
+            let f = FeatureVector::from(&s);
+            let oracle = model.classify(&f);
+            // Via the synopsis fast path…
+            let direct = InternedFeature::from_synopsis(&s, &interner);
+            prop_assert_eq!(compiled.classify(direct.stage, direct.sig, direct.duration_us), oracle);
+            // …and via an interned feature vector.
+            let interned = f.intern(&interner);
+            prop_assert_eq!(interned.sig, direct.sig);
+            prop_assert_eq!(compiled.classify_feature(&interned), oracle);
+        }
+    }
+
+    #[test]
+    fn interned_observe_matches_feature_observe(
+        tasks in collection::vec(raw_task_strategy(), 1..60)
+    ) {
+        let model = trained_model();
+        let config = DetectorConfig {
+            // Small thresholds so short generated streams can trip tests.
+            min_window_tasks: 4,
+            min_group_tasks: 2,
+            ..DetectorConfig::default()
+        };
+        let mut by_feature = AnomalyDetector::new(model.clone(), config);
+        let mut by_synopsis = AnomalyDetector::new(model, config);
+        let mut events_a = Vec::new();
+        let mut events_b = Vec::new();
+        for (uid, task) in tasks.iter().enumerate() {
+            let s = synopsis_of(task, uid as u64);
+            events_a.extend(by_feature.observe(&FeatureVector::from(&s)));
+            events_b.extend(by_synopsis.observe_synopsis(&s));
+        }
+        events_a.extend(by_feature.flush());
+        events_b.extend(by_synopsis.flush());
+        // Same stream, same order → identical events, not just a multiset.
+        prop_assert_eq!(events_a, events_b);
+        prop_assert_eq!(by_feature.tasks_seen(), by_synopsis.tasks_seen());
+    }
+
+    #[test]
+    fn pool_matches_single_threaded_detector(
+        tasks in collection::vec(raw_task_strategy(), 1..50),
+        workers in 1usize..5,
+        batch_size in 1usize..17
+    ) {
+        let model = trained_model();
+        let config = DetectorConfig {
+            min_window_tasks: 4,
+            min_group_tasks: 2,
+            ..DetectorConfig::default()
+        };
+        // Reference: one detector over the whole stream, in order.
+        let mut reference = AnomalyDetector::new(model.clone(), config);
+        let mut expected = Vec::new();
+        let stream: Vec<TaskSynopsis> = tasks
+            .iter()
+            .enumerate()
+            .map(|(uid, t)| synopsis_of(t, uid as u64))
+            .collect();
+        for s in &stream {
+            expected.extend(reference.observe_synopsis(s));
+        }
+        expected.extend(reference.flush());
+
+        // Pool: same stream, batched, sharded over `workers` threads.
+        // Liveness is disabled (saturating threshold) since the plain
+        // detector has no liveness tracker to mirror.
+        let (batch_tx, batch_rx) = crossbeam_channel::unbounded();
+        let pool = spawn_analyzer_pool(
+            model,
+            config,
+            SupervisorConfig { silent_after: u64::MAX, ..SupervisorConfig::default() },
+            workers,
+            batch_rx,
+            None,
+        );
+        for chunk in stream.chunks(batch_size) {
+            batch_tx.send(chunk.to_vec()).expect("pool alive");
+        }
+        drop(batch_tx);
+        let mut pool_events = Vec::new();
+        while let Ok(e) = pool.events().recv() {
+            pool_events.push(e);
+        }
+        let detectors = pool.join().expect("no faults injected");
+        let seen: u64 = detectors.iter().map(|d| d.tasks_seen()).sum();
+        prop_assert_eq!(seen, reference.tasks_seen());
+        prop_assert_eq!(event_keys(&pool_events), event_keys(&expected));
+    }
+}
