@@ -254,6 +254,7 @@ impl Timeline {
                 AnomalyKind::FlowRare | AnomalyKind::FlowNew(_) => 'F',
                 AnomalyKind::Performance(_) => 'P',
                 AnomalyKind::HostSilent { .. } => 'S',
+                AnomalyKind::ModelUnavailable => 'U',
             };
             self.cell(row, min, mark);
         }

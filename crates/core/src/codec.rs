@@ -40,7 +40,7 @@ impl std::error::Error for DecodeError {}
 /// Upper bound on log points per synopsis accepted by the decoder.
 const MAX_POINTS: u64 = 65_536;
 
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
+pub(crate) fn put_varint(buf: &mut BytesMut, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -52,7 +52,7 @@ fn put_varint(buf: &mut BytesMut, mut v: u64) {
     }
 }
 
-fn get_varint(buf: &mut Bytes) -> Result<u64, DecodeError> {
+pub(crate) fn get_varint(buf: &mut Bytes) -> Result<u64, DecodeError> {
     let mut v = 0u64;
     for shift in (0..70).step_by(7) {
         if !buf.has_remaining() {
@@ -65,6 +65,55 @@ fn get_varint(buf: &mut Bytes) -> Result<u64, DecodeError> {
         }
     }
     Err(DecodeError::VarintOverflow)
+}
+
+/// Fixed-width `f64` (bit pattern, big-endian) for the checkpoint codecs:
+/// varints would bloat typical float bit patterns, and round-tripping
+/// through bits is exact.
+pub(crate) fn put_f64(buf: &mut BytesMut, v: f64) {
+    buf.put_u64(v.to_bits());
+}
+
+pub(crate) fn get_f64(buf: &mut Bytes) -> Result<f64, DecodeError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeError::UnexpectedEof);
+    }
+    Ok(f64::from_bits(buf.get_u64()))
+}
+
+/// Checked single byte read (flag fields in the checkpoint codecs).
+pub(crate) fn get_u8(buf: &mut Bytes) -> Result<u8, DecodeError> {
+    if !buf.has_remaining() {
+        return Err(DecodeError::UnexpectedEof);
+    }
+    Ok(buf.get_u8())
+}
+
+/// Delta-encoded sorted point list, shared by the checkpoint codecs for
+/// [`crate::Signature`] contents (same scheme as synopsis log points).
+pub(crate) fn put_points(buf: &mut BytesMut, points: &[LogPointId]) {
+    put_varint(buf, points.len() as u64);
+    let mut prev = 0u64;
+    for &p in points {
+        let id = p.0 as u64;
+        put_varint(buf, id.wrapping_sub(prev));
+        prev = id;
+    }
+}
+
+pub(crate) fn get_points(buf: &mut Bytes) -> Result<Vec<LogPointId>, DecodeError> {
+    let n = get_varint(buf)?;
+    if n > MAX_POINTS {
+        return Err(DecodeError::LengthOutOfRange(n));
+    }
+    let mut points = Vec::with_capacity(n as usize);
+    let mut prev = 0u64;
+    for _ in 0..n {
+        let id = prev.wrapping_add(get_varint(buf)?);
+        points.push(LogPointId(id as u16));
+        prev = id;
+    }
+    Ok(points)
 }
 
 /// Encode a synopsis to its compact wire form.

@@ -11,11 +11,15 @@
 //!   of over-threshold durations significantly exceeds that signature's
 //!   training outlier rate.
 
+use crate::codec::{get_f64, get_u8, get_varint, put_f64, put_varint, DecodeError};
 use crate::feature::{FeatureVector, InternedFeature};
 use crate::intern::{SigId, SignatureInterner};
-use crate::model::{CompiledModel, OutlierModel, TaskClass};
+use crate::model::{
+    CompiledModel, ConfigError, ModelBuilder, ModelConfig, OutlierModel, TaskClass,
+};
 use crate::synopsis::TaskSynopsis;
 use crate::{HostId, Signature, StageId};
+use bytes::{BufMut, Bytes, BytesMut};
 use saad_sim::{SimDuration, SimTime};
 use saad_stats::hypothesis::{one_sided_proportion_test, Alternative};
 use std::collections::HashMap;
@@ -52,6 +56,26 @@ impl Default for DetectorConfig {
     }
 }
 
+impl DetectorConfig {
+    /// Check every parameter's domain: the window must be positive and
+    /// `alpha` must lie in the open interval `(0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a typed
+    /// [`ConfigError`] — the same error type [`ModelConfig::validate`]
+    /// uses, so callers handle both uniformly.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.window == SimDuration::ZERO {
+            return Err(ConfigError::ZeroWindow);
+        }
+        if !(self.alpha > 0.0 && self.alpha < 1.0) {
+            return Err(ConfigError::AlphaOutOfRange(self.alpha));
+        }
+        Ok(())
+    }
+}
+
 /// What kind of anomaly an event reports.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AnomalyKind {
@@ -71,6 +95,12 @@ pub enum AnomalyKind {
         /// Consecutive windows with no data from the host.
         windows: u64,
     },
+    /// A window closed while the detector had no trained model (bootstrap
+    /// / degraded mode, see [`AnomalyDetector::collecting`]). The event's
+    /// `window_tasks` and `completeness` account for exactly how much
+    /// data went unclassified, so downstream consumers can tell "no
+    /// anomaly" apart from "could not look".
+    ModelUnavailable,
 }
 
 impl AnomalyKind {
@@ -89,6 +119,12 @@ impl AnomalyKind {
     pub fn is_liveness(&self) -> bool {
         matches!(self, AnomalyKind::HostSilent { .. })
     }
+
+    /// Whether this is a degraded-mode accounting event (window observed
+    /// without a model), as opposed to a detected anomaly.
+    pub fn is_model_unavailable(&self) -> bool {
+        matches!(self, AnomalyKind::ModelUnavailable)
+    }
 }
 
 impl fmt::Display for AnomalyKind {
@@ -99,6 +135,9 @@ impl fmt::Display for AnomalyKind {
             AnomalyKind::Performance(sig) => write!(f, "performance anomaly ({sig})"),
             AnomalyKind::HostSilent { windows } => {
                 write!(f, "host silent ({windows} windows with no data)")
+            }
+            AnomalyKind::ModelUnavailable => {
+                f.write_str("model unavailable (window observed without classification)")
             }
         }
     }
@@ -164,6 +203,9 @@ pub struct AnomalyDetector {
     watermark: SimTime,
     tasks_seen: u64,
     tasks_lost: u64,
+    // Bootstrap/degraded mode: no trained model yet; count windows and
+    // emit ModelUnavailable instead of classifying.
+    collect_only: bool,
 }
 
 /// A restartable copy of a detector's mutable state, taken with
@@ -180,12 +222,278 @@ pub struct DetectorSnapshot {
     watermark: SimTime,
     tasks_seen: u64,
     tasks_lost: u64,
+    collect_only: bool,
 }
+
+/// Sanity bounds for snapshot decoding. The checkpoint store's CRC
+/// framing catches corruption first; these guard against format drift
+/// producing absurd allocations.
+const MAX_SNAPSHOT_WINDOWS: u64 = 1 << 22;
+const MAX_SNAPSHOT_SIGS: u64 = 1 << 22;
 
 impl DetectorSnapshot {
     /// Tasks the snapshotted detector had observed.
     pub fn tasks_seen(&self) -> u64 {
         self.tasks_seen
+    }
+
+    /// Synopses the snapshotted detector knew were lost in transit.
+    pub fn tasks_lost(&self) -> u64 {
+        self.tasks_lost
+    }
+
+    /// The snapshotted watermark (max task start time seen).
+    pub fn watermark(&self) -> SimTime {
+        self.watermark
+    }
+
+    /// The snapshotted detection configuration.
+    pub fn config(&self) -> DetectorConfig {
+        self.config
+    }
+
+    /// Whether the snapshotted detector was in bootstrap (collect-only)
+    /// mode.
+    pub fn is_collect_only(&self) -> bool {
+        self.collect_only
+    }
+
+    /// Append the snapshot's wire form to `buf` (the per-shard section of
+    /// a checkpoint; see [`crate::store`]). Maps are written in sorted
+    /// key order so the encoding is deterministic.
+    ///
+    /// The shared model, compiled tables, and interner are **not**
+    /// written here — the checkpoint stores each exactly once and
+    /// [`DetectorSnapshot::decode_from`] re-links them.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u8(self.collect_only as u8);
+        put_varint(buf, self.config.window.as_micros());
+        put_f64(buf, self.config.alpha);
+        put_varint(buf, self.config.min_window_tasks);
+        put_varint(buf, self.config.min_group_tasks);
+        put_varint(buf, self.config.max_new_signatures as u64);
+        put_varint(buf, self.watermark.as_micros());
+        put_varint(buf, self.tasks_seen);
+        put_varint(buf, self.tasks_lost);
+        let mut windows: Vec<_> = self.open.keys().copied().collect();
+        windows.sort_unstable();
+        put_varint(buf, windows.len() as u64);
+        for key in windows {
+            let (host, stage, idx) = key;
+            let acc = &self.open[&key];
+            put_varint(buf, host.0 as u64);
+            put_varint(buf, stage.0 as u64);
+            put_varint(buf, idx);
+            put_varint(buf, acc.n);
+            put_varint(buf, acc.rare_flow_outliers);
+            put_varint(buf, acc.new_signature_tasks);
+            put_varint(buf, acc.new_signatures.len() as u64);
+            for sig in &acc.new_signatures {
+                put_varint(buf, sig.0 as u64);
+            }
+            let mut perf: Vec<_> = acc.perf.iter().map(|(&s, &(o, n))| (s, o, n)).collect();
+            perf.sort_unstable_by_key(|g| g.0);
+            put_varint(buf, perf.len() as u64);
+            for (sig, outliers, n) in perf {
+                put_varint(buf, sig.0 as u64);
+                put_varint(buf, outliers);
+                put_varint(buf, n);
+            }
+        }
+        let mut lost: Vec<_> = self.lost.iter().map(|(&(h, i), &c)| (h, i, c)).collect();
+        lost.sort_unstable_by_key(|&(h, i, _)| (h, i));
+        put_varint(buf, lost.len() as u64);
+        for (host, idx, count) in lost {
+            put_varint(buf, host.0 as u64);
+            put_varint(buf, idx);
+            put_varint(buf, count);
+        }
+    }
+
+    /// Decode a snapshot written with [`DetectorSnapshot::encode_into`],
+    /// re-linking it to the checkpoint's shared `model`, `compiled`
+    /// tables, and `interner`.
+    ///
+    /// Interned signature ids inside the snapshot are validated against
+    /// `interner` — an id the interner cannot resolve means the snapshot
+    /// and interner sections are out of sync, and is rejected rather
+    /// than deferred to a panic at window close.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated input, out-of-range
+    /// lengths, or unresolvable signature ids.
+    pub fn decode_from(
+        buf: &mut Bytes,
+        model: Arc<OutlierModel>,
+        compiled: Arc<CompiledModel>,
+        interner: Arc<SignatureInterner>,
+    ) -> Result<DetectorSnapshot, DecodeError> {
+        let collect_only = get_u8(buf)? != 0;
+        let config = DetectorConfig {
+            window: SimDuration::from_micros(get_varint(buf)?),
+            alpha: get_f64(buf)?,
+            min_window_tasks: get_varint(buf)?,
+            min_group_tasks: get_varint(buf)?,
+            max_new_signatures: get_varint(buf)? as usize,
+        };
+        let watermark = SimTime::from_micros(get_varint(buf)?);
+        let tasks_seen = get_varint(buf)?;
+        let tasks_lost = get_varint(buf)?;
+        let read_sig = |buf: &mut Bytes| -> Result<SigId, DecodeError> {
+            let raw = get_varint(buf)?;
+            let sig = SigId(u32::try_from(raw).map_err(|_| DecodeError::LengthOutOfRange(raw))?);
+            if interner.resolve(sig).is_none() {
+                return Err(DecodeError::LengthOutOfRange(raw));
+            }
+            Ok(sig)
+        };
+        let window_count = get_varint(buf)?;
+        if window_count > MAX_SNAPSHOT_WINDOWS {
+            return Err(DecodeError::LengthOutOfRange(window_count));
+        }
+        let mut open = HashMap::with_capacity(window_count as usize);
+        for _ in 0..window_count {
+            let host = HostId(get_varint(buf)? as u16);
+            let stage = StageId(get_varint(buf)? as u16);
+            let idx = get_varint(buf)?;
+            let mut acc = WindowAccum {
+                n: get_varint(buf)?,
+                rare_flow_outliers: get_varint(buf)?,
+                new_signature_tasks: get_varint(buf)?,
+                ..WindowAccum::default()
+            };
+            let new_count = get_varint(buf)?;
+            if new_count > MAX_SNAPSHOT_SIGS {
+                return Err(DecodeError::LengthOutOfRange(new_count));
+            }
+            for _ in 0..new_count {
+                acc.new_signatures.push(read_sig(buf)?);
+            }
+            let group_count = get_varint(buf)?;
+            if group_count > MAX_SNAPSHOT_SIGS {
+                return Err(DecodeError::LengthOutOfRange(group_count));
+            }
+            for _ in 0..group_count {
+                let sig = read_sig(buf)?;
+                let outliers = get_varint(buf)?;
+                let n = get_varint(buf)?;
+                acc.perf.insert(sig, (outliers, n));
+            }
+            open.insert((host, stage, idx), acc);
+        }
+        let loss_count = get_varint(buf)?;
+        if loss_count > MAX_SNAPSHOT_WINDOWS {
+            return Err(DecodeError::LengthOutOfRange(loss_count));
+        }
+        let mut lost = HashMap::with_capacity(loss_count as usize);
+        for _ in 0..loss_count {
+            let host = HostId(get_varint(buf)? as u16);
+            let idx = get_varint(buf)?;
+            let count = get_varint(buf)?;
+            lost.insert((host, idx), count);
+        }
+        Ok(DetectorSnapshot {
+            model,
+            compiled,
+            interner,
+            config,
+            open,
+            lost,
+            watermark,
+            tasks_seen,
+            tasks_lost,
+            collect_only,
+        })
+    }
+
+    /// Merge per-shard snapshots into one logical snapshot. Used when a
+    /// checkpoint taken with one worker count is restored into a pool
+    /// with another: shards merge first, then [`DetectorSnapshot::partition`]
+    /// re-splits along the new routing function.
+    ///
+    /// Open windows are a disjoint union by construction (each
+    /// `(host, stage)` lives on exactly one shard), but colliding keys
+    /// are combined additively for robustness. Loss maps are broadcast
+    /// to every shard by the router, so they merge per-key by `max`, as
+    /// do `tasks_lost` and the watermark; `tasks_seen` sums. Returns
+    /// `None` for an empty input.
+    pub fn merge(parts: Vec<DetectorSnapshot>) -> Option<DetectorSnapshot> {
+        let mut iter = parts.into_iter();
+        let mut merged = iter.next()?;
+        for part in iter {
+            for (key, acc) in part.open {
+                match merged.open.entry(key) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(acc);
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        let into = e.get_mut();
+                        into.n += acc.n;
+                        into.rare_flow_outliers += acc.rare_flow_outliers;
+                        into.new_signature_tasks += acc.new_signature_tasks;
+                        for sig in acc.new_signatures {
+                            if !into.new_signatures.contains(&sig)
+                                && into.new_signatures.len() < merged.config.max_new_signatures
+                            {
+                                into.new_signatures.push(sig);
+                            }
+                        }
+                        for (sig, (o, n)) in acc.perf {
+                            let g = into.perf.entry(sig).or_insert((0, 0));
+                            g.0 += o;
+                            g.1 += n;
+                        }
+                    }
+                }
+            }
+            for (key, count) in part.lost {
+                let slot = merged.lost.entry(key).or_insert(0);
+                *slot = (*slot).max(count);
+            }
+            merged.watermark = merged.watermark.max(part.watermark);
+            merged.tasks_seen += part.tasks_seen;
+            merged.tasks_lost = merged.tasks_lost.max(part.tasks_lost);
+        }
+        Some(merged)
+    }
+
+    /// Split one logical snapshot into `n` per-shard snapshots, sending
+    /// each open window to `route(host, stage) % n`. The inverse of
+    /// [`DetectorSnapshot::merge`]: loss maps, the watermark, and
+    /// `tasks_lost` are broadcast to every part (matching the router's
+    /// broadcast of loss reports), while `tasks_seen` is carried by part
+    /// 0 so pool-level totals stay exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn partition(
+        self,
+        n: usize,
+        route: impl Fn(HostId, StageId) -> usize,
+    ) -> Vec<DetectorSnapshot> {
+        assert!(n > 0, "cannot partition a snapshot into zero shards");
+        let mut parts: Vec<DetectorSnapshot> = (0..n)
+            .map(|_| DetectorSnapshot {
+                model: self.model.clone(),
+                compiled: self.compiled.clone(),
+                interner: self.interner.clone(),
+                config: self.config,
+                open: HashMap::new(),
+                lost: self.lost.clone(),
+                watermark: self.watermark,
+                tasks_seen: 0,
+                tasks_lost: self.tasks_lost,
+                collect_only: self.collect_only,
+            })
+            .collect();
+        parts[0].tasks_seen = self.tasks_seen;
+        for (key, acc) in self.open {
+            let dest = route(key.0, key.1) % n;
+            parts[dest].open.insert(key, acc);
+        }
+        parts
     }
 }
 
@@ -194,11 +502,48 @@ impl AnomalyDetector {
     ///
     /// # Panics
     ///
-    /// Panics if the configured window is zero.
+    /// Panics if the configuration is invalid; use
+    /// [`AnomalyDetector::try_new`] to handle the error instead.
     pub fn new(model: Arc<OutlierModel>, config: DetectorConfig) -> AnomalyDetector {
+        match AnomalyDetector::try_new(model, config) {
+            Ok(d) => d,
+            Err(e) => panic!("invalid detector config: {e}"),
+        }
+    }
+
+    /// Create a detector over a trained model, rejecting an invalid
+    /// configuration with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] from [`DetectorConfig::validate`].
+    pub fn try_new(
+        model: Arc<OutlierModel>,
+        config: DetectorConfig,
+    ) -> Result<AnomalyDetector, ConfigError> {
         let interner = Arc::new(SignatureInterner::new());
         let compiled = Arc::new(model.compile(&interner));
-        AnomalyDetector::with_shared(model, compiled, interner, config)
+        AnomalyDetector::try_with_shared(model, compiled, interner, config)
+    }
+
+    /// Create a detector with **no model** (bootstrap/degraded mode): it
+    /// counts tasks per window and emits [`AnomalyKind::ModelUnavailable`]
+    /// events with completeness accounting instead of classifying. Once
+    /// enough training data has accumulated, promote it with
+    /// [`AnomalyDetector::install_model`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] from [`DetectorConfig::validate`].
+    pub fn collecting(
+        interner: Arc<SignatureInterner>,
+        config: DetectorConfig,
+    ) -> Result<AnomalyDetector, ConfigError> {
+        let model = Arc::new(ModelBuilder::new().build(ModelConfig::default()));
+        let compiled = Arc::new(model.compile(&interner));
+        let mut d = AnomalyDetector::try_with_shared(model, compiled, interner, config)?;
+        d.collect_only = true;
+        Ok(d)
     }
 
     /// Create a detector over pre-built shared parts. This is how the
@@ -211,18 +556,33 @@ impl AnomalyDetector {
     ///
     /// # Panics
     ///
-    /// Panics if the configured window is zero.
+    /// Panics if the configuration is invalid; use
+    /// [`AnomalyDetector::try_with_shared`] to handle the error instead.
     pub fn with_shared(
         model: Arc<OutlierModel>,
         compiled: Arc<CompiledModel>,
         interner: Arc<SignatureInterner>,
         config: DetectorConfig,
     ) -> AnomalyDetector {
-        assert!(
-            config.window > SimDuration::ZERO,
-            "detection window must be positive"
-        );
-        AnomalyDetector {
+        match AnomalyDetector::try_with_shared(model, compiled, interner, config) {
+            Ok(d) => d,
+            Err(e) => panic!("invalid detector config: {e}"),
+        }
+    }
+
+    /// Fallible form of [`AnomalyDetector::with_shared`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] from [`DetectorConfig::validate`].
+    pub fn try_with_shared(
+        model: Arc<OutlierModel>,
+        compiled: Arc<CompiledModel>,
+        interner: Arc<SignatureInterner>,
+        config: DetectorConfig,
+    ) -> Result<AnomalyDetector, ConfigError> {
+        config.validate()?;
+        Ok(AnomalyDetector {
             model,
             compiled,
             interner,
@@ -232,7 +592,8 @@ impl AnomalyDetector {
             watermark: SimTime::ZERO,
             tasks_seen: 0,
             tasks_lost: 0,
-        }
+            collect_only: false,
+        })
     }
 
     /// Copy the detector's mutable state for later [restore]. The model is
@@ -250,6 +611,7 @@ impl AnomalyDetector {
             watermark: self.watermark,
             tasks_seen: self.tasks_seen,
             tasks_lost: self.tasks_lost,
+            collect_only: self.collect_only,
         }
     }
 
@@ -266,7 +628,47 @@ impl AnomalyDetector {
             watermark: snapshot.watermark,
             tasks_seen: snapshot.tasks_seen,
             tasks_lost: snapshot.tasks_lost,
+            collect_only: snapshot.collect_only,
         }
+    }
+
+    /// Whether the detector is in bootstrap (collect-only) mode.
+    pub fn is_collect_only(&self) -> bool {
+        self.collect_only
+    }
+
+    /// Atomically replace the detector's model (hot model swap), or
+    /// promote a [collecting] detector to detecting.
+    ///
+    /// When the detector was collecting, every open window is closed
+    /// first — their tasks were observed without classification, so they
+    /// emit [`AnomalyKind::ModelUnavailable`] events (returned here)
+    /// rather than silently becoming half-classified windows.
+    ///
+    /// When the detector was already detecting, open windows are kept:
+    /// their accumulated counts reflect the outgoing model, and they
+    /// close against the incoming model's rates — the documented swap
+    /// semantics (no task is dropped or double-counted; windows
+    /// straddling the swap mix the two models' classifications).
+    ///
+    /// `compiled` must have been produced by `model.compile(&interner)`
+    /// against this detector's own interner.
+    ///
+    /// [collecting]: AnomalyDetector::collecting
+    pub fn install_model(
+        &mut self,
+        model: Arc<OutlierModel>,
+        compiled: Arc<CompiledModel>,
+    ) -> Vec<AnomalyEvent> {
+        let events = if self.collect_only {
+            self.flush()
+        } else {
+            Vec::new()
+        };
+        self.collect_only = false;
+        self.model = model;
+        self.compiled = compiled;
+        events
     }
 
     /// The model in use.
@@ -350,6 +752,16 @@ impl AnomalyDetector {
     pub fn observe_interned(&mut self, f: &InternedFeature) -> Vec<AnomalyEvent> {
         self.tasks_seen += 1;
         let idx = self.window_index(f.start);
+        if self.collect_only {
+            // Bootstrap mode: no model to classify against. Count the
+            // task so the window's ModelUnavailable event carries exact
+            // unclassified-task accounting.
+            self.open.entry((f.host, f.stage, idx)).or_default().n += 1;
+            self.watermark = self.watermark.max(f.start);
+            let mut events = Vec::new();
+            self.close_stale(&mut events);
+            return events;
+        }
         let class = self.compiled.classify(f.stage, f.sig, f.duration_us);
         let acc = self.open.entry((f.host, f.stage, idx)).or_default();
         acc.n += 1;
@@ -448,6 +860,21 @@ impl AnomalyDetector {
         } else {
             acc.n as f64 / (acc.n + lost) as f64
         };
+        // Bootstrap mode: the window was observed but never classified.
+        // Emit exactly one accounting event instead of test results.
+        if self.collect_only {
+            events.push(AnomalyEvent {
+                host,
+                stage,
+                window_start,
+                kind: AnomalyKind::ModelUnavailable,
+                p_value: None,
+                outliers: 0,
+                window_tasks: acc.n,
+                completeness,
+            });
+            return;
+        }
         // (ii) New signatures: report each, no test required. Ids resolve
         // back to full signatures only here, on the (cold) emission path.
         for &sig in &acc.new_signatures {
@@ -526,9 +953,9 @@ impl AnomalyDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{ModelBuilder, ModelConfig};
     use crate::synopsis::TaskSynopsis;
     use crate::TaskUid;
+    use proptest::prelude::*;
     use saad_logging::LogPointId;
 
     fn synopsis(stage: u16, points: &[u16], dur_us: u64, start: SimTime, uid: u64) -> TaskSynopsis {
@@ -543,18 +970,25 @@ mod tests {
     }
 
     /// A model trained on a healthy population: one dominant signature
-    /// [1,2,4,5] at ~10ms, one rare [1,2,3,4,5] at 0.1%.
+    /// [1,2,4,5] at ~10ms, one rare [1,2,3,4,5] at 0.1%. Trained once and
+    /// shared — the model is immutable, and retraining it for each of the
+    /// property-test cases below would dominate the suite's runtime.
     fn trained_model() -> Arc<OutlierModel> {
-        let mut b = ModelBuilder::new();
-        for i in 0..20_000u64 {
-            let s = if i.is_multiple_of(1000) {
-                synopsis(0, &[1, 2, 3, 4, 5], 10_000, SimTime::ZERO, i)
-            } else {
-                synopsis(0, &[1, 2, 4, 5], 9_000 + (i % 97) * 20, SimTime::ZERO, i)
-            };
-            b.observe(&s);
-        }
-        Arc::new(b.build(ModelConfig::default()))
+        static MODEL: std::sync::OnceLock<Arc<OutlierModel>> = std::sync::OnceLock::new();
+        MODEL
+            .get_or_init(|| {
+                let mut b = ModelBuilder::new();
+                for i in 0..20_000u64 {
+                    let s = if i.is_multiple_of(1000) {
+                        synopsis(0, &[1, 2, 3, 4, 5], 10_000, SimTime::ZERO, i)
+                    } else {
+                        synopsis(0, &[1, 2, 4, 5], 9_000 + (i % 97) * 20, SimTime::ZERO, i)
+                    };
+                    b.observe(&s);
+                }
+                Arc::new(b.build(ModelConfig::default()))
+            })
+            .clone()
     }
 
     fn detector() -> AnomalyDetector {
@@ -756,8 +1190,36 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn zero_window_rejected() {
+    fn zero_window_rejected_with_typed_error() {
+        let cfg = DetectorConfig {
+            window: SimDuration::ZERO,
+            ..DetectorConfig::default()
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroWindow));
+        assert_eq!(
+            AnomalyDetector::try_new(trained_model(), cfg).unwrap_err(),
+            ConfigError::ZeroWindow
+        );
+    }
+
+    #[test]
+    fn out_of_range_alpha_rejected_with_typed_error() {
+        for alpha in [0.0, 1.0, -0.5, f64::NAN] {
+            let cfg = DetectorConfig {
+                alpha,
+                ..DetectorConfig::default()
+            };
+            assert!(
+                matches!(cfg.validate(), Err(ConfigError::AlphaOutOfRange(_))),
+                "alpha={alpha}"
+            );
+        }
+        assert!(DetectorConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid detector config")]
+    fn new_panics_on_invalid_config() {
         AnomalyDetector::new(
             trained_model(),
             DetectorConfig {
@@ -881,5 +1343,254 @@ mod tests {
         assert!(!k.is_flow());
         assert!(!k.is_performance());
         assert!(k.to_string().contains("3 windows"));
+    }
+
+    #[test]
+    fn model_unavailable_kind_predicates() {
+        let k = AnomalyKind::ModelUnavailable;
+        assert!(k.is_model_unavailable());
+        assert!(!k.is_flow());
+        assert!(!k.is_performance());
+        assert!(!k.is_liveness());
+        assert!(k.to_string().contains("model unavailable"));
+    }
+
+    #[test]
+    fn collecting_detector_emits_model_unavailable_with_completeness() {
+        let interner = Arc::new(SignatureInterner::new());
+        let mut d = AnomalyDetector::collecting(interner, DetectorConfig::default()).unwrap();
+        assert!(d.is_collect_only());
+        // 100 observed + 100 known-lost in minute 0 → completeness 0.5.
+        d.record_loss(HostId(0), SimTime::from_secs(30), 100);
+        let mut events = feed(&mut d, 0, 100, |i| {
+            synopsis(0, &[1, 2, 4, 5], 9_500, SimTime::ZERO, i)
+        });
+        events.extend(d.flush());
+        assert_eq!(events.len(), 1, "{events:?}");
+        let e = &events[0];
+        assert_eq!(e.kind, AnomalyKind::ModelUnavailable);
+        assert_eq!(e.p_value, None);
+        assert_eq!(e.window_tasks, 100);
+        assert!((e.completeness - 0.5).abs() < 1e-9);
+        assert_eq!(d.tasks_seen(), 100);
+    }
+
+    #[test]
+    fn promotion_flushes_bootstrap_windows_then_detects() {
+        let interner = Arc::new(SignatureInterner::new());
+        let mut d =
+            AnomalyDetector::collecting(interner.clone(), DetectorConfig::default()).unwrap();
+        let pre = feed(&mut d, 0, 50, |i| {
+            synopsis(0, &[1, 2, 4, 5], 9_500, SimTime::ZERO, i)
+        });
+        assert!(pre.is_empty(), "window still open during bootstrap");
+        let model = trained_model();
+        let compiled = Arc::new(model.compile(&interner));
+        let promoted = d.install_model(model, compiled);
+        assert_eq!(promoted.len(), 1);
+        assert_eq!(promoted[0].kind, AnomalyKind::ModelUnavailable);
+        assert_eq!(promoted[0].window_tasks, 50);
+        assert!(!d.is_collect_only());
+        // The promoted detector now detects normally.
+        let mut events = feed(&mut d, 2, 200, |i| {
+            if i % 10 < 3 {
+                synopsis(0, &[1, 2, 3, 4, 5], 10_000, SimTime::ZERO, i)
+            } else {
+                synopsis(0, &[1, 2, 4, 5], 9_500, SimTime::ZERO, i)
+            }
+        });
+        events.extend(d.flush());
+        assert!(
+            events.iter().any(|e| e.kind == AnomalyKind::FlowRare),
+            "{events:?}"
+        );
+        assert!(events.iter().all(|e| !e.kind.is_model_unavailable()));
+    }
+
+    #[test]
+    fn hot_swap_drops_and_double_counts_nothing() {
+        let mk = |i: u64| {
+            if i % 10 < 3 {
+                synopsis(0, &[1, 2, 3, 4, 5], 10_000, SimTime::ZERO, i)
+            } else {
+                synopsis(0, &[1, 2, 4, 5], 9_500, SimTime::ZERO, i)
+            }
+        };
+        // Reference: no swap.
+        let mut reference = detector();
+        let mut expected = feed(&mut reference, 0, 100, mk);
+        expected.extend(feed(&mut reference, 1, 100, mk));
+        expected.extend(reference.flush());
+        // Swap an (equally trained) model in with minute 0 still open.
+        let mut swapped = detector();
+        let mut events = feed(&mut swapped, 0, 100, mk);
+        let model = trained_model();
+        let compiled = Arc::new(model.compile(swapped.interner()));
+        events.extend(swapped.install_model(model, compiled));
+        events.extend(feed(&mut swapped, 1, 100, mk));
+        events.extend(swapped.flush());
+        assert_eq!(events, expected);
+        assert_eq!(swapped.tasks_seen(), reference.tasks_seen());
+    }
+
+    fn mixed_mk(i: u64) -> TaskSynopsis {
+        if i % 10 < 3 {
+            synopsis(0, &[1, 2, 3, 4, 5], 10_000, SimTime::ZERO, i)
+        } else if i % 10 == 9 {
+            synopsis(0, &[1, 9], 500, SimTime::ZERO, i) // never trained
+        } else {
+            let dur = if i.is_multiple_of(7) { 120_000 } else { 9_500 };
+            synopsis(0, &[1, 2, 4, 5], dur, SimTime::ZERO, i)
+        }
+    }
+
+    /// Restore a snapshot the way a checkpoint load does: the model and
+    /// interner round-trip through their own codecs first, then the
+    /// snapshot re-links against the restored copies.
+    fn restore_via_codec(d: &AnomalyDetector, snap: &DetectorSnapshot) -> AnomalyDetector {
+        let mut sbuf = BytesMut::new();
+        snap.encode_into(&mut sbuf);
+        let mut sbytes = sbuf.freeze();
+        let interner = Arc::new(SignatureInterner::from_shard_contents(
+            d.interner().shard_contents(),
+        ));
+        let mut mbuf = BytesMut::new();
+        d.model().encode_into(&mut mbuf);
+        let model = Arc::new(OutlierModel::decode_from(&mut mbuf.freeze()).unwrap());
+        let compiled = Arc::new(model.compile(&interner));
+        let decoded =
+            DetectorSnapshot::decode_from(&mut sbytes, model, compiled, interner).unwrap();
+        assert!(sbytes.is_empty(), "decoder must consume the full encoding");
+        AnomalyDetector::from_snapshot(decoded)
+    }
+
+    #[test]
+    fn snapshot_codec_round_trip_resumes_identically() {
+        let mut original = detector();
+        original.record_loss(HostId(0), SimTime::from_secs(10), 25);
+        let early = feed(&mut original, 0, 120, mixed_mk);
+        assert!(early.is_empty(), "windows still open");
+        let snap = original.snapshot();
+        let mut restored = restore_via_codec(&original, &snap);
+        let mut a = feed(&mut original, 1, 120, mixed_mk);
+        a.extend(original.flush());
+        let mut b = feed(&mut restored, 1, 120, mixed_mk);
+        b.extend(restored.flush());
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "stream should have produced events");
+        assert_eq!(original.tasks_seen(), restored.tasks_seen());
+        assert_eq!(original.tasks_lost(), restored.tasks_lost());
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_truncation() {
+        let mut d = detector();
+        d.record_loss(HostId(0), SimTime::from_secs(10), 5);
+        feed(&mut d, 0, 60, mixed_mk);
+        let snap = d.snapshot();
+        let mut buf = BytesMut::new();
+        snap.encode_into(&mut buf);
+        let full = buf.freeze();
+        for len in 0..full.len() {
+            let mut prefix = full.slice(0..len);
+            assert!(
+                DetectorSnapshot::decode_from(
+                    &mut prefix,
+                    snap.model.clone(),
+                    snap.compiled.clone(),
+                    snap.interner.clone(),
+                )
+                .is_err(),
+                "prefix of {len} bytes decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_unresolvable_sig_ids() {
+        let mut d = detector();
+        feed(&mut d, 0, 60, mixed_mk); // open windows reference interned sigs
+        let snap = d.snapshot();
+        let mut buf = BytesMut::new();
+        snap.encode_into(&mut buf);
+        // An empty interner cannot resolve the snapshot's sig ids.
+        let empty = Arc::new(SignatureInterner::new());
+        let compiled = Arc::new(d.model().compile(&empty));
+        let model = Arc::new(
+            OutlierModel::decode_from(&mut {
+                let mut mbuf = BytesMut::new();
+                d.model().encode_into(&mut mbuf);
+                mbuf.freeze()
+            })
+            .unwrap(),
+        );
+        let err = DetectorSnapshot::decode_from(&mut buf.freeze(), model, compiled, empty)
+            .expect_err("out-of-sync interner must be rejected");
+        assert!(matches!(err, DecodeError::LengthOutOfRange(_)), "{err:?}");
+    }
+
+    #[test]
+    fn partition_then_merge_round_trips() {
+        let mut d = detector();
+        d.record_loss(HostId(1), SimTime::from_secs(20), 10);
+        for i in 0..300u64 {
+            let mut s = mixed_mk(i);
+            s.host = HostId((i % 3) as u16);
+            s.stage = StageId((i % 2) as u16);
+            s.start = SimTime::from_millis(i * 15);
+            d.observe(&FeatureVector::from(&s));
+        }
+        let snap = d.snapshot();
+        let mut orig = BytesMut::new();
+        snap.encode_into(&mut orig);
+        let parts = snap
+            .clone()
+            .partition(3, |h, s| h.0 as usize + s.0 as usize);
+        assert_eq!(parts.len(), 3);
+        assert!(parts.iter().any(|p| !p.open.is_empty()));
+        let merged = DetectorSnapshot::merge(parts).expect("nonempty parts");
+        let mut back = BytesMut::new();
+        merged.encode_into(&mut back);
+        assert_eq!(&orig[..], &back[..]);
+        assert!(DetectorSnapshot::merge(Vec::new()).is_none());
+    }
+
+    proptest! {
+        /// Satellite: snapshot → encode → decode → from_snapshot yields a
+        /// detector whose subsequent observations produce identical
+        /// events on random feature streams.
+        #[test]
+        fn snapshot_round_trip_preserves_observe_output(
+            stream in proptest::collection::vec(
+                (0u16..3, 0u16..2, proptest::collection::vec(1u16..8, 1..5),
+                 500u64..200_000, 0u64..300_000_000),
+                1..120,
+            ),
+            split_seed in 0usize..1000,
+        ) {
+            let split = split_seed % (stream.len() + 1);
+            let to_synopsis = |(h, st, pts, dur, start): &(u16, u16, Vec<u16>, u64, u64), uid| {
+                let mut s = synopsis(*st, pts, *dur, SimTime::from_micros(*start), uid);
+                s.host = HostId(*h);
+                s
+            };
+            let mut original = detector();
+            for (uid, item) in stream[..split].iter().enumerate() {
+                original.observe(&FeatureVector::from(&to_synopsis(item, uid as u64)));
+            }
+            let snap = original.snapshot();
+            let mut restored = restore_via_codec(&original, &snap);
+            for (uid, item) in stream[split..].iter().enumerate() {
+                let s = to_synopsis(item, uid as u64);
+                // observe() interns against each detector's own interner
+                // and then runs observe_interned.
+                prop_assert_eq!(
+                    restored.observe(&FeatureVector::from(&s)),
+                    original.observe(&FeatureVector::from(&s))
+                );
+            }
+            prop_assert_eq!(restored.flush(), original.flush());
+            prop_assert_eq!(restored.tasks_seen(), original.tasks_seen());
+        }
     }
 }

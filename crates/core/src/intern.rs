@@ -237,6 +237,51 @@ impl SignatureInterner {
     pub fn resolve(&self, id: SigId) -> Option<Signature> {
         self.shards[id.shard()].read().sigs.get(id.index()).cloned()
     }
+
+    /// Every interned signature, grouped per shard in local-index order.
+    ///
+    /// This is the interner's durable form: feeding the result to
+    /// [`SignatureInterner::from_shard_contents`] reconstructs an
+    /// interner that issues **exactly the same** [`SigId`] for every
+    /// signature, so ids embedded in detector snapshots stay valid
+    /// across a checkpoint/restore cycle.
+    pub fn shard_contents(&self) -> Vec<Vec<Signature>> {
+        self.shards.iter().map(|s| s.read().sigs.clone()).collect()
+    }
+
+    /// Rebuild an interner from [`SignatureInterner::shard_contents`]
+    /// output, placing each signature back in its original shard at its
+    /// original local index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contents` does not have exactly one entry per shard or
+    /// if a signature is listed under a shard other than the one its
+    /// hash selects — both indicate a corrupted or hand-built input, and
+    /// silently accepting it would issue ids that resolve to the wrong
+    /// signature. (Checkpoint decoding validates lengths and checksums
+    /// before calling this.)
+    pub fn from_shard_contents(contents: Vec<Vec<Signature>>) -> SignatureInterner {
+        assert_eq!(
+            contents.len(),
+            SHARDS,
+            "shard_contents must have exactly {SHARDS} shards"
+        );
+        let interner = SignatureInterner::new();
+        for (shard_idx, sigs) in contents.into_iter().enumerate() {
+            let mut inner = interner.shards[shard_idx].write();
+            for (local, sig) in sigs.into_iter().enumerate() {
+                assert_eq!(
+                    shard_of(sig.points()),
+                    shard_idx,
+                    "signature {sig} restored into the wrong shard"
+                );
+                inner.ids.insert(sig.clone(), local as u32);
+                inner.sigs.push(sig);
+            }
+        }
+        interner
+    }
 }
 
 /// Dedup a sorted slice in place, returning the deduplicated length.
@@ -365,6 +410,44 @@ mod tests {
         // Same signature from different threads got one id.
         let a = interner.intern(&sig(&[0, 1]));
         assert_eq!(interner.get(&sig(&[0, 1])), Some(a));
+    }
+
+    #[test]
+    fn shard_contents_round_trip_preserves_ids() {
+        let interner = SignatureInterner::new();
+        let sigs: Vec<Signature> = (0..100u16)
+            .map(|i| sig(&[i, i + 1, i.wrapping_mul(7) % 200]))
+            .collect();
+        let ids: Vec<SigId> = sigs.iter().map(|s| interner.intern(s)).collect();
+        let restored = SignatureInterner::from_shard_contents(interner.shard_contents());
+        assert_eq!(restored.len(), interner.len());
+        assert_eq!(restored.capacity(), interner.capacity());
+        for (s, &id) in sigs.iter().zip(&ids) {
+            assert_eq!(restored.get(s), Some(id), "{s}");
+            assert_eq!(restored.resolve(id), Some(s.clone()));
+        }
+        // The restored interner keeps appending without id collisions.
+        let fresh = restored.intern(&sig(&[250, 251]));
+        assert!(ids.iter().all(|&id| id != fresh));
+    }
+
+    #[test]
+    fn empty_interner_round_trips() {
+        let restored =
+            SignatureInterner::from_shard_contents(SignatureInterner::new().shard_contents());
+        assert!(restored.is_empty());
+        assert_eq!(restored.capacity(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong shard")]
+    fn misplaced_signature_rejected_on_restore() {
+        let interner = SignatureInterner::new();
+        interner.intern(&sig(&[1, 2, 5]));
+        let mut contents = interner.shard_contents();
+        // Move every signature one shard over.
+        contents.rotate_right(1);
+        SignatureInterner::from_shard_contents(contents);
     }
 
     proptest! {

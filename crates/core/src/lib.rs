@@ -96,6 +96,7 @@ pub mod report;
 mod signature;
 pub mod simtask;
 mod stage_registry;
+pub mod store;
 pub mod synopsis;
 pub mod tracker;
 pub mod transport;
@@ -109,7 +110,10 @@ pub mod prelude {
     pub use crate::detector::{AnomalyDetector, AnomalyEvent, AnomalyKind, DetectorConfig};
     pub use crate::feature::{FeatureVector, InternedFeature};
     pub use crate::intern::{SigId, SignatureInterner};
-    pub use crate::model::{CompiledModel, ModelBuilder, ModelConfig, OutlierModel, TaskClass};
+    pub use crate::model::{
+        CompiledModel, ConfigError, ModelBuilder, ModelConfig, OutlierModel, TaskClass,
+    };
+    pub use crate::store::{Checkpoint, CheckpointError, CheckpointStore, Recovery};
     pub use crate::synopsis::TaskSynopsis;
     pub use crate::tracker::{SynopsisSink, TaskExecutionTracker, VecSink};
     pub use crate::{HostId, Signature, StageId, StageRegistry, TaskUid};

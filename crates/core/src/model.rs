@@ -12,13 +12,68 @@
 //!    not support a stable threshold (held-out outlier rate far above
 //!    nominal) are discarded from performance detection.
 
+use crate::codec::{get_f64, get_u8, get_varint, put_f64, put_varint, DecodeError};
 use crate::feature::{FeatureVector, InternedFeature};
 use crate::intern::{SigId, SignatureInterner};
 use crate::synopsis::TaskSynopsis;
 use crate::{Signature, StageId};
+use bytes::{BufMut, Bytes, BytesMut};
 use saad_stats::kfold::validate_percentile_threshold;
 use saad_stats::percentile;
 use std::collections::HashMap;
+use std::fmt;
+
+/// A configuration parameter outside its valid domain, reported by
+/// [`ModelConfig::validate`] and
+/// [`crate::detector::DetectorConfig::validate`] instead of a
+/// debug-assert, so invalid configurations are rejected identically in
+/// release builds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// A percentile parameter was outside `[0, 100]`.
+    PercentileOutOfRange {
+        /// Which parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The significance level was outside the open interval `(0, 1)`.
+    AlphaOutOfRange(f64),
+    /// The detection window was zero.
+    ZeroWindow,
+    /// The number of cross-validation folds was zero.
+    ZeroKfold,
+    /// The k-fold tolerance factor was not a positive finite number.
+    NonPositiveTolerance(f64),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::PercentileOutOfRange { name, value } => {
+                write!(f, "{name} must be in [0, 100], got {value}")
+            }
+            ConfigError::AlphaOutOfRange(a) => {
+                write!(f, "alpha must be in the open interval (0, 1), got {a}")
+            }
+            ConfigError::ZeroWindow => f.write_str("detection window must be positive"),
+            ConfigError::ZeroKfold => f.write_str("kfold must be at least 1"),
+            ConfigError::NonPositiveTolerance(t) => {
+                write!(f, "kfold_tolerance must be positive and finite, got {t}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn check_percentile(name: &'static str, value: f64) -> Result<(), ConfigError> {
+    if (0.0..=100.0).contains(&value) {
+        Ok(())
+    } else {
+        Err(ConfigError::PercentileOutOfRange { name, value })
+    }
+}
 
 /// Training configuration. The defaults are the paper's parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,6 +103,27 @@ impl Default for ModelConfig {
             kfold_tolerance: 3.0,
             min_signature_samples: 50,
         }
+    }
+}
+
+impl ModelConfig {
+    /// Check every parameter against its valid domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found: percentiles must lie in
+    /// `[0, 100]`, `kfold` must be at least 1, and `kfold_tolerance` must
+    /// be positive and finite.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        check_percentile("flow_rank_percentile", self.flow_rank_percentile)?;
+        check_percentile("duration_percentile", self.duration_percentile)?;
+        if self.kfold == 0 {
+            return Err(ConfigError::ZeroKfold);
+        }
+        if !(self.kfold_tolerance > 0.0 && self.kfold_tolerance.is_finite()) {
+            return Err(ConfigError::NonPositiveTolerance(self.kfold_tolerance));
+        }
+        Ok(())
     }
 }
 
@@ -154,7 +230,27 @@ impl ModelBuilder {
 
     /// Build the model. Consumes nothing; the builder can keep absorbing
     /// a later trace and rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid (see
+    /// [`ModelConfig::validate`]); use [`ModelBuilder::try_build`] for a
+    /// typed error instead.
     pub fn build(&self, config: ModelConfig) -> OutlierModel {
+        match self.try_build(config) {
+            Ok(model) => model,
+            Err(e) => panic!("invalid model config: {e}"),
+        }
+    }
+
+    /// Build the model, first validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when any parameter is outside its valid
+    /// domain; no training work happens in that case.
+    pub fn try_build(&self, config: ModelConfig) -> Result<OutlierModel, ConfigError> {
+        config.validate()?;
         let mut stages = HashMap::with_capacity(self.groups.len());
         for (&stage, sig_groups) in &self.groups {
             let task_count: u64 = sig_groups.values().map(|d| d.len() as u64).sum();
@@ -208,7 +304,7 @@ impl ModelBuilder {
                 },
             );
         }
-        OutlierModel { stages, config }
+        Ok(OutlierModel { stages, config })
     }
 }
 
@@ -341,7 +437,112 @@ impl OutlierModel {
             stages: stages.into_boxed_slice(),
         }
     }
+
+    /// Append the model's compact wire form to `buf` (the checkpoint
+    /// payload format; see [`crate::store`]). Stages and signatures are
+    /// written in sorted order so the encoding is deterministic.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        put_f64(buf, self.config.flow_rank_percentile);
+        put_f64(buf, self.config.duration_percentile);
+        put_varint(buf, self.config.kfold as u64);
+        put_f64(buf, self.config.kfold_tolerance);
+        put_varint(buf, self.config.min_signature_samples as u64);
+        put_varint(buf, self.stages.len() as u64);
+        let mut stages: Vec<(&StageId, &StageModel)> = self.stages.iter().collect();
+        stages.sort_unstable_by_key(|(s, _)| **s);
+        for (&stage, sm) in stages {
+            put_varint(buf, stage.0 as u64);
+            put_varint(buf, sm.task_count);
+            put_f64(buf, sm.flow_outlier_rate);
+            put_varint(buf, sm.signatures.len() as u64);
+            let mut sigs: Vec<(&Signature, &SignatureModel)> = sm.signatures.iter().collect();
+            sigs.sort_unstable_by_key(|(s, _)| *s);
+            for (sig, m) in sigs {
+                crate::codec::put_points(buf, sig.points());
+                put_varint(buf, m.count);
+                put_f64(buf, m.share);
+                buf.put_u8(m.is_flow_outlier as u8);
+                match m.duration_threshold_us {
+                    Some(t) => {
+                        buf.put_u8(1);
+                        put_f64(buf, t);
+                    }
+                    None => buf.put_u8(0),
+                }
+                put_f64(buf, m.training_perf_outlier_rate);
+            }
+        }
+    }
+
+    /// Decode a model previously written with
+    /// [`OutlierModel::encode_into`], consuming its bytes from `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated or malformed input (the
+    /// checkpoint store's CRC framing catches corruption before this
+    /// runs; these errors guard against logic-level format drift).
+    pub fn decode_from(buf: &mut Bytes) -> Result<OutlierModel, DecodeError> {
+        let config = ModelConfig {
+            flow_rank_percentile: get_f64(buf)?,
+            duration_percentile: get_f64(buf)?,
+            kfold: get_varint(buf)? as usize,
+            kfold_tolerance: get_f64(buf)?,
+            min_signature_samples: get_varint(buf)? as usize,
+        };
+        let stage_count = get_varint(buf)?;
+        if stage_count > u16::MAX as u64 + 1 {
+            return Err(DecodeError::LengthOutOfRange(stage_count));
+        }
+        let mut stages = HashMap::with_capacity(stage_count as usize);
+        for _ in 0..stage_count {
+            let stage = StageId(get_varint(buf)? as u16);
+            let task_count = get_varint(buf)?;
+            let flow_outlier_rate = get_f64(buf)?;
+            let sig_count = get_varint(buf)?;
+            if sig_count > MAX_MODEL_SIGNATURES {
+                return Err(DecodeError::LengthOutOfRange(sig_count));
+            }
+            let mut signatures = HashMap::with_capacity(sig_count as usize);
+            for _ in 0..sig_count {
+                let points = crate::codec::get_points(buf)?;
+                let sig = Signature::from_points(points);
+                let count = get_varint(buf)?;
+                let share = get_f64(buf)?;
+                let is_flow_outlier = get_u8(buf)? != 0;
+                let duration_threshold_us = if get_u8(buf)? != 0 {
+                    Some(get_f64(buf)?)
+                } else {
+                    None
+                };
+                let training_perf_outlier_rate = get_f64(buf)?;
+                signatures.insert(
+                    sig,
+                    SignatureModel {
+                        count,
+                        share,
+                        is_flow_outlier,
+                        duration_threshold_us,
+                        training_perf_outlier_rate,
+                    },
+                );
+            }
+            stages.insert(
+                stage,
+                StageModel {
+                    task_count,
+                    signatures,
+                    flow_outlier_rate,
+                },
+            );
+        }
+        Ok(OutlierModel { stages, config })
+    }
 }
+
+/// Sanity bound on per-stage signatures accepted by the checkpoint
+/// decoder.
+const MAX_MODEL_SIGNATURES: u64 = 1 << 24;
 
 /// Compiled per-(stage, signature) classification entry.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -660,6 +861,123 @@ mod tests {
             TaskClass::NewSignature
         );
         assert_eq!(compiled.perf_p0(StageId(0), late), None);
+    }
+
+    #[test]
+    fn model_codec_round_trip_preserves_behavior() {
+        let model = figure4_model();
+        let mut buf = BytesMut::new();
+        model.encode_into(&mut buf);
+        let mut bytes = buf.freeze();
+        let decoded = OutlierModel::decode_from(&mut bytes).unwrap();
+        assert!(bytes.is_empty(), "decoder must consume the full encoding");
+        // Deterministic encoding: re-encoding the decoded model is
+        // byte-identical, so the two models hold the same state.
+        let mut again = BytesMut::new();
+        decoded.encode_into(&mut again);
+        let mut orig = BytesMut::new();
+        model.encode_into(&mut orig);
+        assert_eq!(orig, again);
+        // And classification agrees on every class of input.
+        for s in [
+            synopsis(0, &[1, 2, 4, 5], 10_000, 1),
+            synopsis(0, &[1, 2, 4, 5], 80_000, 2),
+            synopsis(0, &[1, 2, 3, 4, 5], 10_000, 3),
+            synopsis(0, &[1, 9], 10_000, 4),
+            synopsis(42, &[1], 10, 5),
+        ] {
+            let f = FeatureVector::from(&s);
+            assert_eq!(decoded.classify(&f), model.classify(&f), "case {s:?}");
+        }
+        assert_eq!(decoded.config(), model.config());
+    }
+
+    #[test]
+    fn model_codec_rejects_truncation() {
+        let model = figure4_model();
+        let mut buf = BytesMut::new();
+        model.encode_into(&mut buf);
+        let full = buf.freeze();
+        for len in 0..full.len() {
+            let mut prefix = full.slice(0..len);
+            assert!(
+                OutlierModel::decode_from(&mut prefix).is_err(),
+                "prefix of {len} bytes decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_model_round_trips() {
+        let model = ModelBuilder::new().build(ModelConfig::default());
+        let mut buf = BytesMut::new();
+        model.encode_into(&mut buf);
+        let decoded = OutlierModel::decode_from(&mut buf.freeze()).unwrap();
+        assert_eq!(decoded.stage_count(), 0);
+        assert_eq!(decoded.config(), model.config());
+    }
+
+    #[test]
+    fn try_build_rejects_invalid_config() {
+        let b = ModelBuilder::new();
+        let bad_pct = ModelConfig {
+            flow_rank_percentile: 101.0,
+            ..ModelConfig::default()
+        };
+        assert_eq!(
+            b.try_build(bad_pct).unwrap_err(),
+            ConfigError::PercentileOutOfRange {
+                name: "flow_rank_percentile",
+                value: 101.0
+            }
+        );
+        let nan_pct = ModelConfig {
+            duration_percentile: f64::NAN,
+            ..ModelConfig::default()
+        };
+        assert!(matches!(
+            b.try_build(nan_pct).unwrap_err(),
+            ConfigError::PercentileOutOfRange {
+                name: "duration_percentile",
+                ..
+            }
+        ));
+        let zero_k = ModelConfig {
+            kfold: 0,
+            ..ModelConfig::default()
+        };
+        assert_eq!(b.try_build(zero_k).unwrap_err(), ConfigError::ZeroKfold);
+        let bad_tol = ModelConfig {
+            kfold_tolerance: 0.0,
+            ..ModelConfig::default()
+        };
+        assert_eq!(
+            b.try_build(bad_tol).unwrap_err(),
+            ConfigError::NonPositiveTolerance(0.0)
+        );
+        assert!(b.try_build(ModelConfig::default()).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid model config")]
+    fn build_panics_on_invalid_config() {
+        ModelBuilder::new().build(ModelConfig {
+            kfold: 0,
+            ..ModelConfig::default()
+        });
+    }
+
+    #[test]
+    fn config_error_messages_name_the_parameter() {
+        let e = ConfigError::PercentileOutOfRange {
+            name: "flow_rank_percentile",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("flow_rank_percentile"));
+        assert!(ConfigError::ZeroWindow.to_string().contains("window"));
+        assert!(ConfigError::AlphaOutOfRange(1.5)
+            .to_string()
+            .contains("1.5"));
     }
 
     #[test]

@@ -41,17 +41,19 @@ use crate::detector::{
 };
 use crate::feature::{FeatureVector, InternedFeature};
 use crate::intern::SignatureInterner;
-use crate::model::OutlierModel;
+use crate::model::{CompiledModel, ConfigError, ModelBuilder, ModelConfig, OutlierModel};
+use crate::store::{Checkpoint, CheckpointError, CheckpointStore};
 use crate::synopsis::TaskSynopsis;
 use crate::tracker::SynopsisSink;
 use crate::transport::{FrameOutcome, LossReport};
 use crate::{HostId, StageId};
 use crossbeam_channel::{bounded, unbounded, Receiver, Sender, TrySendError};
-use saad_sim::SimTime;
-use std::collections::{HashMap, HashSet};
+use saad_sim::{SimDuration, SimTime};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -760,6 +762,41 @@ impl SupervisedDetector {
         }
     }
 
+    /// Advance the detector to the global-stream watermark (closing stale
+    /// windows) without observing anything — the end-of-stream broadcast.
+    fn advance(&mut self, watermark: SimTime) -> Vec<AnomalyEvent> {
+        self.detector.advance_watermark(watermark)
+    }
+
+    /// Snapshot the detector for a durable checkpoint. Also refreshes the
+    /// restart snapshot: state persisted to disk is exactly the state a
+    /// panic would restore, and the replay tail never straddles a
+    /// checkpoint.
+    fn checkpoint_snapshot(&mut self) -> DetectorSnapshot {
+        self.snapshot = self.detector.snapshot();
+        self.replay.clear();
+        self.replay_losses.clear();
+        self.snapshot.clone()
+    }
+
+    /// Install a new model (hot swap, or bootstrap promotion), first
+    /// advancing to the swap watermark so pre-swap windows close under the
+    /// rates they accumulated against. The restart snapshot is refreshed —
+    /// a panic after the swap must not resurrect the old model.
+    fn install(
+        &mut self,
+        model: Arc<OutlierModel>,
+        compiled: Arc<CompiledModel>,
+        watermark: SimTime,
+    ) -> Vec<AnomalyEvent> {
+        let mut events = self.detector.advance_watermark(watermark);
+        events.extend(self.detector.install_model(model, compiled));
+        self.snapshot = self.detector.snapshot();
+        self.replay.clear();
+        self.replay_losses.clear();
+        events
+    }
+
     /// Close all open windows and hand the detector back.
     fn finish(mut self) -> (Vec<AnomalyEvent>, AnomalyDetector) {
         let events = self.detector.flush();
@@ -845,6 +882,25 @@ enum ShardMsg {
     /// host and window, and any shard may own windows for that host. The
     /// router counts each report once for the pool-level total.
     Loss(LossReport),
+    /// Hot model swap, delivered in-band and broadcast to every shard:
+    /// channel FIFO ordering guarantees the shard installs the new model
+    /// only after every synopsis the router saw before the swap decision,
+    /// so no task is dropped or classified twice. The carried watermark is
+    /// the global-stream watermark at the decision — stale windows close
+    /// under the old model before the new one takes over.
+    Swap {
+        model: Arc<OutlierModel>,
+        compiled: Arc<CompiledModel>,
+        watermark: SimTime,
+    },
+    /// Checkpoint request: the worker replies with a snapshot of its
+    /// detector as of everything routed before this message.
+    Snapshot(Sender<DetectorSnapshot>),
+    /// The router's final global watermark, broadcast at end of stream so
+    /// every shard — including ones whose own slice went quiet early —
+    /// closes its stale windows exactly where a single-threaded analyzer
+    /// would, before the drain flush.
+    FinalWatermark(SimTime),
 }
 
 /// Pin a `(host, stage)` pair to one shard. The detector's windowed state
@@ -1003,24 +1059,46 @@ pub fn spawn_analyzer_pool(
     loss_rx: Option<Receiver<LossReport>>,
 ) -> PoolHandle {
     assert!(workers > 0, "analyzer pool needs at least one worker");
-    let (event_tx, event_rx) = unbounded();
-    let processed = Arc::new(AtomicU64::new(0));
-    let restarts = Arc::new(AtomicU64::new(0));
-    let skipped = Arc::new(AtomicU64::new(0));
-    let tasks_lost = Arc::new(AtomicU64::new(0));
     // One interner and one compiled model, shared read-only by every
     // shard: interning and compilation costs are paid once, regardless of
     // the worker count.
     let interner = Arc::new(SignatureInterner::new());
     let compiled = Arc::new(model.compile(&interner));
+    let detectors = (0..workers)
+        .map(|_| {
+            AnomalyDetector::with_shared(model.clone(), compiled.clone(), interner.clone(), config)
+        })
+        .collect();
+    spawn_pool_inner(detectors, supervisor, config.window, rx, loss_rx, None)
+}
+
+/// The pool core shared by [`spawn_analyzer_pool`] and
+/// [`spawn_analyzer_pool_with_lifecycle`]: one shard worker per initial
+/// detector, plus the router thread that stamps watermarks, routes
+/// batches, tracks liveness, and — when a [`RouterLifecycle`] is given —
+/// drives checkpoints, hot swaps, and bootstrap promotion at batch
+/// boundaries.
+fn spawn_pool_inner(
+    detectors: Vec<AnomalyDetector>,
+    supervisor: SupervisorConfig,
+    window: SimDuration,
+    rx: Receiver<Vec<TaskSynopsis>>,
+    loss_rx: Option<Receiver<LossReport>>,
+    mut lifecycle: Option<RouterLifecycle>,
+) -> PoolHandle {
+    let workers = detectors.len();
+    assert!(workers > 0, "analyzer pool needs at least one worker");
+    let (event_tx, event_rx) = unbounded();
+    let processed = Arc::new(AtomicU64::new(0));
+    let restarts = Arc::new(AtomicU64::new(0));
+    let skipped = Arc::new(AtomicU64::new(0));
+    let tasks_lost = Arc::new(AtomicU64::new(0));
 
     let mut shard_txs = Vec::with_capacity(workers);
     let mut worker_joins = Vec::with_capacity(workers);
-    for shard in 0..workers {
+    for (shard, detector) in detectors.into_iter().enumerate() {
         let (shard_tx, shard_rx) = unbounded::<ShardMsg>();
         shard_txs.push(shard_tx);
-        let detector =
-            AnomalyDetector::with_shared(model.clone(), compiled.clone(), interner.clone(), config);
         let supervisor = supervisor.clone();
         let event_tx = event_tx.clone();
         let (processed, restarts, skipped) = (processed.clone(), restarts.clone(), skipped.clone());
@@ -1042,6 +1120,23 @@ pub fn spawn_analyzer_pool(
                                 }
                             }
                         }
+                        ShardMsg::Swap {
+                            model,
+                            compiled,
+                            watermark,
+                        } => {
+                            for event in supervised.install(model, compiled, watermark) {
+                                let _ = event_tx.send(event);
+                            }
+                        }
+                        ShardMsg::Snapshot(reply) => {
+                            let _ = reply.send(supervised.checkpoint_snapshot());
+                        }
+                        ShardMsg::FinalWatermark(watermark) => {
+                            for event in supervised.advance(watermark) {
+                                let _ = event_tx.send(event);
+                            }
+                        }
                     }
                 }
                 let (events, detector) = supervised.finish();
@@ -1054,7 +1149,6 @@ pub fn spawn_analyzer_pool(
         worker_joins.push(join);
     }
 
-    let window = config.window;
     let silent_after = supervisor.silent_after;
     let tasks_lost_inner = tasks_lost.clone();
     let router = std::thread::Builder::new()
@@ -1076,6 +1170,9 @@ pub fn spawn_analyzer_pool(
                 if let Some(loss_rx) = &loss_rx {
                     broadcast_losses(loss_rx);
                 }
+                if let Some(lc) = lifecycle.as_mut() {
+                    lc.absorb(&batch);
+                }
                 for synopsis in batch {
                     for event in
                         liveness.observe(synopsis.host, synopsis.start, window, silent_after)
@@ -1091,11 +1188,29 @@ pub fn spawn_analyzer_pool(
                         let _ = shard_txs[shard].send(ShardMsg::Batch(std::mem::take(bucket)));
                     }
                 }
+                if let Some(lc) = lifecycle.as_mut() {
+                    lc.pump(watermark, &shard_txs);
+                }
             }
-            // Stream closed: deliver any last gap reports, then drop the
-            // shard senders so every worker flushes and exits.
+            // Stream closed: deliver any last gap reports and pending
+            // control commands, advance every shard to the final global
+            // watermark (so stale windows close exactly where one thread
+            // would close them), persist a last checkpoint of that state,
+            // then drop the shard senders so every worker flushes and
+            // exits.
             if let Some(loss_rx) = &loss_rx {
                 broadcast_losses(loss_rx);
+            }
+            if let Some(lc) = lifecycle.as_mut() {
+                lc.pump(watermark, &shard_txs);
+            }
+            for tx in &shard_txs {
+                let _ = tx.send(ShardMsg::FinalWatermark(watermark));
+            }
+            if let Some(lc) = lifecycle.as_mut() {
+                if lc.detecting {
+                    lc.take_checkpoint(&shard_txs, None);
+                }
             }
         })
         .expect("spawn analyzer pool router");
@@ -1145,6 +1260,657 @@ pub fn feed_frame(
         }
         FrameOutcome::Duplicate { .. } => 0,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Durable model lifecycle: checkpointed pools, crash recovery, hot swap.
+// ---------------------------------------------------------------------------
+
+/// Tuning for [`spawn_analyzer_pool_with_lifecycle`].
+#[derive(Debug, Clone)]
+pub struct LifecycleConfig {
+    /// Automatically checkpoint after this many routed synopses
+    /// (0 disables automatic checkpoints; explicit
+    /// [`LifecyclePool::checkpoint_now`] and the final shutdown
+    /// checkpoint still run).
+    pub checkpoint_every: u64,
+    /// Checkpoint generations retained on disk (older ones are pruned).
+    pub keep: usize,
+    /// In bootstrap mode, attempt promotion to detecting mode once this
+    /// many synopses have been observed (and again after every further
+    /// `promote_after` observations while the stability gate refuses).
+    pub promote_after: u64,
+    /// Capacity of the ring buffer of recent synopses kept by the router
+    /// for retraining.
+    pub retrain_window: usize,
+    /// Minimum synopses in the ring buffer before a retrain (or bootstrap
+    /// promotion) is allowed.
+    pub min_retrain_samples: u64,
+    /// Training configuration for retrained models.
+    pub model_config: ModelConfig,
+}
+
+impl Default for LifecycleConfig {
+    fn default() -> LifecycleConfig {
+        LifecycleConfig {
+            checkpoint_every: 4096,
+            keep: 3,
+            promote_after: 5_000,
+            retrain_window: 16_384,
+            min_retrain_samples: 1_000,
+            model_config: ModelConfig::default(),
+        }
+    }
+}
+
+/// Why a lifecycle operation (checkpoint, retrain, swap, recovery) failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LifecycleError {
+    /// Reading or writing the checkpoint store failed.
+    Checkpoint(CheckpointError),
+    /// The retrained model's configuration was rejected.
+    Config(ConfigError),
+    /// The pool is still in bootstrap (collect-only) mode, which is never
+    /// checkpointed — there is no model to persist.
+    Bootstrapping,
+    /// Not enough recent synopses to train a model.
+    InsufficientData {
+        /// Synopses available in the retrain ring buffer.
+        have: u64,
+        /// Synopses required by the lifecycle configuration.
+        need: u64,
+    },
+    /// The k-fold stability gate refused the candidate model: held-out
+    /// outlier rates stray too far from the nominal rate, so thresholds
+    /// trained from this window would not be trustworthy.
+    UnstableModel {
+        /// Mean held-out outlier rate across folds.
+        heldout_rate: f64,
+        /// Nominal outlier rate implied by the duration percentile.
+        nominal_rate: f64,
+    },
+    /// The pool's router (or a shard worker) is gone.
+    PoolClosed,
+}
+
+impl fmt::Display for LifecycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LifecycleError::Checkpoint(e) => write!(f, "checkpoint store: {e}"),
+            LifecycleError::Config(e) => write!(f, "retrain config: {e}"),
+            LifecycleError::Bootstrapping => {
+                write!(f, "pool is in bootstrap mode (no model to checkpoint)")
+            }
+            LifecycleError::InsufficientData { have, need } => {
+                write!(f, "retrain needs {need} recent synopses, have {have}")
+            }
+            LifecycleError::UnstableModel {
+                heldout_rate,
+                nominal_rate,
+            } => write!(
+                f,
+                "k-fold gate refused the model: held-out outlier rate {heldout_rate:.4} \
+                 vs nominal {nominal_rate:.4}"
+            ),
+            LifecycleError::PoolClosed => write!(f, "analyzer pool is no longer running"),
+        }
+    }
+}
+
+impl std::error::Error for LifecycleError {}
+
+impl From<CheckpointError> for LifecycleError {
+    fn from(e: CheckpointError) -> LifecycleError {
+        LifecycleError::Checkpoint(e)
+    }
+}
+
+impl From<ConfigError> for LifecycleError {
+    fn from(e: ConfigError) -> LifecycleError {
+        LifecycleError::Config(e)
+    }
+}
+
+/// Outcome of a successful hot model swap (or bootstrap promotion).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwapReport {
+    /// Synopses the new model was trained from.
+    pub trained_from: u64,
+    /// Whether this swap promoted the pool out of bootstrap mode.
+    pub promoted: bool,
+    /// Stages covered by the new model.
+    pub stages: usize,
+}
+
+/// Control commands accepted by a lifecycle pool's router, applied at the
+/// next batch boundary (or at end of stream).
+enum PoolCommand {
+    Checkpoint(Sender<Result<u64, LifecycleError>>),
+    Retrain(Sender<Result<SwapReport, LifecycleError>>),
+}
+
+/// A checkpoint handed to the writer thread, with an optional reply
+/// channel for an explicit [`LifecyclePool::checkpoint_now`] request.
+type WriterJob = (Checkpoint, Option<Sender<Result<u64, LifecycleError>>>);
+
+/// Lifecycle state owned by the router thread of a
+/// [`spawn_analyzer_pool_with_lifecycle`] pool.
+struct RouterLifecycle {
+    cfg: LifecycleConfig,
+    control_rx: Receiver<PoolCommand>,
+    writer_tx: Sender<WriterJob>,
+    interner: Arc<SignatureInterner>,
+    model: Arc<OutlierModel>,
+    compiled: Arc<CompiledModel>,
+    /// False while in bootstrap (collect-only) mode.
+    detecting: bool,
+    detecting_flag: Arc<AtomicBool>,
+    /// Next checkpoint generation to assemble.
+    generation: u64,
+    /// Recent synopses for retraining, newest at the back.
+    ring: VecDeque<TaskSynopsis>,
+    seen: u64,
+    since_checkpoint: u64,
+    next_attempt: u64,
+}
+
+impl RouterLifecycle {
+    /// Record a routed batch in the retrain ring buffer and counters.
+    fn absorb(&mut self, batch: &[TaskSynopsis]) {
+        for synopsis in batch {
+            if self.ring.len() == self.cfg.retrain_window {
+                self.ring.pop_front();
+            }
+            self.ring.push_back(synopsis.clone());
+        }
+        self.seen += batch.len() as u64;
+        self.since_checkpoint += batch.len() as u64;
+    }
+
+    /// Batch-boundary lifecycle work: drain control commands, attempt
+    /// bootstrap promotion, and take an automatic checkpoint when due.
+    fn pump(&mut self, watermark: SimTime, shard_txs: &[Sender<ShardMsg>]) {
+        let commands: Vec<PoolCommand> = self.control_rx.try_iter().collect();
+        for command in commands {
+            match command {
+                PoolCommand::Checkpoint(reply) => self.take_checkpoint(shard_txs, Some(reply)),
+                PoolCommand::Retrain(reply) => {
+                    let _ = reply.send(self.try_retrain(watermark, shard_txs));
+                }
+            }
+        }
+        if !self.detecting
+            && self.seen >= self.next_attempt
+            && self.try_retrain(watermark, shard_txs).is_err()
+        {
+            // The gate refused; observe more traffic before retrying.
+            self.next_attempt = self.seen + self.cfg.promote_after.max(1);
+        }
+        if self.detecting
+            && self.cfg.checkpoint_every > 0
+            && self.since_checkpoint >= self.cfg.checkpoint_every
+        {
+            self.take_checkpoint(shard_txs, None);
+        }
+    }
+
+    /// Collect a snapshot from every shard (in shard order, in-band) and
+    /// hand the assembled checkpoint to the writer thread. Bootstrap mode
+    /// is never checkpointed: there is no model worth persisting, and
+    /// recovery falls back to bootstrap anyway.
+    fn take_checkpoint(
+        &mut self,
+        shard_txs: &[Sender<ShardMsg>],
+        reply: Option<Sender<Result<u64, LifecycleError>>>,
+    ) {
+        let fail = |reply: Option<Sender<Result<u64, LifecycleError>>>, e: LifecycleError| {
+            if let Some(reply) = reply {
+                let _ = reply.send(Err(e));
+            }
+        };
+        if !self.detecting {
+            return fail(reply, LifecycleError::Bootstrapping);
+        }
+        let mut pending = Vec::with_capacity(shard_txs.len());
+        for tx in shard_txs {
+            let (snap_tx, snap_rx) = bounded(1);
+            if tx.send(ShardMsg::Snapshot(snap_tx)).is_err() {
+                return fail(reply, LifecycleError::PoolClosed);
+            }
+            pending.push(snap_rx);
+        }
+        let mut shards = Vec::with_capacity(pending.len());
+        for snap_rx in pending {
+            match snap_rx.recv() {
+                Ok(snapshot) => shards.push(snapshot),
+                Err(_) => return fail(reply, LifecycleError::PoolClosed),
+            }
+        }
+        let checkpoint = Checkpoint::new(
+            self.generation,
+            self.model.clone(),
+            self.compiled.clone(),
+            self.interner.clone(),
+            shards,
+        );
+        self.generation += 1;
+        self.since_checkpoint = 0;
+        if self.writer_tx.send((checkpoint, reply)).is_err() {
+            // Writer gone; the reply (if any) went with the job.
+        }
+    }
+
+    /// Train a candidate model from the retrain ring buffer, gate it with
+    /// k-fold cross-validation over the pooled durations, and — if it
+    /// passes — broadcast an in-band swap to every shard.
+    fn try_retrain(
+        &mut self,
+        watermark: SimTime,
+        shard_txs: &[Sender<ShardMsg>],
+    ) -> Result<SwapReport, LifecycleError> {
+        let have = self.ring.len() as u64;
+        let need = self.cfg.min_retrain_samples;
+        if have < need {
+            return Err(LifecycleError::InsufficientData { have, need });
+        }
+        let mc = self.cfg.model_config;
+        // Whole-window stability gate: if even the pooled duration
+        // distribution cannot support a stable percentile threshold, the
+        // traffic window is too heterogeneous to train from.
+        let durations: Vec<f64> = self
+            .ring
+            .iter()
+            .map(|s| s.duration.as_micros() as f64)
+            .collect();
+        let outcome = saad_stats::kfold::validate_percentile_threshold(
+            &durations,
+            mc.kfold,
+            mc.duration_percentile,
+        )
+        .ok_or(LifecycleError::InsufficientData { have, need })?;
+        if outcome.is_unstable(mc.kfold_tolerance) {
+            return Err(LifecycleError::UnstableModel {
+                heldout_rate: outcome.mean_heldout_rate,
+                nominal_rate: outcome.nominal_rate,
+            });
+        }
+        let mut builder = ModelBuilder::new();
+        for synopsis in &self.ring {
+            builder.observe(synopsis);
+        }
+        let model = Arc::new(builder.try_build(mc)?);
+        // Compiled against the SAME shared interner every shard already
+        // uses, so interned features stay valid across the swap.
+        let compiled = Arc::new(model.compile(&self.interner));
+        for tx in shard_txs {
+            if tx
+                .send(ShardMsg::Swap {
+                    model: model.clone(),
+                    compiled: compiled.clone(),
+                    watermark,
+                })
+                .is_err()
+            {
+                return Err(LifecycleError::PoolClosed);
+            }
+        }
+        let promoted = !self.detecting;
+        self.model = model;
+        self.compiled = compiled;
+        self.detecting = true;
+        self.detecting_flag.store(true, Ordering::SeqCst);
+        Ok(SwapReport {
+            trained_from: have,
+            promoted,
+            stages: self.model.stage_count(),
+        })
+    }
+}
+
+/// Handle to an analyzer pool with a durable model lifecycle: everything
+/// [`PoolHandle`] offers, plus checkpoint/retrain control and recovery
+/// introspection. See [`spawn_analyzer_pool_with_lifecycle`].
+#[derive(Debug)]
+pub struct LifecyclePool {
+    pool: PoolHandle,
+    control: Sender<PoolCommand>,
+    writer: Option<JoinHandle<()>>,
+    detecting: Arc<AtomicBool>,
+    checkpoints_written: Arc<AtomicU64>,
+    last_generation: Arc<AtomicU64>,
+    last_error: Arc<parking_lot::Mutex<Option<LifecycleError>>>,
+    recovered_generation: Option<u64>,
+    rejected: Vec<(PathBuf, CheckpointError)>,
+}
+
+/// Sentinel for "no checkpoint written yet" in `last_generation`.
+const NO_GENERATION: u64 = u64::MAX;
+
+impl LifecyclePool {
+    /// Receiver of detected anomaly events, merged across all shards.
+    pub fn events(&self) -> &Receiver<AnomalyEvent> {
+        self.pool.events()
+    }
+
+    /// Drain any events currently queued without blocking.
+    pub fn drain_events(&self) -> Vec<AnomalyEvent> {
+        self.pool.drain_events()
+    }
+
+    /// Synopses delivered to shard workers so far.
+    pub fn processed(&self) -> u64 {
+        self.pool.processed()
+    }
+
+    /// Total shard-worker restarts after panics.
+    pub fn restarts(&self) -> u64 {
+        self.pool.restarts()
+    }
+
+    /// Poison synopses skipped across all shards.
+    pub fn skipped(&self) -> u64 {
+        self.pool.skipped()
+    }
+
+    /// Synopses the transport reported lost, counted once per report.
+    pub fn tasks_lost(&self) -> u64 {
+        self.pool.tasks_lost()
+    }
+
+    /// Number of shard workers.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Whether the pool has a model and is classifying (true), or is in
+    /// bootstrap collect-only mode (false).
+    pub fn is_detecting(&self) -> bool {
+        self.detecting.load(Ordering::SeqCst)
+    }
+
+    /// Checkpoints durably written so far.
+    pub fn checkpoints_written(&self) -> u64 {
+        self.checkpoints_written.load(Ordering::SeqCst)
+    }
+
+    /// Generation of the most recent durable checkpoint, if any.
+    pub fn last_checkpoint_generation(&self) -> Option<u64> {
+        match self.last_generation.load(Ordering::SeqCst) {
+            NO_GENERATION => None,
+            generation => Some(generation),
+        }
+    }
+
+    /// The most recent background checkpoint-write failure, if any.
+    /// (Explicit [`LifecyclePool::checkpoint_now`] calls surface their
+    /// errors directly.)
+    pub fn last_checkpoint_error(&self) -> Option<LifecycleError> {
+        self.last_error.lock().clone()
+    }
+
+    /// Generation this pool was restored from at startup (`None` if it
+    /// started in bootstrap mode).
+    pub fn recovered_generation(&self) -> Option<u64> {
+        self.recovered_generation
+    }
+
+    /// Checkpoint files rejected during startup recovery, newest first,
+    /// each with the typed reason (corruption, truncation, version skew).
+    pub fn rejected_checkpoints(&self) -> &[(PathBuf, CheckpointError)] {
+        &self.rejected
+    }
+
+    /// Request a checkpoint; the reply arrives once the checkpoint is
+    /// durably on disk. Commands are applied at the next batch boundary
+    /// (or at end of stream), so an idle pool replies only after the next
+    /// batch — send an empty batch to nudge it if needed.
+    pub fn request_checkpoint(&self) -> Receiver<Result<u64, LifecycleError>> {
+        let (tx, rx) = bounded(1);
+        if self
+            .control
+            .send(PoolCommand::Checkpoint(tx.clone()))
+            .is_err()
+        {
+            let _ = tx.send(Err(LifecycleError::PoolClosed));
+        }
+        rx
+    }
+
+    /// Blocking convenience for [`LifecyclePool::request_checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// [`LifecycleError::Bootstrapping`] before promotion,
+    /// [`LifecycleError::Checkpoint`] if the write failed, or
+    /// [`LifecycleError::PoolClosed`] if the pool is gone.
+    pub fn checkpoint_now(&self) -> Result<u64, LifecycleError> {
+        self.request_checkpoint()
+            .recv()
+            .unwrap_or(Err(LifecycleError::PoolClosed))
+    }
+
+    /// Request a hot model swap retrained from the recent synopsis
+    /// window. Applied at the next batch boundary, like
+    /// [`LifecyclePool::request_checkpoint`].
+    pub fn request_retrain(&self) -> Receiver<Result<SwapReport, LifecycleError>> {
+        let (tx, rx) = bounded(1);
+        if self.control.send(PoolCommand::Retrain(tx.clone())).is_err() {
+            let _ = tx.send(Err(LifecycleError::PoolClosed));
+        }
+        rx
+    }
+
+    /// Blocking convenience for [`LifecyclePool::request_retrain`].
+    ///
+    /// # Errors
+    ///
+    /// [`LifecycleError::InsufficientData`] or
+    /// [`LifecycleError::UnstableModel`] when the gate refuses the
+    /// candidate, [`LifecycleError::Config`] for an invalid training
+    /// configuration, or [`LifecycleError::PoolClosed`].
+    pub fn retrain_now(&self) -> Result<SwapReport, LifecycleError> {
+        self.request_retrain()
+            .recv()
+            .unwrap_or(Err(LifecycleError::PoolClosed))
+    }
+
+    /// Wait for the pool to finish (input channel closed): the final
+    /// checkpoint is durable once this returns. Returns each shard's
+    /// detector for inspection, like [`PoolHandle::join`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`AnalyzerError`] from the router or any
+    /// shard, after joining every thread.
+    pub fn join(mut self) -> Result<Vec<AnomalyDetector>, AnalyzerError> {
+        drop(self.control);
+        let result = self.pool.join();
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
+        result
+    }
+}
+
+/// Spawn an analyzer pool with a durable model lifecycle rooted at `dir`:
+///
+/// * **Recovery** — on startup the newest checkpoint that decodes cleanly
+///   is restored (model, signature interner, and every shard's windowed
+///   state); corrupt, truncated, or version-skewed files are skipped with
+///   typed reasons (see [`LifecyclePool::rejected_checkpoints`]). A
+///   checkpoint taken with a different worker count is resharded by
+///   merging the snapshots and re-partitioning along the pool's own
+///   routing function.
+/// * **Bootstrap** — with no usable checkpoint the pool starts in
+///   collect-only mode: windows are observed and accounted (emitting
+///   [`AnomalyKind::ModelUnavailable`] events with completeness ratios)
+///   but nothing is classified. After
+///   [`LifecycleConfig::promote_after`] observations the router trains a
+///   model from the recent synopsis window and — if the k-fold stability
+///   gate passes — promotes the pool to detecting mode.
+/// * **Checkpoints** — while detecting, the router snapshots every shard
+///   at batch boundaries (every [`LifecycleConfig::checkpoint_every`]
+///   synopses, on [`LifecyclePool::checkpoint_now`], and at shutdown) and
+///   a dedicated writer thread persists them atomically, pruning old
+///   generations.
+/// * **Hot swap** — [`LifecyclePool::retrain_now`] retrains from recent
+///   traffic and broadcasts the new model in-band to every shard, which
+///   installs it at the swap watermark: no synopsis is dropped, double
+///   counted, or classified by a half-installed model.
+///
+/// # Errors
+///
+/// Fails with [`LifecycleError::Checkpoint`] if the store directory is
+/// unusable or recovery I/O fails (individual bad checkpoint files are
+/// recovered around, not errors), or [`LifecycleError::Config`] for an
+/// invalid detector configuration.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn spawn_analyzer_pool_with_lifecycle(
+    config: DetectorConfig,
+    supervisor: SupervisorConfig,
+    lifecycle: LifecycleConfig,
+    workers: usize,
+    dir: impl Into<PathBuf>,
+    rx: Receiver<Vec<TaskSynopsis>>,
+    loss_rx: Option<Receiver<LossReport>>,
+) -> Result<LifecyclePool, LifecycleError> {
+    assert!(workers > 0, "analyzer pool needs at least one worker");
+    let store = CheckpointStore::create(dir, lifecycle.keep)?;
+    let recovery = store.recover()?;
+    let next_generation = store.latest_generation()?.map_or(0, |g| g + 1);
+    let rejected = recovery.rejected;
+
+    let (recovered_generation, detecting, model, compiled, interner, detectors) =
+        match recovery.checkpoint {
+            Some(checkpoint) => {
+                let Checkpoint {
+                    generation,
+                    model,
+                    compiled,
+                    interner,
+                    shards,
+                } = checkpoint;
+                let shards = if shards.len() == workers {
+                    shards
+                } else {
+                    // Worker count changed since the checkpoint: merge the
+                    // old shards and re-partition along this pool's own
+                    // routing, so every (host, stage) window lands on the
+                    // shard that will keep feeding it.
+                    match DetectorSnapshot::merge(shards) {
+                        Some(merged) => {
+                            merged.partition(workers, |host, stage| shard_for(host, stage, workers))
+                        }
+                        None => Vec::new(),
+                    }
+                };
+                let detectors: Vec<AnomalyDetector> = if shards.is_empty() {
+                    (0..workers)
+                        .map(|_| {
+                            AnomalyDetector::with_shared(
+                                model.clone(),
+                                compiled.clone(),
+                                interner.clone(),
+                                config,
+                            )
+                        })
+                        .collect()
+                } else {
+                    shards
+                        .into_iter()
+                        .map(AnomalyDetector::from_snapshot)
+                        .collect()
+                };
+                (Some(generation), true, model, compiled, interner, detectors)
+            }
+            None => {
+                // Bootstrap: no usable checkpoint. Collect-only detectors
+                // share a fresh interner; the placeholder model never
+                // classifies anything and is replaced at promotion.
+                let interner = Arc::new(SignatureInterner::new());
+                let model = Arc::new(ModelBuilder::new().build(ModelConfig::default()));
+                let compiled = Arc::new(model.compile(&interner));
+                let mut detectors = Vec::with_capacity(workers);
+                for _ in 0..workers {
+                    detectors.push(AnomalyDetector::collecting(interner.clone(), config)?);
+                }
+                (None, false, model, compiled, interner, detectors)
+            }
+        };
+
+    let detecting_flag = Arc::new(AtomicBool::new(detecting));
+    let checkpoints_written = Arc::new(AtomicU64::new(0));
+    let last_generation = Arc::new(AtomicU64::new(NO_GENERATION));
+    let last_error: Arc<parking_lot::Mutex<Option<LifecycleError>>> =
+        Arc::new(parking_lot::Mutex::new(None));
+
+    let (writer_tx, writer_rx) = unbounded::<WriterJob>();
+    let (written, last_gen, errors) = (
+        checkpoints_written.clone(),
+        last_generation.clone(),
+        last_error.clone(),
+    );
+    let writer = std::thread::Builder::new()
+        .name("saad-checkpoint-writer".into())
+        .spawn(move || {
+            for (checkpoint, reply) in writer_rx.iter() {
+                let result = store
+                    .save(&checkpoint)
+                    .map(|_| checkpoint.generation)
+                    .map_err(LifecycleError::from);
+                match &result {
+                    Ok(generation) => {
+                        written.fetch_add(1, Ordering::SeqCst);
+                        last_gen.store(*generation, Ordering::SeqCst);
+                    }
+                    Err(e) => *errors.lock() = Some(e.clone()),
+                }
+                if let Some(reply) = reply {
+                    let _ = reply.send(result);
+                }
+            }
+        })
+        .expect("spawn checkpoint writer thread");
+
+    let (control_tx, control_rx) = unbounded();
+    let next_attempt = lifecycle.promote_after;
+    let router_lifecycle = RouterLifecycle {
+        cfg: lifecycle,
+        control_rx,
+        writer_tx,
+        interner,
+        model,
+        compiled,
+        detecting,
+        detecting_flag: detecting_flag.clone(),
+        generation: next_generation,
+        ring: VecDeque::new(),
+        seen: 0,
+        since_checkpoint: 0,
+        next_attempt,
+    };
+    let pool = spawn_pool_inner(
+        detectors,
+        supervisor,
+        config.window,
+        rx,
+        loss_rx,
+        Some(router_lifecycle),
+    );
+    Ok(LifecyclePool {
+        pool,
+        control: control_tx,
+        writer: Some(writer),
+        detecting: detecting_flag,
+        checkpoints_written,
+        last_generation,
+        last_error,
+        recovered_generation,
+        rejected,
+    })
 }
 
 #[cfg(test)]
@@ -1747,5 +2513,341 @@ mod tests {
         assert_eq!(feed_frame(dup, &batch_tx, &loss_tx), 0);
         assert!(batch_rx.try_recv().is_err());
         assert!(loss_rx.try_recv().is_err());
+    }
+
+    // --- durable model lifecycle ---
+
+    /// Self-cleaning unique temp directory (no tempfile crate).
+    struct TempDir(std::path::PathBuf);
+
+    impl TempDir {
+        fn new() -> TempDir {
+            static SEQ: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "saad-pipeline-test-{}-{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+
+        fn path(&self) -> &std::path::Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn quick_lifecycle() -> LifecycleConfig {
+        LifecycleConfig {
+            checkpoint_every: 0,
+            promote_after: 300,
+            min_retrain_samples: 200,
+            ..LifecycleConfig::default()
+        }
+    }
+
+    /// Healthy two-host traffic: `per_min` tasks per minute of signature
+    /// [1, 2] with mildly varying durations.
+    fn healthy_stream(mins: u64, per_min: u64) -> Vec<TaskSynopsis> {
+        let mut out = Vec::new();
+        let mut uid = 0u64;
+        for minute in 0..mins {
+            for i in 0..per_min {
+                let mut s = synopsis_on(
+                    (i % 2) as u16,
+                    &[1, 2],
+                    1_000 + (uid % 53) * 5,
+                    SimTime::ZERO,
+                    uid,
+                );
+                s.start =
+                    SimTime::from_mins(minute) + SimDuration::from_millis(i * (60_000 / per_min));
+                out.push(s);
+                uid += 1;
+            }
+        }
+        out
+    }
+
+    fn feed(batch_tx: &Sender<Vec<TaskSynopsis>>, stream: &[TaskSynopsis]) {
+        for chunk in stream.chunks(60) {
+            batch_tx.send(chunk.to_vec()).unwrap();
+        }
+    }
+
+    /// Control commands apply at the router's next batch boundary, so a
+    /// command sent while queued batches are still in flight could land
+    /// before them. Wait until the pool has consumed what was fed.
+    fn wait_processed(pool: &LifecyclePool, target: u64) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while pool.processed() < target {
+            assert!(std::time::Instant::now() < deadline, "pool stalled");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn shutdown_advances_every_shard_to_the_final_watermark() {
+        // Hosts 1..=5 stop after minute 0; host 0 keeps the clock moving
+        // to minute 9. Without the FinalWatermark broadcast, shards owning
+        // only the early hosts would shut down with a stale watermark.
+        let (batch_tx, batch_rx) = unbounded();
+        let pool = spawn_analyzer_pool(
+            model(),
+            DetectorConfig::default(),
+            SupervisorConfig::default(),
+            4,
+            batch_rx,
+            None,
+        );
+        let mut batch = Vec::new();
+        let mut uid = 0u64;
+        for host in 0..6u16 {
+            batch.push(synopsis_on(
+                host,
+                &[1, 2],
+                1_000,
+                SimTime::from_secs(1),
+                uid,
+            ));
+            uid += 1;
+        }
+        let last = SimTime::from_mins(9);
+        batch.push(synopsis_on(0, &[1, 2], 1_000, last, uid));
+        batch_tx.send(batch).unwrap();
+        drop(batch_tx);
+        while pool.events().recv().is_ok() {}
+        let mut detectors = pool.join().unwrap();
+        for detector in &mut detectors {
+            assert_eq!(
+                detector.snapshot().watermark(),
+                last,
+                "shard shut down with a stale watermark"
+            );
+            assert!(
+                detector.flush().is_empty(),
+                "shard left windows open through shutdown"
+            );
+        }
+    }
+
+    #[test]
+    fn lifecycle_pool_bootstraps_promotes_and_checkpoints() {
+        let dir = TempDir::new();
+        let (batch_tx, batch_rx) = unbounded();
+        let pool = spawn_analyzer_pool_with_lifecycle(
+            DetectorConfig::default(),
+            SupervisorConfig::default(),
+            quick_lifecycle(),
+            2,
+            dir.path(),
+            batch_rx,
+            None,
+        )
+        .unwrap();
+        assert!(!pool.is_detecting(), "no checkpoint: must start bootstrap");
+        assert_eq!(pool.recovered_generation(), None);
+
+        // Healthy traffic through promotion (promote_after = 300)…
+        feed(&batch_tx, &healthy_stream(3, 240));
+        // …then a burst of a never-seen signature that only a promoted,
+        // detecting pool can flag.
+        let mut tail = Vec::new();
+        for i in 0..100u64 {
+            let points: &[u16] = if i.is_multiple_of(4) {
+                &[1, 9]
+            } else {
+                &[1, 2]
+            };
+            let mut s = synopsis_on(0, points, 1_000, SimTime::ZERO, 10_000 + i);
+            s.start = SimTime::from_mins(4) + SimDuration::from_millis(i * 400);
+            tail.push(s);
+        }
+        feed(&batch_tx, &tail);
+        drop(batch_tx);
+        let mut events = Vec::new();
+        while let Ok(e) = pool.events().recv() {
+            events.push(e);
+        }
+        assert!(pool.is_detecting(), "pool never promoted");
+        assert!(
+            events.iter().any(|e| e.kind.is_model_unavailable()),
+            "bootstrap windows must be accounted as ModelUnavailable: {events:?}"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.kind, AnomalyKind::FlowNew(_))),
+            "promoted pool missed the anomaly burst: {events:?}"
+        );
+        // The shutdown checkpoint is durable once join returns.
+        pool.join().unwrap();
+        let store = CheckpointStore::create(dir.path(), 3).unwrap();
+        assert!(store.latest_generation().unwrap().is_some());
+    }
+
+    #[test]
+    fn checkpoint_is_rejected_in_bootstrap_mode() {
+        let dir = TempDir::new();
+        let (batch_tx, batch_rx) = unbounded();
+        let pool = spawn_analyzer_pool_with_lifecycle(
+            DetectorConfig::default(),
+            SupervisorConfig::default(),
+            quick_lifecycle(),
+            2,
+            dir.path(),
+            batch_rx,
+            None,
+        )
+        .unwrap();
+        let reply = pool.request_checkpoint();
+        batch_tx.send(Vec::new()).unwrap(); // nudge the batch boundary
+        assert_eq!(reply.recv().unwrap(), Err(LifecycleError::Bootstrapping));
+        let retrain = pool.request_retrain();
+        batch_tx.send(Vec::new()).unwrap();
+        assert_eq!(
+            retrain.recv().unwrap(),
+            Err(LifecycleError::InsufficientData { have: 0, need: 200 })
+        );
+        drop(batch_tx);
+        pool.join().unwrap();
+        // Nothing durable came out of bootstrap.
+        let store = CheckpointStore::create(dir.path(), 3).unwrap();
+        assert_eq!(store.latest_generation().unwrap(), None);
+    }
+
+    #[test]
+    fn lifecycle_pool_recovers_and_reshards_checkpointed_state() {
+        let dir = TempDir::new();
+        let stream = healthy_stream(3, 240);
+        let seen = stream.len() as u64;
+        {
+            let (batch_tx, batch_rx) = unbounded();
+            let pool = spawn_analyzer_pool_with_lifecycle(
+                DetectorConfig::default(),
+                SupervisorConfig::default(),
+                quick_lifecycle(),
+                2,
+                dir.path(),
+                batch_rx,
+                None,
+            )
+            .unwrap();
+            feed(&batch_tx, &stream);
+            drop(batch_tx);
+            while pool.events().recv().is_ok() {}
+            assert!(pool.is_detecting());
+            pool.join().unwrap();
+        }
+        // Same worker count: shard-for-shard restore.
+        {
+            let (batch_tx, batch_rx) = unbounded();
+            let pool = spawn_analyzer_pool_with_lifecycle(
+                DetectorConfig::default(),
+                SupervisorConfig::default(),
+                quick_lifecycle(),
+                2,
+                dir.path(),
+                batch_rx,
+                None,
+            )
+            .unwrap();
+            assert!(pool.is_detecting(), "recovered pool must skip bootstrap");
+            assert!(pool.recovered_generation().is_some());
+            drop(batch_tx);
+            while pool.events().recv().is_ok() {}
+            let detectors = pool.join().unwrap();
+            let total: u64 = detectors.iter().map(|d| d.tasks_seen()).sum();
+            assert_eq!(total, seen, "recovered tasks_seen diverged");
+        }
+        // Different worker count: merge + re-partition along the pool's
+        // own routing.
+        {
+            let (batch_tx, batch_rx) = unbounded();
+            let pool = spawn_analyzer_pool_with_lifecycle(
+                DetectorConfig::default(),
+                SupervisorConfig::default(),
+                quick_lifecycle(),
+                3,
+                dir.path(),
+                batch_rx,
+                None,
+            )
+            .unwrap();
+            assert!(pool.is_detecting());
+            drop(batch_tx);
+            while pool.events().recv().is_ok() {}
+            let detectors = pool.join().unwrap();
+            assert_eq!(detectors.len(), 3);
+            let total: u64 = detectors.iter().map(|d| d.tasks_seen()).sum();
+            assert_eq!(total, seen, "resharded tasks_seen diverged");
+        }
+    }
+
+    #[test]
+    fn explicit_checkpoint_is_durable_when_the_call_returns() {
+        let dir = TempDir::new();
+        let (batch_tx, batch_rx) = unbounded();
+        let pool = spawn_analyzer_pool_with_lifecycle(
+            DetectorConfig::default(),
+            SupervisorConfig::default(),
+            quick_lifecycle(),
+            2,
+            dir.path(),
+            batch_rx,
+            None,
+        )
+        .unwrap();
+        feed(&batch_tx, &healthy_stream(2, 240));
+        wait_processed(&pool, 480);
+        let reply = pool.request_checkpoint();
+        batch_tx.send(Vec::new()).unwrap();
+        let generation = reply.recv().unwrap().expect("checkpoint failed");
+        // Durable right now — not merely queued.
+        let store = CheckpointStore::create(dir.path(), 3).unwrap();
+        assert!(store.load(generation).is_ok());
+        assert_eq!(pool.last_checkpoint_generation(), Some(generation));
+        assert_eq!(pool.checkpoints_written(), 1);
+        assert_eq!(pool.last_checkpoint_error(), None);
+        drop(batch_tx);
+        while pool.events().recv().is_ok() {}
+        pool.join().unwrap();
+    }
+
+    #[test]
+    fn hot_swap_loses_and_double_counts_nothing_under_load() {
+        let dir = TempDir::new();
+        let (batch_tx, batch_rx) = unbounded();
+        let pool = spawn_analyzer_pool_with_lifecycle(
+            DetectorConfig::default(),
+            SupervisorConfig::default(),
+            quick_lifecycle(),
+            3,
+            dir.path(),
+            batch_rx,
+            None,
+        )
+        .unwrap();
+        let stream = healthy_stream(4, 240);
+        feed(&batch_tx, &stream[..720]);
+        wait_processed(&pool, 720);
+        // Mid-stream explicit retrain → hot swap broadcast to all shards.
+        let reply = pool.request_retrain();
+        batch_tx.send(Vec::new()).unwrap();
+        let report = reply.recv().unwrap().expect("retrain refused");
+        assert!(report.trained_from >= 200);
+        feed(&batch_tx, &stream[720..]);
+        drop(batch_tx);
+        while pool.events().recv().is_ok() {}
+        assert_eq!(pool.processed(), stream.len() as u64);
+        let detectors = pool.join().unwrap();
+        let total: u64 = detectors.iter().map(|d| d.tasks_seen()).sum();
+        assert_eq!(total, stream.len() as u64, "swap lost or duplicated tasks");
     }
 }

@@ -60,7 +60,9 @@ impl<'a> AnomalyReport<'a> {
         }
         let sig = match &event.kind {
             AnomalyKind::FlowNew(sig) | AnomalyKind::Performance(sig) => Some(sig),
-            AnomalyKind::FlowRare | AnomalyKind::HostSilent { .. } => None,
+            AnomalyKind::FlowRare
+            | AnomalyKind::HostSilent { .. }
+            | AnomalyKind::ModelUnavailable => None,
         };
         if let Some(sig) = sig {
             out.push_str(&self.render_signature(sig, "    "));

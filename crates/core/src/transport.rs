@@ -60,7 +60,7 @@ pub const MAX_FRAME_PAYLOAD: usize = 16 * 1024 * 1024;
 /// pruned to this horizon to bound memory).
 const REORDER_HORIZON: u64 = 1024;
 
-fn crc32(chunks: &[&[u8]]) -> u32 {
+pub(crate) fn crc32(chunks: &[&[u8]]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for chunk in chunks {
         for &b in *chunk {

@@ -1,0 +1,185 @@
+//! Fault injection for durable checkpoint files.
+//!
+//! The analyzer's model lifecycle persists checkpoints with a CRC-framed,
+//! atomically-renamed on-disk format (see `saad_core::store`). This module
+//! injects the storage faults that format must survive: torn writes that
+//! truncate a file, and bit rot that flips bytes in place. The tamperer is
+//! deterministic (seeded) and counts every injection, so tests can assert
+//! that recovery rejected exactly the files that were damaged.
+//!
+//! The tamperer is deliberately format-agnostic — it damages bytes, not
+//! checkpoint structures — so it exercises the reader's validation rather
+//! than assuming knowledge of the layout.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fs::OpenOptions;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Exact counts of checkpoint files damaged, by fault type.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TamperCounts {
+    /// Files with at least one byte flipped in place.
+    pub corrupted: u64,
+    /// Files truncated to a strict prefix.
+    pub truncated: u64,
+}
+
+impl TamperCounts {
+    /// Total files damaged.
+    pub fn total(&self) -> u64 {
+        self.corrupted + self.truncated
+    }
+}
+
+/// Deterministic, seeded tamperer for checkpoint files: simulates bit rot
+/// (byte flips) and torn writes (truncation) on the checkpoint store.
+#[derive(Debug)]
+pub struct CheckpointTamperer {
+    rng: StdRng,
+    counts: TamperCounts,
+}
+
+impl CheckpointTamperer {
+    /// Create a tamperer with a deterministic seed.
+    pub fn new(seed: u64) -> CheckpointTamperer {
+        CheckpointTamperer {
+            rng: StdRng::seed_from_u64(seed),
+            counts: TamperCounts::default(),
+        }
+    }
+
+    /// Injection counts so far.
+    pub fn counts(&self) -> TamperCounts {
+        self.counts
+    }
+
+    /// Flip one random byte of `path` in place (bit rot), skipping the
+    /// first `skip_prefix` bytes — pass 0 to allow damaging the file's
+    /// magic, or the header length to force payload/checksum damage.
+    /// Returns the damaged offset.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from opening or rewriting the file; `InvalidInput` if
+    /// the file has no byte past `skip_prefix` to damage.
+    pub fn corrupt_file(&mut self, path: &Path, skip_prefix: u64) -> io::Result<u64> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len <= skip_prefix {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("file is only {len} bytes; nothing past offset {skip_prefix}"),
+            ));
+        }
+        let offset = skip_prefix + self.rng.gen_range(0..len - skip_prefix);
+        file.seek(SeekFrom::Start(offset))?;
+        let mut byte = [0u8; 1];
+        file.read_exact(&mut byte)?;
+        // Flip one random nonzero bit pattern so the byte always changes.
+        byte[0] ^= 1u8 << self.rng.gen_range(0..8u32);
+        file.seek(SeekFrom::Start(offset))?;
+        file.write_all(&byte)?;
+        file.sync_all()?;
+        self.counts.corrupted += 1;
+        Ok(offset)
+    }
+
+    /// Truncate `path` to a random strict prefix (torn write). Returns the
+    /// new length, which may be zero.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from opening or truncating the file; `InvalidInput` if
+    /// the file is already empty.
+    pub fn truncate_file(&mut self, path: &Path) -> io::Result<u64> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "file is already empty",
+            ));
+        }
+        let new_len = self.rng.gen_range(0..len);
+        file.set_len(new_len)?;
+        file.sync_all()?;
+        self.counts.truncated += 1;
+        Ok(new_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::PathBuf;
+
+    struct TempFile(PathBuf);
+
+    impl TempFile {
+        fn with_bytes(name: &str, bytes: &[u8]) -> TempFile {
+            let path =
+                std::env::temp_dir().join(format!("saad-fault-ckpt-{}-{name}", std::process::id()));
+            fs::write(&path, bytes).unwrap();
+            TempFile(path)
+        }
+    }
+
+    impl Drop for TempFile {
+        fn drop(&mut self) {
+            let _ = fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn corrupt_flips_exactly_one_byte_past_the_prefix() {
+        let original: Vec<u8> = (0..=255u8).collect();
+        let file = TempFile::with_bytes("corrupt", &original);
+        let mut tamperer = CheckpointTamperer::new(7);
+        let offset = tamperer.corrupt_file(&file.0, 8).unwrap();
+        assert!(offset >= 8);
+        let damaged = fs::read(&file.0).unwrap();
+        assert_eq!(damaged.len(), original.len());
+        let diffs: Vec<usize> = (0..original.len())
+            .filter(|&i| original[i] != damaged[i])
+            .collect();
+        assert_eq!(diffs, vec![offset as usize]);
+        assert_eq!(tamperer.counts().corrupted, 1);
+    }
+
+    #[test]
+    fn truncate_leaves_a_strict_prefix() {
+        let original = vec![0xABu8; 100];
+        let file = TempFile::with_bytes("truncate", &original);
+        let mut tamperer = CheckpointTamperer::new(7);
+        let new_len = tamperer.truncate_file(&file.0).unwrap();
+        assert!(new_len < 100);
+        let damaged = fs::read(&file.0).unwrap();
+        assert_eq!(damaged.len() as u64, new_len);
+        assert_eq!(&damaged[..], &original[..new_len as usize]);
+        assert_eq!(tamperer.counts().truncated, 1);
+    }
+
+    #[test]
+    fn tampering_is_deterministic_per_seed() {
+        let original: Vec<u8> = (0..200u8).map(|b| b.wrapping_mul(31)).collect();
+        let a = TempFile::with_bytes("det-a", &original);
+        let b = TempFile::with_bytes("det-b", &original);
+        let off_a = CheckpointTamperer::new(42).corrupt_file(&a.0, 0).unwrap();
+        let off_b = CheckpointTamperer::new(42).corrupt_file(&b.0, 0).unwrap();
+        assert_eq!(off_a, off_b);
+        assert_eq!(fs::read(&a.0).unwrap(), fs::read(&b.0).unwrap());
+    }
+
+    #[test]
+    fn damaging_an_empty_or_short_file_is_an_explicit_error() {
+        let file = TempFile::with_bytes("short", &[1, 2, 3]);
+        let mut tamperer = CheckpointTamperer::new(1);
+        assert!(tamperer.corrupt_file(&file.0, 8).is_err());
+        let empty = TempFile::with_bytes("empty", &[]);
+        assert!(tamperer.truncate_file(&empty.0).is_err());
+        assert_eq!(tamperer.counts(), TamperCounts::default());
+    }
+}

@@ -15,6 +15,9 @@
 //! * [`LossyLink`] — fault injection on the node → analyzer *monitoring*
 //!   link: frame loss, duplication, delay/reorder, corruption, and
 //!   disconnect windows, with exact injection counters;
+//! * [`CheckpointTamperer`] — storage faults on the analyzer's durable
+//!   checkpoint files: seeded byte flips (bit rot) and truncation (torn
+//!   writes), for exercising checkpoint recovery;
 //! * [`catalog`] — ready-made builders for every fault configuration the
 //!   paper evaluates (Fig 9, Fig 10/Table 2, Fig 11/Table 3) plus the
 //!   combined lossy-link robustness scenario.
@@ -23,11 +26,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod catalog;
+mod checkpoint;
 mod hog;
 mod link;
 mod schedule;
 mod spec;
 
+pub use checkpoint::{CheckpointTamperer, TamperCounts};
 pub use hog::{HogSchedule, HogWindow};
 pub use link::{LinkFault, LinkFaultCounts, LinkFaultSpec, LossyLink};
 pub use schedule::{FaultSchedule, FaultWindow};
