@@ -60,7 +60,10 @@ pub const MAX_FRAME_PAYLOAD: usize = 16 * 1024 * 1024;
 /// pruned to this horizon to bound memory).
 const REORDER_HORIZON: u64 = 1024;
 
-pub(crate) fn crc32(chunks: &[&[u8]]) -> u32 {
+/// CRC-32 (IEEE polynomial) over the concatenation of `chunks`. Public so
+/// higher layers (e.g. the wire-protocol handshake in `saad-net`) checksum
+/// their messages with the same algorithm the frame format uses.
+pub fn crc32(chunks: &[&[u8]]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for chunk in chunks {
         for &b in *chunk {
@@ -136,6 +139,11 @@ impl FrameSender {
         }
     }
 
+    /// The host this sender frames for.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
     /// Frames produced so far.
     pub fn frames_sent(&self) -> u64 {
         self.next_seq
@@ -162,6 +170,64 @@ impl FrameSender {
         self.synopses_sent += batch.len() as u64;
         buf.freeze()
     }
+}
+
+/// A frame that passed validation (header bounds, checksum, payload
+/// decoding) but has not yet been sequenced against a [`FrameReceiver`].
+///
+/// Produced by [`parse_frame`], consumed by [`FrameReceiver::admit`].
+/// Splitting the expensive per-byte work (CRC-32 + synopsis decode) from
+/// the cheap per-host sequencing lets a multi-connection collector run
+/// validation concurrently outside the shared receiver lock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedFrame {
+    /// Sending host (from the frame header).
+    pub host: HostId,
+    /// Frame sequence number.
+    pub seq: u64,
+    /// Cumulative synopses sent in frames before this one.
+    pub cumulative: u64,
+    /// Decoded payload.
+    pub synopses: Vec<TaskSynopsis>,
+}
+
+/// Validate one received frame without touching any receiver state: check
+/// the header bounds, verify the CRC-32, and decode the payload.
+///
+/// # Errors
+///
+/// Returns a [`FrameError`] when the frame is truncated, oversized, fails
+/// its checksum, or carries an undecodable payload. The caller should
+/// count the rejection via [`FrameReceiver::record_corrupted`] (or use
+/// [`FrameReceiver::accept`], which does both).
+pub fn parse_frame(frame: &[u8]) -> Result<ParsedFrame, FrameError> {
+    if frame.len() < FRAME_HEADER_LEN {
+        return Err(FrameError::Truncated);
+    }
+    let header = &frame[..FRAME_HEADER_LEN];
+    let host = HostId(u16::from_be_bytes([header[0], header[1]]));
+    let seq = u64::from_be_bytes(header[2..10].try_into().expect("8 bytes"));
+    let cumulative = u64::from_be_bytes(header[10..18].try_into().expect("8 bytes"));
+    let len = u32::from_be_bytes(header[18..22].try_into().expect("4 bytes"));
+    let stored = u32::from_be_bytes(header[22..26].try_into().expect("4 bytes"));
+    if len as usize > MAX_FRAME_PAYLOAD {
+        return Err(FrameError::Oversized(len));
+    }
+    let payload = &frame[FRAME_HEADER_LEN..];
+    if payload.len() != len as usize {
+        return Err(FrameError::Truncated);
+    }
+    let computed = crc32(&[&header[..22], payload]);
+    if computed != stored {
+        return Err(FrameError::ChecksumMismatch { stored, computed });
+    }
+    let synopses = codec::decode_batch(&mut Bytes::from(payload.to_vec()))?;
+    Ok(ParsedFrame {
+        host,
+        seq,
+        cumulative,
+        synopses,
+    })
 }
 
 /// What [`FrameReceiver::accept`] concluded about a well-formed frame.
@@ -275,14 +341,59 @@ impl FrameReceiver {
             .unwrap_or_default()
     }
 
-    /// Link statistics for every host heard from.
-    pub fn all_stats(&self) -> HashMap<HostId, LinkStats> {
-        self.hosts.iter().map(|(&h, l)| (h, l.stats())).collect()
+    /// Link statistics for every host heard from. Returns a borrowed
+    /// iterator — no per-call `HashMap` is built; collect if ownership is
+    /// needed.
+    pub fn all_stats(&self) -> impl Iterator<Item = (HostId, LinkStats)> + '_ {
+        self.hosts.iter().map(|(&h, l)| (h, l.stats()))
+    }
+
+    /// Highest frame sequence number seen from `host` (`None` if the host
+    /// was never heard from).
+    pub fn highest_seq(&self, host: HostId) -> Option<u64> {
+        self.hosts.get(&host).map(|l| l.max_seq)
     }
 
     /// Total synopses lost across all hosts (exact at quiescence).
     pub fn total_lost(&self) -> u64 {
         self.hosts.values().map(|l| l.stats().lost_synopses).sum()
+    }
+
+    /// Count one frame rejected by [`parse_frame`] outside this receiver.
+    /// ([`FrameReceiver::accept`] counts its own rejections.)
+    pub fn record_corrupted(&mut self) {
+        self.corrupted_frames += 1;
+    }
+
+    /// Prime per-host accounting from a resume handshake.
+    ///
+    /// A receiver with no state for `host` (e.g. a restarted collector
+    /// whose predecessor's link state was lost) adopts the sender's
+    /// declared history: `written` synopses were handed to a previous
+    /// receiver incarnation and must not be re-counted as lost, while
+    /// `sent − written` — frames the sender already knows never reached a
+    /// live socket — surface as `newly_lost` on the next fresh frame.
+    /// `next_seq` is the sequence number the sender will use next; older
+    /// sequence numbers are classified duplicates, so a stray redelivery
+    /// of pre-resume frames cannot double count.
+    ///
+    /// A no-op when the host already has state (the live receiver's own
+    /// accounting is strictly better than the sender's declaration).
+    pub fn resume(&mut self, host: HostId, written: u64, sent: u64, next_seq: u64) {
+        if self.hosts.contains_key(&host) {
+            return;
+        }
+        if next_seq == 0 {
+            // Nothing was ever framed; a fresh link needs no priming.
+            return;
+        }
+        let link = self.hosts.entry(host).or_default();
+        link.delivered_synopses = written.min(sent);
+        link.expected_synopses = sent;
+        link.max_seq = next_seq - 1;
+        // Marking max_seq as seen makes any redelivery of it a duplicate;
+        // older sequence numbers fall to the horizon test in `admit`.
+        link.seen.insert(link.max_seq);
     }
 
     /// Validate and classify one received frame.
@@ -293,8 +404,8 @@ impl FrameReceiver {
     /// the frame is truncated, oversized, fails its checksum, or carries an
     /// undecodable payload.
     pub fn accept(&mut self, frame: &[u8]) -> Result<FrameOutcome, FrameError> {
-        match self.parse(frame) {
-            Ok(outcome) => Ok(outcome),
+        match parse_frame(frame) {
+            Ok(parsed) => Ok(self.admit(parsed)),
             Err(e) => {
                 self.corrupted_frames += 1;
                 Err(e)
@@ -302,34 +413,22 @@ impl FrameReceiver {
         }
     }
 
-    fn parse(&mut self, frame: &[u8]) -> Result<FrameOutcome, FrameError> {
-        if frame.len() < FRAME_HEADER_LEN {
-            return Err(FrameError::Truncated);
-        }
-        let header = &frame[..FRAME_HEADER_LEN];
-        let host = HostId(u16::from_be_bytes([header[0], header[1]]));
-        let seq = u64::from_be_bytes(header[2..10].try_into().expect("8 bytes"));
-        let cum = u64::from_be_bytes(header[10..18].try_into().expect("8 bytes"));
-        let len = u32::from_be_bytes(header[18..22].try_into().expect("4 bytes"));
-        let stored = u32::from_be_bytes(header[22..26].try_into().expect("4 bytes"));
-        if len as usize > MAX_FRAME_PAYLOAD {
-            return Err(FrameError::Oversized(len));
-        }
-        let payload = &frame[FRAME_HEADER_LEN..];
-        if payload.len() != len as usize {
-            return Err(FrameError::Truncated);
-        }
-        let computed = crc32(&[&header[..22], payload]);
-        if computed != stored {
-            return Err(FrameError::ChecksumMismatch { stored, computed });
-        }
-        let synopses = codec::decode_batch(&mut Bytes::from(payload.to_vec()))?;
-
+    /// Sequence one already-validated frame: deduplicate, account, and
+    /// reveal gaps. This is the cheap half of [`FrameReceiver::accept`] —
+    /// O(1) per frame — safe to run under a lock shared by many
+    /// connections while [`parse_frame`] runs outside it.
+    pub fn admit(&mut self, parsed: ParsedFrame) -> FrameOutcome {
+        let ParsedFrame {
+            host,
+            seq,
+            cumulative: cum,
+            synopses,
+        } = parsed;
         let link = self.hosts.entry(host).or_default();
         let is_dup = seq + REORDER_HORIZON < link.max_seq || !link.seen.insert(seq);
         if is_dup {
             link.duplicate_frames += 1;
-            return Ok(FrameOutcome::Duplicate { host, seq });
+            return FrameOutcome::Duplicate { host, seq };
         }
         if seq > link.max_seq {
             link.max_seq = seq;
@@ -348,11 +447,11 @@ impl FrameReceiver {
             .saturating_sub(link.delivered_synopses);
         let newly_lost = lost_now.saturating_sub(link.reported_lost);
         link.reported_lost = link.reported_lost.max(lost_now);
-        Ok(FrameOutcome::Fresh {
+        FrameOutcome::Fresh {
             host,
             synopses,
             newly_lost,
-        })
+        }
     }
 }
 
@@ -494,7 +593,9 @@ mod tests {
         assert_eq!(rx.stats(HostId(10)).lost_synopses, 0);
         assert_eq!(rx.stats(HostId(11)).lost_synopses, 8);
         assert_eq!(rx.total_lost(), 8);
-        assert_eq!(rx.all_stats().len(), 2);
+        assert_eq!(rx.all_stats().count(), 2);
+        let summed: u64 = rx.all_stats().map(|(_, s)| s.lost_synopses).sum();
+        assert_eq!(summed, rx.total_lost());
     }
 
     #[test]
@@ -599,6 +700,149 @@ mod tests {
         assert!(matches!(
             rx.accept(&old),
             Ok(FrameOutcome::Duplicate { seq: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_batch_frame_is_header_only_and_advances_sequencing() {
+        let mut tx = FrameSender::new(HostId(6));
+        let mut rx = FrameReceiver::new();
+        let empty = tx.encode_frame(&[]);
+        // An empty batch costs exactly the header plus the payload of an
+        // encoded zero-length batch.
+        let payload_len = empty.len() - FRAME_HEADER_LEN;
+        assert!(payload_len <= 4, "empty batch payload {payload_len} bytes");
+        rx.accept(&empty).unwrap();
+        // Sequencing still advances: a following lost frame is revealed.
+        let lost = tx.encode_frame(&batch(6, 0..5));
+        drop(lost);
+        match rx.accept(&tx.encode_frame(&batch(6, 5..6))).unwrap() {
+            FrameOutcome::Fresh { newly_lost, .. } => assert_eq!(newly_lost, 5),
+            other => panic!("unexpected: {other:?}"),
+        }
+        let stats = rx.stats(HostId(6));
+        assert_eq!(stats.delivered_frames, 2);
+        assert_eq!(stats.delivered_synopses, 1);
+    }
+
+    #[test]
+    fn payload_length_exactly_at_bound_is_not_oversized() {
+        // A header claiming exactly MAX_FRAME_PAYLOAD with a short actual
+        // payload must fail as Truncated (length mismatch), not Oversized
+        // — the bound check is exclusive of the maximum.
+        let mut buf = BytesMut::new();
+        buf.put_u16(0);
+        buf.put_u64(0);
+        buf.put_u64(0);
+        buf.put_u32(MAX_FRAME_PAYLOAD as u32);
+        let crc = crc32(&[&buf[..]]);
+        buf.put_u32(crc);
+        let mut rx = FrameReceiver::new();
+        assert_eq!(rx.accept(&buf.freeze()), Err(FrameError::Truncated));
+        // One past the bound is rejected before any payload inspection.
+        let mut buf = BytesMut::new();
+        buf.put_u16(0);
+        buf.put_u64(0);
+        buf.put_u64(0);
+        buf.put_u32(MAX_FRAME_PAYLOAD as u32 + 1);
+        let crc = crc32(&[&buf[..]]);
+        buf.put_u32(crc);
+        assert_eq!(
+            rx.accept(&buf.freeze()),
+            Err(FrameError::Oversized(MAX_FRAME_PAYLOAD as u32 + 1))
+        );
+    }
+
+    #[test]
+    fn multi_megabyte_frame_round_trips() {
+        // A realistically huge batch (~100k synopses, a few MB encoded)
+        // survives the encode → CRC → decode round trip intact.
+        let mut tx = FrameSender::new(HostId(8));
+        let mut rx = FrameReceiver::new();
+        let big = batch(8, 0..100_000);
+        let frame = tx.encode_frame(&big);
+        assert!(
+            frame.len() > 1024 * 1024,
+            "frame only {} bytes",
+            frame.len()
+        );
+        assert!(frame.len() <= FRAME_HEADER_LEN + MAX_FRAME_PAYLOAD);
+        match rx.accept(&frame).unwrap() {
+            FrameOutcome::Fresh { synopses, .. } => assert_eq!(synopses, big),
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(rx.stats(HostId(8)).delivered_synopses, 100_000);
+    }
+
+    #[test]
+    fn parse_then_admit_equals_accept() {
+        let mut tx_a = FrameSender::new(HostId(1));
+        let mut tx_b = FrameSender::new(HostId(1));
+        let mut via_accept = FrameReceiver::new();
+        let mut via_admit = FrameReceiver::new();
+        for uids in [0..3u64, 3..7, 7..8] {
+            let fa = tx_a.encode_frame(&batch(1, uids.clone()));
+            let fb = tx_b.encode_frame(&batch(1, uids));
+            let a = via_accept.accept(&fa).unwrap();
+            let b = via_admit.admit(parse_frame(&fb).unwrap());
+            assert_eq!(a, b);
+        }
+        assert_eq!(via_accept.stats(HostId(1)), via_admit.stats(HostId(1)));
+        // Parse rejections counted via record_corrupted keep parity too.
+        assert!(parse_frame(&[0u8; 4]).is_err());
+        via_admit.record_corrupted();
+        assert_eq!(via_admit.corrupted_frames(), 1);
+    }
+
+    #[test]
+    fn resume_adopts_sender_history_and_reports_only_the_known_gap() {
+        // A sender framed 4 batches (20 synopses); the first 3 (15) were
+        // written to a previous receiver incarnation, the 4th (5) never
+        // reached a live socket. The restarted receiver is primed from the
+        // handshake and the first post-resume frame reveals exactly the
+        // 5-synopsis gap — not the 15 delivered to the predecessor.
+        let mut tx = FrameSender::new(HostId(3));
+        for uids in [0..5u64, 5..10, 10..15] {
+            drop(tx.encode_frame(&batch(3, uids))); // delivered previously
+        }
+        drop(tx.encode_frame(&batch(3, 15..20))); // lost in transit
+        let mut rx = FrameReceiver::new();
+        rx.resume(HostId(3), 15, 20, tx.frames_sent());
+        match rx.accept(&tx.encode_frame(&batch(3, 20..22))).unwrap() {
+            FrameOutcome::Fresh { newly_lost, .. } => assert_eq!(newly_lost, 5),
+            other => panic!("unexpected: {other:?}"),
+        }
+        let stats = rx.stats(HostId(3));
+        assert_eq!(stats.lost_synopses, 5);
+        assert_eq!(stats.expected_synopses, 22);
+        // A stray redelivery of the last pre-resume frame is a duplicate.
+        let mut replay = FrameSender::new(HostId(3));
+        for _ in 0..3 {
+            replay.encode_frame(&[]);
+        }
+        let old = replay.encode_frame(&batch(3, 10..15));
+        assert!(matches!(
+            rx.accept(&old).unwrap(),
+            FrameOutcome::Duplicate { seq: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn resume_is_a_no_op_for_known_hosts_and_fresh_senders() {
+        let mut tx = FrameSender::new(HostId(4));
+        let mut rx = FrameReceiver::new();
+        rx.accept(&tx.encode_frame(&batch(4, 0..3))).unwrap();
+        let before = rx.stats(HostId(4));
+        // Live state wins over the handshake's declaration.
+        rx.resume(HostId(4), 0, 100, 50);
+        assert_eq!(rx.stats(HostId(4)), before);
+        // A sender that never framed anything needs no priming — and its
+        // first frame (seq 0) must not be classified a duplicate.
+        rx.resume(HostId(5), 0, 0, 0);
+        let mut fresh = FrameSender::new(HostId(5));
+        assert!(matches!(
+            rx.accept(&fresh.encode_frame(&batch(5, 0..2))).unwrap(),
+            FrameOutcome::Fresh { .. }
         ));
     }
 

@@ -18,6 +18,9 @@
 //! * [`CheckpointTamperer`] — storage faults on the analyzer's durable
 //!   checkpoint files: seeded byte flips (bit rot) and truncation (torn
 //!   writes), for exercising checkpoint recovery;
+//! * [`FaultyProxy`] — the socket-level counterpart of [`LossyLink`]: a
+//!   message-aware TCP proxy injecting drop, corruption, delay, and
+//!   mid-stream disconnects between a real agent and a real collector;
 //! * [`catalog`] — ready-made builders for every fault configuration the
 //!   paper evaluates (Fig 9, Fig 10/Table 2, Fig 11/Table 3) plus the
 //!   combined lossy-link robustness scenario.
@@ -29,11 +32,13 @@ pub mod catalog;
 mod checkpoint;
 mod hog;
 mod link;
+mod proxy;
 mod schedule;
 mod spec;
 
 pub use checkpoint::{CheckpointTamperer, TamperCounts};
 pub use hog::{HogSchedule, HogWindow};
 pub use link::{LinkFault, LinkFaultCounts, LinkFaultSpec, LossyLink};
+pub use proxy::{FaultyProxy, ProxyCounts, ProxySpec};
 pub use schedule::{FaultSchedule, FaultWindow};
 pub use spec::{FaultSpec, FaultType, Intensity};

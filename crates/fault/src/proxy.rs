@@ -1,0 +1,389 @@
+//! A socket-level fault injector: a TCP proxy that sits between an agent
+//! and a collector and misbehaves on purpose.
+//!
+//! [`FaultyProxy`] is message-aware: it forwards a fixed-size preamble in
+//! each direction verbatim (the handshake — faults there would only
+//! prevent the session from starting), then treats the client→server
+//! stream as `u32` big-endian length-prefixed messages and applies seeded
+//! faults per message: **drop** (the message vanishes, surfacing as a
+//! sequence gap downstream), **corrupt** (one payload byte is flipped, to
+//! be caught by the receiver's CRC), **delay** (the message is held
+//! briefly, preserving per-connection order), and **mid-stream
+//! disconnect** (both directions are severed after N messages, once).
+//! Every injection is counted exactly in [`ProxyCounts`], so tests can
+//! reconcile what the proxy did against what the transport accounted.
+//!
+//! The proxy knows nothing about SAAD frame internals beyond the length
+//! prefix — the preamble sizes are parameters — so it stays reusable for
+//! any length-prefixed protocol.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Largest length-prefixed message the proxy will buffer (matches the
+/// transport's frame bound with headroom). A prefix beyond this means the
+/// stream is desynchronized; the connection is severed.
+const MAX_PROXY_MESSAGE: usize = 32 * 1024 * 1024;
+
+/// What a [`FaultyProxy`] injects, and how often.
+#[derive(Debug, Clone)]
+pub struct ProxySpec {
+    /// Bytes at the start of the client→server stream forwarded verbatim
+    /// before message-aware faulting begins (the `Hello`).
+    pub client_preamble: usize,
+    /// Bytes at the start of the server→client stream forwarded verbatim
+    /// (the `HelloAck`); the rest of that direction is copied untouched.
+    pub server_preamble: usize,
+    /// Probability a message is silently dropped.
+    pub drop_p: f64,
+    /// Probability one byte of a message body is flipped.
+    pub corrupt_p: f64,
+    /// Probability a message is delayed by `delay` before forwarding.
+    pub delay_p: f64,
+    /// Hold time for delayed messages.
+    pub delay: Duration,
+    /// Sever the connection (both directions) after this many
+    /// client→server messages have been seen, once over the proxy's
+    /// lifetime. `None` disables.
+    pub disconnect_after: Option<u64>,
+    /// Seed for the fault stream (per-connection streams derive from it).
+    pub seed: u64,
+}
+
+impl Default for ProxySpec {
+    fn default() -> ProxySpec {
+        ProxySpec {
+            client_preamble: 0,
+            server_preamble: 0,
+            drop_p: 0.0,
+            corrupt_p: 0.0,
+            delay_p: 0.0,
+            delay: Duration::from_millis(1),
+            disconnect_after: None,
+            seed: 0xFA_017,
+        }
+    }
+}
+
+/// Exact injection counters for one [`FaultyProxy`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProxyCounts {
+    /// Connections proxied.
+    pub connections: u64,
+    /// Messages relayed to the server (corrupted and delayed ones
+    /// included; dropped ones not).
+    pub forwarded: u64,
+    /// Messages swallowed.
+    pub dropped: u64,
+    /// Messages forwarded with one byte flipped.
+    pub corrupted: u64,
+    /// Messages held for `delay` before forwarding.
+    pub delayed: u64,
+    /// Mid-stream disconnects fired.
+    pub disconnects: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    forwarded: AtomicU64,
+    dropped: AtomicU64,
+    corrupted: AtomicU64,
+    delayed: AtomicU64,
+    disconnects: AtomicU64,
+    /// Client→server messages seen (drives `disconnect_after`).
+    seen: AtomicU64,
+    /// Ensures the disconnect fires at most once.
+    disconnect_armed: AtomicBool,
+}
+
+#[derive(Debug)]
+struct Shared {
+    upstream: SocketAddr,
+    spec: ProxySpec,
+    counters: Counters,
+    shutdown: AtomicBool,
+}
+
+/// A running fault-injecting TCP proxy (see the module docs).
+#[derive(Debug)]
+pub struct FaultyProxy {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_join: Option<JoinHandle<()>>,
+    conn_joins: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl FaultyProxy {
+    /// Start a proxy on an ephemeral localhost port relaying to
+    /// `upstream`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the listener bind failure.
+    pub fn start<A: ToSocketAddrs>(upstream: A, spec: ProxySpec) -> io::Result<FaultyProxy> {
+        let upstream = upstream
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no upstream addr"))?;
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            upstream,
+            spec,
+            counters: Counters {
+                disconnect_armed: AtomicBool::new(true),
+                ..Counters::default()
+            },
+            shutdown: AtomicBool::new(false),
+        });
+        let conn_joins = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let accept_shared = shared.clone();
+        let accept_joins = conn_joins.clone();
+        let accept_join = std::thread::Builder::new()
+            .name("saad-fault-proxy".into())
+            .spawn(move || accept_loop(listener, accept_shared, accept_joins))
+            .expect("spawn proxy accept thread");
+        Ok(FaultyProxy {
+            local_addr,
+            shared,
+            accept_join: Some(accept_join),
+            conn_joins,
+        })
+    }
+
+    /// The address agents should connect to instead of the collector.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Exact injection counters so far.
+    pub fn counts(&self) -> ProxyCounts {
+        let c = &self.shared.counters;
+        ProxyCounts {
+            connections: c.connections.load(Ordering::Relaxed),
+            forwarded: c.forwarded.load(Ordering::Relaxed),
+            dropped: c.dropped.load(Ordering::Relaxed),
+            corrupted: c.corrupted.load(Ordering::Relaxed),
+            delayed: c.delayed.load(Ordering::Relaxed),
+            disconnects: c.disconnects.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop relaying: sever all connections, join all threads, return the
+    /// final counters.
+    pub fn shutdown(mut self) -> ProxyCounts {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(join) = self.accept_join.take() {
+            let _ = join.join();
+        }
+        let joins = std::mem::take(&mut *self.conn_joins.lock());
+        for join in joins {
+            let _ = join.join();
+        }
+        self.counts()
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    joins: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let mut conn_id = 0u64;
+    loop {
+        let client = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let id = conn_id;
+        conn_id += 1;
+        let conn_shared = shared.clone();
+        let join = std::thread::Builder::new()
+            .name(format!("saad-fault-proxy-conn-{id}"))
+            .spawn(move || proxy_connection(client, id, conn_shared))
+            .expect("spawn proxy connection");
+        joins.lock().push(join);
+    }
+}
+
+/// Read exactly `buf.len()` bytes, tolerating read-timeout polls while the
+/// proxy is alive. `Ok(false)` = clean EOF before the first byte.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], shared: &Shared) -> io::Result<bool> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return Err(io::ErrorKind::Interrupted.into());
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Copy `n` preamble bytes verbatim. `Ok(false)` = clean EOF first.
+fn copy_preamble(
+    from: &mut TcpStream,
+    to: &mut TcpStream,
+    n: usize,
+    shared: &Shared,
+) -> io::Result<bool> {
+    let mut buf = vec![0u8; n];
+    if !read_full(from, &mut buf, shared)? {
+        return Ok(false);
+    }
+    to.write_all(&buf)?;
+    to.flush()?;
+    Ok(true)
+}
+
+fn proxy_connection(mut client: TcpStream, conn_id: u64, shared: Arc<Shared>) {
+    let mut server = match TcpStream::connect(shared.upstream) {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+    let poll = Some(Duration::from_millis(50));
+    let _ = client.set_read_timeout(poll);
+    let _ = server.set_read_timeout(poll);
+    let _ = client.set_nodelay(true);
+    let _ = server.set_nodelay(true);
+
+    // Server→client: preamble then an untouched byte stream, on its own
+    // thread so the ack arrives while this thread reads messages.
+    let back_shared = shared.clone();
+    let (mut server_rd, mut client_wr) = match (server.try_clone(), client.try_clone()) {
+        (Ok(s), Ok(c)) => (s, c),
+        _ => return,
+    };
+    let back = std::thread::Builder::new()
+        .name(format!("saad-fault-proxy-back-{conn_id}"))
+        .spawn(move || {
+            let n = back_shared.spec.server_preamble;
+            if !matches!(
+                copy_preamble(&mut server_rd, &mut client_wr, n, &back_shared),
+                Ok(true)
+            ) {
+                return;
+            }
+            let mut buf = [0u8; 4096];
+            loop {
+                match server_rd.read(&mut buf) {
+                    Ok(0) => return,
+                    Ok(n) => {
+                        if client_wr.write_all(&buf[..n]).is_err() {
+                            return;
+                        }
+                    }
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        if back_shared.shutdown.load(Ordering::SeqCst) {
+                            return;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => return,
+                }
+            }
+        })
+        .expect("spawn proxy back thread");
+
+    forward_messages(&mut client, &mut server, conn_id, &shared);
+    // Forward direction ended (EOF, error, injected disconnect, or
+    // shutdown): sever both so the back thread unblocks too.
+    let _ = client.shutdown(Shutdown::Both);
+    let _ = server.shutdown(Shutdown::Both);
+    let _ = back.join();
+}
+
+/// The faulting client→server direction.
+fn forward_messages(client: &mut TcpStream, server: &mut TcpStream, conn_id: u64, shared: &Shared) {
+    let spec = &shared.spec;
+    let counters = &shared.counters;
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ conn_id.wrapping_mul(0x9E37_79B9));
+    if !matches!(
+        copy_preamble(client, server, spec.client_preamble, shared),
+        Ok(true)
+    ) {
+        return;
+    }
+    let mut len_buf = [0u8; 4];
+    let mut body = Vec::new();
+    loop {
+        match read_full(client, &mut len_buf, shared) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return,
+        }
+        let len = u32::from_be_bytes(len_buf) as usize;
+        if len > MAX_PROXY_MESSAGE {
+            return;
+        }
+        body.resize(len, 0);
+        if !matches!(read_full(client, &mut body, shared), Ok(true)) {
+            return;
+        }
+        let seen = counters.seen.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(after) = spec.disconnect_after {
+            if seen > after && counters.disconnect_armed.swap(false, Ordering::SeqCst) {
+                counters.disconnects.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        if spec.drop_p > 0.0 && rng.gen_bool(spec.drop_p) {
+            counters.dropped.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        if spec.corrupt_p > 0.0 && !body.is_empty() && rng.gen_bool(spec.corrupt_p) {
+            let at = rng.gen_range(0..body.len());
+            let bit = rng.gen_range(0..8u32);
+            body[at] ^= 1 << bit;
+            counters.corrupted.fetch_add(1, Ordering::Relaxed);
+        }
+        if spec.delay_p > 0.0 && rng.gen_bool(spec.delay_p) {
+            counters.delayed.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(spec.delay);
+        }
+        if server.write_all(&len_buf).is_err()
+            || server.write_all(&body).is_err()
+            || server.flush().is_err()
+        {
+            return;
+        }
+        counters.forwarded.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,541 @@
+//! The tracker-side agent: a bounded send queue in front of a persistent
+//! framed TCP connection to the collector.
+//!
+//! Producers hand synopsis batches to [`Agent::send`] (or stream single
+//! synopses through an [`AgentSink`]); a worker thread owns the socket
+//! and a persistent [`FrameSender`], so frame sequence numbers and
+//! cumulative counts survive reconnects. The queue honors the same
+//! [`OverloadPolicy`] semantics as the in-process
+//! `ChannelSink` — `DropNewest`, `DropOldest`, and `Block` — with every
+//! refused synopsis counted, never silently discarded.
+//!
+//! When the connection dies the worker reconnects with jittered
+//! exponential backoff and replays the handshake, declaring its resume
+//! position (`next_seq`, `sent_cum`, `written_cum`). Frames that failed
+//! mid-write are **not retransmitted**: the sender counts their synopses
+//! as wire-lost, and the gap surfaces on the collector as exact
+//! `newly_lost` accounting (via cumulative-count arithmetic on the next
+//! fresh frame, or via the resume handshake if the collector restarted).
+//! Retransmission would trade bounded memory for at-least-once delivery
+//! the detector does not need — it is loss-aware by design.
+
+use crate::protocol::{
+    decode_hello_ack, encode_hello, read_full, Hello, RejectReason, HELLO_ACK_LEN, PROTOCOL_VERSION,
+};
+use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saad_core::pipeline::{DropCounts, OverloadPolicy};
+use saad_core::synopsis::TaskSynopsis;
+use saad_core::tracker::SynopsisSink;
+use saad_core::transport::FrameSender;
+use saad_core::HostId;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Reconnect backoff tuning: exponential with multiplicative jitter.
+#[derive(Debug, Clone)]
+pub struct BackoffConfig {
+    /// First retry delay.
+    pub initial: Duration,
+    /// Ceiling on any single delay.
+    pub max: Duration,
+    /// Growth factor per consecutive failure.
+    pub multiplier: f64,
+    /// Each delay is scaled by a uniform factor in `[1−jitter, 1+jitter]`
+    /// so a fleet of agents does not reconnect in lockstep.
+    pub jitter: f64,
+    /// Seed for the jitter stream (deterministic per agent).
+    pub seed: u64,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> BackoffConfig {
+        BackoffConfig {
+            initial: Duration::from_millis(20),
+            max: Duration::from_secs(2),
+            multiplier: 2.0,
+            jitter: 0.2,
+            seed: 0x5AAD_0001,
+        }
+    }
+}
+
+impl BackoffConfig {
+    fn delay(&self, attempt: u32, rng: &mut StdRng) -> Duration {
+        let base = self.initial.as_secs_f64() * self.multiplier.powi(attempt as i32);
+        let capped = base.min(self.max.as_secs_f64());
+        let factor = 1.0 + rng.gen_range(-self.jitter..self.jitter.max(1e-9));
+        Duration::from_secs_f64((capped * factor).max(0.0))
+    }
+}
+
+/// Tuning for an [`Agent`].
+#[derive(Debug, Clone)]
+pub struct AgentConfig {
+    /// Most batches the send queue holds before `policy` applies.
+    pub capacity: usize,
+    /// What to do when the queue is full. Policies act on whole batches;
+    /// drop counters record the affected synopses individually.
+    pub policy: OverloadPolicy,
+    /// Reconnect backoff.
+    pub backoff: BackoffConfig,
+    /// Socket write timeout; a stalled collector fails the write and the
+    /// frame is accounted wire-lost rather than blocking the worker
+    /// forever.
+    pub write_timeout: Duration,
+    /// Socket read timeout while waiting for the handshake ack.
+    pub read_timeout: Duration,
+    /// Protocol version announced in the handshake (normally
+    /// [`PROTOCOL_VERSION`]; overridable to exercise rejection paths).
+    pub version: u16,
+}
+
+impl Default for AgentConfig {
+    fn default() -> AgentConfig {
+        AgentConfig {
+            capacity: 1024,
+            policy: OverloadPolicy::Block {
+                timeout: Duration::from_secs(1),
+            },
+            backoff: BackoffConfig::default(),
+            write_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(5),
+            version: PROTOCOL_VERSION,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    connects: AtomicU64,
+    reconnects: AtomicU64,
+    handshake_rejects: AtomicU64,
+    frames_written: AtomicU64,
+    synopses_written: AtomicU64,
+    synopses_wire_lost: AtomicU64,
+    dropped_newest: AtomicU64,
+    dropped_oldest: AtomicU64,
+    dropped_timed_out: AtomicU64,
+    dropped_disconnected: AtomicU64,
+    /// `u64::MAX` = never rejected; otherwise the `RejectReason` as u8.
+    reject_reason: AtomicU64,
+}
+
+impl StatsInner {
+    fn new() -> StatsInner {
+        StatsInner {
+            reject_reason: AtomicU64::new(u64::MAX),
+            ..StatsInner::default()
+        }
+    }
+}
+
+/// Snapshot of one agent's lifetime counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AgentStats {
+    /// Successful connection + handshake completions.
+    pub connects: u64,
+    /// Connects after the first — i.e. recoveries from a dead link.
+    pub reconnects: u64,
+    /// Handshakes the collector refused.
+    pub handshake_rejects: u64,
+    /// Frames fully written to a live socket.
+    pub frames_written: u64,
+    /// Synopses carried by those frames.
+    pub synopses_written: u64,
+    /// Synopses in frames whose write failed — lost on the wire, reported
+    /// to the collector via sequence arithmetic, never retransmitted.
+    pub synopses_wire_lost: u64,
+    /// Synopses refused at the queue, by reason (same semantics as the
+    /// in-process sink's [`DropCounts`]).
+    pub drops: DropCounts,
+    /// Why the collector refused the handshake, if it ever did.
+    pub reject_reason: Option<RejectReason>,
+}
+
+impl StatsInner {
+    fn snapshot(&self) -> AgentStats {
+        AgentStats {
+            connects: self.connects.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            handshake_rejects: self.handshake_rejects.load(Ordering::Relaxed),
+            frames_written: self.frames_written.load(Ordering::Relaxed),
+            synopses_written: self.synopses_written.load(Ordering::Relaxed),
+            synopses_wire_lost: self.synopses_wire_lost.load(Ordering::Relaxed),
+            drops: DropCounts {
+                newest: self.dropped_newest.load(Ordering::Relaxed),
+                oldest: self.dropped_oldest.load(Ordering::Relaxed),
+                timed_out: self.dropped_timed_out.load(Ordering::Relaxed),
+                disconnected: self.dropped_disconnected.load(Ordering::Relaxed),
+            },
+            reject_reason: match self.reject_reason.load(Ordering::Relaxed) {
+                u64::MAX => None,
+                v => Some(match v {
+                    1 => RejectReason::VersionMismatch,
+                    2 => RejectReason::Malformed,
+                    _ => RejectReason::None,
+                }),
+            },
+        }
+    }
+}
+
+/// Queue front shared by [`Agent`] and every [`AgentSink`] clone.
+#[derive(Clone)]
+struct QueueFront {
+    tx: Sender<Vec<TaskSynopsis>>,
+    /// Receiver clone used to evict under [`OverloadPolicy::DropOldest`].
+    evict: Option<Receiver<Vec<TaskSynopsis>>>,
+    policy: OverloadPolicy,
+    stats: Arc<StatsInner>,
+}
+
+/// Bound on eviction retries under [`OverloadPolicy::DropOldest`], same
+/// rationale as the in-process sink: give up rather than livelock when
+/// other producers keep refilling the evicted slot.
+const DROP_OLDEST_RETRIES: usize = 64;
+
+impl QueueFront {
+    fn enqueue(&self, batch: Vec<TaskSynopsis>) {
+        if batch.is_empty() {
+            return;
+        }
+        let stats = &self.stats;
+        match self.policy {
+            OverloadPolicy::DropNewest => match self.tx.try_send(batch) {
+                Ok(()) => {}
+                Err(TrySendError::Full(b)) => {
+                    stats
+                        .dropped_newest
+                        .fetch_add(b.len() as u64, Ordering::Relaxed);
+                }
+                Err(TrySendError::Disconnected(b)) => {
+                    stats
+                        .dropped_disconnected
+                        .fetch_add(b.len() as u64, Ordering::Relaxed);
+                }
+            },
+            OverloadPolicy::DropOldest => {
+                let evict = self.evict.as_ref().expect("DropOldest has receiver");
+                let mut batch = batch;
+                for _ in 0..DROP_OLDEST_RETRIES {
+                    match self.tx.try_send(batch) {
+                        Ok(()) => return,
+                        Err(TrySendError::Full(b)) => {
+                            batch = b;
+                            if let Ok(old) = evict.try_recv() {
+                                stats
+                                    .dropped_oldest
+                                    .fetch_add(old.len() as u64, Ordering::Relaxed);
+                            }
+                        }
+                        Err(TrySendError::Disconnected(b)) => {
+                            stats
+                                .dropped_disconnected
+                                .fetch_add(b.len() as u64, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+                stats
+                    .dropped_newest
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            }
+            OverloadPolicy::Block { timeout } => match self.tx.send_timeout(batch, timeout) {
+                Ok(()) => {}
+                Err(crossbeam_channel::SendTimeoutError::Timeout(b)) => {
+                    stats
+                        .dropped_timed_out
+                        .fetch_add(b.len() as u64, Ordering::Relaxed);
+                }
+                Err(crossbeam_channel::SendTimeoutError::Disconnected(b)) => {
+                    stats
+                        .dropped_disconnected
+                        .fetch_add(b.len() as u64, Ordering::Relaxed);
+                }
+            },
+        }
+    }
+}
+
+/// A connected (or reconnecting) agent client for one host.
+pub struct Agent {
+    front: QueueFront,
+    closing: Arc<AtomicBool>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Agent {
+    /// Start an agent for `host` streaming to the collector at `addr`.
+    /// The connection is established lazily by the worker thread; `send`
+    /// may be called immediately.
+    pub fn connect(addr: SocketAddr, host: HostId, config: AgentConfig) -> Agent {
+        assert!(config.capacity > 0, "agent queue capacity must be positive");
+        let (tx, rx) = bounded(config.capacity);
+        let evict = matches!(config.policy, OverloadPolicy::DropOldest).then(|| rx.clone());
+        let stats = Arc::new(StatsInner::new());
+        let closing = Arc::new(AtomicBool::new(false));
+        let front = QueueFront {
+            tx,
+            evict,
+            policy: config.policy,
+            stats: stats.clone(),
+        };
+        let worker_closing = closing.clone();
+        let worker = std::thread::Builder::new()
+            .name(format!("saad-net-agent-{}", host.0))
+            .spawn(move || worker_loop(addr, host, config, rx, stats, worker_closing))
+            .expect("spawn agent worker");
+        Agent {
+            front,
+            closing,
+            worker: Some(worker),
+        }
+    }
+
+    /// Queue one batch for transmission, applying the configured overload
+    /// policy if the queue is full. Empty batches are ignored.
+    pub fn send(&self, batch: Vec<TaskSynopsis>) {
+        self.front.enqueue(batch);
+    }
+
+    /// A [`SynopsisSink`] front that buffers single synopses into batches
+    /// of `batch_size` before queueing them. Call [`AgentSink::flush`]
+    /// (or drop the sink) to push out a partial batch.
+    pub fn sink(&self, batch_size: usize) -> AgentSink {
+        assert!(batch_size > 0, "batch size must be positive");
+        AgentSink {
+            front: self.front.clone(),
+            buf: parking_lot::Mutex::new(Vec::with_capacity(batch_size)),
+            batch_size,
+        }
+    }
+
+    /// Live counter snapshot.
+    pub fn stats(&self) -> AgentStats {
+        self.front.stats.snapshot()
+    }
+
+    /// Flush and stop: queued batches still drain over a live connection,
+    /// but the worker stops waiting for reconnects — anything it cannot
+    /// deliver is counted as a disconnected drop. Returns the final
+    /// counters.
+    pub fn close(mut self) -> AgentStats {
+        self.closing.store(true, Ordering::SeqCst);
+        let stats = self.front.stats.clone();
+        if let Some(join) = self.worker.take() {
+            let _ = join.join();
+        }
+        stats.snapshot()
+    }
+}
+
+impl Drop for Agent {
+    fn drop(&mut self) {
+        // Dropped without close(): signal the worker to stop retrying and
+        // let it wind down on its own (no join — drop must not block).
+        self.closing.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Batching [`SynopsisSink`] front for an [`Agent`] (see [`Agent::sink`]).
+pub struct AgentSink {
+    front: QueueFront,
+    buf: parking_lot::Mutex<Vec<TaskSynopsis>>,
+    batch_size: usize,
+}
+
+impl AgentSink {
+    /// Queue any buffered partial batch now.
+    pub fn flush(&self) {
+        let batch = std::mem::take(&mut *self.buf.lock());
+        self.front.enqueue(batch);
+    }
+}
+
+impl SynopsisSink for AgentSink {
+    fn submit(&self, synopsis: TaskSynopsis) {
+        let full = {
+            let mut buf = self.buf.lock();
+            buf.push(synopsis);
+            (buf.len() >= self.batch_size).then(|| std::mem::take(&mut *buf))
+        };
+        if let Some(batch) = full {
+            self.front.enqueue(batch);
+        }
+    }
+}
+
+impl Drop for AgentSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+enum ConnectOutcome {
+    Connected(TcpStream),
+    Rejected(RejectReason),
+    Failed,
+}
+
+/// One connect + handshake attempt at the agent's current resume point.
+fn try_connect(
+    addr: SocketAddr,
+    host: HostId,
+    config: &AgentConfig,
+    sender: &FrameSender,
+    written_cum: u64,
+) -> ConnectOutcome {
+    let stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(_) => return ConnectOutcome::Failed,
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let mut stream = stream;
+    let hello = Hello {
+        version: config.version,
+        host,
+        next_seq: sender.frames_sent(),
+        sent_cum: sender.synopses_sent(),
+        written_cum,
+    };
+    if stream.write_all(&encode_hello(&hello)).is_err() || stream.flush().is_err() {
+        return ConnectOutcome::Failed;
+    }
+    let mut ack_buf = [0u8; HELLO_ACK_LEN];
+    match read_full(&mut stream, &mut ack_buf, || true) {
+        Ok(true) => {}
+        Ok(false) | Err(_) => return ConnectOutcome::Failed,
+    }
+    match decode_hello_ack(&ack_buf) {
+        Ok(ack) if ack.accept => ConnectOutcome::Connected(stream),
+        Ok(ack) => ConnectOutcome::Rejected(ack.reason),
+        Err(_) => ConnectOutcome::Failed,
+    }
+}
+
+fn write_frame(stream: &mut TcpStream, frame: &[u8]) -> io::Result<()> {
+    stream.write_all(&(frame.len() as u32).to_be_bytes())?;
+    stream.write_all(frame)?;
+    stream.flush()
+}
+
+/// Sleep `total` in short slices so a closing agent stops promptly.
+fn backoff_sleep(total: Duration, closing: &AtomicBool) {
+    let deadline = Instant::now() + total;
+    while Instant::now() < deadline && !closing.load(Ordering::SeqCst) {
+        let left = deadline.saturating_duration_since(Instant::now());
+        std::thread::sleep(left.min(Duration::from_millis(20)));
+    }
+}
+
+fn worker_loop(
+    addr: SocketAddr,
+    host: HostId,
+    config: AgentConfig,
+    rx: Receiver<Vec<TaskSynopsis>>,
+    stats: Arc<StatsInner>,
+    closing: Arc<AtomicBool>,
+) {
+    let mut rng = StdRng::seed_from_u64(config.backoff.seed);
+    let mut sender = FrameSender::new(host);
+    let mut written_cum = 0u64;
+    let mut conn: Option<TcpStream> = None;
+
+    'batches: loop {
+        // Poll with a timeout so close() works even while sink clones
+        // keep the channel's sender side alive.
+        let batch = match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(b) => b,
+            Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                // recv_timeout drains queued batches before timing out,
+                // so a timeout while closing means the queue is empty.
+                if closing.load(Ordering::SeqCst) {
+                    break 'batches;
+                }
+                continue;
+            }
+            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break 'batches,
+        };
+        // Ensure a handshaken connection, backing off between failures.
+        let mut attempt = 0u32;
+        while conn.is_none() {
+            match try_connect(addr, host, &config, &sender, written_cum) {
+                ConnectOutcome::Connected(stream) => {
+                    if stats.connects.fetch_add(1, Ordering::Relaxed) > 0 {
+                        stats.reconnects.fetch_add(1, Ordering::Relaxed);
+                    }
+                    conn = Some(stream);
+                }
+                ConnectOutcome::Rejected(reason) => {
+                    // Version skew or a confused collector: retrying with
+                    // the same hello cannot succeed. Account everything
+                    // still queued and stop.
+                    stats.handshake_rejects.fetch_add(1, Ordering::Relaxed);
+                    stats.reject_reason.store(reason as u64, Ordering::Relaxed);
+                    drop_remaining(batch, &rx, &stats);
+                    return;
+                }
+                ConnectOutcome::Failed => {
+                    if closing.load(Ordering::SeqCst) {
+                        drop_remaining(batch, &rx, &stats);
+                        return;
+                    }
+                    backoff_sleep(config.backoff.delay(attempt, &mut rng), &closing);
+                    attempt = attempt.saturating_add(1);
+                }
+            }
+        }
+        // Encode exactly once — the sequence number must advance whether
+        // or not the write succeeds, so a failed write becomes a visible
+        // gap instead of a silent renumbering.
+        let n = batch.len() as u64;
+        let frame = sender.encode_frame(&batch);
+        match write_frame(conn.as_mut().expect("connected"), &frame) {
+            Ok(()) => {
+                written_cum += n;
+                stats.frames_written.fetch_add(1, Ordering::Relaxed);
+                stats.synopses_written.fetch_add(n, Ordering::Relaxed);
+            }
+            Err(_) => {
+                // The frame may be partially on the wire; the stream is
+                // desynchronized either way. Count the loss and rebuild
+                // the connection for the next batch.
+                stats.synopses_wire_lost.fetch_add(n, Ordering::Relaxed);
+                conn = None;
+                if closing.load(Ordering::SeqCst) {
+                    // Finish draining as drops; no reconnect while closing.
+                    while let Ok(left) = rx.try_recv() {
+                        stats
+                            .dropped_disconnected
+                            .fetch_add(left.len() as u64, Ordering::Relaxed);
+                    }
+                    break 'batches;
+                }
+            }
+        }
+    }
+    // Queue closed and drained: a half-close tells the collector this was
+    // a deliberate goodbye, not a dying link.
+    if let Some(stream) = conn {
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+    }
+}
+
+/// Account `first` and everything still queued as disconnected drops.
+fn drop_remaining(first: Vec<TaskSynopsis>, rx: &Receiver<Vec<TaskSynopsis>>, stats: &StatsInner) {
+    let mut dropped = first.len() as u64;
+    while let Ok(batch) = rx.try_recv() {
+        dropped += batch.len() as u64;
+    }
+    stats
+        .dropped_disconnected
+        .fetch_add(dropped, Ordering::Relaxed);
+}

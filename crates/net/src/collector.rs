@@ -1,0 +1,440 @@
+//! The collector server: many concurrent agent connections feeding one
+//! shared, exactly-accounted synopsis stream.
+//!
+//! Each accepted connection runs on its own thread: it performs the
+//! [`protocol`](crate::protocol) handshake, then reads length-prefixed
+//! transport frames, validating and decoding them **outside** any shared
+//! lock ([`parse_frame`]) and sequencing them **under** the shared
+//! [`FrameReceiver`] lock ([`FrameReceiver::admit`], O(1) per frame). The
+//! expensive per-byte work therefore parallelizes across connections;
+//! only the cheap per-host accounting serializes.
+//!
+//! Admitted frames flow into the analyzer input via
+//! [`feed_frame`]: synopses as one batch send, newly revealed gaps as
+//! [`LossReport`]s — exactly the contract the in-process pipeline already
+//! uses, so `spawn_analyzer_pool_with_lifecycle` works unchanged behind a
+//! socket.
+//!
+//! [`Collector::shutdown`] returns the final [`CollectorState`] — the
+//! carried-over `FrameReceiver` — which a restarted collector can adopt
+//! via [`Collector::with_state`] so loss accounting stays exact across
+//! collector restarts. A collector restarted *without* that state relies
+//! on the agents' resume handshakes ([`FrameReceiver::resume`]) instead.
+
+use crate::protocol::{
+    decode_hello, encode_hello_ack, read_full, HelloAck, RejectReason, HELLO_LEN, MAX_MESSAGE_LEN,
+    NO_SEQ, PROTOCOL_VERSION,
+};
+use crossbeam_channel::Sender;
+use parking_lot::Mutex;
+use saad_core::pipeline::feed_frame;
+use saad_core::synopsis::TaskSynopsis;
+use saad_core::transport::{parse_frame, FrameOutcome, FrameReceiver, LinkStats, LossReport};
+use saad_core::HostId;
+use saad_sim::SimTime;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning for a [`Collector`].
+#[derive(Debug, Clone)]
+pub struct CollectorConfig {
+    /// Socket read timeout used by connection handlers to poll the
+    /// shutdown flag; a handler notices shutdown within about this long.
+    pub read_poll: Duration,
+    /// Protocol version this collector accepts (normally
+    /// [`PROTOCOL_VERSION`]; overridable to exercise rejection paths).
+    pub version: u16,
+}
+
+impl Default for CollectorConfig {
+    fn default() -> CollectorConfig {
+        CollectorConfig {
+            read_poll: Duration::from_millis(50),
+            version: PROTOCOL_VERSION,
+        }
+    }
+}
+
+/// Link state carried across collector restarts: the shared
+/// [`FrameReceiver`] with its per-host delivery, duplicate, and loss
+/// accounting.
+#[derive(Debug, Default)]
+pub struct CollectorState {
+    receiver: FrameReceiver,
+}
+
+impl CollectorState {
+    /// The carried-over receiver (read-only view).
+    pub fn receiver(&self) -> &FrameReceiver {
+        &self.receiver
+    }
+}
+
+/// Snapshot of collector-wide counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollectorStats {
+    /// Connections accepted since start.
+    pub connections_accepted: u64,
+    /// Connections currently streaming.
+    pub connections_active: u64,
+    /// Handshakes refused (bad magic/checksum or version skew).
+    pub handshakes_rejected: u64,
+    /// Fresh (non-duplicate) frames admitted.
+    pub frames: u64,
+    /// Synopses forwarded to the analyzer input.
+    pub synopses: u64,
+    /// Frames rejected as corrupt (checksum, truncation, oversize, codec).
+    pub corrupted_frames: u64,
+    /// Duplicate frames discarded across all hosts.
+    pub duplicate_frames: u64,
+    /// Synopses known lost across all hosts (exact at quiescence).
+    pub lost_synopses: u64,
+    /// Ingest watermark: the highest synopsis start time admitted on any
+    /// connection. Monotone; [`SimTime::ZERO`] until the first synopsis.
+    pub watermark: SimTime,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    connections_accepted: AtomicU64,
+    connections_active: AtomicU64,
+    handshakes_rejected: AtomicU64,
+    frames: AtomicU64,
+    synopses: AtomicU64,
+    watermark_micros: AtomicU64,
+}
+
+impl Counters {
+    /// Monotone max-update of the ingest watermark.
+    fn stamp_watermark(&self, at: SimTime) {
+        self.watermark_micros
+            .fetch_max(at.as_micros(), Ordering::Relaxed);
+    }
+}
+
+struct Shared {
+    receiver: Mutex<FrameReceiver>,
+    batch_tx: Sender<Vec<TaskSynopsis>>,
+    loss_tx: Sender<LossReport>,
+    shutdown: AtomicBool,
+    counters: Counters,
+    config: CollectorConfig,
+    /// Live connection sockets, keyed by connection id, so shutdown can
+    /// unblock handlers stuck in a read.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    handler_joins: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running collector server. Dropping without calling
+/// [`Collector::shutdown`] leaves the accept thread running for the
+/// process lifetime; call `shutdown` for a clean stop and to recover the
+/// link state.
+pub struct Collector {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_join: Option<JoinHandle<()>>,
+}
+
+impl Collector {
+    /// Bind a fresh collector (empty link state) on `addr` and start
+    /// accepting. `addr` may use port 0; see [`Collector::local_addr`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        batch_tx: Sender<Vec<TaskSynopsis>>,
+        loss_tx: Sender<LossReport>,
+        config: CollectorConfig,
+    ) -> io::Result<Collector> {
+        Collector::with_state(addr, CollectorState::default(), batch_tx, loss_tx, config)
+    }
+
+    /// Bind a collector that adopts `state` — the receiver returned by a
+    /// previous incarnation's [`Collector::shutdown`] — so per-host
+    /// delivery and loss accounting continue exactly where they left off.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn with_state<A: ToSocketAddrs>(
+        addr: A,
+        state: CollectorState,
+        batch_tx: Sender<Vec<TaskSynopsis>>,
+        loss_tx: Sender<LossReport>,
+        config: CollectorConfig,
+    ) -> io::Result<Collector> {
+        Collector::serve(TcpListener::bind(addr)?, state, batch_tx, loss_tx, config)
+    }
+
+    /// Serve on an already-bound listener (lets callers own the bind —
+    /// e.g. retry a fixed port across a restart — without risking the
+    /// carried-over `state` on a bind failure).
+    ///
+    /// # Errors
+    ///
+    /// Propagates a `local_addr` query failure.
+    pub fn serve(
+        listener: TcpListener,
+        state: CollectorState,
+        batch_tx: Sender<Vec<TaskSynopsis>>,
+        loss_tx: Sender<LossReport>,
+        config: CollectorConfig,
+    ) -> io::Result<Collector> {
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            receiver: Mutex::new(state.receiver),
+            batch_tx,
+            loss_tx,
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+            config,
+            conns: Mutex::new(HashMap::new()),
+            handler_joins: Mutex::new(Vec::new()),
+        });
+        let accept_shared = shared.clone();
+        let accept_join = std::thread::Builder::new()
+            .name("saad-net-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawn accept thread");
+        Ok(Collector {
+            local_addr,
+            shared,
+            accept_join: Some(accept_join),
+        })
+    }
+
+    /// The bound address — the actual port when bound with port 0.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot of collector-wide counters (takes the receiver lock
+    /// briefly for link totals).
+    pub fn stats(&self) -> CollectorStats {
+        let c = &self.shared.counters;
+        let (corrupted, duplicates, lost) = {
+            let rx = self.shared.receiver.lock();
+            let (mut dup, mut lost) = (0u64, 0u64);
+            for (_, s) in rx.all_stats() {
+                dup += s.duplicate_frames;
+                lost += s.lost_synopses;
+            }
+            (rx.corrupted_frames(), dup, lost)
+        };
+        CollectorStats {
+            connections_accepted: c.connections_accepted.load(Ordering::Relaxed),
+            connections_active: c.connections_active.load(Ordering::Relaxed),
+            handshakes_rejected: c.handshakes_rejected.load(Ordering::Relaxed),
+            frames: c.frames.load(Ordering::Relaxed),
+            synopses: c.synopses.load(Ordering::Relaxed),
+            corrupted_frames: corrupted,
+            duplicate_frames: duplicates,
+            lost_synopses: lost,
+            watermark: SimTime::from_micros(c.watermark_micros.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Link statistics for one host (zeroes if never heard from).
+    pub fn link_stats(&self, host: HostId) -> LinkStats {
+        self.shared.receiver.lock().stats(host)
+    }
+
+    /// Stop accepting, close every live connection, join all handler
+    /// threads, and return the final link state for a successor collector.
+    pub fn shutdown(mut self) -> CollectorState {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock handlers stuck mid-read (their poll timeout would catch
+        // the flag anyway; this just makes shutdown prompt).
+        for stream in self.shared.conns.lock().values() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        // Unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(join) = self.accept_join.take() {
+            let _ = join.join();
+        }
+        let joins = std::mem::take(&mut *self.shared.handler_joins.lock());
+        for join in joins {
+            let _ = join.join();
+        }
+        CollectorState {
+            receiver: std::mem::take(&mut *self.shared.receiver.lock()),
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut next_conn_id = 0u64;
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let conn_id = next_conn_id;
+        next_conn_id += 1;
+        let _ = stream.set_read_timeout(Some(shared.config.read_poll));
+        let _ = stream.set_nodelay(true);
+        if let Ok(registered) = stream.try_clone() {
+            shared.conns.lock().insert(conn_id, registered);
+        }
+        shared
+            .counters
+            .connections_accepted
+            .fetch_add(1, Ordering::Relaxed);
+        shared
+            .counters
+            .connections_active
+            .fetch_add(1, Ordering::Relaxed);
+        let handler_shared = shared.clone();
+        let join = std::thread::Builder::new()
+            .name(format!("saad-net-conn-{conn_id}"))
+            .spawn(move || {
+                handle_connection(stream, &handler_shared);
+                handler_shared.conns.lock().remove(&conn_id);
+                handler_shared
+                    .counters
+                    .connections_active
+                    .fetch_sub(1, Ordering::Relaxed);
+            })
+            .expect("spawn connection handler");
+        shared.handler_joins.lock().push(join);
+    }
+}
+
+/// Handshake then stream frames until EOF, error, or shutdown.
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let keep_going = || !shared.shutdown.load(Ordering::SeqCst);
+
+    // --- Handshake ---------------------------------------------------
+    let mut hello_buf = [0u8; HELLO_LEN];
+    match read_full(&mut stream, &mut hello_buf, keep_going) {
+        Ok(true) => {}
+        Ok(false) | Err(_) => return,
+    }
+    let hello = match decode_hello(&hello_buf) {
+        Ok(h) => h,
+        Err(_) => {
+            reject(&mut stream, shared, RejectReason::Malformed);
+            return;
+        }
+    };
+    if hello.version != shared.config.version {
+        reject(&mut stream, shared, RejectReason::VersionMismatch);
+        return;
+    }
+    let (last_seq, delivered_cum) = {
+        let mut rx = shared.receiver.lock();
+        rx.resume(
+            hello.host,
+            hello.written_cum,
+            hello.sent_cum,
+            hello.next_seq,
+        );
+        (
+            rx.highest_seq(hello.host).unwrap_or(NO_SEQ),
+            rx.stats(hello.host).delivered_synopses,
+        )
+    };
+    let ack = HelloAck {
+        version: shared.config.version,
+        accept: true,
+        reason: RejectReason::None,
+        last_seq,
+        delivered_cum,
+    };
+    if stream.write_ack(&encode_hello_ack(&ack)).is_err() {
+        return;
+    }
+
+    // --- Frame stream ------------------------------------------------
+    let mut len_buf = [0u8; 4];
+    let mut body = Vec::new();
+    loop {
+        match read_full(&mut stream, &mut len_buf, keep_going) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return,
+        }
+        let len = u32::from_be_bytes(len_buf) as usize;
+        if len > MAX_MESSAGE_LEN {
+            // A nonsense prefix means we can no longer find message
+            // boundaries; the stream is unrecoverable.
+            shared.receiver.lock().record_corrupted();
+            return;
+        }
+        body.resize(len, 0);
+        match read_full(&mut stream, &mut body, keep_going) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return,
+        }
+        // Expensive validation/decoding outside the shared lock.
+        let parsed = match parse_frame(&body) {
+            Ok(p) => p,
+            Err(_) => {
+                // Body corrupt but the length prefix framed it correctly;
+                // later messages remain readable.
+                shared.receiver.lock().record_corrupted();
+                continue;
+            }
+        };
+        let max_start = parsed
+            .synopses
+            .iter()
+            .map(|s| s.start)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let outcome = shared.receiver.lock().admit(parsed);
+        let is_fresh = matches!(outcome, FrameOutcome::Fresh { .. });
+        let forwarded = feed_frame(outcome, &shared.batch_tx, &shared.loss_tx);
+        if is_fresh {
+            shared.counters.frames.fetch_add(1, Ordering::Relaxed);
+            shared
+                .counters
+                .synopses
+                .fetch_add(forwarded as u64, Ordering::Relaxed);
+            shared.counters.stamp_watermark(max_start);
+        }
+    }
+}
+
+fn reject(stream: &mut TcpStream, shared: &Shared, reason: RejectReason) {
+    shared
+        .counters
+        .handshakes_rejected
+        .fetch_add(1, Ordering::Relaxed);
+    let ack = HelloAck {
+        version: shared.config.version,
+        accept: false,
+        reason,
+        last_seq: NO_SEQ,
+        delivered_cum: 0,
+    };
+    let _ = stream.write_ack(&encode_hello_ack(&ack));
+}
+
+/// Small extension so ack writes read naturally above.
+trait WriteAck {
+    fn write_ack(&mut self, bytes: &[u8]) -> io::Result<()>;
+}
+
+impl WriteAck for TcpStream {
+    fn write_ack(&mut self, bytes: &[u8]) -> io::Result<()> {
+        use io::Write;
+        self.write_all(bytes)?;
+        self.flush()
+    }
+}

@@ -1,0 +1,33 @@
+//! Wire-level synopsis ingestion: the distributed half of SAAD.
+//!
+//! The paper's deployment has a tracker shim on every server node
+//! streaming tiny task synopses over the network to one statistical
+//! analyzer. This crate supplies that link for the reproduction:
+//!
+//! * [`protocol`] — a versioned fixed-size handshake (`Hello` /
+//!   `HelloAck`) followed by `u32` length-prefixed transport frames,
+//!   everything CRC-32 checked.
+//! * [`Collector`] — the server side: many concurrent connections, frame
+//!   validation parallel per connection, sequencing under one shared
+//!   [`FrameReceiver`](saad_core::transport::FrameReceiver), batches and
+//!   [`LossReport`](saad_core::transport::LossReport)s flowing into the
+//!   same channels `spawn_analyzer_pool_with_lifecycle` already consumes.
+//! * [`Agent`] — the tracker side: a bounded queue with the in-process
+//!   `DropNewest` / `DropOldest` / `Block` overload policies, a worker
+//!   owning the socket and a persistent frame sequence, reconnect with
+//!   jittered exponential backoff, and a resume handshake that turns
+//!   every outage into exact loss accounting instead of silent gaps.
+//!
+//! Nothing is retransmitted: the detector is loss-aware by design
+//! (`record_loss` + completeness), so the transport's job is to make
+//! loss *visible and exact*, not to hide it.
+
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod collector;
+pub mod protocol;
+
+pub use agent::{Agent, AgentConfig, AgentSink, AgentStats, BackoffConfig};
+pub use collector::{Collector, CollectorConfig, CollectorState, CollectorStats};
+pub use protocol::{Hello, HelloAck, RejectReason, PROTOCOL_VERSION};

@@ -1,0 +1,348 @@
+//! The SAAD wire protocol: a tiny versioned handshake followed by
+//! length-prefixed transport frames.
+//!
+//! A connection starts with a fixed-size `Hello` from the agent declaring
+//! its protocol version, [`HostId`], and resume position (next frame
+//! sequence number plus cumulative sent/written synopsis counts). The
+//! collector answers with a fixed-size `HelloAck` that either accepts the
+//! connection — echoing what it already holds for that host — or rejects
+//! it with a typed reason. After an accepting ack, the stream is a
+//! sequence of `u32` big-endian length prefixes, each followed by one
+//! frame exactly as produced by
+//! [`FrameSender::encode_frame`](saad_core::transport::FrameSender::encode_frame).
+//!
+//! Everything is checksummed with the same CRC-32 the frame format uses,
+//! so a flipped bit anywhere — handshake or payload — is detected, never
+//! silently admitted.
+
+use saad_core::transport::{crc32, FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD};
+use saad_core::HostId;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Current wire protocol version. A collector rejects agents announcing a
+/// different version rather than guessing at frame semantics.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Magic prefix of an agent `Hello`.
+pub const HELLO_MAGIC: [u8; 4] = *b"SAAD";
+
+/// Magic prefix of a collector `HelloAck`.
+pub const ACK_MAGIC: [u8; 4] = *b"SADA";
+
+/// Encoded size of a [`Hello`] in bytes.
+pub const HELLO_LEN: usize = 36;
+
+/// Encoded size of a [`HelloAck`] in bytes.
+pub const HELLO_ACK_LEN: usize = 28;
+
+/// Largest length-prefixed message body the collector will read: one full
+/// transport frame (header + maximum payload). A prefix above this bound
+/// means the stream is corrupt or hostile; the connection is dropped.
+pub const MAX_MESSAGE_LEN: usize = FRAME_HEADER_LEN + MAX_FRAME_PAYLOAD;
+
+/// `last_seq` value in a [`HelloAck`] meaning "never heard from this
+/// host".
+pub const NO_SEQ: u64 = u64::MAX;
+
+/// Agent-side opening message: who is connecting and where its frame
+/// stream resumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// Protocol version the agent speaks.
+    pub version: u16,
+    /// Host this agent frames synopses for.
+    pub host: HostId,
+    /// Sequence number the next encoded frame will carry. Zero means a
+    /// fresh sender with no history to resume.
+    pub next_seq: u64,
+    /// Cumulative synopses the agent has framed so far.
+    pub sent_cum: u64,
+    /// Cumulative synopses in frames fully written to a live socket. The
+    /// difference `sent_cum − written_cum` is loss the agent already knows
+    /// about and is reporting rather than retransmitting.
+    pub written_cum: u64,
+}
+
+/// Why a collector refused a [`Hello`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RejectReason {
+    /// Not rejected.
+    None = 0,
+    /// Agent and collector disagree on [`PROTOCOL_VERSION`].
+    VersionMismatch = 1,
+    /// The `Hello` failed its magic or checksum.
+    Malformed = 2,
+}
+
+impl RejectReason {
+    fn from_u8(v: u8) -> RejectReason {
+        match v {
+            1 => RejectReason::VersionMismatch,
+            2 => RejectReason::Malformed,
+            _ => RejectReason::None,
+        }
+    }
+}
+
+/// Collector-side handshake reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HelloAck {
+    /// Protocol version the collector speaks.
+    pub version: u16,
+    /// Whether the connection may proceed to frame streaming.
+    pub accept: bool,
+    /// Reason when `accept` is false.
+    pub reason: RejectReason,
+    /// Highest frame sequence number the collector has seen from this
+    /// host, or [`NO_SEQ`] if it has none.
+    pub last_seq: u64,
+    /// Synopses the collector has delivered for this host so far.
+    pub delivered_cum: u64,
+}
+
+/// A handshake message that could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HandshakeError {
+    /// First four bytes were not the expected magic.
+    BadMagic([u8; 4]),
+    /// Stored and computed CRC-32 disagree.
+    ChecksumMismatch {
+        /// Checksum carried by the message.
+        stored: u32,
+        /// Checksum computed over the received bytes.
+        computed: u32,
+    },
+}
+
+impl fmt::Display for HandshakeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HandshakeError::BadMagic(m) => write!(f, "bad handshake magic {m:?}"),
+            HandshakeError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "handshake checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HandshakeError {}
+
+/// Encode a [`Hello`] into its fixed 36-byte wire form.
+pub fn encode_hello(hello: &Hello) -> [u8; HELLO_LEN] {
+    let mut buf = [0u8; HELLO_LEN];
+    buf[0..4].copy_from_slice(&HELLO_MAGIC);
+    buf[4..6].copy_from_slice(&hello.version.to_be_bytes());
+    buf[6..8].copy_from_slice(&hello.host.0.to_be_bytes());
+    buf[8..16].copy_from_slice(&hello.next_seq.to_be_bytes());
+    buf[16..24].copy_from_slice(&hello.sent_cum.to_be_bytes());
+    buf[24..32].copy_from_slice(&hello.written_cum.to_be_bytes());
+    let crc = crc32(&[&buf[..32]]);
+    buf[32..36].copy_from_slice(&crc.to_be_bytes());
+    buf
+}
+
+/// Decode a [`Hello`] from its wire form.
+///
+/// # Errors
+///
+/// Returns [`HandshakeError`] when the magic or checksum is wrong. Version
+/// agreement is the caller's policy decision, not a decode error.
+pub fn decode_hello(buf: &[u8; HELLO_LEN]) -> Result<Hello, HandshakeError> {
+    if buf[0..4] != HELLO_MAGIC {
+        return Err(HandshakeError::BadMagic(buf[0..4].try_into().expect("4")));
+    }
+    let stored = u32::from_be_bytes(buf[32..36].try_into().expect("4"));
+    let computed = crc32(&[&buf[..32]]);
+    if stored != computed {
+        return Err(HandshakeError::ChecksumMismatch { stored, computed });
+    }
+    Ok(Hello {
+        version: u16::from_be_bytes(buf[4..6].try_into().expect("2")),
+        host: HostId(u16::from_be_bytes(buf[6..8].try_into().expect("2"))),
+        next_seq: u64::from_be_bytes(buf[8..16].try_into().expect("8")),
+        sent_cum: u64::from_be_bytes(buf[16..24].try_into().expect("8")),
+        written_cum: u64::from_be_bytes(buf[24..32].try_into().expect("8")),
+    })
+}
+
+/// Encode a [`HelloAck`] into its fixed 28-byte wire form.
+pub fn encode_hello_ack(ack: &HelloAck) -> [u8; HELLO_ACK_LEN] {
+    let mut buf = [0u8; HELLO_ACK_LEN];
+    buf[0..4].copy_from_slice(&ACK_MAGIC);
+    buf[4..6].copy_from_slice(&ack.version.to_be_bytes());
+    buf[6] = ack.accept as u8;
+    buf[7] = ack.reason as u8;
+    buf[8..16].copy_from_slice(&ack.last_seq.to_be_bytes());
+    buf[16..24].copy_from_slice(&ack.delivered_cum.to_be_bytes());
+    let crc = crc32(&[&buf[..24]]);
+    buf[24..28].copy_from_slice(&crc.to_be_bytes());
+    buf
+}
+
+/// Decode a [`HelloAck`] from its wire form.
+///
+/// # Errors
+///
+/// Returns [`HandshakeError`] when the magic or checksum is wrong.
+pub fn decode_hello_ack(buf: &[u8; HELLO_ACK_LEN]) -> Result<HelloAck, HandshakeError> {
+    if buf[0..4] != ACK_MAGIC {
+        return Err(HandshakeError::BadMagic(buf[0..4].try_into().expect("4")));
+    }
+    let stored = u32::from_be_bytes(buf[24..28].try_into().expect("4"));
+    let computed = crc32(&[&buf[..24]]);
+    if stored != computed {
+        return Err(HandshakeError::ChecksumMismatch { stored, computed });
+    }
+    Ok(HelloAck {
+        version: u16::from_be_bytes(buf[4..6].try_into().expect("2")),
+        accept: buf[6] != 0,
+        reason: RejectReason::from_u8(buf[7]),
+        last_seq: u64::from_be_bytes(buf[8..16].try_into().expect("8")),
+        delivered_cum: u64::from_be_bytes(buf[16..24].try_into().expect("8")),
+    })
+}
+
+/// Write one length-prefixed message: `u32` big-endian body length, then
+/// the body.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error; a partial write leaves the stream
+/// desynchronized, so callers must treat any error as fatal for the
+/// connection.
+pub fn write_message<W: Write>(w: &mut W, body: &[u8]) -> io::Result<()> {
+    debug_assert!(body.len() <= MAX_MESSAGE_LEN);
+    w.write_all(&(body.len() as u32).to_be_bytes())?;
+    w.write_all(body)
+}
+
+/// Read exactly `buf.len()` bytes, retrying reads that hit a socket
+/// read-timeout (`WouldBlock` / `TimedOut`) while `keep_going()` stays
+/// true — the idiom a shutdown-aware connection handler needs, since a
+/// plain `read_exact` would either block forever or lose already-consumed
+/// bytes on timeout.
+///
+/// Returns `Ok(false)` on a clean EOF **before any byte was read** (the
+/// peer closed at a message boundary).
+///
+/// # Errors
+///
+/// Mid-message EOF surfaces as [`io::ErrorKind::UnexpectedEof`]; a
+/// `keep_going()` veto surfaces as [`io::ErrorKind::Interrupted`]; other
+/// I/O errors propagate unchanged.
+pub fn read_full<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    keep_going: impl Fn() -> bool,
+) -> io::Result<bool> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-message",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if !keep_going() {
+                    return Err(io::Error::new(io::ErrorKind::Interrupted, "shutdown"));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_round_trips() {
+        let hello = Hello {
+            version: PROTOCOL_VERSION,
+            host: HostId(42),
+            next_seq: 1_000_000_007,
+            sent_cum: 77_777,
+            written_cum: 70_001,
+        };
+        let wire = encode_hello(&hello);
+        assert_eq!(decode_hello(&wire).unwrap(), hello);
+    }
+
+    #[test]
+    fn hello_ack_round_trips() {
+        let ack = HelloAck {
+            version: PROTOCOL_VERSION,
+            accept: false,
+            reason: RejectReason::VersionMismatch,
+            last_seq: NO_SEQ,
+            delivered_cum: 123,
+        };
+        let wire = encode_hello_ack(&ack);
+        assert_eq!(decode_hello_ack(&wire).unwrap(), ack);
+    }
+
+    #[test]
+    fn flipped_bit_fails_checksum() {
+        let mut wire = encode_hello(&Hello {
+            version: PROTOCOL_VERSION,
+            host: HostId(1),
+            next_seq: 5,
+            sent_cum: 50,
+            written_cum: 50,
+        });
+        wire[9] ^= 0x40;
+        assert!(matches!(
+            decode_hello(&wire),
+            Err(HandshakeError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let mut wire = encode_hello_ack(&HelloAck {
+            version: PROTOCOL_VERSION,
+            accept: true,
+            reason: RejectReason::None,
+            last_seq: 0,
+            delivered_cum: 0,
+        });
+        wire[0] = b'X';
+        assert!(matches!(
+            decode_hello_ack(&wire),
+            Err(HandshakeError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn read_full_reports_clean_eof_only_at_boundary() {
+        let data = [1u8, 2, 3];
+        let mut cursor = io::Cursor::new(&data[..]);
+        let mut buf = [0u8; 3];
+        assert!(read_full(&mut cursor, &mut buf, || true).unwrap());
+        assert_eq!(buf, data);
+        // Boundary EOF: nothing left, zero-length read not required first.
+        let mut empty = io::Cursor::new(&[][..]);
+        assert!(!read_full(&mut empty, &mut buf, || true).unwrap());
+        // Mid-message EOF: two bytes left, three wanted.
+        let mut short = io::Cursor::new(&data[..2]);
+        let err = read_full(&mut short, &mut buf, || true).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

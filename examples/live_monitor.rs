@@ -1,37 +1,105 @@
 //! Live, real-time anomaly detection on a real threaded server.
 //!
 //! Everything in this example runs on actual OS threads and the wall
-//! clock: a staged server processes requests, its tracker streams
-//! synopses over a channel to the analyzer thread (the paper's
-//! centralized statistical analyzer), and anomalies are printed as they
-//! are detected — while the server keeps running.
+//! clock: a staged server processes requests while its tracker streams
+//! synopses into a sharded analyzer pool with a durable model lifecycle
+//! (the paper's centralized statistical analyzer). The pool bootstraps
+//! its own model from the first stretch of healthy traffic and promotes
+//! itself to detecting mode *while the server keeps running* — there is
+//! no offline training phase — and anomalies are printed as they are
+//! detected.
 //!
 //! ```sh
 //! cargo run --release --example live_monitor
 //! ```
+//!
+//! With `--tcp` the synopsis stream takes the wire path instead of a
+//! channel: a `saad::net` agent on the server side ships CRC-framed
+//! batches over real localhost TCP to a collector, which feeds the same
+//! analyzer pool — the deployment shape from the paper, where monitored
+//! nodes and the analyzer are separate processes.
+//!
+//! ```sh
+//! cargo run --release --example live_monitor -- --tcp
+//! ```
 
-use saad::core::model::{ModelBuilder, ModelConfig};
-use saad::core::pipeline::{
-    spawn_supervised_analyzer, ChannelSink, OverloadPolicy, SupervisorConfig,
-};
+use crossbeam_channel::{unbounded, Sender};
+use saad::core::pipeline::{spawn_analyzer_pool_with_lifecycle, LifecycleConfig, SupervisorConfig};
 use saad::core::prelude::*;
-use saad::core::tracker::VecSink;
-use saad::logging::{Level, LogPointRegistry};
+use saad::net::{Agent, AgentConfig, Collector, CollectorConfig};
 use saad::sim::{Clock, WallClock};
 use saad::stage::StagedServer;
 use std::error::Error;
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Batch size for shipping synopses to the analyzer pool.
+const BATCH: usize = 256;
+
+/// Groups single synopses into batches for the pool's batch channel —
+/// the in-process stand-in for the agent's framing.
+struct BatchSink {
+    buf: Mutex<Vec<TaskSynopsis>>,
+    tx: Sender<Vec<TaskSynopsis>>,
+}
+
+impl BatchSink {
+    fn new(tx: Sender<Vec<TaskSynopsis>>) -> BatchSink {
+        BatchSink {
+            buf: Mutex::new(Vec::with_capacity(BATCH)),
+            tx,
+        }
+    }
+
+    fn flush(&self) {
+        let batch = std::mem::take(&mut *self.buf.lock().unwrap());
+        if !batch.is_empty() {
+            let _ = self.tx.send(batch);
+        }
+    }
+}
+
+impl SynopsisSink for BatchSink {
+    fn submit(&self, synopsis: TaskSynopsis) {
+        let mut buf = self.buf.lock().unwrap();
+        buf.push(synopsis);
+        if buf.len() >= BATCH {
+            let batch = std::mem::replace(&mut *buf, Vec::with_capacity(BATCH));
+            drop(buf);
+            let _ = self.tx.send(batch);
+        }
+    }
+}
 
 fn build_server(
     tracker: Arc<TaskExecutionTracker>,
 ) -> (StagedServer, Vec<saad::logging::LogPointId>) {
-    let registry = Arc::new(LogPointRegistry::new());
+    let registry = Arc::new(saad::logging::LogPointRegistry::new());
     let points = vec![
-        registry.register("request received", Level::Debug, "srv.rs", 10),
-        registry.register("validated payload of {} bytes", Level::Debug, "srv.rs", 14),
-        registry.register("persisted record {}", Level::Debug, "srv.rs", 21),
-        registry.register("request rejected: {}", Level::Debug, "srv.rs", 25),
+        registry.register(
+            "request received",
+            saad::logging::Level::Debug,
+            "srv.rs",
+            10,
+        ),
+        registry.register(
+            "validated payload of {} bytes",
+            saad::logging::Level::Debug,
+            "srv.rs",
+            14,
+        ),
+        registry.register(
+            "persisted record {}",
+            saad::logging::Level::Debug,
+            "srv.rs",
+            21,
+        ),
+        registry.register(
+            "request rejected: {}",
+            saad::logging::Level::Debug,
+            "srv.rs",
+            25,
+        ),
     ];
     let server = StagedServer::builder()
         .tracker(tracker)
@@ -64,68 +132,123 @@ fn drive(server: &StagedServer, points: &[saad::logging::LogPointId], n: u64, re
 }
 
 fn main() -> Result<(), Box<dyn Error>> {
-    // ── Training phase: collect synopses from healthy traffic ──────────
-    println!("phase 1: training on healthy traffic (real threads)...");
-    let train_sink = Arc::new(VecSink::new());
-    let clock = Arc::new(WallClock::new());
-    let tracker = Arc::new(TaskExecutionTracker::new(
-        HostId(1),
-        clock.clone() as Arc<dyn Clock>,
-        train_sink.clone(),
-    ));
-    let (server, points) = build_server(tracker);
-    drive(&server, &points, 20_000, 0);
-    server.shutdown();
-    let mut builder = ModelBuilder::new();
-    for s in train_sink.drain() {
-        builder.observe(&s);
-    }
-    let model = Arc::new(builder.build(ModelConfig::default()));
-    println!("  model trained from {} tasks", builder.observed());
+    let tcp = std::env::args().any(|a| a == "--tcp");
 
-    // ── Live phase: stream synopses to the analyzer thread ─────────────
-    println!("\nphase 2: live monitoring; injecting a rejection burst...");
-    // A bounded queue so a slow analyzer can never stall the server, and a
-    // supervised analyzer so a detector crash can never kill monitoring.
-    let (sink, rx) = ChannelSink::bounded(65_536, OverloadPolicy::DropOldest);
-    let handle = spawn_supervised_analyzer(
-        model,
+    // ── The analyzer pool: sharded workers + durable model lifecycle ───
+    let dir = std::env::temp_dir().join(format!("saad-live-monitor-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let (batch_tx, batch_rx) = unbounded();
+    let (loss_tx, loss_rx) = unbounded();
+    let pool = spawn_analyzer_pool_with_lifecycle(
         DetectorConfig {
             window: saad::sim::SimDuration::from_millis(500),
             min_window_tasks: 50,
             ..DetectorConfig::default()
         },
         SupervisorConfig::default(),
-        rx,
-        None,
-    )
-    .with_sink_stats(sink.stats());
+        LifecycleConfig {
+            // Bootstrap aggressively: with healthy traffic flowing, try
+            // promotion every 5k synopses so the pool is detecting well
+            // before the anomalous burst arrives.
+            promote_after: 5_000,
+            min_retrain_samples: 4_000,
+            checkpoint_every: 0,
+            ..LifecycleConfig::default()
+        },
+        2,
+        &dir,
+        batch_rx,
+        Some(loss_rx),
+    )?;
+
+    // ── The wire: in-process batching, or agent → TCP → collector ──────
+    let mut wire = None;
+    let (sink, flush): (Arc<dyn SynopsisSink>, Box<dyn Fn()>) = if tcp {
+        let collector = Collector::bind(
+            "127.0.0.1:0",
+            batch_tx.clone(),
+            loss_tx.clone(),
+            CollectorConfig::default(),
+        )?;
+        println!("wire: TCP via collector on {}", collector.local_addr());
+        let agent = Agent::connect(collector.local_addr(), HostId(1), AgentConfig::default());
+        let agent_sink = Arc::new(agent.sink(BATCH));
+        wire = Some((agent, collector));
+        let flush_handle = agent_sink.clone();
+        (agent_sink, Box::new(move || flush_handle.flush()))
+    } else {
+        println!("wire: in-process channel (pass --tcp for the socket path)");
+        let batch_sink = Arc::new(BatchSink::new(batch_tx.clone()));
+        let flush_handle = batch_sink.clone();
+        (batch_sink, Box::new(move || flush_handle.flush()))
+    };
+
     let clock = Arc::new(WallClock::new());
     let tracker = Arc::new(TaskExecutionTracker::new(
         HostId(1),
-        clock.clone() as Arc<dyn Clock>,
-        Arc::new(sink.clone()),
+        clock as Arc<dyn Clock>,
+        sink,
     ));
     let (server, points) = build_server(tracker);
+
+    // ── Phase 1: the pool bootstraps its model from live healthy traffic
+    println!("phase 1: bootstrapping model from healthy traffic (real threads)...");
+    drive(&server, &points, 20_000, 0);
+    flush();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !pool.is_detecting() {
+        if Instant::now() >= deadline {
+            return Err("pool never promoted to detecting mode".into());
+        }
+        // Promotion is applied at batch boundaries; nudge an idle pool.
+        let _ = batch_tx.send(Vec::new());
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    println!(
+        "  model promoted live after {} synopses — the server never stopped",
+        pool.processed()
+    );
+
+    // ── Phase 2: live detection; inject a rejection burst ──────────────
+    println!("\nphase 2: live monitoring; injecting a rejection burst...");
     // Healthy stretch, then a burst where 1 in 5 requests is rejected —
-    // a flow never seen in training.
+    // a flow never seen during bootstrap.
     drive(&server, &points, 20_000, 0);
     drive(&server, &points, 20_000, 5);
     server.shutdown();
-    drop(sink);
+    flush();
 
-    let processed = handle.processed();
-    let dropped = handle.dropped();
+    if let Some((agent, collector)) = wire {
+        let agent_stats = agent.close();
+        println!(
+            "  wire: {} synopses in {} frames over TCP ({} dropped at the agent, {} lost on the wire)",
+            agent_stats.synopses_written,
+            agent_stats.frames_written,
+            agent_stats.drops.total(),
+            agent_stats.synopses_wire_lost,
+        );
+        let collector_stats = collector.stats();
+        println!(
+            "  wire: collector admitted {} synopses, {} corrupted frames, {} lost",
+            collector_stats.synopses,
+            collector_stats.corrupted_frames,
+            collector_stats.lost_synopses,
+        );
+        collector.shutdown();
+    }
+    drop(flush);
+    drop(batch_tx);
+    drop(loss_tx);
+
     let mut events = Vec::new();
-    while let Ok(e) = handle.events().recv() {
+    while let Ok(e) = pool.events().recv() {
         events.push(e);
     }
-    let detector = handle.join().expect("supervised analyzer survived");
+    let processed = pool.processed();
+    let lost = pool.tasks_lost();
+    pool.join().expect("analyzer pool survived");
     println!(
-        "  analyzer processed {} synopses in real time ({} observed, {} dropped under backpressure)",
-        processed,
-        detector.tasks_seen(),
-        dropped
+        "  pool processed {processed} synopses in real time ({lost} reported lost in transit)"
     );
     println!("  detected {} anomaly events:", events.len());
     for e in events.iter().take(8) {
@@ -141,5 +264,6 @@ fn main() -> Result<(), Box<dyn Error>> {
         "the rejection flow must be flagged as a new signature"
     );
     println!("\n=> the rejection branch surfaced as a new-signature flow anomaly, live.");
+    let _ = std::fs::remove_dir_all(&dir);
     Ok(())
 }

@@ -10,6 +10,8 @@
 //! * [`sim`] — virtual time, clocks, queued resources;
 //! * [`stage`] — a real-threaded staged server runtime;
 //! * [`fault`] — error/delay fault injection and disk-hog schedules;
+//! * [`net`] — the TCP collector/agent pair that carries synopses from
+//!   tracker shims to the analyzer over real sockets;
 //! * [`hdfs`] / [`hbase`] / [`cassandra`] — the simulated storage systems
 //!   the paper evaluates on;
 //! * [`workload`] — the YCSB-like workload generator;
@@ -27,6 +29,7 @@ pub use saad_hbase as hbase;
 pub use saad_hdfs as hdfs;
 pub use saad_instrument as instrument;
 pub use saad_logging as logging;
+pub use saad_net as net;
 pub use saad_sim as sim;
 pub use saad_stage as stage;
 pub use saad_stats as stats;
