@@ -93,6 +93,7 @@ pub mod intern;
 pub mod model;
 pub mod pipeline;
 pub mod report;
+pub mod selfmon;
 mod signature;
 pub mod simtask;
 mod stage_registry;
@@ -113,8 +114,9 @@ pub mod prelude {
     pub use crate::model::{
         CompiledModel, ConfigError, ModelBuilder, ModelConfig, OutlierModel, TaskClass,
     };
+    pub use crate::selfmon::{MetaMonitor, MetaStage};
     pub use crate::store::{Checkpoint, CheckpointError, CheckpointStore, Recovery};
     pub use crate::synopsis::TaskSynopsis;
-    pub use crate::tracker::{SynopsisSink, TaskExecutionTracker, VecSink};
+    pub use crate::tracker::{SynopsisSink, TaskExecutionTracker, TrackerMetrics, VecSink};
     pub use crate::{HostId, Signature, StageId, StageRegistry, TaskUid};
 }

@@ -42,12 +42,14 @@ use crate::detector::{
 use crate::feature::{FeatureVector, InternedFeature};
 use crate::intern::SignatureInterner;
 use crate::model::{CompiledModel, ConfigError, ModelBuilder, ModelConfig, OutlierModel};
+use crate::selfmon::{MetaMonitor, MetaStage};
 use crate::store::{Checkpoint, CheckpointError, CheckpointStore};
 use crate::synopsis::TaskSynopsis;
 use crate::tracker::SynopsisSink;
 use crate::transport::{FrameOutcome, LossReport};
 use crate::{HostId, StageId};
 use crossbeam_channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use saad_obs::{Histogram, Registry};
 use saad_sim::{SimDuration, SimTime};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
@@ -56,7 +58,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// What a bounded [`ChannelSink`] does when the queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,6 +166,61 @@ impl SinkStats {
             .map(|c| c.snapshot())
             .unwrap_or_default()
     }
+
+    /// Drop counts summed over every host, broken down by reason.
+    pub fn drop_totals(&self) -> DropCounts {
+        self.by_host
+            .read()
+            .values()
+            .map(|c| c.snapshot())
+            .fold(DropCounts::default(), |acc, c| DropCounts {
+                newest: acc.newest + c.newest,
+                oldest: acc.oldest + c.oldest,
+                timed_out: acc.timed_out + c.timed_out,
+                disconnected: acc.disconnected + c.disconnected,
+            })
+    }
+
+    /// Total drops behind an optionally attached stats handle — the one
+    /// shared helper for consumer-side handles ([`AnalyzerHandle`],
+    /// [`PoolHandle`]) that may or may not have stats attached.
+    pub fn dropped_of(stats: Option<&Arc<SinkStats>>) -> u64 {
+        stats.map_or(0, |s| s.dropped())
+    }
+
+    /// Per-host drop counts behind an optionally attached stats handle;
+    /// empty when none is attached. Companion of
+    /// [`SinkStats::dropped_of`].
+    pub fn drops_by_host_of(stats: Option<&Arc<SinkStats>>) -> HashMap<HostId, DropCounts> {
+        stats.map(|s| s.drops_by_host()).unwrap_or_default()
+    }
+
+    /// Expose this sink's drop accounting in `registry`, one counter
+    /// series per drop reason, labelled with the queue name. Scrape-time
+    /// only: the hot drop path is untouched.
+    pub fn register_metrics(self: &Arc<Self>, registry: &Registry, queue: &str) {
+        const NAME: &str = "saad_sink_dropped_total";
+        const HELP: &str = "Synopses dropped by a bounded sink, by reason";
+        let stats = Arc::clone(self);
+        registry.register_counter_fn(NAME, HELP, &[("queue", queue), ("reason", "newest")], {
+            move || stats.drop_totals().newest
+        });
+        let stats = Arc::clone(self);
+        registry.register_counter_fn(NAME, HELP, &[("queue", queue), ("reason", "oldest")], {
+            move || stats.drop_totals().oldest
+        });
+        let stats = Arc::clone(self);
+        registry.register_counter_fn(NAME, HELP, &[("queue", queue), ("reason", "timed_out")], {
+            move || stats.drop_totals().timed_out
+        });
+        let stats = Arc::clone(self);
+        registry.register_counter_fn(
+            NAME,
+            HELP,
+            &[("queue", queue), ("reason", "disconnected")],
+            move || stats.drop_totals().disconnected,
+        );
+    }
 }
 
 /// A [`SynopsisSink`] that streams synopses over a channel to the analyzer.
@@ -240,6 +297,22 @@ impl ChannelSink {
     /// Per-host drop counts.
     pub fn drops_by_host(&self) -> HashMap<HostId, DropCounts> {
         self.stats.drops_by_host()
+    }
+
+    /// Expose this sink's queue depth and drop accounting in `registry`
+    /// under the given queue name. `rx` is the receiver half returned
+    /// alongside this sink — a clone of it measures depth without ever
+    /// consuming a message, and extra receiver clones do not keep the
+    /// analyzer alive once every sender is gone.
+    pub fn register_metrics(&self, registry: &Registry, queue: &str, rx: &Receiver<TaskSynopsis>) {
+        let depth = rx.clone();
+        registry.register_gauge_fn(
+            "saad_sink_queue_depth",
+            "Synopses queued between producers and the analyzer",
+            &[("queue", queue)],
+            move || depth.len() as i64,
+        );
+        self.stats.register_metrics(registry, queue);
     }
 
     fn submit_bounded(&self, policy: OverloadPolicy, synopsis: TaskSynopsis) {
@@ -473,16 +546,13 @@ impl AnalyzerHandle {
     /// Synopses dropped by the attached sink (0 unless
     /// [`AnalyzerHandle::with_sink_stats`] was used).
     pub fn dropped(&self) -> u64 {
-        self.sink_stats.as_ref().map_or(0, |s| s.dropped())
+        SinkStats::dropped_of(self.sink_stats.as_ref())
     }
 
     /// Per-host drop counts from the attached sink (empty unless
     /// [`AnalyzerHandle::with_sink_stats`] was used).
     pub fn drops_by_host(&self) -> HashMap<HostId, DropCounts> {
-        self.sink_stats
-            .as_ref()
-            .map(|s| s.drops_by_host())
-            .unwrap_or_default()
+        SinkStats::drops_by_host_of(self.sink_stats.as_ref())
     }
 
     /// Drain any events currently queued without blocking.
@@ -912,6 +982,35 @@ fn shard_for(host: HostId, stage: StageId, workers: usize) -> usize {
     (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % workers
 }
 
+/// Live counters for one shard worker, updated with relaxed stores on
+/// the shard thread and read only at scrape time.
+#[derive(Debug, Default)]
+struct ShardObs {
+    processed: AtomicU64,
+    events: AtomicU64,
+    watermark_micros: AtomicU64,
+}
+
+/// Live router- and shard-level counters for an analyzer pool, shared
+/// between the pool threads (writers) and [`PoolHandle::register_metrics`]
+/// callbacks (scrape-time readers).
+#[derive(Debug)]
+struct PoolObs {
+    shards: Vec<ShardObs>,
+    batches_routed: AtomicU64,
+    watermark_micros: AtomicU64,
+}
+
+impl PoolObs {
+    fn new(workers: usize) -> PoolObs {
+        PoolObs {
+            shards: (0..workers).map(|_| ShardObs::default()).collect(),
+            batches_routed: AtomicU64::new(0),
+            watermark_micros: AtomicU64::new(0),
+        }
+    }
+}
+
 /// Handle to a running analyzer pool: a router thread plus `workers`
 /// supervised shard workers (see [`spawn_analyzer_pool`]).
 #[derive(Debug)]
@@ -922,6 +1021,7 @@ pub struct PoolHandle {
     skipped: Arc<AtomicU64>,
     tasks_lost: Arc<AtomicU64>,
     sink_stats: Option<Arc<SinkStats>>,
+    obs: Arc<PoolObs>,
     router: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<Result<AnomalyDetector, AnalyzerError>>>,
 }
@@ -970,16 +1070,95 @@ impl PoolHandle {
     /// Synopses dropped by the attached sink (0 unless
     /// [`PoolHandle::with_sink_stats`] was used).
     pub fn dropped(&self) -> u64 {
-        self.sink_stats.as_ref().map_or(0, |s| s.dropped())
+        SinkStats::dropped_of(self.sink_stats.as_ref())
     }
 
     /// Per-host drop counts from the attached sink (empty unless
     /// [`PoolHandle::with_sink_stats`] was used).
     pub fn drops_by_host(&self) -> HashMap<HostId, DropCounts> {
-        self.sink_stats
-            .as_ref()
-            .map(|s| s.drops_by_host())
-            .unwrap_or_default()
+        SinkStats::drops_by_host_of(self.sink_stats.as_ref())
+    }
+
+    /// Expose the pool's live counters in `registry`: per-shard
+    /// processed/event counts and watermark lag, plus pool-level
+    /// restart/skip/loss totals and the router watermark. All series
+    /// are scrape-time callbacks over counters the pool already
+    /// maintains — registering them costs the hot path nothing.
+    pub fn register_metrics(&self, registry: &Registry) {
+        for (shard, _) in self.obs.shards.iter().enumerate() {
+            let label = shard.to_string();
+            let labels = [("shard", label.as_str())];
+            let obs = Arc::clone(&self.obs);
+            registry.register_counter_fn(
+                "saad_pool_shard_processed_total",
+                "Synopses applied by this shard worker",
+                &labels,
+                move || obs.shards[shard].processed.load(Ordering::Relaxed),
+            );
+            let obs = Arc::clone(&self.obs);
+            registry.register_counter_fn(
+                "saad_pool_shard_events_total",
+                "Anomaly events emitted by this shard worker",
+                &labels,
+                move || obs.shards[shard].events.load(Ordering::Relaxed),
+            );
+            let obs = Arc::clone(&self.obs);
+            registry.register_gauge_fn(
+                "saad_pool_shard_watermark_lag_us",
+                "Stream time between the router watermark and this shard's last applied watermark",
+                &labels,
+                move || {
+                    let router = obs.watermark_micros.load(Ordering::Relaxed);
+                    let shard_wm = obs.shards[shard].watermark_micros.load(Ordering::Relaxed);
+                    router.saturating_sub(shard_wm) as i64
+                },
+            );
+        }
+        let obs = Arc::clone(&self.obs);
+        registry.register_counter_fn(
+            "saad_pool_batches_routed_total",
+            "Input batches routed to shard workers",
+            &[],
+            move || obs.batches_routed.load(Ordering::Relaxed),
+        );
+        let obs = Arc::clone(&self.obs);
+        registry.register_gauge_fn(
+            "saad_pool_watermark_us",
+            "Global stream watermark at the router, in stream microseconds",
+            &[],
+            move || obs.watermark_micros.load(Ordering::Relaxed) as i64,
+        );
+        let processed = Arc::clone(&self.processed);
+        registry.register_counter_fn(
+            "saad_pool_processed_total",
+            "Synopses delivered to shard workers",
+            &[],
+            move || processed.load(Ordering::Relaxed),
+        );
+        let restarts = Arc::clone(&self.restarts);
+        registry.register_counter_fn(
+            "saad_pool_restarts_total",
+            "Shard worker restarts after panics",
+            &[],
+            move || restarts.load(Ordering::Relaxed),
+        );
+        let skipped = Arc::clone(&self.skipped);
+        registry.register_counter_fn(
+            "saad_pool_skipped_total",
+            "Poison synopses skipped across all shards",
+            &[],
+            move || skipped.load(Ordering::Relaxed),
+        );
+        let tasks_lost = Arc::clone(&self.tasks_lost);
+        registry.register_counter_fn(
+            "saad_pool_tasks_lost_total",
+            "Synopses the transport reported lost, counted once per report",
+            &[],
+            move || tasks_lost.load(Ordering::Relaxed),
+        );
+        if let Some(stats) = &self.sink_stats {
+            stats.register_metrics(registry, "pool");
+        }
     }
 
     /// Drain any events currently queued without blocking.
@@ -1069,7 +1248,25 @@ pub fn spawn_analyzer_pool(
             AnomalyDetector::with_shared(model.clone(), compiled.clone(), interner.clone(), config)
         })
         .collect();
-    spawn_pool_inner(detectors, supervisor, config.window, rx, loss_rx, None)
+    spawn_pool_inner(
+        detectors,
+        supervisor,
+        config.window,
+        rx,
+        loss_rx,
+        None,
+        None,
+    )
+}
+
+/// Run `work` as a tracked meta task when a monitor is attached, or
+/// plainly when self-observation is off. Keeping the untracked path a
+/// bare call means a `None` monitor costs one branch.
+fn meta_tick<R>(meta: &Option<Arc<MetaMonitor>>, stage: MetaStage, work: impl FnOnce() -> R) -> R {
+    match meta {
+        Some(m) => m.tick(stage, work),
+        None => work(),
+    }
 }
 
 /// The pool core shared by [`spawn_analyzer_pool`] and
@@ -1085,6 +1282,7 @@ fn spawn_pool_inner(
     rx: Receiver<Vec<TaskSynopsis>>,
     loss_rx: Option<Receiver<LossReport>>,
     mut lifecycle: Option<RouterLifecycle>,
+    meta: Option<Arc<MetaMonitor>>,
 ) -> PoolHandle {
     let workers = detectors.len();
     assert!(workers > 0, "analyzer pool needs at least one worker");
@@ -1093,6 +1291,7 @@ fn spawn_pool_inner(
     let restarts = Arc::new(AtomicU64::new(0));
     let skipped = Arc::new(AtomicU64::new(0));
     let tasks_lost = Arc::new(AtomicU64::new(0));
+    let obs = Arc::new(PoolObs::new(workers));
 
     let mut shard_txs = Vec::with_capacity(workers);
     let mut worker_joins = Vec::with_capacity(workers);
@@ -1102,9 +1301,16 @@ fn spawn_pool_inner(
         let supervisor = supervisor.clone();
         let event_tx = event_tx.clone();
         let (processed, restarts, skipped) = (processed.clone(), restarts.clone(), skipped.clone());
+        let obs = Arc::clone(&obs);
+        let meta = meta.clone();
         let join = std::thread::Builder::new()
             .name(format!("saad-analyzer-shard-{shard}"))
             .spawn(move || {
+                let shard_obs = &obs.shards[shard];
+                let emit = |event: AnomalyEvent| {
+                    shard_obs.events.fetch_add(1, Ordering::Relaxed);
+                    let _ = event_tx.send(event);
+                };
                 let mut supervised =
                     SupervisedDetector::new(detector, supervisor, restarts, skipped);
                 for msg in shard_rx.iter() {
@@ -1112,13 +1318,24 @@ fn spawn_pool_inner(
                         ShardMsg::Loss(report) => supervised.record_loss(report),
                         ShardMsg::Batch(batch) => {
                             processed.fetch_add(batch.len() as u64, Ordering::Relaxed);
-                            for (synopsis, watermark) in &batch {
-                                let feature =
-                                    InternedFeature::from_synopsis(synopsis, supervised.interner());
-                                for event in supervised.observe(feature, *watermark)? {
-                                    let _ = event_tx.send(event);
+                            shard_obs
+                                .processed
+                                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                            meta_tick(&meta, MetaStage::Shard, || {
+                                for (synopsis, watermark) in &batch {
+                                    let feature = InternedFeature::from_synopsis(
+                                        synopsis,
+                                        supervised.interner(),
+                                    );
+                                    for event in supervised.observe(feature, *watermark)? {
+                                        emit(event);
+                                    }
+                                    shard_obs
+                                        .watermark_micros
+                                        .store(watermark.as_micros(), Ordering::Relaxed);
                                 }
-                            }
+                                Ok(())
+                            })?;
                         }
                         ShardMsg::Swap {
                             model,
@@ -1126,7 +1343,7 @@ fn spawn_pool_inner(
                             watermark,
                         } => {
                             for event in supervised.install(model, compiled, watermark) {
-                                let _ = event_tx.send(event);
+                                emit(event);
                             }
                         }
                         ShardMsg::Snapshot(reply) => {
@@ -1134,14 +1351,17 @@ fn spawn_pool_inner(
                         }
                         ShardMsg::FinalWatermark(watermark) => {
                             for event in supervised.advance(watermark) {
-                                let _ = event_tx.send(event);
+                                emit(event);
                             }
+                            shard_obs
+                                .watermark_micros
+                                .store(watermark.as_micros(), Ordering::Relaxed);
                         }
                     }
                 }
                 let (events, detector) = supervised.finish();
                 for event in events {
-                    let _ = event_tx.send(event);
+                    emit(event);
                 }
                 Ok(detector)
             })
@@ -1151,6 +1371,8 @@ fn spawn_pool_inner(
 
     let silent_after = supervisor.silent_after;
     let tasks_lost_inner = tasks_lost.clone();
+    let obs_router = Arc::clone(&obs);
+    let meta_router = meta.clone();
     let router = std::thread::Builder::new()
         .name("saad-analyzer-router".into())
         .spawn(move || {
@@ -1167,30 +1389,36 @@ fn spawn_pool_inner(
                 }
             };
             for batch in rx.iter() {
-                if let Some(loss_rx) = &loss_rx {
-                    broadcast_losses(loss_rx);
-                }
-                if let Some(lc) = lifecycle.as_mut() {
-                    lc.absorb(&batch);
-                }
-                for synopsis in batch {
-                    for event in
-                        liveness.observe(synopsis.host, synopsis.start, window, silent_after)
-                    {
-                        let _ = event_tx.send(event);
+                meta_tick(&meta_router, MetaStage::Router, || {
+                    if let Some(loss_rx) = &loss_rx {
+                        broadcast_losses(loss_rx);
                     }
-                    watermark = watermark.max(synopsis.start);
-                    let shard = shard_for(synopsis.host, synopsis.stage, workers);
-                    buckets[shard].push((synopsis, watermark));
-                }
-                for (shard, bucket) in buckets.iter_mut().enumerate() {
-                    if !bucket.is_empty() {
-                        let _ = shard_txs[shard].send(ShardMsg::Batch(std::mem::take(bucket)));
+                    if let Some(lc) = lifecycle.as_mut() {
+                        lc.absorb(&batch);
                     }
-                }
-                if let Some(lc) = lifecycle.as_mut() {
-                    lc.pump(watermark, &shard_txs);
-                }
+                    for synopsis in batch {
+                        for event in
+                            liveness.observe(synopsis.host, synopsis.start, window, silent_after)
+                        {
+                            let _ = event_tx.send(event);
+                        }
+                        watermark = watermark.max(synopsis.start);
+                        let shard = shard_for(synopsis.host, synopsis.stage, workers);
+                        buckets[shard].push((synopsis, watermark));
+                    }
+                    for (shard, bucket) in buckets.iter_mut().enumerate() {
+                        if !bucket.is_empty() {
+                            let _ = shard_txs[shard].send(ShardMsg::Batch(std::mem::take(bucket)));
+                        }
+                    }
+                    if let Some(lc) = lifecycle.as_mut() {
+                        lc.pump(watermark, &shard_txs);
+                    }
+                    obs_router.batches_routed.fetch_add(1, Ordering::Relaxed);
+                    obs_router
+                        .watermark_micros
+                        .store(watermark.as_micros(), Ordering::Relaxed);
+                });
             }
             // Stream closed: deliver any last gap reports and pending
             // control commands, advance every shard to the final global
@@ -1222,6 +1450,7 @@ fn spawn_pool_inner(
         skipped,
         tasks_lost,
         sink_stats: None,
+        obs,
         router: Some(router),
         workers: worker_joins,
     }
@@ -1288,6 +1517,14 @@ pub struct LifecycleConfig {
     pub min_retrain_samples: u64,
     /// Training configuration for retrained models.
     pub model_config: ModelConfig,
+    /// Meta-monitor delimiting the pool's own router/shard/checkpoint
+    /// iterations as tracked tasks (see [`MetaMonitor`]). `None` disables
+    /// self-observation.
+    pub meta: Option<Arc<MetaMonitor>>,
+    /// Fault injection: sleep this long inside every checkpoint write.
+    /// Lets tests make the checkpoint stage observably slow, the same
+    /// way [`SupervisorConfig::panic_after`] injects worker crashes.
+    pub checkpoint_stall: Option<Duration>,
 }
 
 impl Default for LifecycleConfig {
@@ -1299,6 +1536,8 @@ impl Default for LifecycleConfig {
             retrain_window: 16_384,
             min_retrain_samples: 1_000,
             model_config: ModelConfig::default(),
+            meta: None,
+            checkpoint_stall: None,
         }
     }
 }
@@ -1579,6 +1818,7 @@ pub struct LifecyclePool {
     checkpoints_written: Arc<AtomicU64>,
     last_generation: Arc<AtomicU64>,
     last_error: Arc<parking_lot::Mutex<Option<LifecycleError>>>,
+    checkpoint_latency: Arc<Histogram>,
     recovered_generation: Option<u64>,
     rejected: Vec<(PathBuf, CheckpointError)>,
 }
@@ -1658,6 +1898,44 @@ impl LifecyclePool {
     /// each with the typed reason (corruption, truncation, version skew).
     pub fn rejected_checkpoints(&self) -> &[(PathBuf, CheckpointError)] {
         &self.rejected
+    }
+
+    /// Expose the pool's live counters plus the lifecycle layer's own:
+    /// checkpoint write latency (wall-clock histogram recorded on the
+    /// writer thread), checkpoints written, last durable generation, and
+    /// the detecting/bootstrap flag.
+    pub fn register_metrics(&self, registry: &Registry) {
+        self.pool.register_metrics(registry);
+        registry.attach_histogram(
+            "saad_checkpoint_write_latency_us",
+            "Wall-clock time to durably write one checkpoint, in microseconds",
+            &[],
+            Arc::clone(&self.checkpoint_latency),
+        );
+        let written = Arc::clone(&self.checkpoints_written);
+        registry.register_counter_fn(
+            "saad_checkpoints_written_total",
+            "Checkpoints durably written by this pool",
+            &[],
+            move || written.load(Ordering::SeqCst),
+        );
+        let last_gen = Arc::clone(&self.last_generation);
+        registry.register_gauge_fn(
+            "saad_checkpoint_last_generation",
+            "Generation of the most recent durable checkpoint (-1 before the first)",
+            &[],
+            move || match last_gen.load(Ordering::SeqCst) {
+                NO_GENERATION => -1,
+                generation => generation as i64,
+            },
+        );
+        let detecting = Arc::clone(&self.detecting);
+        registry.register_gauge_fn(
+            "saad_pool_detecting",
+            "1 while the pool classifies with a model, 0 in bootstrap collect-only mode",
+            &[],
+            move || i64::from(detecting.load(Ordering::SeqCst)),
+        );
     }
 
     /// Request a checkpoint; the reply arrives once the checkpoint is
@@ -1846,6 +2124,9 @@ pub fn spawn_analyzer_pool_with_lifecycle(
     let last_generation = Arc::new(AtomicU64::new(NO_GENERATION));
     let last_error: Arc<parking_lot::Mutex<Option<LifecycleError>>> =
         Arc::new(parking_lot::Mutex::new(None));
+    let checkpoint_latency = Arc::new(Histogram::new());
+    let meta = lifecycle.meta.clone();
+    let checkpoint_stall = lifecycle.checkpoint_stall;
 
     let (writer_tx, writer_rx) = unbounded::<WriterJob>();
     let (written, last_gen, errors) = (
@@ -1853,14 +2134,23 @@ pub fn spawn_analyzer_pool_with_lifecycle(
         last_generation.clone(),
         last_error.clone(),
     );
+    let latency = checkpoint_latency.clone();
+    let writer_meta = meta.clone();
     let writer = std::thread::Builder::new()
         .name("saad-checkpoint-writer".into())
         .spawn(move || {
             for (checkpoint, reply) in writer_rx.iter() {
-                let result = store
-                    .save(&checkpoint)
-                    .map(|_| checkpoint.generation)
-                    .map_err(LifecycleError::from);
+                let started = Instant::now();
+                let result = meta_tick(&writer_meta, MetaStage::Checkpoint, || {
+                    if let Some(stall) = checkpoint_stall {
+                        std::thread::sleep(stall);
+                    }
+                    store
+                        .save(&checkpoint)
+                        .map(|_| checkpoint.generation)
+                        .map_err(LifecycleError::from)
+                });
+                latency.record(started.elapsed().as_micros() as u64);
                 match &result {
                     Ok(generation) => {
                         written.fetch_add(1, Ordering::SeqCst);
@@ -1899,6 +2189,7 @@ pub fn spawn_analyzer_pool_with_lifecycle(
         rx,
         loss_rx,
         Some(router_lifecycle),
+        meta,
     );
     Ok(LifecyclePool {
         pool,
@@ -1908,6 +2199,7 @@ pub fn spawn_analyzer_pool_with_lifecycle(
         checkpoints_written,
         last_generation,
         last_error,
+        checkpoint_latency,
         recovered_generation,
         rejected,
     })
@@ -2116,6 +2408,91 @@ mod tests {
         assert_eq!(handle.dropped(), 3);
         assert_eq!(handle.drops_by_host()[&HostId(0)].newest, 3);
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn sink_stats_exact_under_concurrent_multi_host_drops() {
+        // N threads hammer one SinkStats with drops across disjoint and
+        // shared hosts; every count must land exactly once.
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 1_000;
+        let stats = Arc::new(SinkStats::default());
+        let threads: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let stats = Arc::clone(&stats);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // Half the traffic contends on a shared host 0,
+                        // half goes to a per-thread host.
+                        let host = if i % 2 == 0 {
+                            HostId(0)
+                        } else {
+                            HostId(t as u16 + 1)
+                        };
+                        match i % 4 {
+                            0 => stats.record(host, |c| {
+                                c.newest.fetch_add(1, Ordering::Relaxed);
+                            }),
+                            1 => stats.record(host, |c| {
+                                c.oldest.fetch_add(1, Ordering::Relaxed);
+                            }),
+                            2 => stats.record(host, |c| {
+                                c.timed_out.fetch_add(1, Ordering::Relaxed);
+                            }),
+                            _ => stats.record(host, |c| {
+                                c.disconnected.fetch_add(1, Ordering::Relaxed);
+                            }),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(stats.dropped(), THREADS * PER_THREAD);
+        let totals = stats.drop_totals();
+        assert_eq!(totals.total(), THREADS * PER_THREAD);
+        assert_eq!(totals.newest, THREADS * PER_THREAD / 4);
+        assert_eq!(totals.oldest, THREADS * PER_THREAD / 4);
+        assert_eq!(totals.timed_out, THREADS * PER_THREAD / 4);
+        assert_eq!(totals.disconnected, THREADS * PER_THREAD / 4);
+        let by_host = stats.drops_by_host();
+        assert_eq!(by_host.len(), THREADS as usize + 1);
+        assert_eq!(by_host[&HostId(0)].total(), THREADS * PER_THREAD / 2);
+        for t in 0..THREADS {
+            assert_eq!(by_host[&HostId(t as u16 + 1)].total(), PER_THREAD / 2);
+        }
+    }
+
+    #[test]
+    fn pool_register_metrics_exposes_live_counters() {
+        let registry = saad_obs::Registry::new();
+        let (batch_tx, batch_rx) = unbounded();
+        let handle = spawn_analyzer_pool(
+            model(),
+            DetectorConfig::default(),
+            SupervisorConfig::default(),
+            2,
+            batch_rx,
+            None,
+        );
+        handle.register_metrics(&registry);
+        let batch: Vec<TaskSynopsis> = (0..10)
+            .map(|i| synopsis(&[1, 2], 1_000, SimTime::from_millis(i * 10), i))
+            .collect();
+        batch_tx.send(batch).unwrap();
+        drop(batch_tx);
+        let text = registry.render();
+        saad_obs::validate_text(&text).unwrap();
+        handle.join().unwrap();
+        let text = registry.render();
+        assert!(text.contains("saad_pool_processed_total 10"), "{text}");
+        assert!(text.contains("saad_pool_batches_routed_total 1"), "{text}");
+        assert!(
+            text.contains(r#"saad_pool_shard_processed_total{shard="0"}"#),
+            "{text}"
+        );
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Meta-monitoring: SAAD's own pipeline stages run as tracked stages.
+//!
+//! The paper's design applied reflexively: the analyzer pool's router
+//! ticks, shard batch applications, checkpoint writes, and metrics
+//! scrapes are each delimited as a task on a dedicated
+//! [`TaskExecutionTracker`] (host [`MetaMonitor::HOST`], one synthetic
+//! stage per pipeline component, two synthetic log points per tick).
+//! The resulting synopses flow into any [`SynopsisSink`] — typically a
+//! second detector — so SAAD can flag flow and performance anomalies
+//! *in itself*: a stalled checkpoint writer shows up exactly like a
+//! frozen memtable on a monitored host.
+
+use crate::tracker::{SynopsisSink, TaskExecutionTracker};
+use crate::{HostId, StageId};
+use saad_logging::{Interceptor, Level, LogPointId};
+use saad_obs::ScrapeObserver;
+use saad_sim::Clock;
+use std::fmt;
+use std::sync::Arc;
+
+/// A pipeline component whose ticks the meta-monitor tracks as tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetaStage {
+    /// One Prometheus scrape served by the exposition server.
+    Scrape,
+    /// One input batch routed (watermark stamping + shard split).
+    Router,
+    /// One sub-batch applied by a shard worker's detector.
+    Shard,
+    /// One checkpoint written durably to the store.
+    Checkpoint,
+}
+
+impl MetaStage {
+    /// All meta stages, in stage-id order.
+    pub const ALL: [MetaStage; 4] = [
+        MetaStage::Scrape,
+        MetaStage::Router,
+        MetaStage::Shard,
+        MetaStage::Checkpoint,
+    ];
+
+    /// The synthetic stage id this component's tasks carry. The ids sit
+    /// just below [`StageId::NONE`] so they can never collide with a
+    /// monitored server's real stages.
+    pub fn stage_id(self) -> StageId {
+        match self {
+            MetaStage::Scrape => StageId(u16::MAX - 5),
+            MetaStage::Router => StageId(u16::MAX - 4),
+            MetaStage::Shard => StageId(u16::MAX - 3),
+            MetaStage::Checkpoint => StageId(u16::MAX - 2),
+        }
+    }
+
+    /// Synthetic log point visited when a tick starts.
+    fn start_point(self) -> LogPointId {
+        LogPointId(0xFF00 + 2 * self as u16)
+    }
+
+    /// Synthetic log point visited when a tick's work is done (its
+    /// timestamp is the task duration's endpoint, per the paper).
+    fn done_point(self) -> LogPointId {
+        LogPointId(0xFF01 + 2 * self as u16)
+    }
+}
+
+/// Runs SAAD's own pipeline stages as tracked stages.
+///
+/// Each [`MetaMonitor::tick`] delimits one component iteration: stage
+/// delimiter, a start log point, the component's work, a done log
+/// point, termination. Tasks live in thread-local storage (exactly as
+/// for monitored servers), so the router thread, every shard worker,
+/// the checkpoint writer, and the scrape thread can share one monitor
+/// without interference.
+///
+/// The monitor also implements [`ScrapeObserver`], turning every
+/// exposition-server scrape into a tracked [`MetaStage::Scrape`] task.
+pub struct MetaMonitor {
+    tracker: Arc<TaskExecutionTracker>,
+}
+
+impl fmt::Debug for MetaMonitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MetaMonitor")
+            .field("ticks", &self.ticks())
+            .finish()
+    }
+}
+
+impl MetaMonitor {
+    /// The host id meta synopses carry — reserved just below the id
+    /// space real deployments use, so the self-observation stream can
+    /// share a detector with monitored traffic without colliding.
+    pub const HOST: HostId = HostId(u16::MAX - 1);
+
+    /// Create a meta-monitor timestamping with `clock` and emitting
+    /// tick synopses to `sink`.
+    pub fn new(clock: Arc<dyn Clock>, sink: Arc<dyn SynopsisSink>) -> MetaMonitor {
+        MetaMonitor {
+            tracker: Arc::new(TaskExecutionTracker::new(MetaMonitor::HOST, clock, sink)),
+        }
+    }
+
+    /// Run one component iteration as a tracked task: delimit, visit
+    /// the start point, run `work`, visit the done point, terminate.
+    pub fn tick<R>(&self, stage: MetaStage, work: impl FnOnce() -> R) -> R {
+        self.tracker.set_context(stage.stage_id());
+        self.tracker.on_log_point(stage.start_point(), Level::Debug);
+        let out = work();
+        self.tracker.on_log_point(stage.done_point(), Level::Debug);
+        self.tracker.end_task();
+        out
+    }
+
+    /// Total ticks completed (meta synopses emitted).
+    pub fn ticks(&self) -> u64 {
+        self.tracker.completed()
+    }
+
+    /// The underlying tracker (e.g. to register its bookkeeping
+    /// counters as metrics).
+    pub fn tracker(&self) -> &Arc<TaskExecutionTracker> {
+        &self.tracker
+    }
+}
+
+impl ScrapeObserver for MetaMonitor {
+    fn scrape_started(&self) {
+        let stage = MetaStage::Scrape;
+        self.tracker.set_context(stage.stage_id());
+        self.tracker.on_log_point(stage.start_point(), Level::Debug);
+    }
+
+    fn scrape_finished(&self, _bytes: usize) {
+        let stage = MetaStage::Scrape;
+        self.tracker.on_log_point(stage.done_point(), Level::Debug);
+        self.tracker.end_task();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracker::VecSink;
+    use saad_sim::ManualClock;
+    use saad_sim::SimTime;
+
+    fn monitor() -> (MetaMonitor, Arc<VecSink>, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::new());
+        let sink = Arc::new(VecSink::new());
+        let monitor = MetaMonitor::new(
+            clock.clone() as Arc<dyn Clock>,
+            sink.clone() as Arc<dyn SynopsisSink>,
+        );
+        (monitor, sink, clock)
+    }
+
+    #[test]
+    fn tick_emits_one_synopsis_per_iteration() {
+        let (monitor, sink, clock) = monitor();
+        let out = monitor.tick(MetaStage::Router, || {
+            clock.set(SimTime::from_micros(250));
+            42
+        });
+        assert_eq!(out, 42);
+        let s = sink.drain();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].host, MetaMonitor::HOST);
+        assert_eq!(s[0].stage, MetaStage::Router.stage_id());
+        assert_eq!(s[0].duration.as_micros(), 250);
+        assert_eq!(s[0].log_points.len(), 2);
+        assert_eq!(monitor.ticks(), 1);
+    }
+
+    #[test]
+    fn stage_ids_are_distinct_and_reserved() {
+        let mut ids: Vec<u16> = MetaStage::ALL.iter().map(|s| s.stage_id().0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+        for id in ids {
+            assert!(
+                id > u16::MAX - 8,
+                "meta stage ids live at the top of the space"
+            );
+            assert_ne!(StageId(id), StageId::NONE);
+        }
+    }
+
+    #[test]
+    fn scrape_observer_brackets_a_task() {
+        let (monitor, sink, clock) = monitor();
+        monitor.scrape_started();
+        clock.set(SimTime::from_micros(90));
+        monitor.scrape_finished(1024);
+        let s = sink.drain();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].stage, MetaStage::Scrape.stage_id());
+        assert_eq!(s[0].duration.as_micros(), 90);
+    }
+
+    #[test]
+    fn ticks_on_many_threads_do_not_interfere() {
+        let clock = Arc::new(ManualClock::new());
+        let sink = Arc::new(VecSink::new());
+        let monitor = Arc::new(MetaMonitor::new(
+            clock as Arc<dyn Clock>,
+            sink.clone() as Arc<dyn SynopsisSink>,
+        ));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&monitor);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        m.tick(MetaStage::Shard, || {});
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(monitor.ticks(), 400);
+        assert_eq!(sink.len(), 400);
+    }
+}

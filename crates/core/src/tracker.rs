@@ -21,6 +21,7 @@ use crate::synopsis::TaskSynopsis;
 use crate::{HostId, StageId, TaskUid};
 use parking_lot::Mutex;
 use saad_logging::{Interceptor, Level, LogPointId};
+use saad_obs::{Counter, Histogram, Registry};
 use saad_sim::{Clock, SimTime};
 use std::cell::RefCell;
 use std::fmt;
@@ -166,6 +167,37 @@ fn active_remove(slots: &mut Vec<(u64, ActiveTask)>, id: u64) -> Option<ActiveTa
 
 static NEXT_TRACKER_ID: AtomicU64 = AtomicU64::new(0);
 
+/// Hot-path instruments for a tracker's emit path.
+///
+/// Recording is two relaxed atomic adds per completed task (counter
+/// increment + histogram sample), which keeps the tracker inside the
+/// paper's <1% overhead budget — see the `obs_overhead` bench.
+#[derive(Debug)]
+pub struct TrackerMetrics {
+    emitted: Arc<Counter>,
+    task_duration_us: Arc<Histogram>,
+}
+
+impl TrackerMetrics {
+    /// Register the tracker instrument family for `host` in `registry`.
+    pub fn register(registry: &Registry, host: HostId) -> TrackerMetrics {
+        let host_label = host.0.to_string();
+        let labels = [("host", host_label.as_str())];
+        TrackerMetrics {
+            emitted: registry.register_counter(
+                "saad_tracker_synopses_emitted_total",
+                "Task synopses emitted by the tracker",
+                &labels,
+            ),
+            task_duration_us: registry.register_histogram(
+                "saad_tracker_task_duration_us",
+                "Tracked task duration (start to last log point) in microseconds",
+                &labels,
+            ),
+        }
+    }
+}
+
 /// The task execution tracker: ~50 lines of logic in the paper, sitting
 /// between the server code and the logging library.
 ///
@@ -179,6 +211,7 @@ pub struct TaskExecutionTracker {
     next_uid: AtomicU64,
     completed: AtomicU64,
     untracked_visits: AtomicU64,
+    metrics: Option<TrackerMetrics>,
 }
 
 impl fmt::Debug for TaskExecutionTracker {
@@ -206,7 +239,50 @@ impl TaskExecutionTracker {
             next_uid: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             untracked_visits: AtomicU64::new(0),
+            metrics: None,
         }
+    }
+
+    /// Like [`TaskExecutionTracker::new`], but recording emit rate and
+    /// task durations into the instruments of `metrics` on every
+    /// completed task.
+    pub fn with_metrics(
+        host: HostId,
+        clock: Arc<dyn Clock>,
+        sink: Arc<dyn SynopsisSink>,
+        metrics: TrackerMetrics,
+    ) -> TaskExecutionTracker {
+        let mut tracker = TaskExecutionTracker::new(host, clock, sink);
+        tracker.metrics = Some(metrics);
+        tracker
+    }
+
+    /// Expose this tracker's bookkeeping counters (tasks completed,
+    /// untracked log-point visits) as scrape-time metrics in
+    /// `registry`. Zero hot-path cost: the counters already exist and
+    /// are only read when scraped.
+    ///
+    /// The closures hold the tracker weakly: a tracker owns its
+    /// [`SynopsisSink`], and a long-lived registry owning the tracker
+    /// would keep that sink's channel open after the tracker is dropped,
+    /// wedging analyzer shutdown. Scrapes after drop read zero.
+    pub fn register_metrics(self: &Arc<Self>, registry: &Registry) {
+        let host_label = self.host.0.to_string();
+        let labels = [("host", host_label.as_str())];
+        let completed = Arc::downgrade(self);
+        registry.register_counter_fn(
+            "saad_tracker_tasks_completed_total",
+            "Tasks completed (synopses emitted) by the tracker",
+            &labels,
+            move || completed.upgrade().map_or(0, |t| t.completed()),
+        );
+        let untracked = Arc::downgrade(self);
+        registry.register_counter_fn(
+            "saad_tracker_untracked_visits_total",
+            "Log point visits outside any delimited task (missing stage delimiters)",
+            &labels,
+            move || untracked.upgrade().map_or(0, |t| t.untracked_visits()),
+        );
     }
 
     /// The host this tracker tags synopses with.
@@ -323,7 +399,14 @@ impl TaskExecutionTracker {
 
     fn emit(&self, task: ActiveTask) {
         self.completed.fetch_add(1, Ordering::Relaxed);
-        self.sink.submit(task.into_synopsis(self.host));
+        let synopsis = task.into_synopsis(self.host);
+        if let Some(metrics) = &self.metrics {
+            metrics.emitted.inc();
+            metrics
+                .task_duration_us
+                .record(synopsis.duration.as_micros());
+        }
+        self.sink.submit(synopsis);
     }
 }
 

@@ -321,6 +321,71 @@ impl Agent {
         self.front.stats.snapshot()
     }
 
+    /// Expose this agent's lifetime counters in `registry`, labelled with
+    /// the host id so a process running several agents can register them
+    /// all. Scrape-time callbacks only; the send path is untouched.
+    pub fn register_metrics(&self, registry: &saad_obs::Registry, host: HostId) {
+        let host_label = host.0.to_string();
+        let labels = [("host", host_label.as_str())];
+        let counter = |f: fn(&StatsInner) -> &AtomicU64| {
+            let stats = Arc::clone(&self.front.stats);
+            move || f(&stats).load(Ordering::Relaxed)
+        };
+        registry.register_counter_fn(
+            "saad_agent_connects_total",
+            "Successful connection + handshake completions",
+            &labels,
+            counter(|s| &s.connects),
+        );
+        registry.register_counter_fn(
+            "saad_agent_reconnects_total",
+            "Connects after the first — recoveries from a dead link",
+            &labels,
+            counter(|s| &s.reconnects),
+        );
+        registry.register_counter_fn(
+            "saad_agent_handshake_rejects_total",
+            "Handshakes the collector refused",
+            &labels,
+            counter(|s| &s.handshake_rejects),
+        );
+        registry.register_counter_fn(
+            "saad_agent_frames_written_total",
+            "Frames fully written to a live socket",
+            &labels,
+            counter(|s| &s.frames_written),
+        );
+        registry.register_counter_fn(
+            "saad_agent_synopses_written_total",
+            "Synopses carried by fully written frames",
+            &labels,
+            counter(|s| &s.synopses_written),
+        );
+        registry.register_counter_fn(
+            "saad_agent_synopses_wire_lost_total",
+            "Synopses in frames whose write failed — lost on the wire, never retransmitted",
+            &labels,
+            counter(|s| &s.synopses_wire_lost),
+        );
+        for (reason, f) in [
+            (
+                "newest",
+                (|s| &s.dropped_newest) as fn(&StatsInner) -> &AtomicU64,
+            ),
+            ("oldest", |s| &s.dropped_oldest),
+            ("timed_out", |s| &s.dropped_timed_out),
+            ("disconnected", |s| &s.dropped_disconnected),
+        ] {
+            let stats = Arc::clone(&self.front.stats);
+            registry.register_counter_fn(
+                "saad_agent_dropped_total",
+                "Synopses refused at the agent send queue, by reason",
+                &[("host", host_label.as_str()), ("reason", reason)],
+                move || f(&stats).load(Ordering::Relaxed),
+            );
+        }
+    }
+
     /// Flush and stop: queued batches still drain over a live connection,
     /// but the worker stops waiting for reconnects — anything it cannot
     /// deliver is counted as a disconnected drop. Returns the final

@@ -246,6 +246,106 @@ impl Collector {
         self.shared.receiver.lock().stats(host)
     }
 
+    /// Expose the collector's live counters in `registry`. Every series
+    /// is a scrape-time callback over counters the collector already
+    /// maintains; the ones aggregating link totals take the receiver
+    /// lock briefly at scrape time, exactly like [`Collector::stats`].
+    pub fn register_metrics(&self, registry: &saad_obs::Registry) {
+        // The registry typically outlives the collector, and `Shared`
+        // owns the analyzer-side senders: a strong capture here would
+        // keep the batch channel open after shutdown and deadlock
+        // downstream joins. Scrapes after shutdown read zero.
+        let counter = |f: fn(&Counters) -> &AtomicU64| {
+            let shared = Arc::downgrade(&self.shared);
+            move || {
+                shared
+                    .upgrade()
+                    .map_or(0, |s| f(&s.counters).load(Ordering::Relaxed))
+            }
+        };
+        registry.register_counter_fn(
+            "saad_collector_connections_accepted_total",
+            "Agent connections accepted since collector start",
+            &[],
+            counter(|c| &c.connections_accepted),
+        );
+        registry.register_counter_fn(
+            "saad_collector_handshakes_rejected_total",
+            "Handshakes refused (bad magic/checksum or version skew)",
+            &[],
+            counter(|c| &c.handshakes_rejected),
+        );
+        registry.register_counter_fn(
+            "saad_collector_frames_total",
+            "Fresh (non-duplicate) frames admitted",
+            &[],
+            counter(|c| &c.frames),
+        );
+        registry.register_counter_fn(
+            "saad_collector_synopses_total",
+            "Synopses forwarded to the analyzer input",
+            &[],
+            counter(|c| &c.synopses),
+        );
+        let shared = Arc::downgrade(&self.shared);
+        registry.register_gauge_fn(
+            "saad_collector_connections_active",
+            "Agent connections currently streaming",
+            &[],
+            move || {
+                shared.upgrade().map_or(0, |s| {
+                    s.counters.connections_active.load(Ordering::Relaxed) as i64
+                })
+            },
+        );
+        let shared = Arc::downgrade(&self.shared);
+        registry.register_gauge_fn(
+            "saad_collector_watermark_us",
+            "Highest synopsis start time admitted on any connection, in stream microseconds",
+            &[],
+            move || {
+                shared.upgrade().map_or(0, |s| {
+                    s.counters.watermark_micros.load(Ordering::Relaxed) as i64
+                })
+            },
+        );
+        let shared = Arc::downgrade(&self.shared);
+        registry.register_counter_fn(
+            "saad_collector_corrupted_frames_total",
+            "Frames rejected as corrupt (checksum, truncation, oversize, codec)",
+            &[],
+            move || {
+                shared
+                    .upgrade()
+                    .map_or(0, |s| s.receiver.lock().corrupted_frames())
+            },
+        );
+        let shared = Arc::downgrade(&self.shared);
+        registry.register_counter_fn(
+            "saad_collector_duplicate_frames_total",
+            "Duplicate frames discarded across all hosts",
+            &[],
+            move || {
+                shared.upgrade().map_or(0, |s| {
+                    let rx = s.receiver.lock();
+                    rx.all_stats().map(|(_, st)| st.duplicate_frames).sum()
+                })
+            },
+        );
+        let shared = Arc::downgrade(&self.shared);
+        registry.register_counter_fn(
+            "saad_collector_lost_synopses_total",
+            "Synopses known lost across all hosts (exact at quiescence)",
+            &[],
+            move || {
+                shared.upgrade().map_or(0, |s| {
+                    let rx = s.receiver.lock();
+                    rx.all_stats().map(|(_, st)| st.lost_synopses).sum()
+                })
+            },
+        );
+    }
+
     /// Stop accepting, close every live connection, join all handler
     /// threads, and return the final link state for a successor collector.
     pub fn shutdown(mut self) -> CollectorState {

@@ -1,0 +1,56 @@
+//! Self-observability for SAAD: metrics primitives and Prometheus exposition.
+//!
+//! SAAD's whole point is low-overhead visibility into a staged server, so
+//! its own pipeline must be observable at the same standard. This crate
+//! provides the three classic instruments — [`Counter`], [`Gauge`], and a
+//! fixed-bucket log-linear [`Histogram`] — all lock-free on the record
+//! path (a handful of relaxed atomic ops, no allocation after
+//! registration), a [`Registry`] that names and labels them, and a
+//! [`MetricsServer`] that serves the registry in Prometheus text format
+//! (version 0.0.4) over plain `std::net` threads, matching the no-async
+//! style of `saad-net`.
+//!
+//! The registry supports two kinds of series:
+//!
+//! * **owned instruments** created by `register_*` (or attached with
+//!   [`Registry::attach_histogram`]) that hot paths update directly, and
+//! * **callback instruments** ([`Registry::register_counter_fn`],
+//!   [`Registry::register_gauge_fn`]) evaluated only at scrape time —
+//!   the mechanism by which existing pipeline atomics (drop counters,
+//!   queue depths, watermarks) become metrics with zero added cost on
+//!   the paths that maintain them.
+//!
+//! ```
+//! use saad_obs::{Registry, Histogram};
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(Registry::new());
+//! let emitted = registry.register_counter(
+//!     "saad_tracker_synopses_emitted_total",
+//!     "Task synopses emitted by the tracker",
+//!     &[("host", "1")],
+//! );
+//! let latency = registry.register_histogram(
+//!     "saad_checkpoint_write_latency_us",
+//!     "Checkpoint write latency in microseconds",
+//!     &[],
+//! );
+//! emitted.inc();
+//! latency.record(850);
+//! let text = registry.render();
+//! assert!(text.contains("saad_tracker_synopses_emitted_total{host=\"1\"} 1"));
+//! saad_obs::validate_text(&text).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod expo;
+pub mod metric;
+pub mod registry;
+pub mod server;
+
+pub use expo::validate_text;
+pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::Registry;
+pub use server::{MetricsServer, ScrapeObserver};

@@ -1,0 +1,435 @@
+//! Lock-free metric instruments: counter, gauge, and log-linear histogram.
+//!
+//! Every instrument is updated with a handful of relaxed atomic
+//! operations and allocates nothing after construction, so hot paths
+//! (the tracker emit path records one counter increment and one
+//! histogram sample per task) stay within the paper's <1% overhead
+//! budget.
+
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+///
+/// # Example
+///
+/// ```
+/// use saad_obs::Counter;
+/// let c = Counter::new();
+/// c.inc();
+/// c.add(41);
+/// assert_eq!(c.get(), 42);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Create a counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+///
+/// # Example
+///
+/// ```
+/// use saad_obs::Gauge;
+/// let g = Gauge::new();
+/// g.set(7);
+/// g.dec();
+/// assert_eq!(g.get(), 6);
+/// ```
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Create a gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Set to an absolute value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrement by one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Sub-bucket resolution: 2^5 = 32 linear sub-buckets per power of two.
+const SUB_BITS: u32 = 5;
+/// Number of linear sub-buckets within each octave.
+const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+/// Mask selecting the sub-bucket within an octave.
+const SUB_MASK: u64 = SUB_BUCKETS - 1;
+/// Total bucket count covering the full `u64` range: 32 exact buckets
+/// for values `0..32`, then 32 sub-buckets for each of the 59 octaves
+/// `[2^5, 2^64)`.
+pub(crate) const NUM_BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUB_BUCKETS as usize;
+
+/// Bucket index for a value — HdrHistogram-style log-linear layout.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros();
+        let shift = exp - SUB_BITS;
+        (((shift + 1) << SUB_BITS) as usize) + ((v >> shift) & SUB_MASK) as usize
+    }
+}
+
+/// Smallest value that lands in bucket `i`.
+#[cfg(test)]
+fn bucket_lower(i: usize) -> u64 {
+    if i < SUB_BUCKETS as usize {
+        i as u64
+    } else {
+        let shift = (i >> SUB_BITS) as u32 - 1;
+        let sub = (i as u64) & SUB_MASK;
+        (SUB_BUCKETS + sub) << shift
+    }
+}
+
+/// Largest value that lands in bucket `i`.
+fn bucket_upper(i: usize) -> u64 {
+    if i < SUB_BUCKETS as usize {
+        i as u64
+    } else {
+        let shift = (i >> SUB_BITS) as u32 - 1;
+        let sub = (i as u64) & SUB_MASK;
+        let upper = (((SUB_BUCKETS + sub + 1) as u128) << shift) - 1;
+        upper.min(u64::MAX as u128) as u64
+    }
+}
+
+/// A fixed-bucket log-linear histogram covering the full `u64` range
+/// with ≤ `1/32` (~3.1%) relative error per bucket.
+///
+/// The layout is HdrHistogram-style: values below 32 get exact unit
+/// buckets; each power-of-two octave above that is split into 32 linear
+/// sub-buckets, for 1920 buckets total. Recording is two relaxed
+/// `fetch_add`s (bucket count + running sum) — no allocation, no locks,
+/// no floating point — so the hot path stays in the single-digit
+/// nanosecond range. Counts are aggregated only at scrape time.
+///
+/// # Example
+///
+/// ```
+/// use saad_obs::Histogram;
+/// let h = Histogram::new();
+/// for v in [10, 100, 1_000, 10_000] {
+///     h.record(v);
+/// }
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count(), 4);
+/// assert_eq!(snap.sum(), 11_110);
+/// let p50 = snap.value_at_percentile(50.0);
+/// assert!((100..=103).contains(&p50));
+/// ```
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Create an empty histogram (allocates its 1920 buckets once).
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample. Lock-free: two relaxed atomic adds.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Sum of all recorded samples (wraps on `u64` overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Total number of recorded samples. O(buckets) — scrape path only.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Consistent-enough point-in-time copy of the bucket array for
+    /// rendering and percentile queries. Concurrent recorders may land
+    /// between bucket loads; each sample is still counted exactly once
+    /// or not at all.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish()
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]'s buckets.
+#[derive(Clone)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of samples in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Sum of all samples in the snapshot.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Upper bound of the bucket containing the sample at percentile
+    /// `p` (0–100). The true sample is within ~3.1% below the returned
+    /// value. Returns 0 for an empty histogram.
+    pub fn value_at_percentile(&self, p: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * count as f64).ceil().max(1.0) as u64;
+        let rank = rank.min(count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(NUM_BUCKETS - 1)
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)` pairs in increasing
+    /// bound order — the exposition layer turns these into cumulative
+    /// `le` buckets.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper(i), c))
+    }
+}
+
+impl fmt::Debug for HistogramSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HistogramSnapshot")
+            .field("count", &self.count())
+            .field("sum", &self.sum)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+
+        let g = Gauge::new();
+        g.set(-3);
+        g.inc();
+        g.add(10);
+        g.dec();
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn exact_buckets_below_32() {
+        for v in 0..32u64 {
+            assert_eq!(bucket_index(v), v as usize, "value {v}");
+            assert_eq!(bucket_lower(v as usize), v);
+            assert_eq!(bucket_upper(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries_at_octave_edges() {
+        // First value of the log-linear region abuts the exact region.
+        assert_eq!(bucket_index(31), 31);
+        assert_eq!(bucket_index(32), 32);
+        // Last unit-width bucket: [32, 64) still has width-1 buckets.
+        assert_eq!(bucket_index(63), 63);
+        // [64, 128) has width-2 buckets: 64 and 65 share one.
+        assert_eq!(bucket_index(64), 64);
+        assert_eq!(bucket_index(65), 64);
+        assert_eq!(bucket_index(66), 65);
+        // Extremes.
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_upper(NUM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_bounds_invert_the_index() {
+        for i in 0..NUM_BUCKETS {
+            let lo = bucket_lower(i);
+            let hi = bucket_upper(i);
+            assert!(lo <= hi, "bucket {i}: lower {lo} > upper {hi}");
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "upper bound of bucket {i}");
+            if i + 1 < NUM_BUCKETS {
+                assert_eq!(
+                    bucket_lower(i + 1),
+                    hi + 1,
+                    "buckets {i} and {} must be contiguous",
+                    i + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_on_powers_of_two() {
+        let mut prev = bucket_index(0);
+        for exp in 0..64 {
+            let v = 1u64 << exp;
+            let i = bucket_index(v);
+            assert!(i >= prev, "index must not decrease at 2^{exp}");
+            prev = i;
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // Any recorded value v maps to a bucket whose upper bound is
+        // within 1/32 of v (for v >= 32; exact below that).
+        for &v in &[32u64, 100, 999, 4_096, 123_456, 987_654_321, 1 << 50] {
+            let hi = bucket_upper(bucket_index(v));
+            assert!(hi >= v);
+            let err = (hi - v) as f64 / v as f64;
+            assert!(err <= 1.0 / 32.0 + 1e-9, "value {v}: error {err}");
+        }
+    }
+
+    #[test]
+    fn percentile_round_trips() {
+        let h = Histogram::new();
+        // 1..=1000 microseconds, one sample each.
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 1000);
+        assert_eq!(snap.sum(), 500_500);
+        for &(p, expect) in &[(1.0, 10u64), (50.0, 500), (99.0, 990), (100.0, 1000)] {
+            let got = snap.value_at_percentile(p);
+            // The answer is the bucket upper bound: >= the true value,
+            // within the 1/32 relative-error budget.
+            assert!(got >= expect, "p{p}: got {got} < {expect}");
+            assert!(
+                (got - expect) as f64 <= expect as f64 / 32.0 + 1.0,
+                "p{p}: got {got}, expected ~{expect}"
+            );
+        }
+        // p0 clamps to the first sample's bucket.
+        assert_eq!(snap.value_at_percentile(0.0), 1);
+    }
+
+    #[test]
+    fn percentile_of_empty_histogram_is_zero() {
+        assert_eq!(Histogram::new().snapshot().value_at_percentile(99.0), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 80_000);
+        let expect: u64 = (0..80_000u64).sum();
+        assert_eq!(snap.sum(), expect);
+    }
+}

@@ -1,0 +1,279 @@
+//! The metrics registry: names, labels, and series bookkeeping.
+//!
+//! A [`Registry`] owns a set of metric *families* (one name + help +
+//! type), each holding one or more *series* (a label set bound to an
+//! instrument). Registration takes a write lock and allocates; after
+//! that, hot paths touch only the returned `Arc`'d instrument —
+//! scraping walks the registry under a read lock without disturbing
+//! recorders.
+
+use crate::metric::{Counter, Gauge, Histogram};
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::Arc;
+
+/// What a series measures — fixed per family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Kind {
+    /// Monotonic counter.
+    Counter,
+    /// Up/down gauge.
+    Gauge,
+    /// Log-linear histogram.
+    Histogram,
+}
+
+impl Kind {
+    pub(crate) fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+/// The value source behind one series.
+pub(crate) enum Instrument {
+    /// Owned counter updated by the instrumented code.
+    Counter(Arc<Counter>),
+    /// Owned gauge updated by the instrumented code.
+    Gauge(Arc<Gauge>),
+    /// Owned (or attached) histogram updated by the instrumented code.
+    Histogram(Arc<Histogram>),
+    /// Counter evaluated at scrape time from an existing atomic.
+    CounterFn(Box<dyn Fn() -> u64 + Send + Sync>),
+    /// Gauge evaluated at scrape time from an existing atomic.
+    GaugeFn(Box<dyn Fn() -> i64 + Send + Sync>),
+}
+
+impl Instrument {
+    fn kind(&self) -> Kind {
+        match self {
+            Instrument::Counter(_) | Instrument::CounterFn(_) => Kind::Counter,
+            Instrument::Gauge(_) | Instrument::GaugeFn(_) => Kind::Gauge,
+            Instrument::Histogram(_) => Kind::Histogram,
+        }
+    }
+}
+
+/// One label set bound to one instrument.
+pub(crate) struct Series {
+    pub(crate) labels: Vec<(String, String)>,
+    pub(crate) instrument: Instrument,
+}
+
+/// One metric name with its help text, type, and series.
+pub(crate) struct Family {
+    pub(crate) name: String,
+    pub(crate) help: String,
+    pub(crate) kind: Kind,
+    pub(crate) series: Vec<Series>,
+}
+
+/// A named collection of metric families.
+///
+/// All `register_*` methods panic on malformed names/labels, on
+/// re-registering a name with a different type, and on duplicate
+/// `(name, labels)` series — these are programmer errors caught at
+/// startup, not runtime conditions.
+#[derive(Default)]
+pub struct Registry {
+    pub(crate) families: RwLock<Vec<Family>>,
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let families = self.families.read();
+        f.debug_struct("Registry")
+            .field("families", &families.len())
+            .field(
+                "series",
+                &families.iter().map(|fam| fam.series.len()).sum::<usize>(),
+            )
+            .finish()
+    }
+}
+
+/// `true` if `name` is a valid Prometheus metric name:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// `true` if `name` is a valid Prometheus label name:
+/// `[a-zA-Z_][a-zA-Z0-9_]*`.
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+impl Registry {
+    /// Create an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Register an owned counter series and return its handle.
+    pub fn register_counter(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Counter> {
+        let c = Arc::new(Counter::new());
+        self.insert(name, help, labels, Instrument::Counter(Arc::clone(&c)));
+        c
+    }
+
+    /// Register an owned gauge series and return its handle.
+    pub fn register_gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let g = Arc::new(Gauge::new());
+        self.insert(name, help, labels, Instrument::Gauge(Arc::clone(&g)));
+        g
+    }
+
+    /// Register an owned histogram series and return its handle.
+    pub fn register_histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        let h = Arc::new(Histogram::new());
+        self.insert(name, help, labels, Instrument::Histogram(Arc::clone(&h)));
+        h
+    }
+
+    /// Attach a histogram created elsewhere (e.g. one already being fed
+    /// by a pipeline thread) as a series under `name`.
+    pub fn attach_histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        histogram: Arc<Histogram>,
+    ) {
+        self.insert(name, help, labels, Instrument::Histogram(histogram));
+    }
+
+    /// Register a counter series whose value is computed at scrape time
+    /// — the zero-hot-path-cost bridge from existing pipeline atomics.
+    pub fn register_counter_fn(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        f: impl Fn() -> u64 + Send + Sync + 'static,
+    ) {
+        self.insert(name, help, labels, Instrument::CounterFn(Box::new(f)));
+    }
+
+    /// Register a gauge series whose value is computed at scrape time.
+    pub fn register_gauge_fn(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        f: impl Fn() -> i64 + Send + Sync + 'static,
+    ) {
+        self.insert(name, help, labels, Instrument::GaugeFn(Box::new(f)));
+    }
+
+    fn insert(&self, name: &str, help: &str, labels: &[(&str, &str)], instrument: Instrument) {
+        assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        for (k, _) in labels {
+            assert!(valid_label_name(k), "invalid label name {k:?} on {name}");
+            assert!(
+                *k != "le",
+                "label name \"le\" on {name} is reserved for histogram buckets"
+            );
+        }
+        let kind = instrument.kind();
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let mut families = self.families.write();
+        if let Some(family) = families.iter_mut().find(|f| f.name == name) {
+            assert_eq!(
+                family.kind,
+                kind,
+                "metric {name} re-registered as {} (was {})",
+                kind.as_str(),
+                family.kind.as_str()
+            );
+            assert!(
+                !family.series.iter().any(|s| s.labels == labels),
+                "duplicate series {name}{labels:?}"
+            );
+            family.series.push(Series { labels, instrument });
+        } else {
+            families.push(Family {
+                name: name.to_string(),
+                help: help.to_string(),
+                kind,
+                series: vec![Series { labels, instrument }],
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_names() {
+        assert!(valid_metric_name("saad_tracker_synopses_emitted_total"));
+        assert!(valid_metric_name("_x:y"));
+        assert!(!valid_metric_name(""));
+        assert!(!valid_metric_name("9lives"));
+        assert!(!valid_metric_name("has space"));
+        assert!(valid_label_name("host"));
+        assert!(!valid_label_name("le:gacy"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate series")]
+    fn duplicate_series_panics() {
+        let r = Registry::new();
+        r.register_counter("dup_total", "", &[("host", "1")]);
+        r.register_counter("dup_total", "", &[("host", "1")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-registered")]
+    fn type_conflict_panics() {
+        let r = Registry::new();
+        r.register_counter("conflicted", "", &[]);
+        r.register_gauge("conflicted", "", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn le_label_panics() {
+        let r = Registry::new();
+        r.register_counter("c_total", "", &[("le", "1")]);
+    }
+
+    #[test]
+    fn same_name_different_labels_ok() {
+        let r = Registry::new();
+        let a = r.register_counter("multi_total", "help", &[("host", "1")]);
+        let b = r.register_counter("multi_total", "help", &[("host", "2")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 1);
+        assert_eq!(b.get(), 2);
+    }
+}

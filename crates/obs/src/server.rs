@@ -1,0 +1,289 @@
+//! The exposition server: a tiny HTTP/1.0 endpoint on `std::net`
+//! threads, matching the no-async style of `saad-net`.
+//!
+//! Scrapes are rare (seconds apart) and cheap (one render under a read
+//! lock), so a single serial accept loop is plenty; shutdown uses the
+//! same flag-plus-self-connect idiom as the `saad-net` collector.
+
+use crate::expo::CONTENT_TYPE;
+use crate::metric::Counter;
+use crate::registry::Registry;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Hook invoked around every scrape — the bridge that lets the
+/// meta-monitor run each scrape as a tracked pipeline stage.
+pub trait ScrapeObserver: Send + Sync {
+    /// A scrape request was accepted and rendering is about to start.
+    fn scrape_started(&self) {}
+    /// The response was written; `bytes` is the body length.
+    fn scrape_finished(&self, bytes: usize) {
+        let _ = bytes;
+    }
+}
+
+/// A Prometheus scrape endpoint serving one [`Registry`].
+///
+/// Binds a listener and spawns one accept thread; `GET /metrics` (or
+/// `/`) returns the rendered registry as `text/plain; version=0.0.4`.
+/// Dropping the server shuts it down; [`MetricsServer::shutdown`] does
+/// so explicitly.
+#[derive(Debug)]
+pub struct MetricsServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    scrapes: Arc<Counter>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// How long a connected scraper may dawdle sending its request.
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+/// Longest request head we will buffer before answering 400.
+const MAX_REQUEST: usize = 4096;
+
+impl MetricsServer {
+    /// Bind `addr` and start serving `registry`.
+    pub fn bind(addr: impl ToSocketAddrs, registry: Arc<Registry>) -> io::Result<MetricsServer> {
+        MetricsServer::bind_with_observer(addr, registry, None)
+    }
+
+    /// Bind `addr` and start serving `registry`, invoking `observer`
+    /// around every scrape.
+    pub fn bind_with_observer(
+        addr: impl ToSocketAddrs,
+        registry: Arc<Registry>,
+        observer: Option<Arc<dyn ScrapeObserver>>,
+    ) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let scrapes = Arc::new(Counter::new());
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_scrapes = Arc::clone(&scrapes);
+        let join = std::thread::Builder::new()
+            .name("saad-metrics-server".into())
+            .spawn(move || {
+                accept_loop(
+                    listener,
+                    registry,
+                    observer,
+                    accept_shutdown,
+                    accept_scrapes,
+                )
+            })?;
+        Ok(MetricsServer {
+            local_addr,
+            shutdown,
+            scrapes,
+            join: Some(join),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Number of scrape responses served so far.
+    pub fn scrapes_served(&self) -> u64 {
+        self.scrapes.get()
+    }
+
+    /// Stop accepting and join the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if let Some(join) = self.join.take() {
+            self.shutdown.store(true, Ordering::SeqCst);
+            // Unblock the accept call.
+            let _ = TcpStream::connect(self.local_addr);
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    registry: Arc<Registry>,
+    observer: Option<Arc<dyn ScrapeObserver>>,
+    shutdown: Arc<AtomicBool>,
+    scrapes: Arc<Counter>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if serve_one(stream, &registry, observer.as_deref()).is_ok() {
+            scrapes.inc();
+        }
+    }
+}
+
+/// Read one request head, answer it, and close the connection.
+fn serve_one(
+    mut stream: TcpStream,
+    registry: &Registry,
+    observer: Option<&dyn ScrapeObserver>,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let mut head = Vec::with_capacity(256);
+    let mut chunk = [0u8; 512];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() > MAX_REQUEST {
+            return respond(&mut stream, "400 Bad Request", "request too large\n", false);
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-request",
+            ));
+        }
+        head.extend_from_slice(&chunk[..n]);
+    }
+    let request_line = head
+        .split(|&b| b == b'\r')
+        .next()
+        .map(|l| String::from_utf8_lossy(l).into_owned())
+        .unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "only GET is supported\n",
+            false,
+        );
+    }
+    let path = path.split('?').next().unwrap_or("");
+    if path != "/metrics" && path != "/" {
+        return respond(&mut stream, "404 Not Found", "try /metrics\n", false);
+    }
+    if let Some(obs) = observer {
+        obs.scrape_started();
+    }
+    let body = registry.render();
+    let result = respond(&mut stream, "200 OK", &body, true);
+    if let Some(obs) = observer {
+        obs.scrape_finished(body.len());
+    }
+    result
+}
+
+fn respond(stream: &mut TcpStream, status: &str, body: &str, metrics: bool) -> io::Result<()> {
+    let content_type = if metrics { CONTENT_TYPE } else { "text/plain" };
+    let head = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    if !metrics {
+        return Err(io::Error::other(format!("answered {status}")));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate_text;
+    use std::sync::atomic::AtomicUsize;
+
+    fn scrape(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_metrics_over_tcp() {
+        let registry = Arc::new(Registry::new());
+        let c = registry.register_counter("smoke_total", "Smoke", &[]);
+        c.add(5);
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let response = scrape(
+            server.local_addr(),
+            "GET /metrics HTTP/1.0\r\nHost: x\r\n\r\n",
+        );
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        assert!(head.starts_with("HTTP/1.0 200 OK"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"));
+        assert!(body.contains("smoke_total 5"));
+        validate_text(body).unwrap();
+        // Root path works too (curl default).
+        let response = scrape(server.local_addr(), "GET / HTTP/1.0\r\n\r\n");
+        assert!(response.contains("smoke_total 5"));
+        assert_eq!(server.scrapes_served(), 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        let registry = Arc::new(Registry::new());
+        let server = MetricsServer::bind("127.0.0.1:0", registry).unwrap();
+        let response = scrape(server.local_addr(), "POST /metrics HTTP/1.0\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.0 405"));
+        let response = scrape(server.local_addr(), "GET /nope HTTP/1.0\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.0 404"));
+        assert_eq!(server.scrapes_served(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn observer_sees_every_scrape() {
+        struct CountingObserver {
+            started: AtomicUsize,
+            bytes: AtomicUsize,
+        }
+        impl ScrapeObserver for CountingObserver {
+            fn scrape_started(&self) {
+                self.started.fetch_add(1, Ordering::SeqCst);
+            }
+            fn scrape_finished(&self, bytes: usize) {
+                self.bytes.fetch_add(bytes, Ordering::SeqCst);
+            }
+        }
+        let registry = Arc::new(Registry::new());
+        registry.register_counter("x_total", "", &[]);
+        let observer = Arc::new(CountingObserver {
+            started: AtomicUsize::new(0),
+            bytes: AtomicUsize::new(0),
+        });
+        let dyn_observer: Arc<dyn ScrapeObserver> = observer.clone();
+        let server =
+            MetricsServer::bind_with_observer("127.0.0.1:0", registry, Some(dyn_observer)).unwrap();
+        scrape(server.local_addr(), "GET /metrics HTTP/1.0\r\n\r\n");
+        scrape(server.local_addr(), "GET /metrics HTTP/1.0\r\n\r\n");
+        server.shutdown();
+        assert_eq!(observer.started.load(Ordering::SeqCst), 2);
+        assert!(observer.bytes.load(Ordering::SeqCst) > 0);
+    }
+}

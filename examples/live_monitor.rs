@@ -22,6 +22,12 @@
 //! ```sh
 //! cargo run --release --example live_monitor -- --tcp
 //! ```
+//!
+//! With `--metrics-addr <addr>` (e.g. `--metrics-addr 127.0.0.1:9464`)
+//! the run also serves live Prometheus metrics — pool shard counters,
+//! checkpoint latency, sink drops, and (with `--tcp`) collector/agent
+//! link counters — scrapeable with `curl http://<addr>/metrics` while
+//! the phases execute.
 
 use crossbeam_channel::{unbounded, Sender};
 use saad::core::pipeline::{spawn_analyzer_pool_with_lifecycle, LifecycleConfig, SupervisorConfig};
@@ -132,7 +138,17 @@ fn drive(server: &StagedServer, points: &[saad::logging::LogPointId], n: u64, re
 }
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let tcp = std::env::args().any(|a| a == "--tcp");
+    let args: Vec<String> = std::env::args().collect();
+    let tcp = args.iter().any(|a| a == "--tcp");
+    let metrics_addr = args
+        .iter()
+        .position(|a| a == "--metrics-addr")
+        .map(|i| {
+            args.get(i + 1)
+                .cloned()
+                .ok_or("--metrics-addr needs an address")
+        })
+        .transpose()?;
 
     // ── The analyzer pool: sharded workers + durable model lifecycle ───
     let dir = std::env::temp_dir().join(format!("saad-live-monitor-{}", std::process::id()));
@@ -161,6 +177,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         Some(loss_rx),
     )?;
 
+    // ── Observability: every layer registers its live counters ─────────
+    let metrics = Arc::new(saad::obs::Registry::new());
+    pool.register_metrics(&metrics);
+
     // ── The wire: in-process batching, or agent → TCP → collector ──────
     let mut wire = None;
     let (sink, flush): (Arc<dyn SynopsisSink>, Box<dyn Fn()>) = if tcp {
@@ -172,6 +192,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         )?;
         println!("wire: TCP via collector on {}", collector.local_addr());
         let agent = Agent::connect(collector.local_addr(), HostId(1), AgentConfig::default());
+        collector.register_metrics(&metrics);
+        agent.register_metrics(&metrics, HostId(1));
         let agent_sink = Arc::new(agent.sink(BATCH));
         wire = Some((agent, collector));
         let flush_handle = agent_sink.clone();
@@ -184,11 +206,24 @@ fn main() -> Result<(), Box<dyn Error>> {
     };
 
     let clock = Arc::new(WallClock::new());
-    let tracker = Arc::new(TaskExecutionTracker::new(
+    let tracker = Arc::new(TaskExecutionTracker::with_metrics(
         HostId(1),
         clock as Arc<dyn Clock>,
         sink,
+        TrackerMetrics::register(&metrics, HostId(1)),
     ));
+    tracker.register_metrics(&metrics);
+    let metrics_server = match &metrics_addr {
+        Some(addr) => {
+            let server = saad::obs::MetricsServer::bind(addr.as_str(), metrics.clone())?;
+            println!(
+                "metrics: scrape http://{}/metrics while the run executes",
+                server.local_addr()
+            );
+            Some(server)
+        }
+        None => None,
+    };
     let (server, points) = build_server(tracker);
 
     // ── Phase 1: the pool bootstraps its model from live healthy traffic
@@ -234,6 +269,16 @@ fn main() -> Result<(), Box<dyn Error>> {
             collector_stats.corrupted_frames,
             collector_stats.lost_synopses,
         );
+        let link = collector.link_stats(HostId(1));
+        println!(
+            "  wire: host1 link — {} synopses in {} frames delivered, {} duplicate frames, \
+             {} of {} expected synopses lost",
+            link.delivered_synopses,
+            link.delivered_frames,
+            link.duplicate_frames,
+            link.lost_synopses,
+            link.expected_synopses,
+        );
         collector.shutdown();
     }
     drop(flush);
@@ -264,6 +309,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         "the rejection flow must be flagged as a new signature"
     );
     println!("\n=> the rejection branch surfaced as a new-signature flow anomaly, live.");
+    if let Some(server) = metrics_server {
+        println!("metrics: served {} scrapes", server.scrapes_served());
+        server.shutdown();
+    }
     let _ = std::fs::remove_dir_all(&dir);
     Ok(())
 }

@@ -12,6 +12,8 @@
 //! * [`fault`] — error/delay fault injection and disk-hog schedules;
 //! * [`net`] — the TCP collector/agent pair that carries synopses from
 //!   tracker shims to the analyzer over real sockets;
+//! * [`obs`] — self-observability: lock-free metrics registry and
+//!   Prometheus exposition for SAAD's own pipeline;
 //! * [`hdfs`] / [`hbase`] / [`cassandra`] — the simulated storage systems
 //!   the paper evaluates on;
 //! * [`workload`] — the YCSB-like workload generator;
@@ -30,6 +32,7 @@ pub use saad_hdfs as hdfs;
 pub use saad_instrument as instrument;
 pub use saad_logging as logging;
 pub use saad_net as net;
+pub use saad_obs as obs;
 pub use saad_sim as sim;
 pub use saad_stage as stage;
 pub use saad_stats as stats;

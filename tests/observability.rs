@@ -1,0 +1,355 @@
+//! End-to-end observability: every layer's live counters must be
+//! scrapeable over real TCP as well-formed Prometheus text, and the
+//! meta-monitoring loop must let SAAD flag anomalies in itself.
+//!
+//! * A lifecycle pool, TCP collector, agent, and instrumented tracker
+//!   all register into one registry served by a `MetricsServer`; a raw
+//!   `GET /metrics` over TCP must return valid exposition text whose
+//!   counters reflect the traffic that actually flowed.
+//! * SAAD's own pipeline stages (router ticks, shard batches, checkpoint
+//!   writes) run as tracked stages via `MetaMonitor`. A healthy run
+//!   trains a model of SAAD-on-SAAD; a second run with an injected
+//!   200 ms checkpoint stall must then surface as a performance anomaly
+//!   on the checkpoint stage — the detector catching its own subsystem.
+
+use crossbeam_channel::unbounded;
+use saad::core::detector::AnomalyKind;
+use saad::core::pipeline::{
+    spawn_analyzer, spawn_analyzer_pool_with_lifecycle, ChannelSink, LifecycleConfig,
+    LifecyclePool, SupervisorConfig,
+};
+use saad::core::prelude::*;
+use saad::logging::{Interceptor, Level, LogPointId};
+use saad::net::{Agent, AgentConfig, Collector, CollectorConfig};
+use saad::obs::{validate_text, MetricsServer, Registry};
+use saad::sim::{Clock, ManualClock, SimDuration, SimTime, WallClock};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Self-cleaning unique temp directory (no tempfile crate).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("saad-obs-e2e-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn wait_processed(pool: &LifecyclePool, target: u64) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while pool.processed() < target {
+        assert!(
+            Instant::now() < deadline,
+            "pool stalled at {}",
+            pool.processed()
+        );
+        std::thread::yield_now();
+    }
+}
+
+/// Scrape `addr` with a raw HTTP/1.0 GET and return (status line, body).
+fn scrape(addr: std::net::SocketAddr) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\nHost: saad\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status = response.lines().next().unwrap_or_default().to_string();
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Extract the value of the first sample whose line starts with `prefix`.
+fn sample_value(body: &str, prefix: &str) -> f64 {
+    body.lines()
+        .find(|l| l.starts_with(prefix) && !l.starts_with('#'))
+        .unwrap_or_else(|| panic!("no sample starting with {prefix:?}"))
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn scrape_endpoint_serves_live_metrics_from_pool_and_wire() {
+    const TASKS: u64 = 600;
+    let dir = TempDir::new("scrape");
+    let registry = Arc::new(Registry::new());
+
+    // Lifecycle pool behind a TCP collector, all registered.
+    let (batch_tx, batch_rx) = unbounded();
+    let (loss_tx, loss_rx) = unbounded();
+    let pool = spawn_analyzer_pool_with_lifecycle(
+        DetectorConfig::default(),
+        SupervisorConfig {
+            silent_after: u64::MAX,
+            ..SupervisorConfig::default()
+        },
+        LifecycleConfig {
+            checkpoint_every: 200,
+            promote_after: 300,
+            min_retrain_samples: 200,
+            ..LifecycleConfig::default()
+        },
+        2,
+        dir.path(),
+        batch_rx,
+        Some(loss_rx),
+    )
+    .unwrap();
+    pool.register_metrics(&registry);
+
+    let collector = Collector::bind(
+        "127.0.0.1:0",
+        batch_tx.clone(),
+        loss_tx.clone(),
+        CollectorConfig::default(),
+    )
+    .unwrap();
+    collector.register_metrics(&registry);
+    let agent = Agent::connect(collector.local_addr(), HostId(7), AgentConfig::default());
+    agent.register_metrics(&registry, HostId(7));
+
+    // An instrumented tracker drives real tasks into the agent.
+    let clock = Arc::new(ManualClock::new());
+    let sink = Arc::new(agent.sink(48));
+    let tracker = Arc::new(TaskExecutionTracker::with_metrics(
+        HostId(7),
+        clock.clone() as Arc<dyn Clock>,
+        sink.clone(),
+        TrackerMetrics::register(&registry, HostId(7)),
+    ));
+    tracker.register_metrics(&registry);
+
+    let server = MetricsServer::bind("127.0.0.1:0", registry.clone()).unwrap();
+
+    for i in 0..TASKS {
+        clock.set(SimTime::from_millis(i * 20));
+        tracker.set_context(StageId(3));
+        tracker.on_log_point(LogPointId(1), Level::Debug);
+        clock.set(SimTime::from_millis(i * 20) + SimDuration::from_micros(900 + (i % 7) * 40));
+        tracker.on_log_point(LogPointId(2), Level::Debug);
+        tracker.end_task();
+    }
+    sink.flush();
+    wait_processed(&pool, TASKS);
+
+    // A mid-run scrape over real TCP: well-formed and live.
+    let (status, body) = scrape(server.local_addr());
+    assert!(status.contains("200"), "unexpected status: {status}");
+    validate_text(&body).unwrap_or_else(|e| panic!("malformed exposition: {e}\n{body}"));
+
+    assert_eq!(
+        sample_value(&body, "saad_tracker_synopses_emitted_total") as u64,
+        TASKS
+    );
+    assert_eq!(
+        sample_value(&body, "saad_tracker_task_duration_us_count") as u64,
+        TASKS
+    );
+    assert_eq!(
+        sample_value(&body, "saad_agent_synopses_written_total") as u64,
+        TASKS
+    );
+    assert_eq!(
+        sample_value(&body, "saad_collector_synopses_total") as u64,
+        TASKS
+    );
+    assert_eq!(
+        sample_value(&body, "saad_pool_processed_total") as u64,
+        TASKS
+    );
+    assert!(sample_value(&body, "saad_collector_connections_active") >= 1.0);
+    assert!(sample_value(&body, "saad_pool_watermark_us") > 0.0);
+    // The pool promoted (promote_after = 300 < TASKS) and checkpointed;
+    // the latency histogram must carry those writes.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (_, body) = scrape(server.local_addr());
+        if sample_value(&body, "saad_checkpoints_written_total") >= 1.0 {
+            assert!(sample_value(&body, "saad_checkpoint_write_latency_us_count") >= 1.0);
+            assert!(sample_value(&body, "saad_pool_detecting") == 1.0);
+            break;
+        }
+        assert!(Instant::now() < deadline, "no checkpoint became visible");
+        // Checkpoints land at batch boundaries; nudge the idle router.
+        let _ = batch_tx.send(Vec::new());
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(server.scrapes_served() >= 2);
+
+    // Orderly teardown.
+    server.shutdown();
+    let _ = agent.close();
+    collector.shutdown();
+    drop(batch_tx);
+    drop(loss_tx);
+    pool.join().unwrap();
+}
+
+/// Drive synthetic healthy traffic through a meta-monitored lifecycle
+/// pool and return the meta synopses its ticks emitted.
+fn run_meta_monitored_pool(
+    dir: &Path,
+    checkpoint_every: u64,
+    stall: Option<Duration>,
+) -> Vec<TaskSynopsis> {
+    let meta_sink = Arc::new(VecSink::new());
+    let meta = Arc::new(MetaMonitor::new(
+        Arc::new(WallClock::new()) as Arc<dyn Clock>,
+        meta_sink.clone() as Arc<dyn SynopsisSink>,
+    ));
+    let (batch_tx, batch_rx) = unbounded();
+    let pool = spawn_analyzer_pool_with_lifecycle(
+        DetectorConfig::default(),
+        SupervisorConfig {
+            silent_after: u64::MAX,
+            ..SupervisorConfig::default()
+        },
+        LifecycleConfig {
+            checkpoint_every,
+            promote_after: 300,
+            min_retrain_samples: 200,
+            meta: Some(meta.clone()),
+            checkpoint_stall: stall,
+            ..LifecycleConfig::default()
+        },
+        2,
+        dir,
+        batch_rx,
+        None,
+    )
+    .unwrap();
+
+    // Healthy two-host traffic, enough to promote and then take a steady
+    // stream of checkpoints (about one per 64 synopses once detecting).
+    let mut uid = 0u64;
+    for minute in 0..12u64 {
+        let mut batch = Vec::new();
+        for i in 0..240u64 {
+            batch.push(TaskSynopsis {
+                host: HostId((i % 2) as u16),
+                stage: StageId(0),
+                uid: TaskUid(uid),
+                start: SimTime::from_mins(minute) + SimDuration::from_millis(i * 250),
+                duration: SimDuration::from_micros(1_000 + (uid % 53) * 5),
+                log_points: vec![(LogPointId(1), 1), (LogPointId(2), 1)],
+            });
+            uid += 1;
+            if batch.len() == 60 {
+                batch_tx.send(std::mem::take(&mut batch)).unwrap();
+            }
+        }
+        if !batch.is_empty() {
+            batch_tx.send(batch).unwrap();
+        }
+    }
+    drop(batch_tx);
+    while pool.events().recv().is_ok() {}
+    assert!(pool.is_detecting(), "pool never promoted");
+    // The router has exited, but the dedicated writer thread drains its
+    // checkpoint queue asynchronously (each save is a real fsync, and
+    // phase B stalls each one); wait for the durable count to land.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while pool.checkpoints_written() < 8 {
+        assert!(
+            Instant::now() < deadline,
+            "too few checkpoints: {}",
+            pool.checkpoints_written()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    pool.join().unwrap();
+    meta_sink.drain()
+}
+
+#[test]
+fn meta_monitoring_flags_injected_checkpoint_stall() {
+    // Phase A: a healthy run trains the SAAD-on-SAAD model. Frequent
+    // checkpoints give the checkpoint stage plenty of healthy samples.
+    let dir_a = TempDir::new("meta-healthy");
+    let healthy = run_meta_monitored_pool(dir_a.path(), 64, None);
+    let checkpoint_ticks = healthy
+        .iter()
+        .filter(|s| s.stage == MetaStage::Checkpoint.stage_id())
+        .count();
+    assert!(checkpoint_ticks >= 10, "phase A: {checkpoint_ticks} ticks");
+    let mut builder = ModelBuilder::new();
+    for s in &healthy {
+        builder.observe(s);
+    }
+    let meta_model = Arc::new(builder.build(ModelConfig {
+        duration_percentile: 90.0,
+        kfold: 5,
+        min_signature_samples: 8,
+        ..ModelConfig::default()
+    }));
+
+    // Phase B: same workload, but every checkpoint write stalls 200 ms
+    // (fewer, so the injected fault costs ~2 s of wall clock).
+    let dir_b = TempDir::new("meta-stalled");
+    let stalled = run_meta_monitored_pool(dir_b.path(), 256, Some(Duration::from_millis(200)));
+
+    // SAAD watches itself: the healthy-trained detector reads phase B's
+    // meta stream. Meta ticks are wall-clock stamped, so one wide window
+    // covers the whole run.
+    let (sink, rx) = ChannelSink::new();
+    let handle = spawn_analyzer(
+        meta_model,
+        DetectorConfig {
+            window: SimDuration::from_mins(60),
+            min_window_tasks: 5,
+            min_group_tasks: 5,
+            ..DetectorConfig::default()
+        },
+        rx,
+    );
+    for s in stalled {
+        sink.submit(s);
+    }
+    drop(sink);
+    let mut events = Vec::new();
+    while let Ok(e) = handle.events().recv() {
+        events.push(e);
+    }
+    handle.join().unwrap();
+
+    let flagged = events.iter().any(|e| {
+        e.host == MetaMonitor::HOST
+            && e.stage == MetaStage::Checkpoint.stage_id()
+            && matches!(e.kind, AnomalyKind::Performance(_))
+    });
+    assert!(
+        flagged,
+        "the stalled checkpoint stage was not flagged; events: {events:?}"
+    );
+    // The stall must not leak anomalies onto the healthy router stage.
+    assert!(
+        !events
+            .iter()
+            .any(|e| e.stage == MetaStage::Router.stage_id()
+                && matches!(e.kind, AnomalyKind::Performance(_))),
+        "healthy router ticks were misflagged: {events:?}"
+    );
+}
