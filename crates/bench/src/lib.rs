@@ -12,6 +12,8 @@
 
 #![warn(missing_docs)]
 
+pub mod gray;
+
 use parking_lot::Mutex;
 use saad_cassandra::{Cluster, ClusterConfig, RunOutput};
 use saad_core::codec;

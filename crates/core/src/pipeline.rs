@@ -1269,6 +1269,23 @@ fn meta_tick<R>(meta: &Option<Arc<MetaMonitor>>, stage: MetaStage, work: impl Fn
     }
 }
 
+/// Backoff before checkpoint-write retry `attempt` (1-based): the base
+/// doubles per retry, capped at 8x, scaled by a jitter factor in
+/// [0.5, 1.5) mixed from the generation and attempt with a splitmix64
+/// finalizer. Deterministic — replays and tests see identical schedules —
+/// yet de-synchronized across generations and attempts.
+fn checkpoint_retry_delay(base: Duration, attempt: u32, generation: u64) -> Duration {
+    let capped = base.saturating_mul(1u32 << (attempt - 1).min(3));
+    let mut x = generation ^ (u64::from(attempt) << 32) ^ 0x9E37_79B9_7F4A_7C15;
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    let jitter = 0.5 + (x >> 11) as f64 / (1u64 << 53) as f64;
+    capped.mul_f64(jitter)
+}
+
 /// The pool core shared by [`spawn_analyzer_pool`] and
 /// [`spawn_analyzer_pool_with_lifecycle`]: one shard worker per initial
 /// detector, plus the router thread that stamps watermarks, routes
@@ -1525,6 +1542,21 @@ pub struct LifecycleConfig {
     /// Lets tests make the checkpoint stage observably slow, the same
     /// way [`SupervisorConfig::panic_after`] injects worker crashes.
     pub checkpoint_stall: Option<Duration>,
+    /// Transient checkpoint write failures ([`CheckpointError::Io`]) are
+    /// retried up to this many times before the generation is abandoned
+    /// and the error surfaced. Corruption-class errors (bad magic,
+    /// checksum mismatch, version skew) are never retried — rewriting
+    /// won't fix those.
+    pub checkpoint_retries: u32,
+    /// Base backoff before the first checkpoint retry. Doubles per
+    /// retry, capped at 8x the base, with deterministic jitter in
+    /// [0.5, 1.5) derived from the checkpoint generation and attempt
+    /// number so concurrent pools don't retry in lockstep.
+    pub checkpoint_retry_backoff: Duration,
+    /// Fault injection: fail this many checkpoint write attempts with a
+    /// synthesized transient I/O error before letting writes through —
+    /// the transient-failure counterpart of `checkpoint_stall`.
+    pub checkpoint_fail_first: u32,
 }
 
 impl Default for LifecycleConfig {
@@ -1538,6 +1570,9 @@ impl Default for LifecycleConfig {
             model_config: ModelConfig::default(),
             meta: None,
             checkpoint_stall: None,
+            checkpoint_retries: 3,
+            checkpoint_retry_backoff: Duration::from_millis(10),
+            checkpoint_fail_first: 0,
         }
     }
 }
@@ -1816,6 +1851,7 @@ pub struct LifecyclePool {
     writer: Option<JoinHandle<()>>,
     detecting: Arc<AtomicBool>,
     checkpoints_written: Arc<AtomicU64>,
+    checkpoint_retries: Arc<AtomicU64>,
     last_generation: Arc<AtomicU64>,
     last_error: Arc<parking_lot::Mutex<Option<LifecycleError>>>,
     checkpoint_latency: Arc<Histogram>,
@@ -1873,6 +1909,12 @@ impl LifecyclePool {
         self.checkpoints_written.load(Ordering::SeqCst)
     }
 
+    /// Transient checkpoint write failures retried with backoff so far
+    /// (each failed attempt that was retried counts once).
+    pub fn checkpoint_retries(&self) -> u64 {
+        self.checkpoint_retries.load(Ordering::SeqCst)
+    }
+
     /// Generation of the most recent durable checkpoint, if any.
     pub fn last_checkpoint_generation(&self) -> Option<u64> {
         match self.last_generation.load(Ordering::SeqCst) {
@@ -1918,6 +1960,13 @@ impl LifecyclePool {
             "Checkpoints durably written by this pool",
             &[],
             move || written.load(Ordering::SeqCst),
+        );
+        let retries = Arc::clone(&self.checkpoint_retries);
+        registry.register_counter_fn(
+            "saad_checkpoint_retries",
+            "Transient checkpoint write failures retried with backoff",
+            &[],
+            move || retries.load(Ordering::SeqCst),
         );
         let last_gen = Arc::clone(&self.last_generation);
         registry.register_gauge_fn(
@@ -2121,12 +2170,16 @@ pub fn spawn_analyzer_pool_with_lifecycle(
 
     let detecting_flag = Arc::new(AtomicBool::new(detecting));
     let checkpoints_written = Arc::new(AtomicU64::new(0));
+    let checkpoint_retries = Arc::new(AtomicU64::new(0));
     let last_generation = Arc::new(AtomicU64::new(NO_GENERATION));
     let last_error: Arc<parking_lot::Mutex<Option<LifecycleError>>> =
         Arc::new(parking_lot::Mutex::new(None));
     let checkpoint_latency = Arc::new(Histogram::new());
     let meta = lifecycle.meta.clone();
     let checkpoint_stall = lifecycle.checkpoint_stall;
+    let retry_cap = lifecycle.checkpoint_retries;
+    let retry_base = lifecycle.checkpoint_retry_backoff;
+    let mut fail_first = lifecycle.checkpoint_fail_first;
 
     let (writer_tx, writer_rx) = unbounded::<WriterJob>();
     let (written, last_gen, errors) = (
@@ -2135,6 +2188,7 @@ pub fn spawn_analyzer_pool_with_lifecycle(
         last_error.clone(),
     );
     let latency = checkpoint_latency.clone();
+    let retries_counter = checkpoint_retries.clone();
     let writer_meta = meta.clone();
     let writer = std::thread::Builder::new()
         .name("saad-checkpoint-writer".into())
@@ -2145,10 +2199,33 @@ pub fn spawn_analyzer_pool_with_lifecycle(
                     if let Some(stall) = checkpoint_stall {
                         std::thread::sleep(stall);
                     }
-                    store
-                        .save(&checkpoint)
-                        .map(|_| checkpoint.generation)
-                        .map_err(LifecycleError::from)
+                    let mut attempt = 0u32;
+                    loop {
+                        let saved = if fail_first > 0 {
+                            fail_first -= 1;
+                            Err(CheckpointError::Io(
+                                "injected transient write failure".to_owned(),
+                            ))
+                        } else {
+                            store.save(&checkpoint).map(|_| ())
+                        };
+                        match saved {
+                            Ok(()) => break Ok(checkpoint.generation),
+                            // Only transient I/O failures are worth a
+                            // rewrite; corruption-class errors surface
+                            // immediately.
+                            Err(CheckpointError::Io(_)) if attempt < retry_cap => {
+                                attempt += 1;
+                                retries_counter.fetch_add(1, Ordering::SeqCst);
+                                std::thread::sleep(checkpoint_retry_delay(
+                                    retry_base,
+                                    attempt,
+                                    checkpoint.generation,
+                                ));
+                            }
+                            Err(e) => break Err(LifecycleError::from(e)),
+                        }
+                    }
                 });
                 latency.record(started.elapsed().as_micros() as u64);
                 match &result {
@@ -2197,6 +2274,7 @@ pub fn spawn_analyzer_pool_with_lifecycle(
         writer: Some(writer),
         detecting: detecting_flag,
         checkpoints_written,
+        checkpoint_retries,
         last_generation,
         last_error,
         checkpoint_latency,
@@ -3192,6 +3270,81 @@ mod tests {
         assert_eq!(pool.last_checkpoint_generation(), Some(generation));
         assert_eq!(pool.checkpoints_written(), 1);
         assert_eq!(pool.last_checkpoint_error(), None);
+        drop(batch_tx);
+        while pool.events().recv().is_ok() {}
+        pool.join().unwrap();
+    }
+
+    #[test]
+    fn transient_checkpoint_write_failures_are_retried_and_counted() {
+        let dir = TempDir::new();
+        let (batch_tx, batch_rx) = unbounded();
+        let pool = spawn_analyzer_pool_with_lifecycle(
+            DetectorConfig::default(),
+            SupervisorConfig::default(),
+            LifecycleConfig {
+                checkpoint_fail_first: 2,
+                checkpoint_retry_backoff: Duration::from_millis(1),
+                ..quick_lifecycle()
+            },
+            2,
+            dir.path(),
+            batch_rx,
+            None,
+        )
+        .unwrap();
+        feed(&batch_tx, &healthy_stream(2, 240));
+        wait_processed(&pool, 480);
+        let reply = pool.request_checkpoint();
+        batch_tx.send(Vec::new()).unwrap();
+        let generation = reply
+            .recv()
+            .unwrap()
+            .expect("retries must absorb transient write failures");
+        let store = CheckpointStore::create(dir.path(), 3).unwrap();
+        assert!(store.load(generation).is_ok());
+        assert_eq!(pool.checkpoint_retries(), 2, "each failed attempt counts");
+        assert_eq!(pool.checkpoints_written(), 1);
+        assert_eq!(pool.last_checkpoint_error(), None);
+        drop(batch_tx);
+        while pool.events().recv().is_ok() {}
+        pool.join().unwrap();
+    }
+
+    #[test]
+    fn exhausted_checkpoint_retries_surface_the_io_error() {
+        let dir = TempDir::new();
+        let (batch_tx, batch_rx) = unbounded();
+        let pool = spawn_analyzer_pool_with_lifecycle(
+            DetectorConfig::default(),
+            SupervisorConfig::default(),
+            LifecycleConfig {
+                // More injected failures than 1 initial try + 2 retries.
+                checkpoint_fail_first: 10,
+                checkpoint_retries: 2,
+                checkpoint_retry_backoff: Duration::from_millis(1),
+                ..quick_lifecycle()
+            },
+            2,
+            dir.path(),
+            batch_rx,
+            None,
+        )
+        .unwrap();
+        feed(&batch_tx, &healthy_stream(2, 240));
+        wait_processed(&pool, 480);
+        let reply = pool.request_checkpoint();
+        batch_tx.send(Vec::new()).unwrap();
+        let err = reply
+            .recv()
+            .unwrap()
+            .expect_err("all attempts were injected to fail");
+        assert!(
+            matches!(err, LifecycleError::Checkpoint(CheckpointError::Io(_))),
+            "unexpected error: {err:?}"
+        );
+        assert_eq!(pool.checkpoint_retries(), 2, "retries stop at the cap");
+        assert_eq!(pool.checkpoints_written(), 0);
         drop(batch_tx);
         while pool.events().recv().is_ok() {}
         pool.join().unwrap();

@@ -311,4 +311,139 @@ mod tests {
         drop(susp);
         assert!(f.sink.is_empty());
     }
+
+    mod interleaving_property {
+        use super::*;
+        use crate::synopsis::TaskSynopsis;
+        use proptest::prelude::*;
+
+        /// One task's script: its stage, start time, and segments. Each
+        /// segment logs one point then advances the cursor; between
+        /// segments the task may be suspended while others run.
+        #[derive(Debug, Clone)]
+        struct Plan {
+            stage: u16,
+            start_ms: u64,
+            segments: Vec<(usize, u64)>,
+        }
+
+        /// Strategy output for one plan; the vendored proptest has no
+        /// `prop_map`, so tuples are reshaped in the test body.
+        fn plan() -> impl Strategy<Value = (u16, u64, Vec<(usize, u64)>)> {
+            (
+                0u16..4,
+                0u64..50,
+                collection::vec((0usize..4, 1u64..10), 1..5),
+            )
+        }
+
+        enum Slot {
+            NotStarted,
+            Parked(SuspendedSimTask),
+            Done,
+        }
+
+        /// Run one segment of plan `i`, honoring the one-active-task
+        /// invariant: begin/resume, log + advance, then suspend or finish.
+        fn step(f: &Fx, plans: &[Plan], slots: &mut [Slot], progress: &mut [usize], i: usize) {
+            let mut t = match std::mem::replace(&mut slots[i], Slot::Done) {
+                Slot::NotStarted => SimTask::begin(
+                    &f.tracker,
+                    &f.clock,
+                    &f.logger,
+                    StageId(plans[i].stage),
+                    SimTime::from_millis(plans[i].start_ms),
+                ),
+                Slot::Parked(susp) => SimTask::resume(&f.tracker, &f.clock, &f.logger, susp),
+                Slot::Done => unreachable!("stepping a finished task"),
+            };
+            let (point, advance_ms) = plans[i].segments[progress[i]];
+            t.debug(f.p[point], format_args!("seg"));
+            t.advance(SimDuration::from_millis(advance_ms));
+            progress[i] += 1;
+            if progress[i] == plans[i].segments.len() {
+                t.finish();
+            } else {
+                slots[i] = Slot::Parked(t.suspend());
+            }
+        }
+
+        fn run_interleaved(f: &Fx, plans: &[Plan], schedule: &[usize]) {
+            let mut slots: Vec<Slot> = plans.iter().map(|_| Slot::NotStarted).collect();
+            let mut progress = vec![0usize; plans.len()];
+            for &pick in schedule {
+                let open: Vec<usize> = (0..plans.len())
+                    .filter(|&i| !matches!(slots[i], Slot::Done))
+                    .collect();
+                if open.is_empty() {
+                    break;
+                }
+                step(f, plans, &mut slots, &mut progress, open[pick % open.len()]);
+            }
+            for i in 0..plans.len() {
+                while !matches!(slots[i], Slot::Done) {
+                    step(f, plans, &mut slots, &mut progress, i);
+                }
+            }
+        }
+
+        fn run_sequential(f: &Fx, plans: &[Plan]) {
+            for p in plans {
+                let mut t = SimTask::begin(
+                    &f.tracker,
+                    &f.clock,
+                    &f.logger,
+                    StageId(p.stage),
+                    SimTime::from_millis(p.start_ms),
+                );
+                for &(point, advance_ms) in &p.segments {
+                    t.debug(f.p[point], format_args!("seg"));
+                    t.advance(SimDuration::from_millis(advance_ms));
+                }
+                t.finish();
+            }
+        }
+
+        /// Uid-free multiset key: everything a synopsis says about the
+        /// task except the begin-order-dependent uid.
+        #[allow(clippy::type_complexity)]
+        fn keys(
+            synopses: Vec<TaskSynopsis>,
+        ) -> Vec<(StageId, SimTime, SimDuration, Vec<(LogPointId, u32)>)> {
+            let mut keys: Vec<_> = synopses
+                .into_iter()
+                .map(|s| {
+                    let mut points = s.log_points;
+                    points.sort_unstable();
+                    (s.stage, s.start, s.duration, points)
+                })
+                .collect();
+            keys.sort();
+            keys
+        }
+
+        proptest! {
+            /// Suspend/resume is transparent to the synopsis stream: any
+            /// interleaving of N tasks on one tracker yields the same
+            /// synopsis multiset (stage, start, duration, point counts)
+            /// as running the tasks back-to-back.
+            #[test]
+            fn interleaved_suspend_resume_matches_sequential_oracle(
+                raw_plans in collection::vec(plan(), 2..6),
+                schedule in collection::vec(0usize..1_000_000, 0..40),
+            ) {
+                let plans: Vec<Plan> = raw_plans
+                    .into_iter()
+                    .map(|(stage, start_ms, segments)| Plan { stage, start_ms, segments })
+                    .collect();
+                let seq = fx();
+                run_sequential(&seq, &plans);
+                let inter = fx();
+                run_interleaved(&inter, &plans, &schedule);
+
+                prop_assert_eq!(inter.sink.len(), plans.len());
+                prop_assert_eq!(keys(inter.sink.drain()), keys(seq.sink.drain()));
+            }
+        }
+    }
 }

@@ -60,6 +60,28 @@ impl StageRegistry {
             .map(|p| StageId(p as u16))
     }
 
+    /// Resolve several stage names in one read-lock acquisition, in input
+    /// order. Scenario harnesses use this to map a fault catalog's stage
+    /// vocabulary onto a simulator's registry, treating a missing name as
+    /// a configuration error rather than a silent miss.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first unregistered name.
+    pub fn lookup_all<'a>(&self, names: &[&'a str]) -> Result<Vec<StageId>, &'a str> {
+        let known = self.names.read();
+        names
+            .iter()
+            .map(|&name| {
+                known
+                    .iter()
+                    .position(|n| n == name)
+                    .map(|p| StageId(p as u16))
+                    .ok_or(name)
+            })
+            .collect()
+    }
+
     /// Number of registered stages.
     pub fn len(&self) -> usize {
         self.names.read().len()
@@ -107,6 +129,15 @@ mod tests {
         let reg = StageRegistry::new();
         assert_eq!(reg.name(StageId(0)), None);
         assert_eq!(reg.lookup("nope"), None);
+    }
+
+    #[test]
+    fn lookup_all_resolves_in_input_order_or_names_the_miss() {
+        let reg = StageRegistry::new();
+        let a = reg.register("Connecting");
+        let b = reg.register("Relaying");
+        assert_eq!(reg.lookup_all(&["Relaying", "Connecting"]), Ok(vec![b, a]));
+        assert_eq!(reg.lookup_all(&["Relaying", "Warp"]), Err("Warp"));
     }
 
     #[test]

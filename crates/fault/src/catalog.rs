@@ -4,7 +4,10 @@
 //! * [`WAL`] — appends to the commit log / write-ahead log;
 //! * [`MEMTABLE_FLUSH`] — writes of serialized MemTables to SSTables.
 
-use crate::{FaultSchedule, FaultSpec, FaultType, Intensity, LinkFault, LinkFaultSpec, LossyLink};
+use crate::{
+    FaultSchedule, FaultSpec, FaultType, GrayFault, GrayFaultSpec, GraySchedule, HostSet,
+    Intensity, LinkFault, LinkFaultSpec, LossyLink,
+};
 use saad_sim::{SimDuration, SimTime};
 
 /// I/O class: write-ahead-log appends.
@@ -105,6 +108,118 @@ pub fn combined_lossy_link(seed: u64) -> LossyLink {
         )
 }
 
+/// One gray-failure scenario with its ground-truth oracle: which relay
+/// stage should light up, on exactly which hosts, and when. The scenario
+/// harness (`saad-bench`) reconciles detector output against this.
+#[derive(Debug)]
+pub struct GrayScenario {
+    /// Catalog name, e.g. `slow-upstream`.
+    pub name: &'static str,
+    /// Relay stage the fault localizes to (oracle).
+    pub stage: &'static str,
+    /// Host numbers the fault degrades (oracle; `saad_core::HostId.0`).
+    pub hosts: Vec<u16>,
+    /// Fault window start.
+    pub start: SimTime,
+    /// Fault window end (exclusive).
+    pub end: SimTime,
+    /// The schedule to attach to the relay cluster.
+    pub schedule: GraySchedule,
+}
+
+/// The shared gray-scenario fault window: minutes 3–8 of a 10-minute run
+/// (2 minutes of healthy lead-in for the detector to anchor on, 2 minutes
+/// of recovered tail).
+const GRAY_START_MIN: u64 = 3;
+const GRAY_END_MIN: u64 = 8;
+
+fn gray_scenario(
+    name: &'static str,
+    stage: &'static str,
+    hosts: &[u16],
+    fault: GrayFault,
+    seed: u64,
+) -> GrayScenario {
+    let (start, end) = (
+        SimTime::from_mins(GRAY_START_MIN),
+        SimTime::from_mins(GRAY_END_MIN),
+    );
+    GrayScenario {
+        name,
+        stage,
+        hosts: hosts.to_vec(),
+        start,
+        end,
+        schedule: GraySchedule::new(seed).with_window(
+            start,
+            end,
+            GrayFaultSpec::new(fault, HostSet::of(hosts)),
+        ),
+    }
+}
+
+/// Gray scenario: host 2's upstream connects slow down 8× — slow but not
+/// dead. Localizes to the *Connecting* stage on host 2.
+pub fn gray_slow_upstream(seed: u64) -> GrayScenario {
+    gray_scenario(
+        "slow-upstream",
+        "Connecting",
+        &[2],
+        GrayFault::SlowUpstream { factor: 8.0 },
+        seed,
+    )
+}
+
+/// Gray scenario: hosts 1 and 3 suffer a simultaneous data-plane resource
+/// hog (copy work 6× slower). Localizes to the *Relaying* stage on both.
+pub fn gray_correlated_hog(seed: u64) -> GrayScenario {
+    gray_scenario(
+        "correlated-hog",
+        "Relaying",
+        &[1, 3],
+        GrayFault::CorrelatedHog { factor: 6.0 },
+        seed,
+    )
+}
+
+/// Gray scenario: the proxy→client direction of host 4's link degrades
+/// 10×; the other direction stays healthy. Localizes to the *Replying*
+/// stage on host 4.
+pub fn gray_asymmetric_partition(seed: u64) -> GrayScenario {
+    gray_scenario(
+        "asymmetric-partition",
+        "Replying",
+        &[4],
+        GrayFault::AsymmetricPartition { factor: 10.0 },
+        seed,
+    )
+}
+
+/// Gray scenario: host 2's upstream refuses 35% of connect attempts,
+/// amplifying load through the relay's reconnect loop. Localizes to the
+/// *Connecting* stage on host 2 (retry/refusal log points form signatures
+/// never seen in healthy training).
+pub fn gray_retry_storm(seed: u64) -> GrayScenario {
+    gray_scenario(
+        "retry-storm",
+        "Connecting",
+        &[2],
+        GrayFault::RetryStorm { reject_p: 0.35 },
+        seed,
+    )
+}
+
+/// The full gray-failure catalog, in a fixed order. Every scenario must be
+/// exercised by the detection-latency harness — none may be skipped.
+pub fn gray_catalog(seed: u64) -> Vec<GrayScenario> {
+    vec![
+        gray_slow_upstream(seed),
+        gray_correlated_hog(seed.wrapping_add(1)),
+        gray_asymmetric_partition(seed.wrapping_add(2)),
+        gray_retry_storm(seed.wrapping_add(3)),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +287,46 @@ mod tests {
         assert!(!s.active_at(SimTime::from_mins(45)));
         assert!(s.active_at(SimTime::from_mins(75)));
         assert!(!s.active_at(SimTime::from_mins(90)));
+    }
+
+    #[test]
+    fn gray_catalog_covers_all_four_shapes() {
+        let scenarios = gray_catalog(1);
+        let names: Vec<&str> = scenarios.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            [
+                "slow-upstream",
+                "correlated-hog",
+                "asymmetric-partition",
+                "retry-storm"
+            ]
+        );
+        for s in &scenarios {
+            assert!(!s.hosts.is_empty(), "{} has an empty oracle", s.name);
+            assert!(s.end > s.start);
+            assert_eq!(s.schedule.windows().len(), 1);
+            assert!(s.schedule.active_at(SimTime::from_mins(5)));
+            assert!(!s.schedule.active_at(SimTime::from_mins(9)));
+            assert_eq!(s.schedule.windows()[0].spec.hosts.hosts(), s.hosts);
+        }
+        // Each scenario localizes to the documented stage.
+        assert_eq!(scenarios[0].stage, "Connecting");
+        assert_eq!(scenarios[1].stage, "Relaying");
+        assert_eq!(scenarios[2].stage, "Replying");
+        assert_eq!(scenarios[3].stage, "Connecting");
+        // The correlated hog really is multi-host.
+        assert_eq!(scenarios[1].hosts, vec![1, 3]);
+    }
+
+    #[test]
+    fn gray_scenarios_leave_a_healthy_lead_in() {
+        for s in gray_catalog(5) {
+            assert!(
+                s.start >= SimTime::from_mins(2),
+                "{}: the detector needs healthy lead-in",
+                s.name
+            );
+        }
     }
 }

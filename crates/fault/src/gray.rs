@@ -1,0 +1,496 @@
+//! Gray-failure injection: degradations that never trip a hard error.
+//!
+//! The classic injectors in this crate ([`crate::FaultSchedule`],
+//! [`crate::HogSchedule`]) model crash-shaped storage faults — requests
+//! fail or stall outright. Production outages are more often *gray*:
+//! an upstream that is slow but not dead, several hosts degrading at
+//! once, one direction of a link losing bandwidth, or a rejecting
+//! upstream amplifying load through retries. [`GraySchedule`] models
+//! those four shapes for the staged relay workload (`saad-relay`),
+//! reusing the timed-window machinery ([`crate::FaultWindow`]) and the
+//! exact-accounting discipline (seeded RNG, injection counters) of the
+//! existing injectors.
+//!
+//! Each fault targets a set of hosts ([`HostSet`], host numbers as in
+//! `saad_core::HostId`) and is queried per stage execution:
+//!
+//! * [`GrayFault::SlowUpstream`] → [`GraySchedule::connect_factor_at`]
+//!   multiplies upstream connect latency (the *Connecting* stage);
+//! * [`GrayFault::CorrelatedHog`] → [`GraySchedule::relay_factor_at`]
+//!   multiplies data-plane copy time (the *Relaying* stage),
+//!   simultaneously on every host in the set;
+//! * [`GrayFault::AsymmetricPartition`] →
+//!   [`GraySchedule::reply_factor_at`] multiplies the proxy→client send
+//!   time only (the *Replying* stage) — the reverse direction stays
+//!   healthy;
+//! * [`GrayFault::RetryStorm`] → [`GraySchedule::reject_connect`] makes
+//!   the upstream refuse a connect attempt with a seeded probability,
+//!   triggering the caller's retry loop.
+
+use crate::schedule::FaultWindow;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saad_sim::SimTime;
+use std::fmt;
+
+/// A set of target hosts, stored as a bitmask over host numbers `0..64`
+/// (the values of `saad_core::HostId.0`; the paper numbers hosts from 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HostSet(u64);
+
+impl HostSet {
+    /// The empty set.
+    pub const EMPTY: HostSet = HostSet(0);
+
+    /// Build a set from host numbers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a host number is ≥ 64.
+    pub fn of(hosts: &[u16]) -> HostSet {
+        let mut mask = 0u64;
+        for &h in hosts {
+            assert!(h < 64, "host number {h} out of HostSet range");
+            mask |= 1 << h;
+        }
+        HostSet(mask)
+    }
+
+    /// Whether `host` is in the set.
+    pub fn contains(&self, host: u16) -> bool {
+        host < 64 && self.0 & (1 << host) != 0
+    }
+
+    /// Number of hosts in the set.
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// The host numbers in the set, ascending.
+    pub fn hosts(&self) -> Vec<u16> {
+        (0..64).filter(|&h| self.contains(h)).collect()
+    }
+}
+
+impl fmt::Display for HostSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let hosts = self.hosts();
+        let mut first = true;
+        for h in hosts {
+            if !first {
+                f.write_str(",")?;
+            }
+            write!(f, "{h}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// One gray-failure shape (see the module docs for which relay stage each
+/// one localizes to).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GrayFault {
+    /// Upstream connects take `factor` times longer — slow but not dead.
+    SlowUpstream {
+        /// Latency multiplier (> 1).
+        factor: f64,
+    },
+    /// Data-plane copy work takes `factor` times longer, simultaneously
+    /// on every targeted host (a correlated resource hog).
+    CorrelatedHog {
+        /// Service-time multiplier (> 1).
+        factor: f64,
+    },
+    /// The proxy→client direction of the link is degraded by `factor`;
+    /// the client→proxy direction is untouched.
+    AsymmetricPartition {
+        /// Send-time multiplier (> 1).
+        factor: f64,
+    },
+    /// The upstream refuses each connect attempt with probability
+    /// `reject_p`, amplifying load through the caller's retry loop.
+    RetryStorm {
+        /// Per-attempt rejection probability in `(0, 1]`.
+        reject_p: f64,
+    },
+}
+
+impl GrayFault {
+    /// Catalog-style short name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GrayFault::SlowUpstream { .. } => "slow-upstream",
+            GrayFault::CorrelatedHog { .. } => "correlated-hog",
+            GrayFault::AsymmetricPartition { .. } => "asymmetric-partition",
+            GrayFault::RetryStorm { .. } => "retry-storm",
+        }
+    }
+
+    fn validate(&self) {
+        match *self {
+            GrayFault::SlowUpstream { factor }
+            | GrayFault::CorrelatedHog { factor }
+            | GrayFault::AsymmetricPartition { factor } => {
+                assert!(
+                    factor.is_finite() && factor > 1.0,
+                    "gray slowdown factor must be finite and > 1, got {factor}"
+                );
+            }
+            GrayFault::RetryStorm { reject_p } => {
+                assert!(
+                    reject_p > 0.0 && reject_p <= 1.0,
+                    "reject probability must be in (0, 1], got {reject_p}"
+                );
+            }
+        }
+    }
+}
+
+impl fmt::Display for GrayFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GrayFault::SlowUpstream { factor } => write!(f, "slow-upstream(x{factor})"),
+            GrayFault::CorrelatedHog { factor } => write!(f, "correlated-hog(x{factor})"),
+            GrayFault::AsymmetricPartition { factor } => {
+                write!(f, "asymmetric-partition(x{factor})")
+            }
+            GrayFault::RetryStorm { reject_p } => write!(f, "retry-storm(p={reject_p})"),
+        }
+    }
+}
+
+/// A gray fault plus the hosts it degrades. Carried by
+/// [`FaultWindow<GrayFaultSpec>`], so it stays `Copy` like
+/// [`crate::FaultSpec`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrayFaultSpec {
+    /// What goes gray.
+    pub fault: GrayFault,
+    /// On which hosts.
+    pub hosts: HostSet,
+}
+
+impl GrayFaultSpec {
+    /// Create a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host set is empty or the fault's parameter is out of
+    /// range (factor ≤ 1, probability outside `(0, 1]`).
+    pub fn new(fault: GrayFault, hosts: HostSet) -> GrayFaultSpec {
+        fault.validate();
+        assert!(!hosts.is_empty(), "a gray fault needs at least one host");
+        GrayFaultSpec { fault, hosts }
+    }
+
+    /// Catalog-style name, e.g. `slow-upstream@2` or `correlated-hog@1,3`.
+    pub fn name(&self) -> String {
+        format!("{}@{}", self.fault.name(), self.hosts)
+    }
+}
+
+impl fmt::Display for GrayFaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} on hosts {{{}}}", self.fault, self.hosts)
+    }
+}
+
+/// Timed gray-failure windows with exact injection accounting.
+///
+/// The query methods take `&mut self` because rejection draws consume the
+/// seeded RNG and every disturbance bumps the [`GraySchedule::injected`]
+/// counter — the same exactness discipline as [`crate::FaultSchedule`].
+///
+/// # Example
+///
+/// ```
+/// use saad_fault::{GrayFault, GrayFaultSpec, GraySchedule, HostSet};
+/// use saad_sim::SimTime;
+///
+/// let mut g = GraySchedule::new(7).with_window(
+///     SimTime::from_mins(3),
+///     SimTime::from_mins(8),
+///     GrayFaultSpec::new(GrayFault::SlowUpstream { factor: 8.0 }, HostSet::of(&[2])),
+/// );
+/// assert_eq!(g.connect_factor_at(SimTime::from_mins(5), 2), 8.0);
+/// assert_eq!(g.connect_factor_at(SimTime::from_mins(5), 1), 1.0);
+/// assert_eq!(g.connect_factor_at(SimTime::from_mins(9), 2), 1.0);
+/// assert_eq!(g.injected(), 1);
+/// ```
+#[derive(Debug)]
+pub struct GraySchedule {
+    windows: Vec<FaultWindow<GrayFaultSpec>>,
+    rng: StdRng,
+    injected: u64,
+}
+
+impl GraySchedule {
+    /// Create an empty schedule with the given RNG seed (used only by
+    /// [`GraySchedule::reject_connect`] draws).
+    pub fn new(seed: u64) -> GraySchedule {
+        GraySchedule {
+            windows: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            injected: 0,
+        }
+    }
+
+    /// Add a fault window (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start`.
+    pub fn with_window(
+        mut self,
+        start: SimTime,
+        end: SimTime,
+        spec: GrayFaultSpec,
+    ) -> GraySchedule {
+        assert!(end > start, "gray fault window must be non-empty");
+        self.windows.push(FaultWindow { start, end, spec });
+        self
+    }
+
+    /// The configured windows.
+    pub fn windows(&self) -> &[FaultWindow<GrayFaultSpec>] {
+        &self.windows
+    }
+
+    /// Stage executions actually disturbed so far (factor applied or
+    /// connect rejected).
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Whether any window is active at `now`.
+    pub fn active_at(&self, now: SimTime) -> bool {
+        self.windows.iter().any(|w| w.active_at(now))
+    }
+
+    /// Combined multiplier from all active windows whose fault matches
+    /// `pick`, for `host` at `now`. Counts one injection when ≠ 1.
+    fn factor_at(
+        &mut self,
+        now: SimTime,
+        host: u16,
+        pick: impl Fn(&GrayFault) -> Option<f64>,
+    ) -> f64 {
+        let mut factor = 1.0;
+        for w in &self.windows {
+            if !w.active_at(now) || !w.spec.hosts.contains(host) {
+                continue;
+            }
+            if let Some(f) = pick(&w.spec.fault) {
+                factor *= f;
+            }
+        }
+        if factor != 1.0 {
+            self.injected += 1;
+        }
+        factor
+    }
+
+    /// Upstream connect latency multiplier ([`GrayFault::SlowUpstream`]).
+    pub fn connect_factor_at(&mut self, now: SimTime, host: u16) -> f64 {
+        self.factor_at(now, host, |f| match *f {
+            GrayFault::SlowUpstream { factor } => Some(factor),
+            _ => None,
+        })
+    }
+
+    /// Data-plane copy-time multiplier ([`GrayFault::CorrelatedHog`]).
+    pub fn relay_factor_at(&mut self, now: SimTime, host: u16) -> f64 {
+        self.factor_at(now, host, |f| match *f {
+            GrayFault::CorrelatedHog { factor } => Some(factor),
+            _ => None,
+        })
+    }
+
+    /// Proxy→client send-time multiplier
+    /// ([`GrayFault::AsymmetricPartition`]).
+    pub fn reply_factor_at(&mut self, now: SimTime, host: u16) -> f64 {
+        self.factor_at(now, host, |f| match *f {
+            GrayFault::AsymmetricPartition { factor } => Some(factor),
+            _ => None,
+        })
+    }
+
+    /// Whether a connect attempt on `host` at `now` is refused by a
+    /// [`GrayFault::RetryStorm`] window. Seeded draw; counted when it
+    /// rejects.
+    pub fn reject_connect(&mut self, now: SimTime, host: u16) -> bool {
+        for i in 0..self.windows.len() {
+            let w = self.windows[i];
+            if !w.active_at(now) || !w.spec.hosts.contains(host) {
+                continue;
+            }
+            if let GrayFault::RetryStorm { reject_p } = w.spec.fault {
+                let hit = reject_p >= 1.0 || self.rng.gen_bool(reject_p);
+                if hit {
+                    self.injected += 1;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mins(m: u64) -> SimTime {
+        SimTime::from_mins(m)
+    }
+
+    #[test]
+    fn host_set_membership_and_order() {
+        let s = HostSet::of(&[3, 1]);
+        assert!(s.contains(1) && s.contains(3));
+        assert!(!s.contains(2) && !s.contains(63));
+        assert_eq!(s.hosts(), vec![1, 3]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.to_string(), "1,3");
+        assert!(HostSet::EMPTY.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn host_set_rejects_out_of_range() {
+        HostSet::of(&[64]);
+    }
+
+    #[test]
+    fn spec_names_are_catalog_style() {
+        let s = GrayFaultSpec::new(
+            GrayFault::CorrelatedHog { factor: 6.0 },
+            HostSet::of(&[1, 3]),
+        );
+        assert_eq!(s.name(), "correlated-hog@1,3");
+        let s = GrayFaultSpec::new(GrayFault::RetryStorm { reject_p: 0.35 }, HostSet::of(&[2]));
+        assert_eq!(s.name(), "retry-storm@2");
+    }
+
+    #[test]
+    #[should_panic]
+    fn factor_at_most_one_rejected() {
+        GrayFaultSpec::new(GrayFault::SlowUpstream { factor: 1.0 }, HostSet::of(&[1]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_host_set_rejected() {
+        GrayFaultSpec::new(GrayFault::SlowUpstream { factor: 2.0 }, HostSet::EMPTY);
+    }
+
+    #[test]
+    fn factors_apply_only_in_window_and_host_set() {
+        let mut g = GraySchedule::new(1).with_window(
+            mins(3),
+            mins(8),
+            GrayFaultSpec::new(GrayFault::SlowUpstream { factor: 8.0 }, HostSet::of(&[2])),
+        );
+        assert_eq!(g.connect_factor_at(mins(5), 2), 8.0);
+        assert_eq!(g.connect_factor_at(mins(5), 1), 1.0);
+        assert_eq!(g.connect_factor_at(mins(2), 2), 1.0);
+        assert_eq!(g.connect_factor_at(mins(8), 2), 1.0);
+        // Other query kinds are untouched by a SlowUpstream window.
+        assert_eq!(g.relay_factor_at(mins(5), 2), 1.0);
+        assert_eq!(g.reply_factor_at(mins(5), 2), 1.0);
+        assert!(!g.reject_connect(mins(5), 2));
+        assert_eq!(g.injected(), 1);
+    }
+
+    #[test]
+    fn correlated_hog_hits_all_targets_simultaneously() {
+        let mut g = GraySchedule::new(1).with_window(
+            mins(1),
+            mins(2),
+            GrayFaultSpec::new(
+                GrayFault::CorrelatedHog { factor: 6.0 },
+                HostSet::of(&[1, 3]),
+            ),
+        );
+        assert_eq!(g.relay_factor_at(mins(1), 1), 6.0);
+        assert_eq!(g.relay_factor_at(mins(1), 3), 6.0);
+        assert_eq!(g.relay_factor_at(mins(1), 2), 1.0);
+        assert_eq!(g.injected(), 2);
+    }
+
+    #[test]
+    fn overlapping_windows_multiply() {
+        let mut g = GraySchedule::new(1)
+            .with_window(
+                mins(0),
+                mins(10),
+                GrayFaultSpec::new(GrayFault::SlowUpstream { factor: 2.0 }, HostSet::of(&[1])),
+            )
+            .with_window(
+                mins(0),
+                mins(10),
+                GrayFaultSpec::new(GrayFault::SlowUpstream { factor: 3.0 }, HostSet::of(&[1])),
+            );
+        assert_eq!(g.connect_factor_at(mins(1), 1), 6.0);
+        assert_eq!(g.injected(), 1);
+    }
+
+    #[test]
+    fn retry_storm_rejects_at_about_the_configured_rate() {
+        let mut g = GraySchedule::new(9).with_window(
+            mins(0),
+            mins(60),
+            GrayFaultSpec::new(GrayFault::RetryStorm { reject_p: 0.35 }, HostSet::of(&[2])),
+        );
+        let hits = (0..100_000)
+            .filter(|_| g.reject_connect(mins(1), 2))
+            .count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.35).abs() < 0.01, "rate={rate}");
+        assert_eq!(g.injected(), hits as u64);
+        // Untargeted host never rejected.
+        assert!(!(0..1000).any(|_| g.reject_connect(mins(1), 1)));
+    }
+
+    #[test]
+    fn rejection_draws_are_reproducible() {
+        let run = |seed| {
+            let mut g = GraySchedule::new(seed).with_window(
+                mins(0),
+                mins(60),
+                GrayFaultSpec::new(GrayFault::RetryStorm { reject_p: 0.5 }, HostSet::of(&[1])),
+            );
+            (0..64)
+                .map(|_| g.reject_connect(mins(1), 1))
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_window_rejected() {
+        GraySchedule::new(1).with_window(
+            mins(5),
+            mins(5),
+            GrayFaultSpec::new(GrayFault::SlowUpstream { factor: 2.0 }, HostSet::of(&[1])),
+        );
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let spec = GrayFaultSpec::new(
+            GrayFault::AsymmetricPartition { factor: 10.0 },
+            HostSet::of(&[4]),
+        );
+        let s = spec.to_string();
+        assert!(s.contains("asymmetric-partition") && s.contains('4'), "{s}");
+    }
+}

@@ -19,17 +19,24 @@
 //!   checkpoint files: seeded byte flips (bit rot) and truncation (torn
 //!   writes), for exercising checkpoint recovery;
 //! * [`FaultyProxy`] — the socket-level counterpart of [`LossyLink`]: a
-//!   message-aware TCP proxy injecting drop, corruption, delay, and
-//!   mid-stream disconnects between a real agent and a real collector;
+//!   message-aware TCP proxy injecting drop, corruption, delay,
+//!   mid-stream disconnects, and seeded bandwidth throttling between a
+//!   real agent and a real collector;
+//! * [`GraySchedule`] — gray failures for the staged relay workload:
+//!   slow-but-not-dead upstreams, correlated multi-host hogs, asymmetric
+//!   link degradation, and retry storms, each seeded and exactly
+//!   accounted;
 //! * [`catalog`] — ready-made builders for every fault configuration the
 //!   paper evaluates (Fig 9, Fig 10/Table 2, Fig 11/Table 3) plus the
-//!   combined lossy-link robustness scenario.
+//!   combined lossy-link robustness scenario and the gray-failure
+//!   scenario catalog with ground-truth oracles.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod catalog;
 mod checkpoint;
+mod gray;
 mod hog;
 mod link;
 mod proxy;
@@ -37,8 +44,9 @@ mod schedule;
 mod spec;
 
 pub use checkpoint::{CheckpointTamperer, TamperCounts};
+pub use gray::{GrayFault, GrayFaultSpec, GraySchedule, HostSet};
 pub use hog::{HogSchedule, HogWindow};
 pub use link::{LinkFault, LinkFaultCounts, LinkFaultSpec, LossyLink};
-pub use proxy::{FaultyProxy, ProxyCounts, ProxySpec};
+pub use proxy::{ConnectionThrottle, FaultyProxy, ProxyCounts, ProxySpec};
 pub use schedule::{FaultSchedule, FaultWindow};
 pub use spec::{FaultSpec, FaultType, Intensity};

@@ -8,9 +8,13 @@
 //! faults per message: **drop** (the message vanishes, surfacing as a
 //! sequence gap downstream), **corrupt** (one payload byte is flipped, to
 //! be caught by the receiver's CRC), **delay** (the message is held
-//! briefly, preserving per-connection order), and **mid-stream
-//! disconnect** (both directions are severed after N messages, once).
-//! Every injection is counted exactly in [`ProxyCounts`], so tests can
+//! briefly, preserving per-connection order), **mid-stream disconnect**
+//! (both directions are severed after N messages, once), and **bandwidth
+//! throttle** (every message is held for a time proportional to its frame
+//! size, with seeded jitter — a slow link rather than a lossy one, for
+//! SlowUpstream-over-TCP scenarios).
+//! Every injection is counted exactly in [`ProxyCounts`] — and per
+//! connection in [`ConnectionThrottle`] for the throttle — so tests can
 //! reconcile what the proxy did against what the transport accounted.
 //!
 //! The proxy knows nothing about SAAD frame internals beyond the length
@@ -52,6 +56,11 @@ pub struct ProxySpec {
     /// client→server messages have been seen, once over the proxy's
     /// lifetime. `None` disables.
     pub disconnect_after: Option<u64>,
+    /// Bandwidth throttle: hold every client→server message for
+    /// `frame_bytes / throttle_bytes_per_sec` seconds (±20% seeded
+    /// jitter) before forwarding, where `frame_bytes` includes the 4-byte
+    /// length prefix. `None` disables. Models a slow-but-not-dead link.
+    pub throttle_bytes_per_sec: Option<f64>,
     /// Seed for the fault stream (per-connection streams derive from it).
     pub seed: u64,
 }
@@ -66,6 +75,7 @@ impl Default for ProxySpec {
             delay_p: 0.0,
             delay: Duration::from_millis(1),
             disconnect_after: None,
+            throttle_bytes_per_sec: None,
             seed: 0xFA_017,
         }
     }
@@ -87,6 +97,23 @@ pub struct ProxyCounts {
     pub delayed: u64,
     /// Mid-stream disconnects fired.
     pub disconnects: u64,
+    /// Messages held by the bandwidth throttle.
+    pub throttled: u64,
+    /// Total throttle hold time injected, in microseconds.
+    pub throttle_micros: u64,
+}
+
+/// Exact bandwidth-throttle accounting for one proxied connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnectionThrottle {
+    /// Connection id (0-based, in accept order).
+    pub conn_id: u64,
+    /// Messages held by the throttle on this connection.
+    pub messages: u64,
+    /// Bytes (frame sizes, prefix included) the throttle paced.
+    pub bytes: u64,
+    /// Total hold time injected on this connection, in microseconds.
+    pub micros: u64,
 }
 
 #[derive(Debug, Default)]
@@ -97,10 +124,14 @@ struct Counters {
     corrupted: AtomicU64,
     delayed: AtomicU64,
     disconnects: AtomicU64,
+    throttled: AtomicU64,
+    throttle_micros: AtomicU64,
     /// Client→server messages seen (drives `disconnect_after`).
     seen: AtomicU64,
     /// Ensures the disconnect fires at most once.
     disconnect_armed: AtomicBool,
+    /// Per-connection throttle accounting, keyed by connection id.
+    throttles: parking_lot::Mutex<Vec<ConnectionThrottle>>,
 }
 
 #[derive(Debug)]
@@ -128,6 +159,14 @@ impl FaultyProxy {
     ///
     /// Propagates the listener bind failure.
     pub fn start<A: ToSocketAddrs>(upstream: A, spec: ProxySpec) -> io::Result<FaultyProxy> {
+        if let Some(bps) = spec.throttle_bytes_per_sec {
+            if !(bps.is_finite() && bps > 0.0) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("throttle_bytes_per_sec must be positive and finite, got {bps}"),
+                ));
+            }
+        }
         let upstream = upstream
             .to_socket_addrs()?
             .next()
@@ -173,7 +212,16 @@ impl FaultyProxy {
             corrupted: c.corrupted.load(Ordering::Relaxed),
             delayed: c.delayed.load(Ordering::Relaxed),
             disconnects: c.disconnects.load(Ordering::Relaxed),
+            throttled: c.throttled.load(Ordering::Relaxed),
+            throttle_micros: c.throttle_micros.load(Ordering::Relaxed),
         }
+    }
+
+    /// Exact per-connection bandwidth-throttle accounting, in accept
+    /// order. Empty unless [`ProxySpec::throttle_bytes_per_sec`] is set
+    /// (connections that never saw a throttled message are omitted).
+    pub fn throttles(&self) -> Vec<ConnectionThrottle> {
+        self.shared.counters.throttles.lock().clone()
     }
 
     /// Stop relaying: sever all connections, join all threads, return the
@@ -378,6 +426,36 @@ fn forward_messages(client: &mut TcpStream, server: &mut TcpStream, conn_id: u64
             counters.delayed.fetch_add(1, Ordering::Relaxed);
             std::thread::sleep(spec.delay);
         }
+        if let Some(bps) = spec.throttle_bytes_per_sec {
+            // Pace the whole frame (prefix + body) at the configured
+            // bandwidth, with ±20% seeded jitter so hold times are
+            // reproducible but not lockstep.
+            let frame_bytes = (4 + len) as u64;
+            let hold = Duration::from_secs_f64(frame_bytes as f64 / bps * rng.gen_range(0.8..1.2));
+            counters.throttled.fetch_add(1, Ordering::Relaxed);
+            counters
+                .throttle_micros
+                .fetch_add(hold.as_micros() as u64, Ordering::Relaxed);
+            {
+                let mut per_conn = counters.throttles.lock();
+                let entry = match per_conn.iter_mut().find(|t| t.conn_id == conn_id) {
+                    Some(entry) => entry,
+                    None => {
+                        per_conn.push(ConnectionThrottle {
+                            conn_id,
+                            messages: 0,
+                            bytes: 0,
+                            micros: 0,
+                        });
+                        per_conn.last_mut().expect("just pushed")
+                    }
+                };
+                entry.messages += 1;
+                entry.bytes += frame_bytes;
+                entry.micros += hold.as_micros() as u64;
+            }
+            std::thread::sleep(hold);
+        }
         if server.write_all(&len_buf).is_err()
             || server.write_all(&body).is_err()
             || server.flush().is_err()
@@ -385,5 +463,132 @@ fn forward_messages(client: &mut TcpStream, server: &mut TcpStream, conn_id: u64
             return;
         }
         counters.forwarded.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    /// A sink server: accepts connections, reads until EOF, reports the
+    /// byte count per connection.
+    fn sink_server() -> (SocketAddr, mpsc::Receiver<u64>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind sink");
+        let addr = listener.local_addr().expect("sink addr");
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            while let Ok((mut stream, _)) = listener.accept() {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    let mut total = 0u64;
+                    let mut buf = [0u8; 4096];
+                    loop {
+                        match stream.read(&mut buf) {
+                            Ok(0) | Err(_) => break,
+                            Ok(n) => total += n as u64,
+                        }
+                    }
+                    let _ = tx.send(total);
+                });
+            }
+        });
+        (addr, rx)
+    }
+
+    fn send_messages(addr: SocketAddr, sizes: &[usize]) {
+        let mut client = TcpStream::connect(addr).expect("connect proxy");
+        for &len in sizes {
+            client
+                .write_all(&(len as u32).to_be_bytes())
+                .expect("write prefix");
+            client.write_all(&vec![0xAB; len]).expect("write body");
+        }
+        client.flush().expect("flush");
+        drop(client); // EOF ends the forward loop
+    }
+
+    #[test]
+    fn throttle_paces_and_accounts_exactly() {
+        let (upstream, bytes_rx) = sink_server();
+        let spec = ProxySpec {
+            throttle_bytes_per_sec: Some(1_000_000.0),
+            seed: 0x5EED,
+            ..ProxySpec::default()
+        };
+        let proxy = FaultyProxy::start(upstream, spec).expect("start proxy");
+        let sizes = [1_000usize; 10];
+        let started = std::time::Instant::now();
+        send_messages(proxy.local_addr(), &sizes);
+        let delivered = bytes_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("sink reports");
+        let elapsed = started.elapsed();
+        let counts = proxy.counts();
+        let per_conn = proxy.throttles();
+        proxy.shutdown();
+
+        // Every frame arrived intact.
+        assert_eq!(delivered, 10 * (4 + 1_000) as u64);
+        assert_eq!(counts.forwarded, 10);
+        assert_eq!(counts.throttled, 10);
+        // Per-connection accounting reconciles exactly with the totals.
+        assert_eq!(per_conn.len(), 1);
+        assert_eq!(per_conn[0].conn_id, 0);
+        assert_eq!(per_conn[0].messages, 10);
+        assert_eq!(per_conn[0].bytes, 10 * 1_004);
+        assert_eq!(per_conn[0].micros, counts.throttle_micros);
+        // 10 × 1004 B at 1 MB/s is ~10 ms nominal; jitter keeps each hold
+        // within ±20%.
+        assert!(
+            counts.throttle_micros >= 8_000 && counts.throttle_micros <= 12_100,
+            "total hold {} µs out of jitter envelope",
+            counts.throttle_micros
+        );
+        assert!(
+            elapsed >= Duration::from_micros(counts.throttle_micros),
+            "wall time {elapsed:?} must cover the injected holds"
+        );
+    }
+
+    #[test]
+    fn throttle_holds_are_seeded() {
+        let run = |seed| {
+            let (upstream, bytes_rx) = sink_server();
+            let spec = ProxySpec {
+                throttle_bytes_per_sec: Some(20_000_000.0),
+                seed,
+                ..ProxySpec::default()
+            };
+            let proxy = FaultyProxy::start(upstream, spec).expect("start proxy");
+            let sizes = [64, 4_096, 512, 1_024];
+            send_messages(proxy.local_addr(), &sizes);
+            bytes_rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("sink reports");
+            proxy.shutdown().throttle_micros
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn throttle_disabled_by_default_and_validated() {
+        let (upstream, bytes_rx) = sink_server();
+        let proxy = FaultyProxy::start(upstream, ProxySpec::default()).expect("start proxy");
+        send_messages(proxy.local_addr(), &[256, 256]);
+        bytes_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("sink reports");
+        let counts = proxy.shutdown();
+        assert_eq!(counts.throttled, 0);
+        assert_eq!(counts.throttle_micros, 0);
+
+        let bad = ProxySpec {
+            throttle_bytes_per_sec: Some(0.0),
+            ..ProxySpec::default()
+        };
+        let err = FaultyProxy::start(upstream, bad).expect_err("zero bandwidth rejected");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
     }
 }

@@ -1,0 +1,147 @@
+//! Relay fleet configuration.
+
+use saad_logging::Level;
+use saad_sim::SimDuration;
+
+/// Configuration of a simulated relay fleet.
+///
+/// Defaults model a small 4-host relay tier in front of 8 upstreams,
+/// scaled so a 10-minute run produces several hundred tasks per stage,
+/// host, and detection window while keeping multiple relays in flight per
+/// host (the interleaved suspend/resume pattern the tracker must survive).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelayConfig {
+    /// Number of relay hosts (numbered from 1, like the paper's testbed).
+    pub hosts: usize,
+    /// Number of distinct upstream peers sessions connect to.
+    pub upstreams: usize,
+    /// Master RNG seed; every run with the same seed is identical.
+    pub seed: u64,
+    /// Logging verbosity (production default: `Info`).
+    pub log_level: Level,
+    /// Mean accept-queue wait before a task is created (exponential).
+    pub accept_wait_mean: SimDuration,
+    /// Base upstream connect round-trip (log-normal jitter on top).
+    pub connect_rtt: SimDuration,
+    /// Connect attempts before the task gives up.
+    pub max_connect_attempts: u32,
+    /// Base backoff after a refused connect (grows linearly per attempt).
+    pub connect_backoff: SimDuration,
+    /// Base time to write the "connected" reply to the client.
+    pub reply_time: SimDuration,
+    /// Data bursts per relay session, inclusive range.
+    pub min_bursts: u32,
+    /// See [`RelayConfig::min_bursts`].
+    pub max_bursts: u32,
+    /// Bytes per burst, inclusive range.
+    pub min_burst_bytes: u64,
+    /// See [`RelayConfig::min_burst_bytes`].
+    pub max_burst_bytes: u64,
+    /// Data-plane copy bandwidth per host.
+    pub relay_bytes_per_sec: f64,
+    /// Mean idle gap between bursts of one session (exponential); the
+    /// session is suspended for the gap, so concurrent sessions interleave.
+    pub burst_gap_mean: SimDuration,
+    /// Escaper health-probe period per host.
+    pub escaper_period: SimDuration,
+}
+
+impl Default for RelayConfig {
+    fn default() -> RelayConfig {
+        RelayConfig {
+            hosts: 4,
+            upstreams: 8,
+            seed: 42,
+            log_level: Level::Info,
+            accept_wait_mean: SimDuration::from_micros(300),
+            connect_rtt: SimDuration::from_millis(2),
+            max_connect_attempts: 4,
+            connect_backoff: SimDuration::from_millis(5),
+            reply_time: SimDuration::from_micros(500),
+            min_bursts: 8,
+            max_bursts: 16,
+            min_burst_bytes: 256 * 1024,
+            max_burst_bytes: 1024 * 1024,
+            relay_bytes_per_sec: 40e6,
+            burst_gap_mean: SimDuration::from_millis(5),
+            escaper_period: SimDuration::from_secs(5),
+        }
+    }
+}
+
+impl RelayConfig {
+    /// Validate the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if counts or ranges are inconsistent (no hosts, host numbers
+    /// outside `saad_fault::HostSet` range, empty burst ranges, zero
+    /// bandwidth).
+    pub fn validate(&self) {
+        assert!(self.hosts >= 1, "need at least one relay host");
+        assert!(
+            self.hosts < 64,
+            "host numbers must fit a saad_fault::HostSet (hosts < 64)"
+        );
+        assert!(self.upstreams >= 1, "need at least one upstream");
+        assert!(self.max_connect_attempts >= 1, "need one connect attempt");
+        assert!(
+            self.min_bursts >= 1 && self.min_bursts <= self.max_bursts,
+            "burst count range [{}, {}] is empty",
+            self.min_bursts,
+            self.max_bursts
+        );
+        assert!(
+            self.min_burst_bytes >= 1 && self.min_burst_bytes <= self.max_burst_bytes,
+            "burst size range is empty"
+        );
+        assert!(
+            self.relay_bytes_per_sec.is_finite() && self.relay_bytes_per_sec > 0.0,
+            "relay bandwidth must be positive"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        let c = RelayConfig::default();
+        assert_eq!(c.hosts, 4);
+        assert_eq!(c.upstreams, 8);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_hosts_rejected() {
+        RelayConfig {
+            hosts: 0,
+            ..RelayConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn hosts_beyond_host_set_rejected() {
+        RelayConfig {
+            hosts: 64,
+            ..RelayConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_burst_range_rejected() {
+        RelayConfig {
+            min_bursts: 5,
+            max_bursts: 4,
+            ..RelayConfig::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,286 @@
+//! Instrumentation of the simulated relay source: stages and log points.
+//!
+//! The stage vocabulary is g3proxy's task-log `stage` enum (Created,
+//! Preparing, Connecting, Connected, Replying, Relaying, Finished), each
+//! lifecycle stage promoted to a tracked stage of its own — the paper's
+//! stage delimiters sit exactly at the lifecycle transitions. The
+//! background `Escaper` stage models the periodic upstream health probe.
+
+use saad_core::{StageId, StageRegistry};
+use saad_logging::{Level, LogPointId, LogPointRegistry};
+use std::sync::Arc;
+
+/// Stage ids of the simulated relay server.
+#[derive(Debug, Clone, Copy)]
+#[allow(missing_docs)] // field names are the stage names
+pub struct RelayStages {
+    pub created: StageId,
+    pub preparing: StageId,
+    pub connecting: StageId,
+    pub connected: StageId,
+    pub replying: StageId,
+    pub relaying: StageId,
+    pub finished: StageId,
+    pub escaper: StageId,
+}
+
+/// Log point ids of every log statement in the simulated relay source.
+#[derive(Debug, Clone, Copy)]
+#[allow(missing_docs)] // names mirror the statements below
+pub struct RelayPoints {
+    // Created
+    pub ct_accept: LogPointId,
+    pub ct_created: LogPointId,
+    // Preparing
+    pub pr_start: LogPointId,
+    pub pr_ready: LogPointId,
+    // Connecting
+    pub cn_attempt: LogPointId,
+    pub cn_refused: LogPointId,
+    pub cn_established: LogPointId,
+    pub cn_give_up: LogPointId,
+    // Connected
+    pub cd_handshake: LogPointId,
+    pub cd_ready: LogPointId,
+    // Replying
+    pub rp_start: LogPointId,
+    pub rp_sent: LogPointId,
+    // Relaying
+    pub rl_start: LogPointId,
+    pub rl_burst: LogPointId,
+    pub rl_done: LogPointId,
+    // Finished
+    pub fi_summary: LogPointId,
+    pub fi_done: LogPointId,
+    // Escaper
+    pub es_probe: LogPointId,
+    pub es_ok: LogPointId,
+}
+
+/// The full instrumentation output: registries plus the id structs.
+#[derive(Debug, Clone)]
+pub struct Instrumentation {
+    /// Stage name registry.
+    pub stages_registry: Arc<StageRegistry>,
+    /// Log template dictionary.
+    pub points_registry: Arc<LogPointRegistry>,
+    /// Stage ids.
+    pub stages: RelayStages,
+    /// Log point ids.
+    pub points: RelayPoints,
+}
+
+impl Instrumentation {
+    /// Run the instrumentation pass: register all stages and log points.
+    pub fn install() -> Instrumentation {
+        let sr = Arc::new(StageRegistry::new());
+        let stages = RelayStages {
+            created: sr.register("Created"),
+            preparing: sr.register("Preparing"),
+            connecting: sr.register("Connecting"),
+            connected: sr.register("Connected"),
+            replying: sr.register("Replying"),
+            relaying: sr.register("Relaying"),
+            finished: sr.register("Finished"),
+            escaper: sr.register("Escaper"),
+        };
+        let pr = Arc::new(LogPointRegistry::new());
+        let reg =
+            |text: &str, level: Level, file: &str, line: u32| pr.register(text, level, file, line);
+        let points = RelayPoints {
+            ct_accept: reg(
+                "Accepted connection from client {}",
+                Level::Debug,
+                "serve/tcp_connect/task.rs",
+                61,
+            ),
+            ct_created: reg(
+                "Task {} created after {} us wait",
+                Level::Debug,
+                "serve/tcp_connect/task.rs",
+                74,
+            ),
+            pr_start: reg(
+                "Preparing internal resources for task {}",
+                Level::Debug,
+                "serve/tcp_connect/task.rs",
+                102,
+            ),
+            pr_ready: reg(
+                "Resources ready; selected escaper {}",
+                Level::Debug,
+                "serve/tcp_connect/task.rs",
+                118,
+            ),
+            cn_attempt: reg(
+                "Connecting to upstream {}",
+                Level::Debug,
+                "escape/direct_fixed/tcp_connect.rs",
+                140,
+            ),
+            cn_refused: reg(
+                "Connection to upstream {} refused; will retry",
+                Level::Warn,
+                "escape/direct_fixed/tcp_connect.rs",
+                158,
+            ),
+            cn_established: reg(
+                "Connected to upstream {} in {} us",
+                Level::Debug,
+                "escape/direct_fixed/tcp_connect.rs",
+                171,
+            ),
+            cn_give_up: reg(
+                "Giving up connecting to upstream {} after {} attempts",
+                Level::Warn,
+                "escape/direct_fixed/tcp_connect.rs",
+                183,
+            ),
+            cd_handshake: reg(
+                "Upstream channel established; negotiating session {}",
+                Level::Debug,
+                "serve/tcp_connect/task.rs",
+                205,
+            ),
+            cd_ready: reg(
+                "Session {} ready after {} us",
+                Level::Debug,
+                "serve/tcp_connect/task.rs",
+                221,
+            ),
+            rp_start: reg(
+                "Replying to client: upstream {} connected",
+                Level::Debug,
+                "serve/tcp_connect/task.rs",
+                248,
+            ),
+            rp_sent: reg(
+                "Reply of {} bytes sent to client",
+                Level::Debug,
+                "serve/tcp_connect/task.rs",
+                259,
+            ),
+            rl_start: reg(
+                "Relaying data for task {}",
+                Level::Debug,
+                "serve/tcp_connect/relay.rs",
+                45,
+            ),
+            rl_burst: reg(
+                "Relayed {} bytes c2r/r2c for task {}",
+                Level::Debug,
+                "serve/tcp_connect/relay.rs",
+                72,
+            ),
+            rl_done: reg(
+                "Relaying complete: {} bytes in {} bursts",
+                Level::Debug,
+                "serve/tcp_connect/relay.rs",
+                91,
+            ),
+            fi_summary: reg(
+                "Task {} finished: reason {}, wait {} us, ready {} us",
+                Level::Info,
+                "serve/tcp_connect/task.rs",
+                301,
+            ),
+            fi_done: reg(
+                "Task log emitted for {}",
+                Level::Debug,
+                "serve/tcp_connect/task.rs",
+                315,
+            ),
+            es_probe: reg(
+                "Escaper {} probing upstream health",
+                Level::Debug,
+                "escape/direct_fixed/mod.rs",
+                402,
+            ),
+            es_ok: reg(
+                "Escaper {} health probe ok",
+                Level::Debug,
+                "escape/direct_fixed/mod.rs",
+                415,
+            ),
+        };
+        Instrumentation {
+            stages_registry: sr,
+            points_registry: pr,
+            stages,
+            points,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_registers_the_g3_stage_vocabulary() {
+        let inst = Instrumentation::install();
+        assert_eq!(inst.stages_registry.len(), 8);
+        for name in [
+            "Created",
+            "Preparing",
+            "Connecting",
+            "Connected",
+            "Replying",
+            "Relaying",
+            "Finished",
+            "Escaper",
+        ] {
+            assert!(
+                inst.stages_registry.lookup(name).is_some(),
+                "missing stage {name}"
+            );
+        }
+        assert_eq!(
+            inst.stages_registry.name(inst.stages.relaying).as_deref(),
+            Some("Relaying")
+        );
+    }
+
+    #[test]
+    fn install_registers_all_points_with_templates() {
+        let inst = Instrumentation::install();
+        assert_eq!(inst.points_registry.len(), 19);
+        let t = inst
+            .points_registry
+            .template(inst.points.cn_refused)
+            .unwrap();
+        assert!(t.text.contains("refused"));
+        assert_eq!(t.level, Level::Warn);
+    }
+
+    #[test]
+    fn point_ids_are_distinct() {
+        let inst = Instrumentation::install();
+        let p = &inst.points;
+        let ids = [
+            p.ct_accept,
+            p.ct_created,
+            p.pr_start,
+            p.pr_ready,
+            p.cn_attempt,
+            p.cn_refused,
+            p.cn_established,
+            p.cn_give_up,
+            p.cd_handshake,
+            p.cd_ready,
+            p.rp_start,
+            p.rp_sent,
+            p.rl_start,
+            p.rl_burst,
+            p.rl_done,
+            p.fi_summary,
+            p.fi_done,
+            p.es_probe,
+            p.es_ok,
+        ];
+        let mut sorted: Vec<u16> = ids.iter().map(|i| i.0).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len());
+    }
+}

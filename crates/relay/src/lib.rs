@@ -1,0 +1,45 @@
+//! A simulated g3proxy-shaped staged relay server.
+//!
+//! The paper's three storage simulators exercise crash-shaped write-path
+//! faults; this crate adds the connection-oriented workload whose failures
+//! are *gray* — slow but not dead. Each client session is a task that
+//! moves through the g3 task-log stage vocabulary:
+//!
+//! ```text
+//! Created → Preparing → Connecting → Connected → Replying → Relaying → Finished
+//! ```
+//!
+//! with per-task wait time (accept → created) and ready time (created →
+//! upstream connected) carried into the Finished task log, plus a
+//! background `Escaper` health-probe stage.
+//!
+//! Unlike the storage writers, relay tasks are **long-lived**: the
+//! Relaying stage is suspended between data bursts and resumed in global
+//! time order, so many concurrent sessions interleave their stage
+//! re-entries on one host's tracker — the tracker's suspend/resume path
+//! under its production access pattern.
+//!
+//! Gray failures attach via [`RelayCluster::attach_gray`] with a
+//! [`saad_fault::GraySchedule`], and each shape localizes to exactly one
+//! stage:
+//!
+//! * `SlowUpstream` — inflates connect RTT (the *Connecting* stage);
+//! * `CorrelatedHog` — inflates data-plane copy time (*Relaying*),
+//!   simultaneously on every targeted host;
+//! * `AsymmetricPartition` — inflates the proxy→client reply send
+//!   (*Replying*) only; the reverse direction stays healthy;
+//! * `RetryStorm` — refuses connect attempts, driving the retry flow
+//!   (*Connecting*) with its warn-level refused/give-up log points.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cluster;
+mod config;
+mod instrument;
+mod node;
+
+pub use cluster::{RelayCluster, RelayRunOutput};
+pub use config::RelayConfig;
+pub use instrument::{Instrumentation, RelayPoints, RelayStages};
+pub use node::RelayNodeStats;

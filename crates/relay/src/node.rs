@@ -1,0 +1,369 @@
+//! One simulated relay host: the per-session stage ladder (Created →
+//! Preparing → Connecting → Connected → Replying), the Finished summary
+//! task, and the background escaper probe.
+//!
+//! The long-lived Relaying stage is driven by the cluster's pump (see
+//! `cluster.rs`): relay sessions are suspended between bursts and resumed
+//! in global arrival order, so concurrent sessions on one host interleave
+//! on the same tracker.
+
+use crate::config::RelayConfig;
+use crate::instrument::{Instrumentation, RelayPoints, RelayStages};
+use rand::rngs::StdRng;
+use rand::Rng;
+use saad_core::simtask::SimTask;
+use saad_core::tracker::{SynopsisSink, TaskExecutionTracker};
+use saad_core::HostId;
+use saad_fault::GraySchedule;
+use saad_logging::appender::Appender;
+use saad_logging::{Level, Logger};
+use saad_sim::rng::{exp_sample, lognormal_sample, RngStreams};
+use saad_sim::{Clock, ManualClock, SimDuration, SimTime};
+use std::sync::Arc;
+
+/// Per-stage loggers of a relay host, each wired through the host's
+/// tracker.
+#[derive(Debug)]
+pub(crate) struct NodeLoggers {
+    pub created: Arc<Logger>,
+    pub preparing: Arc<Logger>,
+    pub connecting: Arc<Logger>,
+    pub connected: Arc<Logger>,
+    pub replying: Arc<Logger>,
+    pub relaying: Arc<Logger>,
+    pub finished: Arc<Logger>,
+    pub escaper: Arc<Logger>,
+}
+
+impl NodeLoggers {
+    fn new(
+        tracker: &Arc<TaskExecutionTracker>,
+        inst: &Instrumentation,
+        level: Level,
+        appender: Option<Arc<dyn Appender>>,
+    ) -> NodeLoggers {
+        let mk = |name: &str| {
+            let mut b = Logger::builder(name)
+                .level(level)
+                .interceptor(tracker.clone())
+                .registry(inst.points_registry.clone());
+            if let Some(a) = &appender {
+                b = b.appender(a.clone());
+            }
+            Arc::new(b.build())
+        };
+        NodeLoggers {
+            created: mk("Created"),
+            preparing: mk("Preparing"),
+            connecting: mk("Connecting"),
+            connected: mk("Connected"),
+            replying: mk("Replying"),
+            relaying: mk("Relaying"),
+            finished: mk("Finished"),
+            escaper: mk("Escaper"),
+        }
+    }
+}
+
+/// Counters a run reports per relay host.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RelayNodeStats {
+    /// Sessions accepted on this host.
+    pub sessions: u64,
+    /// Sessions that relayed to completion.
+    pub completed: u64,
+    /// Sessions aborted after exhausting connect attempts.
+    pub aborted: u64,
+    /// Connect attempts refused by the upstream (retry-storm hits).
+    pub connect_retries: u64,
+    /// Data bursts relayed.
+    pub bursts: u64,
+    /// Bytes relayed (both directions combined).
+    pub bytes_relayed: u64,
+    /// Escaper health probes run.
+    pub probes: u64,
+}
+
+/// Result of the pre-relay stage ladder for one session.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SessionSetup {
+    /// When the Replying stage finished — the Relaying stage starts here.
+    pub relay_from: SimTime,
+    /// Accept → task-created wait, microseconds (g3's `wait_time`).
+    pub wait_us: u64,
+    /// Task-created → upstream-connected, microseconds (`ready_time`).
+    pub ready_us: u64,
+}
+
+pub(crate) struct RelayNode {
+    pub host: HostId,
+    cfg: RelayConfig,
+    clock: Arc<ManualClock>,
+    pub tracker: Arc<TaskExecutionTracker>,
+    st: RelayStages,
+    pt: RelayPoints,
+    pub log: NodeLoggers,
+    rng: StdRng,
+    pub stats: RelayNodeStats,
+}
+
+impl std::fmt::Debug for RelayNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RelayNode")
+            .field("host", &self.host)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl RelayNode {
+    pub(crate) fn new(
+        index: usize,
+        cfg: RelayConfig,
+        clock: Arc<ManualClock>,
+        inst: &Instrumentation,
+        sink: Arc<dyn SynopsisSink>,
+        appender: Option<Arc<dyn Appender>>,
+        streams: &RngStreams,
+    ) -> RelayNode {
+        let host = HostId(index as u16 + 1); // paper numbers hosts from 1
+        let tracker = Arc::new(TaskExecutionTracker::new(
+            host,
+            clock.clone() as Arc<dyn Clock>,
+            sink,
+        ));
+        let log = NodeLoggers::new(&tracker, inst, cfg.log_level, appender);
+        RelayNode {
+            host,
+            cfg,
+            clock,
+            tracker,
+            st: inst.stages,
+            pt: inst.points,
+            log,
+            rng: streams.stream(&format!("relay-{index}")),
+            stats: RelayNodeStats::default(),
+        }
+    }
+
+    /// CPU service time: `base_us` with log-normal jitter.
+    fn cpu(&mut self, base_us: f64) -> SimDuration {
+        let jitter = lognormal_sample(&mut self.rng, 0.0, 0.25);
+        SimDuration::from_secs_f64(base_us * 1e-6 * jitter)
+    }
+
+    pub(crate) fn task(
+        &self,
+        stage: saad_core::StageId,
+        logger: &Arc<Logger>,
+        at: SimTime,
+    ) -> SimTask {
+        SimTask::begin(&self.tracker, &self.clock, logger, stage, at)
+    }
+
+    /// Run the pre-relay stage ladder for a session accepted at `at`:
+    /// Created, Preparing, Connecting (with retries), Connected, Replying.
+    /// Returns `None` when every connect attempt was refused — the session
+    /// aborts and its Finished task has already been emitted.
+    pub(crate) fn setup_session(
+        &mut self,
+        at: SimTime,
+        task_id: u64,
+        upstream: usize,
+        gray: &mut GraySchedule,
+    ) -> Option<SessionSetup> {
+        self.stats.sessions += 1;
+        let host = self.host.0;
+
+        // Created: accept-queue wait, then the task exists.
+        let wait = SimDuration::from_secs_f64(exp_sample(
+            &mut self.rng,
+            self.cfg.accept_wait_mean.as_secs_f64(),
+        ));
+        let logger = self.log.created.clone();
+        let mut t = self.task(self.st.created, &logger, at);
+        t.debug(
+            self.pt.ct_accept,
+            format_args!("Accepted connection from client c{task_id}"),
+        );
+        t.advance(wait);
+        let wait_us = wait.as_micros();
+        t.debug(
+            self.pt.ct_created,
+            format_args!("Task {task_id} created after {wait_us} us wait"),
+        );
+        let created_at = t.finish();
+
+        // Preparing: resource setup, escaper selection.
+        let logger = self.log.preparing.clone();
+        let mut t = self.task(self.st.preparing, &logger, created_at);
+        t.debug(
+            self.pt.pr_start,
+            format_args!("Preparing internal resources for task {task_id}"),
+        );
+        t.advance(self.cpu(60.0));
+        t.debug(
+            self.pt.pr_ready,
+            format_args!("Resources ready; selected escaper direct{}", upstream % 2),
+        );
+        let prepared_at = t.finish();
+
+        // Connecting: attempt/backoff loop. SlowUpstream inflates the RTT;
+        // RetryStorm refuses attempts and drives the retry flow.
+        let logger = self.log.connecting.clone();
+        let mut t = self.task(self.st.connecting, &logger, prepared_at);
+        let mut connected_at = None;
+        for attempt in 1..=self.cfg.max_connect_attempts {
+            t.debug(
+                self.pt.cn_attempt,
+                format_args!("Connecting to upstream u{upstream}"),
+            );
+            t.advance(self.cpu(25.0));
+            if gray.reject_connect(t.now(), host) {
+                self.stats.connect_retries += 1;
+                t.warn(
+                    self.pt.cn_refused,
+                    format_args!("Connection to upstream u{upstream} refused; will retry"),
+                );
+                let backoff = self.cfg.connect_backoff.mul_f64(attempt as f64);
+                t.advance(backoff);
+                continue;
+            }
+            let factor = gray.connect_factor_at(t.now(), host);
+            let jitter = lognormal_sample(&mut self.rng, 0.0, 0.35);
+            let rtt = self.cfg.connect_rtt.mul_f64(jitter * factor);
+            t.advance(rtt);
+            t.debug(
+                self.pt.cn_established,
+                format_args!(
+                    "Connected to upstream u{upstream} in {} us",
+                    rtt.as_micros()
+                ),
+            );
+            connected_at = Some(t.now());
+            break;
+        }
+        let Some(_) = connected_at else {
+            t.warn(
+                self.pt.cn_give_up,
+                format_args!(
+                    "Giving up connecting to upstream u{upstream} after {} attempts",
+                    self.cfg.max_connect_attempts
+                ),
+            );
+            let gave_up = t.finish();
+            self.stats.aborted += 1;
+            self.finished_task(gave_up, task_id, "UpstreamNotConnected", wait_us, 0);
+            return None;
+        };
+        let connect_done = t.finish();
+        let ready_us = connect_done.saturating_since(created_at).as_micros();
+
+        // Connected: session bookkeeping on the established channel.
+        let logger = self.log.connected.clone();
+        let mut t = self.task(self.st.connected, &logger, connect_done);
+        t.debug(
+            self.pt.cd_handshake,
+            format_args!("Upstream channel established; negotiating session {task_id}"),
+        );
+        t.advance(self.cpu(80.0));
+        t.debug(
+            self.pt.cd_ready,
+            format_args!("Session {task_id} ready after {ready_us} us"),
+        );
+        let session_ready = t.finish();
+
+        // Replying: tell the client the tunnel is up. AsymmetricPartition
+        // degrades only this proxy→client send.
+        let logger = self.log.replying.clone();
+        let mut t = self.task(self.st.replying, &logger, session_ready);
+        t.debug(
+            self.pt.rp_start,
+            format_args!("Replying to client: upstream u{upstream} connected"),
+        );
+        let factor = gray.reply_factor_at(t.now(), host);
+        let jitter = lognormal_sample(&mut self.rng, 0.0, 0.25);
+        let send = self.cfg.reply_time.mul_f64(jitter * factor);
+        t.advance(send);
+        t.debug(
+            self.pt.rp_sent,
+            format_args!("Reply of 64 bytes sent to client"),
+        );
+        let relay_from = t.finish();
+
+        Some(SessionSetup {
+            relay_from,
+            wait_us,
+            ready_us,
+        })
+    }
+
+    /// Emit the Finished summary task (the g3 task log line).
+    pub(crate) fn finished_task(
+        &mut self,
+        at: SimTime,
+        task_id: u64,
+        reason: &str,
+        wait_us: u64,
+        ready_us: u64,
+    ) -> SimTime {
+        let logger = self.log.finished.clone();
+        let mut t = self.task(self.st.finished, &logger, at);
+        t.info(
+            self.pt.fi_summary,
+            format_args!(
+                "Task {task_id} finished: reason {reason}, wait {wait_us} us, ready {ready_us} us"
+            ),
+        );
+        t.advance(self.cpu(30.0));
+        t.debug(
+            self.pt.fi_done,
+            format_args!("Task log emitted for {task_id}"),
+        );
+        t.finish()
+    }
+
+    /// Background escaper health probe.
+    pub(crate) fn escaper_tick(&mut self, at: SimTime) {
+        self.stats.probes += 1;
+        let logger = self.log.escaper.clone();
+        let mut t = self.task(self.st.escaper, &logger, at);
+        t.debug(
+            self.pt.es_probe,
+            format_args!("Escaper direct0 probing upstream health"),
+        );
+        t.advance(self.cpu(150.0));
+        t.debug(
+            self.pt.es_ok,
+            format_args!("Escaper direct0 health probe ok"),
+        );
+        t.finish();
+    }
+
+    /// Sample the number of data bursts for a new relay session.
+    pub(crate) fn sample_bursts(&mut self) -> u32 {
+        self.rng
+            .gen_range(self.cfg.min_bursts..=self.cfg.max_bursts)
+    }
+
+    /// Sample the payload size of one burst.
+    pub(crate) fn sample_burst_bytes(&mut self) -> u64 {
+        self.rng
+            .gen_range(self.cfg.min_burst_bytes..=self.cfg.max_burst_bytes)
+    }
+
+    /// Sample the idle gap before the next burst of a session.
+    pub(crate) fn sample_gap(&mut self) -> SimDuration {
+        SimDuration::from_secs_f64(exp_sample(
+            &mut self.rng,
+            self.cfg.burst_gap_mean.as_secs_f64(),
+        ))
+    }
+
+    /// Data-plane copy time for `bytes` at the host's relay bandwidth
+    /// (before any gray slowdown factor).
+    pub(crate) fn copy_time(&mut self, bytes: u64) -> SimDuration {
+        let jitter = lognormal_sample(&mut self.rng, 0.0, 0.2);
+        SimDuration::from_secs_f64(bytes as f64 / self.cfg.relay_bytes_per_sec * jitter)
+    }
+}

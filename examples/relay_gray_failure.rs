@@ -1,0 +1,55 @@
+//! Gray-failure localization on the staged relay: train on healthy
+//! proxy traffic, then replay the full gray-failure catalog — slow
+//! upstream, correlated hog, asymmetric partition, retry storm — and
+//! watch the detector name the degraded stage and the exact host set
+//! for each, with per-scenario detection latency and precision/recall.
+//!
+//! ```sh
+//! cargo run --release --example relay_gray_failure
+//! ```
+
+use saad_bench::gray::run_gray_catalog;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("training on 6 healthy relay minutes, then replaying the gray catalog");
+    println!("(each scenario: 10 simulated minutes, fault active minutes 3-8)\n");
+
+    let results = run_gray_catalog(42, 6, 10);
+
+    println!(
+        " {:<22} {:<12} {:>7} {:>9} {:>11} {:>8} {:>7}",
+        "scenario", "stage", "oracle", "detected", "latency", "precision", "recall"
+    );
+    for r in &results {
+        let fmt_hosts = |hs: &[u16]| {
+            hs.iter()
+                .map(|h| h.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let latency = r
+            .detection_latency_s
+            .map(|s| format!("{s:.0}s"))
+            .unwrap_or_else(|| "MISSED".to_owned());
+        println!(
+            " {:<22} {:<12} {:>7} {:>9} {:>11} {:>9.2} {:>7.2}",
+            r.name,
+            r.stage,
+            fmt_hosts(&r.oracle_hosts),
+            fmt_hosts(&r.detected_hosts),
+            latency,
+            r.precision,
+            r.recall
+        );
+        assert!(
+            r.exact_localization() && r.detection_latency_s.is_some(),
+            "{}: gray failure not localized exactly",
+            r.name
+        );
+    }
+
+    println!("\n=> every gray failure was localized exactly: the flagged host set on the");
+    println!("   degraded stage equals the catalog's ground truth, within three windows.");
+    Ok(())
+}

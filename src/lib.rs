@@ -16,6 +16,8 @@
 //!   Prometheus exposition for SAAD's own pipeline;
 //! * [`hdfs`] / [`hbase`] / [`cassandra`] — the simulated storage systems
 //!   the paper evaluates on;
+//! * [`relay`] — the g3proxy-shaped staged relay simulator whose
+//!   long-lived, interleaved tasks carry the gray-failure scenarios;
 //! * [`workload`] — the YCSB-like workload generator;
 //! * [`textmine`] — the conventional log-mining baseline;
 //! * [`instrument`] — the static source instrumentation pass.
@@ -33,6 +35,7 @@ pub use saad_instrument as instrument;
 pub use saad_logging as logging;
 pub use saad_net as net;
 pub use saad_obs as obs;
+pub use saad_relay as relay;
 pub use saad_sim as sim;
 pub use saad_stage as stage;
 pub use saad_stats as stats;

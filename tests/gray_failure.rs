@@ -1,0 +1,78 @@
+//! End-to-end gray-failure detection: every scenario of the catalog must
+//! be detected with the faulty stage and host set matching the oracle
+//! exactly, at a detection latency bounded by a few windows.
+
+use saad_bench::gray::{run_gray_catalog, run_gray_scenario, train_relay};
+use saad_fault::catalog;
+use saad_relay::RelayConfig;
+
+#[test]
+fn all_four_gray_scenarios_are_detected_and_localized_exactly() {
+    let results = run_gray_catalog(42, 6, 10);
+    assert_eq!(results.len(), 4, "no scenario may be skipped");
+    assert_eq!(
+        results.iter().map(|r| r.name).collect::<Vec<_>>(),
+        vec![
+            "slow-upstream",
+            "correlated-hog",
+            "asymmetric-partition",
+            "retry-storm"
+        ]
+    );
+
+    for r in &results {
+        assert!(r.injected > 0, "{}: schedule never fired", r.name);
+        let latency = r
+            .detection_latency_s
+            .unwrap_or_else(|| panic!("{} went undetected", r.name));
+        // The fault starts at minute 3; detection windows are one minute.
+        // Exact localization within three window closes.
+        assert!(
+            latency <= 180.0,
+            "{}: detection latency {latency}s exceeds three windows",
+            r.name
+        );
+        assert!(
+            r.exact_localization(),
+            "{}: hosts {:?} flagged on stage {}, oracle says {:?}",
+            r.name,
+            r.detected_hosts,
+            r.stage,
+            r.oracle_hosts
+        );
+        assert_eq!(r.recall, 1.0, "{}: an oracle host went unflagged", r.name);
+        assert!(
+            r.matching_events >= 2,
+            "{}: a sustained fault must flag more than one window, got {}",
+            r.name,
+            r.matching_events
+        );
+    }
+}
+
+#[test]
+fn healthy_replay_stays_quiet_on_the_gray_stages() {
+    // Precision sanity: replaying healthy traffic (different seed, no
+    // schedule attached) against the same model must not flag the stages
+    // the catalog targets — what the scenarios detect is the fault, not
+    // the train/replay seed mismatch.
+    let cfg = RelayConfig {
+        seed: 42,
+        ..RelayConfig::default()
+    };
+    let model = train_relay(cfg, 6, 60.0);
+    // An inert scenario: the window never overlaps the replay (starts at
+    // minute 3 of... a schedule targeting hosts that exist, but we reuse
+    // the harness by replaying a catalog scenario whose window is after
+    // the run ends).
+    let mut scenario = catalog::gray_slow_upstream(42);
+    scenario.schedule = saad_fault::GraySchedule::new(1);
+    let r = run_gray_scenario(cfg, model, scenario, 10, 60.0);
+    assert_eq!(r.injected, 0);
+    assert!(
+        r.detected_hosts.is_empty(),
+        "healthy replay flagged {:?} on {}",
+        r.detected_hosts,
+        r.stage
+    );
+}
