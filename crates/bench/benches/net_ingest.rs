@@ -33,16 +33,24 @@ use saad_net::{Agent, AgentConfig, Collector, CollectorConfig};
 use saad_sim::{SimDuration, SimTime};
 use std::time::Instant;
 
-/// Synopses each connection ships.
-const PER_CONN: u64 = 40_000;
+/// Synopses each connection ships at low connection counts.
+const MAX_PER_CONN: u64 = 40_000;
+/// Aggregate cap: high-fanout rows shrink the per-connection workload so
+/// a 256-connection row finishes in the same ballpark of wall time.
+const TOTAL_CAP: u64 = 1_280_000;
 /// Synopses per frame.
 const BATCH: usize = 128;
 
+/// Per-connection workload for a row: flat until the aggregate cap.
+fn per_conn(conns: usize) -> u64 {
+    MAX_PER_CONN.min(TOTAL_CAP / conns as u64)
+}
+
 /// One host's workload: a realistic mixed-flow synopsis stream.
-fn batches_for(host: u16) -> Vec<Vec<TaskSynopsis>> {
-    let mut out = Vec::with_capacity((PER_CONN as usize).div_ceil(BATCH));
+fn batches_for(host: u16, per_conn: u64) -> Vec<Vec<TaskSynopsis>> {
+    let mut out = Vec::with_capacity((per_conn as usize).div_ceil(BATCH));
     let mut batch = Vec::with_capacity(BATCH);
-    for uid in 0..PER_CONN {
+    for uid in 0..per_conn {
         let flow = uid % 5;
         let points: Vec<(LogPointId, u32)> = match flow {
             0..=2 => vec![(LogPointId(1), 1), (LogPointId(2), 1)],
@@ -69,9 +77,17 @@ fn batches_for(host: u16) -> Vec<Vec<TaskSynopsis>> {
 
 struct Row {
     conns: usize,
+    per_conn: u64,
     synopses: u64,
     secs: f64,
     rate: f64,
+}
+
+impl Row {
+    /// Steady-state cost of one synopsis on the wire path.
+    fn ns_per_synopsis(&self) -> f64 {
+        self.secs * 1e9 / self.synopses as f64
+    }
 }
 
 fn measure(conns: usize) -> Row {
@@ -90,9 +106,11 @@ fn measure(conns: usize) -> Row {
         n
     });
 
-    let workloads: Vec<Vec<Vec<TaskSynopsis>>> =
-        (0..conns).map(|h| batches_for(h as u16)).collect();
-    let total = PER_CONN * conns as u64;
+    let per_conn = per_conn(conns);
+    let workloads: Vec<Vec<Vec<TaskSynopsis>>> = (0..conns)
+        .map(|h| batches_for(h as u16, per_conn))
+        .collect();
+    let total = per_conn * conns as u64;
 
     // Warmup: every sender connects, handshakes, and has one batch
     // decoded end-to-end before the clock starts; the rest of the
@@ -135,7 +153,7 @@ fn measure(conns: usize) -> Row {
     for sender in senders {
         let stats = sender.join().expect("sender thread");
         assert_eq!(
-            stats.synopses_written, PER_CONN,
+            stats.synopses_written, per_conn,
             "agent must ship everything"
         );
         assert_eq!(stats.drops.total(), 0);
@@ -154,6 +172,7 @@ fn measure(conns: usize) -> Row {
     let timed = total - warmup;
     Row {
         conns,
+        per_conn,
         synopses: timed,
         secs,
         rate: timed as f64 / secs,
@@ -163,16 +182,21 @@ fn measure(conns: usize) -> Row {
 fn render_json(rows: &[Row]) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"net_ingest\",\n");
-    out.push_str(&format!("  \"per_conn\": {PER_CONN},\n"));
     out.push_str(&format!("  \"batch\": {BATCH},\n"));
     out.push_str("  \"warmup_batches_per_conn\": 1,\n");
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let sep = if i + 1 == rows.len() { "" } else { "," };
         out.push_str(&format!(
-            "    {{ \"connections\": {}, \"synopses\": {}, \"secs\": {:.4}, \
-             \"synopses_per_sec\": {:.0} }}{sep}\n",
-            r.conns, r.synopses, r.secs, r.rate
+            "    {{ \"connections\": {}, \"per_conn\": {}, \"synopses\": {}, \
+             \"secs\": {:.4}, \"synopses_per_sec\": {:.0}, \
+             \"ns_per_synopsis\": {:.1} }}{sep}\n",
+            r.conns,
+            r.per_conn,
+            r.synopses,
+            r.secs,
+            r.rate,
+            r.ns_per_synopsis()
         ));
     }
     out.push_str("  ]\n}\n");
@@ -181,16 +205,21 @@ fn render_json(rows: &[Row]) -> String {
 
 fn main() {
     println!(
-        "wire-path ingest: {PER_CONN} synopses/connection in frames of {BATCH}, over localhost TCP\n"
+        "wire-path ingest: up to {MAX_PER_CONN} synopses/connection in frames of {BATCH}, \
+         over localhost TCP\n"
     );
-    println!(" conns   synopses      secs   synopses/s");
+    println!(" conns   synopses      secs   synopses/s  ns/synopsis");
 
     let mut rows = Vec::new();
-    for &conns in &[1usize, 4, 16] {
+    for &conns in &[1usize, 4, 16, 64, 256] {
         let row = measure(conns);
         println!(
-            "{:>6} {:>10} {:>9.4} {:>12.0}",
-            row.conns, row.synopses, row.secs, row.rate
+            "{:>6} {:>10} {:>9.4} {:>12.0} {:>12.1}",
+            row.conns,
+            row.synopses,
+            row.secs,
+            row.rate,
+            row.ns_per_synopsis()
         );
         rows.push(row);
     }
@@ -205,7 +234,11 @@ fn main() {
     // single-connection aggregate rate (multi-core boxes should see it
     // *grow* — the JSON carries the full curve).
     let rate1 = rows[0].rate;
-    let rate16 = rows[rows.len() - 1].rate;
+    let rate16 = rows
+        .iter()
+        .find(|r| r.conns == 16)
+        .expect("16-connection row")
+        .rate;
     assert!(
         rate16 >= rate1 * 0.5,
         "aggregate ingest collapsed under concurrency: {rate1:.0}/s at 1 conn, {rate16:.0}/s at 16"

@@ -11,18 +11,19 @@
 //!   of over-threshold durations significantly exceeds that signature's
 //!   training outlier rate.
 
+use crate::batch::SynopsisBatch;
 use crate::codec::{get_f64, get_u8, get_varint, put_f64, put_varint, DecodeError};
+use crate::fasthash::FastMap;
 use crate::feature::{FeatureVector, InternedFeature};
 use crate::intern::{SigId, SignatureInterner};
 use crate::model::{
-    CompiledModel, ConfigError, ModelBuilder, ModelConfig, OutlierModel, TaskClass,
+    CompiledModel, ConfigError, ModelBuilder, ModelConfig, OutlierModel, TaskClass, VerdictMask,
 };
 use crate::synopsis::TaskSynopsis;
 use crate::{HostId, Signature, StageId};
 use bytes::{BufMut, Bytes, BytesMut};
 use saad_sim::{SimDuration, SimTime};
 use saad_stats::hypothesis::{one_sided_proportion_test, Alternative};
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -176,7 +177,7 @@ struct WindowAccum {
     new_signatures: Vec<SigId>,
     // interned signature -> (perf outliers, group n); only perf-eligible
     // signatures. Keyed on the dense id — no boxed-slice re-hashing.
-    perf: HashMap<SigId, (u64, u64)>,
+    perf: FastMap<SigId, (u64, u64)>,
 }
 
 /// The windowed statistical anomaly detector.
@@ -197,9 +198,9 @@ pub struct AnomalyDetector {
     compiled: Arc<CompiledModel>,
     interner: Arc<SignatureInterner>,
     config: DetectorConfig,
-    open: HashMap<(HostId, StageId, u64), WindowAccum>,
+    open: FastMap<(HostId, StageId, u64), WindowAccum>,
     // (host, window idx) -> synopses the transport reported lost.
-    lost: HashMap<(HostId, u64), u64>,
+    lost: FastMap<(HostId, u64), u64>,
     watermark: SimTime,
     tasks_seen: u64,
     tasks_lost: u64,
@@ -217,8 +218,8 @@ pub struct DetectorSnapshot {
     compiled: Arc<CompiledModel>,
     interner: Arc<SignatureInterner>,
     config: DetectorConfig,
-    open: HashMap<(HostId, StageId, u64), WindowAccum>,
-    lost: HashMap<(HostId, u64), u64>,
+    open: FastMap<(HostId, StageId, u64), WindowAccum>,
+    lost: FastMap<(HostId, u64), u64>,
     watermark: SimTime,
     tasks_seen: u64,
     tasks_lost: u64,
@@ -352,7 +353,7 @@ impl DetectorSnapshot {
         if window_count > MAX_SNAPSHOT_WINDOWS {
             return Err(DecodeError::LengthOutOfRange(window_count));
         }
-        let mut open = HashMap::with_capacity(window_count as usize);
+        let mut open = FastMap::with_capacity_and_hasher(window_count as usize, Default::default());
         for _ in 0..window_count {
             let host = HostId(get_varint(buf)? as u16);
             let stage = StageId(get_varint(buf)? as u16);
@@ -386,7 +387,7 @@ impl DetectorSnapshot {
         if loss_count > MAX_SNAPSHOT_WINDOWS {
             return Err(DecodeError::LengthOutOfRange(loss_count));
         }
-        let mut lost = HashMap::with_capacity(loss_count as usize);
+        let mut lost = FastMap::with_capacity_and_hasher(loss_count as usize, Default::default());
         for _ in 0..loss_count {
             let host = HostId(get_varint(buf)? as u16);
             let idx = get_varint(buf)?;
@@ -480,7 +481,7 @@ impl DetectorSnapshot {
                 compiled: self.compiled.clone(),
                 interner: self.interner.clone(),
                 config: self.config,
-                open: HashMap::new(),
+                open: FastMap::default(),
                 lost: self.lost.clone(),
                 watermark: self.watermark,
                 tasks_seen: 0,
@@ -587,8 +588,8 @@ impl AnomalyDetector {
             compiled,
             interner,
             config,
-            open: HashMap::new(),
-            lost: HashMap::new(),
+            open: FastMap::default(),
+            lost: FastMap::default(),
             watermark: SimTime::ZERO,
             tasks_seen: 0,
             tasks_lost: 0,
@@ -790,6 +791,132 @@ impl AnomalyDetector {
         self.watermark = self.watermark.max(f.start);
         let mut events = Vec::new();
         self.close_stale(&mut events);
+        events
+    }
+
+    /// Observe a whole structure-of-arrays batch; returns events from any
+    /// windows that closed, in exactly the order the per-synopsis path
+    /// would have produced them.
+    ///
+    /// Semantically this is `for i in 0..batch.len() {
+    /// advance_watermark(batch.watermarks[i]); observe_interned(feature
+    /// i) }` — each element first advances the watermark to its stamped
+    /// stream watermark (the pool router's global running max, or the
+    /// element's own running-max start on the in-process path), then
+    /// accumulates — but the batch form classifies every element up
+    /// front with [`CompiledModel::classify_batch`] into `verdicts`
+    /// (caller-supplied so its buffer is reused across batches) and only
+    /// pays the window-close scan when an element's watermark actually
+    /// enters a new window or the element itself is already closable
+    /// (late data).
+    ///
+    /// Every signature in the batch must have been interned through this
+    /// detector's own interner.
+    pub fn observe_batch(
+        &mut self,
+        batch: &SynopsisBatch,
+        verdicts: &mut VerdictMask,
+    ) -> Vec<AnomalyEvent> {
+        let mut events = Vec::new();
+        let len = batch.len();
+        if len == 0 {
+            return events;
+        }
+        let window_us = self.config.window.as_micros();
+        // One-entry window-index cache for task starts: streams are
+        // near-sorted, so consecutive elements usually share a window and
+        // skip the u64 division.
+        let mut cached_lo = u64::MAX;
+        let mut cached_idx = 0u64;
+        // Windows become closable only when the watermark's window index
+        // grows; track it so in-window elements skip `close_stale`
+        // (which walks every open window) entirely.
+        let mut closable_before = self.window_index(self.watermark);
+        if self.collect_only {
+            for i in 0..len {
+                self.tasks_seen += 1;
+                let wm = batch.watermarks[i];
+                if wm > self.watermark {
+                    self.watermark = wm;
+                    let wm_idx = self.window_index(wm);
+                    if wm_idx > closable_before {
+                        closable_before = wm_idx;
+                        self.close_stale(&mut events);
+                    }
+                }
+                let start_us = batch.starts[i].as_micros();
+                let idx = if start_us >= cached_lo && start_us - cached_lo < window_us {
+                    cached_idx
+                } else {
+                    let idx = start_us / window_us;
+                    cached_lo = idx * window_us;
+                    cached_idx = idx;
+                    idx
+                };
+                self.open
+                    .entry((batch.hosts[i], batch.stages[i], idx))
+                    .or_default()
+                    .n += 1;
+                if idx + 1 < closable_before {
+                    // Late element: the single-threaded path closes its
+                    // window right after accumulating it.
+                    self.close_stale(&mut events);
+                }
+            }
+            return events;
+        }
+        self.compiled
+            .classify_batch(&batch.stages, &batch.sigs, &batch.durations_us, verdicts);
+        for i in 0..len {
+            self.tasks_seen += 1;
+            let wm = batch.watermarks[i];
+            if wm > self.watermark {
+                self.watermark = wm;
+                let wm_idx = self.window_index(wm);
+                if wm_idx > closable_before {
+                    closable_before = wm_idx;
+                    self.close_stale(&mut events);
+                }
+            }
+            let start_us = batch.starts[i].as_micros();
+            let idx = if start_us >= cached_lo && start_us - cached_lo < window_us {
+                cached_idx
+            } else {
+                let idx = start_us / window_us;
+                cached_lo = idx * window_us;
+                cached_idx = idx;
+                idx
+            };
+            let sig = batch.sigs[i];
+            let stage = batch.stages[i];
+            let acc = self.open.entry((batch.hosts[i], stage, idx)).or_default();
+            acc.n += 1;
+            match verdicts.get(i) {
+                class @ (TaskClass::Normal | TaskClass::PerformanceOutlier) => {
+                    if self.compiled.is_perf_eligible(stage, sig) {
+                        let g = acc.perf.entry(sig).or_insert((0, 0));
+                        g.1 += 1;
+                        if class == TaskClass::PerformanceOutlier {
+                            g.0 += 1;
+                        }
+                    }
+                }
+                TaskClass::FlowOutlier => acc.rare_flow_outliers += 1,
+                TaskClass::NewSignature => {
+                    acc.new_signature_tasks += 1;
+                    if !acc.new_signatures.contains(&sig)
+                        && acc.new_signatures.len() < self.config.max_new_signatures
+                    {
+                        acc.new_signatures.push(sig);
+                    }
+                }
+            }
+            if idx + 1 < closable_before {
+                // Late element: close its already-stale window now, as the
+                // per-synopsis path does.
+                self.close_stale(&mut events);
+            }
+        }
         events
     }
 
@@ -1008,6 +1135,104 @@ mod tests {
             events.extend(d.observe(&FeatureVector::from(&s)));
         }
         events
+    }
+
+    #[test]
+    fn observe_batch_matches_per_synopsis_path() {
+        let model = trained_model();
+        let interner = Arc::new(SignatureInterner::new());
+        let compiled = Arc::new(model.compile(&interner));
+        let config = DetectorConfig::default();
+        let mut scalar =
+            AnomalyDetector::with_shared(model.clone(), compiled.clone(), interner.clone(), config);
+        let mut batched = AnomalyDetector::with_shared(model, compiled, interner.clone(), config);
+        // A stream spanning several windows with anomalies of every kind
+        // and a late straggler whose window is already closable.
+        let mut stream = Vec::new();
+        for minute in 0..6u64 {
+            for i in 0..120u64 {
+                let mut s = if i % 10 < 3 && minute == 2 {
+                    synopsis(
+                        0,
+                        &[1, 2, 3, 4, 5],
+                        10_000,
+                        SimTime::ZERO,
+                        minute * 1000 + i,
+                    )
+                } else if i == 7 && minute == 3 {
+                    synopsis(0, &[1], 500, SimTime::ZERO, minute * 1000 + i)
+                } else if i.is_multiple_of(5) && minute == 4 {
+                    synopsis(0, &[1, 2, 4, 5], 150_000, SimTime::ZERO, minute * 1000 + i)
+                } else {
+                    synopsis(0, &[1, 2, 4, 5], 9_500, SimTime::ZERO, minute * 1000 + i)
+                };
+                s.start = SimTime::from_mins(minute) + SimDuration::from_millis(i * 10);
+                s.host = HostId((i % 3) as u16);
+                stream.push(s);
+            }
+            if minute == 5 {
+                // Straggler from minute 0 arriving after minute 5 opened.
+                let mut late = synopsis(0, &[1, 2, 4, 5], 9_500, SimTime::ZERO, 999_999);
+                late.start = SimTime::from_mins(0) + SimDuration::from_millis(1);
+                stream.push(late);
+            }
+        }
+        // Batch path: SoA batches of 37 (splits windows across batches).
+        let mut batch_events = Vec::new();
+        let mut mask = VerdictMask::new();
+        for chunk in stream.chunks(37) {
+            let mut batch = SynopsisBatch::new();
+            let mut wm = batched.snapshot().watermark();
+            for s in chunk {
+                wm = wm.max(s.start);
+                batch.push_feature(&InternedFeature::from_synopsis(s, &interner), wm);
+            }
+            batch_events.extend(batched.observe_batch(&batch, &mut mask));
+        }
+        // Scalar path: the same per-element watermark stamps.
+        let mut scalar_events = Vec::new();
+        for s in &stream {
+            let f = InternedFeature::from_synopsis(s, &interner);
+            scalar_events
+                .extend(scalar.advance_watermark(s.start.max(scalar.snapshot().watermark())));
+            scalar_events.extend(scalar.observe_interned(&f));
+        }
+        batch_events.extend(batched.flush());
+        scalar_events.extend(scalar.flush());
+        assert!(!scalar_events.is_empty());
+        assert_eq!(batch_events, scalar_events);
+        assert_eq!(batched.tasks_seen(), scalar.tasks_seen());
+        assert_eq!(
+            batched.snapshot().watermark(),
+            scalar.snapshot().watermark()
+        );
+    }
+
+    #[test]
+    fn observe_batch_collect_only_matches_scalar() {
+        let interner = Arc::new(SignatureInterner::new());
+        let config = DetectorConfig::default();
+        let mut scalar = AnomalyDetector::collecting(interner.clone(), config).unwrap();
+        let mut batched = AnomalyDetector::collecting(interner.clone(), config).unwrap();
+        let mut batch = SynopsisBatch::new();
+        let mut scalar_events = Vec::new();
+        for minute in 0..4u64 {
+            for i in 0..30u64 {
+                let mut s = synopsis(1, &[1, 2], 1_000, SimTime::ZERO, minute * 100 + i);
+                s.start = SimTime::from_mins(minute) + SimDuration::from_millis(i);
+                batch.push_synopsis(&s, &interner);
+                scalar_events.extend(scalar.observe_synopsis(&s));
+            }
+        }
+        let mut mask = VerdictMask::new();
+        let mut batch_events = batched.observe_batch(&batch, &mut mask);
+        batch_events.extend(batched.flush());
+        scalar_events.extend(scalar.flush());
+        assert_eq!(batch_events, scalar_events);
+        assert!(batch_events
+            .iter()
+            .all(|e| e.kind == AnomalyKind::ModelUnavailable));
+        assert_eq!(batched.tasks_seen(), scalar.tasks_seen());
     }
 
     #[test]

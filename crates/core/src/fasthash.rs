@@ -1,0 +1,112 @@
+//! A fast, non-cryptographic hasher for the detector's hot-path maps.
+//!
+//! The window accumulators key on tiny fixed-size tuples of newtyped
+//! integers (`(HostId, StageId, u64)`, `SigId`), where SipHash's
+//! DoS-resistance buys nothing — the key space is controlled by the
+//! deployment, not by untrusted input — and its per-insert cost shows up
+//! directly in the per-synopsis budget. This is the FxHash construction
+//! (rotate, xor, multiply by a Fibonacci-like constant), which rustc
+//! itself uses for the same shape of workload.
+//!
+//! Determinism note: event emission never depends on map iteration order
+//! (keys are collected and sorted before any emission or encoding), so
+//! swapping the hasher cannot change observable behavior.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
+
+/// A `HashMap` using [`FastHasher`].
+pub(crate) type FastMap<K, V> = HashMap<K, V, FastBuild>;
+
+/// `BuildHasher` for [`FastHasher`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct FastBuild;
+
+impl BuildHasher for FastBuild {
+    type Hasher = FastHasher;
+
+    fn build_hasher(&self) -> FastHasher {
+        FastHasher { state: 0 }
+    }
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash-style multiply-rotate hasher.
+#[derive(Debug)]
+pub(crate) struct FastHasher {
+    state: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, v: u64) {
+        self.state = (self.state.rotate_left(5) ^ v).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_work_and_distinct_keys_differ() {
+        let mut m: FastMap<(u16, u16, u64), u64> = FastMap::default();
+        for h in 0..8u16 {
+            for s in 0..8u16 {
+                for w in 0..4u64 {
+                    m.insert((h, s, w), (h + s) as u64 + w);
+                }
+            }
+        }
+        assert_eq!(m.len(), 8 * 8 * 4);
+        assert_eq!(m[&(3, 5, 2)], 10);
+        let b = FastBuild;
+        assert_ne!(
+            b.hash_one((1u16, 2u16, 3u64)),
+            b.hash_one((1u16, 2u16, 4u64))
+        );
+        assert_ne!(b.hash_one(7u32), b.hash_one(8u32));
+    }
+}

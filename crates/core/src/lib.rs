@@ -85,8 +85,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod affinity;
+pub mod batch;
 pub mod codec;
 pub mod detector;
+mod fasthash;
 pub mod feature;
 mod ids;
 pub mod intern;
@@ -108,11 +111,12 @@ pub use stage_registry::StageRegistry;
 
 /// Convenient glob import of the commonly used types.
 pub mod prelude {
+    pub use crate::batch::SynopsisBatch;
     pub use crate::detector::{AnomalyDetector, AnomalyEvent, AnomalyKind, DetectorConfig};
     pub use crate::feature::{FeatureVector, InternedFeature};
     pub use crate::intern::{SigId, SignatureInterner};
     pub use crate::model::{
-        CompiledModel, ConfigError, ModelBuilder, ModelConfig, OutlierModel, TaskClass,
+        CompiledModel, ConfigError, ModelBuilder, ModelConfig, OutlierModel, TaskClass, VerdictMask,
     };
     pub use crate::selfmon::{MetaMonitor, MetaStage};
     pub use crate::store::{Checkpoint, CheckpointError, CheckpointStore, Recovery};

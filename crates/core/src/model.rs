@@ -223,6 +223,22 @@ impl ModelBuilder {
         }
     }
 
+    /// Add one training observation from already-destructured parts —
+    /// the clone-free counterpart of [`ModelBuilder::observe_feature`]
+    /// for retrain paths that keep `(stage, signature, duration)`
+    /// triples instead of whole synopses. The signature is cloned only
+    /// when its group is first created, exactly like `observe_feature`.
+    pub fn observe_parts(&mut self, stage: StageId, signature: &Signature, duration_us: f64) {
+        self.observed += 1;
+        let sigs = self.groups.entry(stage).or_default();
+        match sigs.get_mut(signature) {
+            Some(durations) => durations.push(duration_us),
+            None => {
+                sigs.insert(signature.clone(), vec![duration_us]);
+            }
+        }
+    }
+
     /// Number of training tasks observed.
     pub fn observed(&self) -> u64 {
         self.observed
@@ -433,8 +449,67 @@ impl OutlierModel {
                 flow_outlier_rate: self.flow_outlier_rate(stage),
             });
         }
+
+        // Flatten into the branch-free batch-classify tables: one row of
+        // `sig_cap + 1` entries per trained stage (the trailing entry
+        // catches ids interned after compilation), plus a shared all-New
+        // fallback row at offset 0 for untrained / out-of-range stages.
+        // Every entry is `(threshold, class-if-below, class-if-above)`;
+        // non-performance entries use an infinite threshold so the
+        // compare always picks the below class (NaN durations compare
+        // false too, matching the oracle's `duration > threshold` test).
+        let row_len = sig_table_len + 1;
+        let trained = stages.iter().filter(|s| s.is_some()).count();
+        let mut flat_thresholds = Vec::with_capacity(row_len * (trained + 1));
+        let mut flat_below = Vec::with_capacity(row_len * (trained + 1));
+        let mut flat_above = Vec::with_capacity(row_len * (trained + 1));
+        fn push_entry(
+            entry: CompiledSig,
+            thresholds: &mut Vec<f64>,
+            below: &mut Vec<u8>,
+            above: &mut Vec<u8>,
+        ) {
+            let (threshold, lo, hi) = match entry {
+                CompiledSig::New => (f64::INFINITY, CLASS_NEW, CLASS_NEW),
+                CompiledSig::Flow => (f64::INFINITY, CLASS_FLOW, CLASS_FLOW),
+                CompiledSig::Normal => (f64::INFINITY, CLASS_NORMAL, CLASS_NORMAL),
+                CompiledSig::Perf { threshold_us, .. } => (threshold_us, CLASS_NORMAL, CLASS_PERF),
+            };
+            thresholds.push(threshold);
+            below.push(lo);
+            above.push(hi);
+        }
+        for _ in 0..row_len {
+            push_entry(
+                CompiledSig::New,
+                &mut flat_thresholds,
+                &mut flat_below,
+                &mut flat_above,
+            );
+        }
+        let mut row_index = vec![0u32; stage_table_len + 1];
+        for (stage, entry) in stages.iter().enumerate() {
+            if let Some(cs) = entry {
+                row_index[stage] = flat_thresholds.len() as u32;
+                for &sig in cs.sigs.iter() {
+                    push_entry(sig, &mut flat_thresholds, &mut flat_below, &mut flat_above);
+                }
+                push_entry(
+                    CompiledSig::New,
+                    &mut flat_thresholds,
+                    &mut flat_below,
+                    &mut flat_above,
+                );
+            }
+        }
+
         CompiledModel {
             stages: stages.into_boxed_slice(),
+            row_index: row_index.into_boxed_slice(),
+            flat_thresholds: flat_thresholds.into_boxed_slice(),
+            flat_below: flat_below.into_boxed_slice(),
+            flat_above: flat_above.into_boxed_slice(),
+            sig_cap: sig_table_len as u32,
         }
     }
 
@@ -595,6 +670,115 @@ struct CompiledStage {
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompiledModel {
     stages: Box<[Option<CompiledStage>]>,
+    /// Flat-table row offset per stage id; the extra trailing slot (and
+    /// every untrained stage) points at the shared all-New row 0.
+    row_index: Box<[u32]>,
+    /// Concatenated per-stage rows of `sig_cap + 1` duration thresholds
+    /// (infinite for entries without a performance threshold).
+    flat_thresholds: Box<[f64]>,
+    /// Class code when `duration <= threshold`, parallel to
+    /// `flat_thresholds`.
+    flat_below: Box<[u8]>,
+    /// Class code when `duration > threshold`, parallel to
+    /// `flat_thresholds`.
+    flat_above: Box<[u8]>,
+    /// Interner capacity at compile time; sig ids at or beyond this
+    /// clamp to each row's trailing all-New entry.
+    sig_cap: u32,
+}
+
+/// 2-bit class codes used by the flat tables and [`VerdictMask`].
+const CLASS_NORMAL: u8 = 0;
+const CLASS_FLOW: u8 = 1;
+const CLASS_NEW: u8 = 2;
+const CLASS_PERF: u8 = 3;
+
+impl TaskClass {
+    /// The 2-bit code used in [`VerdictMask`] words.
+    const fn code(self) -> u8 {
+        match self {
+            TaskClass::Normal => CLASS_NORMAL,
+            TaskClass::FlowOutlier => CLASS_FLOW,
+            TaskClass::NewSignature => CLASS_NEW,
+            TaskClass::PerformanceOutlier => CLASS_PERF,
+        }
+    }
+
+    const fn from_code(code: u8) -> TaskClass {
+        match code & 3 {
+            CLASS_NORMAL => TaskClass::Normal,
+            CLASS_FLOW => TaskClass::FlowOutlier,
+            CLASS_NEW => TaskClass::NewSignature,
+            _ => TaskClass::PerformanceOutlier,
+        }
+    }
+}
+
+/// Packed classification verdicts from [`CompiledModel::classify_batch`]:
+/// 2 bits per element, 32 elements per `u64` word. Reusable — `reset`
+/// keeps the word buffer's capacity, so a recycled mask classifies
+/// batch after batch without allocating.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VerdictMask {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl VerdictMask {
+    /// An empty mask.
+    #[must_use]
+    pub fn new() -> VerdictMask {
+        VerdictMask::default()
+    }
+
+    /// Number of verdicts held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mask holds no verdicts.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Resize for `len` verdicts, zeroing the words but keeping their
+    /// capacity.
+    pub fn reset(&mut self, len: usize) {
+        self.len = len;
+        self.words.clear();
+        self.words.resize(len.div_ceil(32), 0);
+    }
+
+    /// The verdict for element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> TaskClass {
+        assert!(i < self.len, "verdict index {i} out of range {}", self.len);
+        TaskClass::from_code((self.words[i / 32] >> ((i % 32) * 2)) as u8)
+    }
+
+    /// Iterate the verdicts in element order.
+    pub fn iter(&self) -> impl Iterator<Item = TaskClass> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Set the verdict for element `i` (used by the per-synopsis oracle
+    /// in tests; `classify_batch` writes whole words directly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn set(&mut self, i: usize, class: TaskClass) {
+        assert!(i < self.len, "verdict index {i} out of range {}", self.len);
+        let shift = (i % 32) * 2;
+        let word = &mut self.words[i / 32];
+        *word = (*word & !(0b11 << shift)) | ((class.code() as u64) << shift);
+    }
 }
 
 impl CompiledModel {
@@ -633,6 +817,53 @@ impl CompiledModel {
         self.classify(f.stage, f.sig, f.duration_us)
     }
 
+    /// Classify a whole structure-of-arrays batch in one branch-free
+    /// pass, writing packed verdicts into `out` (which is reset to the
+    /// batch length, reusing its buffer).
+    ///
+    /// Per element the loop does two clamped table indexes and one float
+    /// compare — no hashing, no enum matching, no data-dependent
+    /// branches — and agrees exactly with [`CompiledModel::classify`] on
+    /// every input, including NaN and zero durations (NaN compares
+    /// not-above, so it classifies like an in-threshold duration, same
+    /// as the oracle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column slices have different lengths.
+    pub fn classify_batch(
+        &self,
+        stages: &[StageId],
+        sigs: &[SigId],
+        durations_us: &[f64],
+        out: &mut VerdictMask,
+    ) {
+        let len = stages.len();
+        assert_eq!(sigs.len(), len, "sig column length mismatch");
+        assert_eq!(durations_us.len(), len, "duration column length mismatch");
+        out.reset(len);
+        let stage_cap = self.row_index.len() - 1;
+        let sig_cap = self.sig_cap as usize;
+        for (word_idx, word) in out.words.iter_mut().enumerate() {
+            let base = word_idx * 32;
+            let chunk = (len - base).min(32);
+            let mut packed = 0u64;
+            for j in 0..chunk {
+                let i = base + j;
+                let row = self.row_index[(stages[i].0 as usize).min(stage_cap)] as usize;
+                let entry = row + (sigs[i].0 as usize).min(sig_cap);
+                let above = durations_us[i] > self.flat_thresholds[entry];
+                let code = if above {
+                    self.flat_above[entry]
+                } else {
+                    self.flat_below[entry]
+                };
+                packed |= (code as u64) << (j * 2);
+            }
+            *word = packed;
+        }
+    }
+
     /// Training flow-outlier proportion for a stage (0 if untrained).
     pub fn flow_outlier_rate(&self, stage: StageId) -> f64 {
         match self.stages.get(stage.0 as usize) {
@@ -650,6 +881,15 @@ impl CompiledModel {
             CompiledSig::Perf { p0, .. } => Some(p0),
             _ => None,
         }
+    }
+
+    /// Whether the (stage, signature) group participates in performance
+    /// detection — `perf_p0(..).is_some()` via the flat tables, cheap
+    /// enough for the batch accumulation loop.
+    #[inline]
+    pub(crate) fn is_perf_eligible(&self, stage: StageId, sig: SigId) -> bool {
+        let row = self.row_index[(stage.0 as usize).min(self.row_index.len() - 1)] as usize;
+        self.flat_above[row + (sig.0 as usize).min(self.sig_cap as usize)] == CLASS_PERF
     }
 }
 
@@ -847,6 +1087,72 @@ mod tests {
             Some(expected)
         );
         assert_eq!(compiled.perf_p0(StageId(0), interner.intern(&rare)), None);
+    }
+
+    #[test]
+    fn classify_batch_agrees_with_scalar_classify() {
+        let model = figure4_model();
+        let interner = SignatureInterner::new();
+        let compiled = model.compile(&interner);
+        let late = interner.intern(&Signature::from_points([LogPointId(77)]));
+        let common = interner.intern(&Signature::from_points([1, 2, 4, 5].map(LogPointId)));
+        let rare = interner.intern(&Signature::from_points([1, 2, 3, 4, 5].map(LogPointId)));
+        let mut stages = Vec::new();
+        let mut sigs = Vec::new();
+        let mut durations = Vec::new();
+        // 67 elements (spans word boundaries) over every class and edge
+        // duration: zero, NaN, infinity, exactly-at-threshold.
+        let cases: Vec<(u16, SigId, f64)> = vec![
+            (0, common, 10_000.0),
+            (0, common, 80_000.0),
+            (0, rare, 10_000.0),
+            (0, late, 5.0),
+            (42, common, 10.0),
+            (0, common, 0.0),
+            (0, common, f64::NAN),
+            (0, common, f64::INFINITY),
+            (0, rare, f64::NAN),
+            (42, late, f64::NAN),
+        ];
+        for i in 0..67 {
+            let (stage, sig, dur) = cases[i % cases.len()];
+            stages.push(StageId(stage));
+            sigs.push(sig);
+            durations.push(dur);
+        }
+        let mut mask = VerdictMask::new();
+        compiled.classify_batch(&stages, &sigs, &durations, &mut mask);
+        assert_eq!(mask.len(), 67);
+        for i in 0..67 {
+            assert_eq!(
+                mask.get(i),
+                compiled.classify(stages[i], sigs[i], durations[i]),
+                "element {i}"
+            );
+        }
+        // iter() agrees with get().
+        let collected: Vec<TaskClass> = mask.iter().collect();
+        assert_eq!(collected.len(), 67);
+        assert_eq!(collected[1], TaskClass::PerformanceOutlier);
+        // A reused mask resets cleanly between batches.
+        compiled.classify_batch(&stages[..3], &sigs[..3], &durations[..3], &mut mask);
+        assert_eq!(mask.len(), 3);
+        assert_eq!(mask.get(2), TaskClass::FlowOutlier);
+    }
+
+    #[test]
+    fn verdict_mask_set_round_trips() {
+        let mut mask = VerdictMask::new();
+        mask.reset(33);
+        mask.set(0, TaskClass::PerformanceOutlier);
+        mask.set(31, TaskClass::NewSignature);
+        mask.set(32, TaskClass::FlowOutlier);
+        assert_eq!(mask.get(0), TaskClass::PerformanceOutlier);
+        assert_eq!(mask.get(1), TaskClass::Normal);
+        assert_eq!(mask.get(31), TaskClass::NewSignature);
+        assert_eq!(mask.get(32), TaskClass::FlowOutlier);
+        mask.set(0, TaskClass::Normal);
+        assert_eq!(mask.get(0), TaskClass::Normal);
     }
 
     #[test]

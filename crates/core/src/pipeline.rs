@@ -36,17 +36,21 @@
 //! receive whole batches in a single channel send (see [`feed_frame`] for
 //! the transport glue).
 
+use crate::batch::SynopsisBatch;
 use crate::detector::{
     AnomalyDetector, AnomalyEvent, AnomalyKind, DetectorConfig, DetectorSnapshot,
 };
 use crate::feature::{FeatureVector, InternedFeature};
-use crate::intern::SignatureInterner;
-use crate::model::{CompiledModel, ConfigError, ModelBuilder, ModelConfig, OutlierModel};
+use crate::intern::{SigId, SignatureInterner};
+use crate::model::{
+    CompiledModel, ConfigError, ModelBuilder, ModelConfig, OutlierModel, VerdictMask,
+};
 use crate::selfmon::{MetaMonitor, MetaStage};
 use crate::store::{Checkpoint, CheckpointError, CheckpointStore};
 use crate::synopsis::TaskSynopsis;
 use crate::tracker::SynopsisSink;
 use crate::transport::{FrameOutcome, LossReport};
+use crate::Signature;
 use crate::{HostId, StageId};
 use crossbeam_channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use saad_obs::{Histogram, Registry};
@@ -387,6 +391,73 @@ impl SynopsisSink for ChannelSink {
     }
 }
 
+/// A [`SynopsisSink`] that accumulates synopses into SoA
+/// [`SynopsisBatch`]es and emits ONE channel send per full batch — the
+/// producer half of the batch-first hot path (pair the receiver with
+/// [`spawn_batch_analyzer_pool`], sharing the same interner).
+///
+/// Interning happens here, at the edge, so everything downstream works in
+/// dense column arrays. Dropping the sink flushes the partial batch;
+/// [`BatchSink::flush`] forces one out early (e.g. at a quiesce point).
+#[derive(Debug)]
+pub struct BatchSink {
+    tx: Sender<SynopsisBatch>,
+    interner: Arc<SignatureInterner>,
+    capacity: usize,
+    buf: parking_lot::Mutex<SynopsisBatch>,
+}
+
+impl BatchSink {
+    /// Create a sink batching `capacity` synopses per send, interning
+    /// into `interner`, plus the receiver for the batch stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(
+        capacity: usize,
+        interner: Arc<SignatureInterner>,
+    ) -> (BatchSink, Receiver<SynopsisBatch>) {
+        assert!(capacity > 0, "batch capacity must be positive");
+        let (tx, rx) = unbounded();
+        let sink = BatchSink {
+            tx,
+            interner,
+            capacity,
+            buf: parking_lot::Mutex::new(SynopsisBatch::with_capacity(capacity)),
+        };
+        (sink, rx)
+    }
+
+    /// Send whatever is buffered, even a partial batch. No send happens
+    /// when the buffer is empty.
+    pub fn flush(&self) {
+        let mut buf = self.buf.lock();
+        if buf.is_empty() {
+            return;
+        }
+        let full = std::mem::replace(&mut *buf, SynopsisBatch::with_capacity(self.capacity));
+        let _ = self.tx.send(full);
+    }
+}
+
+impl SynopsisSink for BatchSink {
+    fn submit(&self, synopsis: TaskSynopsis) {
+        let mut buf = self.buf.lock();
+        buf.push_synopsis(&synopsis, &self.interner);
+        if buf.len() >= self.capacity {
+            let full = std::mem::replace(&mut *buf, SynopsisBatch::with_capacity(self.capacity));
+            let _ = self.tx.send(full);
+        }
+    }
+}
+
+impl Drop for BatchSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
 /// A sink that feeds synopses straight into a [`crate::model::ModelBuilder`] —
 /// train from a simulated run without buffering millions of synopses.
 #[derive(Debug, Default)]
@@ -651,6 +722,12 @@ pub struct SupervisorConfig {
     /// region while processing the Nth synopsis (1-based). `None` in
     /// production.
     pub panic_after: Option<u64>,
+    /// Pin each pool shard thread to the logical CPU matching its shard
+    /// index (see [`crate::affinity::pin_current_thread`]). Strictly an
+    /// optimization — keeps per-shard window maps cache-resident — and a
+    /// refused pin (unsupported platform, seccomp, too few CPUs) silently
+    /// falls back to normal scheduling with identical semantics.
+    pub pin_shards: bool,
 }
 
 impl Default for SupervisorConfig {
@@ -660,6 +737,7 @@ impl Default for SupervisorConfig {
             max_restarts: 3,
             silent_after: 3,
             panic_after: None,
+            pin_shards: false,
         }
     }
 }
@@ -684,11 +762,19 @@ struct LivenessTracker {
     last_seen: HashMap<HostId, SimTime>,
     flagged: HashSet<HostId>,
     watermark: SimTime,
+    /// Detection-window index of the last full silence scan. The
+    /// all-hosts sweep is O(hosts), so it runs once per window boundary
+    /// instead of once per synopsis: the silence threshold is a whole
+    /// number of windows, and crossing it is only observable at window
+    /// granularity anyway.
+    scanned_window: u64,
 }
 
 impl LivenessTracker {
     /// Note a synopsis from `host` at stream time `at`; returns events for
-    /// hosts that crossed the silence threshold.
+    /// hosts that crossed the silence threshold. Per synopsis this is two
+    /// O(1) map touches; the all-hosts silence sweep runs only when the
+    /// stream watermark crosses into a new detection window.
     fn observe(
         &mut self,
         host: HostId,
@@ -698,19 +784,24 @@ impl LivenessTracker {
     ) -> Vec<AnomalyEvent> {
         self.last_seen.insert(host, at);
         self.flagged.remove(&host); // re-arm: the host is back
+        let mut events = Vec::new();
         if at > self.watermark {
             self.watermark = at;
-        }
-        let threshold = window.as_micros().saturating_mul(silent_after);
-        let mut events = Vec::new();
-        for (&h, &seen) in &self.last_seen {
-            if self.flagged.contains(&h) {
-                continue;
-            }
-            let silent_for = self.watermark.as_micros().saturating_sub(seen.as_micros());
-            if silent_for > threshold {
-                self.flagged.insert(h);
-                events.push(host_silent_event(h, seen, silent_for / window.as_micros()));
+            let window_us = window.as_micros().max(1);
+            let index = at.as_micros() / window_us;
+            if index > self.scanned_window {
+                self.scanned_window = index;
+                let threshold = window_us.saturating_mul(silent_after);
+                for (&h, &seen) in &self.last_seen {
+                    if self.flagged.contains(&h) {
+                        continue;
+                    }
+                    let silent_for = self.watermark.as_micros().saturating_sub(seen.as_micros());
+                    if silent_for > threshold {
+                        self.flagged.insert(h);
+                        events.push(host_silent_event(h, seen, silent_for / window_us));
+                    }
+                }
             }
         }
         events
@@ -729,8 +820,9 @@ struct SupervisedDetector {
     // Everything successfully applied since `snapshot` — each feature
     // with the global-stream watermark in force when it was observed —
     // for replay after a restart. Events from replay are suppressed
-    // (they were already emitted before the crash).
-    replay: Vec<(InternedFeature, SimTime)>,
+    // (they were already emitted before the crash). Kept in SoA form so
+    // the batch hot path records a whole batch as column memcpys.
+    replay: SynopsisBatch,
     replay_losses: Vec<LossReport>,
     supervisor: SupervisorConfig,
     restarts_used: u32,
@@ -750,7 +842,7 @@ impl SupervisedDetector {
         SupervisedDetector {
             detector,
             snapshot,
-            replay: Vec::new(),
+            replay: SynopsisBatch::new(),
             replay_losses: Vec::new(),
             supervisor,
             restarts_used: 0,
@@ -796,7 +888,7 @@ impl SupervisedDetector {
         }));
         match outcome {
             Ok(events) => {
-                self.replay.push((feature, watermark));
+                self.replay.push_feature(&feature, watermark);
                 if self.replay.len() as u64 >= self.supervisor.snapshot_every {
                     self.snapshot = self.detector.snapshot();
                     self.replay.clear();
@@ -817,19 +909,87 @@ impl SupervisedDetector {
                 // retried: a deterministic poison pill would otherwise
                 // crash-loop the analyzer.
                 self.skipped.fetch_add(1, Ordering::Relaxed);
-                self.detector = AnomalyDetector::from_snapshot(self.snapshot.clone());
-                for report in &self.replay_losses {
-                    self.detector
-                        .record_loss(report.host, report.at, report.count);
-                }
-                for (feature, watermark) in &self.replay {
-                    // Events already emitted before the crash.
-                    let _ = self.detector.advance_watermark(*watermark);
-                    let _ = self.detector.observe_interned(feature);
-                }
+                self.restore_from_snapshot();
                 Ok(Vec::new())
             }
         }
+    }
+
+    /// Rebuild the detector from the latest snapshot and replay the
+    /// since-snapshot tail. Replayed events are suppressed — they were
+    /// already emitted before the crash.
+    fn restore_from_snapshot(&mut self) {
+        self.detector = AnomalyDetector::from_snapshot(self.snapshot.clone());
+        for report in &self.replay_losses {
+            self.detector
+                .record_loss(report.host, report.at, report.count);
+        }
+        for i in 0..self.replay.len() {
+            let _ = self.detector.advance_watermark(self.replay.watermarks[i]);
+            let _ = self.detector.observe_interned(&self.replay.feature(i));
+        }
+    }
+
+    /// Observe a whole SoA batch inside one panic boundary — the pool
+    /// shard hot path. The happy path is a single call into
+    /// [`AnomalyDetector::observe_batch`] (branch-free batch classify,
+    /// then per-element accumulation); fault handling degrades to the
+    /// per-synopsis path so poison-pill skipping and restart accounting
+    /// stay element-exact.
+    fn observe_batch(
+        &mut self,
+        batch: &SynopsisBatch,
+        verdicts: &mut VerdictMask,
+    ) -> Result<Vec<AnomalyEvent>, AnalyzerError> {
+        let len = batch.len() as u64;
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        // Injected faults land on an exact synopsis ordinal: when the
+        // target falls inside this batch, process it element by element so
+        // the panic hits precisely the Nth synopsis, as the scalar path
+        // would.
+        if let Some(n) = self.supervisor.panic_after {
+            if n > self.received && n <= self.received + len {
+                return self.observe_batch_per_element(batch);
+            }
+        }
+        self.received += len;
+        let detector = &mut self.detector;
+        let outcome = catch_unwind(AssertUnwindSafe(|| detector.observe_batch(batch, verdicts)));
+        match outcome {
+            Ok(events) => {
+                self.replay.extend_from(batch);
+                if self.replay.len() as u64 >= self.supervisor.snapshot_every {
+                    self.snapshot = self.detector.snapshot();
+                    self.replay.clear();
+                    self.replay_losses.clear();
+                }
+                Ok(events)
+            }
+            Err(_) => {
+                // A genuine panic mid-batch leaves the detector partially
+                // mutated, so roll back to the snapshot — uncounted: the
+                // restart and skip are charged when the per-element pass
+                // re-hits the poison element behind its own boundary.
+                self.restore_from_snapshot();
+                self.received -= len;
+                self.observe_batch_per_element(batch)
+            }
+        }
+    }
+
+    /// The scalar fallback for [`SupervisedDetector::observe_batch`]:
+    /// exactly the per-synopsis supervised path, element by element.
+    fn observe_batch_per_element(
+        &mut self,
+        batch: &SynopsisBatch,
+    ) -> Result<Vec<AnomalyEvent>, AnalyzerError> {
+        let mut events = Vec::new();
+        for i in 0..batch.len() {
+            events.extend(self.observe(batch.feature(i), batch.watermarks[i])?);
+        }
+        Ok(events)
     }
 
     /// Advance the detector to the global-stream watermark (closing stale
@@ -942,12 +1102,14 @@ pub fn spawn_supervised_analyzer(
 
 /// Message routed from the pool's router thread to one shard worker.
 enum ShardMsg {
-    /// A run of synopses that all hash to this shard — one channel send
-    /// per shard per input batch, however many synopses it carries. Each
-    /// synopsis is stamped with the global-stream watermark in force when
-    /// the router saw it, so the shard closes windows at exactly the
-    /// moments a single-threaded analyzer would.
-    Batch(Vec<(TaskSynopsis, SimTime)>),
+    /// A run of synopses that all hash to this shard, in SoA layout — one
+    /// channel send per shard per input batch, however many synopses it
+    /// carries. Each element is stamped (`watermarks[i]`) with the
+    /// global-stream watermark in force when the router saw it, so the
+    /// shard closes windows at exactly the moments a single-threaded
+    /// analyzer would. The shard returns the drained buffer on the
+    /// recycle channel, so steady-state routing allocates nothing.
+    Batch(SynopsisBatch),
     /// A transport gap report, broadcast to every shard: loss is keyed by
     /// host and window, and any shard may own windows for that host. The
     /// router counts each report once for the pool-level total.
@@ -980,6 +1142,64 @@ enum ShardMsg {
 fn shard_for(host: HostId, stage: StageId, workers: usize) -> usize {
     let key = ((host.0 as u64) << 16) | stage.0 as u64;
     (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % workers
+}
+
+/// Input stream driving an analyzer pool's router.
+enum PoolInput {
+    /// Batches of raw synopses: the router interns each one into the
+    /// pool's shared interner while routing.
+    Raw(Receiver<Vec<TaskSynopsis>>),
+    /// Pre-interned SoA batches (see [`SynopsisBatch`]) built against the
+    /// SAME interner the pool's detectors share. The router re-stamps
+    /// each element's watermark with the global running maximum and
+    /// repartitions columns directly — the hot path never materializes a
+    /// per-synopsis struct or performs a per-synopsis channel send.
+    Batches(Receiver<SynopsisBatch>),
+}
+
+/// The router's per-shard SoA arenas. Elements accumulate into a reusable
+/// [`SynopsisBatch`] per shard and flush as ONE channel send per
+/// (shard, input batch); shards hand drained buffers back on the recycle
+/// channel, so steady-state routing performs no allocation.
+///
+/// Control-plane rule: every control send (loss, swap, snapshot, final
+/// watermark) must be preceded by [`ShardFanout::flush`] — control
+/// messages are ordered in-band at batch boundaries, never between a
+/// batch's elements. The router flushes at the end of every input batch,
+/// before lifecycle pumping, so the rule holds by construction.
+struct ShardFanout {
+    arenas: Vec<SynopsisBatch>,
+    recycle_rx: Receiver<SynopsisBatch>,
+}
+
+impl ShardFanout {
+    fn new(workers: usize, recycle_rx: Receiver<SynopsisBatch>) -> ShardFanout {
+        ShardFanout {
+            arenas: (0..workers).map(|_| SynopsisBatch::new()).collect(),
+            recycle_rx,
+        }
+    }
+
+    /// Append one element to its shard's arena, stamped with the global
+    /// watermark the router just computed.
+    #[inline]
+    fn push(&mut self, feature: &InternedFeature, watermark: SimTime) {
+        let shard = shard_for(feature.host, feature.stage, self.arenas.len());
+        self.arenas[shard].push_feature(feature, watermark);
+    }
+
+    /// Send every non-empty arena to its shard, swapping in a recycled
+    /// (or, before steady state, fresh) buffer.
+    fn flush(&mut self, shard_txs: &[Sender<ShardMsg>]) {
+        for (shard, arena) in self.arenas.iter_mut().enumerate() {
+            if arena.is_empty() {
+                continue;
+            }
+            let replacement = self.recycle_rx.try_recv().unwrap_or_default();
+            let full = std::mem::replace(arena, replacement);
+            let _ = shard_txs[shard].send(ShardMsg::Batch(full));
+        }
+    }
 }
 
 /// Live counters for one shard worker, updated with relaxed stores on
@@ -1252,7 +1472,51 @@ pub fn spawn_analyzer_pool(
         detectors,
         supervisor,
         config.window,
-        rx,
+        PoolInput::Raw(rx),
+        loss_rx,
+        None,
+        None,
+    )
+}
+
+/// Spawn a batch-native analyzer pool over a stream of pre-built SoA
+/// batches — the zero-copy fast path.
+///
+/// Semantics are identical to [`spawn_analyzer_pool`]; only the input
+/// currency differs. Producers build [`SynopsisBatch`]es against
+/// `interner` (one intern per synopsis at the edge — e.g. a
+/// [`BatchSink`] behind trackers, or a transport decoder filling columns
+/// straight from the wire) and the router repartitions columns into
+/// per-shard sub-batches with one channel send per (shard, batch). No
+/// per-synopsis struct is materialized and no per-synopsis channel send
+/// happens anywhere on the path. Producer-side watermarks are re-stamped
+/// with the pool's global running maximum, so window-close points are
+/// bit-identical to the single-threaded analyzer's.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn spawn_batch_analyzer_pool(
+    model: Arc<OutlierModel>,
+    config: DetectorConfig,
+    supervisor: SupervisorConfig,
+    workers: usize,
+    interner: Arc<SignatureInterner>,
+    rx: Receiver<SynopsisBatch>,
+    loss_rx: Option<Receiver<LossReport>>,
+) -> PoolHandle {
+    assert!(workers > 0, "analyzer pool needs at least one worker");
+    let compiled = Arc::new(model.compile(&interner));
+    let detectors = (0..workers)
+        .map(|_| {
+            AnomalyDetector::with_shared(model.clone(), compiled.clone(), interner.clone(), config)
+        })
+        .collect();
+    spawn_pool_inner(
+        detectors,
+        supervisor,
+        config.window,
+        PoolInput::Batches(rx),
         loss_rx,
         None,
         None,
@@ -1296,19 +1560,28 @@ fn spawn_pool_inner(
     detectors: Vec<AnomalyDetector>,
     supervisor: SupervisorConfig,
     window: SimDuration,
-    rx: Receiver<Vec<TaskSynopsis>>,
+    input: PoolInput,
     loss_rx: Option<Receiver<LossReport>>,
     mut lifecycle: Option<RouterLifecycle>,
     meta: Option<Arc<MetaMonitor>>,
 ) -> PoolHandle {
     let workers = detectors.len();
     assert!(workers > 0, "analyzer pool needs at least one worker");
+    // The router interns raw synopses into the same interner every shard
+    // detector already shares.
+    let interner = detectors[0].interner().clone();
     let (event_tx, event_rx) = unbounded();
     let processed = Arc::new(AtomicU64::new(0));
     let restarts = Arc::new(AtomicU64::new(0));
     let skipped = Arc::new(AtomicU64::new(0));
     let tasks_lost = Arc::new(AtomicU64::new(0));
     let obs = Arc::new(PoolObs::new(workers));
+    // Drained batch buffers flow back to the router on this channel for
+    // reuse — after warm-up the router never allocates a batch. Bounded:
+    // when the router routes faster than it recycles (e.g. the
+    // single-shard forwarding path, which consumes no arenas), surplus
+    // buffers are dropped instead of piling up.
+    let (recycle_tx, recycle_rx) = bounded::<SynopsisBatch>(2 * workers);
 
     let mut shard_txs = Vec::with_capacity(workers);
     let mut worker_joins = Vec::with_capacity(workers);
@@ -1320,9 +1593,14 @@ fn spawn_pool_inner(
         let (processed, restarts, skipped) = (processed.clone(), restarts.clone(), skipped.clone());
         let obs = Arc::clone(&obs);
         let meta = meta.clone();
+        let recycle_tx = recycle_tx.clone();
         let join = std::thread::Builder::new()
             .name(format!("saad-analyzer-shard-{shard}"))
             .spawn(move || {
+                if supervisor.pin_shards {
+                    // Best-effort: a refused pin just runs unpinned.
+                    let _ = crate::affinity::pin_current_thread(shard);
+                }
                 let shard_obs = &obs.shards[shard];
                 let emit = |event: AnomalyEvent| {
                     shard_obs.events.fetch_add(1, Ordering::Relaxed);
@@ -1330,29 +1608,28 @@ fn spawn_pool_inner(
                 };
                 let mut supervised =
                     SupervisedDetector::new(detector, supervisor, restarts, skipped);
+                let mut verdicts = VerdictMask::new();
                 for msg in shard_rx.iter() {
                     match msg {
                         ShardMsg::Loss(report) => supervised.record_loss(report),
-                        ShardMsg::Batch(batch) => {
+                        ShardMsg::Batch(mut batch) => {
                             processed.fetch_add(batch.len() as u64, Ordering::Relaxed);
                             shard_obs
                                 .processed
                                 .fetch_add(batch.len() as u64, Ordering::Relaxed);
                             meta_tick(&meta, MetaStage::Shard, || {
-                                for (synopsis, watermark) in &batch {
-                                    let feature = InternedFeature::from_synopsis(
-                                        synopsis,
-                                        supervised.interner(),
-                                    );
-                                    for event in supervised.observe(feature, *watermark)? {
-                                        emit(event);
-                                    }
+                                for event in supervised.observe_batch(&batch, &mut verdicts)? {
+                                    emit(event);
+                                }
+                                if let Some(&watermark) = batch.watermarks.last() {
                                     shard_obs
                                         .watermark_micros
                                         .store(watermark.as_micros(), Ordering::Relaxed);
                                 }
                                 Ok(())
                             })?;
+                            batch.clear();
+                            let _ = recycle_tx.try_send(batch);
                         }
                         ShardMsg::Swap {
                             model,
@@ -1395,8 +1672,7 @@ fn spawn_pool_inner(
         .spawn(move || {
             let mut liveness = LivenessTracker::default();
             let mut watermark = SimTime::ZERO;
-            let mut buckets: Vec<Vec<(TaskSynopsis, SimTime)>> =
-                (0..workers).map(|_| Vec::new()).collect();
+            let mut fanout = ShardFanout::new(workers, recycle_rx);
             let broadcast_losses = |losses: &Receiver<LossReport>| {
                 for report in losses.try_iter() {
                     tasks_lost_inner.fetch_add(report.count, Ordering::Relaxed);
@@ -1405,29 +1681,12 @@ fn spawn_pool_inner(
                     }
                 }
             };
-            for batch in rx.iter() {
-                meta_tick(&meta_router, MetaStage::Router, || {
-                    if let Some(loss_rx) = &loss_rx {
-                        broadcast_losses(loss_rx);
-                    }
-                    if let Some(lc) = lifecycle.as_mut() {
-                        lc.absorb(&batch);
-                    }
-                    for synopsis in batch {
-                        for event in
-                            liveness.observe(synopsis.host, synopsis.start, window, silent_after)
-                        {
-                            let _ = event_tx.send(event);
-                        }
-                        watermark = watermark.max(synopsis.start);
-                        let shard = shard_for(synopsis.host, synopsis.stage, workers);
-                        buckets[shard].push((synopsis, watermark));
-                    }
-                    for (shard, bucket) in buckets.iter_mut().enumerate() {
-                        if !bucket.is_empty() {
-                            let _ = shard_txs[shard].send(ShardMsg::Batch(std::mem::take(bucket)));
-                        }
-                    }
+            // The per-input-batch boundary work shared by both input
+            // shapes: one flush per shard, then lifecycle pumping —
+            // arenas are empty whenever a control message goes out.
+            macro_rules! batch_boundary {
+                () => {
+                    fanout.flush(&shard_txs);
                     if let Some(lc) = lifecycle.as_mut() {
                         lc.pump(watermark, &shard_txs);
                     }
@@ -1435,7 +1694,94 @@ fn spawn_pool_inner(
                     obs_router
                         .watermark_micros
                         .store(watermark.as_micros(), Ordering::Relaxed);
-                });
+                };
+            }
+            match input {
+                PoolInput::Raw(rx) => {
+                    for batch in rx.iter() {
+                        meta_tick(&meta_router, MetaStage::Router, || {
+                            if let Some(loss_rx) = &loss_rx {
+                                broadcast_losses(loss_rx);
+                            }
+                            for synopsis in batch {
+                                for event in liveness.observe(
+                                    synopsis.host,
+                                    synopsis.start,
+                                    window,
+                                    silent_after,
+                                ) {
+                                    let _ = event_tx.send(event);
+                                }
+                                watermark = watermark.max(synopsis.start);
+                                let feature = InternedFeature::from_synopsis(&synopsis, &interner);
+                                if let Some(lc) = lifecycle.as_mut() {
+                                    lc.absorb(&feature);
+                                }
+                                fanout.push(&feature, watermark);
+                            }
+                            batch_boundary!();
+                        });
+                    }
+                }
+                PoolInput::Batches(rx) => {
+                    // With a single shard and no lifecycle duties the
+                    // router degenerates to a forwarder: re-stamp the
+                    // watermark column in place with the global running
+                    // max and hand the whole batch through untouched —
+                    // no per-element repartition copy at all.
+                    let forward_only = workers == 1 && lifecycle.is_none();
+                    for mut batch in rx.iter() {
+                        if forward_only {
+                            meta_tick(&meta_router, MetaStage::Router, || {
+                                if let Some(loss_rx) = &loss_rx {
+                                    broadcast_losses(loss_rx);
+                                }
+                                for i in 0..batch.len() {
+                                    for event in liveness.observe(
+                                        batch.hosts[i],
+                                        batch.starts[i],
+                                        window,
+                                        silent_after,
+                                    ) {
+                                        let _ = event_tx.send(event);
+                                    }
+                                    watermark = watermark.max(batch.starts[i]);
+                                    batch.watermarks[i] = watermark;
+                                }
+                                if !batch.is_empty() {
+                                    let _ = shard_txs[0].send(ShardMsg::Batch(batch));
+                                }
+                                batch_boundary!();
+                            });
+                            continue;
+                        }
+                        meta_tick(&meta_router, MetaStage::Router, || {
+                            if let Some(loss_rx) = &loss_rx {
+                                broadcast_losses(loss_rx);
+                            }
+                            for i in 0..batch.len() {
+                                for event in liveness.observe(
+                                    batch.hosts[i],
+                                    batch.starts[i],
+                                    window,
+                                    silent_after,
+                                ) {
+                                    let _ = event_tx.send(event);
+                                }
+                                watermark = watermark.max(batch.starts[i]);
+                                let feature = batch.feature(i);
+                                if let Some(lc) = lifecycle.as_mut() {
+                                    lc.absorb(&feature);
+                                }
+                                // Re-stamp with the GLOBAL watermark: the
+                                // producer's per-batch watermark only saw
+                                // its own stream.
+                                fanout.push(&feature, watermark);
+                            }
+                            batch_boundary!();
+                        });
+                    }
+                }
             }
             // Stream closed: deliver any last gap reports and pending
             // control commands, advance every shard to the final global
@@ -1446,6 +1792,7 @@ fn spawn_pool_inner(
             if let Some(loss_rx) = &loss_rx {
                 broadcast_losses(loss_rx);
             }
+            fanout.flush(&shard_txs);
             if let Some(lc) = lifecycle.as_mut() {
                 lc.pump(watermark, &shard_txs);
             }
@@ -1501,6 +1848,45 @@ pub fn feed_frame(
             let n = synopses.len();
             if n > 0 {
                 let _ = batch_tx.send(synopses);
+            }
+            n
+        }
+        FrameOutcome::Duplicate { .. } => 0,
+    }
+}
+
+/// SoA counterpart of [`feed_frame`]: the frame's synopses are interned
+/// into one [`SynopsisBatch`] (against the interner shared with the
+/// consuming [`spawn_batch_analyzer_pool`]) and forwarded as a **single**
+/// batch send; gap discoveries become [`LossReport`]s exactly as in
+/// [`feed_frame`]. Returns the number of synopses forwarded.
+pub fn feed_frame_soa(
+    outcome: FrameOutcome,
+    batch_tx: &Sender<SynopsisBatch>,
+    interner: &SignatureInterner,
+    loss_tx: &Sender<LossReport>,
+) -> usize {
+    match outcome {
+        FrameOutcome::Fresh {
+            host,
+            synopses,
+            newly_lost,
+        } => {
+            if newly_lost > 0 {
+                let at = synopses.first().map(|s| s.start).unwrap_or(SimTime::ZERO);
+                let _ = loss_tx.send(LossReport {
+                    host,
+                    at,
+                    count: newly_lost,
+                });
+            }
+            let n = synopses.len();
+            if n > 0 {
+                let mut batch = SynopsisBatch::with_capacity(n);
+                for s in &synopses {
+                    batch.push_synopsis(s, interner);
+                }
+                let _ = batch_tx.send(batch);
             }
             n
         }
@@ -1681,24 +2067,27 @@ struct RouterLifecycle {
     detecting_flag: Arc<AtomicBool>,
     /// Next checkpoint generation to assemble.
     generation: u64,
-    /// Recent synopses for retraining, newest at the back.
-    ring: VecDeque<TaskSynopsis>,
+    /// Recent traffic for retraining, newest at the back — compacted to
+    /// the three fields training needs (stage, interned signature,
+    /// duration) instead of whole cloned synopses: 24 bytes per element
+    /// and no per-element heap allocation. Signatures are resolved back
+    /// through the shared interner only on the (cold) retrain path.
+    ring: VecDeque<(StageId, SigId, f64)>,
     seen: u64,
     since_checkpoint: u64,
     next_attempt: u64,
 }
 
 impl RouterLifecycle {
-    /// Record a routed batch in the retrain ring buffer and counters.
-    fn absorb(&mut self, batch: &[TaskSynopsis]) {
-        for synopsis in batch {
-            if self.ring.len() == self.cfg.retrain_window {
-                self.ring.pop_front();
-            }
-            self.ring.push_back(synopsis.clone());
+    /// Record one routed element in the retrain ring buffer and counters.
+    fn absorb(&mut self, feature: &InternedFeature) {
+        if self.ring.len() == self.cfg.retrain_window {
+            self.ring.pop_front();
         }
-        self.seen += batch.len() as u64;
-        self.since_checkpoint += batch.len() as u64;
+        self.ring
+            .push_back((feature.stage, feature.sig, feature.duration_us));
+        self.seen += 1;
+        self.since_checkpoint += 1;
     }
 
     /// Batch-boundary lifecycle work: drain control commands, attempt
@@ -1791,11 +2180,7 @@ impl RouterLifecycle {
         // Whole-window stability gate: if even the pooled duration
         // distribution cannot support a stable percentile threshold, the
         // traffic window is too heterogeneous to train from.
-        let durations: Vec<f64> = self
-            .ring
-            .iter()
-            .map(|s| s.duration.as_micros() as f64)
-            .collect();
+        let durations: Vec<f64> = self.ring.iter().map(|&(_, _, d)| d).collect();
         let outcome = saad_stats::kfold::validate_percentile_threshold(
             &durations,
             mc.kfold,
@@ -1809,8 +2194,16 @@ impl RouterLifecycle {
             });
         }
         let mut builder = ModelBuilder::new();
-        for synopsis in &self.ring {
-            builder.observe(synopsis);
+        // Resolve each distinct SigId back to its signature once; the
+        // ring's ids all came from this pool's shared interner.
+        let mut resolved: HashMap<SigId, Signature> = HashMap::new();
+        for &(stage, sig, duration_us) in &self.ring {
+            let signature = resolved.entry(sig).or_insert_with(|| {
+                self.interner
+                    .resolve(sig)
+                    .expect("retrain ring SigId interned by this pool")
+            });
+            builder.observe_parts(stage, signature, duration_us);
         }
         let model = Arc::new(builder.try_build(mc)?);
         // Compiled against the SAME shared interner every shard already
@@ -2263,7 +2656,7 @@ pub fn spawn_analyzer_pool_with_lifecycle(
         detectors,
         supervisor,
         config.window,
-        rx,
+        PoolInput::Raw(rx),
         loss_rx,
         Some(router_lifecycle),
         meta,
@@ -2801,6 +3194,122 @@ mod tests {
                 "pool with {workers} workers diverged"
             );
         }
+    }
+
+    #[test]
+    fn batch_pool_matches_raw_pool_and_single_analyzer() {
+        let model = multi_stage_model();
+        let stream = mixed_stream();
+        // Reference: single supervised analyzer over the same stream.
+        let (sink, rx) = ChannelSink::new();
+        let single = spawn_supervised_analyzer(
+            model.clone(),
+            DetectorConfig::default(),
+            SupervisorConfig::default(),
+            rx,
+            None,
+        );
+        for s in &stream {
+            sink.submit(s.clone());
+        }
+        drop(sink);
+        let mut single_events = Vec::new();
+        while let Ok(e) = single.events().recv() {
+            single_events.push(e);
+        }
+        let single_detector = single.join().unwrap();
+
+        for workers in [1usize, 3] {
+            // Producer side: a BatchSink interning into the pool's own
+            // interner, 16 synopses per SoA batch.
+            let interner = Arc::new(SignatureInterner::new());
+            let (batch_sink, batch_rx) = BatchSink::new(16, interner.clone());
+            let pool = spawn_batch_analyzer_pool(
+                model.clone(),
+                DetectorConfig::default(),
+                SupervisorConfig {
+                    pin_shards: true, // benign wherever pinning is refused
+                    ..SupervisorConfig::default()
+                },
+                workers,
+                interner,
+                batch_rx,
+                None,
+            );
+            for s in &stream {
+                batch_sink.submit(s.clone());
+            }
+            drop(batch_sink); // flushes the partial tail batch
+            let mut pool_events = Vec::new();
+            while let Ok(e) = pool.events().recv() {
+                pool_events.push(e);
+            }
+            assert_eq!(pool.processed(), stream.len() as u64);
+            let detectors = pool.join().unwrap();
+            let seen: u64 = detectors.iter().map(|d| d.tasks_seen()).sum();
+            assert_eq!(seen, single_detector.tasks_seen());
+            assert_eq!(
+                event_keys(&pool_events),
+                event_keys(&single_events),
+                "batch pool with {workers} workers diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_sink_flushes_partial_batch_on_drop() {
+        let interner = Arc::new(SignatureInterner::new());
+        let (sink, rx) = BatchSink::new(8, interner);
+        for i in 0..13u64 {
+            sink.submit(synopsis(&[1, 2], 1_000, SimTime::from_millis(i), i));
+        }
+        let first = rx.try_recv().unwrap();
+        assert_eq!(first.len(), 8);
+        assert!(rx.try_recv().is_err(), "partial batch must wait for drop");
+        drop(sink);
+        let tail = rx.try_recv().unwrap();
+        assert_eq!(tail.len(), 5);
+        // Watermarks within a producer batch are a running maximum.
+        assert!(tail.watermarks.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn batch_pool_restarts_from_snapshot_and_skips_poison() {
+        // Mirror of pool_shard_restarts_from_snapshot_and_skips_poison
+        // over the SoA input path: one worker, poison at synopsis 30.
+        let interner = Arc::new(SignatureInterner::new());
+        let (batch_sink, batch_rx) = BatchSink::new(60, interner.clone());
+        let pool = spawn_batch_analyzer_pool(
+            model(),
+            DetectorConfig::default(),
+            SupervisorConfig {
+                snapshot_every: 10,
+                panic_after: Some(30),
+                ..SupervisorConfig::default()
+            },
+            1,
+            interner,
+            batch_rx,
+            None,
+        );
+        for i in 0..60u64 {
+            batch_sink.submit(synopsis(&[7], 1_000, SimTime::from_millis(i * 10), i));
+        }
+        drop(batch_sink);
+        let mut events = Vec::new();
+        while let Ok(e) = pool.events().recv() {
+            events.push(e);
+        }
+        assert_eq!(pool.restarts(), 1);
+        assert_eq!(pool.skipped(), 1);
+        let detectors = pool.join().unwrap();
+        assert_eq!(detectors[0].tasks_seen(), 59);
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.kind, AnomalyKind::FlowNew(_))),
+            "events: {events:?}"
+        );
     }
 
     #[test]

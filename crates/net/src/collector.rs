@@ -27,7 +27,9 @@ use crate::protocol::{
 };
 use crossbeam_channel::Sender;
 use parking_lot::Mutex;
-use saad_core::pipeline::feed_frame;
+use saad_core::batch::SynopsisBatch;
+use saad_core::intern::SignatureInterner;
+use saad_core::pipeline::{feed_frame, feed_frame_soa};
 use saad_core::synopsis::TaskSynopsis;
 use saad_core::transport::{parse_frame, FrameOutcome, FrameReceiver, LinkStats, LossReport};
 use saad_core::HostId;
@@ -117,9 +119,31 @@ impl Counters {
     }
 }
 
+/// Where admitted frames' synopses go: raw batches for the classic
+/// analyzer input, or SoA batches for [`spawn_batch_analyzer_pool`]
+/// (`saad_core::pipeline`) — interned at the collector edge so the whole
+/// downstream path works in dense column arrays.
+enum SynopsisOut {
+    Raw(Sender<Vec<TaskSynopsis>>),
+    Soa {
+        tx: Sender<SynopsisBatch>,
+        interner: Arc<SignatureInterner>,
+    },
+}
+
+impl SynopsisOut {
+    /// Forward one admitted frame outcome; returns synopses forwarded.
+    fn feed(&self, outcome: FrameOutcome, loss_tx: &Sender<LossReport>) -> usize {
+        match self {
+            SynopsisOut::Raw(tx) => feed_frame(outcome, tx, loss_tx),
+            SynopsisOut::Soa { tx, interner } => feed_frame_soa(outcome, tx, interner, loss_tx),
+        }
+    }
+}
+
 struct Shared {
     receiver: Mutex<FrameReceiver>,
-    batch_tx: Sender<Vec<TaskSynopsis>>,
+    out: SynopsisOut,
     loss_tx: Sender<LossReport>,
     shutdown: AtomicBool,
     counters: Counters,
@@ -156,6 +180,33 @@ impl Collector {
         Collector::with_state(addr, CollectorState::default(), batch_tx, loss_tx, config)
     }
 
+    /// Like [`Collector::bind`], but admitted synopses are interned (into
+    /// `interner`, shared with the consuming batch pool) and forwarded as
+    /// SoA [`SynopsisBatch`]es — one batch send per admitted frame, no
+    /// per-synopsis sends anywhere past the decoder.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind_soa<A: ToSocketAddrs>(
+        addr: A,
+        batch_tx: Sender<SynopsisBatch>,
+        interner: Arc<SignatureInterner>,
+        loss_tx: Sender<LossReport>,
+        config: CollectorConfig,
+    ) -> io::Result<Collector> {
+        Collector::serve_inner(
+            TcpListener::bind(addr)?,
+            CollectorState::default(),
+            SynopsisOut::Soa {
+                tx: batch_tx,
+                interner,
+            },
+            loss_tx,
+            config,
+        )
+    }
+
     /// Bind a collector that adopts `state` — the receiver returned by a
     /// previous incarnation's [`Collector::shutdown`] — so per-host
     /// delivery and loss accounting continue exactly where they left off.
@@ -187,10 +238,47 @@ impl Collector {
         loss_tx: Sender<LossReport>,
         config: CollectorConfig,
     ) -> io::Result<Collector> {
+        Collector::serve_inner(listener, state, SynopsisOut::Raw(batch_tx), loss_tx, config)
+    }
+
+    /// SoA counterpart of [`Collector::serve`]: serve on an already-bound
+    /// listener with carried-over `state`, forwarding admitted synopses as
+    /// [`SynopsisBatch`]es interned into `interner`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a `local_addr` query failure.
+    pub fn serve_soa(
+        listener: TcpListener,
+        state: CollectorState,
+        batch_tx: Sender<SynopsisBatch>,
+        interner: Arc<SignatureInterner>,
+        loss_tx: Sender<LossReport>,
+        config: CollectorConfig,
+    ) -> io::Result<Collector> {
+        Collector::serve_inner(
+            listener,
+            state,
+            SynopsisOut::Soa {
+                tx: batch_tx,
+                interner,
+            },
+            loss_tx,
+            config,
+        )
+    }
+
+    fn serve_inner(
+        listener: TcpListener,
+        state: CollectorState,
+        out: SynopsisOut,
+        loss_tx: Sender<LossReport>,
+        config: CollectorConfig,
+    ) -> io::Result<Collector> {
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             receiver: Mutex::new(state.receiver),
-            batch_tx,
+            out,
             loss_tx,
             shutdown: AtomicBool::new(false),
             counters: Counters::default(),
@@ -499,7 +587,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             .unwrap_or(SimTime::ZERO);
         let outcome = shared.receiver.lock().admit(parsed);
         let is_fresh = matches!(outcome, FrameOutcome::Fresh { .. });
-        let forwarded = feed_frame(outcome, &shared.batch_tx, &shared.loss_tx);
+        let forwarded = shared.out.feed(outcome, &shared.loss_tx);
         if is_fresh {
             shared.counters.frames.fetch_add(1, Ordering::Relaxed);
             shared

@@ -7,15 +7,21 @@
 //!
 //! * compiled + interned classification ≡ `OutlierModel::classify`;
 //! * `observe_synopsis` (interned hot path) ≡ `observe(&FeatureVector)`;
+//! * `classify_batch` (branch-free SoA loop) ≡ per-element
+//!   `CompiledModel::classify`, including NaN / zero / infinite durations;
 //! * pool-sharded detection ≡ a single-threaded detector, as an event
-//!   multiset, for any worker count.
+//!   multiset, for any worker count — for both the raw-synopsis pool and
+//!   the SoA batch pool.
 
 use proptest::prelude::*;
 use saad::core::detector::{AnomalyDetector, AnomalyEvent, DetectorConfig};
 use saad::core::model::{ModelBuilder, ModelConfig, OutlierModel};
-use saad::core::pipeline::{spawn_analyzer_pool, SupervisorConfig};
+use saad::core::pipeline::{
+    spawn_analyzer_pool, spawn_batch_analyzer_pool, BatchSink, SupervisorConfig,
+};
 use saad::core::prelude::*;
 use saad::core::synopsis::TaskSynopsis;
+use saad::core::tracker::SynopsisSink;
 use saad::logging::LogPointId;
 use saad::sim::{SimDuration, SimTime};
 use std::sync::{Arc, OnceLock};
@@ -76,6 +82,27 @@ fn event_keys(events: &[AnomalyEvent]) -> Vec<String> {
     keys
 }
 
+/// Durations for the batch-classify property: ordinary in-range values
+/// mixed with every adversarial edge the branch-free compare must get
+/// right — NaN, exact zero, negatives, and both infinities. (Hand-rolled
+/// `Strategy`: the vendored proptest shim has no `prop_oneof`.)
+struct EdgeDuration;
+
+impl Strategy for EdgeDuration {
+    type Value = f64;
+
+    fn generate(&self, runner: &mut TestRunner) -> f64 {
+        match runner.next_u64() % 10 {
+            0 => 0.0,
+            1 => f64::NAN,
+            2 => f64::INFINITY,
+            3 => f64::NEG_INFINITY,
+            4 => -1.0,
+            _ => 1.0 + runner.next_f64() * 3_000_000.0,
+        }
+    }
+}
+
 proptest! {
     #[test]
     fn compiled_classify_matches_model_oracle(
@@ -123,6 +150,91 @@ proptest! {
         // Same stream, same order → identical events, not just a multiset.
         prop_assert_eq!(events_a, events_b);
         prop_assert_eq!(by_feature.tasks_seen(), by_synopsis.tasks_seen());
+    }
+
+    #[test]
+    fn classify_batch_matches_scalar_classify(
+        tasks in collection::vec(
+            (0u16..5, collection::vec(1u16..9, 0..5), EdgeDuration),
+            1..80,
+        )
+    ) {
+        let model = trained_model();
+        let interner = SignatureInterner::new();
+        let compiled = model.compile(&interner);
+        let mut stages = Vec::with_capacity(tasks.len());
+        let mut sigs = Vec::with_capacity(tasks.len());
+        let mut durations = Vec::with_capacity(tasks.len());
+        for (stage, points, duration_us) in &tasks {
+            let points: Vec<LogPointId> = points.iter().map(|&p| LogPointId(p)).collect();
+            stages.push(StageId(*stage));
+            sigs.push(interner.intern_points(&points));
+            durations.push(*duration_us);
+        }
+        // Reused (dirty) mask: correctness must not depend on a fresh one.
+        let mut verdicts = VerdictMask::new();
+        compiled.classify_batch(&stages, &sigs, &durations, &mut verdicts);
+        compiled.classify_batch(&stages, &sigs, &durations, &mut verdicts);
+        prop_assert_eq!(verdicts.len(), tasks.len());
+        for i in 0..tasks.len() {
+            let scalar = compiled.classify(stages[i], sigs[i], durations[i]);
+            prop_assert!(
+                verdicts.get(i) == scalar,
+                "element {} (stage {:?}, sig {:?}, duration {}): batch {:?} != scalar {:?}",
+                i, stages[i], sigs[i], durations[i], verdicts.get(i), scalar
+            );
+        }
+    }
+
+    #[test]
+    fn batch_pool_matches_single_threaded_detector(
+        tasks in collection::vec(raw_task_strategy(), 1..50),
+        workers in 1usize..5,
+        batch_size in 1usize..17
+    ) {
+        let model = trained_model();
+        let config = DetectorConfig {
+            min_window_tasks: 4,
+            min_group_tasks: 2,
+            ..DetectorConfig::default()
+        };
+        let mut reference = AnomalyDetector::new(model.clone(), config);
+        let mut expected = Vec::new();
+        let stream: Vec<TaskSynopsis> = tasks
+            .iter()
+            .enumerate()
+            .map(|(uid, t)| synopsis_of(t, uid as u64))
+            .collect();
+        for s in &stream {
+            expected.extend(reference.observe_synopsis(s));
+        }
+        expected.extend(reference.flush());
+
+        // SoA batch pool: synopses interned into batches at the ingest
+        // edge, one channel send per batch, branch-free classification.
+        let interner = Arc::new(SignatureInterner::new());
+        let (sink, batch_rx) = BatchSink::new(batch_size, interner.clone());
+        let pool = spawn_batch_analyzer_pool(
+            model,
+            config,
+            SupervisorConfig { silent_after: u64::MAX, ..SupervisorConfig::default() },
+            workers,
+            interner,
+            batch_rx,
+            None,
+        );
+        for s in &stream {
+            sink.submit(s.clone());
+        }
+        drop(sink); // flushes the partial tail batch
+        let mut pool_events = Vec::new();
+        while let Ok(e) = pool.events().recv() {
+            pool_events.push(e);
+        }
+        let detectors = pool.join().expect("no faults injected");
+        let seen: u64 = detectors.iter().map(|d| d.tasks_seen()).sum();
+        prop_assert_eq!(seen, reference.tasks_seen());
+        prop_assert_eq!(event_keys(&pool_events), event_keys(&expected));
     }
 
     #[test]

@@ -153,6 +153,7 @@ fn pipeline_survives_combined_transport_and_analyzer_faults() {
             max_restarts: 3,
             silent_after: 1,
             panic_after: Some(POISON_AT),
+            ..SupervisorConfig::default()
         },
         rx,
         Some(loss_rx),
