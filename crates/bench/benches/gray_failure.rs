@@ -19,8 +19,8 @@ fn main() {
         "gray-failure catalog: train {train_mins} min healthy relay, replay {replay_mins} min per scenario\n"
     );
     println!(
-        " {:<22} {:<12} {:>8} {:>10} {:>10} {:>8} {:>8}",
-        "scenario", "stage", "hosts", "latency_s", "precision", "recall", "events"
+        " {:<22} {:<12} {:>8} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "scenario", "stage", "hosts", "latency_s", "precision", "tolerant", "recall", "events"
     );
 
     let results = run_gray_catalog(42, train_mins, replay_mins);
@@ -38,8 +38,15 @@ fn main() {
             .collect::<Vec<_>>()
             .join(",");
         println!(
-            " {:<22} {:<12} {:>8} {:>10} {:>10.3} {:>8.2} {:>8}",
-            r.name, r.stage, hosts, latency, r.precision, r.recall, r.matching_events
+            " {:<22} {:<12} {:>8} {:>10} {:>10.3} {:>10.3} {:>8.2} {:>8}",
+            r.name,
+            r.stage,
+            hosts,
+            latency,
+            r.precision,
+            r.precision_tolerant,
+            r.recall,
+            r.matching_events
         );
     }
 

@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod federation;
 pub mod gray;
 
 use parking_lot::Mutex;

@@ -1144,6 +1144,28 @@ fn shard_for(host: HostId, stage: StageId, workers: usize) -> usize {
     (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % workers
 }
 
+/// One element of a *sequenced* analyzer-pool input stream: synopsis
+/// batches and transport loss reports interleaved on a single ordered
+/// channel.
+///
+/// The two-channel pool inputs deliver [`LossReport`]s on a side channel
+/// the router drains opportunistically at batch boundaries. That is
+/// *correct* — a gap always takes effect no later than its revealing
+/// batch — but not *reproducible*: under backpressure a queued report can
+/// take effect several batches early, so two runs over identical content
+/// may attribute a gap's degradation to different window closes. A
+/// sequenced stream pins every report at the exact stream position its
+/// producer emitted it, which makes the pool's event multiset a pure
+/// function of stream content. The federation end-to-end proof (wire run
+/// vs. replayed oracle) relies on exactly this property.
+#[derive(Debug, Clone)]
+pub enum SequencedInput {
+    /// A batch of task synopses.
+    Batch(Vec<TaskSynopsis>),
+    /// A loss report taking effect exactly here in the stream.
+    Loss(LossReport),
+}
+
 /// Input stream driving an analyzer pool's router.
 enum PoolInput {
     /// Batches of raw synopses: the router interns each one into the
@@ -1155,6 +1177,10 @@ enum PoolInput {
     /// repartitions columns directly — the hot path never materializes a
     /// per-synopsis struct or performs a per-synopsis channel send.
     Batches(Receiver<SynopsisBatch>),
+    /// Raw batches and loss reports on one ordered channel (see
+    /// [`SequencedInput`]): loss placement is part of the stream content
+    /// instead of a race against the router's drain timing.
+    Sequenced(Receiver<SequencedInput>),
 }
 
 /// The router's per-shard SoA arenas. Elements accumulate into a reusable
@@ -1720,6 +1746,42 @@ fn spawn_pool_inner(
                                 fanout.push(&feature, watermark);
                             }
                             batch_boundary!();
+                        });
+                    }
+                }
+                PoolInput::Sequenced(rx) => {
+                    for step in rx.iter() {
+                        meta_tick(&meta_router, MetaStage::Router, || match step {
+                            SequencedInput::Loss(report) => {
+                                // In-band: the report takes effect exactly
+                                // here. Arenas are empty between batch
+                                // boundaries, so shards see it at the same
+                                // stream position the producer pinned.
+                                tasks_lost_inner.fetch_add(report.count, Ordering::Relaxed);
+                                for tx in &shard_txs {
+                                    let _ = tx.send(ShardMsg::Loss(report));
+                                }
+                            }
+                            SequencedInput::Batch(batch) => {
+                                for synopsis in batch {
+                                    for event in liveness.observe(
+                                        synopsis.host,
+                                        synopsis.start,
+                                        window,
+                                        silent_after,
+                                    ) {
+                                        let _ = event_tx.send(event);
+                                    }
+                                    watermark = watermark.max(synopsis.start);
+                                    let feature =
+                                        InternedFeature::from_synopsis(&synopsis, &interner);
+                                    if let Some(lc) = lifecycle.as_mut() {
+                                        lc.absorb(&feature);
+                                    }
+                                    fanout.push(&feature, watermark);
+                                }
+                                batch_boundary!();
+                            }
                         });
                     }
                 }
@@ -2497,6 +2559,64 @@ pub fn spawn_analyzer_pool_with_lifecycle(
     rx: Receiver<Vec<TaskSynopsis>>,
     loss_rx: Option<Receiver<LossReport>>,
 ) -> Result<LifecyclePool, LifecycleError> {
+    spawn_lifecycle_pool_inner(
+        config,
+        supervisor,
+        lifecycle,
+        workers,
+        dir,
+        PoolInput::Raw(rx),
+        loss_rx,
+    )
+}
+
+/// [`spawn_analyzer_pool_with_lifecycle`] over a single ordered channel
+/// of [`SequencedInput`] steps instead of separate batch and loss
+/// channels.
+///
+/// Loss reports take effect at exactly their stream position, so the
+/// pool's event multiset is a pure function of the sequence it is fed:
+/// two pools consuming identical sequences emit identical event
+/// multisets. Use this when detection output must be reproducible or
+/// auditable against a recorded stream — e.g. replaying a root
+/// collector's linearized output through an oracle pool to prove a
+/// failover degraded detection by exactly its accounted gap.
+///
+/// # Errors
+///
+/// Same conditions as [`spawn_analyzer_pool_with_lifecycle`].
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn spawn_sequenced_analyzer_pool_with_lifecycle(
+    config: DetectorConfig,
+    supervisor: SupervisorConfig,
+    lifecycle: LifecycleConfig,
+    workers: usize,
+    dir: impl Into<PathBuf>,
+    rx: Receiver<SequencedInput>,
+) -> Result<LifecyclePool, LifecycleError> {
+    spawn_lifecycle_pool_inner(
+        config,
+        supervisor,
+        lifecycle,
+        workers,
+        dir,
+        PoolInput::Sequenced(rx),
+        None,
+    )
+}
+
+fn spawn_lifecycle_pool_inner(
+    config: DetectorConfig,
+    supervisor: SupervisorConfig,
+    lifecycle: LifecycleConfig,
+    workers: usize,
+    dir: impl Into<PathBuf>,
+    input: PoolInput,
+    loss_rx: Option<Receiver<LossReport>>,
+) -> Result<LifecyclePool, LifecycleError> {
     assert!(workers > 0, "analyzer pool needs at least one worker");
     let store = CheckpointStore::create(dir, lifecycle.keep)?;
     let recovery = store.recover()?;
@@ -2656,7 +2776,7 @@ pub fn spawn_analyzer_pool_with_lifecycle(
         detectors,
         supervisor,
         config.window,
-        PoolInput::Raw(rx),
+        input,
         loss_rx,
         Some(router_lifecycle),
         meta,

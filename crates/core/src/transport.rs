@@ -154,6 +154,21 @@ impl FrameSender {
         self.synopses_sent
     }
 
+    /// Advance the cumulative synopsis count by `n` **without** emitting a
+    /// frame, so the next encoded frame's `cumulative` field lands `n`
+    /// positions further along the stream.
+    ///
+    /// This is the federation primitive: a leaf collector re-framing an
+    /// agent's stream keeps its upstream sender in the *agent's global
+    /// coordinates* by skipping over synopses it never received (an
+    /// agent-side gap) or deliberately does not forward. The receiver's
+    /// ordinary cumulative-count arithmetic then reports the skipped span
+    /// as lost — the skip *is* the loss report, with zero extra wire
+    /// messages.
+    pub fn skip(&mut self, n: u64) {
+        self.synopses_sent += n;
+    }
+
     /// Encode `batch` into one wire frame, advancing the sequence number
     /// and cumulative count.
     pub fn encode_frame(&mut self, batch: &[TaskSynopsis]) -> Bytes {
@@ -452,6 +467,100 @@ impl FrameReceiver {
             synopses,
             newly_lost,
         }
+    }
+}
+
+/// Merged per-host accounting across several links that all frame the
+/// **same global stream coordinates** — the root analyzer's view of a
+/// federated collector tier.
+///
+/// Each leaf collector forwards a host's synopses in frames whose
+/// `cumulative` count equals the synopsis's position in the *agent's*
+/// stream (leaves keep their upstream [`FrameSender`]s aligned with
+/// [`FrameSender::skip`]). Because every link speaks the same coordinate
+/// system, the root can merge them with two pieces of arithmetic:
+///
+/// * `delivered` = **sum** over links (each position arrives on at most
+///   one link — a leaf forwards a synopsis exactly once, and per-link
+///   [`FrameReceiver`]s have already discarded duplicates);
+/// * `expected` = **max** over links of the highest stream position seen.
+///
+/// `expected − delivered` is then the exact cross-failover loss: synopses
+/// that died with a killed leaf (buffered but never flushed), died on a
+/// wire (agent→leaf or leaf→root), or never left the agent. A host
+/// re-homing from leaf A to leaf B surfaces as one contiguous gap between
+/// A's last delivered position and B's first forwarded one — never silent
+/// loss, never double counting, regardless of which leaf owned the host
+/// when.
+#[derive(Debug, Default)]
+pub struct DigestMerge {
+    hosts: HashMap<HostId, MergedHost>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct MergedHost {
+    delivered_frames: u64,
+    delivered_synopses: u64,
+    duplicate_frames: u64,
+    expected_synopses: u64,
+    reported_lost: u64,
+}
+
+impl DigestMerge {
+    /// Create an empty merge.
+    pub fn new() -> DigestMerge {
+        DigestMerge::default()
+    }
+
+    /// Account one fresh frame from any link: `delivered` synopses whose
+    /// stream position ends at `stream_pos_end` (the link-local receiver's
+    /// `expected_synopses` after admitting the frame). Returns the number
+    /// of synopses newly discovered missing across **all** links —
+    /// conservative under cross-link races for the same reason
+    /// single-link incremental reports are (see the module docs); the
+    /// final [`DigestMerge::stats`] are exact at quiescence.
+    pub fn on_fresh(&mut self, host: HostId, delivered: u64, stream_pos_end: u64) -> u64 {
+        let h = self.hosts.entry(host).or_default();
+        h.delivered_frames += 1;
+        h.delivered_synopses += delivered;
+        h.expected_synopses = h.expected_synopses.max(stream_pos_end);
+        let lost_now = h.expected_synopses.saturating_sub(h.delivered_synopses);
+        let newly_lost = lost_now.saturating_sub(h.reported_lost);
+        h.reported_lost = h.reported_lost.max(lost_now);
+        newly_lost
+    }
+
+    /// Count one duplicate frame some link discarded for `host`.
+    pub fn on_duplicate(&mut self, host: HostId) {
+        self.hosts.entry(host).or_default().duplicate_frames += 1;
+    }
+
+    /// Merged link statistics for one host (zeroes if never heard from).
+    pub fn stats(&self, host: HostId) -> LinkStats {
+        self.hosts
+            .get(&host)
+            .map(|h| LinkStats {
+                delivered_frames: h.delivered_frames,
+                delivered_synopses: h.delivered_synopses,
+                duplicate_frames: h.duplicate_frames,
+                expected_synopses: h.expected_synopses,
+                lost_synopses: h.expected_synopses.saturating_sub(h.delivered_synopses),
+            })
+            .unwrap_or_default()
+    }
+
+    /// Merged statistics for every host heard from on any link.
+    pub fn all_stats(&self) -> impl Iterator<Item = (HostId, LinkStats)> + '_ {
+        self.hosts.keys().map(|&h| (h, self.stats(h)))
+    }
+
+    /// Total synopses lost across all hosts and links (exact at
+    /// quiescence).
+    pub fn total_lost(&self) -> u64 {
+        self.hosts
+            .values()
+            .map(|h| h.expected_synopses.saturating_sub(h.delivered_synopses))
+            .sum()
     }
 }
 
@@ -851,5 +960,86 @@ mod tests {
         // IEEE CRC-32 of "123456789" is 0xCBF43926.
         assert_eq!(crc32(&[b"123456789"]), 0xCBF4_3926);
         assert_eq!(crc32(&[b"1234", b"56789"]), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn skip_surfaces_as_exact_loss_on_the_receiver() {
+        // A re-framing forwarder skips 7 positions it never received; the
+        // receiver's ordinary cum arithmetic reports exactly that gap.
+        let mut tx = FrameSender::new(HostId(9));
+        let mut rx = FrameReceiver::new();
+        rx.accept(&tx.encode_frame(&batch(9, 0..4))).unwrap();
+        tx.skip(7);
+        assert_eq!(tx.synopses_sent(), 11);
+        match rx.accept(&tx.encode_frame(&batch(9, 11..13))).unwrap() {
+            FrameOutcome::Fresh { newly_lost, .. } => assert_eq!(newly_lost, 7),
+            other => panic!("unexpected: {other:?}"),
+        }
+        let stats = rx.stats(HostId(9));
+        assert_eq!(stats.delivered_synopses, 6);
+        assert_eq!(stats.expected_synopses, 13);
+        assert_eq!(stats.lost_synopses, 7);
+        // A trailing skip is revealed by an empty goodbye frame.
+        tx.skip(3);
+        match rx.accept(&tx.encode_frame(&[])).unwrap() {
+            FrameOutcome::Fresh { newly_lost, .. } => assert_eq!(newly_lost, 3),
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(rx.stats(HostId(9)).lost_synopses, 10);
+    }
+
+    #[test]
+    fn digest_merge_sums_delivery_and_maxes_expectation() {
+        // Two links forwarding disjoint spans of one host's stream in
+        // global coordinates: delivered adds up, expected is the furthest
+        // position either link has seen, loss is their difference.
+        let mut merge = DigestMerge::new();
+        let h = HostId(1);
+        assert_eq!(merge.on_fresh(h, 10, 10), 0); // link A: positions 0..10
+        assert_eq!(merge.on_fresh(h, 5, 25), 10); // link B: 20..25 → 10 missing
+        let s = merge.stats(h);
+        assert_eq!(s.delivered_synopses, 15);
+        assert_eq!(s.expected_synopses, 25);
+        assert_eq!(s.lost_synopses, 10);
+        assert_eq!(s.delivered_frames, 2);
+        assert_eq!(merge.total_lost(), 10);
+        // The gap filled in late on link A: delivery catches up, the
+        // incremental report was conservative, final stats are exact.
+        assert_eq!(merge.on_fresh(h, 10, 20), 0);
+        assert_eq!(merge.stats(h).lost_synopses, 0);
+        assert_eq!(merge.total_lost(), 0);
+    }
+
+    #[test]
+    fn digest_merge_accounts_failover_exactly() {
+        // Leaf A delivers positions 0..100 then dies holding 40 buffered
+        // synopses; the host re-homes to leaf B, whose first digest starts
+        // at global position 140. The merge reports the 40 dead-leaf
+        // synopses as one gap, exactly once, with no duplicates.
+        let mut merge = DigestMerge::new();
+        let h = HostId(7);
+        assert_eq!(merge.on_fresh(h, 60, 60), 0);
+        assert_eq!(merge.on_fresh(h, 40, 100), 0);
+        assert_eq!(merge.on_fresh(h, 10, 150), 40); // leaf B: 140..150
+        assert_eq!(merge.on_fresh(h, 20, 170), 0); // leaf B keeps flowing
+        let s = merge.stats(h);
+        assert_eq!(s.delivered_synopses, 130);
+        assert_eq!(s.expected_synopses, 170);
+        assert_eq!(s.lost_synopses, 40);
+        merge.on_duplicate(h);
+        assert_eq!(merge.stats(h).duplicate_frames, 1);
+        assert_eq!(merge.stats(h).lost_synopses, 40, "dup changes nothing");
+        assert_eq!(merge.all_stats().count(), 1);
+    }
+
+    #[test]
+    fn digest_merge_keeps_hosts_independent() {
+        let mut merge = DigestMerge::new();
+        assert_eq!(merge.on_fresh(HostId(1), 5, 5), 0);
+        assert_eq!(merge.on_fresh(HostId(2), 3, 9), 6);
+        assert_eq!(merge.stats(HostId(1)).lost_synopses, 0);
+        assert_eq!(merge.stats(HostId(2)).lost_synopses, 6);
+        assert_eq!(merge.stats(HostId(3)), LinkStats::default());
+        assert_eq!(merge.total_lost(), 6);
     }
 }

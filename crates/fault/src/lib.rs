@@ -47,6 +47,6 @@ pub use checkpoint::{CheckpointTamperer, TamperCounts};
 pub use gray::{GrayFault, GrayFaultSpec, GraySchedule, HostSet};
 pub use hog::{HogSchedule, HogWindow};
 pub use link::{LinkFault, LinkFaultCounts, LinkFaultSpec, LossyLink};
-pub use proxy::{ConnectionThrottle, FaultyProxy, ProxyCounts, ProxySpec};
+pub use proxy::{ConnectionThrottle, DisconnectSchedule, FaultyProxy, ProxyCounts, ProxySpec};
 pub use schedule::{FaultSchedule, FaultWindow};
 pub use spec::{FaultSpec, FaultType, Intensity};

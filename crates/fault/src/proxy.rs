@@ -9,10 +9,11 @@
 //! sequence gap downstream), **corrupt** (one payload byte is flipped, to
 //! be caught by the receiver's CRC), **delay** (the message is held
 //! briefly, preserving per-connection order), **mid-stream disconnect**
-//! (both directions are severed after N messages, once), and **bandwidth
-//! throttle** (every message is held for a time proportional to its frame
-//! size, with seeded jitter — a slow link rather than a lossy one, for
-//! SlowUpstream-over-TCP scenarios).
+//! (both directions severed on a seeded [`DisconnectSchedule`] — once
+//! after N messages, or repeatedly for flapping-link scenarios), and
+//! **bandwidth throttle** (every message is held for a time proportional
+//! to its frame size, with seeded jitter — a slow link rather than a
+//! lossy one, for SlowUpstream-over-TCP scenarios).
 //! Every injection is counted exactly in [`ProxyCounts`] — and per
 //! connection in [`ConnectionThrottle`] for the throttle — so tests can
 //! reconcile what the proxy did against what the transport accounted.
@@ -35,6 +36,42 @@ use std::time::Duration;
 /// stream is desynchronized; the connection is severed.
 const MAX_PROXY_MESSAGE: usize = 32 * 1024 * 1024;
 
+/// A seeded schedule of repeated mid-stream disconnects — the
+/// flapping-link generalization of the old once-per-proxy disconnect.
+///
+/// The proxy severs the active connection when the lifetime
+/// client→server message count passes `first_after`, then again every
+/// `every` messages (±`jitter`, drawn from the proxy's seeded stream so
+/// flap timing is reproducible run to run), up to `max` times. Message
+/// counting is proxy-lifetime, not per-connection, so the schedule keeps
+/// advancing across the reconnects it causes.
+#[derive(Debug, Clone)]
+pub struct DisconnectSchedule {
+    /// Messages before the first disconnect fires.
+    pub first_after: u64,
+    /// Nominal messages between subsequent disconnects.
+    pub every: u64,
+    /// Fractional jitter on `every`: each gap is scaled by a seeded
+    /// uniform factor in `[1−jitter, 1+jitter]` (0 = strictly periodic).
+    pub jitter: f64,
+    /// Most disconnects to fire over the proxy's lifetime (`None` =
+    /// keep flapping forever).
+    pub max: Option<u64>,
+}
+
+impl DisconnectSchedule {
+    /// The old single-shot behavior: one disconnect after `after`
+    /// messages, never again.
+    pub fn once(after: u64) -> DisconnectSchedule {
+        DisconnectSchedule {
+            first_after: after,
+            every: u64::MAX,
+            jitter: 0.0,
+            max: Some(1),
+        }
+    }
+}
+
 /// What a [`FaultyProxy`] injects, and how often.
 #[derive(Debug, Clone)]
 pub struct ProxySpec {
@@ -54,8 +91,13 @@ pub struct ProxySpec {
     pub delay: Duration,
     /// Sever the connection (both directions) after this many
     /// client→server messages have been seen, once over the proxy's
-    /// lifetime. `None` disables.
+    /// lifetime. `None` disables. Kept as the single-shot wrapper around
+    /// [`DisconnectSchedule::once`]; ignored when `disconnect_schedule`
+    /// is set.
     pub disconnect_after: Option<u64>,
+    /// Repeated-disconnect (flapping) schedule; takes precedence over
+    /// `disconnect_after`. `None` disables.
+    pub disconnect_schedule: Option<DisconnectSchedule>,
     /// Bandwidth throttle: hold every client→server message for
     /// `frame_bytes / throttle_bytes_per_sec` seconds (±20% seeded
     /// jitter) before forwarding, where `frame_bytes` includes the 4-byte
@@ -75,6 +117,7 @@ impl Default for ProxySpec {
             delay_p: 0.0,
             delay: Duration::from_millis(1),
             disconnect_after: None,
+            disconnect_schedule: None,
             throttle_bytes_per_sec: None,
             seed: 0xFA_017,
         }
@@ -126,12 +169,24 @@ struct Counters {
     disconnects: AtomicU64,
     throttled: AtomicU64,
     throttle_micros: AtomicU64,
-    /// Client→server messages seen (drives `disconnect_after`).
+    /// Client→server messages seen (drives the disconnect schedule).
     seen: AtomicU64,
-    /// Ensures the disconnect fires at most once.
-    disconnect_armed: AtomicBool,
+    /// Lifetime message index at which each disconnect fired, in order.
+    disconnect_events: parking_lot::Mutex<Vec<u64>>,
     /// Per-connection throttle accounting, keyed by connection id.
     throttles: parking_lot::Mutex<Vec<ConnectionThrottle>>,
+}
+
+/// Live state of the disconnect schedule (proxy-wide, shared by every
+/// connection's forward loop).
+#[derive(Debug)]
+struct DisconnectState {
+    schedule: DisconnectSchedule,
+    /// Message count past which the next disconnect fires; `None` once
+    /// the schedule is exhausted.
+    next: Option<u64>,
+    fired: u64,
+    rng: StdRng,
 }
 
 #[derive(Debug)]
@@ -139,7 +194,45 @@ struct Shared {
     upstream: SocketAddr,
     spec: ProxySpec,
     counters: Counters,
+    disconnect: parking_lot::Mutex<Option<DisconnectState>>,
     shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Should the connection that just read lifetime message `seen` be
+    /// severed? Fires at most once per threshold; advances (and
+    /// eventually exhausts) the schedule.
+    fn maybe_disconnect(&self, seen: u64) -> bool {
+        let mut guard = self.disconnect.lock();
+        let Some(st) = guard.as_mut() else {
+            return false;
+        };
+        let Some(next) = st.next else {
+            return false;
+        };
+        if seen <= next {
+            return false;
+        }
+        st.fired += 1;
+        self.counters.disconnects.fetch_add(1, Ordering::Relaxed);
+        self.counters.disconnect_events.lock().push(seen);
+        st.next = if st.schedule.max.is_some_and(|m| st.fired >= m) {
+            None
+        } else {
+            let factor = if st.schedule.jitter > 0.0 {
+                1.0 + st.rng.gen_range(-st.schedule.jitter..st.schedule.jitter)
+            } else {
+                1.0
+            };
+            let gap = ((st.schedule.every as f64) * factor).round().max(1.0);
+            Some(if gap >= u64::MAX as f64 {
+                u64::MAX
+            } else {
+                seen.saturating_add(gap as u64)
+            })
+        };
+        true
+    }
 }
 
 /// A running fault-injecting TCP proxy (see the module docs).
@@ -173,13 +266,21 @@ impl FaultyProxy {
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no upstream addr"))?;
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let local_addr = listener.local_addr()?;
+        let schedule = spec
+            .disconnect_schedule
+            .clone()
+            .or(spec.disconnect_after.map(DisconnectSchedule::once));
+        let disconnect = schedule.map(|schedule| DisconnectState {
+            next: Some(schedule.first_after),
+            fired: 0,
+            rng: StdRng::seed_from_u64(spec.seed ^ 0xD15C_0111),
+            schedule,
+        });
         let shared = Arc::new(Shared {
             upstream,
             spec,
-            counters: Counters {
-                disconnect_armed: AtomicBool::new(true),
-                ..Counters::default()
-            },
+            counters: Counters::default(),
+            disconnect: parking_lot::Mutex::new(disconnect),
             shutdown: AtomicBool::new(false),
         });
         let conn_joins = Arc::new(parking_lot::Mutex::new(Vec::new()));
@@ -215,6 +316,13 @@ impl FaultyProxy {
             throttled: c.throttled.load(Ordering::Relaxed),
             throttle_micros: c.throttle_micros.load(Ordering::Relaxed),
         }
+    }
+
+    /// Lifetime message index at which each scheduled disconnect fired,
+    /// in firing order — the exact per-event record a flapping-leaf test
+    /// reconciles against transport accounting.
+    pub fn disconnect_events(&self) -> Vec<u64> {
+        self.shared.counters.disconnect_events.lock().clone()
     }
 
     /// Exact per-connection bandwidth-throttle accounting, in accept
@@ -406,11 +514,8 @@ fn forward_messages(client: &mut TcpStream, server: &mut TcpStream, conn_id: u64
             return;
         }
         let seen = counters.seen.fetch_add(1, Ordering::Relaxed) + 1;
-        if let Some(after) = spec.disconnect_after {
-            if seen > after && counters.disconnect_armed.swap(false, Ordering::SeqCst) {
-                counters.disconnects.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
+        if shared.maybe_disconnect(seen) {
+            return;
         }
         if spec.drop_p > 0.0 && rng.gen_bool(spec.drop_p) {
             counters.dropped.fetch_add(1, Ordering::Relaxed);
@@ -570,6 +675,69 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn disconnect_schedule_fires_repeatedly_at_exact_points() {
+        let (upstream, bytes_rx) = sink_server();
+        let spec = ProxySpec {
+            disconnect_schedule: Some(DisconnectSchedule {
+                first_after: 3,
+                every: 4,
+                jitter: 0.0,
+                max: Some(3),
+            }),
+            ..ProxySpec::default()
+        };
+        let proxy = FaultyProxy::start(upstream, spec).expect("start proxy");
+        // Each connection sends 10 one-byte messages; the schedule severs
+        // it mid-stream, the "agent" reconnects, and the lifetime message
+        // count keeps advancing. Sync on the sink's per-connection EOF
+        // report so message ordering across connections is deterministic.
+        let mut delivered = Vec::new();
+        for _ in 0..4 {
+            send_messages(proxy.local_addr(), &[1usize; 10]);
+            delivered.push(
+                bytes_rx
+                    .recv_timeout(Duration::from_secs(10))
+                    .expect("sink reports"),
+            );
+        }
+        let counts = proxy.counts();
+        let events = proxy.disconnect_events();
+        proxy.shutdown();
+
+        // Fires at seen=4 (first message past 3), then every 4 messages:
+        // 9, 14 — and never again after max=3.
+        assert_eq!(events, vec![4, 9, 14]);
+        assert_eq!(counts.disconnects, 3);
+        // Connection 1 forwarded messages 1–3, conns 2 and 3 four each
+        // (5–8, 10–13), conn 4 ran schedule-free: all ten delivered. The
+        // message read at each firing is swallowed with the connection.
+        let frame = (4 + 1) as u64;
+        assert_eq!(delivered, vec![3 * frame, 4 * frame, 4 * frame, 10 * frame]);
+        assert_eq!(counts.forwarded, 3 + 4 + 4 + 10);
+    }
+
+    #[test]
+    fn disconnect_after_still_fires_exactly_once() {
+        let (upstream, bytes_rx) = sink_server();
+        let spec = ProxySpec {
+            disconnect_after: Some(2),
+            ..ProxySpec::default()
+        };
+        let proxy = FaultyProxy::start(upstream, spec).expect("start proxy");
+        for _ in 0..2 {
+            send_messages(proxy.local_addr(), &[1usize; 6]);
+            bytes_rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("sink reports");
+        }
+        let counts = proxy.counts();
+        assert_eq!(proxy.disconnect_events(), vec![3]);
+        proxy.shutdown();
+        assert_eq!(counts.disconnects, 1, "single-shot wrapper fires once");
+        assert_eq!(counts.forwarded, 2 + 6);
     }
 
     #[test]

@@ -20,8 +20,10 @@
 //! the detector does not need — it is loss-aware by design.
 
 use crate::protocol::{
-    decode_hello_ack, encode_hello, read_full, Hello, RejectReason, HELLO_ACK_LEN, PROTOCOL_VERSION,
+    decode_hello_ack, encode_hello, read_full, Hello, PeerRole, RejectReason, HELLO_ACK_LEN,
+    HELLO_ACK_V1_LEN, PROTOCOL_VERSION,
 };
+use crate::ring::{LeafResolver, PinnedResolver};
 use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -66,7 +68,7 @@ impl Default for BackoffConfig {
 }
 
 impl BackoffConfig {
-    fn delay(&self, attempt: u32, rng: &mut StdRng) -> Duration {
+    pub(crate) fn delay(&self, attempt: u32, rng: &mut StdRng) -> Duration {
         let base = self.initial.as_secs_f64() * self.multiplier.powi(attempt as i32);
         let capped = base.min(self.max.as_secs_f64());
         let factor = 1.0 + rng.gen_range(-self.jitter..self.jitter.max(1e-9));
@@ -115,6 +117,8 @@ struct StatsInner {
     connects: AtomicU64,
     reconnects: AtomicU64,
     handshake_rejects: AtomicU64,
+    stale_epoch_rejects: AtomicU64,
+    rehomes: AtomicU64,
     frames_written: AtomicU64,
     synopses_written: AtomicU64,
     synopses_wire_lost: AtomicU64,
@@ -142,8 +146,15 @@ pub struct AgentStats {
     pub connects: u64,
     /// Connects after the first — i.e. recoveries from a dead link.
     pub reconnects: u64,
-    /// Handshakes the collector refused.
+    /// Handshakes the collector refused (stale-epoch rejects included,
+    /// though those are retried, not terminal).
     pub handshake_rejects: u64,
+    /// Handshakes refused for routing by a stale ring epoch — each one
+    /// triggered a ring refetch and another attempt.
+    pub stale_epoch_rejects: u64,
+    /// Successful connects whose resolved address differed from the
+    /// previous connection's — i.e. control-plane-driven re-homings.
+    pub rehomes: u64,
     /// Frames fully written to a live socket.
     pub frames_written: u64,
     /// Synopses carried by those frames.
@@ -164,6 +175,8 @@ impl StatsInner {
             connects: self.connects.load(Ordering::Relaxed),
             reconnects: self.reconnects.load(Ordering::Relaxed),
             handshake_rejects: self.handshake_rejects.load(Ordering::Relaxed),
+            stale_epoch_rejects: self.stale_epoch_rejects.load(Ordering::Relaxed),
+            rehomes: self.rehomes.load(Ordering::Relaxed),
             frames_written: self.frames_written.load(Ordering::Relaxed),
             synopses_written: self.synopses_written.load(Ordering::Relaxed),
             synopses_wire_lost: self.synopses_wire_lost.load(Ordering::Relaxed),
@@ -178,6 +191,7 @@ impl StatsInner {
                 v => Some(match v {
                     1 => RejectReason::VersionMismatch,
                     2 => RejectReason::Malformed,
+                    3 => RejectReason::StaleEpoch,
                     _ => RejectReason::None,
                 }),
             },
@@ -275,6 +289,21 @@ impl Agent {
     /// The connection is established lazily by the worker thread; `send`
     /// may be called immediately.
     pub fn connect(addr: SocketAddr, host: HostId, config: AgentConfig) -> Agent {
+        Agent::connect_via(Arc::new(PinnedResolver::new(addr)), host, config)
+    }
+
+    /// Start an agent whose collector address is looked up through
+    /// `resolver` before **every** connect attempt — the federated
+    /// deployment, where a
+    /// [`ControlPlane`](crate::control::ControlPlane) republishing the
+    /// ring re-homes this agent on its next reconnect. A
+    /// [`RejectReason::StaleEpoch`] reject is treated as "ask the
+    /// resolver again", not as a terminal failure.
+    pub fn connect_via(
+        resolver: Arc<dyn LeafResolver>,
+        host: HostId,
+        config: AgentConfig,
+    ) -> Agent {
         assert!(config.capacity > 0, "agent queue capacity must be positive");
         let (tx, rx) = bounded(config.capacity);
         let evict = matches!(config.policy, OverloadPolicy::DropOldest).then(|| rx.clone());
@@ -289,7 +318,7 @@ impl Agent {
         let worker_closing = closing.clone();
         let worker = std::thread::Builder::new()
             .name(format!("saad-net-agent-{}", host.0))
-            .spawn(move || worker_loop(addr, host, config, rx, stats, worker_closing))
+            .spawn(move || worker_loop(resolver, host, config, rx, stats, worker_closing))
             .expect("spawn agent worker");
         Agent {
             front,
@@ -348,6 +377,18 @@ impl Agent {
             "Handshakes the collector refused",
             &labels,
             counter(|s| &s.handshake_rejects),
+        );
+        registry.register_counter_fn(
+            "saad_agent_stale_epoch_rejects_total",
+            "Handshakes refused for a stale ring epoch (retried after refetch)",
+            &labels,
+            counter(|s| &s.stale_epoch_rejects),
+        );
+        registry.register_counter_fn(
+            "saad_agent_rehomes_total",
+            "Successful connects that landed on a different leaf than before",
+            &labels,
+            counter(|s| &s.rehomes),
         );
         registry.register_counter_fn(
             "saad_agent_frames_written_total",
@@ -448,9 +489,11 @@ enum ConnectOutcome {
     Failed,
 }
 
-/// One connect + handshake attempt at the agent's current resume point.
+/// One connect + handshake attempt at the agent's current resume point,
+/// announcing the ring epoch the address was resolved under.
 fn try_connect(
     addr: SocketAddr,
+    epoch: u64,
     host: HostId,
     config: &AgentConfig,
     sender: &FrameSender,
@@ -470,11 +513,20 @@ fn try_connect(
         next_seq: sender.frames_sent(),
         sent_cum: sender.synopses_sent(),
         written_cum,
+        epoch,
+        role: PeerRole::Agent,
     };
     if stream.write_all(&encode_hello(&hello)).is_err() || stream.flush().is_err() {
         return ConnectOutcome::Failed;
     }
-    let mut ack_buf = [0u8; HELLO_ACK_LEN];
+    // The ack arrives in the wire form of the version *we* announced —
+    // that is the whole point of the version-negotiated reject path.
+    let ack_len = if config.version >= 2 {
+        HELLO_ACK_LEN
+    } else {
+        HELLO_ACK_V1_LEN
+    };
+    let mut ack_buf = vec![0u8; ack_len];
     match read_full(&mut stream, &mut ack_buf, || true) {
         Ok(true) => {}
         Ok(false) | Err(_) => return ConnectOutcome::Failed,
@@ -502,7 +554,7 @@ fn backoff_sleep(total: Duration, closing: &AtomicBool) {
 }
 
 fn worker_loop(
-    addr: SocketAddr,
+    resolver: Arc<dyn LeafResolver>,
     host: HostId,
     config: AgentConfig,
     rx: Receiver<Vec<TaskSynopsis>>,
@@ -513,6 +565,8 @@ fn worker_loop(
     let mut sender = FrameSender::new(host);
     let mut written_cum = 0u64;
     let mut conn: Option<TcpStream> = None;
+    // Address of the last successful connect, for re-homing detection.
+    let mut home: Option<SocketAddr> = None;
 
     'batches: loop {
         // Poll with a timeout so close() works even while sink clones
@@ -530,14 +584,49 @@ fn worker_loop(
             Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break 'batches,
         };
         // Ensure a handshaken connection, backing off between failures.
+        // The resolver is consulted before every attempt, so a ring
+        // republish between attempts re-homes this agent automatically.
         let mut attempt = 0u32;
         while conn.is_none() {
-            match try_connect(addr, host, &config, &sender, written_cum) {
+            let back_off = |attempt: &mut u32, rng: &mut StdRng| {
+                backoff_sleep(config.backoff.delay(*attempt, rng), &closing);
+                *attempt = attempt.saturating_add(1);
+            };
+            let Some((addr, epoch)) = resolver.resolve(host) else {
+                // Nowhere to go (empty ring): wait for the control plane
+                // to publish a member.
+                if closing.load(Ordering::SeqCst) {
+                    drop_remaining(batch, &rx, &stats);
+                    return;
+                }
+                back_off(&mut attempt, &mut rng);
+                continue;
+            };
+            match try_connect(addr, epoch, host, &config, &sender, written_cum) {
                 ConnectOutcome::Connected(stream) => {
                     if stats.connects.fetch_add(1, Ordering::Relaxed) > 0 {
                         stats.reconnects.fetch_add(1, Ordering::Relaxed);
                     }
+                    if home.is_some_and(|h| h != addr) {
+                        stats.rehomes.fetch_add(1, Ordering::Relaxed);
+                    }
+                    home = Some(addr);
                     conn = Some(stream);
+                }
+                ConnectOutcome::Rejected(RejectReason::StaleEpoch) => {
+                    // Our ring view is behind the collector's. Not
+                    // terminal: back off and resolve again — the next
+                    // attempt routes by the refreshed ring.
+                    stats.handshake_rejects.fetch_add(1, Ordering::Relaxed);
+                    stats.stale_epoch_rejects.fetch_add(1, Ordering::Relaxed);
+                    stats
+                        .reject_reason
+                        .store(RejectReason::StaleEpoch as u64, Ordering::Relaxed);
+                    if closing.load(Ordering::SeqCst) {
+                        drop_remaining(batch, &rx, &stats);
+                        return;
+                    }
+                    back_off(&mut attempt, &mut rng);
                 }
                 ConnectOutcome::Rejected(reason) => {
                     // Version skew or a confused collector: retrying with
@@ -553,8 +642,7 @@ fn worker_loop(
                         drop_remaining(batch, &rx, &stats);
                         return;
                     }
-                    backoff_sleep(config.backoff.delay(attempt, &mut rng), &closing);
-                    attempt = attempt.saturating_add(1);
+                    back_off(&mut attempt, &mut rng);
                 }
             }
         }

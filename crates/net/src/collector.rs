@@ -22,8 +22,9 @@
 //! on the agents' resume handshakes ([`FrameReceiver::resume`]) instead.
 
 use crate::protocol::{
-    decode_hello, encode_hello_ack, read_full, HelloAck, RejectReason, HELLO_LEN, MAX_MESSAGE_LEN,
-    NO_SEQ, PROTOCOL_VERSION,
+    apply_hello_ext, decode_hello_prefix, encode_hello_ack, hello_ext_len, read_full, Hello,
+    HelloAck, RejectReason, HELLO_EXT_LEN, HELLO_V1_LEN, MAX_MESSAGE_LEN, NO_SEQ, PINNED_EPOCH,
+    PROTOCOL_VERSION,
 };
 use crossbeam_channel::Sender;
 use parking_lot::Mutex;
@@ -51,6 +52,13 @@ pub struct CollectorConfig {
     /// Protocol version this collector accepts (normally
     /// [`PROTOCOL_VERSION`]; overridable to exercise rejection paths).
     pub version: u16,
+    /// Live control-plane epoch to enforce, typically
+    /// [`ControlPlane::epoch_handle`](crate::control::ControlPlane::epoch_handle).
+    /// A hello routed by an older ring epoch is rejected with
+    /// [`RejectReason::StaleEpoch`] so the peer refetches the ring;
+    /// [`PINNED_EPOCH`] hellos (including everything v1) are exempt.
+    /// `None` disables the check entirely.
+    pub epoch: Option<Arc<AtomicU64>>,
 }
 
 impl Default for CollectorConfig {
@@ -58,6 +66,7 @@ impl Default for CollectorConfig {
         CollectorConfig {
             read_poll: Duration::from_millis(50),
             version: PROTOCOL_VERSION,
+            epoch: None,
         }
     }
 }
@@ -86,6 +95,8 @@ pub struct CollectorStats {
     pub connections_active: u64,
     /// Handshakes refused (bad magic/checksum or version skew).
     pub handshakes_rejected: u64,
+    /// Subset of rejections caused by a stale control-plane ring epoch.
+    pub stale_epoch_rejects: u64,
     /// Fresh (non-duplicate) frames admitted.
     pub frames: u64,
     /// Synopses forwarded to the analyzer input.
@@ -106,6 +117,7 @@ struct Counters {
     connections_accepted: AtomicU64,
     connections_active: AtomicU64,
     handshakes_rejected: AtomicU64,
+    stale_epoch_rejects: AtomicU64,
     frames: AtomicU64,
     synopses: AtomicU64,
     watermark_micros: AtomicU64,
@@ -119,24 +131,58 @@ impl Counters {
     }
 }
 
+/// Consumer of admitted frames that needs the agent's **global stream
+/// coordinates**, not just the payload — what a leaf collector's uplink
+/// implements so it can re-frame digests upstream at the exact positions
+/// the originating agents encoded them at (see `crate::leaf`).
+pub trait AdmittedSink: Send + Sync {
+    /// One fresh admitted frame for `host`: its synopses, the loss this
+    /// frame newly revealed on the agent link, and the host's global
+    /// stream position just past the frame's last synopsis (i.e. the
+    /// frame's `cumulative` + `synopses.len()`).
+    fn on_fresh(
+        &self,
+        host: HostId,
+        synopses: Vec<TaskSynopsis>,
+        newly_lost: u64,
+        stream_pos_end: u64,
+    );
+}
+
 /// Where admitted frames' synopses go: raw batches for the classic
-/// analyzer input, or SoA batches for [`spawn_batch_analyzer_pool`]
+/// analyzer input, SoA batches for [`spawn_batch_analyzer_pool`]
 /// (`saad_core::pipeline`) — interned at the collector edge so the whole
-/// downstream path works in dense column arrays.
+/// downstream path works in dense column arrays — or an [`AdmittedSink`]
+/// forwarding digests upstream (the leaf-collector role).
 enum SynopsisOut {
     Raw(Sender<Vec<TaskSynopsis>>),
     Soa {
         tx: Sender<SynopsisBatch>,
         interner: Arc<SignatureInterner>,
     },
+    Forward(Arc<dyn AdmittedSink>),
 }
 
 impl SynopsisOut {
     /// Forward one admitted frame outcome; returns synopses forwarded.
-    fn feed(&self, outcome: FrameOutcome, loss_tx: &Sender<LossReport>) -> usize {
+    /// `pos_end` is the frame's end position in the sender's global
+    /// stream coordinates (only the `Forward` sink needs it).
+    fn feed(&self, outcome: FrameOutcome, loss_tx: &Sender<LossReport>, pos_end: u64) -> usize {
         match self {
             SynopsisOut::Raw(tx) => feed_frame(outcome, tx, loss_tx),
             SynopsisOut::Soa { tx, interner } => feed_frame_soa(outcome, tx, interner, loss_tx),
+            SynopsisOut::Forward(sink) => match outcome {
+                FrameOutcome::Fresh {
+                    host,
+                    synopses,
+                    newly_lost,
+                } => {
+                    let n = synopses.len();
+                    sink.on_fresh(host, synopses, newly_lost, pos_end);
+                    n
+                }
+                FrameOutcome::Duplicate { .. } => 0,
+            },
         }
     }
 }
@@ -202,6 +248,33 @@ impl Collector {
                 tx: batch_tx,
                 interner,
             },
+            loss_tx,
+            config,
+        )
+    }
+
+    /// Bind a collector whose admitted frames feed an [`AdmittedSink`]
+    /// instead of an analyzer channel — the leaf-collector role: the sink
+    /// re-frames synopses upstream in the agents' global stream
+    /// coordinates. Agent-link loss is *not* reported locally (no
+    /// [`LossReport`] channel); it is passed to the sink, which makes it
+    /// visible to the root as a stream-position gap.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind_forward<A: ToSocketAddrs>(
+        addr: A,
+        sink: Arc<dyn AdmittedSink>,
+        config: CollectorConfig,
+    ) -> io::Result<Collector> {
+        // The Forward sink never reports loss locally; satisfy the shared
+        // struct with a disconnected channel.
+        let (loss_tx, _) = crossbeam_channel::unbounded();
+        Collector::serve_inner(
+            TcpListener::bind(addr)?,
+            CollectorState::default(),
+            SynopsisOut::Forward(sink),
             loss_tx,
             config,
         )
@@ -320,6 +393,7 @@ impl Collector {
             connections_accepted: c.connections_accepted.load(Ordering::Relaxed),
             connections_active: c.connections_active.load(Ordering::Relaxed),
             handshakes_rejected: c.handshakes_rejected.load(Ordering::Relaxed),
+            stale_epoch_rejects: c.stale_epoch_rejects.load(Ordering::Relaxed),
             frames: c.frames.load(Ordering::Relaxed),
             synopses: c.synopses.load(Ordering::Relaxed),
             corrupted_frames: corrupted,
@@ -362,6 +436,12 @@ impl Collector {
             "Handshakes refused (bad magic/checksum or version skew)",
             &[],
             counter(|c| &c.handshakes_rejected),
+        );
+        registry.register_counter_fn(
+            "saad_collector_stale_epoch_rejects_total",
+            "Handshakes refused because the peer routed by a stale ring epoch",
+            &[],
+            counter(|c| &c.stale_epoch_rejects),
         );
         registry.register_counter_fn(
             "saad_collector_frames_total",
@@ -509,20 +589,51 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     let keep_going = || !shared.shutdown.load(Ordering::SeqCst);
 
     // --- Handshake ---------------------------------------------------
-    let mut hello_buf = [0u8; HELLO_LEN];
-    match read_full(&mut stream, &mut hello_buf, keep_going) {
+    // Two-phase read: the 36-byte v1 prefix is byte-identical across
+    // versions and announces which version — and therefore how many
+    // extension bytes — follow. A decode failure is answered in the v1
+    // wire form, the only one an unidentified peer is guaranteed to read.
+    let mut prefix = [0u8; HELLO_V1_LEN];
+    match read_full(&mut stream, &mut prefix, keep_going) {
         Ok(true) => {}
         Ok(false) | Err(_) => return,
     }
-    let hello = match decode_hello(&hello_buf) {
+    let mut hello = match decode_hello_prefix(&prefix) {
         Ok(h) => h,
         Err(_) => {
-            reject(&mut stream, shared, RejectReason::Malformed);
+            reject(&mut stream, shared, RejectReason::Malformed, 1);
             return;
         }
     };
+    if hello_ext_len(hello.version) > 0 {
+        let mut ext = [0u8; HELLO_EXT_LEN];
+        match read_full(&mut stream, &mut ext, keep_going) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return,
+        }
+        if apply_hello_ext(&mut hello, &prefix, &ext).is_err() {
+            reject(&mut stream, shared, RejectReason::Malformed, hello.version);
+            return;
+        }
+    }
+    // From here every reply is formatted by the *peer's* announced
+    // version, so even a rejected old-protocol agent reads a complete,
+    // decodable ack and terminates cleanly instead of hanging.
     if hello.version != shared.config.version {
-        reject(&mut stream, shared, RejectReason::VersionMismatch);
+        reject(
+            &mut stream,
+            shared,
+            RejectReason::VersionMismatch,
+            hello.version,
+        );
+        return;
+    }
+    if stale_epoch(shared, &hello) {
+        shared
+            .counters
+            .stale_epoch_rejects
+            .fetch_add(1, Ordering::Relaxed);
+        reject(&mut stream, shared, RejectReason::StaleEpoch, hello.version);
         return;
     }
     let (last_seq, delivered_cum) = {
@@ -544,8 +655,12 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
         reason: RejectReason::None,
         last_seq,
         delivered_cum,
+        epoch: current_epoch(shared),
     };
-    if stream.write_ack(&encode_hello_ack(&ack)).is_err() {
+    if stream
+        .write_ack(&encode_hello_ack(&ack, hello.version))
+        .is_err()
+    {
         return;
     }
 
@@ -585,9 +700,13 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             .map(|s| s.start)
             .max()
             .unwrap_or(SimTime::ZERO);
+        // End of this frame in the sender's global stream coordinates —
+        // what a forwarding sink re-frames at so gaps stay visible
+        // upstream.
+        let pos_end = parsed.cumulative + parsed.synopses.len() as u64;
         let outcome = shared.receiver.lock().admit(parsed);
         let is_fresh = matches!(outcome, FrameOutcome::Fresh { .. });
-        let forwarded = shared.out.feed(outcome, &shared.loss_tx);
+        let forwarded = shared.out.feed(outcome, &shared.loss_tx, pos_end);
         if is_fresh {
             shared.counters.frames.fetch_add(1, Ordering::Relaxed);
             shared
@@ -599,7 +718,28 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     }
 }
 
-fn reject(stream: &mut TcpStream, shared: &Shared, reason: RejectReason) {
+/// Current enforced epoch, or 0 when the collector enforces none.
+fn current_epoch(shared: &Shared) -> u64 {
+    shared
+        .config
+        .epoch
+        .as_ref()
+        .map_or(0, |e| e.load(Ordering::SeqCst))
+}
+
+/// Did this hello route by a ring epoch older than the enforced one?
+/// [`PINNED_EPOCH`] peers (and all v1 peers, which decode to it) are
+/// never stale: they did not route through a ring at all.
+fn stale_epoch(shared: &Shared, hello: &Hello) -> bool {
+    match &shared.config.epoch {
+        Some(e) => hello.epoch != PINNED_EPOCH && hello.epoch < e.load(Ordering::SeqCst),
+        None => false,
+    }
+}
+
+/// Refuse the handshake, formatting the ack in `wire_version` — the
+/// **peer's** announced version — so the rejected peer can decode it.
+fn reject(stream: &mut TcpStream, shared: &Shared, reason: RejectReason, wire_version: u16) {
     shared
         .counters
         .handshakes_rejected
@@ -610,8 +750,9 @@ fn reject(stream: &mut TcpStream, shared: &Shared, reason: RejectReason) {
         reason,
         last_seq: NO_SEQ,
         delivered_cum: 0,
+        epoch: current_epoch(shared),
     };
-    let _ = stream.write_ack(&encode_hello_ack(&ack));
+    let _ = stream.write_ack(&encode_hello_ack(&ack, wire_version));
 }
 
 /// Small extension so ack writes read naturally above.

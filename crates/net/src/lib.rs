@@ -21,13 +21,41 @@
 //! Nothing is retransmitted: the detector is loss-aware by design
 //! (`record_loss` + completeness), so the transport's job is to make
 //! loss *visible and exact*, not to hide it.
+//!
+//! # Federation
+//!
+//! Above the single link, the crate also provides a two-tier collection
+//! topology with the same exactness guarantee end to end:
+//!
+//! * [`ring`] — seeded rendezvous-hash host→leaf assignment published as
+//!   immutable, epoch-versioned [`RingSnapshot`]s; join/leave re-homes
+//!   only ~1/N of hosts.
+//! * [`control`] — the [`ControlPlane`]: leaf registration, heartbeats,
+//!   failure detection, and epoch republication; doubles as the
+//!   [`LeafResolver`] agents consult before every connect attempt.
+//! * [`leaf`] — [`LeafCollector`]: terminates a regional agent fleet and
+//!   forwards windowed digests upstream **in the agents' global stream
+//!   coordinates**, so any loss anywhere surfaces at the root as a
+//!   cumulative-count gap.
+//! * [`root`] — [`RootCollector`]: merges leaf uplinks with a
+//!   sum/max law ([`DigestMerge`](saad_core::transport::DigestMerge))
+//!   that reports each lost synopsis exactly once across failover, with
+//!   zero double-counting.
 
 #![warn(missing_docs)]
 
 pub mod agent;
 pub mod collector;
+pub mod control;
+pub mod leaf;
 pub mod protocol;
+pub mod ring;
+pub mod root;
 
 pub use agent::{Agent, AgentConfig, AgentSink, AgentStats, BackoffConfig};
-pub use collector::{Collector, CollectorConfig, CollectorState, CollectorStats};
-pub use protocol::{Hello, HelloAck, RejectReason, PROTOCOL_VERSION};
+pub use collector::{AdmittedSink, Collector, CollectorConfig, CollectorState, CollectorStats};
+pub use control::{ControlPlane, MonitorHandle};
+pub use leaf::{LeafCollector, LeafConfig, LeafStats};
+pub use protocol::{Hello, HelloAck, PeerRole, RejectReason, PROTOCOL_VERSION};
+pub use ring::{LeafId, LeafResolver, PinnedResolver, RingSnapshot};
+pub use root::{RootCollector, RootConfig, RootStats};

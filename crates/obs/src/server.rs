@@ -89,6 +89,10 @@ impl MetricsServer {
     }
 
     /// Number of scrape responses served so far.
+    ///
+    /// Read-your-writes: the count is incremented before the response
+    /// bytes are written, so a client that has finished reading its
+    /// body always observes its own scrape in this counter.
     pub fn scrapes_served(&self) -> u64 {
         self.scrapes.get()
     }
@@ -134,9 +138,7 @@ fn accept_loop(
         if shutdown.load(Ordering::SeqCst) {
             return;
         }
-        if serve_one(stream, &registry, observer.as_deref()).is_ok() {
-            scrapes.inc();
-        }
+        let _ = serve_one(stream, &registry, observer.as_deref(), &scrapes);
     }
 }
 
@@ -145,6 +147,7 @@ fn serve_one(
     mut stream: TcpStream,
     registry: &Registry,
     observer: Option<&dyn ScrapeObserver>,
+    scrapes: &Counter,
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(READ_TIMEOUT))?;
     let mut head = Vec::with_capacity(256);
@@ -186,6 +189,9 @@ fn serve_one(
         obs.scrape_started();
     }
     let body = registry.render();
+    // Count before the response goes out: once a client has read its
+    // body, its scrape must already be visible in `scrapes_served`.
+    scrapes.inc();
     let result = respond(&mut stream, "200 OK", &body, true);
     if let Some(obs) = observer {
         obs.scrape_finished(body.len());
