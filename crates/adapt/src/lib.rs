@@ -1,0 +1,34 @@
+//! # saad-adapt — streaming adaptive models
+//!
+//! Makes SAAD's model maintenance *continuous*. The core pipeline trains
+//! episodically: buffer a retrain ring, replay it through `ModelBuilder`,
+//! hot-swap at a watermark boundary. This crate replaces the episodic
+//! parts with streaming ones and layers tenancy on top:
+//!
+//! * [`StreamingModelBuilder`] — per-(stage, signature) mergeable
+//!   quantile sketches plus decayed signature frequencies, so a fresh
+//!   model is O(live signatures) to assemble, with memory bounded by
+//!   signature cardinality and duration dynamic range instead of ring
+//!   length.
+//! * Drift detection — Page-Hinkley tests (from `saad-stats`) on
+//!   window-level summaries: signature-share L1 divergence for flow
+//!   drift, sketch-quantile relative delta for duration drift. A trip
+//!   schedules a retrain on *fresh* data and re-uses the existing
+//!   in-band hot-swap — no new swap mechanism. The in-pool variant
+//!   lives in `saad_core::pipeline` behind
+//!   [`AdaptPolicy`](saad_core::pipeline::AdaptPolicy).
+//! * [`AdaptiveMonitor`] / [`TenantRouter`] — per-tenant model
+//!   namespaces keyed by [`saad_core::TenantId`]: each tenant trains,
+//!   drifts, and swaps independently, with per-tenant metrics exported
+//!   through `saad-obs`.
+//!
+//! See DESIGN.md §15 for the sketch choice, error bound, drift test, and
+//! swap-trigger rule.
+
+#![warn(missing_docs)]
+
+mod stream;
+mod tenant;
+
+pub use stream::StreamingModelBuilder;
+pub use tenant::{AdaptiveMonitor, TenantRouter};

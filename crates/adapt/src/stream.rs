@@ -1,0 +1,397 @@
+//! Sketch-based streaming model building.
+//!
+//! [`StreamingModelBuilder`] replaces the episodic
+//! [`saad_core::model::ModelBuilder`] replay for the adaptive path: instead
+//! of buffering raw durations and re-sorting them at every retrain, it
+//! keeps one mergeable [`QuantileSketch`] per (stage, signature) and one
+//! [`DecayedFrequency`] per stage. A model can then be assembled at any
+//! window boundary in time proportional to the number of *live signatures*,
+//! not the number of buffered tasks, and its memory is bounded by the
+//! traffic's signature cardinality and duration dynamic range.
+//!
+//! # Gating
+//!
+//! The episodic path gates thresholds with k-fold cross-validation over
+//! raw durations; a sketch cannot replay folds. The streaming path
+//! substitutes two gates with the same intent (reject thresholds the data
+//! cannot support): a **minimum-sample gate** (`min_signature_samples`,
+//! same knob as the episodic path) and the sketch's own **documented
+//! relative error bound** `alpha` — a threshold read from the sketch is
+//! within `alpha` of the true percentile by construction, so instability
+//! below that resolution cannot be expressed in the first place. The
+//! trade is deliberate: bounded memory and O(signatures) rebuilds in
+//! exchange for the coarser gate (see DESIGN.md §15).
+
+use saad_core::intern::{SigId, SignatureInterner};
+use saad_core::model::{ConfigError, ModelConfig, OutlierModel, SignatureModel, StageModel};
+use saad_core::prelude::InternedFeature;
+use saad_core::StageId;
+use saad_stats::{DecayedFrequency, QuantileSketch};
+use std::collections::HashMap;
+
+/// Streaming counterpart of [`saad_core::model::ModelBuilder`]: absorbs
+/// interned features, forgets via exponential decay at window boundaries,
+/// and assembles an [`OutlierModel`] on demand.
+///
+/// # Example
+///
+/// ```
+/// use saad_adapt::StreamingModelBuilder;
+/// use saad_core::intern::SignatureInterner;
+/// use saad_core::model::ModelConfig;
+/// use saad_core::prelude::InternedFeature;
+/// use saad_core::{HostId, StageId, TaskUid};
+/// use saad_logging::LogPointId;
+/// use saad_sim::SimTime;
+/// use std::sync::Arc;
+///
+/// let interner = Arc::new(SignatureInterner::new());
+/// let sig = interner.intern_sorted(&[LogPointId(1), LogPointId(2)]);
+/// let mut b = StreamingModelBuilder::new(ModelConfig::default(), 0.01, 0.8);
+/// for i in 0..200u64 {
+///     b.observe(&InternedFeature {
+///         uid: TaskUid(i),
+///         host: HostId(0),
+///         stage: StageId(1),
+///         sig,
+///         duration_us: 1_000.0 + (i % 50) as f64,
+///         start: SimTime::ZERO,
+///     });
+/// }
+/// let model = b.try_build(&interner).unwrap();
+/// assert_eq!(model.stage_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingModelBuilder {
+    config: ModelConfig,
+    alpha: f64,
+    decay: f64,
+    /// Per-(stage, signature) duration sketches. Cumulative since the
+    /// last [`StreamingModelBuilder::reset`]: duration *recency* is
+    /// handled by resetting on swap, frequency recency by the decayed
+    /// flow counters.
+    sketches: HashMap<(StageId, SigId), QuantileSketch>,
+    /// Per-stage decayed signature frequencies (flow-outlier cutoffs).
+    flows: HashMap<StageId, DecayedFrequency>,
+    observed: u64,
+}
+
+impl StreamingModelBuilder {
+    /// Create a builder.
+    ///
+    /// * `config` — same knobs as the episodic path; `kfold` and
+    ///   `kfold_tolerance` are unused here (see the module docs).
+    /// * `alpha` — relative error bound of the duration sketches.
+    /// * `decay` — per-window multiplier on signature frequencies,
+    ///   `(0, 1]`; `1.0` never forgets.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `alpha` or `decay` is out of range (same contracts as
+    /// [`QuantileSketch::new`] and [`DecayedFrequency::new`]).
+    pub fn new(config: ModelConfig, alpha: f64, decay: f64) -> StreamingModelBuilder {
+        // Fail fast on bad parameters rather than at the first observe.
+        let _ = QuantileSketch::new(alpha);
+        let _ = DecayedFrequency::new(decay);
+        StreamingModelBuilder {
+            config,
+            alpha,
+            decay,
+            sketches: HashMap::new(),
+            flows: HashMap::new(),
+            observed: 0,
+        }
+    }
+
+    /// Absorb one interned feature into the per-signature state.
+    pub fn observe(&mut self, feature: &InternedFeature) {
+        self.observed += 1;
+        self.sketches
+            .entry((feature.stage, feature.sig))
+            .or_insert_with(|| QuantileSketch::new(self.alpha))
+            .record(feature.duration_us);
+        self.flows
+            .entry(feature.stage)
+            .or_insert_with(|| DecayedFrequency::new(self.decay))
+            .record(u64::from(feature.sig.0), 1.0);
+    }
+
+    /// Close a window: decay every stage's signature frequencies so the
+    /// flow-outlier cutoff tracks *recent* traffic shape.
+    pub fn advance_window(&mut self) {
+        for flow in self.flows.values_mut() {
+            flow.advance();
+        }
+    }
+
+    /// Forget everything (typically right after a swap, so the next
+    /// model is trained purely on the new regime).
+    pub fn reset(&mut self) {
+        self.sketches.clear();
+        self.flows.clear();
+        self.observed = 0;
+    }
+
+    /// Features observed since construction or the last reset.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Live (stage, signature) groups currently sketched.
+    pub fn group_count(&self) -> usize {
+        self.sketches.len()
+    }
+
+    /// The duration sketch of one (stage, signature) group, e.g. for
+    /// shipping via [`saad_core::codec::encode_sketch`].
+    pub fn sketch(&self, stage: StageId, sig: SigId) -> Option<&QuantileSketch> {
+        self.sketches.get(&(stage, sig))
+    }
+
+    /// Merge every group's duration sketch into one overall sketch (the
+    /// drift detector's baseline).
+    pub fn overall_sketch(&self) -> QuantileSketch {
+        let mut merged = QuantileSketch::new(self.alpha);
+        for sketch in self.sketches.values() {
+            merged.merge(sketch);
+        }
+        merged
+    }
+
+    /// Collapse the per-stage flow counters into one global decayed
+    /// share distribution keyed by interned signature id.
+    pub fn global_shares(&self) -> DecayedFrequency {
+        let mut global = DecayedFrequency::new(1.0);
+        for flow in self.flows.values() {
+            for (sig, _) in flow.shares() {
+                global.record(sig, flow.count(sig));
+            }
+        }
+        global
+    }
+
+    /// Assemble an [`OutlierModel`] from the current streaming state via
+    /// [`OutlierModel::from_stages`]. Signature ids are resolved through
+    /// `interner` — the same shared interner that produced the observed
+    /// features.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the model configuration is invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sketched [`SigId`] is unknown to `interner` (the
+    /// builder only ever sees ids minted by it).
+    pub fn try_build(&self, interner: &SignatureInterner) -> Result<OutlierModel, ConfigError> {
+        let rare_share_cutoff = 1.0 - self.config.flow_rank_percentile / 100.0;
+        let mut stages = HashMap::with_capacity(self.flows.len());
+        for (&stage, flow) in &self.flows {
+            let task_count = flow.total().round() as u64;
+            if task_count == 0 {
+                continue;
+            }
+            let mut signatures = HashMap::with_capacity(flow.len());
+            let mut flow_outlier_tasks = 0.0f64;
+            for (sig_key, share) in flow.shares() {
+                let sig_id = SigId(sig_key as u32);
+                let signature = interner
+                    .resolve(sig_id)
+                    .expect("streaming builder SigId minted by this interner");
+                let count = flow.count(sig_key).round() as u64;
+                let is_flow_outlier = share < rare_share_cutoff;
+                if is_flow_outlier {
+                    flow_outlier_tasks += flow.count(sig_key);
+                }
+                let mut duration_threshold_us = None;
+                let mut training_perf_outlier_rate = 0.0;
+                if !is_flow_outlier {
+                    if let Some(sketch) = self.sketches.get(&(stage, sig_id)) {
+                        // Min-sample gate (see module docs: replaces the
+                        // episodic path's k-fold gate).
+                        if sketch.count() >= self.config.min_signature_samples as u64 {
+                            let estimate = sketch
+                                .percentile(self.config.duration_percentile)
+                                .expect("non-empty sketch");
+                            // Publish the conservative upper edge of the
+                            // sketch's error interval: the estimate is
+                            // within relative error alpha of the true
+                            // percentile, so dividing by (1 - alpha)
+                            // guarantees threshold >= true value.
+                            // Approximation error can then only suppress
+                            // borderline detections, never invent them.
+                            let threshold = estimate / (1.0 - self.alpha);
+                            training_perf_outlier_rate = sketch.fraction_above(threshold);
+                            duration_threshold_us = Some(threshold);
+                        }
+                    }
+                }
+                signatures.insert(
+                    signature,
+                    SignatureModel {
+                        count,
+                        share,
+                        is_flow_outlier,
+                        duration_threshold_us,
+                        training_perf_outlier_rate,
+                    },
+                );
+            }
+            stages.insert(
+                stage,
+                StageModel {
+                    task_count,
+                    signatures,
+                    flow_outlier_rate: flow_outlier_tasks / flow.total(),
+                },
+            );
+        }
+        OutlierModel::from_stages(stages, self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saad_core::model::ModelBuilder;
+    use saad_core::prelude::TaskSynopsis;
+    use saad_core::{HostId, TaskUid};
+    use saad_logging::LogPointId;
+    use saad_sim::{SimDuration, SimTime};
+    use std::sync::Arc;
+
+    fn synopsis(stage: u16, points: &[u16], dur_us: u64, uid: u64) -> TaskSynopsis {
+        TaskSynopsis {
+            host: HostId(0),
+            stage: StageId(stage),
+            uid: TaskUid(uid),
+            start: SimTime::ZERO,
+            duration: SimDuration::from_micros(dur_us),
+            log_points: points.iter().map(|&p| (LogPointId(p), 1)).collect(),
+        }
+    }
+
+    /// Streaming thresholds agree with the episodic `ModelBuilder` within
+    /// the sketch's documented error bound on identical traffic.
+    #[test]
+    fn streaming_thresholds_match_episodic_within_alpha() {
+        let interner = Arc::new(SignatureInterner::new());
+        let alpha = 0.01;
+        let mut streaming = StreamingModelBuilder::new(ModelConfig::default(), alpha, 1.0);
+        let mut episodic = ModelBuilder::new();
+        let mut synopses = Vec::new();
+        for i in 0..5_000u64 {
+            synopses.push(synopsis(1, &[1, 2], 1_000 + (i % 53) * 5, i));
+        }
+        for s in &synopses {
+            episodic.observe(s);
+            streaming.observe(&InternedFeature::from_synopsis(s, &interner));
+        }
+        let episodic_model = episodic.build(ModelConfig::default());
+        let streaming_model = streaming.try_build(&interner).unwrap();
+
+        let sig = synopses[0].signature();
+        let expected = episodic_model
+            .stage(StageId(1))
+            .unwrap()
+            .signatures
+            .get(&sig)
+            .unwrap()
+            .duration_threshold_us
+            .expect("episodic threshold");
+        let got = streaming_model
+            .stage(StageId(1))
+            .unwrap()
+            .signatures
+            .get(&sig)
+            .unwrap()
+            .duration_threshold_us
+            .expect("streaming threshold");
+        // The streaming threshold is the upper edge of the sketch's
+        // error interval (estimate / (1 - alpha)), so the agreement
+        // bound is twice the sketch error plus interpolation slack.
+        assert!(
+            (got - expected).abs() <= 3.0 * alpha * expected + 2.0,
+            "streaming {got} vs episodic {expected}"
+        );
+    }
+
+    #[test]
+    fn rare_signatures_are_flow_outliers() {
+        let interner = Arc::new(SignatureInterner::new());
+        let mut b = StreamingModelBuilder::new(ModelConfig::default(), 0.01, 1.0);
+        let mut synopses = Vec::new();
+        for i in 0..1_000u64 {
+            synopses.push(synopsis(1, &[1, 2], 1_000, i));
+        }
+        // Three tasks of a rare signature: share 0.3% < 1% cutoff.
+        for i in 0..3u64 {
+            synopses.push(synopsis(1, &[1, 9], 1_000, 10_000 + i));
+        }
+        for s in &synopses {
+            b.observe(&InternedFeature::from_synopsis(s, &interner));
+        }
+        let model = b.try_build(&interner).unwrap();
+        let stage = model.stage(StageId(1)).unwrap();
+        let rare = synopses.last().unwrap().signature();
+        assert!(stage.signatures.get(&rare).unwrap().is_flow_outlier);
+        let common = synopses[0].signature();
+        assert!(!stage.signatures.get(&common).unwrap().is_flow_outlier);
+    }
+
+    #[test]
+    fn decay_forgets_stale_signatures() {
+        let interner = Arc::new(SignatureInterner::new());
+        let mut b = StreamingModelBuilder::new(ModelConfig::default(), 0.01, 0.1);
+        let old = synopsis(1, &[1, 2], 1_000, 0);
+        b.observe(&InternedFeature::from_synopsis(&old, &interner));
+        // Ten window closes at decay 0.1 reduce the old signature to dust.
+        for _ in 0..10 {
+            b.advance_window();
+        }
+        for i in 0..500u64 {
+            let s = synopsis(1, &[1, 3], 1_000, 1 + i);
+            b.observe(&InternedFeature::from_synopsis(&s, &interner));
+        }
+        let model = b.try_build(&interner).unwrap();
+        let stage = model.stage(StageId(1)).unwrap();
+        // The stale signature no longer anchors the share distribution.
+        let live = synopsis(1, &[1, 3], 1_000, 0).signature();
+        let share = stage.signatures.get(&live).unwrap().share;
+        assert!(share > 0.99, "live share diluted by stale state: {share}");
+    }
+
+    #[test]
+    fn sparse_groups_get_no_threshold() {
+        let interner = Arc::new(SignatureInterner::new());
+        let mut b = StreamingModelBuilder::new(ModelConfig::default(), 0.01, 1.0);
+        for i in 0..10u64 {
+            let s = synopsis(1, &[1, 2], 1_000, i);
+            b.observe(&InternedFeature::from_synopsis(&s, &interner));
+        }
+        let model = b.try_build(&interner).unwrap();
+        let sig = synopsis(1, &[1, 2], 1_000, 0).signature();
+        let sm = model
+            .stage(StageId(1))
+            .unwrap()
+            .signatures
+            .get(&sig)
+            .unwrap();
+        assert_eq!(
+            sm.duration_threshold_us, None,
+            "10 samples are below the min-sample gate"
+        );
+    }
+
+    #[test]
+    fn reset_clears_all_state() {
+        let interner = Arc::new(SignatureInterner::new());
+        let mut b = StreamingModelBuilder::new(ModelConfig::default(), 0.01, 1.0);
+        let s = synopsis(1, &[1, 2], 1_000, 0);
+        b.observe(&InternedFeature::from_synopsis(&s, &interner));
+        b.reset();
+        assert_eq!(b.observed(), 0);
+        assert_eq!(b.group_count(), 0);
+        assert!(b.overall_sketch().is_empty());
+    }
+}

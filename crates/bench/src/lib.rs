@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod drift;
 pub mod federation;
 pub mod gray;
 

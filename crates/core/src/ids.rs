@@ -45,6 +45,29 @@ impl fmt::Display for HostId {
     }
 }
 
+/// Identifier of a tenant: an isolation domain that trains, drifts, and
+/// swaps its models independently of every other tenant.
+///
+/// Tenancy is deliberately *not* a column on the interned feature or the
+/// synopsis batch — the batch hot path stays seven columns wide and the
+/// zero-alloc/equivalence guarantees untouched. Instead, the adaptive
+/// layer (`saad-adapt`) derives a tenant from the host at namespace
+/// boundaries (host→tenant routing), so per-tenant state lives beside the
+/// pipeline rather than inside every feature.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u16);
+
+impl TenantId {
+    /// The tenant every host belongs to when no routing is configured.
+    pub const DEFAULT: TenantId = TenantId(0);
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant{}", self.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -54,6 +77,7 @@ mod tests {
         assert_eq!(StageId(3).to_string(), "S3");
         assert_eq!(TaskUid(9).to_string(), "T9");
         assert_eq!(HostId(4).to_string(), "host4");
+        assert_eq!(TenantId(2).to_string(), "tenant2");
     }
 
     #[test]

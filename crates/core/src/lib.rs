@@ -105,7 +105,7 @@ pub mod synopsis;
 pub mod tracker;
 pub mod transport;
 
-pub use ids::{HostId, StageId, TaskUid};
+pub use ids::{HostId, StageId, TaskUid, TenantId};
 pub use signature::Signature;
 pub use stage_registry::StageRegistry;
 
@@ -122,5 +122,5 @@ pub mod prelude {
     pub use crate::store::{Checkpoint, CheckpointError, CheckpointStore, Recovery};
     pub use crate::synopsis::TaskSynopsis;
     pub use crate::tracker::{SynopsisSink, TaskExecutionTracker, TrackerMetrics, VecSink};
-    pub use crate::{HostId, Signature, StageId, StageRegistry, TaskUid};
+    pub use crate::{HostId, Signature, StageId, StageRegistry, TaskUid, TenantId};
 }

@@ -19,7 +19,7 @@ use crate::synopsis::TaskSynopsis;
 use crate::{Signature, StageId};
 use bytes::{BufMut, Bytes, BytesMut};
 use saad_stats::kfold::validate_percentile_threshold;
-use saad_stats::percentile;
+use saad_stats::percentile_nan_below;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -293,7 +293,10 @@ impl ModelBuilder {
                     .map(|o| !o.is_unstable(config.kfold_tolerance))
                     .unwrap_or(false);
                     if stable {
-                        let threshold = percentile(durations, config.duration_percentile)
+                        // NaN-safe: a corrupt duration sorts below the
+                        // threshold instead of panicking a release-path
+                        // retrain (NaN→below, matching `classify_batch`).
+                        let threshold = percentile_nan_below(durations, config.duration_percentile)
                             .expect("non-empty group");
                         let above = durations.iter().filter(|&&d| d > threshold).count() as f64;
                         duration_threshold_us = Some(threshold);
@@ -340,6 +343,25 @@ pub struct OutlierModel {
 }
 
 impl OutlierModel {
+    /// Assemble a model directly from per-stage tables, bypassing
+    /// [`ModelBuilder`]. This is the constructor the streaming path
+    /// (`saad-adapt`) uses: its per-(stage, signature) sketches already
+    /// hold counts, shares, and percentile thresholds, so a raw-duration
+    /// replay would be wasted work. The caller owns the statistical
+    /// guarantees of its inputs; `config` must still validate.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when `config` is outside its valid
+    /// domain, exactly like [`ModelBuilder::try_build`].
+    pub fn from_stages(
+        stages: HashMap<StageId, StageModel>,
+        config: ModelConfig,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Self { stages, config })
+    }
+
     /// Classify one runtime task.
     pub fn classify(&self, f: &FeatureVector) -> TaskClass {
         let Some(stage) = self.stages.get(&f.stage) else {

@@ -55,6 +55,7 @@ use crate::{HostId, StageId};
 use crossbeam_channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use saad_obs::{Histogram, Registry};
 use saad_sim::{SimDuration, SimTime};
+use saad_stats::{DecayedFrequency, PageHinkley, QuantileSketch};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -2005,6 +2006,13 @@ pub struct LifecycleConfig {
     /// synthesized transient I/O error before letting writes through —
     /// the transient-failure counterpart of `checkpoint_stall`.
     pub checkpoint_fail_first: u32,
+    /// Continuous adaptation: when set, the router runs a Page-Hinkley
+    /// drift detector over window-level traffic summaries and triggers
+    /// the in-band retrain/hot-swap itself when drift is confirmed.
+    /// `None` (the default) keeps the pool's episodic behaviour —
+    /// retrains happen only on explicit [`LifecyclePool::retrain_now`]
+    /// and at bootstrap promotion.
+    pub adapt: Option<AdaptPolicy>,
 }
 
 impl Default for LifecycleConfig {
@@ -2021,6 +2029,62 @@ impl Default for LifecycleConfig {
             checkpoint_retries: 3,
             checkpoint_retry_backoff: Duration::from_millis(10),
             checkpoint_fail_first: 0,
+            adapt: None,
+        }
+    }
+}
+
+/// Drift-triggered adaptation policy for a lifecycle pool.
+///
+/// The router accumulates each adapt window's traffic into a
+/// [`saad_stats::QuantileSketch`] (durations) and a signature-frequency
+/// table, then at every watermark-aligned window close feeds two scalars
+/// into per-dimension [`saad_stats::PageHinkley`] tests:
+///
+/// * the **flow statistic** — L1 divergence between the window's
+///   signature-share distribution and the baseline captured at the last
+///   swap (range `[0, 2]`);
+/// * the **duration statistic** — relative delta between the window
+///   sketch's `duration_percentile` quantile and the baseline sketch's.
+///
+/// When either test trips (sustained shift, not a one-window spike) the
+/// router drops the retrain ring — it still holds the regime the drift
+/// just invalidated — and marks a retrain pending. Once the ring has
+/// refilled with `min_retrain_samples` of purely post-drift traffic, the
+/// router invokes the *existing* retrain path at the current watermark
+/// boundary — the same k-fold-gated, zero-drop [`ShardMsg`] swap that
+/// [`LifecyclePool::retrain_now`] uses; there is no second swap
+/// mechanism. After a swap the baseline is re-captured from the retrain
+/// ring, both tests reset, and `cooldown_windows` windows must close
+/// before drift evidence accrues again.
+#[derive(Debug, Clone)]
+pub struct AdaptPolicy {
+    /// Width of one adapt window. Windows are aligned to the first
+    /// absorbed task's start time and closed by the routed watermark.
+    pub window: SimDuration,
+    /// Windows with fewer routed tasks than this contribute no drift
+    /// evidence (a sparse window says nothing about the distribution).
+    pub min_window_samples: u64,
+    /// Page-Hinkley tolerance: per-window deviations below this never
+    /// accumulate evidence.
+    pub delta: f64,
+    /// Page-Hinkley trip threshold on accumulated evidence.
+    pub lambda: f64,
+    /// Windows to wait after any swap before drift can trigger again.
+    pub cooldown_windows: u32,
+    /// Relative-error bound of the per-window duration sketch.
+    pub sketch_alpha: f64,
+}
+
+impl Default for AdaptPolicy {
+    fn default() -> AdaptPolicy {
+        AdaptPolicy {
+            window: SimDuration::from_secs(60),
+            min_window_samples: 200,
+            delta: 0.005,
+            lambda: 0.25,
+            cooldown_windows: 2,
+            sketch_alpha: saad_stats::sketch::DEFAULT_ALPHA,
         }
     }
 }
@@ -2115,6 +2179,141 @@ enum PoolCommand {
 /// channel for an explicit [`LifecyclePool::checkpoint_now`] request.
 type WriterJob = (Checkpoint, Option<Sender<Result<u64, LifecycleError>>>);
 
+/// Router-side drift detection state for an [`AdaptPolicy`].
+struct AdaptState {
+    policy: AdaptPolicy,
+    /// Percentile compared between window and baseline sketches (the
+    /// model's own duration percentile, so drift is measured where the
+    /// thresholds live).
+    quantile: f64,
+    /// Start of the currently accumulating window; set by the first
+    /// absorbed feature and advanced in lockstep with the watermark.
+    window_start: Option<SimTime>,
+    /// Current window's duration sketch.
+    win_sketch: QuantileSketch,
+    /// Current window's per-signature task counts.
+    win_sigs: DecayedFrequency,
+    /// Baseline captured from the retrain ring at the last swap: what
+    /// the live model was trained on.
+    base_sketch: QuantileSketch,
+    base_sigs: DecayedFrequency,
+    /// Change tests over the per-window statistics.
+    ph_duration: PageHinkley,
+    ph_flow: PageHinkley,
+    /// Windows remaining before drift may trigger a swap again.
+    cooldown: u32,
+    /// A drift trip is waiting for enough *fresh* post-drift traffic to
+    /// retrain on. While pending, further trips are ignored and the ring
+    /// (cleared at the trip) refills with new-regime tasks only, so the
+    /// swap never trains on a mixture dominated by the old regime.
+    pending: bool,
+    /// Drift-triggered swaps, shared with [`LifecyclePool`].
+    drift_swaps: Arc<AtomicU64>,
+    /// Adapt windows evaluated (closed with enough samples), shared with
+    /// [`LifecyclePool`].
+    windows_evaluated: Arc<AtomicU64>,
+}
+
+impl AdaptState {
+    fn new(
+        policy: AdaptPolicy,
+        quantile: f64,
+        drift_swaps: Arc<AtomicU64>,
+        windows_evaluated: Arc<AtomicU64>,
+    ) -> AdaptState {
+        assert!(
+            policy.window > SimDuration::ZERO,
+            "adapt window must be positive"
+        );
+        AdaptState {
+            win_sketch: QuantileSketch::new(policy.sketch_alpha),
+            win_sigs: DecayedFrequency::new(1.0),
+            base_sketch: QuantileSketch::new(policy.sketch_alpha),
+            base_sigs: DecayedFrequency::new(1.0),
+            ph_duration: PageHinkley::new(policy.delta, policy.lambda),
+            ph_flow: PageHinkley::new(policy.delta, policy.lambda),
+            cooldown: 0,
+            pending: false,
+            window_start: None,
+            quantile,
+            drift_swaps,
+            windows_evaluated,
+            policy,
+        }
+    }
+
+    /// Accumulate one routed task into the current window.
+    fn absorb(&mut self, feature: &InternedFeature) {
+        if self.window_start.is_none() {
+            self.window_start = Some(feature.start);
+        }
+        self.win_sketch.record(feature.duration_us);
+        self.win_sigs.record(u64::from(feature.sig.0), 1.0);
+    }
+
+    /// Re-anchor the baseline to `ring` (what the freshly swapped model
+    /// was trained on), reset both change tests, and start the cooldown.
+    /// Called after *every* successful swap — drift-triggered, manual,
+    /// or bootstrap promotion — so "no drift" always means "like the
+    /// live model's training window".
+    fn on_swap(&mut self, ring: &VecDeque<(StageId, SigId, f64)>) {
+        self.base_sketch = QuantileSketch::new(self.policy.sketch_alpha);
+        self.base_sigs = DecayedFrequency::new(1.0);
+        for &(_, sig, duration_us) in ring {
+            self.base_sketch.record(duration_us);
+            self.base_sigs.record(u64::from(sig.0), 1.0);
+        }
+        self.ph_duration.reset();
+        self.ph_flow.reset();
+        self.cooldown = self.policy.cooldown_windows;
+        self.pending = false;
+    }
+
+    /// Close every window the watermark has passed and return whether a
+    /// confirmed drift should trigger a retrain now.
+    fn evaluate(&mut self, watermark: SimTime) -> bool {
+        let Some(mut start) = self.window_start else {
+            return false;
+        };
+        let mut drifted = false;
+        while start + self.policy.window <= watermark {
+            drifted |= self.close_window();
+            start += self.policy.window;
+        }
+        self.window_start = Some(start);
+        drifted
+    }
+
+    /// Close one window: feed the change tests when the window carries
+    /// enough samples and a baseline exists, then reset the accumulators.
+    fn close_window(&mut self) -> bool {
+        let enough = self.win_sketch.count() >= self.policy.min_window_samples;
+        let mut tripped = false;
+        if enough && !self.base_sketch.is_empty() {
+            self.windows_evaluated.fetch_add(1, Ordering::SeqCst);
+            let flow_stat = self.win_sigs.l1_distance(&self.base_sigs);
+            let dur_stat = match (
+                self.win_sketch.percentile(self.quantile),
+                self.base_sketch.percentile(self.quantile),
+            ) {
+                (Some(win), Some(base)) if base > 0.0 => (win - base).abs() / base,
+                _ => 0.0,
+            };
+            tripped = self.ph_flow.observe(flow_stat);
+            tripped |= self.ph_duration.observe(dur_stat);
+        }
+        if self.win_sketch.count() > 0 {
+            self.win_sketch = QuantileSketch::new(self.policy.sketch_alpha);
+            self.win_sigs = DecayedFrequency::new(1.0);
+        }
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return false;
+        }
+        tripped
+    }
+}
+
 /// Lifecycle state owned by the router thread of a
 /// [`spawn_analyzer_pool_with_lifecycle`] pool.
 struct RouterLifecycle {
@@ -2138,6 +2337,9 @@ struct RouterLifecycle {
     seen: u64,
     since_checkpoint: u64,
     next_attempt: u64,
+    /// Drift detection state, present when the configuration carries an
+    /// [`AdaptPolicy`].
+    adapt: Option<AdaptState>,
 }
 
 impl RouterLifecycle {
@@ -2150,6 +2352,9 @@ impl RouterLifecycle {
             .push_back((feature.stage, feature.sig, feature.duration_us));
         self.seen += 1;
         self.since_checkpoint += 1;
+        if let Some(adapt) = self.adapt.as_mut() {
+            adapt.absorb(feature);
+        }
     }
 
     /// Batch-boundary lifecycle work: drain control commands, attempt
@@ -2170,6 +2375,47 @@ impl RouterLifecycle {
         {
             // The gate refused; observe more traffic before retrying.
             self.next_attempt = self.seen + self.cfg.promote_after.max(1);
+        }
+        // Drift-triggered adaptation: close any adapt windows the
+        // watermark has passed. A confirmed trip does NOT retrain on the
+        // spot — the ring still holds the regime the drift just
+        // invalidated. Instead the trip drops the ring and marks the
+        // retrain pending; the swap happens at a later watermark
+        // boundary, once enough purely post-drift traffic has refilled
+        // the ring (reusing the existing retrain/hot-swap path).
+        let drifted = self
+            .adapt
+            .as_mut()
+            .is_some_and(|adapt| adapt.evaluate(watermark));
+        if drifted && self.detecting {
+            if let Some(adapt) = self.adapt.as_mut() {
+                if !adapt.pending {
+                    adapt.pending = true;
+                    self.ring.clear();
+                }
+            }
+        }
+        let retrain_ready = self.detecting
+            && self.adapt.as_ref().is_some_and(|adapt| adapt.pending)
+            && self.ring.len() as u64 >= self.cfg.min_retrain_samples;
+        if retrain_ready {
+            match self.try_retrain(watermark, shard_txs) {
+                Ok(_) => {
+                    // on_swap already cleared `pending` and re-anchored
+                    // the baseline to the fresh ring.
+                    if let Some(adapt) = self.adapt.as_ref() {
+                        adapt.drift_swaps.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                Err(_) => {
+                    // The gate refused the candidate (sparse or unstable
+                    // window); wait at least one window before retrying
+                    // so a refusal can't retrain every batch.
+                    if let Some(adapt) = self.adapt.as_mut() {
+                        adapt.cooldown = adapt.cooldown.max(1);
+                    }
+                }
+            }
         }
         if self.detecting
             && self.cfg.checkpoint_every > 0
@@ -2288,6 +2534,11 @@ impl RouterLifecycle {
         self.compiled = compiled;
         self.detecting = true;
         self.detecting_flag.store(true, Ordering::SeqCst);
+        if let Some(adapt) = self.adapt.as_mut() {
+            // Every swap re-anchors the drift baseline: the no-drift
+            // reference is always the live model's training window.
+            adapt.on_swap(&self.ring);
+        }
         Ok(SwapReport {
             trained_from: have,
             promoted,
@@ -2312,6 +2563,8 @@ pub struct LifecyclePool {
     checkpoint_latency: Arc<Histogram>,
     recovered_generation: Option<u64>,
     rejected: Vec<(PathBuf, CheckpointError)>,
+    drift_swaps: Arc<AtomicU64>,
+    adapt_windows: Arc<AtomicU64>,
 }
 
 /// Sentinel for "no checkpoint written yet" in `last_generation`.
@@ -2362,6 +2615,19 @@ impl LifecyclePool {
     /// Checkpoints durably written so far.
     pub fn checkpoints_written(&self) -> u64 {
         self.checkpoints_written.load(Ordering::SeqCst)
+    }
+
+    /// Hot swaps triggered by the drift detector (0 without an
+    /// [`AdaptPolicy`]; manual retrains and bootstrap promotion are not
+    /// counted here).
+    pub fn drift_swaps(&self) -> u64 {
+        self.drift_swaps.load(Ordering::SeqCst)
+    }
+
+    /// Adapt windows that closed with enough samples to contribute drift
+    /// evidence (0 without an [`AdaptPolicy`]).
+    pub fn adapt_windows(&self) -> u64 {
+        self.adapt_windows.load(Ordering::SeqCst)
     }
 
     /// Transient checkpoint write failures retried with backoff so far
@@ -2439,6 +2705,20 @@ impl LifecyclePool {
             "1 while the pool classifies with a model, 0 in bootstrap collect-only mode",
             &[],
             move || i64::from(detecting.load(Ordering::SeqCst)),
+        );
+        let drift_swaps = Arc::clone(&self.drift_swaps);
+        registry.register_counter_fn(
+            "saad_drift_swaps_total",
+            "Hot model swaps triggered by the drift detector",
+            &[],
+            move || drift_swaps.load(Ordering::SeqCst),
+        );
+        let adapt_windows = Arc::clone(&self.adapt_windows);
+        registry.register_counter_fn(
+            "saad_adapt_windows_total",
+            "Adapt windows that closed with enough samples for drift evidence",
+            &[],
+            move || adapt_windows.load(Ordering::SeqCst),
         );
     }
 
@@ -2757,6 +3037,16 @@ fn spawn_lifecycle_pool_inner(
 
     let (control_tx, control_rx) = unbounded();
     let next_attempt = lifecycle.promote_after;
+    let drift_swaps = Arc::new(AtomicU64::new(0));
+    let adapt_windows = Arc::new(AtomicU64::new(0));
+    let adapt = lifecycle.adapt.clone().map(|policy| {
+        AdaptState::new(
+            policy,
+            lifecycle.model_config.duration_percentile,
+            drift_swaps.clone(),
+            adapt_windows.clone(),
+        )
+    });
     let router_lifecycle = RouterLifecycle {
         cfg: lifecycle,
         control_rx,
@@ -2771,6 +3061,7 @@ fn spawn_lifecycle_pool_inner(
         seen: 0,
         since_checkpoint: 0,
         next_attempt,
+        adapt,
     };
     let pool = spawn_pool_inner(
         detectors,
@@ -2793,6 +3084,8 @@ fn spawn_lifecycle_pool_inner(
         checkpoint_latency,
         recovered_generation,
         rejected,
+        drift_swaps,
+        adapt_windows,
     })
 }
 
@@ -3774,6 +4067,109 @@ mod tests {
         pool.join().unwrap();
         let store = CheckpointStore::create(dir.path(), 3).unwrap();
         assert!(store.latest_generation().unwrap().is_some());
+    }
+
+    /// Like [`healthy_stream`] but with durations scaled by `factor`
+    /// (a rollout changing the stage's performance profile) starting at
+    /// `start_min`, with uids offset so streams can be concatenated.
+    fn scaled_stream(start_min: u64, mins: u64, per_min: u64, factor: f64) -> Vec<TaskSynopsis> {
+        let mut out = Vec::new();
+        let mut uid = start_min * per_min;
+        for minute in start_min..start_min + mins {
+            for i in 0..per_min {
+                let dur = ((1_000 + (uid % 53) * 5) as f64 * factor) as u64;
+                let mut s = synopsis_on((i % 2) as u16, &[1, 2], dur, SimTime::ZERO, uid);
+                s.start =
+                    SimTime::from_mins(minute) + SimDuration::from_millis(i * (60_000 / per_min));
+                out.push(s);
+                uid += 1;
+            }
+        }
+        out
+    }
+
+    fn adaptive_lifecycle() -> LifecycleConfig {
+        LifecycleConfig {
+            checkpoint_every: 0,
+            promote_after: 300,
+            min_retrain_samples: 200,
+            // Keep the ring close to one adapt window of traffic so a
+            // post-drift retrain trains on the *new* regime, not a
+            // mixture dominated by history.
+            retrain_window: 500,
+            adapt: Some(AdaptPolicy {
+                window: SimDuration::from_secs(60),
+                min_window_samples: 50,
+                cooldown_windows: 1,
+                ..AdaptPolicy::default()
+            }),
+            ..LifecycleConfig::default()
+        }
+    }
+
+    #[test]
+    fn drift_triggers_auto_swap_at_watermark_boundary() {
+        let dir = TempDir::new();
+        let (batch_tx, batch_rx) = unbounded();
+        let pool = spawn_analyzer_pool_with_lifecycle(
+            DetectorConfig::default(),
+            SupervisorConfig::default(),
+            adaptive_lifecycle(),
+            2,
+            dir.path(),
+            batch_rx,
+            None,
+        )
+        .unwrap();
+        // Healthy run-in (promotes around minute 1.25, then quiet
+        // windows establish the Page-Hinkley null), then a rollout that
+        // quintuples every duration.
+        feed(&batch_tx, &scaled_stream(0, 6, 240, 1.0));
+        feed(&batch_tx, &scaled_stream(6, 6, 240, 5.0));
+        drop(batch_tx);
+        while pool.events().recv().is_ok() {}
+        assert!(pool.is_detecting());
+        assert!(
+            pool.adapt_windows() > 0,
+            "adapt windows never closed with evidence"
+        );
+        assert!(
+            pool.drift_swaps() >= 1,
+            "sustained rollout drift must trigger an auto-swap \
+             (windows evaluated: {})",
+            pool.adapt_windows()
+        );
+        pool.join().unwrap();
+    }
+
+    #[test]
+    fn quiet_traffic_never_drift_swaps() {
+        let dir = TempDir::new();
+        let (batch_tx, batch_rx) = unbounded();
+        let pool = spawn_analyzer_pool_with_lifecycle(
+            DetectorConfig::default(),
+            SupervisorConfig::default(),
+            adaptive_lifecycle(),
+            2,
+            dir.path(),
+            batch_rx,
+            None,
+        )
+        .unwrap();
+        feed(&batch_tx, &scaled_stream(0, 12, 240, 1.0));
+        drop(batch_tx);
+        while pool.events().recv().is_ok() {}
+        assert!(pool.is_detecting());
+        assert!(
+            pool.adapt_windows() > 0,
+            "quiet windows must still be evaluated"
+        );
+        assert_eq!(
+            pool.drift_swaps(),
+            0,
+            "stationary traffic must not trigger drift swaps"
+        );
+        pool.join().unwrap();
     }
 
     #[test]

@@ -209,6 +209,19 @@ pub fn gray_retry_storm(seed: u64) -> GrayScenario {
     )
 }
 
+/// Gray scenario: host 3's name resolution slows down 12× — a quietly
+/// degraded resolver. Localizes to the *Preparing* stage on host 3 while
+/// connects, copies, and replies all stay healthy.
+pub fn gray_slow_dns(seed: u64) -> GrayScenario {
+    gray_scenario(
+        "slow-dns",
+        "Preparing",
+        &[3],
+        GrayFault::SlowDns { factor: 12.0 },
+        seed,
+    )
+}
+
 /// The full gray-failure catalog, in a fixed order. Every scenario must be
 /// exercised by the detection-latency harness — none may be skipped.
 pub fn gray_catalog(seed: u64) -> Vec<GrayScenario> {
@@ -217,6 +230,7 @@ pub fn gray_catalog(seed: u64) -> Vec<GrayScenario> {
         gray_correlated_hog(seed.wrapping_add(1)),
         gray_asymmetric_partition(seed.wrapping_add(2)),
         gray_retry_storm(seed.wrapping_add(3)),
+        gray_slow_dns(seed.wrapping_add(4)),
     ]
 }
 
@@ -290,7 +304,7 @@ mod tests {
     }
 
     #[test]
-    fn gray_catalog_covers_all_four_shapes() {
+    fn gray_catalog_covers_all_shapes() {
         let scenarios = gray_catalog(1);
         let names: Vec<&str> = scenarios.iter().map(|s| s.name).collect();
         assert_eq!(
@@ -299,7 +313,8 @@ mod tests {
                 "slow-upstream",
                 "correlated-hog",
                 "asymmetric-partition",
-                "retry-storm"
+                "retry-storm",
+                "slow-dns"
             ]
         );
         for s in &scenarios {
@@ -315,6 +330,7 @@ mod tests {
         assert_eq!(scenarios[1].stage, "Relaying");
         assert_eq!(scenarios[2].stage, "Replying");
         assert_eq!(scenarios[3].stage, "Connecting");
+        assert_eq!(scenarios[4].stage, "Preparing");
         // The correlated hog really is multi-host.
         assert_eq!(scenarios[1].hosts, vec![1, 3]);
     }

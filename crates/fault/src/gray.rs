@@ -5,8 +5,9 @@
 //! fail or stall outright. Production outages are more often *gray*:
 //! an upstream that is slow but not dead, several hosts degrading at
 //! once, one direction of a link losing bandwidth, or a rejecting
-//! upstream amplifying load through retries. [`GraySchedule`] models
-//! those four shapes for the staged relay workload (`saad-relay`),
+//! upstream amplifying load through retries, or a resolver quietly
+//! degrading. [`GraySchedule`] models those shapes for the staged relay
+//! workload (`saad-relay`),
 //! reusing the timed-window machinery ([`crate::FaultWindow`]) and the
 //! exact-accounting discipline (seeded RNG, injection counters) of the
 //! existing injectors.
@@ -25,7 +26,9 @@
 //!   healthy;
 //! * [`GrayFault::RetryStorm`] → [`GraySchedule::reject_connect`] makes
 //!   the upstream refuse a connect attempt with a seeded probability,
-//!   triggering the caller's retry loop.
+//!   triggering the caller's retry loop;
+//! * [`GrayFault::SlowDns`] → [`GraySchedule::dns_factor_at`]
+//!   multiplies name-resolution time (the *Preparing* stage).
 
 use crate::schedule::FaultWindow;
 use rand::rngs::StdRng;
@@ -119,6 +122,13 @@ pub enum GrayFault {
         /// Per-attempt rejection probability in `(0, 1]`.
         reject_p: f64,
     },
+    /// Name resolution takes `factor` times longer — a degraded resolver
+    /// slows the *Preparing* stage while connects, copies, and replies
+    /// all stay healthy.
+    SlowDns {
+        /// Resolution-time multiplier (> 1).
+        factor: f64,
+    },
 }
 
 impl GrayFault {
@@ -129,6 +139,7 @@ impl GrayFault {
             GrayFault::CorrelatedHog { .. } => "correlated-hog",
             GrayFault::AsymmetricPartition { .. } => "asymmetric-partition",
             GrayFault::RetryStorm { .. } => "retry-storm",
+            GrayFault::SlowDns { .. } => "slow-dns",
         }
     }
 
@@ -136,7 +147,8 @@ impl GrayFault {
         match *self {
             GrayFault::SlowUpstream { factor }
             | GrayFault::CorrelatedHog { factor }
-            | GrayFault::AsymmetricPartition { factor } => {
+            | GrayFault::AsymmetricPartition { factor }
+            | GrayFault::SlowDns { factor } => {
                 assert!(
                     factor.is_finite() && factor > 1.0,
                     "gray slowdown factor must be finite and > 1, got {factor}"
@@ -161,6 +173,7 @@ impl fmt::Display for GrayFault {
                 write!(f, "asymmetric-partition(x{factor})")
             }
             GrayFault::RetryStorm { reject_p } => write!(f, "retry-storm(p={reject_p})"),
+            GrayFault::SlowDns { factor } => write!(f, "slow-dns(x{factor})"),
         }
     }
 }
@@ -321,6 +334,15 @@ impl GraySchedule {
         })
     }
 
+    /// Name-resolution-time multiplier ([`GrayFault::SlowDns`], the
+    /// *Preparing* stage).
+    pub fn dns_factor_at(&mut self, now: SimTime, host: u16) -> f64 {
+        self.factor_at(now, host, |f| match *f {
+            GrayFault::SlowDns { factor } => Some(factor),
+            _ => None,
+        })
+    }
+
     /// Whether a connect attempt on `host` at `now` is refused by a
     /// [`GrayFault::RetryStorm`] window. Seeded draw; counted when it
     /// rejects.
@@ -422,6 +444,28 @@ mod tests {
         assert_eq!(g.relay_factor_at(mins(1), 3), 6.0);
         assert_eq!(g.relay_factor_at(mins(1), 2), 1.0);
         assert_eq!(g.injected(), 2);
+    }
+
+    #[test]
+    fn slow_dns_only_affects_dns_queries() {
+        let mut g = GraySchedule::new(1).with_window(
+            mins(3),
+            mins(8),
+            GrayFaultSpec::new(GrayFault::SlowDns { factor: 12.0 }, HostSet::of(&[3])),
+        );
+        assert_eq!(g.dns_factor_at(mins(5), 3), 12.0);
+        assert_eq!(g.dns_factor_at(mins(5), 2), 1.0);
+        assert_eq!(g.dns_factor_at(mins(9), 3), 1.0);
+        // Other query kinds stay healthy under a SlowDns window.
+        assert_eq!(g.connect_factor_at(mins(5), 3), 1.0);
+        assert_eq!(g.relay_factor_at(mins(5), 3), 1.0);
+        assert_eq!(g.reply_factor_at(mins(5), 3), 1.0);
+        assert!(!g.reject_connect(mins(5), 3));
+        assert_eq!(g.injected(), 1);
+        assert_eq!(
+            GrayFaultSpec::new(GrayFault::SlowDns { factor: 12.0 }, HostSet::of(&[3])).name(),
+            "slow-dns@3"
+        );
     }
 
     #[test]

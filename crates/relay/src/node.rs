@@ -194,14 +194,17 @@ impl RelayNode {
         );
         let created_at = t.finish();
 
-        // Preparing: resource setup, escaper selection.
+        // Preparing: resource setup, name resolution, escaper selection.
+        // SlowDns inflates the resolution work — the stage completes, just
+        // slowly, like every other gray shape.
         let logger = self.log.preparing.clone();
         let mut t = self.task(self.st.preparing, &logger, created_at);
         t.debug(
             self.pt.pr_start,
             format_args!("Preparing internal resources for task {task_id}"),
         );
-        t.advance(self.cpu(60.0));
+        let factor = gray.dns_factor_at(t.now(), host);
+        t.advance(self.cpu(60.0).mul_f64(factor));
         t.debug(
             self.pt.pr_ready,
             format_args!("Resources ready; selected escaper direct{}", upstream % 2),

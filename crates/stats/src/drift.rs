@@ -1,0 +1,173 @@
+//! Sequential change detection for window-level summaries.
+//!
+//! The adaptive layer feeds one scalar per closed window into a
+//! [`PageHinkley`] test — e.g. the L1 divergence between the window's
+//! signature-share distribution and the training baseline, or the relative
+//! delta between the window's duration-sketch quantiles and the model's
+//! thresholds. Page-Hinkley is the classic CUSUM-style test for detecting
+//! a sustained *increase* in the mean of a stream: it accumulates
+//! deviations from the running mean (minus a tolerance `delta`) and trips
+//! when the accumulated evidence exceeds its historical minimum by more
+//! than `lambda`. Single-window spikes below `lambda` do not trip it;
+//! sustained shifts do, after a number of windows inversely proportional
+//! to the shift magnitude.
+
+/// Page-Hinkley test for a sustained increase in a stream's mean.
+///
+/// # Example
+///
+/// ```
+/// use saad_stats::drift::PageHinkley;
+///
+/// let mut ph = PageHinkley::new(0.005, 0.5);
+/// // Quiet stream: small values, no trip.
+/// for _ in 0..50 {
+///     assert!(!ph.observe(0.01));
+/// }
+/// // Sustained shift: trips within a bounded number of windows.
+/// let tripped = (0..20).any(|_| ph.observe(0.2));
+/// assert!(tripped);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageHinkley {
+    /// Tolerance: deviations below `delta` never accumulate evidence.
+    delta: f64,
+    /// Trip threshold on the accumulated evidence.
+    lambda: f64,
+    mean: f64,
+    n: u64,
+    cum: f64,
+    cum_min: f64,
+}
+
+impl PageHinkley {
+    /// Create a test with tolerance `delta` and trip threshold `lambda`
+    /// (both must be non-negative and finite).
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite parameters.
+    pub fn new(delta: f64, lambda: f64) -> Self {
+        assert!(
+            delta >= 0.0 && delta.is_finite(),
+            "delta must be finite and >= 0, got {delta}"
+        );
+        assert!(
+            lambda >= 0.0 && lambda.is_finite(),
+            "lambda must be finite and >= 0, got {lambda}"
+        );
+        Self {
+            delta,
+            lambda,
+            mean: 0.0,
+            n: 0,
+            cum: 0.0,
+            cum_min: 0.0,
+        }
+    }
+
+    /// Feed one observation; returns `true` when the accumulated evidence
+    /// of an upward mean shift exceeds `lambda`. Non-finite observations
+    /// are ignored (no state change, no trip).
+    pub fn observe(&mut self, x: f64) -> bool {
+        if !x.is_finite() {
+            return false;
+        }
+        self.n += 1;
+        self.mean += (x - self.mean) / self.n as f64;
+        self.cum += x - self.mean - self.delta;
+        self.cum_min = self.cum_min.min(self.cum);
+        self.statistic() > self.lambda
+    }
+
+    /// Current accumulated evidence (`cum - min(cum)`), in the units of
+    /// the observed stream. Compare against `lambda`.
+    pub fn statistic(&self) -> f64 {
+        self.cum - self.cum_min
+    }
+
+    /// Observations consumed since construction or the last [`reset`].
+    ///
+    /// [`reset`]: PageHinkley::reset
+    pub fn observations(&self) -> u64 {
+        self.n
+    }
+
+    /// Forget all accumulated state (used after a model swap: the new
+    /// baseline defines a new "no drift" regime).
+    pub fn reset(&mut self) {
+        self.mean = 0.0;
+        self.n = 0;
+        self.cum = 0.0;
+        self.cum_min = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_stream_never_trips() {
+        let mut ph = PageHinkley::new(0.01, 1.0);
+        for i in 0..1000 {
+            // zero-mean alternating noise well under delta+lambda
+            let x = if i % 2 == 0 { 0.004 } else { 0.006 };
+            assert!(!ph.observe(x), "tripped on quiet stream at {i}");
+        }
+    }
+
+    #[test]
+    fn sustained_shift_trips_within_bounded_windows() {
+        let mut ph = PageHinkley::new(0.01, 0.5);
+        for _ in 0..100 {
+            ph.observe(0.02);
+        }
+        let mut tripped_at = None;
+        for i in 0..50 {
+            if ph.observe(0.25) {
+                tripped_at = Some(i);
+                break;
+            }
+        }
+        // Evidence accrues at roughly (0.25 - mean - delta) per window;
+        // the trip must land within a handful of windows.
+        let at = tripped_at.expect("sustained shift must trip");
+        assert!(at < 10, "tripped too late: {at}");
+    }
+
+    #[test]
+    fn single_spike_does_not_trip() {
+        let mut ph = PageHinkley::new(0.01, 1.0);
+        for _ in 0..50 {
+            ph.observe(0.02);
+        }
+        assert!(!ph.observe(0.9), "one spike below lambda must not trip");
+        for _ in 0..50 {
+            assert!(!ph.observe(0.02));
+        }
+    }
+
+    #[test]
+    fn reset_clears_evidence() {
+        let mut ph = PageHinkley::new(0.0, 0.3);
+        for _ in 0..20 {
+            ph.observe(0.5);
+        }
+        ph.reset();
+        assert_eq!(ph.statistic(), 0.0);
+        assert_eq!(ph.observations(), 0);
+        assert!(!ph.observe(0.01));
+    }
+
+    #[test]
+    fn non_finite_observations_are_ignored() {
+        let mut ph = PageHinkley::new(0.01, 0.5);
+        ph.observe(0.1);
+        let stat = ph.statistic();
+        assert!(!ph.observe(f64::NAN));
+        assert!(!ph.observe(f64::INFINITY));
+        assert_eq!(ph.statistic(), stat);
+        assert_eq!(ph.observations(), 1);
+    }
+}

@@ -15,7 +15,11 @@
 //! * k-fold cross-validation used to discard signatures whose duration
 //!   distribution cannot support a percentile threshold ([`kfold`]),
 //! * histograms, EWMA smoothing and reservoir sampling used by the
-//!   experiment harness ([`histogram`], [`ewma`], [`reservoir`]).
+//!   experiment harness ([`histogram`], [`ewma`], [`reservoir`]),
+//! * streaming primitives for the adaptive layer: a mergeable
+//!   relative-error quantile sketch ([`sketch`]), exponentially decayed
+//!   signature-frequency counting ([`decay`]), and Page-Hinkley change
+//!   detection over window summaries ([`drift`]).
 //!
 //! # Example
 //!
@@ -31,19 +35,25 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod decay;
 pub mod descriptive;
 pub mod dist;
+pub mod drift;
 pub mod ewma;
 pub mod histogram;
 pub mod hypothesis;
 pub mod kfold;
 pub mod quantile;
 pub mod reservoir;
+pub mod sketch;
 pub mod special;
 
+pub use decay::DecayedFrequency;
 pub use descriptive::{OnlineStats, Summary};
 pub use dist::{Normal, StudentT};
+pub use drift::PageHinkley;
 pub use hypothesis::{
     one_sided_proportion_test, two_proportion_test, welch_t_test, Alternative, TestResult,
 };
-pub use quantile::{percentile, percentile_rank};
+pub use quantile::{percentile, percentile_nan_below, percentile_rank};
+pub use sketch::QuantileSketch;

@@ -36,6 +36,44 @@ pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
     Some(percentile_of_sorted(&sorted, p))
 }
 
+/// Non-panicking variant of [`percentile`]: NaN values sort *below*
+/// everything else instead of panicking, matching the detector's
+/// `classify_batch` semantics (a NaN duration can never exceed a
+/// threshold, so it counts as "below"). Model building routes through
+/// this so a single corrupt duration cannot take down a release-path
+/// retrain.
+///
+/// # Panics
+///
+/// Still panics if `p` is outside `[0, 100]` — that is a caller bug, not
+/// a data-quality issue.
+///
+/// # Example
+///
+/// ```
+/// let xs = [f64::NAN, 10.0, 20.0];
+/// // NaN sorts first, so the max is still 20.
+/// assert_eq!(saad_stats::quantile::percentile_nan_below(&xs, 100.0), Some(20.0));
+/// assert!(saad_stats::quantile::percentile_nan_below(&xs, 0.0).unwrap().is_nan());
+/// ```
+pub fn percentile_nan_below(xs: &[f64], p: f64) -> Option<f64> {
+    assert!(
+        (0.0..=100.0).contains(&p),
+        "percentile requires p in [0,100], got {p}"
+    );
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Less,
+        (false, true) => std::cmp::Ordering::Greater,
+        (false, false) => a.partial_cmp(b).expect("both non-NaN"),
+    });
+    Some(percentile_of_sorted(&sorted, p))
+}
+
 /// Same as [`percentile`] but assumes `sorted` is already ascending, avoiding
 /// the copy. Useful when many quantiles are read from the same data.
 ///
@@ -168,6 +206,28 @@ mod tests {
     #[should_panic]
     fn percentile_rejects_out_of_range() {
         percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn nan_below_matches_percentile_on_clean_data() {
+        let xs = [15.0, 20.0, 35.0, 40.0, 50.0];
+        for p in [0.0, 25.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile(&xs, p), percentile_nan_below(&xs, p));
+        }
+    }
+
+    #[test]
+    fn nan_below_does_not_panic_and_keeps_upper_tail() {
+        let xs = [f64::NAN, 5.0, f64::NAN, 1.0, 9.0];
+        // NaNs occupy the two lowest ranks; the top of the range is intact.
+        assert_eq!(percentile_nan_below(&xs, 100.0), Some(9.0));
+        assert_eq!(percentile_nan_below(&xs, 50.0), Some(1.0));
+        assert!(percentile_nan_below(&xs, 0.0).unwrap().is_nan());
+    }
+
+    #[test]
+    fn nan_below_empty_is_none() {
+        assert_eq!(percentile_nan_below(&[], 50.0), None);
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //!   tracker shims to the analyzer over real sockets;
 //! * [`obs`] — self-observability: lock-free metrics registry and
 //!   Prometheus exposition for SAAD's own pipeline;
+//! * [`adapt`] — streaming adaptive maintenance: sketch-backed model
+//!   building, Page-Hinkley drift detection, per-tenant namespaces;
 //! * [`hdfs`] / [`hbase`] / [`cassandra`] — the simulated storage systems
 //!   the paper evaluates on;
 //! * [`relay`] — the g3proxy-shaped staged relay simulator whose
@@ -26,6 +28,7 @@
 //! `crates/bench` for the harness that regenerates every table and figure
 //! in the paper.
 
+pub use saad_adapt as adapt;
 pub use saad_cassandra as cassandra;
 pub use saad_core as core;
 pub use saad_fault as fault;

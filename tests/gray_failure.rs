@@ -7,16 +7,17 @@ use saad_fault::catalog;
 use saad_relay::RelayConfig;
 
 #[test]
-fn all_four_gray_scenarios_are_detected_and_localized_exactly() {
+fn all_gray_scenarios_are_detected_and_localized_exactly() {
     let results = run_gray_catalog(42, 6, 10);
-    assert_eq!(results.len(), 4, "no scenario may be skipped");
+    assert_eq!(results.len(), 5, "no scenario may be skipped");
     assert_eq!(
         results.iter().map(|r| r.name).collect::<Vec<_>>(),
         vec![
             "slow-upstream",
             "correlated-hog",
             "asymmetric-partition",
-            "retry-storm"
+            "retry-storm",
+            "slow-dns"
         ]
     );
 

@@ -158,6 +158,14 @@ impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
         if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
             // Last sender gone: wake receivers so they observe disconnect.
+            // The notification must happen while holding the queue mutex:
+            // the peer counters are atomics *outside* it, so an unlocked
+            // notify can land between a receiver's `no_senders()` check
+            // and its condvar wait — a lost wakeup that parks the
+            // receiver forever. Holding the lock forces the notify to
+            // order either before the check (which then sees 0) or after
+            // the wait began (which then hears it).
+            let _queue = self.shared.queue.lock().expect("channel lock");
             self.shared.not_empty.notify_all();
         }
     }
@@ -166,6 +174,8 @@ impl<T> Drop for Sender<T> {
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
         if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Same lost-wakeup hazard as Sender::drop, for blocked senders.
+            let _queue = self.shared.queue.lock().expect("channel lock");
             self.shared.not_full.notify_all();
         }
     }
@@ -499,6 +509,38 @@ mod tests {
         let got: Vec<i32> = rx.iter().collect();
         t.join().unwrap();
         assert_eq!(got, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sender_drop_wakes_blocked_receiver() {
+        // Regression: the last-sender drop used to notify without the
+        // queue lock, so a receiver between its disconnect check and its
+        // condvar wait missed the wakeup and parked forever. Hammer that
+        // window; a regression shows up as this test hanging.
+        for i in 0..500u64 {
+            let (tx, rx) = unbounded::<u8>();
+            let t = std::thread::spawn(move || rx.recv());
+            // Vary the drop timing to sweep the race window.
+            for _ in 0..(i % 7) * 40 {
+                std::hint::spin_loop();
+            }
+            drop(tx);
+            assert_eq!(t.join().unwrap(), Err(RecvError));
+        }
+    }
+
+    #[test]
+    fn receiver_drop_wakes_blocked_sender() {
+        for i in 0..500u64 {
+            let (tx, rx) = bounded::<u8>(1);
+            tx.send(0).unwrap();
+            let t = std::thread::spawn(move || tx.send(1));
+            for _ in 0..(i % 7) * 40 {
+                std::hint::spin_loop();
+            }
+            drop(rx);
+            assert_eq!(t.join().unwrap(), Err(SendError(1)));
+        }
     }
 
     #[test]
