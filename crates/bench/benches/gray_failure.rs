@@ -2,7 +2,8 @@
 //!
 //! Trains an outlier model on healthy staged-relay traffic, replays each
 //! scenario of the gray-failure catalog (slow-upstream, correlated-hog,
-//! asymmetric-partition, retry-storm, slow-dns), reconciles the detector's anomaly
+//! asymmetric-partition, retry-storm, slow-dns, escaper-flap),
+//! reconciles the detector's anomaly
 //! events against each scenario's ground-truth oracle (faulty stage +
 //! host set), and writes per-scenario detection latency, precision, and
 //! recall to `BENCH_gray_failure.json`. No scenario is skipped: the
@@ -24,7 +25,7 @@ fn main() {
     );
 
     let results = run_gray_catalog(42, train_mins, replay_mins);
-    assert_eq!(results.len(), 5, "all five catalog scenarios must run");
+    assert_eq!(results.len(), 6, "all six catalog scenarios must run");
 
     for r in &results {
         let latency = r

@@ -79,6 +79,19 @@ impl SynopsisBatch {
         self.sigs.is_empty()
     }
 
+    /// Truncate every column to `len` elements (no-op when already
+    /// shorter). Used by incremental decoders to roll back partially
+    /// appended frames on a decode error.
+    pub fn truncate(&mut self, len: usize) {
+        self.uids.truncate(len);
+        self.hosts.truncate(len);
+        self.stages.truncate(len);
+        self.sigs.truncate(len);
+        self.durations_us.truncate(len);
+        self.starts.truncate(len);
+        self.watermarks.truncate(len);
+    }
+
     /// Remove every element, keeping each column's capacity for reuse.
     pub fn clear(&mut self) {
         self.uids.clear();

@@ -52,6 +52,23 @@ pub(crate) fn put_varint(buf: &mut BytesMut, mut v: u64) {
     }
 }
 
+/// Slice-based varint read for the zero-copy decode path: advances
+/// `pos` without consuming or copying the underlying buffer.
+fn get_varint_at(buf: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
+    let mut v = 0u64;
+    for shift in (0..70).step_by(7) {
+        let Some(&byte) = buf.get(*pos) else {
+            return Err(DecodeError::UnexpectedEof);
+        };
+        *pos += 1;
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(DecodeError::VarintOverflow)
+}
+
 pub(crate) fn get_varint(buf: &mut Bytes) -> Result<u64, DecodeError> {
     let mut v = 0u64;
     for shift in (0..70).step_by(7) {
@@ -214,6 +231,77 @@ pub fn decode_batch(buf: &mut Bytes) -> Result<Vec<TaskSynopsis>, DecodeError> {
         out.push(decode(buf)?);
     }
     Ok(out)
+}
+
+/// Decode every synopsis in `payload` straight into the columns of
+/// `batch`, interning signatures through `interner` — the zero-copy
+/// counterpart of [`decode_batch`] used by the reactor collector. No
+/// intermediate [`TaskSynopsis`] or per-synopsis `log_points` vector is
+/// materialized: point ids land in one reused scratch buffer and go
+/// through [`SignatureInterner::intern_points`], which produces the same
+/// `SigId` as `intern_synopsis` on the equivalent synopsis.
+///
+/// Watermark stamps continue from the batch's current last element,
+/// exactly as [`SynopsisBatch::push_synopsis`] would.
+///
+/// Returns the number of synopses appended.
+///
+/// # Errors
+///
+/// On any [`DecodeError`] the batch is rolled back to its length at
+/// entry — a malformed frame appends nothing.
+pub fn decode_batch_into(
+    payload: &[u8],
+    batch: &mut crate::batch::SynopsisBatch,
+    interner: &crate::intern::SignatureInterner,
+) -> Result<usize, DecodeError> {
+    let rollback = batch.len();
+    let mut pos = 0usize;
+    // One scratch buffer for point ids, reused across every synopsis in
+    // the frame; `intern_points` copies out of it.
+    let mut points: Vec<LogPointId> = Vec::with_capacity(16);
+    while pos < payload.len() {
+        let step = (|| {
+            let host = HostId(get_varint_at(payload, &mut pos)? as u16);
+            let stage = StageId(get_varint_at(payload, &mut pos)? as u16);
+            let uid = TaskUid(get_varint_at(payload, &mut pos)?);
+            let start = SimTime::from_micros(get_varint_at(payload, &mut pos)?);
+            let duration_us = get_varint_at(payload, &mut pos)? as f64;
+            let n = get_varint_at(payload, &mut pos)?;
+            if n > MAX_POINTS {
+                return Err(DecodeError::LengthOutOfRange(n));
+            }
+            points.clear();
+            let mut prev = 0u64;
+            for _ in 0..n {
+                let delta = get_varint_at(payload, &mut pos)?;
+                // Visit counts ride the wire but do not enter the flow
+                // signature (same as `intern_synopsis`).
+                let _count = get_varint_at(payload, &mut pos)?;
+                let id = prev.wrapping_add(delta);
+                points.push(LogPointId(id as u16));
+                prev = id;
+            }
+            Ok((host, stage, uid, start, duration_us))
+        })();
+        let (host, stage, uid, start, duration_us) = match step {
+            Ok(fields) => fields,
+            Err(e) => {
+                batch.truncate(rollback);
+                return Err(e);
+            }
+        };
+        let sig = interner.intern_points(&points);
+        let watermark = batch.watermarks.last().map_or(start, |&w| w.max(start));
+        batch.uids.push(uid);
+        batch.hosts.push(host);
+        batch.stages.push(stage);
+        batch.sigs.push(sig);
+        batch.durations_us.push(duration_us);
+        batch.starts.push(start);
+        batch.watermarks.push(watermark);
+    }
+    Ok(batch.len() - rollback)
 }
 
 /// Upper bound on sketch buckets accepted by the decoder. A sketch at
@@ -396,6 +484,75 @@ mod tests {
         let b = sample(&[(2, 2), (9, 1)]);
         let mut wire = encode_batch([&a, &b]);
         assert_eq!(decode_batch(&mut wire).unwrap(), vec![a, b]);
+    }
+
+    #[test]
+    fn decode_batch_into_matches_push_synopsis_path() {
+        use crate::batch::SynopsisBatch;
+        use crate::intern::SignatureInterner;
+        let a = sample(&[(1, 1), (3, 2)]);
+        let mut b = sample(&[(2, 2), (9, 1), (40, 7)]);
+        b.start = SimTime::from_millis(12); // out of order: watermark holds
+        let c = sample(&[]);
+        let wire = encode_batch([&a, &b, &c]);
+
+        let interner = SignatureInterner::new();
+        let mut via_push = SynopsisBatch::new();
+        for s in [&a, &b, &c] {
+            via_push.push_synopsis(s, &interner);
+        }
+        let mut via_decode = SynopsisBatch::new();
+        let n = decode_batch_into(&wire, &mut via_decode, &interner).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(via_decode.uids, via_push.uids);
+        assert_eq!(via_decode.hosts, via_push.hosts);
+        assert_eq!(via_decode.stages, via_push.stages);
+        assert_eq!(via_decode.sigs, via_push.sigs);
+        assert_eq!(via_decode.durations_us, via_push.durations_us);
+        assert_eq!(via_decode.starts, via_push.starts);
+        assert_eq!(via_decode.watermarks, via_push.watermarks);
+    }
+
+    #[test]
+    fn decode_batch_into_continues_watermark_across_calls() {
+        use crate::batch::SynopsisBatch;
+        use crate::intern::SignatureInterner;
+        let interner = SignatureInterner::new();
+        let mut batch = SynopsisBatch::new();
+        let mut hi = sample(&[(1, 1)]);
+        hi.start = SimTime::from_millis(1000);
+        let mut lo = sample(&[(2, 1)]);
+        lo.start = SimTime::from_millis(1);
+        decode_batch_into(&encode(&hi), &mut batch, &interner).unwrap();
+        decode_batch_into(&encode(&lo), &mut batch, &interner).unwrap();
+        assert_eq!(
+            batch.watermarks,
+            vec![SimTime::from_millis(1000), SimTime::from_millis(1000)]
+        );
+    }
+
+    #[test]
+    fn decode_batch_into_rolls_back_on_error() {
+        use crate::batch::SynopsisBatch;
+        use crate::intern::SignatureInterner;
+        let interner = SignatureInterner::new();
+        let mut batch = SynopsisBatch::new();
+        let seed = sample(&[(5, 1)]);
+        decode_batch_into(&encode(&seed), &mut batch, &interner).unwrap();
+        assert_eq!(batch.len(), 1);
+        let watermark = batch.watermarks.clone();
+
+        // Two good synopses followed by a truncation: nothing appends.
+        let a = sample(&[(1, 1)]);
+        let b = sample(&[(2, 2), (9, 1)]);
+        let wire = encode_batch([&a, &b]);
+        let cut = &wire[..wire.len() - 2];
+        assert_eq!(
+            decode_batch_into(cut, &mut batch, &interner),
+            Err(DecodeError::UnexpectedEof)
+        );
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch.watermarks, watermark);
     }
 
     #[test]

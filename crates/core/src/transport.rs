@@ -219,30 +219,82 @@ pub fn parse_frame(frame: &[u8]) -> Result<ParsedFrame, FrameError> {
     if frame.len() < FRAME_HEADER_LEN {
         return Err(FrameError::Truncated);
     }
-    let header = &frame[..FRAME_HEADER_LEN];
-    let host = HostId(u16::from_be_bytes([header[0], header[1]]));
-    let seq = u64::from_be_bytes(header[2..10].try_into().expect("8 bytes"));
-    let cumulative = u64::from_be_bytes(header[10..18].try_into().expect("8 bytes"));
-    let len = u32::from_be_bytes(header[18..22].try_into().expect("4 bytes"));
-    let stored = u32::from_be_bytes(header[22..26].try_into().expect("4 bytes"));
-    if len as usize > MAX_FRAME_PAYLOAD {
-        return Err(FrameError::Oversized(len));
-    }
+    let header = parse_frame_header(&frame[..FRAME_HEADER_LEN])?;
     let payload = &frame[FRAME_HEADER_LEN..];
-    if payload.len() != len as usize {
+    if payload.len() != header.payload_len as usize {
         return Err(FrameError::Truncated);
     }
+    verify_frame_crc(&frame[..FRAME_HEADER_LEN], payload)?;
+    let synopses = codec::decode_batch(&mut Bytes::from(payload.to_vec()))?;
+    Ok(ParsedFrame {
+        host: header.host,
+        seq: header.seq,
+        cumulative: header.cumulative,
+        synopses,
+    })
+}
+
+/// The fixed fields of one frame header, decoded without touching the
+/// payload — the first step of the incremental decode path used by
+/// readiness-driven collectors that learn the payload length before the
+/// payload bytes have arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Sending host.
+    pub host: HostId,
+    /// Frame sequence number.
+    pub seq: u64,
+    /// Cumulative synopses sent in frames before this one.
+    pub cumulative: u64,
+    /// Payload length in bytes (already bounds-checked).
+    pub payload_len: u32,
+    /// Stored CRC-32 over the first 22 header bytes plus the payload.
+    pub crc: u32,
+}
+
+/// Decode the [`FRAME_HEADER_LEN`] fixed bytes of a frame.
+///
+/// # Errors
+///
+/// [`FrameError::Truncated`] when fewer than [`FRAME_HEADER_LEN`] bytes
+/// are given; [`FrameError::Oversized`] when the length field exceeds
+/// [`MAX_FRAME_PAYLOAD`].
+pub fn parse_frame_header(header: &[u8]) -> Result<FrameHeader, FrameError> {
+    if header.len() < FRAME_HEADER_LEN {
+        return Err(FrameError::Truncated);
+    }
+    let payload_len = u32::from_be_bytes(header[18..22].try_into().expect("4 bytes"));
+    if payload_len as usize > MAX_FRAME_PAYLOAD {
+        return Err(FrameError::Oversized(payload_len));
+    }
+    Ok(FrameHeader {
+        host: HostId(u16::from_be_bytes([header[0], header[1]])),
+        seq: u64::from_be_bytes(header[2..10].try_into().expect("8 bytes")),
+        cumulative: u64::from_be_bytes(header[10..18].try_into().expect("8 bytes")),
+        payload_len,
+        crc: u32::from_be_bytes(header[22..26].try_into().expect("4 bytes")),
+    })
+}
+
+/// Verify a frame's CRC-32 given its header bytes and payload as
+/// separate slices — no concatenation needed, so a collector holding the
+/// frame in a ring buffer checks integrity in place.
+///
+/// # Errors
+///
+/// [`FrameError::Truncated`] when `header` is short;
+/// [`FrameError::ChecksumMismatch`] when the stored and computed CRCs
+/// disagree.
+pub fn verify_frame_crc(header: &[u8], payload: &[u8]) -> Result<(), FrameError> {
+    if header.len() < FRAME_HEADER_LEN {
+        return Err(FrameError::Truncated);
+    }
+    let stored = u32::from_be_bytes(header[22..26].try_into().expect("4 bytes"));
     let computed = crc32(&[&header[..22], payload]);
     if computed != stored {
         return Err(FrameError::ChecksumMismatch { stored, computed });
     }
-    let synopses = codec::decode_batch(&mut Bytes::from(payload.to_vec()))?;
-    Ok(ParsedFrame {
-        host,
-        seq,
-        cumulative,
-        synopses,
-    })
+    Ok(())
 }
 
 /// What [`FrameReceiver::accept`] concluded about a well-formed frame.
@@ -436,14 +488,37 @@ impl FrameReceiver {
         let ParsedFrame {
             host,
             seq,
-            cumulative: cum,
+            cumulative,
             synopses,
         } = parsed;
+        match self.admit_meta(host, seq, cumulative, synopses.len() as u64) {
+            AdmitDecision::Fresh { newly_lost } => FrameOutcome::Fresh {
+                host,
+                synopses,
+                newly_lost,
+            },
+            AdmitDecision::Duplicate => FrameOutcome::Duplicate { host, seq },
+        }
+    }
+
+    /// Sequence a frame by its header metadata alone — the payload-free
+    /// core of [`FrameReceiver::admit`], for collectors that have already
+    /// decoded the payload elsewhere (e.g. straight into batch columns)
+    /// and only need the dedup/accounting verdict. `count` is the number
+    /// of synopses the frame carries. `admit` delegates here, so the two
+    /// paths cannot drift.
+    pub fn admit_meta(
+        &mut self,
+        host: HostId,
+        seq: u64,
+        cumulative: u64,
+        count: u64,
+    ) -> AdmitDecision {
         let link = self.hosts.entry(host).or_default();
         let is_dup = seq + REORDER_HORIZON < link.max_seq || !link.seen.insert(seq);
         if is_dup {
             link.duplicate_frames += 1;
-            return FrameOutcome::Duplicate { host, seq };
+            return AdmitDecision::Duplicate;
         }
         if seq > link.max_seq {
             link.max_seq = seq;
@@ -455,19 +530,31 @@ impl FrameReceiver {
             }
         }
         link.delivered_frames += 1;
-        link.delivered_synopses += synopses.len() as u64;
-        link.expected_synopses = link.expected_synopses.max(cum + synopses.len() as u64);
+        link.delivered_synopses += count;
+        link.expected_synopses = link.expected_synopses.max(cumulative + count);
         let lost_now = link
             .expected_synopses
             .saturating_sub(link.delivered_synopses);
         let newly_lost = lost_now.saturating_sub(link.reported_lost);
         link.reported_lost = link.reported_lost.max(lost_now);
-        FrameOutcome::Fresh {
-            host,
-            synopses,
-            newly_lost,
-        }
+        AdmitDecision::Fresh { newly_lost }
     }
+}
+
+/// What [`FrameReceiver::admit_meta`] concluded — [`FrameOutcome`]
+/// without the payload, for callers that decoded it elsewhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitDecision {
+    /// A frame not seen before; its (already decoded) synopses should be
+    /// processed.
+    Fresh {
+        /// Synopses newly discovered missing (see
+        /// [`FrameOutcome::Fresh`]).
+        newly_lost: u64,
+    },
+    /// Already delivered (or past the reorder horizon); the decoded
+    /// payload must be discarded.
+    Duplicate,
 }
 
 /// Merged per-host accounting across several links that all frame the
@@ -953,6 +1040,81 @@ mod tests {
             rx.accept(&fresh.encode_frame(&batch(5, 0..2))).unwrap(),
             FrameOutcome::Fresh { .. }
         ));
+    }
+
+    #[test]
+    fn header_parse_and_crc_split_matches_parse_frame() {
+        let mut tx = FrameSender::new(HostId(9));
+        let frame = tx.encode_frame(&batch(9, 0..4));
+        let whole = parse_frame(&frame).unwrap();
+        let header = parse_frame_header(&frame[..FRAME_HEADER_LEN]).unwrap();
+        assert_eq!(header.host, whole.host);
+        assert_eq!(header.seq, whole.seq);
+        assert_eq!(header.cumulative, whole.cumulative);
+        assert_eq!(header.payload_len as usize, frame.len() - FRAME_HEADER_LEN);
+        verify_frame_crc(&frame[..FRAME_HEADER_LEN], &frame[FRAME_HEADER_LEN..]).unwrap();
+
+        // A flipped payload byte fails the split verify exactly like the
+        // whole-frame parse.
+        let mut bad = frame.to_vec();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        assert!(matches!(
+            verify_frame_crc(&bad[..FRAME_HEADER_LEN], &bad[FRAME_HEADER_LEN..]),
+            Err(FrameError::ChecksumMismatch { .. })
+        ));
+        assert!(matches!(
+            parse_frame(&bad),
+            Err(FrameError::ChecksumMismatch { .. })
+        ));
+
+        // Header-level bounds checks.
+        assert_eq!(
+            parse_frame_header(&frame[..FRAME_HEADER_LEN - 1]),
+            Err(FrameError::Truncated)
+        );
+        let mut oversized = frame[..FRAME_HEADER_LEN].to_vec();
+        oversized[18..22].copy_from_slice(&(MAX_FRAME_PAYLOAD as u32 + 1).to_be_bytes());
+        assert_eq!(
+            parse_frame_header(&oversized),
+            Err(FrameError::Oversized(MAX_FRAME_PAYLOAD as u32 + 1))
+        );
+    }
+
+    #[test]
+    fn admit_meta_matches_admit_across_dup_loss_and_reorder() {
+        // Drive two receivers through the same frame schedule — one via
+        // admit (payload path), one via admit_meta (metadata path) — and
+        // require identical stats and verdicts throughout.
+        let mut tx = FrameSender::new(HostId(3));
+        let mut frames: Vec<_> = (0..12)
+            .map(|i| tx.encode_frame(&batch(3, 0..i % 4)))
+            .collect();
+        frames.swap(4, 6); // reorder
+        frames.remove(9); // drop one (loss)
+        let dup = frames[2].clone();
+        frames.push(dup); // re-deliver (duplicate)
+
+        let mut via_admit = FrameReceiver::new();
+        let mut via_meta = FrameReceiver::new();
+        for frame in &frames {
+            let parsed = parse_frame(frame).unwrap();
+            let count = parsed.synopses.len() as u64;
+            let (host, seq, cum) = (parsed.host, parsed.seq, parsed.cumulative);
+            let outcome = via_admit.admit(parsed);
+            let decision = via_meta.admit_meta(host, seq, cum, count);
+            match (&outcome, &decision) {
+                (
+                    FrameOutcome::Fresh { newly_lost, .. },
+                    AdmitDecision::Fresh { newly_lost: m },
+                ) => {
+                    assert_eq!(newly_lost, m);
+                }
+                (FrameOutcome::Duplicate { .. }, AdmitDecision::Duplicate) => {}
+                other => panic!("verdicts diverged: {other:?}"),
+            }
+        }
+        assert_eq!(via_admit.stats(HostId(3)), via_meta.stats(HostId(3)));
     }
 
     #[test]

@@ -222,6 +222,20 @@ pub fn gray_slow_dns(seed: u64) -> GrayScenario {
     )
 }
 
+/// Gray scenario: host 1's background escaper health probe fails 60% of
+/// the time while every session-serving stage stays healthy. Localizes
+/// to the *Escaper* stage on host 1 — the probe-failure warn flow forms a
+/// signature never seen in healthy training.
+pub fn gray_escaper_flap(seed: u64) -> GrayScenario {
+    gray_scenario(
+        "escaper-flap",
+        "Escaper",
+        &[1],
+        GrayFault::EscaperFlap { fail_p: 0.6 },
+        seed,
+    )
+}
+
 /// The full gray-failure catalog, in a fixed order. Every scenario must be
 /// exercised by the detection-latency harness — none may be skipped.
 pub fn gray_catalog(seed: u64) -> Vec<GrayScenario> {
@@ -231,6 +245,7 @@ pub fn gray_catalog(seed: u64) -> Vec<GrayScenario> {
         gray_asymmetric_partition(seed.wrapping_add(2)),
         gray_retry_storm(seed.wrapping_add(3)),
         gray_slow_dns(seed.wrapping_add(4)),
+        gray_escaper_flap(seed.wrapping_add(5)),
     ]
 }
 
@@ -314,7 +329,8 @@ mod tests {
                 "correlated-hog",
                 "asymmetric-partition",
                 "retry-storm",
-                "slow-dns"
+                "slow-dns",
+                "escaper-flap"
             ]
         );
         for s in &scenarios {
@@ -331,6 +347,7 @@ mod tests {
         assert_eq!(scenarios[2].stage, "Replying");
         assert_eq!(scenarios[3].stage, "Connecting");
         assert_eq!(scenarios[4].stage, "Preparing");
+        assert_eq!(scenarios[5].stage, "Escaper");
         // The correlated hog really is multi-host.
         assert_eq!(scenarios[1].hosts, vec![1, 3]);
     }

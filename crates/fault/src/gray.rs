@@ -28,7 +28,11 @@
 //!   the upstream refuse a connect attempt with a seeded probability,
 //!   triggering the caller's retry loop;
 //! * [`GrayFault::SlowDns`] → [`GraySchedule::dns_factor_at`]
-//!   multiplies name-resolution time (the *Preparing* stage).
+//!   multiplies name-resolution time (the *Preparing* stage);
+//! * [`GrayFault::EscaperFlap`] → [`GraySchedule::probe_fails`] makes a
+//!   background escaper health probe fail with a seeded probability (the
+//!   *Escaper* stage) — the data plane stays healthy, only the health
+//!   check flaps.
 
 use crate::schedule::FaultWindow;
 use rand::rngs::StdRng;
@@ -129,6 +133,13 @@ pub enum GrayFault {
         /// Resolution-time multiplier (> 1).
         factor: f64,
     },
+    /// The background escaper health probe fails with probability
+    /// `fail_p` while the data plane stays fully healthy — the health
+    /// check flaps, the traffic does not (the *Escaper* stage).
+    EscaperFlap {
+        /// Per-probe failure probability in `(0, 1]`.
+        fail_p: f64,
+    },
 }
 
 impl GrayFault {
@@ -140,6 +151,7 @@ impl GrayFault {
             GrayFault::AsymmetricPartition { .. } => "asymmetric-partition",
             GrayFault::RetryStorm { .. } => "retry-storm",
             GrayFault::SlowDns { .. } => "slow-dns",
+            GrayFault::EscaperFlap { .. } => "escaper-flap",
         }
     }
 
@@ -160,6 +172,12 @@ impl GrayFault {
                     "reject probability must be in (0, 1], got {reject_p}"
                 );
             }
+            GrayFault::EscaperFlap { fail_p } => {
+                assert!(
+                    fail_p > 0.0 && fail_p <= 1.0,
+                    "probe failure probability must be in (0, 1], got {fail_p}"
+                );
+            }
         }
     }
 }
@@ -174,6 +192,7 @@ impl fmt::Display for GrayFault {
             }
             GrayFault::RetryStorm { reject_p } => write!(f, "retry-storm(p={reject_p})"),
             GrayFault::SlowDns { factor } => write!(f, "slow-dns(x{factor})"),
+            GrayFault::EscaperFlap { fail_p } => write!(f, "escaper-flap(p={fail_p})"),
         }
     }
 }
@@ -362,6 +381,26 @@ impl GraySchedule {
         }
         false
     }
+
+    /// Whether a background escaper health probe on `host` at `now` fails
+    /// under a [`GrayFault::EscaperFlap`] window. Seeded draw; counted
+    /// when it fails.
+    pub fn probe_fails(&mut self, now: SimTime, host: u16) -> bool {
+        for i in 0..self.windows.len() {
+            let w = self.windows[i];
+            if !w.active_at(now) || !w.spec.hosts.contains(host) {
+                continue;
+            }
+            if let GrayFault::EscaperFlap { fail_p } = w.spec.fault {
+                let hit = fail_p >= 1.0 || self.rng.gen_bool(fail_p);
+                if hit {
+                    self.injected += 1;
+                    return true;
+                }
+            }
+        }
+        false
+    }
 }
 
 #[cfg(test)]
@@ -500,6 +539,52 @@ mod tests {
         assert_eq!(g.injected(), hits as u64);
         // Untargeted host never rejected.
         assert!(!(0..1000).any(|_| g.reject_connect(mins(1), 1)));
+    }
+
+    #[test]
+    fn escaper_flap_fails_probes_at_about_the_configured_rate() {
+        let mut g = GraySchedule::new(9).with_window(
+            mins(0),
+            mins(60),
+            GrayFaultSpec::new(GrayFault::EscaperFlap { fail_p: 0.4 }, HostSet::of(&[1])),
+        );
+        let hits = (0..100_000).filter(|_| g.probe_fails(mins(1), 1)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.4).abs() < 0.01, "rate={rate}");
+        assert_eq!(g.injected(), hits as u64);
+        // Untargeted host never fails.
+        assert!(!(0..1000).any(|_| g.probe_fails(mins(1), 2)));
+        // Outside the window the probe always passes.
+        assert!(!g.probe_fails(mins(61), 1));
+    }
+
+    #[test]
+    fn escaper_flap_leaves_the_data_plane_healthy() {
+        let mut g = GraySchedule::new(3).with_window(
+            mins(3),
+            mins(8),
+            GrayFaultSpec::new(GrayFault::EscaperFlap { fail_p: 1.0 }, HostSet::of(&[1])),
+        );
+        // Every non-probe query stays at the healthy baseline.
+        assert_eq!(g.connect_factor_at(mins(5), 1), 1.0);
+        assert_eq!(g.relay_factor_at(mins(5), 1), 1.0);
+        assert_eq!(g.reply_factor_at(mins(5), 1), 1.0);
+        assert_eq!(g.dns_factor_at(mins(5), 1), 1.0);
+        assert!(!g.reject_connect(mins(5), 1));
+        assert_eq!(g.injected(), 0);
+        // Only the probe flaps — deterministically at p = 1.
+        assert!(g.probe_fails(mins(5), 1));
+        assert_eq!(g.injected(), 1);
+        assert_eq!(
+            GrayFaultSpec::new(GrayFault::EscaperFlap { fail_p: 0.4 }, HostSet::of(&[1])).name(),
+            "escaper-flap@1"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn escaper_flap_probability_out_of_range_rejected() {
+        GrayFaultSpec::new(GrayFault::EscaperFlap { fail_p: 1.5 }, HostSet::of(&[1]));
     }
 
     #[test]

@@ -10,10 +10,14 @@
 //! be caught by the receiver's CRC), **delay** (the message is held
 //! briefly, preserving per-connection order), **mid-stream disconnect**
 //! (both directions severed on a seeded [`DisconnectSchedule`] — once
-//! after N messages, or repeatedly for flapping-link scenarios), and
+//! after N messages, or repeatedly for flapping-link scenarios),
 //! **bandwidth throttle** (every message is held for a time proportional
 //! to its frame size, with seeded jitter — a slow link rather than a
-//! lossy one, for SlowUpstream-over-TCP scenarios).
+//! lossy one, for SlowUpstream-over-TCP scenarios), and **slow-loris
+//! trickle** (a message is forwarded in seeded partial writes — down to
+//! one byte at a time — each flushed and followed by a pause, so the
+//! receiver sees length prefixes split across reads and frames that stall
+//! mid-body).
 //! Every injection is counted exactly in [`ProxyCounts`] — and per
 //! connection in [`ConnectionThrottle`] for the throttle — so tests can
 //! reconcile what the proxy did against what the transport accounted.
@@ -103,6 +107,17 @@ pub struct ProxySpec {
     /// jitter) before forwarding, where `frame_bytes` includes the 4-byte
     /// length prefix. `None` disables. Models a slow-but-not-dead link.
     pub throttle_bytes_per_sec: Option<f64>,
+    /// Probability a message is forwarded slow-loris style: in seeded
+    /// partial writes of 1..=`trickle_max_chunk` bytes, each flushed and
+    /// followed by `trickle_pause`. Chunk boundaries ignore the frame
+    /// layout, so the length prefix itself gets split and writes end
+    /// mid-frame. 0 disables.
+    pub trickle_p: f64,
+    /// Pause after every trickled chunk except the last.
+    pub trickle_pause: Duration,
+    /// Largest trickled chunk; 1 means strictly byte-at-a-time, larger
+    /// values draw each chunk size from the seeded stream.
+    pub trickle_max_chunk: usize,
     /// Seed for the fault stream (per-connection streams derive from it).
     pub seed: u64,
 }
@@ -119,6 +134,9 @@ impl Default for ProxySpec {
             disconnect_after: None,
             disconnect_schedule: None,
             throttle_bytes_per_sec: None,
+            trickle_p: 0.0,
+            trickle_pause: Duration::from_micros(500),
+            trickle_max_chunk: 1,
             seed: 0xFA_017,
         }
     }
@@ -144,6 +162,13 @@ pub struct ProxyCounts {
     pub throttled: u64,
     /// Total throttle hold time injected, in microseconds.
     pub throttle_micros: u64,
+    /// Messages forwarded slow-loris style (in partial writes).
+    pub trickled: u64,
+    /// Partial writes issued while trickling (one per chunk).
+    pub trickle_writes: u64,
+    /// Total inter-chunk pause time injected while trickling, in
+    /// microseconds.
+    pub trickle_micros: u64,
 }
 
 /// Exact bandwidth-throttle accounting for one proxied connection.
@@ -169,6 +194,9 @@ struct Counters {
     disconnects: AtomicU64,
     throttled: AtomicU64,
     throttle_micros: AtomicU64,
+    trickled: AtomicU64,
+    trickle_writes: AtomicU64,
+    trickle_micros: AtomicU64,
     /// Client→server messages seen (drives the disconnect schedule).
     seen: AtomicU64,
     /// Lifetime message index at which each disconnect fired, in order.
@@ -315,6 +343,9 @@ impl FaultyProxy {
             disconnects: c.disconnects.load(Ordering::Relaxed),
             throttled: c.throttled.load(Ordering::Relaxed),
             throttle_micros: c.throttle_micros.load(Ordering::Relaxed),
+            trickled: c.trickled.load(Ordering::Relaxed),
+            trickle_writes: c.trickle_writes.load(Ordering::Relaxed),
+            trickle_micros: c.trickle_micros.load(Ordering::Relaxed),
         }
     }
 
@@ -561,7 +592,11 @@ fn forward_messages(client: &mut TcpStream, server: &mut TcpStream, conn_id: u64
             }
             std::thread::sleep(hold);
         }
-        if server.write_all(&len_buf).is_err()
+        if spec.trickle_p > 0.0 && rng.gen_bool(spec.trickle_p) {
+            if trickle_frame(server, &len_buf, &body, spec, counters, &mut rng).is_err() {
+                return;
+            }
+        } else if server.write_all(&len_buf).is_err()
             || server.write_all(&body).is_err()
             || server.flush().is_err()
         {
@@ -569,6 +604,50 @@ fn forward_messages(client: &mut TcpStream, server: &mut TcpStream, conn_id: u64
         }
         counters.forwarded.fetch_add(1, Ordering::Relaxed);
     }
+}
+
+/// Forward one frame slow-loris style: seeded chunks (down to single
+/// bytes) that ignore the prefix/body boundary, each flushed and followed
+/// by a pause — except the last. Every chunk and every pause microsecond
+/// is counted.
+fn trickle_frame(
+    server: &mut TcpStream,
+    len_buf: &[u8; 4],
+    body: &[u8],
+    spec: &ProxySpec,
+    counters: &Counters,
+    rng: &mut StdRng,
+) -> io::Result<()> {
+    let frame_len = 4 + body.len();
+    let max_chunk = spec.trickle_max_chunk.max(1);
+    counters.trickled.fetch_add(1, Ordering::Relaxed);
+    let mut off = 0usize;
+    while off < frame_len {
+        let chunk = if max_chunk == 1 {
+            1
+        } else {
+            rng.gen_range(1..=max_chunk)
+        };
+        let end = (off + chunk).min(frame_len);
+        // The chunk may straddle the prefix/body boundary: up to two
+        // writes, flushed together, count as one partial write.
+        if off < 4 {
+            server.write_all(&len_buf[off..end.min(4)])?;
+        }
+        if end > 4 {
+            server.write_all(&body[off.max(4) - 4..end - 4])?;
+        }
+        server.flush()?;
+        counters.trickle_writes.fetch_add(1, Ordering::Relaxed);
+        off = end;
+        if off < frame_len {
+            counters
+                .trickle_micros
+                .fetch_add(spec.trickle_pause.as_micros() as u64, Ordering::Relaxed);
+            std::thread::sleep(spec.trickle_pause);
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -738,6 +817,60 @@ mod tests {
         proxy.shutdown();
         assert_eq!(counts.disconnects, 1, "single-shot wrapper fires once");
         assert_eq!(counts.forwarded, 2 + 6);
+    }
+
+    #[test]
+    fn trickle_delivers_intact_with_exact_accounting() {
+        let (upstream, bytes_rx) = sink_server();
+        let spec = ProxySpec {
+            trickle_p: 1.0,
+            trickle_max_chunk: 1,
+            trickle_pause: Duration::from_micros(100),
+            ..ProxySpec::default()
+        };
+        let proxy = FaultyProxy::start(upstream, spec).expect("start proxy");
+        let sizes = [5usize, 0, 9];
+        send_messages(proxy.local_addr(), &sizes);
+        let delivered = bytes_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("sink reports");
+        let counts = proxy.shutdown();
+
+        // Byte-for-byte delivery despite every frame arriving one byte at
+        // a time.
+        let frame_bytes: u64 = sizes.iter().map(|&s| 4 + s as u64).sum();
+        assert_eq!(delivered, frame_bytes);
+        assert_eq!(counts.forwarded, 3);
+        assert_eq!(counts.trickled, 3);
+        // Byte-at-a-time: one write per frame byte, one pause between
+        // consecutive writes of the same frame.
+        assert_eq!(counts.trickle_writes, frame_bytes);
+        assert_eq!(
+            counts.trickle_micros,
+            100 * (frame_bytes - sizes.len() as u64)
+        );
+    }
+
+    #[test]
+    fn trickle_chunking_is_seeded() {
+        let run = |seed| {
+            let (upstream, bytes_rx) = sink_server();
+            let spec = ProxySpec {
+                trickle_p: 1.0,
+                trickle_max_chunk: 7,
+                trickle_pause: Duration::from_micros(1),
+                seed,
+                ..ProxySpec::default()
+            };
+            let proxy = FaultyProxy::start(upstream, spec).expect("start proxy");
+            send_messages(proxy.local_addr(), &[64usize; 20]);
+            bytes_rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("sink reports");
+            proxy.shutdown().trickle_writes
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
     }
 
     #[test]

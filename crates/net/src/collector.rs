@@ -59,6 +59,12 @@ pub struct CollectorConfig {
     /// [`PINNED_EPOCH`] hellos (including everything v1) are exempt.
     /// `None` disables the check entirely.
     pub epoch: Option<Arc<AtomicU64>>,
+    /// Kernel receive-buffer clamp applied to every accepted connection
+    /// (`None` leaves the OS default and its autotuning). Bounds
+    /// per-connection kernel memory at high fan-in and makes
+    /// backpressure timing reproducible; see
+    /// [`saad_reactor::set_recv_buffer`].
+    pub recv_buffer: Option<usize>,
 }
 
 impl Default for CollectorConfig {
@@ -67,6 +73,7 @@ impl Default for CollectorConfig {
             read_poll: Duration::from_millis(50),
             version: PROTOCOL_VERSION,
             epoch: None,
+            recv_buffer: None,
         }
     }
 }
@@ -83,6 +90,18 @@ impl CollectorState {
     /// The carried-over receiver (read-only view).
     pub fn receiver(&self) -> &FrameReceiver {
         &self.receiver
+    }
+
+    /// Wrap a receiver (used by collector implementations handing state
+    /// to a successor).
+    pub(crate) fn from_receiver(receiver: FrameReceiver) -> CollectorState {
+        CollectorState { receiver }
+    }
+
+    /// Unwrap into the receiver (used by collector implementations
+    /// adopting carried-over state).
+    pub(crate) fn into_receiver(self) -> FrameReceiver {
+        self.receiver
     }
 }
 
@@ -113,19 +132,19 @@ pub struct CollectorStats {
 }
 
 #[derive(Debug, Default)]
-struct Counters {
-    connections_accepted: AtomicU64,
-    connections_active: AtomicU64,
-    handshakes_rejected: AtomicU64,
-    stale_epoch_rejects: AtomicU64,
-    frames: AtomicU64,
-    synopses: AtomicU64,
-    watermark_micros: AtomicU64,
+pub(crate) struct Counters {
+    pub(crate) connections_accepted: AtomicU64,
+    pub(crate) connections_active: AtomicU64,
+    pub(crate) handshakes_rejected: AtomicU64,
+    pub(crate) stale_epoch_rejects: AtomicU64,
+    pub(crate) frames: AtomicU64,
+    pub(crate) synopses: AtomicU64,
+    pub(crate) watermark_micros: AtomicU64,
 }
 
 impl Counters {
     /// Monotone max-update of the ingest watermark.
-    fn stamp_watermark(&self, at: SimTime) {
+    pub(crate) fn stamp_watermark(&self, at: SimTime) {
         self.watermark_micros
             .fetch_max(at.as_micros(), Ordering::Relaxed);
     }
@@ -154,7 +173,7 @@ pub trait AdmittedSink: Send + Sync {
 /// (`saad_core::pipeline`) — interned at the collector edge so the whole
 /// downstream path works in dense column arrays — or an [`AdmittedSink`]
 /// forwarding digests upstream (the leaf-collector role).
-enum SynopsisOut {
+pub(crate) enum SynopsisOut {
     Raw(Sender<Vec<TaskSynopsis>>),
     Soa {
         tx: Sender<SynopsisBatch>,
@@ -167,7 +186,12 @@ impl SynopsisOut {
     /// Forward one admitted frame outcome; returns synopses forwarded.
     /// `pos_end` is the frame's end position in the sender's global
     /// stream coordinates (only the `Forward` sink needs it).
-    fn feed(&self, outcome: FrameOutcome, loss_tx: &Sender<LossReport>, pos_end: u64) -> usize {
+    pub(crate) fn feed(
+        &self,
+        outcome: FrameOutcome,
+        loss_tx: &Sender<LossReport>,
+        pos_end: u64,
+    ) -> usize {
         match self {
             SynopsisOut::Raw(tx) => feed_frame(outcome, tx, loss_tx),
             SynopsisOut::Soa { tx, interner } => feed_frame_soa(outcome, tx, interner, loss_tx),
@@ -557,6 +581,9 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         next_conn_id += 1;
         let _ = stream.set_read_timeout(Some(shared.config.read_poll));
         let _ = stream.set_nodelay(true);
+        if let Some(bytes) = shared.config.recv_buffer {
+            let _ = saad_reactor::set_recv_buffer(&stream, bytes);
+        }
         if let Ok(registered) = stream.try_clone() {
             shared.conns.lock().insert(conn_id, registered);
         }

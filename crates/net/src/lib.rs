@@ -12,6 +12,10 @@
 //!   [`FrameReceiver`](saad_core::transport::FrameReceiver), batches and
 //!   [`LossReport`](saad_core::transport::LossReport)s flowing into the
 //!   same channels `spawn_analyzer_pool_with_lifecycle` already consumes.
+//! * [`ReactorCollector`] — the same collector contract on a
+//!   readiness-driven core: a few [`saad_reactor`] event-loop threads
+//!   multiplex thousands of connections, with vectored reads into
+//!   per-connection rings and in-place frame decode ([`framing`]).
 //! * [`Agent`] — the tracker side: a bounded queue with the in-process
 //!   `DropNewest` / `DropOldest` / `Block` overload policies, a worker
 //!   owning the socket and a persistent frame sequence, reconnect with
@@ -47,15 +51,20 @@
 pub mod agent;
 pub mod collector;
 pub mod control;
+pub mod framing;
 pub mod leaf;
 pub mod protocol;
+pub mod reactor_collector;
 pub mod ring;
 pub mod root;
 
 pub use agent::{Agent, AgentConfig, AgentSink, AgentStats, BackoffConfig};
 pub use collector::{AdmittedSink, Collector, CollectorConfig, CollectorState, CollectorStats};
 pub use control::{ControlPlane, MonitorHandle};
+pub use framing::{FrameAssembler, OversizedPrefix};
 pub use leaf::{LeafCollector, LeafConfig, LeafStats};
 pub use protocol::{Hello, HelloAck, PeerRole, RejectReason, PROTOCOL_VERSION};
+pub use reactor_collector::{ReactorCollector, ReactorCollectorConfig};
 pub use ring::{LeafId, LeafResolver, PinnedResolver, RingSnapshot};
 pub use root::{RootCollector, RootConfig, RootStats};
+pub use saad_reactor::{set_recv_buffer, set_send_buffer};

@@ -1,0 +1,1020 @@
+//! The readiness-driven collector: thousands of agent connections
+//! multiplexed over a few [`saad_reactor`] event-loop threads.
+//!
+//! The thread-per-connection [`Collector`](crate::Collector) is the
+//! conformance oracle: same handshake, same framing, same
+//! [`FrameReceiver`] sequencing, same batch/loss-report feed contract.
+//! What changes is the execution model. Each accepted connection is
+//! assigned round-robin to one of `loops` event-loop threads and never
+//! migrates; its entire life — handshake state machine, vectored reads
+//! into a per-connection [`RingBuf`](saad_reactor::RingBuf), incremental
+//! frame decode — runs on that loop thread, touched only when the kernel
+//! reports the socket ready.
+//!
+//! The hot path is allocation-minimal: socket bytes land directly in the
+//! connection's ring via `read_vectored`, frames are decoded **in
+//! place** from the ring ([`decode_batch_into`]) straight into the
+//! columns of a staging [`SynopsisBatch`], and sequencing uses
+//! [`FrameReceiver::admit_meta`] — the payload never materializes as a
+//! `Vec<TaskSynopsis>` or per-synopsis `log_points` vectors. One
+//! `SynopsisBatch` allocation per fresh frame (the batch handed
+//! downstream), zero per synopsis.
+//!
+//! Backpressure is unchanged from the threaded collector: the batch
+//! channel send blocks the loop thread when the analyzer falls behind,
+//! which stops reads on every connection of that loop and lets TCP flow
+//! control push back to the agents.
+//!
+//! See DESIGN.md §16 for the architecture and buffer-ownership rules.
+
+use crate::collector::{CollectorState, CollectorStats, Counters, SynopsisOut};
+use crate::framing::FrameAssembler;
+use crate::protocol::{
+    apply_hello_ext, decode_hello_prefix, encode_hello_ack, hello_ext_len, Hello, HelloAck,
+    RejectReason, HELLO_EXT_LEN, HELLO_V1_LEN, NO_SEQ, PINNED_EPOCH, PROTOCOL_VERSION,
+};
+use crossbeam_channel::Sender;
+use parking_lot::Mutex;
+use saad_core::batch::SynopsisBatch;
+use saad_core::codec::decode_batch_into;
+use saad_core::intern::SignatureInterner;
+use saad_core::synopsis::TaskSynopsis;
+use saad_core::transport::{
+    parse_frame, parse_frame_header, verify_frame_crc, AdmitDecision, FrameOutcome, FrameReceiver,
+    LinkStats, LossReport, FRAME_HEADER_LEN,
+};
+use saad_core::HostId;
+use saad_reactor::{Backend, EventLoop, Interest, Token, Waker, WAKE_TOKEN};
+use saad_sim::SimTime;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Token of the accept listener (event loop 0 only).
+const LISTENER: Token = Token(0);
+/// Token of the per-loop heartbeat timer (shutdown safety net).
+const TICK: Token = Token(1);
+/// First token handed to a connection.
+const FIRST_CONN: u64 = 2;
+
+/// Tuning for a [`ReactorCollector`].
+#[derive(Debug, Clone)]
+pub struct ReactorCollectorConfig {
+    /// Event-loop threads. Connections are assigned round-robin at
+    /// accept and never migrate.
+    pub loops: usize,
+    /// Protocol version this collector accepts (normally
+    /// [`PROTOCOL_VERSION`]).
+    pub version: u16,
+    /// Live control-plane epoch to enforce (see
+    /// [`CollectorConfig::epoch`](crate::CollectorConfig)).
+    pub epoch: Option<Arc<AtomicU64>>,
+    /// Heartbeat timer bounding how long a loop sleeps without checking
+    /// the shutdown flag (wakes normally make shutdown prompt; this is
+    /// the safety net).
+    pub tick: Duration,
+    /// Initial per-connection ring-buffer capacity in bytes; rings grow
+    /// on demand up to the largest legal message.
+    pub initial_ring: usize,
+    /// Readiness backend override (`None` = best available). Forcing
+    /// [`Backend::Poll`] exercises the fallback path on Linux.
+    pub backend: Option<Backend>,
+    /// Kernel receive-buffer clamp applied to every accepted connection
+    /// (`None` leaves the OS default and its autotuning); see
+    /// [`CollectorConfig::recv_buffer`](crate::CollectorConfig).
+    pub recv_buffer: Option<usize>,
+}
+
+impl Default for ReactorCollectorConfig {
+    fn default() -> ReactorCollectorConfig {
+        ReactorCollectorConfig {
+            loops: 2,
+            version: PROTOCOL_VERSION,
+            epoch: None,
+            tick: Duration::from_millis(50),
+            initial_ring: 16 * 1024,
+            backend: None,
+            recv_buffer: None,
+        }
+    }
+}
+
+/// Per-loop observability counters, exported as `saad_reactor_*` series.
+#[derive(Debug, Default)]
+pub(crate) struct LoopMetrics {
+    pub(crate) polls: AtomicU64,
+    pub(crate) spurious_polls: AtomicU64,
+    pub(crate) wakeups: AtomicU64,
+    pub(crate) read_bytes: AtomicU64,
+    pub(crate) decode_stalls: AtomicU64,
+    pub(crate) registered_fds: AtomicU64,
+    pub(crate) connections: AtomicU64,
+}
+
+struct RShared {
+    receiver: Mutex<FrameReceiver>,
+    out: SynopsisOut,
+    loss_tx: Sender<LossReport>,
+    shutdown: AtomicBool,
+    counters: Counters,
+    config: ReactorCollectorConfig,
+    loop_metrics: Vec<Arc<LoopMetrics>>,
+    /// Connections accepted on loop 0 awaiting adoption by their target
+    /// loop, which is nudged via its waker.
+    inject: Vec<Mutex<Vec<TcpStream>>>,
+    wakers: Vec<Waker>,
+    conn_seq: AtomicU64,
+}
+
+/// A running readiness-driven collector. Call
+/// [`ReactorCollector::shutdown`] for a clean stop and to recover the
+/// link state for a successor.
+pub struct ReactorCollector {
+    local_addr: SocketAddr,
+    shared: Arc<RShared>,
+    joins: Vec<JoinHandle<()>>,
+}
+
+impl ReactorCollector {
+    /// Bind a fresh reactor collector (empty link state) on `addr`,
+    /// feeding raw synopsis batches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind, event-loop, or waker creation failure.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        batch_tx: Sender<Vec<TaskSynopsis>>,
+        loss_tx: Sender<LossReport>,
+        config: ReactorCollectorConfig,
+    ) -> io::Result<ReactorCollector> {
+        ReactorCollector::with_state(addr, CollectorState::default(), batch_tx, loss_tx, config)
+    }
+
+    /// Like [`ReactorCollector::bind`] but feeding SoA
+    /// [`SynopsisBatch`]es interned into `interner` — the zero-copy hot
+    /// path: ring → batch columns, no intermediate `Vec<TaskSynopsis>`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind, event-loop, or waker creation failure.
+    pub fn bind_soa<A: ToSocketAddrs>(
+        addr: A,
+        batch_tx: Sender<SynopsisBatch>,
+        interner: Arc<SignatureInterner>,
+        loss_tx: Sender<LossReport>,
+        config: ReactorCollectorConfig,
+    ) -> io::Result<ReactorCollector> {
+        ReactorCollector::serve_inner(
+            TcpListener::bind(addr)?,
+            CollectorState::default(),
+            SynopsisOut::Soa {
+                tx: batch_tx,
+                interner,
+            },
+            loss_tx,
+            config,
+        )
+    }
+
+    /// Bind adopting carried-over `state` (see
+    /// [`Collector::with_state`](crate::Collector::with_state)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind, event-loop, or waker creation failure.
+    pub fn with_state<A: ToSocketAddrs>(
+        addr: A,
+        state: CollectorState,
+        batch_tx: Sender<Vec<TaskSynopsis>>,
+        loss_tx: Sender<LossReport>,
+        config: ReactorCollectorConfig,
+    ) -> io::Result<ReactorCollector> {
+        ReactorCollector::serve(TcpListener::bind(addr)?, state, batch_tx, loss_tx, config)
+    }
+
+    /// Serve on an already-bound listener with carried-over `state`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates event-loop or waker creation failure.
+    pub fn serve(
+        listener: TcpListener,
+        state: CollectorState,
+        batch_tx: Sender<Vec<TaskSynopsis>>,
+        loss_tx: Sender<LossReport>,
+        config: ReactorCollectorConfig,
+    ) -> io::Result<ReactorCollector> {
+        ReactorCollector::serve_inner(listener, state, SynopsisOut::Raw(batch_tx), loss_tx, config)
+    }
+
+    /// SoA counterpart of [`ReactorCollector::serve`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates event-loop or waker creation failure.
+    pub fn serve_soa(
+        listener: TcpListener,
+        state: CollectorState,
+        batch_tx: Sender<SynopsisBatch>,
+        interner: Arc<SignatureInterner>,
+        loss_tx: Sender<LossReport>,
+        config: ReactorCollectorConfig,
+    ) -> io::Result<ReactorCollector> {
+        ReactorCollector::serve_inner(
+            listener,
+            state,
+            SynopsisOut::Soa {
+                tx: batch_tx,
+                interner,
+            },
+            loss_tx,
+            config,
+        )
+    }
+
+    fn serve_inner(
+        listener: TcpListener,
+        state: CollectorState,
+        out: SynopsisOut,
+        loss_tx: Sender<LossReport>,
+        config: ReactorCollectorConfig,
+    ) -> io::Result<ReactorCollector> {
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let nloops = config.loops.max(1);
+        // Build every event loop up front so all wakers exist before any
+        // loop starts accepting (loop 0 needs peers' wakers to hand off
+        // connections).
+        let mut els = Vec::with_capacity(nloops);
+        let mut wakers = Vec::with_capacity(nloops);
+        for _ in 0..nloops {
+            let el = match config.backend {
+                Some(b) => EventLoop::with_backend(b)?,
+                None => EventLoop::new()?,
+            };
+            wakers.push(el.waker()?);
+            els.push(el);
+        }
+        let shared = Arc::new(RShared {
+            receiver: Mutex::new(state.into_receiver()),
+            out,
+            loss_tx,
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+            config,
+            loop_metrics: (0..nloops)
+                .map(|_| Arc::new(LoopMetrics::default()))
+                .collect(),
+            inject: (0..nloops).map(|_| Mutex::new(Vec::new())).collect(),
+            wakers,
+            conn_seq: AtomicU64::new(0),
+        });
+        let mut listener = Some(listener);
+        let joins = els
+            .into_iter()
+            .enumerate()
+            .map(|(idx, el)| {
+                let loop_shared = shared.clone();
+                let loop_listener = if idx == 0 { listener.take() } else { None };
+                std::thread::Builder::new()
+                    .name(format!("saad-reactor-{idx}"))
+                    .spawn(move || run_loop(idx, el, loop_listener, &loop_shared))
+                    .expect("spawn reactor loop")
+            })
+            .collect();
+        Ok(ReactorCollector {
+            local_addr,
+            shared,
+            joins,
+        })
+    }
+
+    /// The bound address — the actual port when bound with port 0.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot of collector-wide counters (same shape as the threaded
+    /// collector's, so harnesses compare them directly).
+    pub fn stats(&self) -> CollectorStats {
+        let c = &self.shared.counters;
+        let (corrupted, duplicates, lost) = {
+            let rx = self.shared.receiver.lock();
+            let (mut dup, mut lost) = (0u64, 0u64);
+            for (_, s) in rx.all_stats() {
+                dup += s.duplicate_frames;
+                lost += s.lost_synopses;
+            }
+            (rx.corrupted_frames(), dup, lost)
+        };
+        CollectorStats {
+            connections_accepted: c.connections_accepted.load(Ordering::Relaxed),
+            connections_active: c.connections_active.load(Ordering::Relaxed),
+            handshakes_rejected: c.handshakes_rejected.load(Ordering::Relaxed),
+            stale_epoch_rejects: c.stale_epoch_rejects.load(Ordering::Relaxed),
+            frames: c.frames.load(Ordering::Relaxed),
+            synopses: c.synopses.load(Ordering::Relaxed),
+            corrupted_frames: corrupted,
+            duplicate_frames: duplicates,
+            lost_synopses: lost,
+            watermark: SimTime::from_micros(c.watermark_micros.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Link statistics for one host (zeroes if never heard from).
+    pub fn link_stats(&self, host: HostId) -> LinkStats {
+        self.shared.receiver.lock().stats(host)
+    }
+
+    /// Expose the reactor collector's counters in `registry` as
+    /// `saad_reactor_*` series: collector-wide totals plus per-loop
+    /// readiness health (registered fds, wakeups, spurious polls, read
+    /// bytes, decode stalls), each labeled `loop="<idx>"`. All are
+    /// scrape-time callbacks over weak references, so a dropped
+    /// collector scrapes as zero instead of pinning its channels open.
+    pub fn register_metrics(&self, registry: &saad_obs::Registry) {
+        let counter = |f: fn(&Counters) -> &AtomicU64| {
+            let shared = Arc::downgrade(&self.shared);
+            move || {
+                shared
+                    .upgrade()
+                    .map_or(0, |s| f(&s.counters).load(Ordering::Relaxed))
+            }
+        };
+        registry.register_counter_fn(
+            "saad_reactor_connections_accepted_total",
+            "Agent connections accepted since reactor collector start",
+            &[],
+            counter(|c| &c.connections_accepted),
+        );
+        registry.register_counter_fn(
+            "saad_reactor_handshakes_rejected_total",
+            "Handshakes refused by the reactor collector",
+            &[],
+            counter(|c| &c.handshakes_rejected),
+        );
+        registry.register_counter_fn(
+            "saad_reactor_frames_total",
+            "Fresh (non-duplicate) frames admitted by the reactor collector",
+            &[],
+            counter(|c| &c.frames),
+        );
+        registry.register_counter_fn(
+            "saad_reactor_synopses_total",
+            "Synopses forwarded to the analyzer input by the reactor collector",
+            &[],
+            counter(|c| &c.synopses),
+        );
+        let shared = Arc::downgrade(&self.shared);
+        registry.register_gauge_fn(
+            "saad_reactor_connections_active",
+            "Agent connections currently owned by reactor loops",
+            &[],
+            move || {
+                shared.upgrade().map_or(0, |s| {
+                    s.counters.connections_active.load(Ordering::Relaxed) as i64
+                })
+            },
+        );
+        let shared = Arc::downgrade(&self.shared);
+        registry.register_gauge_fn(
+            "saad_reactor_watermark_us",
+            "Highest synopsis start time admitted by the reactor collector, in stream microseconds",
+            &[],
+            move || {
+                shared.upgrade().map_or(0, |s| {
+                    s.counters.watermark_micros.load(Ordering::Relaxed) as i64
+                })
+            },
+        );
+        let shared = Arc::downgrade(&self.shared);
+        registry.register_counter_fn(
+            "saad_reactor_corrupted_frames_total",
+            "Frames rejected as corrupt by the reactor collector",
+            &[],
+            move || {
+                shared
+                    .upgrade()
+                    .map_or(0, |s| s.receiver.lock().corrupted_frames())
+            },
+        );
+        let shared = Arc::downgrade(&self.shared);
+        registry.register_counter_fn(
+            "saad_reactor_lost_synopses_total",
+            "Synopses known lost across all hosts (exact at quiescence)",
+            &[],
+            move || {
+                shared.upgrade().map_or(0, |s| {
+                    let rx = s.receiver.lock();
+                    rx.all_stats().map(|(_, st)| st.lost_synopses).sum()
+                })
+            },
+        );
+        for idx in 0..self.shared.loop_metrics.len() {
+            let label = idx.to_string();
+            let per_loop = |f: fn(&LoopMetrics) -> &AtomicU64| {
+                let shared = Arc::downgrade(&self.shared);
+                move || {
+                    shared
+                        .upgrade()
+                        .map_or(0, |s| f(&s.loop_metrics[idx]).load(Ordering::Relaxed))
+                }
+            };
+            registry.register_counter_fn(
+                "saad_reactor_wakeups_total",
+                "Cross-thread wake-token deliveries per event loop",
+                &[("loop", &label)],
+                per_loop(|m| &m.wakeups),
+            );
+            registry.register_counter_fn(
+                "saad_reactor_polls_total",
+                "Completed readiness polls per event loop",
+                &[("loop", &label)],
+                per_loop(|m| &m.polls),
+            );
+            registry.register_counter_fn(
+                "saad_reactor_spurious_polls_total",
+                "Polls that delivered no events, per event loop",
+                &[("loop", &label)],
+                per_loop(|m| &m.spurious_polls),
+            );
+            registry.register_counter_fn(
+                "saad_reactor_read_bytes_total",
+                "Socket bytes landed in connection rings, per event loop",
+                &[("loop", &label)],
+                per_loop(|m| &m.read_bytes),
+            );
+            registry.register_counter_fn(
+                "saad_reactor_decode_stalls_total",
+                "Drains that ended on a partial message, per event loop",
+                &[("loop", &label)],
+                per_loop(|m| &m.decode_stalls),
+            );
+            let fds = per_loop(|m| &m.registered_fds);
+            registry.register_gauge_fn(
+                "saad_reactor_registered_fds",
+                "Sources currently registered with the loop's poller",
+                &[("loop", &label)],
+                move || fds() as i64,
+            );
+            let conns = per_loop(|m| &m.connections);
+            registry.register_gauge_fn(
+                "saad_reactor_loop_connections",
+                "Agent connections currently owned by this event loop",
+                &[("loop", &label)],
+                move || conns() as i64,
+            );
+        }
+    }
+
+    /// Stop every loop, close every connection, join the loop threads,
+    /// and return the final link state for a successor collector.
+    pub fn shutdown(mut self) -> CollectorState {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for waker in &self.shared.wakers {
+            waker.wake();
+        }
+        for join in self.joins.drain(..) {
+            let _ = join.join();
+        }
+        CollectorState::from_receiver(std::mem::take(&mut *self.shared.receiver.lock()))
+    }
+}
+
+/// Handshake progress of one connection.
+enum Phase {
+    /// Awaiting the version-independent 36-byte hello prefix.
+    Prefix,
+    /// Awaiting the v2 extension block.
+    Ext,
+    /// Handshake done; length-prefixed frame stream.
+    Streaming,
+}
+
+struct Conn {
+    stream: TcpStream,
+    assembler: FrameAssembler,
+    phase: Phase,
+    /// The hello prefix bytes, kept because the v2 extension CRC covers
+    /// them.
+    prefix: [u8; HELLO_V1_LEN],
+    pending_hello: Option<Hello>,
+    /// Outbound ack bytes not yet written (acks are the only thing the
+    /// collector sends).
+    out_buf: Vec<u8>,
+    out_off: usize,
+    /// Close once `out_buf` drains (set on handshake rejection).
+    closing: bool,
+    /// Per-connection staging batch the incremental decoder fills;
+    /// swapped out whole on a fresh frame, cleared on a duplicate.
+    staging: SynopsisBatch,
+    interest: Interest,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, initial_ring: usize) -> Conn {
+        Conn {
+            stream,
+            assembler: FrameAssembler::new(initial_ring),
+            phase: Phase::Prefix,
+            prefix: [0u8; HELLO_V1_LEN],
+            pending_hello: None,
+            out_buf: Vec::new(),
+            out_off: 0,
+            closing: false,
+            staging: SynopsisBatch::new(),
+            interest: Interest::READABLE,
+        }
+    }
+
+    fn out_done(&self) -> bool {
+        self.out_off >= self.out_buf.len()
+    }
+
+    /// Read until `WouldBlock`, then process everything buffered.
+    /// Returns `false` when the connection must close.
+    fn ingest(&mut self, shared: &RShared, metrics: &LoopMetrics) -> bool {
+        let mut eof = false;
+        loop {
+            let ring = self.assembler.ring_mut();
+            if ring.free() == 0 {
+                let cap = ring.capacity();
+                ring.grow(cap * 2);
+            }
+            let n = {
+                let mut slices = ring.io_slices();
+                match (&self.stream).read_vectored(&mut slices) {
+                    Ok(0) => {
+                        eof = true;
+                        break;
+                    }
+                    Ok(n) => n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        eof = true;
+                        break;
+                    }
+                }
+            };
+            ring.commit(n);
+            metrics.read_bytes.fetch_add(n as u64, Ordering::Relaxed);
+        }
+        // Process buffered bytes even on EOF: complete messages that
+        // arrived with the FIN are still valid.
+        let keep = self.process(shared, metrics);
+        keep && !eof
+    }
+
+    /// Run the connection state machine over buffered bytes until more
+    /// input is needed. Returns `false` on unrecoverable framing.
+    fn process(&mut self, shared: &RShared, metrics: &LoopMetrics) -> bool {
+        loop {
+            if self.closing {
+                // A rejected peer gets its ack flushed; nothing further
+                // is parsed from it.
+                return true;
+            }
+            match self.phase {
+                Phase::Prefix => {
+                    let ring = self.assembler.ring_mut();
+                    let Some(bytes) = ring.contiguous(HELLO_V1_LEN) else {
+                        return true;
+                    };
+                    self.prefix.copy_from_slice(bytes);
+                    self.assembler.ring_mut().consume(HELLO_V1_LEN);
+                    match decode_hello_prefix(&self.prefix) {
+                        Ok(hello) => {
+                            if hello_ext_len(hello.version) > 0 {
+                                self.pending_hello = Some(hello);
+                                self.phase = Phase::Ext;
+                            } else {
+                                self.finish_handshake(hello, shared);
+                            }
+                        }
+                        // An unidentified peer gets the v1 wire form —
+                        // the only one it is guaranteed to decode.
+                        Err(_) => self.reject(shared, RejectReason::Malformed, 1),
+                    }
+                }
+                Phase::Ext => {
+                    let ext: [u8; HELLO_EXT_LEN] = {
+                        let ring = self.assembler.ring_mut();
+                        let Some(bytes) = ring.contiguous(HELLO_EXT_LEN) else {
+                            return true;
+                        };
+                        bytes.try_into().expect("exact length")
+                    };
+                    self.assembler.ring_mut().consume(HELLO_EXT_LEN);
+                    let mut hello = self.pending_hello.take().expect("ext follows prefix");
+                    if apply_hello_ext(&mut hello, &self.prefix, &ext).is_err() {
+                        let wire = hello.version;
+                        self.reject(shared, RejectReason::Malformed, wire);
+                    } else {
+                        self.finish_handshake(hello, shared);
+                    }
+                }
+                Phase::Streaming => match self.assembler.next_message() {
+                    Ok(Some(msg)) => handle_message(msg, &mut self.staging, shared),
+                    Ok(None) => {
+                        if self.assembler.buffered() > 0 {
+                            metrics.decode_stalls.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return true;
+                    }
+                    Err(_) => {
+                        // A nonsense length prefix: boundaries are lost,
+                        // the stream is unrecoverable.
+                        shared.receiver.lock().record_corrupted();
+                        return false;
+                    }
+                },
+            }
+        }
+    }
+
+    /// Version/epoch checks, resume, and ack — byte-identical to the
+    /// threaded collector's handshake tail.
+    fn finish_handshake(&mut self, hello: Hello, shared: &RShared) {
+        if hello.version != shared.config.version {
+            self.reject(shared, RejectReason::VersionMismatch, hello.version);
+            return;
+        }
+        if stale_epoch(shared, &hello) {
+            shared
+                .counters
+                .stale_epoch_rejects
+                .fetch_add(1, Ordering::Relaxed);
+            self.reject(shared, RejectReason::StaleEpoch, hello.version);
+            return;
+        }
+        let (last_seq, delivered_cum) = {
+            let mut rx = shared.receiver.lock();
+            rx.resume(
+                hello.host,
+                hello.written_cum,
+                hello.sent_cum,
+                hello.next_seq,
+            );
+            (
+                rx.highest_seq(hello.host).unwrap_or(NO_SEQ),
+                rx.stats(hello.host).delivered_synopses,
+            )
+        };
+        let ack = HelloAck {
+            version: shared.config.version,
+            accept: true,
+            reason: RejectReason::None,
+            last_seq,
+            delivered_cum,
+            epoch: current_epoch(shared),
+        };
+        self.out_buf = encode_hello_ack(&ack, hello.version);
+        self.out_off = 0;
+        self.phase = Phase::Streaming;
+    }
+
+    /// Queue a rejection ack formatted in the **peer's** wire version
+    /// and close once it flushes.
+    fn reject(&mut self, shared: &RShared, reason: RejectReason, wire_version: u16) {
+        shared
+            .counters
+            .handshakes_rejected
+            .fetch_add(1, Ordering::Relaxed);
+        let ack = HelloAck {
+            version: shared.config.version,
+            accept: false,
+            reason,
+            last_seq: NO_SEQ,
+            delivered_cum: 0,
+            epoch: current_epoch(shared),
+        };
+        self.out_buf = encode_hello_ack(&ack, wire_version);
+        self.out_off = 0;
+        self.closing = true;
+    }
+
+    /// Write pending ack bytes until done or `WouldBlock`. Returns
+    /// `false` on write error.
+    fn flush(&mut self) -> bool {
+        while self.out_off < self.out_buf.len() {
+            match (&self.stream).write(&self.out_buf[self.out_off..]) {
+                Ok(0) => return false,
+                Ok(n) => self.out_off += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+}
+
+/// Validate, decode, sequence, and forward one complete message —
+/// the per-frame contract shared with the threaded collector.
+fn handle_message(msg: &[u8], staging: &mut SynopsisBatch, shared: &RShared) {
+    match &shared.out {
+        SynopsisOut::Soa { tx, interner } => {
+            // Zero-copy path: header checks and payload decode straight
+            // from the ring into the staging batch's columns.
+            if msg.len() < FRAME_HEADER_LEN {
+                shared.receiver.lock().record_corrupted();
+                return;
+            }
+            let (header_bytes, payload) = msg.split_at(FRAME_HEADER_LEN);
+            let header = match parse_frame_header(header_bytes) {
+                Ok(h) => h,
+                Err(_) => {
+                    shared.receiver.lock().record_corrupted();
+                    return;
+                }
+            };
+            if payload.len() != header.payload_len as usize
+                || verify_frame_crc(header_bytes, payload).is_err()
+            {
+                shared.receiver.lock().record_corrupted();
+                return;
+            }
+            debug_assert!(staging.is_empty(), "staging must drain between frames");
+            let n = match decode_batch_into(payload, staging, interner) {
+                Ok(n) => n,
+                Err(_) => {
+                    // decode_batch_into already rolled the batch back.
+                    shared.receiver.lock().record_corrupted();
+                    return;
+                }
+            };
+            let decision = shared.receiver.lock().admit_meta(
+                header.host,
+                header.seq,
+                header.cumulative,
+                n as u64,
+            );
+            match decision {
+                AdmitDecision::Fresh { newly_lost } => {
+                    // Watermarks are a running max, so the last one is
+                    // the frame's max start.
+                    let max_start = staging.watermarks.last().copied().unwrap_or(SimTime::ZERO);
+                    if newly_lost > 0 {
+                        // Loss first, stamped at the frame's first
+                        // synopsis — same order and stamp as
+                        // `feed_frame_soa`.
+                        let at = staging.starts.first().copied().unwrap_or(SimTime::ZERO);
+                        let _ = shared.loss_tx.send(LossReport {
+                            host: header.host,
+                            at,
+                            count: newly_lost,
+                        });
+                    }
+                    if n > 0 {
+                        let batch = std::mem::replace(staging, SynopsisBatch::with_capacity(n));
+                        let _ = tx.send(batch);
+                    }
+                    shared.counters.frames.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .counters
+                        .synopses
+                        .fetch_add(n as u64, Ordering::Relaxed);
+                    shared.counters.stamp_watermark(max_start);
+                }
+                AdmitDecision::Duplicate => staging.clear(),
+            }
+        }
+        other => {
+            // Raw/Forward sinks need owned `TaskSynopsis` values anyway;
+            // use the whole-frame parse like the threaded collector.
+            let parsed = match parse_frame(msg) {
+                Ok(p) => p,
+                Err(_) => {
+                    shared.receiver.lock().record_corrupted();
+                    return;
+                }
+            };
+            let max_start = parsed
+                .synopses
+                .iter()
+                .map(|s| s.start)
+                .max()
+                .unwrap_or(SimTime::ZERO);
+            let pos_end = parsed.cumulative + parsed.synopses.len() as u64;
+            let outcome = shared.receiver.lock().admit(parsed);
+            let is_fresh = matches!(outcome, FrameOutcome::Fresh { .. });
+            let forwarded = other.feed(outcome, &shared.loss_tx, pos_end);
+            if is_fresh {
+                shared.counters.frames.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .counters
+                    .synopses
+                    .fetch_add(forwarded as u64, Ordering::Relaxed);
+                shared.counters.stamp_watermark(max_start);
+            }
+        }
+    }
+}
+
+fn current_epoch(shared: &RShared) -> u64 {
+    shared
+        .config
+        .epoch
+        .as_ref()
+        .map_or(0, |e| e.load(Ordering::SeqCst))
+}
+
+fn stale_epoch(shared: &RShared, hello: &Hello) -> bool {
+    match &shared.config.epoch {
+        Some(e) => hello.epoch != PINNED_EPOCH && hello.epoch < e.load(Ordering::SeqCst),
+        None => false,
+    }
+}
+
+fn run_loop(idx: usize, mut el: EventLoop, listener: Option<TcpListener>, shared: &Arc<RShared>) {
+    let metrics = shared.loop_metrics[idx].clone();
+    if let Some(l) = &listener {
+        el.register(l.as_raw_fd(), LISTENER, Interest::READABLE)
+            .expect("register listener");
+    }
+    el.set_timer_after(shared.config.tick, TICK);
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token = FIRST_CONN;
+    let mut events = Vec::new();
+    loop {
+        events.clear();
+        if el.poll(&mut events, None).is_err() {
+            // A failing wait would spin; treat it like shutdown.
+            break;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        for ev in &events {
+            match ev.token {
+                WAKE_TOKEN => {
+                    let injected: Vec<TcpStream> = std::mem::take(&mut *shared.inject[idx].lock());
+                    for stream in injected {
+                        add_conn(&mut el, &mut conns, &mut next_token, stream, shared);
+                    }
+                }
+                TICK => {
+                    el.set_timer_after(shared.config.tick, TICK);
+                }
+                LISTENER => {
+                    let l = listener.as_ref().expect("listener events only on loop 0");
+                    accept_ready(&mut el, l, &mut conns, &mut next_token, idx, shared);
+                }
+                token => {
+                    service_conn(
+                        &mut el,
+                        &mut conns,
+                        token,
+                        ev.readable || ev.hangup || ev.error,
+                        shared,
+                        &metrics,
+                    );
+                }
+            }
+        }
+        let stats = el.stats();
+        metrics.polls.store(stats.polls, Ordering::Relaxed);
+        metrics
+            .spurious_polls
+            .store(stats.spurious_polls, Ordering::Relaxed);
+        metrics.wakeups.store(stats.wakeups, Ordering::Relaxed);
+        metrics
+            .registered_fds
+            .store(el.registered() as u64, Ordering::Relaxed);
+        metrics
+            .connections
+            .store(conns.len() as u64, Ordering::Relaxed);
+    }
+    // Loop exit: drop every owned connection (closing the sockets) and
+    // the listener, and zero the gauges.
+    for (_, conn) in conns.drain() {
+        let _ = el.deregister(conn.stream.as_raw_fd());
+        shared
+            .counters
+            .connections_active
+            .fetch_sub(1, Ordering::Relaxed);
+    }
+    metrics.registered_fds.store(0, Ordering::Relaxed);
+    metrics.connections.store(0, Ordering::Relaxed);
+}
+
+/// Accept every pending connection and dispatch round-robin across
+/// loops; remote loops are handed the socket via their inject queue and
+/// nudged with a wake.
+fn accept_ready(
+    el: &mut EventLoop,
+    listener: &TcpListener,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+    idx: usize,
+    shared: &Arc<RShared>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(_) => return,
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            continue;
+        }
+        let _ = stream.set_nodelay(true);
+        if let Some(bytes) = shared.config.recv_buffer {
+            let _ = saad_reactor::set_recv_buffer(&stream, bytes);
+        }
+        shared
+            .counters
+            .connections_accepted
+            .fetch_add(1, Ordering::Relaxed);
+        shared
+            .counters
+            .connections_active
+            .fetch_add(1, Ordering::Relaxed);
+        let id = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
+        let target = (id as usize) % shared.wakers.len();
+        if target == idx {
+            add_conn(el, conns, next_token, stream, shared);
+        } else {
+            shared.inject[target].lock().push(stream);
+            shared.wakers[target].wake();
+        }
+    }
+}
+
+fn add_conn(
+    el: &mut EventLoop,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+    stream: TcpStream,
+    shared: &Arc<RShared>,
+) {
+    let token = Token(*next_token);
+    *next_token += 1;
+    if el
+        .register(stream.as_raw_fd(), token, Interest::READABLE)
+        .is_err()
+    {
+        shared
+            .counters
+            .connections_active
+            .fetch_sub(1, Ordering::Relaxed);
+        return;
+    }
+    conns.insert(token.0, Conn::new(stream, shared.config.initial_ring));
+}
+
+/// Drive one connection for one readiness event: ingest if readable,
+/// flush pending ack bytes, adjust interest, close when done.
+fn service_conn(
+    el: &mut EventLoop,
+    conns: &mut HashMap<u64, Conn>,
+    token: Token,
+    readable: bool,
+    shared: &Arc<RShared>,
+    metrics: &LoopMetrics,
+) {
+    let Some(conn) = conns.get_mut(&token.0) else {
+        // Already closed earlier in this drain; stale event.
+        return;
+    };
+    let mut alive = true;
+    if readable {
+        alive = conn.ingest(shared, metrics);
+    }
+    if alive {
+        alive = conn.flush();
+    }
+    if alive && conn.closing && conn.out_done() {
+        alive = false;
+    }
+    if alive {
+        let want = if conn.out_done() {
+            Interest::READABLE
+        } else {
+            Interest::BOTH
+        };
+        if want != conn.interest {
+            let fd = conn.stream.as_raw_fd();
+            if el.reregister(fd, token, want).is_ok() {
+                conn.interest = want;
+            }
+        }
+    } else {
+        let conn = conns.remove(&token.0).expect("present above");
+        let _ = el.deregister(conn.stream.as_raw_fd());
+        shared
+            .counters
+            .connections_active
+            .fetch_sub(1, Ordering::Relaxed);
+    }
+}

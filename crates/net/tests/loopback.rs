@@ -1,12 +1,17 @@
 //! Crate-level smoke tests: one agent, one collector, localhost TCP.
 
 use crossbeam_channel::unbounded;
+use saad_core::intern::SignatureInterner;
 use saad_core::pipeline::OverloadPolicy;
 use saad_core::synopsis::TaskSynopsis;
 use saad_core::{HostId, StageId, TaskUid};
 use saad_logging::LogPointId;
-use saad_net::{Agent, AgentConfig, Collector, CollectorConfig, RejectReason};
+use saad_net::{
+    Agent, AgentConfig, Collector, CollectorConfig, ReactorCollector, ReactorCollectorConfig,
+    RejectReason,
+};
 use saad_sim::{SimDuration, SimTime};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn synopsis(host: u16, uid: u64) -> TaskSynopsis {
@@ -123,6 +128,160 @@ fn many_agents_share_one_collector() {
     let stats = collector.stats();
     assert_eq!(stats.synopses, total);
     assert_eq!(stats.connections_accepted, 4);
+    assert_eq!(stats.lost_synopses, 0);
+    collector.shutdown();
+}
+
+// --- Reactor collector: same contract, readiness-driven core ---------
+
+#[test]
+fn reactor_batches_round_trip_over_tcp() {
+    let (batch_tx, batch_rx) = unbounded();
+    let (loss_tx, loss_rx) = unbounded();
+    let collector = ReactorCollector::bind(
+        "127.0.0.1:0",
+        batch_tx,
+        loss_tx,
+        ReactorCollectorConfig::default(),
+    )
+    .unwrap();
+
+    let agent = Agent::connect(collector.local_addr(), HostId(7), AgentConfig::default());
+    let total = 500u64;
+    for chunk in 0..(total / 50) {
+        let batch: Vec<TaskSynopsis> = (0..50).map(|i| synopsis(7, chunk * 50 + i)).collect();
+        agent.send(batch);
+    }
+    let agent_stats = agent.close();
+    assert_eq!(agent_stats.synopses_written, total);
+    assert_eq!(agent_stats.connects, 1);
+
+    let mut received = 0u64;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while received < total {
+        assert!(Instant::now() < deadline, "reactor collector stalled");
+        if let Ok(batch) = batch_rx.recv_timeout(Duration::from_millis(100)) {
+            received += batch.len() as u64;
+        }
+    }
+    assert!(loss_rx.try_recv().is_err(), "no loss expected");
+
+    let stats = collector.stats();
+    assert_eq!(stats.synopses, total);
+    assert_eq!(stats.lost_synopses, 0);
+    assert_eq!(stats.corrupted_frames, 0);
+    assert_eq!(stats.watermark, SimTime::from_millis(total - 1));
+
+    let state = collector.shutdown();
+    assert_eq!(state.receiver().stats(HostId(7)).delivered_synopses, total);
+}
+
+#[test]
+fn reactor_soa_round_trip_on_poll_backend() {
+    // Forcing the poll(2) fallback exercises the portable readiness path
+    // end to end; the SoA sink exercises the zero-copy decode.
+    let (batch_tx, batch_rx) = unbounded();
+    let (loss_tx, _loss_rx) = unbounded();
+    let interner = Arc::new(SignatureInterner::new());
+    let config = ReactorCollectorConfig {
+        backend: Some(saad_reactor::Backend::Poll),
+        ..ReactorCollectorConfig::default()
+    };
+    let collector =
+        ReactorCollector::bind_soa("127.0.0.1:0", batch_tx, interner.clone(), loss_tx, config)
+            .unwrap();
+
+    let agent = Agent::connect(collector.local_addr(), HostId(3), AgentConfig::default());
+    let total = 300u64;
+    for chunk in 0..(total / 30) {
+        let batch: Vec<TaskSynopsis> = (0..30).map(|i| synopsis(3, chunk * 30 + i)).collect();
+        agent.send(batch);
+    }
+    agent.close();
+
+    let mut received = 0u64;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while received < total {
+        assert!(Instant::now() < deadline, "reactor collector stalled");
+        if let Ok(batch) = batch_rx.recv_timeout(Duration::from_millis(100)) {
+            assert!(batch.watermarks.windows(2).all(|w| w[0] <= w[1]));
+            received += batch.len() as u64;
+        }
+    }
+    assert_eq!(collector.stats().synopses, total);
+    collector.shutdown();
+}
+
+#[test]
+fn reactor_version_skew_is_rejected_with_reason() {
+    let (batch_tx, _batch_rx) = unbounded();
+    let (loss_tx, _loss_rx) = unbounded();
+    let collector = ReactorCollector::bind(
+        "127.0.0.1:0",
+        batch_tx,
+        loss_tx,
+        ReactorCollectorConfig::default(),
+    )
+    .unwrap();
+
+    let config = AgentConfig {
+        version: 99,
+        policy: OverloadPolicy::DropNewest,
+        ..AgentConfig::default()
+    };
+    let agent = Agent::connect(collector.local_addr(), HostId(1), config);
+    agent.send(vec![synopsis(1, 0)]);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while agent.stats().handshake_rejects == 0 {
+        assert!(Instant::now() < deadline, "reject never observed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let stats = agent.close();
+    assert_eq!(stats.reject_reason, Some(RejectReason::VersionMismatch));
+    assert_eq!(stats.connects, 0);
+    assert!(collector.stats().handshakes_rejected >= 1);
+    collector.shutdown();
+}
+
+#[test]
+fn reactor_many_agents_across_loops() {
+    let (batch_tx, batch_rx) = unbounded();
+    let (loss_tx, _loss_rx) = unbounded();
+    let config = ReactorCollectorConfig {
+        loops: 3,
+        ..ReactorCollectorConfig::default()
+    };
+    let collector = ReactorCollector::bind("127.0.0.1:0", batch_tx, loss_tx, config).unwrap();
+
+    let per_agent = 200u64;
+    let agents: Vec<Agent> = (0..12)
+        .map(|h| Agent::connect(collector.local_addr(), HostId(h), AgentConfig::default()))
+        .collect();
+    for (h, agent) in agents.iter().enumerate() {
+        for chunk in 0..(per_agent / 20) {
+            let batch: Vec<TaskSynopsis> = (0..20)
+                .map(|i| synopsis(h as u16, chunk * 20 + i))
+                .collect();
+            agent.send(batch);
+        }
+    }
+    for agent in agents {
+        let stats = agent.close();
+        assert_eq!(stats.synopses_written, per_agent);
+    }
+
+    let total = per_agent * 12;
+    let mut received = 0u64;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while received < total {
+        assert!(Instant::now() < deadline, "reactor collector stalled");
+        if let Ok(batch) = batch_rx.recv_timeout(Duration::from_millis(100)) {
+            received += batch.len() as u64;
+        }
+    }
+    let stats = collector.stats();
+    assert_eq!(stats.synopses, total);
+    assert_eq!(stats.connections_accepted, 12);
     assert_eq!(stats.lost_synopses, 0);
     collector.shutdown();
 }

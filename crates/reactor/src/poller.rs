@@ -1,0 +1,417 @@
+//! The [`Poller`]: registered non-blocking sources and one blocking
+//! readiness wait, over either backend.
+//!
+//! The epoll backend registers interest with the kernel once per
+//! (re)registration and pays O(ready) per wait; the poll(2) fallback
+//! keeps the registration table in userspace and pays O(registered) per
+//! wait. Both deliver the same [`Event`] records, so everything above
+//! this type is backend-agnostic — and the fallback can be forced on
+//! Linux ([`Poller::with_backend`]) to test exactly that.
+
+use crate::sys;
+use std::collections::HashMap;
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// Caller-chosen identifier attached to a registered source and echoed
+/// in every [`Event`] for it. The reactor never interprets tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub u64);
+
+/// Which readiness a registration asks for, and how it is triggered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Deliver events when the source becomes readable.
+    pub readable: bool,
+    /// Deliver events when the source becomes writable.
+    pub writable: bool,
+    /// Edge-triggered delivery: one event per readiness *transition*
+    /// rather than one per wait while ready. Honored by the epoll
+    /// backend; the poll(2) fallback is inherently level-triggered and
+    /// ignores it, so consumers must drain sources fully either way.
+    pub edge: bool,
+}
+
+impl Interest {
+    /// Level-triggered read interest.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+        edge: false,
+    };
+
+    /// Level-triggered write interest.
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+        edge: false,
+    };
+
+    /// Level-triggered read + write interest.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+        edge: false,
+    };
+
+    /// The same interest, edge-triggered (epoll backend only).
+    #[must_use]
+    pub fn edge(self) -> Interest {
+        Interest { edge: true, ..self }
+    }
+}
+
+/// One readiness (or timer) delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Token of the registration (or timer) this event is for.
+    pub token: Token,
+    /// The source has bytes (or a pending connection) to read.
+    pub readable: bool,
+    /// The source can accept writes without blocking.
+    pub writable: bool,
+    /// The kernel flagged an error condition on the source.
+    pub error: bool,
+    /// The peer closed its end (`EPOLLHUP`/`EPOLLRDHUP`/`POLLHUP`).
+    pub hangup: bool,
+    /// A deadline timer fired ([`crate::EventLoop`] only; a plain
+    /// [`Poller`] never sets this).
+    pub timer: bool,
+}
+
+impl Event {
+    pub(crate) fn timer(token: Token) -> Event {
+        Event {
+            token,
+            readable: false,
+            writable: false,
+            error: false,
+            hangup: false,
+            timer: true,
+        }
+    }
+}
+
+/// Which readiness backend a [`Poller`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Raw `epoll` syscalls (Linux x86_64/aarch64).
+    Epoll,
+    /// Portable `poll(2)` fallback.
+    Poll,
+}
+
+/// A readiness selector over registered non-blocking file descriptors.
+pub struct Poller {
+    inner: Inner,
+}
+
+enum Inner {
+    Epoll {
+        epfd: i32,
+        /// Registered interest per fd, kept so `reregister` can diff and
+        /// `registered` can report without a kernel round trip.
+        regs: HashMap<RawFd, (Token, Interest)>,
+        /// Kernel event buffer reused across waits.
+        buf: Vec<sys::EpollEvent>,
+    },
+    Poll {
+        regs: HashMap<RawFd, (Token, Interest)>,
+        /// pollfd array rebuilt only when the registration set changes.
+        fds: Vec<sys::PollFd>,
+        dirty: bool,
+    },
+}
+
+impl Poller {
+    /// A poller on the best backend this platform offers: raw epoll on
+    /// Linux x86_64/aarch64, `poll(2)` elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_create1` failure (e.g. a seccomp sandbox that
+    /// denies it); callers may retry with [`Backend::Poll`].
+    pub fn new() -> io::Result<Poller> {
+        if sys::HAVE_EPOLL {
+            Poller::with_backend(Backend::Epoll)
+        } else {
+            Poller::with_backend(Backend::Poll)
+        }
+    }
+
+    /// A poller on a specific backend — the fallback is selectable even
+    /// where epoll exists, so tests exercise both paths on one platform.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::Unsupported`] when the backend does not exist on
+    /// this target; otherwise the underlying creation failure.
+    pub fn with_backend(backend: Backend) -> io::Result<Poller> {
+        let inner = match backend {
+            Backend::Epoll => Inner::Epoll {
+                epfd: sys::epoll_create1()?,
+                regs: HashMap::new(),
+                buf: vec![sys::EpollEvent::default(); 256],
+            },
+            Backend::Poll => Inner::Poll {
+                regs: HashMap::new(),
+                fds: Vec::new(),
+                dirty: false,
+            },
+        };
+        Ok(Poller { inner })
+    }
+
+    /// Which backend this poller runs on.
+    pub fn backend(&self) -> Backend {
+        match self.inner {
+            Inner::Epoll { .. } => Backend::Epoll,
+            Inner::Poll { .. } => Backend::Poll,
+        }
+    }
+
+    /// Number of currently registered sources.
+    pub fn registered(&self) -> usize {
+        match &self.inner {
+            Inner::Epoll { regs, .. } | Inner::Poll { regs, .. } => regs.len(),
+        }
+    }
+
+    /// Register `fd` for `interest`, tagging its events with `token`.
+    /// The fd must already be in non-blocking mode — a readiness loop
+    /// over a blocking fd deadlocks on the first spurious event.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `fd` is already registered (re-register instead) or the
+    /// kernel refuses it.
+    pub fn register(&mut self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        match &mut self.inner {
+            Inner::Epoll { epfd, regs, .. } => {
+                if regs.contains_key(&fd) {
+                    return Err(already_registered(fd));
+                }
+                sys::epoll_ctl(*epfd, sys::EPOLL_CTL_ADD, fd, epoll_mask(interest), token.0)?;
+                regs.insert(fd, (token, interest));
+                Ok(())
+            }
+            Inner::Poll { regs, dirty, .. } => {
+                if regs.contains_key(&fd) {
+                    return Err(already_registered(fd));
+                }
+                regs.insert(fd, (token, interest));
+                *dirty = true;
+                Ok(())
+            }
+        }
+    }
+
+    /// Change the token and/or interest of an already registered fd.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `fd` is not registered or the kernel refuses the update.
+    pub fn reregister(&mut self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        match &mut self.inner {
+            Inner::Epoll { epfd, regs, .. } => {
+                if !regs.contains_key(&fd) {
+                    return Err(not_registered(fd));
+                }
+                sys::epoll_ctl(*epfd, sys::EPOLL_CTL_MOD, fd, epoll_mask(interest), token.0)?;
+                regs.insert(fd, (token, interest));
+                Ok(())
+            }
+            Inner::Poll { regs, dirty, .. } => {
+                if !regs.contains_key(&fd) {
+                    return Err(not_registered(fd));
+                }
+                regs.insert(fd, (token, interest));
+                *dirty = true;
+                Ok(())
+            }
+        }
+    }
+
+    /// Remove `fd` from the poller. Safe to call right before closing
+    /// the fd; events already collected for it may still be delivered
+    /// from the current wait's buffer.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `fd` was not registered.
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        match &mut self.inner {
+            Inner::Epoll { epfd, regs, .. } => {
+                if regs.remove(&fd).is_none() {
+                    return Err(not_registered(fd));
+                }
+                // The kernel drops the registration with the last fd
+                // close anyway; an explicit DEL keeps the table exact.
+                let _ = sys::epoll_ctl(*epfd, sys::EPOLL_CTL_DEL, fd, 0, 0);
+                Ok(())
+            }
+            Inner::Poll { regs, dirty, .. } => {
+                if regs.remove(&fd).is_none() {
+                    return Err(not_registered(fd));
+                }
+                *dirty = true;
+                Ok(())
+            }
+        }
+    }
+
+    /// Block until at least one registered source is ready or `timeout`
+    /// elapses (`None` blocks indefinitely), appending events to
+    /// `events`. Returns the number of events appended; zero means the
+    /// timeout fired first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying wait failure (`EINTR` is retried
+    /// internally and never surfaces).
+    pub fn wait(
+        &mut self,
+        events: &mut Vec<Event>,
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        let timeout_ms = timeout_millis(timeout);
+        match &mut self.inner {
+            Inner::Epoll { epfd, buf, regs } => {
+                // Size the kernel buffer to the registration count so a
+                // fully-ready poller is drained in one wait.
+                let want = regs.len().clamp(64, 4096);
+                if buf.len() < want {
+                    buf.resize(want, sys::EpollEvent::default());
+                }
+                let n = sys::epoll_wait(*epfd, buf, timeout_ms)?;
+                for raw in buf.iter().take(n) {
+                    // Copy out of the (possibly packed) ABI struct.
+                    let mask = raw.events;
+                    let data = raw.data;
+                    events.push(Event {
+                        token: Token(data),
+                        readable: mask & (sys::EPOLLIN | sys::EPOLLPRI) != 0,
+                        writable: mask & sys::EPOLLOUT != 0,
+                        error: mask & sys::EPOLLERR != 0,
+                        hangup: mask & (sys::EPOLLHUP | sys::EPOLLRDHUP) != 0,
+                        timer: false,
+                    });
+                }
+                Ok(n)
+            }
+            Inner::Poll { regs, fds, dirty } => {
+                if *dirty {
+                    fds.clear();
+                    fds.extend(regs.iter().map(|(&fd, &(_, interest))| sys::PollFd {
+                        fd,
+                        events: poll_mask(interest),
+                        revents: 0,
+                    }));
+                    *dirty = false;
+                } else {
+                    for f in fds.iter_mut() {
+                        f.revents = 0;
+                    }
+                }
+                if fds.is_empty() {
+                    // poll(2) with zero fds is a sleep; honor the timeout
+                    // without spinning.
+                    if let Some(t) = timeout {
+                        std::thread::sleep(t);
+                    }
+                    return Ok(0);
+                }
+                let ready = sys::poll_fds(fds, timeout_ms)?;
+                let mut emitted = 0usize;
+                if ready > 0 {
+                    for f in fds.iter() {
+                        if f.revents == 0 {
+                            continue;
+                        }
+                        let Some(&(token, _)) = regs.get(&f.fd) else {
+                            continue;
+                        };
+                        events.push(Event {
+                            token,
+                            readable: f.revents & (sys::POLLIN | sys::POLLPRI) != 0,
+                            writable: f.revents & sys::POLLOUT != 0,
+                            error: f.revents & (sys::POLLERR | sys::POLLNVAL) != 0,
+                            hangup: f.revents & sys::POLLHUP != 0,
+                            timer: false,
+                        });
+                        emitted += 1;
+                    }
+                }
+                Ok(emitted)
+            }
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        if let Inner::Epoll { epfd, .. } = self.inner {
+            sys::close_fd(epfd);
+        }
+    }
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller")
+            .field("backend", &self.backend())
+            .field("registered", &self.registered())
+            .finish()
+    }
+}
+
+fn epoll_mask(interest: Interest) -> u32 {
+    let mut mask = sys::EPOLLRDHUP;
+    if interest.readable {
+        mask |= sys::EPOLLIN;
+    }
+    if interest.writable {
+        mask |= sys::EPOLLOUT;
+    }
+    if interest.edge {
+        mask |= sys::EPOLLET;
+    }
+    mask
+}
+
+fn poll_mask(interest: Interest) -> i16 {
+    let mut mask = 0i16;
+    if interest.readable {
+        mask |= sys::POLLIN;
+    }
+    if interest.writable {
+        mask |= sys::POLLOUT;
+    }
+    mask
+}
+
+/// Round a `Duration` *up* to whole milliseconds. Truncating would make
+/// a 19.8ms timer deadline wake 0.2ms early (a spurious poll) and a
+/// 100µs deadline busy-spin as a zero-timeout wait; `None` maps to
+/// block-forever.
+fn timeout_millis(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(t) => t.as_nanos().div_ceil(1_000_000).min(i32::MAX as u128) as i32,
+    }
+}
+
+fn already_registered(fd: RawFd) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::AlreadyExists,
+        format!("fd {fd} is already registered"),
+    )
+}
+
+fn not_registered(fd: RawFd) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::NotFound,
+        format!("fd {fd} is not registered"),
+    )
+}

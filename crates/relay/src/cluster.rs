@@ -239,7 +239,8 @@ impl RelayCluster {
             // Escaper ticks win ties: they were scheduled first.
             match (esc, relay) {
                 (Some((et, ei)), _) if et <= t && relay.is_none_or(|(rt, _)| et <= rt) => {
-                    self.nodes[ei].escaper_tick(et);
+                    let (nodes, gray) = (&mut self.nodes, &mut self.gray);
+                    nodes[ei].escaper_tick(et, gray);
                     self.next_escaper[ei] = et + self.cfg.escaper_period;
                 }
                 (_, Some((rt, ri))) if rt <= t => {
@@ -533,5 +534,40 @@ mod tests {
         let out = always.run(&mut wl, SimTime::from_mins(1));
         assert!(out.sessions_aborted > 0);
         assert_eq!(out.node_stats[1].completed, 0);
+    }
+
+    #[test]
+    fn escaper_flap_fails_probes_on_target_only() {
+        let sink = Arc::new(VecSink::new());
+        let mut fleet = RelayCluster::new(RelayConfig::default(), sink.clone());
+        let scenario = catalog::gray_escaper_flap(23);
+        fleet.attach_gray(scenario.schedule);
+        let mut wl = workload(23);
+        let out = fleet.run(&mut wl, SimTime::from_mins(8));
+        assert!(out.gray_injected > 0);
+        let inst = fleet.instrumentation();
+        let synopses = sink.drain();
+        let failed_hosts: std::collections::HashSet<u16> = synopses
+            .iter()
+            .filter(|s| s.log_points.iter().any(|&(p, _)| p == inst.points.es_fail))
+            .map(|s| s.host.0)
+            .collect();
+        assert_eq!(failed_hosts, std::collections::HashSet::from([1]));
+        // Failures happen only in the fault window, at roughly fail_p.
+        assert!(out.node_stats[0].probe_failures > 0);
+        assert!(out.node_stats[0].probe_failures < out.node_stats[0].probes);
+        assert_eq!(out.node_stats[0].probe_failures, out.gray_injected);
+        for host in 2..=out.node_stats.len() as u16 {
+            assert_eq!(out.node_stats[host as usize - 1].probe_failures, 0);
+        }
+        // The session-serving stages stay healthy on the flapping host.
+        let st = inst.stages;
+        for stage in [st.connecting, st.relaying, st.replying, st.preparing] {
+            let (before, during) = stage_durations(&synopses, 1, stage);
+            assert!(
+                mean(&during) < mean(&before) * 1.5,
+                "stage {stage:?} on host 1 must stay healthy"
+            );
+        }
     }
 }

@@ -55,6 +55,7 @@ pub struct RelayPoints {
     // Escaper
     pub es_probe: LogPointId,
     pub es_ok: LogPointId,
+    pub es_fail: LogPointId,
 }
 
 /// The full instrumentation output: registries plus the id structs.
@@ -202,6 +203,12 @@ impl Instrumentation {
                 "escape/direct_fixed/mod.rs",
                 415,
             ),
+            es_fail: reg(
+                "Escaper {} health probe failed: {}",
+                Level::Warn,
+                "escape/direct_fixed/mod.rs",
+                423,
+            ),
         };
         Instrumentation {
             stages_registry: sr,
@@ -244,7 +251,7 @@ mod tests {
     #[test]
     fn install_registers_all_points_with_templates() {
         let inst = Instrumentation::install();
-        assert_eq!(inst.points_registry.len(), 19);
+        assert_eq!(inst.points_registry.len(), 20);
         let t = inst
             .points_registry
             .template(inst.points.cn_refused)
@@ -277,6 +284,7 @@ mod tests {
             p.fi_done,
             p.es_probe,
             p.es_ok,
+            p.es_fail,
         ];
         let mut sorted: Vec<u16> = ids.iter().map(|i| i.0).collect();
         sorted.sort_unstable();

@@ -82,6 +82,8 @@ pub struct RelayNodeStats {
     pub bytes_relayed: u64,
     /// Escaper health probes run.
     pub probes: u64,
+    /// Escaper health probes that failed (escaper-flap hits).
+    pub probe_failures: u64,
 }
 
 /// Result of the pre-relay stage ladder for one session.
@@ -326,8 +328,10 @@ impl RelayNode {
         t.finish()
     }
 
-    /// Background escaper health probe.
-    pub(crate) fn escaper_tick(&mut self, at: SimTime) {
+    /// Background escaper health probe. An `EscaperFlap` window makes the
+    /// probe burn its timeout and warn instead of reporting ok — the only
+    /// gray shape that never touches a session-serving stage.
+    pub(crate) fn escaper_tick(&mut self, at: SimTime, gray: &mut GraySchedule) {
         self.stats.probes += 1;
         let logger = self.log.escaper.clone();
         let mut t = self.task(self.st.escaper, &logger, at);
@@ -335,11 +339,21 @@ impl RelayNode {
             self.pt.es_probe,
             format_args!("Escaper direct0 probing upstream health"),
         );
-        t.advance(self.cpu(150.0));
-        t.debug(
-            self.pt.es_ok,
-            format_args!("Escaper direct0 health probe ok"),
-        );
+        if gray.probe_fails(t.now(), self.host.0) {
+            self.stats.probe_failures += 1;
+            // A failed probe waits out its timeout before giving up.
+            t.advance(self.cpu(900.0));
+            t.warn(
+                self.pt.es_fail,
+                format_args!("Escaper direct0 health probe failed: connection timed out"),
+            );
+        } else {
+            t.advance(self.cpu(150.0));
+            t.debug(
+                self.pt.es_ok,
+                format_args!("Escaper direct0 health probe ok"),
+            );
+        }
         t.finish();
     }
 

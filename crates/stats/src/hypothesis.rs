@@ -7,13 +7,20 @@
 //! * [`one_sided_proportion_test`] — exact-parameter one-sample test of a
 //!   window proportion against a known training proportion `p0`, using the
 //!   normal approximation with a t-distributed statistic for small windows
-//!   (this is the "t-test" the paper describes applied to 0/1 outcomes);
+//!   (this is the "t-test" the paper describes applied to 0/1 outcomes).
+//!   When the approximation's validity rule fails (`n·p0 < 5` or
+//!   `n·(1−p0) < 5`) the p-value comes from the exact binomial tail
+//!   instead — the approximation is badly anticonservative there (for
+//!   `n = 12`, `p0 = 0.01`, two outliers score t ≈ 5.5, "p ≈ 1e-4",
+//!   while the exact tail is 0.006), which turns sparse stages into
+//!   false-positive fountains;
 //! * [`two_proportion_test`] — pooled two-sample z-test when the training
 //!   proportion is itself an estimate;
 //! * [`welch_t_test`] — unequal-variance t-test over raw durations, used by
 //!   the ablation benches.
 
 use crate::dist::{Normal, StudentT};
+use crate::special::betai;
 
 /// The paper's significance level for both flow and performance anomaly
 /// tests.
@@ -82,6 +89,13 @@ fn p_from_statistic(stat: f64, df: f64, alternative: Alternative) -> f64 {
 /// `n − 1` degrees of freedom (matching the paper's description of a t-test;
 /// for the window sizes SAAD uses this is nearly identical to the z-test).
 ///
+/// When the classic approximation validity rule fails — `n·p0 < 5` or
+/// `n·(1 − p0) < 5` — the p-value is the exact binomial tail instead
+/// (via the regularized incomplete beta, `P(X ≥ x) = I_p0(x, n−x+1)`).
+/// Low-rate groups such as a periodic health probe produce windows of a
+/// dozen tasks with `p0 ≈ 0.01`; there the t-approximation overstates
+/// significance by orders of magnitude and flags healthy hosts.
+///
 /// Degenerate guards: with `p0 == 0` any observed outlier is "infinitely"
 /// significant — we report p-value 0 when `successes > 0` and 1 otherwise;
 /// symmetrically for `p0 == 1`.
@@ -114,11 +128,37 @@ pub fn one_sided_proportion_test(
     let se = (p0 * (1.0 - p0) / n as f64).sqrt();
     let stat = (p_hat - p0) / se;
     let df = (n - 1).max(1) as f64;
+    let nf = n as f64;
+    let p_value = if nf * p0 < 5.0 || nf * (1.0 - p0) < 5.0 {
+        let upper = binomial_sf(successes, n, p0);
+        match alternative {
+            Alternative::Greater => upper,
+            Alternative::Less => 1.0 - binomial_sf(successes + 1, n, p0),
+            Alternative::TwoSided => {
+                let lower = 1.0 - binomial_sf(successes + 1, n, p0);
+                (2.0 * upper.min(lower)).min(1.0)
+            }
+        }
+    } else {
+        p_from_statistic(stat, df, alternative)
+    };
     TestResult {
         statistic: stat,
-        p_value: p_from_statistic(stat, df, alternative),
+        p_value,
         df,
     }
+}
+
+/// Exact binomial upper tail `P(X ≥ x)` for `X ~ Binomial(n, p)`, via
+/// `I_p(x, n − x + 1)`.
+fn binomial_sf(x: u64, n: u64, p: f64) -> f64 {
+    if x == 0 {
+        return 1.0;
+    }
+    if x > n {
+        return 0.0;
+    }
+    betai(x as f64, (n - x + 1) as f64, p)
 }
 
 /// Pooled two-sample proportion z-test.
@@ -225,6 +265,43 @@ mod tests {
         assert_eq!(r.p_value, 0.0);
         let r = one_sided_proportion_test(0, 10, 0.0, Alternative::Greater);
         assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn sparse_window_uses_exact_binomial_tail() {
+        // n·p0 = 0.12 < 5: the t-approximation would report p ≈ 1e-4 for
+        // 2/12 outliers; the exact tail is scipy binom.sf(1, 12, 0.01)
+        // = 0.0061755. Two outliers must NOT reject at SAAD_ALPHA.
+        let r = one_sided_proportion_test(2, 12, 0.01, Alternative::Greater);
+        assert!((r.p_value - 0.0061755).abs() < 1e-5, "p={}", r.p_value);
+        assert!(!r.rejects(SAAD_ALPHA));
+        // Three outliers is exact-tail significant:
+        // scipy binom.sf(2, 12, 0.01) = 0.0002060.
+        let r = one_sided_proportion_test(3, 12, 0.01, Alternative::Greater);
+        assert!((r.p_value - 0.0002060).abs() < 1e-5, "p={}", r.p_value);
+        assert!(r.rejects(SAAD_ALPHA));
+    }
+
+    #[test]
+    fn exact_tail_edges_are_total() {
+        // Zero successes: upper tail is the whole space.
+        let r = one_sided_proportion_test(0, 12, 0.01, Alternative::Greater);
+        assert_eq!(r.p_value, 1.0);
+        // All successes under a tiny p0: essentially impossible.
+        let r = one_sided_proportion_test(12, 12, 0.01, Alternative::Greater);
+        assert!(r.p_value < 1e-20);
+        // Less-alternative with nothing observed under sparse p0:
+        // P(X <= 0) = 0.99^12 = 0.8864.
+        let r = one_sided_proportion_test(0, 12, 0.01, Alternative::Less);
+        assert!((r.p_value - 0.8864).abs() < 1e-3, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn large_windows_keep_the_t_approximation() {
+        // n·p0 = 10 ≥ 5: same p-value path as before the exact-tail guard.
+        let r = one_sided_proportion_test(25, 1000, 0.01, Alternative::Greater);
+        let expected = p_from_statistic(r.statistic, r.df, Alternative::Greater);
+        assert_eq!(r.p_value, expected);
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! Fragmentation properties for the reactor's incremental frame decode.
+//!
+//! The readiness-driven collector receives frames as whatever byte runs
+//! the kernel hands it — a frame may arrive in one read, split across
+//! twenty, or glued to the tail of its predecessor. The contract is that
+//! framing is a pure function of the byte *stream*, not of its read
+//! boundaries: any byte-level fragmentation of a valid frame stream must
+//! decode to the identical synopsis sequence and identical per-host link
+//! statistics as feeding each frame whole.
+//!
+//! The properties drive [`FrameAssembler`] — the exact type the reactor
+//! collector's per-connection decode loop uses — against a whole-frame
+//! baseline that hands each encoded frame directly to the shared
+//! [`FrameReceiver`]. Streams interleave several sending hosts, include
+//! deliberately skipped frames (loss revealed by cumulative counts) and
+//! re-sent duplicates, so the sequence/loss accounting is exercised, not
+//! just payload reassembly.
+
+use proptest::prelude::*;
+use saad::core::prelude::*;
+use saad::core::synopsis::TaskSynopsis;
+use saad::core::transport::{parse_frame, FrameOutcome, FrameReceiver, FrameSender};
+use saad::logging::LogPointId;
+use saad::net::protocol::write_message;
+use saad::net::FrameAssembler;
+use saad::sim::{SimDuration, SimTime};
+
+/// One generated task, pre-synopsis: host, stage, points, duration, start.
+type RawTask = (u16, u16, Vec<u16>, u64, u64);
+
+fn synopsis_of(&(host, stage, ref points, dur_us, start_ms): &RawTask, uid: u64) -> TaskSynopsis {
+    TaskSynopsis {
+        host: HostId(host),
+        stage: StageId(stage),
+        uid: TaskUid(uid),
+        start: SimTime::from_millis(start_ms),
+        duration: SimDuration::from_micros(dur_us),
+        log_points: points.iter().map(|&p| (LogPointId(p), 1)).collect(),
+    }
+}
+
+fn raw_task_strategy() -> impl Strategy<Value = RawTask> {
+    (
+        0u16..4,                        // host carried in the synopsis
+        0u16..4,                        // stage
+        collection::vec(1u16..9, 0..5), // log points (may repeat/unsorted)
+        1u64..30_000,                   // duration µs
+        0u64..240_000,                  // start within 4 minutes
+    )
+}
+
+/// What one receiver concluded about a frame stream: admitted synopses in
+/// order, total newly-revealed loss, and duplicate count.
+#[derive(Debug, Default, PartialEq)]
+struct Digest {
+    synopses: Vec<TaskSynopsis>,
+    newly_lost: u64,
+    duplicates: u64,
+}
+
+fn admit(receiver: &mut FrameReceiver, body: &[u8], digest: &mut Digest) {
+    let parsed = parse_frame(body).expect("generated frames are valid");
+    match receiver.admit(parsed) {
+        FrameOutcome::Fresh {
+            synopses,
+            newly_lost,
+            ..
+        } => {
+            digest.synopses.extend(synopses);
+            digest.newly_lost += newly_lost;
+        }
+        FrameOutcome::Duplicate { .. } => digest.duplicates += 1,
+    }
+}
+
+/// Build an interleaved multi-host frame stream from generated batches.
+///
+/// Frames rotate over three senders. `skip_mask` bit *i* set drops frame
+/// *i* after encoding (the sender's sequence still advances, so a later
+/// frame reveals the gap); `dup_mask` bit *i* set re-sends frame *i*
+/// immediately (a wire-level duplicate the receiver must discard). The
+/// returned messages are the frame bodies in delivery order.
+fn build_stream(batches: &[Vec<RawTask>], skip_mask: u32, dup_mask: u32) -> Vec<Vec<u8>> {
+    let mut senders = [
+        FrameSender::new(HostId(10)),
+        FrameSender::new(HostId(11)),
+        FrameSender::new(HostId(12)),
+    ];
+    let mut messages = Vec::new();
+    let mut uid = 0u64;
+    for (i, batch) in batches.iter().enumerate() {
+        let synopses: Vec<TaskSynopsis> = batch
+            .iter()
+            .map(|t| {
+                uid += 1;
+                synopsis_of(t, uid)
+            })
+            .collect();
+        let body = senders[i % senders.len()].encode_frame(&synopses);
+        if skip_mask & (1 << (i % 32)) != 0 {
+            continue; // framed but never delivered: a revealed gap
+        }
+        messages.push(body.to_vec());
+        if dup_mask & (1 << (i % 32)) != 0 {
+            messages.push(body.to_vec());
+        }
+    }
+    messages
+}
+
+proptest! {
+    /// Any chunking of the length-prefixed wire stream decodes — via
+    /// `FrameAssembler` — to exactly the whole-frame baseline: same
+    /// synopses in the same order, same loss and duplicate accounting,
+    /// same per-host `LinkStats`, nothing left buffered.
+    #[test]
+    fn any_fragmentation_matches_whole_frame_feed(
+        batches in collection::vec(collection::vec(raw_task_strategy(), 0..6), 1..9),
+        chunk_sizes in collection::vec(1usize..97, 1..40),
+        skip_mask in 0u32..256,
+        dup_mask in 0u32..256,
+    ) {
+        let messages = build_stream(&batches, skip_mask, dup_mask);
+
+        // Baseline: each frame handed to the receiver whole.
+        let mut whole_rx = FrameReceiver::new();
+        let mut whole = Digest::default();
+        for body in &messages {
+            admit(&mut whole_rx, body, &mut whole);
+        }
+
+        // Fragmented: the same frames length-prefixed into one byte
+        // stream, then cut at arbitrary boundaries and reassembled.
+        let mut wire = Vec::new();
+        for body in &messages {
+            write_message(&mut wire, body).unwrap();
+        }
+        let mut frag_rx = FrameReceiver::new();
+        let mut frag = Digest::default();
+        // Deliberately tiny initial ring so reassembly must also grow
+        // through oversized messages, not just split small ones.
+        let mut assembler = FrameAssembler::new(64);
+        let mut offset = 0usize;
+        let mut cut = 0usize;
+        while offset < wire.len() {
+            let len = chunk_sizes[cut % chunk_sizes.len()].min(wire.len() - offset);
+            cut += 1;
+            assembler.extend(&wire[offset..offset + len]);
+            offset += len;
+            while let Some(body) =
+                assembler.next_message().expect("valid prefixes stay in bounds")
+            {
+                let body = body.to_vec();
+                admit(&mut frag_rx, &body, &mut frag);
+            }
+        }
+
+        prop_assert_eq!(assembler.buffered(), 0);
+        prop_assert_eq!(&frag, &whole);
+        for host in [10u16, 11, 12] {
+            prop_assert_eq!(frag_rx.stats(HostId(host)), whole_rx.stats(HostId(host)));
+        }
+    }
+
+    /// Degenerate chunkings — the whole wire in one read, and one byte
+    /// per read — both reduce to the baseline. (Subsumed by the property
+    /// above only probabilistically; pinned here explicitly.)
+    #[test]
+    fn byte_at_a_time_equals_single_read(
+        batches in collection::vec(collection::vec(raw_task_strategy(), 0..6), 1..7),
+    ) {
+        let messages = build_stream(&batches, 0b1010, 0b0100);
+        let mut wire = Vec::new();
+        for body in &messages {
+            write_message(&mut wire, body).unwrap();
+        }
+
+        let mut digests = Vec::new();
+        for step in [wire.len().max(1), 1] {
+            let mut rx = FrameReceiver::new();
+            let mut digest = Digest::default();
+            let mut assembler = FrameAssembler::new(32);
+            for chunk in wire.chunks(step) {
+                assembler.extend(chunk);
+                while let Ok(Some(body)) = assembler.next_message() {
+                    let body = body.to_vec();
+                    admit(&mut rx, &body, &mut digest);
+                }
+            }
+            prop_assert_eq!(assembler.buffered(), 0);
+            digests.push((digest, rx.stats(HostId(10)), rx.stats(HostId(11)), rx.stats(HostId(12))));
+        }
+        let one_read = digests.remove(0);
+        let byte_wise = digests.remove(0);
+        prop_assert_eq!(one_read, byte_wise);
+    }
+}

@@ -9,7 +9,7 @@ use saad_relay::RelayConfig;
 #[test]
 fn all_gray_scenarios_are_detected_and_localized_exactly() {
     let results = run_gray_catalog(42, 6, 10);
-    assert_eq!(results.len(), 5, "no scenario may be skipped");
+    assert_eq!(results.len(), 6, "no scenario may be skipped");
     assert_eq!(
         results.iter().map(|r| r.name).collect::<Vec<_>>(),
         vec![
@@ -17,7 +17,8 @@ fn all_gray_scenarios_are_detected_and_localized_exactly() {
             "correlated-hog",
             "asymmetric-partition",
             "retry-storm",
-            "slow-dns"
+            "slow-dns",
+            "escaper-flap"
         ]
     );
 
